@@ -1,0 +1,39 @@
+//! Criterion view of Fig 11/Fig 12: wall-clock of the compile+simulate
+//! pipeline for representative kernels (the experiment binaries print
+//! the actual figures; this tracks harness performance regressions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use stitch_compiler::{compile_kernel, PatchConfig};
+use stitch_kernels::kernel_by_name;
+use stitch_patch::PatchClass;
+
+fn bench_kernel_flow(c: &mut Criterion) {
+    for name in ["fir", "update", "histogram"] {
+        let kernel = kernel_by_name(name).expect("kernel");
+        let spec = kernel.spec();
+        let program = kernel.standalone();
+        c.bench_function(&format!("flow/{name} compile+measure {{AT-MA}}"), |b| {
+            b.iter(|| {
+                black_box(
+                    compile_kernel(
+                        spec.name,
+                        &program,
+                        &[PatchConfig::Single(PatchClass::AtMa)],
+                        Some((spec.output_addr, spec.output_words as usize)),
+                    )
+                    .expect("compile")
+                    .variants
+                    .len(),
+                )
+            });
+        });
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernel_flow
+);
+criterion_main!(benches);

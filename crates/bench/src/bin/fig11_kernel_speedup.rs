@@ -1,0 +1,81 @@
+//! Fig 11: per-kernel speedup of the LOCUS ISE, the best single patch,
+//! and the best stitched configuration over the software-only baseline.
+//!
+//! Paper: single patches average 1.56x; stitching lifts e.g. fft from
+//! 1.37x to 1.99x; astar gains nothing from stitching; LOCUS trails the
+//! patches because it cannot include load/store operations.
+
+use stitch::Workbench;
+use stitch_kernels::all_kernels;
+
+fn main() {
+    println!("{}", bench::header("Fig 11: kernel speedups"));
+    let mut bench_ws = Workbench::new();
+    let kernels = all_kernels();
+    let rows = bench_ws.kernel_table(&kernels).expect("kernel table");
+    println!(
+        "{:>10} {:>10} {:>8} {:>8} {:>10} {:>22}",
+        "kernel", "base cyc", "LOCUS", "single", "stitched", "best stitched config"
+    );
+    let (mut locus, mut single, mut stitched) = (Vec::new(), Vec::new(), Vec::new());
+    for r in &rows {
+        println!(
+            "{:>10} {:>10} {:>7.2}x {:>7.2}x {:>9.2}x {:>22}",
+            r.name,
+            r.baseline_cycles,
+            r.locus,
+            r.single,
+            r.stitched,
+            r.stitched_config.map_or(String::from("-"), |c| c.name()),
+        );
+        locus.push(r.locus);
+        single.push(r.single);
+        stitched.push(r.stitched);
+    }
+    println!("{}", "-".repeat(72));
+    println!(
+        "{}",
+        bench::row(
+            "geomean: LOCUS ISE",
+            "~1.1x",
+            &format!("{:.2}x", bench::geomean(&locus))
+        )
+    );
+    println!(
+        "{}",
+        bench::row(
+            "geomean: best single patch",
+            "1.56x (avg)",
+            &format!("{:.2}x", bench::geomean(&single))
+        )
+    );
+    println!(
+        "{}",
+        bench::row(
+            "geomean: best stitched",
+            "> single (e.g. fft 1.99x)",
+            &format!("{:.2}x", bench::geomean(&stitched))
+        )
+    );
+    // Shape checks from the paper's discussion.
+    let by_name = |n: &str| rows.iter().find(|r| r.name == n).expect("kernel present");
+    assert!(
+        bench::geomean(&single) > bench::geomean(&locus),
+        "patches beat the LOCUS ISE on average (memory inclusion)"
+    );
+    assert!(
+        bench::geomean(&stitched) >= bench::geomean(&single),
+        "stitching never loses on average"
+    );
+    let astar = by_name("astar");
+    assert!(
+        astar.stitched <= astar.single * 1.02,
+        "astar shows no significant stitching benefit (paper)"
+    );
+    let dconv = by_name("2dconv");
+    assert!(
+        dconv.single_config.is_some_and(|c| c.name().contains("AT-MA")),
+        "2dconv prefers {{AT-MA}} (paper)"
+    );
+    println!("\nShape checks passed: patches > LOCUS, stitched >= single, astar flat, 2dconv -> {{AT-MA}}.");
+}

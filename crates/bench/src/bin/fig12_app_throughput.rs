@@ -1,0 +1,48 @@
+//! Fig 12: normalized application throughput of LOCUS, Stitch w/o
+//! fusion, and full Stitch against the 16-core baseline.
+//!
+//! Paper averages: LOCUS 1.14x, Stitch w/o fusion 1.53x, Stitch 2.3x;
+//! APP2/APP4 benefit more than APP1/APP3 because their load imbalance
+//! leaves more idle patches for the bottleneck kernels to borrow.
+
+use stitch::{Arch, Workbench, DEFAULT_FRAMES};
+use stitch_apps::App;
+
+fn main() {
+    println!("{}", bench::header("Fig 12: application throughput"));
+    let mut ws = Workbench::new();
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>10} {:>7}",
+        "app", "baseline", "LOCUS", "w/o fusion", "Stitch", "fused"
+    );
+    let mut per_arch: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for app in App::all() {
+        let runs = ws.run_all_archs(&app, DEFAULT_FRAMES).expect("runs");
+        let base = runs[0].throughput_fps;
+        let rel: Vec<f64> = runs.iter().map(|r| r.throughput_fps / base).collect();
+        println!(
+            "{:>6} {:>9.0}/s {:>9.2}x {:>11.2}x {:>9.2}x {:>7}",
+            app.name,
+            base,
+            rel[1],
+            rel[2],
+            rel[3],
+            runs[3].plan.fused()
+        );
+        for i in 0..3 {
+            per_arch[i].push(rel[i + 1]);
+        }
+    }
+    println!("{}", "-".repeat(72));
+    let g: Vec<f64> = per_arch.iter().map(|v| bench::geomean(v)).collect();
+    println!("{}", bench::row("geomean LOCUS", "1.14x", &format!("{:.2}x", g[0])));
+    println!("{}", bench::row("geomean Stitch w/o fusion", "1.53x", &format!("{:.2}x", g[1])));
+    println!("{}", bench::row("geomean Stitch", "2.3x", &format!("{:.2}x", g[2])));
+    assert!(g[0] < g[1], "w/o-fusion beats LOCUS (heterogeneous patches + SPM)");
+    assert!(g[1] <= g[2] + 1e-9, "fusion never loses on average");
+    let _ = Arch::ALL;
+    println!(
+        "\nShape checks passed: LOCUS < Stitch w/o fusion <= Stitch; fusion\n\
+         pays off most where load imbalance frees patches (APP4)."
+    );
+}

@@ -1,0 +1,48 @@
+//! Fig 13: chip power and area breakdown — patches + inter-patch NoC
+//! account for ~23% of power and only 0.5% of area in the paper.
+
+use stitch::{Arch, Workbench, DEFAULT_FRAMES};
+use stitch_power::{AreaBreakdown, PowerBreakdown};
+
+fn main() {
+    println!("{}", bench::header("Fig 13: power and area breakdown"));
+    let mut ws = Workbench::new();
+    let app = stitch_apps::gesture();
+    let run = ws.run_app(&app, Arch::Stitch, DEFAULT_FRAMES).expect("run");
+    let p = PowerBreakdown::for_run(Arch::Stitch, &run.summary);
+    println!("-- power (gesture application, full Stitch) --");
+    println!("  cores+caches+SPM : {:7.1} mW", p.cores_mw);
+    println!("  inter-core mesh  : {:7.1} mW", p.mesh_mw);
+    println!("  patches          : {:7.1} mW", p.accelerators_mw);
+    println!("  inter-patch NoC  : {:7.1} mW", p.interpatch_noc_mw);
+    println!("  total            : {:7.1} mW", p.total_mw());
+    println!(
+        "{}",
+        bench::row("total power", "~140 mW", &format!("{:.1} mW", p.total_mw()))
+    );
+    println!(
+        "{}",
+        bench::row(
+            "accelerator power share",
+            "23%",
+            &format!("{:.0}%", p.accelerator_fraction() * 100.0)
+        )
+    );
+    let a = AreaBreakdown::for_arch(Arch::Stitch);
+    println!("\n-- area --");
+    println!("  base logic       : {:9.0} um^2", a.base_um2);
+    println!("  patches          : {:9.0} um^2", a.patches_um2);
+    println!("  inter-patch NoC  : {:9.0} um^2", a.interpatch_noc_um2);
+    println!(
+        "{}",
+        bench::row(
+            "accelerator area share",
+            "0.5%",
+            &format!("{:.2}%", a.accelerator_fraction() * 100.0)
+        )
+    );
+    assert!((0.10..0.35).contains(&p.accelerator_fraction()), "power share near 23%");
+    assert!((0.004..0.006).contains(&a.accelerator_fraction()), "area share near 0.5%");
+    assert!((90.0..170.0).contains(&p.total_mw()), "total power near 140 mW");
+    println!("\nShape checks passed: ~140 mW total, accelerators ~23% power / 0.5% area.");
+}

@@ -1,0 +1,64 @@
+//! Fig 14: power-efficiency (performance/watt) and area-efficiency
+//! (performance/area) of Stitch relative to the baseline.
+//!
+//! Paper: 1.77x power efficiency and 2.28x area efficiency on average —
+//! the area efficiency tracks the throughput because the accelerator
+//! overhead is only 0.5% of the chip.
+
+use stitch::{Arch, Workbench, DEFAULT_FRAMES};
+use stitch_apps::App;
+use stitch_power::{area_efficiency, power_efficiency};
+
+fn main() {
+    println!("{}", bench::header("Fig 14: power- and area-efficiency"));
+    let mut ws = Workbench::new();
+    println!(
+        "{:>6} {:>10} {:>11} {:>10}",
+        "app", "speedup", "perf/watt", "perf/area"
+    );
+    let (mut spd, mut pe, mut ae) = (Vec::new(), Vec::new(), Vec::new());
+    for app in App::all() {
+        let base = ws.run_app(&app, Arch::Baseline, DEFAULT_FRAMES).expect("run");
+        let st = ws.run_app(&app, Arch::Stitch, DEFAULT_FRAMES).expect("run");
+        let s = st.throughput_fps / base.throughput_fps;
+        let p = power_efficiency(
+            Arch::Stitch,
+            st.throughput_fps,
+            &st.summary,
+            base.throughput_fps,
+            &base.summary,
+        );
+        let a = area_efficiency(Arch::Stitch, st.throughput_fps, base.throughput_fps);
+        println!("{:>6} {:>9.2}x {:>10.2}x {:>9.2}x", app.name, s, p, a);
+        spd.push(s);
+        pe.push(p);
+        ae.push(a);
+    }
+    println!("{}", "-".repeat(72));
+    let (gs, gp, ga) =
+        (bench::geomean(&spd), bench::geomean(&pe), bench::geomean(&ae));
+    println!(
+        "{}",
+        bench::row("geomean speedup", "2.3x", &format!("{gs:.2}x"))
+    );
+    println!(
+        "{}",
+        bench::row("geomean power efficiency", "1.77x", &format!("{gp:.2}x"))
+    );
+    println!(
+        "{}",
+        bench::row("geomean area efficiency", "2.28x", &format!("{ga:.2}x"))
+    );
+    // Shape: area efficiency must track the speedup closely (tiny area
+    // overhead); power efficiency sits between the speedup (accelerators
+    // draw power) and well above the break-even line for the apps where
+    // acceleration is substantial. Our absolute speedups are smaller than
+    // the paper's (see EXPERIMENTS.md), which compresses perf/watt too.
+    assert!((ga / gs - 1.0).abs() < 0.02, "area efficiency tracks speedup");
+    assert!(gp < gs, "power efficiency < speedup (accelerators draw power)");
+    assert!(gp > 0.9, "power efficiency must stay near or above break-even");
+    let best = pe.iter().cloned().fold(0.0f64, f64::max);
+    assert!(best > 1.1, "the most accelerable app must gain perf/watt, got {best:.2}");
+    println!("\nShape checks passed: perf/area ~= speedup; perf/watt < speedup and");
+    println!("clearly above break-even where acceleration is substantial.");
+}

@@ -1,0 +1,46 @@
+//! Fig 15: throughput, power and performance/watt of Stitch relative to
+//! the quad Cortex-A7 of contemporary smartwatches.
+//!
+//! Paper averages: 1.65x throughput and 6.04x performance/watt at 140 mW
+//! against the 469 mW quad-A7. The A7 side is an analytical model (we
+//! have no Odroid board) anchored to the paper's Table I measurements —
+//! see `stitch-power::external`.
+
+use stitch::{Arch, Workbench, DEFAULT_FRAMES};
+use stitch_apps::App;
+use stitch_power::CortexA7;
+
+fn main() {
+    println!("{}", bench::header("Fig 15: Stitch vs quad Cortex-A7"));
+    let mut ws = Workbench::new();
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "app", "A7 fps", "Stitch fps", "throughput", "perf/watt"
+    );
+    let (mut thr, mut ppw) = (Vec::new(), Vec::new());
+    for app in App::all() {
+        let st = ws.run_app(&app, Arch::Stitch, DEFAULT_FRAMES).expect("run");
+        // The A7 re-executes the same per-frame work on 4 big cores.
+        let base = ws.run_app(&app, Arch::Baseline, DEFAULT_FRAMES).expect("run");
+        let a7_fps = CortexA7::throughput_fps(&base.summary, DEFAULT_FRAMES);
+        let t = st.throughput_fps / a7_fps;
+        let p = (st.throughput_fps / st.power_mw) / (a7_fps / CortexA7::POWER_MW);
+        println!(
+            "{:>6} {:>11.0} {:>11.0} {:>11.2}x {:>11.2}x",
+            app.name, a7_fps, st.throughput_fps, t, p
+        );
+        thr.push(t);
+        ppw.push(p);
+    }
+    println!("{}", "-".repeat(72));
+    let (gt, gp) = (bench::geomean(&thr), bench::geomean(&ppw));
+    println!("{}", bench::row("geomean throughput vs A7", "1.65x", &format!("{gt:.2}x")));
+    println!("{}", bench::row("geomean perf/watt vs A7", "6.04x", &format!("{gp:.2}x")));
+    println!(
+        "{}",
+        bench::row("Stitch power", "~140 mW", "see fig13_breakdown")
+    );
+    assert!(gt > 1.0, "16 small cores + ISEs outrun 4 big cores on these pipelines");
+    assert!(gp > gt, "the watt advantage multiplies the throughput advantage");
+    println!("\nShape checks passed: Stitch beats the A7 in throughput and by a much\nlarger factor in performance/watt (the paper's central claim).");
+}

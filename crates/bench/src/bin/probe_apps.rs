@@ -1,0 +1,30 @@
+// Quick probe: Fig 12 shape — app throughput per architecture.
+use stitch::{Arch, Workbench};
+use stitch_apps::App;
+
+fn main() {
+    let mut bench = Workbench::new();
+    for app in App::all() {
+        let t0 = std::time::Instant::now();
+        let mut base_fps = 0.0;
+        let mut line = format!("{:>5}:", app.name);
+        for arch in Arch::ALL {
+            match bench.run_app(&app, arch, 8) {
+                Ok(run) => {
+                    if arch == Arch::Baseline {
+                        base_fps = run.throughput_fps;
+                    }
+                    line += &format!(
+                        "  {}={:.2}x ({:.0}mW, fused={})",
+                        arch.name(),
+                        run.throughput_fps / base_fps,
+                        run.power_mw,
+                        run.plan.fused()
+                    );
+                }
+                Err(e) => line += &format!("  {arch}=ERR({e})"),
+            }
+        }
+        println!("{line}   [{:?}]", t0.elapsed());
+    }
+}

@@ -1,0 +1,35 @@
+// Diagnostic: print the stitching plan for one app/arch.
+use stitch::{Arch, Workbench};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map_or("APP2", |s| s.as_str());
+    let arch = match args.get(2).map(String::as_str) {
+        Some("nofusion") => Arch::StitchNoFusion,
+        Some("locus") => Arch::Locus,
+        Some("baseline") => Arch::Baseline,
+        _ => Arch::Stitch,
+    };
+    let app = stitch_apps::App::all()
+        .into_iter()
+        .find(|a| a.name == which)
+        .expect("app name");
+    let mut bench = Workbench::new();
+    let run = bench.run_app(&app, arch, 8).expect("run");
+    for (i, n) in app.nodes.iter().enumerate() {
+        let accel = match &run.plan.accel[i] {
+            Some(a) => format!("{} partner={:?}", a.config, a.partner),
+            None => "software".into(),
+        };
+        println!("{:>12} @ {}  {}", n.name, run.plan.tiles[i], accel);
+    }
+    println!("--- log ---");
+    for l in &run.plan.log {
+        println!("  {l}");
+    }
+    println!("fps={:.1} power={:.0}mW cycles={}", run.throughput_fps, run.power_mw, run.summary.cycles);
+    // Per-tile cycle histogram to find the bottleneck.
+    for (t, ts) in run.summary.tiles.iter().enumerate() {
+        println!("tile{:<2} cycles={:>9} wait={:>9} ci={:>7}", t, ts.core.cycles, ts.core.recv_wait_cycles, ts.core.custom_ops);
+    }
+}

@@ -1,0 +1,120 @@
+//! Table II: RTL and simulation parameters — echoed from the live
+//! configuration objects so the table cannot drift from the code.
+
+use stitch::ChipConfig;
+use stitch_noc::mesh::{LINK_LATENCY, MAX_PAYLOAD_WORDS, ROUTER_PIPELINE};
+use stitch_patch::{PatchClass, CLOCK_PERIOD_NS};
+use stitch_sim::CLOCK_HZ;
+
+fn main() {
+    println!("{}", bench::header("Table II: simulated system parameters"));
+    let cfg = ChipConfig::stitch_16();
+    println!(
+        "{}",
+        bench::row("cores", "16 in-order @ 200 MHz", &format!(
+            "{} in-order @ {} MHz",
+            cfg.topo.tiles(),
+            CLOCK_HZ / 1_000_000
+        ))
+    );
+    println!(
+        "{}",
+        bench::row(
+            "I-cache",
+            "2-way 8KB, 64B blocks",
+            &format!(
+                "{}-way {}KB, {}B blocks",
+                cfg.tile_mem.icache.ways,
+                cfg.tile_mem.icache.size_bytes / 1024,
+                cfg.tile_mem.icache.block_bytes
+            )
+        )
+    );
+    println!(
+        "{}",
+        bench::row(
+            "D-cache",
+            "2-way 4KB, 64B, LRU",
+            &format!(
+                "{}-way {}KB, {}B, LRU",
+                cfg.tile_mem.dcache.ways,
+                cfg.tile_mem.dcache.size_bytes / 1024,
+                cfg.tile_mem.dcache.block_bytes
+            )
+        )
+    );
+    println!(
+        "{}",
+        bench::row(
+            "SPM",
+            "4KB, 1-cycle",
+            &format!(
+                "{}KB, {}-cycle",
+                stitch_isa::memmap::SPM_SIZE / 1024,
+                stitch_mem::HIT_LATENCY
+            )
+        )
+    );
+    println!(
+        "{}",
+        bench::row(
+            "inter-core NoC",
+            "2D mesh, 5-stage, 1-cyc link, 1/5 flit pkts",
+            &format!(
+                "2D mesh, {ROUTER_PIPELINE}-stage, {LINK_LATENCY}-cyc link, 1/{} flit pkts",
+                MAX_PAYLOAD_WORDS + 1
+            )
+        )
+    );
+    println!(
+        "{}",
+        bench::row("DRAM", "512MB, 30-cycle", &format!(
+            "{}MB, {}-cycle",
+            stitch_isa::memmap::DRAM_SIZE / (1024 * 1024),
+            stitch_mem::DRAM_LATENCY
+        ))
+    );
+    println!(
+        "{}",
+        bench::row(
+            "inter-patch NoC",
+            "bufferless 6x6 xbar, 166-bit",
+            &format!(
+                "bufferless {}x{} xbar, {}-bit",
+                stitch_noc::PortDir::ALL.len(),
+                stitch_noc::PortDir::ALL.len(),
+                4 * 32 + 2 * stitch_isa::custom::CONTROL_BITS
+            )
+        )
+    );
+    println!(
+        "{}",
+        bench::row(
+            "patches",
+            "8 {AT-MA}, 4 {AT-AS}, 4 {AT-SA}",
+            &format!(
+                "{} {{AT-MA}}, {} {{AT-AS}}, {} {{AT-SA}}",
+                cfg.tiles_with(PatchClass::AtMa).len(),
+                cfg.tiles_with(PatchClass::AtAs).len(),
+                cfg.tiles_with(PatchClass::AtSa).len()
+            )
+        )
+    );
+    println!(
+        "{}",
+        bench::row(
+            "patch control / ports",
+            "19-bit, 4-in/2-out",
+            &format!(
+                "{}-bit, {}-in/{}-out",
+                stitch_isa::custom::CONTROL_BITS,
+                stitch_isa::custom::MAX_CI_INPUTS,
+                stitch_isa::custom::MAX_CI_OUTPUTS
+            )
+        )
+    );
+    println!(
+        "{}",
+        bench::row("clock period", "5 ns", &format!("{CLOCK_PERIOD_NS} ns"))
+    );
+}

@@ -1,0 +1,44 @@
+//! Table III: accelerator area across architectures.
+
+use stitch::Arch;
+use stitch_power::{accelerator_area_um2, AreaBreakdown};
+
+fn main() {
+    println!("{}", bench::header("Table III: accelerator area"));
+    let paper = [
+        (Arch::Locus, 1_288_044.0, 3.68),
+        (Arch::StitchNoFusion, 49_872.0, 0.15),
+        (Arch::Stitch, 168_568.0, 0.50),
+    ];
+    for (arch, paper_um2, paper_pct) in paper {
+        let um2 = accelerator_area_um2(arch);
+        let pct = um2 / AreaBreakdown::for_arch(Arch::Stitch).total_um2() * 100.0;
+        println!(
+            "{}",
+            bench::row(
+                &format!("{arch} area (um^2)"),
+                &format!("{paper_um2:.0}"),
+                &format!("{um2:.0}")
+            )
+        );
+        println!(
+            "{}",
+            bench::row(
+                &format!("{arch} chip share"),
+                &format!("{paper_pct:.2}%"),
+                &format!("{pct:.2}%")
+            )
+        );
+        assert!(
+            (um2 - paper_um2).abs() / paper_um2 < 0.02,
+            "{arch}: area deviates more than 2% from Table III"
+        );
+    }
+    let ratio =
+        accelerator_area_um2(Arch::Locus) / accelerator_area_um2(Arch::Stitch);
+    println!(
+        "{}",
+        bench::row("LOCUS / Stitch area ratio", "7.64x", &format!("{ratio:.2}x"))
+    );
+    println!("\nAll areas within 2% of Table III (residual = the paper's rounding).");
+}

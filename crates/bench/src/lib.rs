@@ -1,0 +1,49 @@
+//! Experiment harness for the Stitch reproduction.
+//!
+//! One binary per paper table/figure lives in `src/bin/` (see DESIGN.md's
+//! experiment index); Criterion microbenches live in `benches/`. This
+//! library provides the shared report formatting.
+
+use std::fmt::Write as _;
+
+/// Formats a two-column paper-vs-measured comparison row.
+#[must_use]
+pub fn row(label: &str, paper: &str, measured: &str) -> String {
+    format!("{label:<38} {paper:>16} {measured:>16}")
+}
+
+/// Header for paper-vs-measured tables.
+#[must_use]
+pub fn header(title: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "==== {title} ====");
+    let _ = writeln!(s, "{}", row("quantity", "paper", "measured"));
+    let _ = write!(s, "{}", "-".repeat(72));
+    s
+}
+
+/// Geometric mean of a non-empty slice.
+#[must_use]
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn row_is_aligned() {
+        let r = row("x", "1", "2");
+        assert!(r.len() >= 38 + 16 + 16);
+    }
+}

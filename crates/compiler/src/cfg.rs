@@ -1,0 +1,382 @@
+//! Control-flow graph, liveness and SPM-pointer analysis.
+
+use std::collections::{BTreeSet, HashMap};
+use stitch_isa::instr::Instr;
+use stitch_isa::memmap::SPM_BASE;
+use stitch_isa::program::Program;
+use stitch_isa::reg::Reg;
+
+/// A maximal straight-line instruction sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Index of this block.
+    pub id: usize,
+    /// First instruction index (inclusive).
+    pub start: usize,
+    /// One past the last instruction index.
+    pub end: usize,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+    /// Registers live on entry.
+    pub live_in: BTreeSet<Reg>,
+    /// Registers live on exit.
+    pub live_out: BTreeSet<Reg>,
+    /// Registers known to hold SPM pointers on entry.
+    pub spm_ptrs_in: BTreeSet<Reg>,
+}
+
+impl BasicBlock {
+    /// Instruction index range.
+    #[must_use]
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` when the block is empty (should not occur in valid CFGs).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// The control-flow graph of one program.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Blocks in program order.
+    pub blocks: Vec<BasicBlock>,
+    /// Map from instruction index to owning block id.
+    pub block_of: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`, including liveness and SPM-pointer
+    /// facts.
+    ///
+    /// Indirect jumps (`jalr`) are treated as possibly reaching any block
+    /// leader, making liveness conservative; kernels in this workspace use
+    /// `jalr` only for returns.
+    #[must_use]
+    pub fn build(program: &Program) -> Self {
+        let instrs = &program.instrs;
+        let n = instrs.len();
+
+        // Leaders: instruction 0, branch/jump targets, instruction after a
+        // terminator.
+        let mut leaders = BTreeSet::new();
+        if n > 0 {
+            leaders.insert(0usize);
+        }
+        for (i, instr) in instrs.iter().enumerate() {
+            match instr {
+                Instr::Branch { target, .. } | Instr::Jal { target, .. } => {
+                    leaders.insert(*target as usize);
+                    if i + 1 < n {
+                        leaders.insert(i + 1);
+                    }
+                }
+                _ if instr.is_block_terminator() && i + 1 < n => {
+                    leaders.insert(i + 1);
+                }
+                _ => {}
+            }
+        }
+
+        let bounds: Vec<usize> = leaders.iter().copied().filter(|&l| l < n).collect();
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; n];
+        for (id, &start) in bounds.iter().enumerate() {
+            let end = bounds.get(id + 1).copied().unwrap_or(n);
+            for b in block_of.iter_mut().take(end).skip(start) {
+                *b = id;
+            }
+            blocks.push(BasicBlock {
+                id,
+                start,
+                end,
+                succs: Vec::new(),
+                live_in: BTreeSet::new(),
+                live_out: BTreeSet::new(),
+                spm_ptrs_in: BTreeSet::new(),
+            });
+        }
+
+        // Successors.
+        let leader_ids: HashMap<usize, usize> =
+            bounds.iter().enumerate().map(|(id, &s)| (s, id)).collect();
+        let all_ids: Vec<usize> = (0..blocks.len()).collect();
+        let mut all_succs: Vec<Vec<usize>> = Vec::with_capacity(blocks.len());
+        for block in &blocks {
+            let last = block.end - 1;
+            let mut succs = Vec::new();
+            match &instrs[last] {
+                Instr::Halt => {}
+                Instr::Jal { target, .. } => {
+                    if let Some(&t) = leader_ids.get(&(*target as usize)) {
+                        succs.push(t);
+                    }
+                    // A call returns to the next block.
+                    if !matches!(&instrs[last], Instr::Jal { rd, .. } if rd.is_zero()) {
+                        if let Some(&t) = leader_ids.get(&(last + 1)) {
+                            succs.push(t);
+                        }
+                    }
+                }
+                Instr::Branch { target, .. } => {
+                    if let Some(&t) = leader_ids.get(&(*target as usize)) {
+                        succs.push(t);
+                    }
+                    if let Some(&t) = leader_ids.get(&(last + 1)) {
+                        succs.push(t);
+                    }
+                }
+                Instr::Jalr { .. } => {
+                    // Conservative: may transfer anywhere.
+                    succs.extend(all_ids.iter().copied());
+                }
+                _ => {
+                    if let Some(&t) = leader_ids.get(&(last + 1)) {
+                        succs.push(t);
+                    }
+                }
+            }
+            succs.dedup();
+            all_succs.push(succs);
+        }
+        for (block, succs) in blocks.iter_mut().zip(all_succs) {
+            block.succs = succs;
+        }
+
+        let mut cfg = Cfg { blocks, block_of };
+        cfg.compute_liveness(instrs);
+        cfg.compute_spm_pointers(instrs);
+        cfg
+    }
+
+    /// Backward iterative liveness.
+    fn compute_liveness(&mut self, instrs: &[Instr]) {
+        let nb = self.blocks.len();
+        // use/def per block.
+        let mut use_b = vec![BTreeSet::new(); nb];
+        let mut def_b = vec![BTreeSet::new(); nb];
+        for b in &self.blocks {
+            for i in b.range() {
+                for u in instrs[i].uses() {
+                    if !def_b[b.id].contains(&u) {
+                        use_b[b.id].insert(u);
+                    }
+                }
+                for d in instrs[i].defs() {
+                    def_b[b.id].insert(d);
+                }
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for id in (0..nb).rev() {
+                let mut out = BTreeSet::new();
+                for &s in &self.blocks[id].succs {
+                    out.extend(self.blocks[s].live_in.iter().copied());
+                }
+                let mut inn = use_b[id].clone();
+                for r in &out {
+                    if !def_b[id].contains(r) {
+                        inn.insert(*r);
+                    }
+                }
+                if out != self.blocks[id].live_out || inn != self.blocks[id].live_in {
+                    self.blocks[id].live_out = out;
+                    self.blocks[id].live_in = inn;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    /// Forward "is this register an SPM pointer" analysis (meet =
+    /// intersection over predecessors; entry state = empty).
+    fn compute_spm_pointers(&mut self, instrs: &[Instr]) {
+        let nb = self.blocks.len();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nb];
+        for b in &self.blocks {
+            for &s in &b.succs {
+                preds[s].push(b.id);
+            }
+        }
+        let mut out_facts: Vec<Option<BTreeSet<Reg>>> = vec![None; nb];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for id in 0..nb {
+                let inn: BTreeSet<Reg> = if preds[id].is_empty() {
+                    BTreeSet::new()
+                } else {
+                    let mut acc: Option<BTreeSet<Reg>> = None;
+                    for &p in &preds[id] {
+                        if let Some(fact) = &out_facts[p] {
+                            acc = Some(match acc {
+                                None => fact.clone(),
+                                Some(a) => a.intersection(fact).copied().collect(),
+                            });
+                        }
+                    }
+                    acc.unwrap_or_default()
+                };
+                if self.blocks[id].spm_ptrs_in != inn {
+                    self.blocks[id].spm_ptrs_in = inn.clone();
+                }
+                let out = transfer_spm(&inn, &instrs[self.blocks[id].start..self.blocks[id].end]);
+                if out_facts[id].as_ref() != Some(&out) {
+                    out_facts[id] = Some(out);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    /// The block containing instruction `i`.
+    #[must_use]
+    pub fn block_containing(&self, i: usize) -> &BasicBlock {
+        &self.blocks[self.block_of[i]]
+    }
+}
+
+/// Applies the SPM-pointer transfer function over a straight-line
+/// sequence starting from `facts`.
+#[must_use]
+pub fn transfer_spm(facts: &BTreeSet<Reg>, instrs: &[Instr]) -> BTreeSet<Reg> {
+    use stitch_isa::instr::Operand;
+    use stitch_isa::op::AluOp;
+    let mut f = facts.clone();
+    for instr in instrs {
+        match instr {
+            Instr::Lui { rd, imm } => {
+                if (*imm << 12) == SPM_BASE {
+                    f.insert(*rd);
+                } else {
+                    f.remove(rd);
+                }
+            }
+            Instr::Alu { op, rd, rs1, src2 } => {
+                let keeps = matches!(op, AluOp::Add | AluOp::Sub | AluOp::Or);
+                let s1 = f.contains(rs1);
+                let s2 = match src2 {
+                    Operand::Reg(r) => f.contains(r),
+                    Operand::Imm(_) => false,
+                };
+                // pointer +/- offset stays a pointer; anything else does not.
+                if keeps && (s1 ^ s2) {
+                    f.insert(*rd);
+                } else if keeps && matches!(op, AluOp::Or) && s1 && s2 && rs1 == rd {
+                    // or(p, p) move idiom keeps the fact.
+                } else {
+                    f.remove(rd);
+                }
+            }
+            _ => {
+                for d in instr.defs() {
+                    f.remove(&d);
+                }
+            }
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stitch_isa::{Cond, ProgramBuilder, Reg};
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut b = ProgramBuilder::new();
+        b.addi(Reg::R1, Reg::R0, 1);
+        b.addi(Reg::R2, Reg::R1, 2);
+        b.halt();
+        let cfg = Cfg::build(&b.build().unwrap());
+        assert_eq!(cfg.blocks.len(), 1);
+        assert!(cfg.blocks[0].succs.is_empty());
+    }
+
+    #[test]
+    fn loop_blocks_and_liveness() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 10); // block 0
+        let top = b.bound_label(); // block 1
+        b.add(Reg::R2, Reg::R2, Reg::R1);
+        b.addi(Reg::R1, Reg::R1, -1);
+        b.branch(Cond::Ne, Reg::R1, Reg::R0, top);
+        b.sw(Reg::R2, Reg::R3, 0); // block 2
+        b.halt();
+        let cfg = Cfg::build(&b.build().unwrap());
+        assert_eq!(cfg.blocks.len(), 3);
+        // Loop block: r1 and r2 live in (r2 accumulates, r1 counts),
+        // r3 live through (used by the store afterwards).
+        let loop_block = &cfg.blocks[1];
+        assert!(loop_block.live_in.contains(&Reg::R1));
+        assert!(loop_block.live_in.contains(&Reg::R2));
+        assert!(loop_block.live_in.contains(&Reg::R3));
+        assert!(loop_block.live_out.contains(&Reg::R2));
+        assert_eq!(loop_block.succs.len(), 2);
+        // Exit block has no successors (halt).
+        assert!(cfg.blocks[2].succs.is_empty());
+    }
+
+    #[test]
+    fn spm_pointer_tracking() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, i64::from(SPM_BASE)); // lui r1, 0x80000
+        b.addi(Reg::R2, Reg::R1, 16); // still an SPM pointer
+        b.add(Reg::R3, Reg::R2, Reg::R4); // ptr + index: still a pointer
+        b.mul(Reg::R5, Reg::R1, Reg::R1); // not a pointer
+        b.halt();
+        let p = b.build().unwrap();
+        let facts = transfer_spm(&BTreeSet::new(), &p.instrs);
+        assert!(facts.contains(&Reg::R1));
+        assert!(facts.contains(&Reg::R2));
+        assert!(facts.contains(&Reg::R3));
+        assert!(!facts.contains(&Reg::R5));
+    }
+
+    #[test]
+    fn spm_facts_survive_loops() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, i64::from(SPM_BASE));
+        b.li(Reg::R2, 8);
+        let top = b.bound_label();
+        b.lw(Reg::R3, Reg::R1, 0);
+        b.addi(Reg::R2, Reg::R2, -1);
+        b.branch(Cond::Ne, Reg::R2, Reg::R0, top);
+        b.halt();
+        let cfg = Cfg::build(&b.build().unwrap());
+        // The loop block must know r1 is an SPM pointer.
+        let loop_block = cfg
+            .blocks
+            .iter()
+            .find(|blk| blk.succs.contains(&blk.id))
+            .expect("self-looping block");
+        assert!(loop_block.spm_ptrs_in.contains(&Reg::R1));
+    }
+
+    #[test]
+    fn block_of_maps_every_instruction() {
+        let mut b = ProgramBuilder::new();
+        let skip = b.label();
+        b.branch(Cond::Eq, Reg::R1, Reg::R2, skip);
+        b.nop();
+        b.bind(skip).unwrap();
+        b.halt();
+        let cfg = Cfg::build(&b.build().unwrap());
+        assert_eq!(cfg.block_of.len(), 3);
+        assert_eq!(cfg.block_containing(0).id, cfg.block_of[0]);
+        // Three blocks: branch / nop / halt.
+        assert_eq!(cfg.blocks.len(), 3);
+    }
+}

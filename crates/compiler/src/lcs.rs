@@ -1,0 +1,204 @@
+//! Multi-round longest-common-substring analysis over hot operation
+//! chains (paper §III-A).
+//!
+//! The paper derives the patch templates from the most common
+//! operation-chains on the critical paths of hot computational patterns:
+//! round *n* runs LCS on the chains with the previous round's winner
+//! removed, producing a ranked list like `{AT}: 95.7%, {MA}: 47.8%,
+//! {AA}: 34.8%, {AS}: 21.7%, {SA}: 21.7%` — which motivated deploying
+//! 8 `{AT-MA}`, 4 `{AT-AS}` and 4 `{AT-SA}` patches.
+
+use crate::dfg::{BlockDfg, Src};
+use std::collections::HashMap;
+use stitch_isa::OpClass;
+
+/// One round's winner: the most common operation pair and the fraction of
+/// kernels whose chains contain it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainRound {
+    /// The operation chain, e.g. `"AT"`.
+    pub chain: String,
+    /// Fraction of kernels containing the chain in this round.
+    pub rate: f64,
+}
+
+/// Result of the multi-round analysis.
+#[derive(Debug, Clone, Default)]
+pub struct ChainReport {
+    /// Ranked rounds (first = most common chain).
+    pub rounds: Vec<ChainRound>,
+}
+
+impl ChainReport {
+    /// Renders the report in the paper's notation.
+    #[must_use]
+    pub fn render(&self) -> String {
+        self.rounds
+            .iter()
+            .map(|r| format!("{{{}}}: {:.1}%", r.chain, r.rate * 100.0))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// Extracts the critical-path class chain of a hot block's DFG: the
+/// longest path through ISE-eligible nodes, rendered as class letters.
+#[must_use]
+pub fn critical_chain(dfg: &BlockDfg) -> String {
+    let n = dfg.len();
+    // Longest path ending at each node, over eligible nodes only.
+    let mut best: Vec<(u32, Option<usize>)> = vec![(0, None); n];
+    for i in 0..n {
+        if !dfg.nodes[i].eligible() {
+            continue;
+        }
+        best[i] = (1, None);
+        for s in &dfg.nodes[i].srcs {
+            if let Src::Node(p) = s {
+                if dfg.nodes[*p].eligible() && best[*p].0 + 1 > best[i].0 {
+                    best[i] = (best[*p].0 + 1, Some(*p));
+                }
+            }
+        }
+    }
+    let Some((end, _)) = best
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, (len, _))| *len)
+        .filter(|(_, (len, _))| *len > 0)
+    else {
+        return String::new();
+    };
+    let mut path = vec![end];
+    while let Some(p) = best[*path.last().expect("nonempty")].1 {
+        path.push(p);
+    }
+    path.reverse();
+    path.iter()
+        .map(|&i| match dfg.nodes[i].op.class() {
+            Some(OpClass::A) => 'A',
+            Some(OpClass::S) => 'S',
+            Some(OpClass::M) => 'M',
+            Some(OpClass::T) => 'T',
+            None => unreachable!("eligible nodes have a class"),
+        })
+        .collect()
+}
+
+/// Runs the multi-round LCS over per-kernel chain sets.
+///
+/// `kernels` maps a kernel name to the operation chains of its hot
+/// blocks. Each round finds the length-2 substring present in the most
+/// kernels, records its occurrence rate, and removes it from all chains
+/// (splitting them) before the next round. Stops when no pair occurs in
+/// at least two kernels or after `max_rounds`.
+#[must_use]
+pub fn chain_analysis(kernels: &[(String, Vec<String>)], max_rounds: usize) -> ChainReport {
+    let total = kernels.len();
+    if total == 0 {
+        return ChainReport::default();
+    }
+    let mut chains: Vec<Vec<String>> =
+        kernels.iter().map(|(_, cs)| cs.clone()).collect();
+    let mut rounds = Vec::new();
+
+    for _ in 0..max_rounds {
+        // Count kernels containing each length-2 substring.
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for kernel_chains in &chains {
+            let mut seen: Vec<String> = Vec::new();
+            for c in kernel_chains {
+                let bytes = c.as_bytes();
+                for w in bytes.windows(2) {
+                    let s = String::from_utf8_lossy(w).to_string();
+                    if !seen.contains(&s) {
+                        seen.push(s);
+                    }
+                }
+            }
+            for s in seen {
+                *counts.entry(s).or_insert(0) += 1;
+            }
+        }
+        let Some((best, count)) = counts
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        else {
+            break;
+        };
+        if count < 2 && !rounds.is_empty() {
+            break;
+        }
+        rounds.push(ChainRound { chain: best.clone(), rate: count as f64 / total as f64 });
+        // Remove the winner from every chain (splitting at occurrences).
+        for kernel_chains in &mut chains {
+            let mut next = Vec::new();
+            for c in kernel_chains.drain(..) {
+                for piece in split_all(&c, &best) {
+                    if piece.len() >= 2 {
+                        next.push(piece);
+                    }
+                }
+            }
+            *kernel_chains = next;
+        }
+    }
+    ChainReport { rounds }
+}
+
+/// Splits `s` at every non-overlapping occurrence of `pat`.
+fn split_all(s: &str, pat: &str) -> Vec<String> {
+    s.split(pat).map(str::to_string).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use stitch_isa::{ProgramBuilder, Reg};
+
+    #[test]
+    fn critical_chain_of_mul_add() {
+        let mut b = ProgramBuilder::new();
+        b.mul(Reg::R3, Reg::R1, Reg::R2);
+        b.add(Reg::R4, Reg::R3, Reg::R1);
+        b.alu(stitch_isa::AluOp::Sll, Reg::R5, Reg::R4, Reg::R2);
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        let dfg = BlockDfg::build(&p, &cfg, &cfg.blocks[0]);
+        assert_eq!(critical_chain(&dfg), "MAS");
+    }
+
+    #[test]
+    fn analysis_finds_common_pairs() {
+        let kernels = vec![
+            ("k1".into(), vec!["ATMA".into()]),
+            ("k2".into(), vec!["ATMA".into()]),
+            ("k3".into(), vec!["ATMAS".into()]),
+            ("k4".into(), vec!["ATAS".into()]),
+            ("k5".into(), vec!["ATSA".into(), "ATSA".into()]),
+            ("k6".into(), vec!["AT".into()]),
+        ];
+        let report = chain_analysis(&kernels, 8);
+        assert_eq!(report.rounds[0].chain, "AT");
+        assert!((report.rounds[0].rate - 1.0).abs() < 1e-12, "AT in all kernels");
+        // After removing AT: k1/k2 -> "MA", k3 -> "MAS", k4 -> "AS",
+        // k5 -> "SA"x2. MA occurs in 3 kernels -> next winner.
+        assert_eq!(report.rounds[1].chain, "MA");
+        assert!((report.rounds[1].rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(chain_analysis(&[], 4).rounds.is_empty());
+    }
+
+    #[test]
+    fn render_format() {
+        let r = ChainReport {
+            rounds: vec![ChainRound { chain: "AT".into(), rate: 0.957 }],
+        };
+        assert_eq!(r.render(), "{AT}: 95.7%");
+    }
+}

@@ -1,0 +1,236 @@
+//! Kernel profiling: dynamic basic-block execution counts.
+//!
+//! The paper detects bottleneck kernels and 'hot' basic blocks by
+//! profiling (Fig 6). Here a kernel's standalone version executes on a
+//! functional interpreter (perfect memory, no patches) while counting how
+//! often each instruction retires; blocks above [`crate::HOT_THRESHOLD`]
+//! of the dynamic instruction count are hot.
+
+use crate::cfg::Cfg;
+use crate::CompilerError;
+use std::collections::HashMap;
+use stitch_cpu::{Core, CoreState, Platform, StepOutcome};
+use stitch_isa::custom::CiId;
+use stitch_isa::instr::Width;
+use stitch_isa::program::Program;
+use stitch_patch::PatchOutput;
+
+/// Functional platform for profiling runs: flat memory, 1-cycle
+/// everything, sends discarded, receives return zero-filled messages.
+#[derive(Default)]
+struct ProfilePlatform {
+    mem: HashMap<u32, u32>,
+}
+
+impl ProfilePlatform {
+    fn read(&self, addr: u32) -> u32 {
+        self.mem.get(&(addr & !3)).copied().unwrap_or(0)
+    }
+}
+
+impl Platform for ProfilePlatform {
+    fn fetch(&mut self, _byte_addr: u32) -> u32 {
+        1
+    }
+
+    fn load(&mut self, addr: u32, w: Width) -> (u32, u32) {
+        let word = self.read(addr);
+        let v = match w {
+            Width::Word => word,
+            Width::Half => (word >> ((addr & 2) * 8)) & 0xFFFF,
+            Width::Byte => (word >> ((addr & 3) * 8)) & 0xFF,
+        };
+        (v, 1)
+    }
+
+    fn store(&mut self, addr: u32, value: u32, w: Width) -> u32 {
+        let aligned = addr & !3;
+        let old = self.read(aligned);
+        let v = match w {
+            Width::Word => value,
+            Width::Half => {
+                let sh = (addr & 2) * 8;
+                (old & !(0xFFFF << sh)) | ((value & 0xFFFF) << sh)
+            }
+            Width::Byte => {
+                let sh = (addr & 3) * 8;
+                (old & !(0xFF << sh)) | ((value & 0xFF) << sh)
+            }
+        };
+        self.mem.insert(aligned, v);
+        1
+    }
+
+    fn exec_custom(
+        &mut self,
+        _ci: CiId,
+        inputs: [u32; 4],
+    ) -> Result<(PatchOutput, bool), stitch_cpu::CpuError> {
+        // Profiling happens before acceleration; treat any custom
+        // instruction as a pass-through so pre-accelerated binaries can
+        // still be profiled structurally.
+        Ok((PatchOutput { out0: inputs[0], out1: inputs[1] }, false))
+    }
+
+    fn send(&mut self, _dst: u32, _addr: u32, _len: u32) {}
+
+    fn try_recv(
+        &mut self,
+        _src: u32,
+        addr: u32,
+        len: u32,
+    ) -> Result<Option<u32>, stitch_cpu::CpuError> {
+        for i in 0..len {
+            self.store(addr + i * 4, 0, Width::Word);
+        }
+        Ok(Some(len))
+    }
+}
+
+/// Result of profiling one program.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Dynamic execution count per instruction index.
+    pub instr_counts: Vec<u64>,
+    /// Dynamic execution count per basic block (entry count).
+    pub block_counts: Vec<u64>,
+    /// Total retired instructions.
+    pub total_instructions: u64,
+    /// Total simulated cycles (functional timing: 1 cycle/instr plus
+    /// multiply/branch penalties — useful for quick comparisons only).
+    pub cycles: u64,
+}
+
+impl ProfileReport {
+    /// Blocks whose dynamic instruction share exceeds `threshold`,
+    /// hottest first.
+    #[must_use]
+    pub fn hot_blocks(&self, cfg: &Cfg, threshold: f64) -> Vec<usize> {
+        let mut weights: Vec<(usize, u64)> = cfg
+            .blocks
+            .iter()
+            .map(|b| {
+                let w: u64 = b.range().map(|i| self.instr_counts[i]).sum();
+                (b.id, w)
+            })
+            .collect();
+        weights.sort_by_key(|&(_, w)| std::cmp::Reverse(w));
+        weights
+            .into_iter()
+            .filter(|&(_, w)| {
+                self.total_instructions > 0
+                    && (w as f64 / self.total_instructions as f64) >= threshold
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+/// Profiles a standalone program (functional execution).
+///
+/// # Errors
+///
+/// [`CompilerError::Profile`] when execution faults or exceeds
+/// `max_steps`.
+pub fn profile_program(program: &Program, max_steps: u64) -> Result<ProfileReport, CompilerError> {
+    let mut core = Core::new(program);
+    let mut plat = ProfilePlatform::default();
+    let mut instr_counts = vec![0u64; program.instrs.len()];
+    let mut steps = 0u64;
+    while core.state() == CoreState::Running {
+        if steps >= max_steps {
+            return Err(CompilerError::Profile(format!(
+                "exceeded {max_steps} steps; kernel may not terminate standalone"
+            )));
+        }
+        let pc = core.pc() as usize;
+        match core.step(&mut plat) {
+            Ok(StepOutcome::Retired { .. }) => {
+                instr_counts[pc] += 1;
+            }
+            Ok(StepOutcome::WaitingRecv { .. }) => {
+                return Err(CompilerError::Profile("blocked on recv during profiling".into()))
+            }
+            Ok(StepOutcome::Halted) => break,
+            Err(e) => return Err(CompilerError::Profile(e.to_string())),
+        }
+        steps += 1;
+    }
+    let cfg = Cfg::build(program);
+    let block_counts = cfg
+        .blocks
+        .iter()
+        .map(|b| instr_counts[b.start])
+        .collect();
+    Ok(ProfileReport {
+        total_instructions: instr_counts.iter().sum(),
+        block_counts,
+        cycles: core.stats().cycles,
+        instr_counts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stitch_isa::{Cond, ProgramBuilder, Reg};
+
+    #[test]
+    fn counts_loop_iterations() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 100);
+        let top = b.bound_label();
+        b.addi(Reg::R1, Reg::R1, -1);
+        b.branch(Cond::Ne, Reg::R1, Reg::R0, top);
+        b.halt();
+        let p = b.build().unwrap();
+        let r = profile_program(&p, 1_000_000).unwrap();
+        assert_eq!(r.instr_counts[1], 100);
+        assert_eq!(r.instr_counts[2], 100);
+        assert_eq!(r.instr_counts[0], 1);
+        assert_eq!(r.total_instructions, 202);
+    }
+
+    #[test]
+    fn hot_blocks_found() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 1000);
+        let top = b.bound_label();
+        b.add(Reg::R2, Reg::R2, Reg::R1);
+        b.addi(Reg::R1, Reg::R1, -1);
+        b.branch(Cond::Ne, Reg::R1, Reg::R0, top);
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        let r = profile_program(&p, 1_000_000).unwrap();
+        let hot = r.hot_blocks(&cfg, crate::HOT_THRESHOLD);
+        assert_eq!(hot.len(), 1, "only the loop body is hot");
+        let hb = &cfg.blocks[hot[0]];
+        assert!(hb.succs.contains(&hb.id), "hot block is the loop");
+    }
+
+    #[test]
+    fn non_terminating_program_errors() {
+        let mut b = ProgramBuilder::new();
+        let top = b.bound_label();
+        b.jump(top);
+        let p = b.build().unwrap();
+        assert!(matches!(
+            profile_program(&p, 10_000),
+            Err(CompilerError::Profile(_))
+        ));
+    }
+
+    #[test]
+    fn byte_memory_semantics() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 0x100);
+        b.li(Reg::R2, 0xAB);
+        b.sb(Reg::R2, Reg::R1, 1);
+        b.lw(Reg::R3, Reg::R1, 0);
+        b.halt();
+        let p = b.build().unwrap();
+        let r = profile_program(&p, 1_000).unwrap();
+        assert!(r.total_instructions >= 4);
+    }
+}

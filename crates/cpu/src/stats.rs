@@ -1,0 +1,98 @@
+//! Per-core execution statistics (inputs to the power model).
+
+/// Counters collected by one core during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Total cycles consumed (including stalls).
+    pub cycles: u64,
+    /// Instructions committed.
+    pub instructions: u64,
+    /// Committed ALU/shift operations.
+    pub alu_ops: u64,
+    /// Committed multiplies.
+    pub mul_ops: u64,
+    /// Committed loads/stores (core path, not LMAU).
+    pub mem_ops: u64,
+    /// Committed custom instructions.
+    pub custom_ops: u64,
+    /// Custom instructions that executed on a fused patch pair.
+    pub fused_ops: u64,
+    /// Committed branches.
+    pub branches: u64,
+    /// Branches taken.
+    pub branches_taken: u64,
+    /// Cycles stalled on instruction fetch misses.
+    pub fetch_stall_cycles: u64,
+    /// Cycles stalled on data memory.
+    pub mem_stall_cycles: u64,
+    /// Cycles spent polling for a message in `recv`.
+    pub recv_wait_cycles: u64,
+    /// Words sent through the NIC.
+    pub words_sent: u64,
+    /// Words received through the NIC.
+    pub words_received: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of cycles spent waiting for messages (load imbalance
+    /// indicator used by the stitching discussion in §VI-C).
+    #[must_use]
+    pub fn recv_wait_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.recv_wait_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Merges another core's counters into this one (chip-level totals).
+    pub fn merge(&mut self, other: &CoreStats) {
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+        self.alu_ops += other.alu_ops;
+        self.mul_ops += other.mul_ops;
+        self.mem_ops += other.mem_ops;
+        self.custom_ops += other.custom_ops;
+        self.fused_ops += other.fused_ops;
+        self.branches += other.branches;
+        self.branches_taken += other.branches_taken;
+        self.fetch_stall_cycles += other.fetch_stall_cycles;
+        self.mem_stall_cycles += other.mem_stall_cycles;
+        self.recv_wait_cycles += other.recv_wait_cycles;
+        self.words_sent += other.words_sent;
+        self.words_received += other.words_received;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_wait_fraction() {
+        let s = CoreStats { cycles: 100, instructions: 50, recv_wait_cycles: 25, ..Default::default() };
+        assert!((s.ipc() - 0.5).abs() < 1e-12);
+        assert!((s.recv_wait_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(CoreStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = CoreStats { cycles: 10, instructions: 5, ..Default::default() };
+        let b = CoreStats { cycles: 7, instructions: 3, mul_ops: 2, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.cycles, 17);
+        assert_eq!(a.instructions, 8);
+        assert_eq!(a.mul_ops, 2);
+    }
+}

@@ -1,0 +1,416 @@
+//! Text assembler for W32.
+//!
+//! Accepts the same mnemonics that [`crate::instr::Instr`]'s `Display`
+//! implementation produces, so a [`crate::Program`] listing re-assembles to
+//! an identical program. Also supports named labels, `;`/`#` comments and
+//! the `li`/`mv`/`j`/`jr` pseudo instructions.
+//!
+//! ```
+//! let src = "
+//!     li   r1, 5
+//! loop:
+//!     addi r1, r1, -1
+//!     bne  r1, r0, loop
+//!     halt
+//! ";
+//! let program = stitch_isa::asm::assemble(src).unwrap();
+//! assert_eq!(program.instrs.len(), 4);
+//! ```
+
+use crate::custom::{CiId, CustomInstr};
+use crate::instr::{Cond, Instr, Operand, Width};
+use crate::op::AluOp;
+use crate::reg::Reg;
+use crate::IsaError;
+use std::collections::HashMap;
+
+/// Assembles W32 source text into a [`crate::Program`].
+///
+/// Note the custom-instruction *table* cannot be expressed in text — the
+/// assembled program references CI ids that the caller must define.
+///
+/// # Errors
+///
+/// Returns [`IsaError::Parse`] with the offending line on syntax errors and
+/// [`IsaError::UnboundLabel`] for unresolved label references.
+pub fn assemble(source: &str) -> Result<crate::Program, IsaError> {
+    let mut instrs: Vec<Instr> = Vec::new();
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    // (instr index, label name, line) fixups for forward references.
+    let mut fixups: Vec<(usize, String, usize)> = Vec::new();
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = raw;
+        if let Some(pos) = text.find([';', '#']) {
+            text = &text[..pos];
+        }
+        let mut text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+        // Leading labels, possibly several on one line.
+        while let Some(colon) = text.find(':') {
+            let (name, rest) = text.split_at(colon);
+            let name = name.trim();
+            if name.chars().all(|c| c.is_ascii_digit()) && !name.is_empty() {
+                // Numeric address prefix as emitted by `Program::listing()`.
+                text = rest[1..].trim();
+                continue;
+            }
+            if name.is_empty() || !is_ident(name) {
+                break;
+            }
+            if labels.insert(name.to_string(), instrs.len() as u32).is_some() {
+                return Err(IsaError::DuplicateLabel(name.to_string()));
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        parse_instr(text, line, &mut instrs, &mut fixups)?;
+    }
+
+    for (idx, name, line) in fixups {
+        let target = match name.strip_prefix('@') {
+            Some(abs) => abs
+                .parse::<u32>()
+                .map_err(|_| IsaError::Parse { line, msg: format!("bad target `{name}`") })?,
+            None => *labels.get(&name).ok_or_else(|| IsaError::UnboundLabel(name.clone()))?,
+        };
+        match &mut instrs[idx] {
+            Instr::Branch { target: t, .. } | Instr::Jal { target: t, .. } => *t = target,
+            other => unreachable!("fixup on non-branch {other:?}"),
+        }
+    }
+
+    Ok(crate::Program { instrs, ..Default::default() })
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+fn err(line: usize, msg: impl Into<String>) -> IsaError {
+    IsaError::Parse { line, msg: msg.into() }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, IsaError> {
+    tok.parse().map_err(|_| err(line, format!("bad register `{tok}`")))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, IsaError> {
+    let tok = tok.trim();
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, tok),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| err(line, format!("bad immediate `{tok}`")))?;
+    Ok(if neg { -value } else { value })
+}
+
+/// Splits `"12(sp)"` into offset and base register.
+fn parse_mem(tok: &str, line: usize) -> Result<(i32, Reg), IsaError> {
+    let open = tok.find('(').ok_or_else(|| err(line, format!("expected `off(base)`: `{tok}`")))?;
+    let close =
+        tok.rfind(')').ok_or_else(|| err(line, format!("missing `)` in `{tok}`")))?;
+    let off_txt = tok[..open].trim();
+    let offset = if off_txt.is_empty() { 0 } else { parse_imm(off_txt, line)? as i32 };
+    let base = parse_reg(tok[open + 1..close].trim(), line)?;
+    Ok((offset, base))
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_instr(
+    text: &str,
+    line: usize,
+    instrs: &mut Vec<Instr>,
+    fixups: &mut Vec<(usize, String, usize)>,
+) -> Result<(), IsaError> {
+    let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (text, ""),
+    };
+    let args: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else if mnemonic == "custom" {
+        vec![rest]
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let want = |n: usize| -> Result<(), IsaError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(err(line, format!("`{mnemonic}` expects {n} operands, got {}", args.len())))
+        }
+    };
+
+    match mnemonic {
+        "nop" => {
+            want(0)?;
+            instrs.push(Instr::Nop);
+        }
+        "halt" => {
+            want(0)?;
+            instrs.push(Instr::Halt);
+        }
+        "lui" => {
+            want(2)?;
+            instrs.push(Instr::Lui {
+                rd: parse_reg(args[0], line)?,
+                imm: parse_imm(args[1], line)? as u32,
+            });
+        }
+        "li" => {
+            want(2)?;
+            let mut b = crate::ProgramBuilder::new();
+            b.li(parse_reg(args[0], line)?, parse_imm(args[1], line)?);
+            instrs.extend(b.build().expect("li never fails").instrs);
+        }
+        "mv" => {
+            want(2)?;
+            instrs.push(Instr::Alu {
+                op: AluOp::Add,
+                rd: parse_reg(args[0], line)?,
+                rs1: parse_reg(args[1], line)?,
+                src2: Operand::Reg(Reg::R0),
+            });
+        }
+        "lw" | "lh" | "lb" => {
+            want(2)?;
+            let (offset, base) = parse_mem(args[1], line)?;
+            instrs.push(Instr::Load {
+                w: width_for(mnemonic),
+                rd: parse_reg(args[0], line)?,
+                base,
+                offset,
+            });
+        }
+        "sw" | "sh" | "sb" => {
+            want(2)?;
+            let (offset, base) = parse_mem(args[1], line)?;
+            instrs.push(Instr::Store {
+                w: width_for(mnemonic),
+                rs: parse_reg(args[0], line)?,
+                base,
+                offset,
+            });
+        }
+        "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+            want(3)?;
+            let cond = Cond::ALL
+                .into_iter()
+                .find(|c| c.mnemonic() == mnemonic)
+                .expect("mnemonic matched above");
+            fixups.push((instrs.len(), args[2].to_string(), line));
+            instrs.push(Instr::Branch {
+                cond,
+                rs1: parse_reg(args[0], line)?,
+                rs2: parse_reg(args[1], line)?,
+                target: u32::MAX,
+            });
+        }
+        "j" => {
+            want(1)?;
+            fixups.push((instrs.len(), args[0].to_string(), line));
+            instrs.push(Instr::Jal { rd: Reg::R0, target: u32::MAX });
+        }
+        "jal" => {
+            want(2)?;
+            fixups.push((instrs.len(), args[1].to_string(), line));
+            instrs.push(Instr::Jal { rd: parse_reg(args[0], line)?, target: u32::MAX });
+        }
+        "jr" => {
+            want(1)?;
+            instrs.push(Instr::Jalr { rd: Reg::R0, rs: parse_reg(args[0], line)? });
+        }
+        "jalr" => {
+            want(2)?;
+            instrs.push(Instr::Jalr {
+                rd: parse_reg(args[0], line)?,
+                rs: parse_reg(args[1], line)?,
+            });
+        }
+        "send" | "recv" => {
+            want(3)?;
+            let (a, b, c) = (
+                parse_reg(args[0], line)?,
+                parse_reg(args[1], line)?,
+                parse_reg(args[2], line)?,
+            );
+            instrs.push(if mnemonic == "send" {
+                Instr::Send { dst: a, addr: b, len: c }
+            } else {
+                Instr::Recv { src: a, addr: b, len: c }
+            });
+        }
+        "custom" => {
+            want(1)?;
+            instrs.push(Instr::Custom(parse_custom(args[0], line)?));
+        }
+        _ => {
+            // ALU mnemonics, with optional `i` suffix for immediates.
+            let (op, imm_form) = match AluOp::from_mnemonic(mnemonic) {
+                Some(op) => (op, false),
+                None => {
+                    let base = mnemonic
+                        .strip_suffix('i')
+                        .and_then(AluOp::from_mnemonic)
+                        .ok_or_else(|| err(line, format!("unknown mnemonic `{mnemonic}`")))?;
+                    (base, true)
+                }
+            };
+            want(3)?;
+            let rd = parse_reg(args[0], line)?;
+            let rs1 = parse_reg(args[1], line)?;
+            let src2 = if imm_form {
+                Operand::Imm(parse_imm(args[2], line)? as i32)
+            } else {
+                Operand::Reg(parse_reg(args[2], line)?)
+            };
+            instrs.push(Instr::Alu { op, rd, rs1, src2 });
+        }
+    }
+    Ok(())
+}
+
+fn width_for(mnemonic: &str) -> Width {
+    match mnemonic.as_bytes()[1] {
+        b'b' => Width::Byte,
+        b'h' => Width::Half,
+        _ => Width::Word,
+    }
+}
+
+/// Parses `ci3 [r1, r2] -> [r3]`.
+fn parse_custom(text: &str, line: usize) -> Result<CustomInstr, IsaError> {
+    let text = text.trim();
+    let (id_txt, rest) = text
+        .split_once('[')
+        .ok_or_else(|| err(line, "custom expects `ciN [ins] -> [outs]`"))?;
+    let id_txt = id_txt.trim();
+    let id: u16 = id_txt
+        .strip_prefix("ci")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(line, format!("bad ci id `{id_txt}`")))?;
+    let (ins_txt, rest) =
+        rest.split_once(']').ok_or_else(|| err(line, "missing `]` after inputs"))?;
+    let rest = rest.trim();
+    let rest = rest
+        .strip_prefix("->")
+        .ok_or_else(|| err(line, "missing `->` in custom instruction"))?
+        .trim();
+    let outs_txt = rest
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err(line, "missing `[outs]`"))?;
+    let parse_list = |txt: &str| -> Result<Vec<Reg>, IsaError> {
+        txt.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| parse_reg(s, line))
+            .collect()
+    };
+    let ins = parse_list(ins_txt)?;
+    let outs = parse_list(outs_txt)?;
+    CustomInstr::new(CiId(id), &ins, &outs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_loop() {
+        let p = assemble(
+            "
+            ; simple countdown
+            li r1, 5
+        loop:
+            addi r1, r1, -1   # body
+            bne r1, r0, loop
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.instrs.len(), 4);
+        assert_eq!(
+            p.instrs[2],
+            Instr::Branch { cond: Cond::Ne, rs1: Reg::R1, rs2: Reg::R0, target: 1 }
+        );
+    }
+
+    #[test]
+    fn memory_operands() {
+        let p = assemble("lw r1, 8(sp)\nsw r1, -4(r2)\nlb r3, (r4)\nhalt").unwrap();
+        assert_eq!(p.instrs[0], Instr::Load { w: Width::Word, rd: Reg::R1, base: Reg::SP, offset: 8 });
+        assert_eq!(
+            p.instrs[1],
+            Instr::Store { w: Width::Word, rs: Reg::R1, base: Reg::R2, offset: -4 }
+        );
+        assert_eq!(p.instrs[2], Instr::Load { w: Width::Byte, rd: Reg::R3, base: Reg::R4, offset: 0 });
+    }
+
+    #[test]
+    fn custom_round_trip() {
+        let p = assemble("custom ci7 [r1, r2, r3] -> [r4, r5]").unwrap();
+        match &p.instrs[0] {
+            Instr::Custom(ci) => {
+                assert_eq!(ci.ci, CiId(7));
+                assert_eq!(ci.inputs(), &[Reg::R1, Reg::R2, Reg::R3]);
+                assert_eq!(ci.outputs(), &[Reg::R4, Reg::R5]);
+            }
+            other => panic!("expected custom, got {other}"),
+        }
+    }
+
+    #[test]
+    fn listing_reassembles() {
+        let src = "
+            li r1, 70000
+            mulh r2, r1, r1
+            sll r3, r2, r1
+        top:
+            addi r3, r3, 1
+            blt r3, r1, top
+            jal lr, top
+            jr lr
+            send r1, r2, r3
+            recv r1, r2, r3
+            halt
+        ";
+        let p1 = assemble(src).unwrap();
+        let p2 = assemble(&p1.listing()).unwrap();
+        assert_eq!(p1.instrs, p2.instrs);
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        match assemble("nop\nbogus r1, r2") {
+            Err(IsaError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(matches!(assemble("bne r1, r0, missing"), Err(IsaError::UnboundLabel(_))));
+        assert!(matches!(assemble("x: nop\nx: nop"), Err(IsaError::DuplicateLabel(_))));
+    }
+
+    #[test]
+    fn hex_immediates() {
+        let p = assemble("li r1, 0xFF\nandi r2, r1, 0x0F\nhalt").unwrap();
+        assert_eq!(p.instrs[0], Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::R1,
+            rs1: Reg::R0,
+            src2: Operand::Imm(255)
+        });
+    }
+}

@@ -1,0 +1,302 @@
+//! Custom-instruction (ISE) descriptors.
+//!
+//! A custom instruction encapsulates an application-specific computational
+//! pattern (paper §I). In the binary it is a *two-word* instruction carrying
+//! up to four input and two output register specifiers plus an index into
+//! the binary's **CI table**. Each table entry records which patch class
+//! executes the instruction and the 19-bit control word per patch — fused
+//! instructions carry two control words (38 bits), matching the 166-bit
+//! inter-patch link of the paper (4x32 data + 38 control).
+
+use crate::reg::Reg;
+use crate::IsaError;
+use std::fmt;
+
+/// Maximum number of input operands of a custom instruction (paper §IV).
+pub const MAX_CI_INPUTS: usize = 4;
+/// Maximum number of output operands of a custom instruction.
+pub const MAX_CI_OUTPUTS: usize = 2;
+/// Width of one patch control word in bits (paper §III-A).
+pub const CONTROL_BITS: u32 = 19;
+
+/// Identifier of a custom instruction within a binary's CI table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CiId(pub u16);
+
+impl fmt::Display for CiId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ci{}", self.0)
+    }
+}
+
+/// The three heterogeneous polymorphic patch classes of the paper, plus the
+/// LOCUS-style conventional special functional unit used as a baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PatchClass {
+    /// ALU+LMAU stage followed by multiplier+ALU stage.
+    AtMa,
+    /// ALU+LMAU stage followed by ALU+shifter stage.
+    AtAs,
+    /// ALU+LMAU stage followed by shifter+ALU stage.
+    AtSa,
+    /// LOCUS's configurable special functional unit: an operation-chain
+    /// accelerator *without* local-memory (T) support and without fusion.
+    LocusSfu,
+}
+
+impl PatchClass {
+    /// The three Stitch patch classes (excluding the LOCUS baseline unit).
+    pub const STITCH: [PatchClass; 3] = [PatchClass::AtMa, PatchClass::AtAs, PatchClass::AtSa];
+
+    /// Name as printed in the paper (`{AT-MA}` etc.).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PatchClass::AtMa => "{AT-MA}",
+            PatchClass::AtAs => "{AT-AS}",
+            PatchClass::AtSa => "{AT-SA}",
+            PatchClass::LocusSfu => "LOCUS-SFU",
+        }
+    }
+}
+
+impl fmt::Display for PatchClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// One stage of a custom instruction: a patch class plus its packed 19-bit
+/// control word. Fused instructions have two stages, executed by two
+/// different physical patches connected through the inter-patch NoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CiStage {
+    /// Which patch class executes this stage.
+    pub class: PatchClass,
+    /// Packed control word (19 significant bits; see `stitch-patch`).
+    pub control: u32,
+}
+
+impl CiStage {
+    /// Creates a stage, masking the control word to 19 bits.
+    #[must_use]
+    pub fn new(class: PatchClass, control: u32) -> Self {
+        CiStage { class, control: control & ((1 << CONTROL_BITS) - 1) }
+    }
+}
+
+/// An entry of a binary's custom-instruction table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CiDescriptor {
+    /// Identifier referenced by `Instr::Custom`.
+    pub id: CiId,
+    /// Human-readable name (e.g. `"fft_butterfly"`).
+    pub name: String,
+    /// One stage for a single-patch instruction, two for a fused one.
+    pub stages: Vec<CiStage>,
+    /// Number of software instructions this CI replaces (used for
+    /// statistics and speedup accounting; zero when unknown).
+    pub covers: u32,
+}
+
+impl CiDescriptor {
+    /// Creates a single-patch descriptor.
+    #[must_use]
+    pub fn single(id: CiId, name: impl Into<String>, stage: CiStage) -> Self {
+        CiDescriptor { id, name: name.into(), stages: vec![stage], covers: 0 }
+    }
+
+    /// Creates a fused (two-patch) descriptor.
+    #[must_use]
+    pub fn fused(id: CiId, name: impl Into<String>, first: CiStage, second: CiStage) -> Self {
+        CiDescriptor { id, name: name.into(), stages: vec![first, second], covers: 0 }
+    }
+
+    /// `true` if the instruction spans two stitched patches.
+    #[must_use]
+    pub fn is_fused(&self) -> bool {
+        self.stages.len() == 2
+    }
+
+    /// Total control bits carried by the instruction (19 or 38).
+    #[must_use]
+    pub fn control_bits(&self) -> u32 {
+        CONTROL_BITS * self.stages.len() as u32
+    }
+}
+
+/// The custom-instruction table of one binary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CiTable {
+    entries: Vec<CiDescriptor>,
+}
+
+impl CiTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a descriptor, assigning it the next free id.
+    ///
+    /// The passed descriptor's `id` field is overwritten.
+    pub fn push(&mut self, mut desc: CiDescriptor) -> CiId {
+        let id = CiId(self.entries.len() as u16);
+        desc.id = id;
+        self.entries.push(desc);
+        id
+    }
+
+    /// Looks up a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::UnknownCi`] when the id is not present.
+    pub fn get(&self, id: CiId) -> Result<&CiDescriptor, IsaError> {
+        self.entries.get(id.0 as usize).ok_or(IsaError::UnknownCi(id.0))
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no custom instruction is defined.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all descriptors in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &CiDescriptor> {
+        self.entries.iter()
+    }
+}
+
+/// A custom instruction as it appears in the program text: a CI-table
+/// reference plus its register operands (up to 4 inputs, 2 outputs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CustomInstr {
+    /// Index into the binary's [`CiTable`].
+    pub ci: CiId,
+    ins: [Reg; MAX_CI_INPUTS],
+    n_ins: u8,
+    outs: [Reg; MAX_CI_OUTPUTS],
+    n_outs: u8,
+}
+
+impl CustomInstr {
+    /// Creates a custom instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::BadCiArity`] if more than 4 inputs or 2 outputs
+    /// are supplied (the register-file port constraint of the paper).
+    pub fn new(ci: CiId, inputs: &[Reg], outputs: &[Reg]) -> Result<Self, IsaError> {
+        if inputs.len() > MAX_CI_INPUTS || outputs.len() > MAX_CI_OUTPUTS {
+            return Err(IsaError::BadCiArity { inputs: inputs.len(), outputs: outputs.len() });
+        }
+        let mut ins = [Reg::R0; MAX_CI_INPUTS];
+        ins[..inputs.len()].copy_from_slice(inputs);
+        let mut outs = [Reg::R0; MAX_CI_OUTPUTS];
+        outs[..outputs.len()].copy_from_slice(outputs);
+        Ok(CustomInstr {
+            ci,
+            ins,
+            n_ins: inputs.len() as u8,
+            outs,
+            n_outs: outputs.len() as u8,
+        })
+    }
+
+    /// Input registers, in operand order.
+    #[must_use]
+    pub fn inputs(&self) -> &[Reg] {
+        &self.ins[..self.n_ins as usize]
+    }
+
+    /// Output registers, in operand order.
+    #[must_use]
+    pub fn outputs(&self) -> &[Reg] {
+        &self.outs[..self.n_outs as usize]
+    }
+
+    /// The four raw input slots (unused slots read as `r0`, i.e. zero) —
+    /// this is exactly the 4-word data payload on the inter-patch link.
+    #[must_use]
+    pub fn input_slots(&self) -> [Reg; MAX_CI_INPUTS] {
+        self.ins
+    }
+}
+
+impl fmt::Display for CustomInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "custom {}", self.ci)?;
+        write!(f, " [")?;
+        for (i, r) in self.inputs().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "] -> [")?;
+        for (i, r) in self.outputs().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_enforced() {
+        let five = [Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5];
+        assert!(matches!(
+            CustomInstr::new(CiId(0), &five, &[Reg::R6]),
+            Err(IsaError::BadCiArity { inputs: 5, outputs: 1 })
+        ));
+        let three_out = [Reg::R1, Reg::R2, Reg::R3];
+        assert!(CustomInstr::new(CiId(0), &[Reg::R1], &three_out).is_err());
+        let ok = CustomInstr::new(CiId(3), &[Reg::R1, Reg::R2], &[Reg::R3]).unwrap();
+        assert_eq!(ok.inputs(), &[Reg::R1, Reg::R2]);
+        assert_eq!(ok.outputs(), &[Reg::R3]);
+        assert_eq!(ok.input_slots(), [Reg::R1, Reg::R2, Reg::R0, Reg::R0]);
+    }
+
+    #[test]
+    fn table_assigns_ids() {
+        let mut t = CiTable::new();
+        let s = CiStage::new(PatchClass::AtMa, 0x7_FFFF);
+        let a = t.push(CiDescriptor::single(CiId(99), "a", s));
+        let b = t.push(CiDescriptor::fused(CiId(99), "b", s, CiStage::new(PatchClass::AtAs, 1)));
+        assert_eq!(a, CiId(0));
+        assert_eq!(b, CiId(1));
+        assert_eq!(t.get(a).unwrap().name, "a");
+        assert!(!t.get(a).unwrap().is_fused());
+        assert!(t.get(b).unwrap().is_fused());
+        assert_eq!(t.get(b).unwrap().control_bits(), 38);
+        assert!(t.get(CiId(2)).is_err());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn control_masked_to_19_bits() {
+        let s = CiStage::new(PatchClass::AtSa, 0xFFFF_FFFF);
+        assert_eq!(s.control, (1 << 19) - 1);
+    }
+
+    #[test]
+    fn display() {
+        let ci = CustomInstr::new(CiId(2), &[Reg::R1, Reg::R2], &[Reg::R3, Reg::R4]).unwrap();
+        assert_eq!(ci.to_string(), "custom ci2 [r1, r2] -> [r3, r4]");
+        assert_eq!(PatchClass::AtMa.to_string(), "{AT-MA}");
+    }
+}

@@ -1,0 +1,228 @@
+//! ALU operations and the A/S/M/T operation classes of the paper.
+
+use std::fmt;
+
+/// Operation classes used throughout the paper (§III-A).
+///
+/// 'Hot' computational patterns are characterized as chains over these four
+/// classes; the patch templates are named after them (`{AT-MA}` etc.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpClass {
+    /// Arithmetic and logical operations.
+    A,
+    /// Shift operations.
+    S,
+    /// Multiplication.
+    M,
+    /// Local (scratchpad) memory access.
+    T,
+}
+
+impl OpClass {
+    /// Single-letter name as used in the paper ("A", "S", "M", "T").
+    #[must_use]
+    pub fn letter(self) -> char {
+        match self {
+            OpClass::A => 'A',
+            OpClass::S => 'S',
+            OpClass::M => 'M',
+            OpClass::T => 'T',
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// Register-to-register operations executable by the core's function unit
+/// and by patch ALU/shift/multiply stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AluOp {
+    /// Two's-complement addition.
+    Add,
+    /// Two's-complement subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise NOR.
+    Nor,
+    /// Set-if-less-than, signed (result 0/1).
+    Slt,
+    /// Set-if-less-than, unsigned (result 0/1).
+    Sltu,
+    /// Logical shift left (amount masked to 5 bits).
+    Sll,
+    /// Logical shift right.
+    Srl,
+    /// Arithmetic shift right.
+    Sra,
+    /// Low 32 bits of the product.
+    Mul,
+    /// High 32 bits of the signed product.
+    Mulh,
+}
+
+impl AluOp {
+    /// All operations, in encoding order.
+    pub const ALL: [AluOp; 13] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Nor,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Mul,
+        AluOp::Mulh,
+    ];
+
+    /// The paper's operation class of this op.
+    #[must_use]
+    pub fn class(self) -> OpClass {
+        match self {
+            AluOp::Add
+            | AluOp::Sub
+            | AluOp::And
+            | AluOp::Or
+            | AluOp::Xor
+            | AluOp::Nor
+            | AluOp::Slt
+            | AluOp::Sltu => OpClass::A,
+            AluOp::Sll | AluOp::Srl | AluOp::Sra => OpClass::S,
+            AluOp::Mul | AluOp::Mulh => OpClass::M,
+        }
+    }
+
+    /// Evaluates the operation on two 32-bit values, with wrapping
+    /// semantics identical to the hardware datapath.
+    ///
+    /// ```
+    /// use stitch_isa::AluOp;
+    /// assert_eq!(AluOp::Add.eval(u32::MAX, 1), 0);
+    /// assert_eq!(AluOp::Sra.eval(0x8000_0000, 31), 0xFFFF_FFFF);
+    /// assert_eq!(AluOp::Slt.eval(u32::MAX, 0), 1); // -1 < 0 signed
+    /// assert_eq!(AluOp::Sltu.eval(u32::MAX, 0), 0);
+    /// ```
+    #[must_use]
+    pub fn eval(self, a: u32, b: u32) -> u32 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Nor => !(a | b),
+            AluOp::Slt => u32::from((a as i32) < (b as i32)),
+            AluOp::Sltu => u32::from(a < b),
+            AluOp::Sll => a.wrapping_shl(b & 31),
+            AluOp::Srl => a.wrapping_shr(b & 31),
+            AluOp::Sra => ((a as i32).wrapping_shr(b & 31)) as u32,
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Mulh => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
+        }
+    }
+
+    /// Encoding index (stable across the crate's binary format).
+    #[must_use]
+    pub fn code(self) -> u8 {
+        Self::ALL
+            .iter()
+            .position(|&op| op == self)
+            .expect("op present in ALL") as u8
+    }
+
+    /// Inverse of [`AluOp::code`].
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<AluOp> {
+        Self::ALL.get(code as usize).copied()
+    }
+
+    /// Assembly mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Nor => "nor",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Mul => "mul",
+            AluOp::Mulh => "mulh",
+        }
+    }
+
+    /// Parses a mnemonic (without the `i` immediate suffix).
+    #[must_use]
+    pub fn from_mnemonic(s: &str) -> Option<AluOp> {
+        Self::ALL.iter().copied().find(|op| op.mnemonic() == s)
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes() {
+        assert_eq!(AluOp::Add.class(), OpClass::A);
+        assert_eq!(AluOp::Nor.class(), OpClass::A);
+        assert_eq!(AluOp::Sll.class(), OpClass::S);
+        assert_eq!(AluOp::Sra.class(), OpClass::S);
+        assert_eq!(AluOp::Mul.class(), OpClass::M);
+        assert_eq!(AluOp::Mulh.class(), OpClass::M);
+    }
+
+    #[test]
+    fn code_round_trip() {
+        for op in AluOp::ALL {
+            assert_eq!(AluOp::from_code(op.code()), Some(op));
+            assert_eq!(AluOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(AluOp::from_code(13), None);
+        assert_eq!(AluOp::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn eval_semantics() {
+        assert_eq!(AluOp::Add.eval(2, 3), 5);
+        assert_eq!(AluOp::Sub.eval(2, 3), u32::MAX);
+        assert_eq!(AluOp::And.eval(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.eval(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.eval(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Nor.eval(0, 0), u32::MAX);
+        assert_eq!(AluOp::Sll.eval(1, 4), 16);
+        assert_eq!(AluOp::Sll.eval(1, 36), 16, "shift amount masked to 5 bits");
+        assert_eq!(AluOp::Srl.eval(0x8000_0000, 31), 1);
+        assert_eq!(AluOp::Mul.eval(7, 6), 42);
+        assert_eq!(AluOp::Mulh.eval(0x8000_0000, 2), 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn class_letters() {
+        assert_eq!(OpClass::A.to_string(), "A");
+        assert_eq!(OpClass::T.letter(), 'T');
+    }
+}

@@ -1,0 +1,448 @@
+//! Program container and the label-based builder used to write kernels.
+
+use crate::custom::{CiDescriptor, CiId, CiTable, CustomInstr};
+use crate::instr::{Cond, Instr, Operand, Width};
+use crate::op::AluOp;
+use crate::reg::Reg;
+use crate::IsaError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A forward-referenceable position in the program text.
+///
+/// Created by [`ProgramBuilder::label`], bound with
+/// [`ProgramBuilder::bind`], and usable as a branch/jump target before or
+/// after binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// An initialized data region loaded into memory before execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataSegment {
+    /// Base byte address (word aligned).
+    pub base: u32,
+    /// Word contents.
+    pub words: Vec<u32>,
+}
+
+/// A complete, linked W32 program: instruction text with resolved targets,
+/// initialized data, the custom-instruction table, and named symbols.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Instruction text; control-flow targets are absolute indices into
+    /// this vector.
+    pub instrs: Vec<Instr>,
+    /// Initialized data segments.
+    pub data: Vec<DataSegment>,
+    /// Custom-instruction descriptors referenced by `Instr::Custom`.
+    pub ci_table: CiTable,
+    /// Named addresses (for tests and host-side result inspection).
+    pub symbols: HashMap<String, u32>,
+}
+
+impl Program {
+    /// Total size of the text in 32-bit words (custom instructions count
+    /// twice).
+    #[must_use]
+    pub fn text_words(&self) -> u32 {
+        self.instrs.iter().map(Instr::words).sum()
+    }
+
+    /// Number of static custom instructions in the text.
+    #[must_use]
+    pub fn custom_count(&self) -> usize {
+        self.instrs.iter().filter(|i| matches!(i, Instr::Custom(_))).count()
+    }
+
+    /// Looks up a symbol's address.
+    #[must_use]
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Renders the program as assembly listing (one instruction per line).
+    #[must_use]
+    pub fn listing(&self) -> String {
+        let mut s = String::new();
+        for (i, instr) in self.instrs.iter().enumerate() {
+            use std::fmt::Write;
+            let _ = writeln!(s, "{i:5}: {instr}");
+        }
+        s
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.listing())
+    }
+}
+
+/// Incremental builder for [`Program`]s with forward labels and pseudo
+/// instructions.
+///
+/// ```
+/// use stitch_isa::{ProgramBuilder, Reg, Cond};
+///
+/// # fn main() -> Result<(), stitch_isa::IsaError> {
+/// let mut b = ProgramBuilder::new();
+/// let loop_top = b.label();
+/// b.li(Reg::R4, 10);
+/// b.bind(loop_top)?;
+/// b.addi(Reg::R4, Reg::R4, -1);
+/// b.branch(Cond::Ne, Reg::R4, Reg::R0, loop_top);
+/// b.halt();
+/// let p = b.build()?;
+/// assert_eq!(p.instrs.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instr>,
+    // Parallel map of instruction index -> pending label target for
+    // branches/jumps that used labels.
+    pending: Vec<(usize, Label)>,
+    labels: Vec<Option<u32>>,
+    data: Vec<DataSegment>,
+    ci_table: CiTable,
+    symbols: HashMap<String, u32>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index of the *next* instruction to be emitted.
+    #[must_use]
+    pub fn here(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::DuplicateLabel`] if already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), IsaError> {
+        let slot = &mut self.labels[label.0];
+        if slot.is_some() {
+            return Err(IsaError::DuplicateLabel(format!("L{}", label.0)));
+        }
+        *slot = Some(self.instrs.len() as u32);
+        Ok(())
+    }
+
+    /// Creates a label already bound to the current position.
+    pub fn bound_label(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l).expect("fresh label cannot be bound");
+        l
+    }
+
+    /// Records a named symbol (an address for host-side inspection).
+    pub fn symbol(&mut self, name: impl Into<String>, addr: u32) {
+        self.symbols.insert(name.into(), addr);
+    }
+
+    /// Adds an initialized data segment.
+    pub fn data_segment(&mut self, base: u32, words: impl Into<Vec<u32>>) {
+        self.data.push(DataSegment { base, words: words.into() });
+    }
+
+    /// Registers a custom-instruction descriptor, returning its id.
+    pub fn define_ci(&mut self, desc: CiDescriptor) -> CiId {
+        self.ci_table.push(desc)
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, instr: Instr) -> &mut Self {
+        self.instrs.push(instr);
+        self
+    }
+
+    // ---- primary mnemonics -------------------------------------------------
+
+    /// `nop`
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Instr::Nop)
+    }
+
+    /// `halt`
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Instr::Halt)
+    }
+
+    /// Register-register ALU op.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.emit(Instr::Alu { op, rd, rs1, src2: Operand::Reg(rs2) })
+    }
+
+    /// Register-immediate ALU op (11-bit signed immediate).
+    pub fn alui(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.emit(Instr::Alu { op, rd, rs1, src2: Operand::Imm(imm) })
+    }
+
+    /// `lui rd, imm20`
+    pub fn lui(&mut self, rd: Reg, imm: u32) -> &mut Self {
+        self.emit(Instr::Lui { rd, imm })
+    }
+
+    /// `lw rd, offset(base)`
+    pub fn lw(&mut self, rd: Reg, base: Reg, offset: i32) -> &mut Self {
+        self.emit(Instr::Load { w: Width::Word, rd, base, offset })
+    }
+
+    /// `lb rd, offset(base)` (zero-extending byte load)
+    pub fn lb(&mut self, rd: Reg, base: Reg, offset: i32) -> &mut Self {
+        self.emit(Instr::Load { w: Width::Byte, rd, base, offset })
+    }
+
+    /// `sw rs, offset(base)`
+    pub fn sw(&mut self, rs: Reg, base: Reg, offset: i32) -> &mut Self {
+        self.emit(Instr::Store { w: Width::Word, rs, base, offset })
+    }
+
+    /// `sb rs, offset(base)`
+    pub fn sb(&mut self, rs: Reg, base: Reg, offset: i32) -> &mut Self {
+        self.emit(Instr::Store { w: Width::Byte, rs, base, offset })
+    }
+
+    /// Conditional branch to a label.
+    pub fn branch(&mut self, cond: Cond, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
+        self.pending.push((self.instrs.len(), target));
+        self.emit(Instr::Branch { cond, rs1, rs2, target: u32::MAX })
+    }
+
+    /// Unconditional jump to a label.
+    pub fn jump(&mut self, target: Label) -> &mut Self {
+        self.pending.push((self.instrs.len(), target));
+        self.emit(Instr::Jal { rd: Reg::R0, target: u32::MAX })
+    }
+
+    /// Call (jump-and-link) to a label, writing `lr`.
+    pub fn call(&mut self, target: Label) -> &mut Self {
+        self.pending.push((self.instrs.len(), target));
+        self.emit(Instr::Jal { rd: Reg::LR, target: u32::MAX })
+    }
+
+    /// Return through `lr`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.emit(Instr::Jalr { rd: Reg::R0, rs: Reg::LR })
+    }
+
+    /// Custom instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::BadCiArity`] on more than 4 inputs / 2 outputs.
+    pub fn custom(&mut self, ci: CiId, ins: &[Reg], outs: &[Reg]) -> Result<&mut Self, IsaError> {
+        let c = CustomInstr::new(ci, ins, outs)?;
+        Ok(self.emit(Instr::Custom(c)))
+    }
+
+    /// `send dst_tile, addr, len` (all registers).
+    pub fn send(&mut self, dst: Reg, addr: Reg, len: Reg) -> &mut Self {
+        self.emit(Instr::Send { dst, addr, len })
+    }
+
+    /// `recv src_tile, addr, len` (all registers).
+    pub fn recv(&mut self, src: Reg, addr: Reg, len: Reg) -> &mut Self {
+        self.emit(Instr::Recv { src, addr, len })
+    }
+
+    // ---- pseudo instructions ----------------------------------------------
+
+    /// Loads an arbitrary 32-bit constant (1 or 2 instructions,
+    /// RISC-V-style `lui`+`addi` with round-up correction).
+    pub fn li(&mut self, rd: Reg, value: i64) -> &mut Self {
+        let v = value as u32;
+        if (-2048..2048).contains(&value) {
+            return self.alui(AluOp::Add, rd, Reg::R0, value as i32);
+        }
+        let mut low = (v & 0xFFF) as i32;
+        if low >= 0x800 {
+            low -= 0x1000;
+        }
+        // `lui` places imm20 << 12; pick the upper part so that
+        // upper<<12 + low == v with wrapping arithmetic.
+        let upper = (v.wrapping_sub(low as u32) >> 12) & 0xF_FFFF;
+        self.lui(rd, upper);
+        if low != 0 {
+            self.alui(AluOp::Add, rd, rd, low);
+        }
+        self
+    }
+
+    /// Register move.
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.alu(AluOp::Add, rd, rs, Reg::R0)
+    }
+
+    /// Shorthand `add`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Add, rd, rs1, rs2)
+    }
+
+    /// Shorthand `addi`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.alui(AluOp::Add, rd, rs1, imm)
+    }
+
+    /// Shorthand `sub`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Sub, rd, rs1, rs2)
+    }
+
+    /// Shorthand `mul`.
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Mul, rd, rs1, rs2)
+    }
+
+    /// Shift-left-logical immediate.
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, amount: i32) -> &mut Self {
+        self.alui(AluOp::Sll, rd, rs1, amount)
+    }
+
+    /// Shift-right-logical immediate.
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, amount: i32) -> &mut Self {
+        self.alui(AluOp::Srl, rd, rs1, amount)
+    }
+
+    /// Shift-right-arithmetic immediate.
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, amount: i32) -> &mut Self {
+        self.alui(AluOp::Sra, rd, rs1, amount)
+    }
+
+    /// Bitwise-and immediate.
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.alui(AluOp::And, rd, rs1, imm)
+    }
+
+    /// Bitwise-xor immediate.
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.alui(AluOp::Xor, rd, rs1, imm)
+    }
+
+    // ---- finishing ---------------------------------------------------------
+
+    /// Resolves labels and produces the [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::UnboundLabel`] if any referenced label was never
+    /// bound.
+    pub fn build(mut self) -> Result<Program, IsaError> {
+        for (idx, label) in std::mem::take(&mut self.pending) {
+            let target = self.labels[label.0]
+                .ok_or_else(|| IsaError::UnboundLabel(format!("L{}", label.0)))?;
+            match &mut self.instrs[idx] {
+                Instr::Branch { target: t, .. } | Instr::Jal { target: t, .. } => *t = target,
+                other => unreachable!("pending fixup on non-branch {other:?}"),
+            }
+        }
+        Ok(Program {
+            instrs: self.instrs,
+            data: self.data,
+            ci_table: self.ci_table,
+            symbols: self.symbols,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut b = ProgramBuilder::new();
+        let fwd = b.label();
+        let back = b.bound_label();
+        b.addi(Reg::R1, Reg::R1, 1);
+        b.branch(Cond::Ne, Reg::R1, Reg::R2, back);
+        b.jump(fwd);
+        b.bind(fwd).unwrap();
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(
+            p.instrs[1],
+            Instr::Branch { cond: Cond::Ne, rs1: Reg::R1, rs2: Reg::R2, target: 0 }
+        );
+        assert_eq!(p.instrs[2], Instr::Jal { rd: Reg::R0, target: 3 });
+    }
+
+    #[test]
+    fn unbound_label_rejected() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.jump(l);
+        assert!(matches!(b.build(), Err(IsaError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn duplicate_bind_rejected() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.bind(l).unwrap();
+        assert!(matches!(b.bind(l), Err(IsaError::DuplicateLabel(_))));
+    }
+
+    #[test]
+    fn li_small_is_single_instruction() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 42);
+        b.li(Reg::R2, -42);
+        let p = b.build().unwrap();
+        assert_eq!(p.instrs.len(), 2);
+    }
+
+    #[test]
+    fn text_words_counts_custom_twice() {
+        let mut b = ProgramBuilder::new();
+        use crate::custom::{CiDescriptor, CiStage, PatchClass};
+        let id = b.define_ci(CiDescriptor::single(
+            CiId(0),
+            "t",
+            CiStage::new(PatchClass::AtMa, 0),
+        ));
+        b.custom(id, &[Reg::R1], &[Reg::R2]).unwrap();
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.instrs.len(), 2);
+        assert_eq!(p.text_words(), 3);
+        assert_eq!(p.custom_count(), 1);
+    }
+
+    #[test]
+    fn symbols_and_data() {
+        let mut b = ProgramBuilder::new();
+        b.symbol("result", 0x100);
+        b.data_segment(0x200, vec![1, 2, 3]);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.symbol("result"), Some(0x100));
+        assert_eq!(p.symbol("missing"), None);
+        assert_eq!(p.data[0].words, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn listing_contains_mnemonics() {
+        let mut b = ProgramBuilder::new();
+        b.addi(Reg::R1, Reg::R0, 5);
+        b.halt();
+        let p = b.build().unwrap();
+        let listing = p.listing();
+        assert!(listing.contains("addi r1, r0, 5"));
+        assert!(listing.contains("halt"));
+    }
+}

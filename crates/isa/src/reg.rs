@@ -1,0 +1,206 @@
+//! Architectural registers of the W32 ISA.
+
+use std::fmt;
+
+/// One of the 32 general-purpose registers.
+///
+/// `R0` is hardwired to zero: reads return `0` and writes are discarded, as
+/// in most RISC ISAs. By software convention `R29` is the stack pointer and
+/// `R30` the link register; the assembler accepts `sp`, `lr` and `zero` as
+/// aliases.
+///
+/// ```
+/// use stitch_isa::Reg;
+/// assert_eq!(Reg::from_index(29), Some(Reg::SP));
+/// assert_eq!(Reg::SP.index(), 29);
+/// assert_eq!("sp".parse::<Reg>().unwrap(), Reg::SP);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Reg {
+    #[default]
+    R0 = 0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+    R16,
+    R17,
+    R18,
+    R19,
+    R20,
+    R21,
+    R22,
+    R23,
+    R24,
+    R25,
+    R26,
+    R27,
+    R28,
+    R29,
+    R30,
+    R31,
+}
+
+impl Reg {
+    /// The constant-zero register.
+    pub const ZERO: Reg = Reg::R0;
+    /// Stack pointer by software convention.
+    pub const SP: Reg = Reg::R29;
+    /// Link register written by `jal`/`call`.
+    pub const LR: Reg = Reg::R30;
+
+    /// All 32 registers in index order.
+    #[must_use]
+    pub fn all() -> [Reg; 32] {
+        let mut out = [Reg::R0; 32];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = Reg::from_index(i as u8).expect("index < 32");
+        }
+        out
+    }
+
+    /// Numeric index `0..=31`.
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// Builds a register from its numeric index, if in range.
+    #[must_use]
+    pub fn from_index(idx: u8) -> Option<Reg> {
+        if idx < 32 {
+            // SAFETY-free: exhaustive table lookup instead of transmute.
+            const TABLE: [Reg; 32] = [
+                Reg::R0,
+                Reg::R1,
+                Reg::R2,
+                Reg::R3,
+                Reg::R4,
+                Reg::R5,
+                Reg::R6,
+                Reg::R7,
+                Reg::R8,
+                Reg::R9,
+                Reg::R10,
+                Reg::R11,
+                Reg::R12,
+                Reg::R13,
+                Reg::R14,
+                Reg::R15,
+                Reg::R16,
+                Reg::R17,
+                Reg::R18,
+                Reg::R19,
+                Reg::R20,
+                Reg::R21,
+                Reg::R22,
+                Reg::R23,
+                Reg::R24,
+                Reg::R25,
+                Reg::R26,
+                Reg::R27,
+                Reg::R28,
+                Reg::R29,
+                Reg::R30,
+                Reg::R31,
+            ];
+            Some(TABLE[idx as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` for the hardwired-zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self == Reg::R0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Reg::R29 => write!(f, "sp"),
+            Reg::R30 => write!(f, "lr"),
+            r => write!(f, "r{}", r.index()),
+        }
+    }
+}
+
+impl std::str::FromStr for Reg {
+    type Err = ParseRegError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "zero" => return Ok(Reg::ZERO),
+            "sp" => return Ok(Reg::SP),
+            "lr" => return Ok(Reg::LR),
+            _ => {}
+        }
+        let rest = lower.strip_prefix('r').ok_or(ParseRegError)?;
+        let idx: u8 = rest.parse().map_err(|_| ParseRegError)?;
+        Reg::from_index(idx).ok_or(ParseRegError)
+    }
+}
+
+/// Error returned when a register name cannot be parsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseRegError;
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register name")
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in 0..32u8 {
+            let r = Reg::from_index(i).unwrap();
+            assert_eq!(r.index(), i);
+        }
+        assert_eq!(Reg::from_index(32), None);
+        assert_eq!(Reg::from_index(255), None);
+    }
+
+    #[test]
+    fn display_and_parse() {
+        assert_eq!(Reg::R7.to_string(), "r7");
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::LR.to_string(), "lr");
+        for r in Reg::all() {
+            let parsed: Reg = r.to_string().parse().unwrap();
+            assert_eq!(parsed, r);
+        }
+        assert_eq!("zero".parse::<Reg>().unwrap(), Reg::R0);
+        assert!("r32".parse::<Reg>().is_err());
+        assert!("x1".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::R0.is_zero());
+        assert!(!Reg::R1.is_zero());
+        assert_eq!(Reg::default(), Reg::R0);
+    }
+}

@@ -1,0 +1,628 @@
+//! AES-128 encryption/decryption kernels (APP3 encrypts anomalous
+//! images, APP4 decrypts/encrypts sensor data, paper §VI-A).
+//!
+//! The state is held one byte per 32-bit word so that S-box lookups
+//! become word loads from the scratchpad — the `sll; add; lw` chains are
+//! exactly the `{AT-SA}`-shaped patterns the patches accelerate. All
+//! GF(2^8) arithmetic is branchless (`xtime` via shift/mask idioms).
+
+use crate::{synth_input, Kernel, KernelSpec, OUTPUT_BASE, SPM};
+use stitch_isa::op::AluOp;
+use stitch_isa::program::ProgramBuilder;
+use stitch_isa::{Cond, Reg};
+
+/// The AES S-box (FIPS-197).
+pub const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+fn inv_sbox() -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    for (i, &v) in SBOX.iter().enumerate() {
+        inv[v as usize] = i as u8;
+    }
+    inv
+}
+
+fn xtime(a: u8) -> u8 {
+    (a << 1) ^ (((a >> 7) & 1) * 0x1B)
+}
+
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    acc
+}
+
+/// Expands an AES-128 key into 176 round-key bytes.
+#[must_use]
+pub fn expand_key(key: &[u8; 16]) -> Vec<u8> {
+    const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36];
+    let mut w = key.to_vec();
+    for i in 4..44 {
+        let mut t = [
+            w[(i - 1) * 4],
+            w[(i - 1) * 4 + 1],
+            w[(i - 1) * 4 + 2],
+            w[(i - 1) * 4 + 3],
+        ];
+        if i % 4 == 0 {
+            t.rotate_left(1);
+            for v in &mut t {
+                *v = SBOX[*v as usize];
+            }
+            t[0] ^= RCON[i / 4 - 1];
+        }
+        for k in 0..4 {
+            let b = w[(i - 4) * 4 + k] ^ t[k];
+            w.push(b);
+        }
+    }
+    w
+}
+
+/// Encrypts one block (bytes, column-major state order as in FIPS-197).
+#[must_use]
+pub fn aes_encrypt_block(rk: &[u8], block: &[u8; 16]) -> [u8; 16] {
+    let mut s = *block;
+    let ark = |s: &mut [u8; 16], round: usize| {
+        for i in 0..16 {
+            s[i] ^= rk[round * 16 + i];
+        }
+    };
+    let sub = |s: &mut [u8; 16]| {
+        for v in s.iter_mut() {
+            *v = SBOX[*v as usize];
+        }
+    };
+    let shift = |s: &mut [u8; 16]| {
+        let old = *s;
+        for r in 0..4 {
+            for c in 0..4 {
+                s[r + 4 * c] = old[r + 4 * ((c + r) % 4)];
+            }
+        }
+    };
+    let mix = |s: &mut [u8; 16]| {
+        for c in 0..4 {
+            let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+            let t = col[0] ^ col[1] ^ col[2] ^ col[3];
+            for k in 0..4 {
+                s[4 * c + k] = col[k] ^ t ^ xtime(col[k] ^ col[(k + 1) % 4]);
+            }
+        }
+    };
+    ark(&mut s, 0);
+    for round in 1..10 {
+        sub(&mut s);
+        shift(&mut s);
+        mix(&mut s);
+        ark(&mut s, round);
+    }
+    sub(&mut s);
+    shift(&mut s);
+    ark(&mut s, 10);
+    s
+}
+
+/// Decrypts one block (inverse cipher, FIPS-197 §5.3).
+#[must_use]
+pub fn aes_decrypt_block(rk: &[u8], block: &[u8; 16]) -> [u8; 16] {
+    let inv = inv_sbox();
+    let mut s = *block;
+    let ark = |s: &mut [u8; 16], round: usize| {
+        for i in 0..16 {
+            s[i] ^= rk[round * 16 + i];
+        }
+    };
+    let inv_sub = |s: &mut [u8; 16]| {
+        for v in s.iter_mut() {
+            *v = inv[*v as usize];
+        }
+    };
+    let inv_shift = |s: &mut [u8; 16]| {
+        let old = *s;
+        for r in 0..4 {
+            for c in 0..4 {
+                s[r + 4 * c] = old[r + 4 * ((c + 4 - r) % 4)];
+            }
+        }
+    };
+    let inv_mix = |s: &mut [u8; 16]| {
+        for c in 0..4 {
+            let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+            for k in 0..4 {
+                s[4 * c + k] = gmul(col[k], 14)
+                    ^ gmul(col[(k + 1) % 4], 11)
+                    ^ gmul(col[(k + 2) % 4], 13)
+                    ^ gmul(col[(k + 3) % 4], 9);
+            }
+        }
+    };
+    ark(&mut s, 10);
+    for round in (1..10).rev() {
+        inv_shift(&mut s);
+        inv_sub(&mut s);
+        ark(&mut s, round);
+        inv_mix(&mut s);
+    }
+    inv_shift(&mut s);
+    inv_sub(&mut s);
+    ark(&mut s, 0);
+    s
+}
+
+/// The fixed benchmark key.
+fn bench_key() -> [u8; 16] {
+    let mut k = [0u8; 16];
+    for (i, v) in synth_input(0xAE5, 16, 0xFF).iter().enumerate() {
+        k[i] = *v as u8;
+    }
+    k
+}
+
+// ---------------------------------------------------------------------
+// Shared assembly emission
+// ---------------------------------------------------------------------
+
+/// Scratchpad layout (word addresses) for the AES kernels.
+struct Layout {
+    input: u32,
+    sbox: u32,
+    rk: u32,
+    perm: u32,
+    tmp: u32,
+    state: u32,
+}
+
+fn layout(blocks: u32) -> Layout {
+    let input = SPM;
+    let sbox = input + blocks * 16 * 4;
+    let rk = sbox + 256 * 4;
+    let perm = rk + 176 * 4;
+    let tmp = perm + 16 * 4;
+    // One spare word behind `tmp` (offset 64) is used by the decryptor
+    // to stash its descending round-key cursor.
+    let state = tmp + 17 * 4;
+    assert!(state + 16 * 4 <= SPM + 4096, "AES layout exceeds the 4 KB SPM");
+    Layout { input, sbox, rk, perm, tmp, state }
+}
+
+/// Constant registers used throughout the AES bodies.
+mod regs {
+    use stitch_isa::Reg;
+    pub const SBOX_BASE: Reg = Reg::R11;
+    pub const STATE_BASE: Reg = Reg::R16;
+    pub const TMP_BASE: Reg = Reg::R15;
+    pub const FOUR: Reg = Reg::R14;
+    pub const MASK_FF: Reg = Reg::R13;
+    pub const TWO: Reg = Reg::R12;
+    pub const SEVEN: Reg = Reg::R17;
+    pub const POLY: Reg = Reg::R19; // 0x1B
+    // Loop/cursor registers.
+    pub const BLOCKS: Reg = Reg::R8;
+    pub const IN_PTR: Reg = Reg::R7;
+    pub const OUT_PTR: Reg = Reg::R6;
+    pub const RK_PTR: Reg = Reg::R9;
+    pub const ROUNDS: Reg = Reg::R5;
+}
+
+/// `state[i] ^= *rk_ptr++` for 16 bytes (advances the round-key cursor).
+fn emit_ark(b: &mut ProgramBuilder) {
+    use regs::{FOUR, RK_PTR, STATE_BASE};
+    b.mv(Reg::R1, STATE_BASE);
+    b.li(Reg::R3, 16);
+    let top = b.bound_label();
+    b.lw(Reg::R4, Reg::R1, 0);
+    b.lw(Reg::R10, RK_PTR, 0);
+    b.alu(AluOp::Xor, Reg::R4, Reg::R4, Reg::R10);
+    b.sw(Reg::R4, Reg::R1, 0);
+    b.add(Reg::R1, Reg::R1, FOUR);
+    b.add(RK_PTR, RK_PTR, FOUR);
+    b.addi(Reg::R3, Reg::R3, -1);
+    b.branch(Cond::Ne, Reg::R3, Reg::R0, top);
+}
+
+/// `state[i] = sbox[state[i]]` for 16 bytes.
+fn emit_subbytes(b: &mut ProgramBuilder) {
+    use regs::{FOUR, SBOX_BASE, STATE_BASE, TWO};
+    b.mv(Reg::R1, STATE_BASE);
+    b.li(Reg::R3, 16);
+    let top = b.bound_label();
+    b.lw(Reg::R4, Reg::R1, 0);
+    b.alu(AluOp::Sll, Reg::R4, Reg::R4, TWO);
+    b.add(Reg::R4, SBOX_BASE, Reg::R4);
+    b.lw(Reg::R4, Reg::R4, 0);
+    b.sw(Reg::R4, Reg::R1, 0);
+    b.add(Reg::R1, Reg::R1, FOUR);
+    b.addi(Reg::R3, Reg::R3, -1);
+    b.branch(Cond::Ne, Reg::R3, Reg::R0, top);
+}
+
+/// `tmp[i] = state[perm[i]]; state = tmp` (perm holds byte offsets x4).
+fn emit_shiftrows(b: &mut ProgramBuilder, perm_base: u32) {
+    use regs::{FOUR, STATE_BASE, TMP_BASE};
+    b.li(Reg::R2, i64::from(perm_base as i32));
+    b.mv(Reg::R1, TMP_BASE);
+    b.li(Reg::R3, 16);
+    let gather = b.bound_label();
+    b.lw(Reg::R4, Reg::R2, 0);
+    b.add(Reg::R4, STATE_BASE, Reg::R4);
+    b.lw(Reg::R4, Reg::R4, 0);
+    b.sw(Reg::R4, Reg::R1, 0);
+    b.add(Reg::R1, Reg::R1, FOUR);
+    b.add(Reg::R2, Reg::R2, FOUR);
+    b.addi(Reg::R3, Reg::R3, -1);
+    b.branch(Cond::Ne, Reg::R3, Reg::R0, gather);
+    // Copy back.
+    b.mv(Reg::R1, TMP_BASE);
+    b.mv(Reg::R2, STATE_BASE);
+    b.li(Reg::R3, 16);
+    let copy = b.bound_label();
+    b.lw(Reg::R4, Reg::R1, 0);
+    b.sw(Reg::R4, Reg::R2, 0);
+    b.add(Reg::R1, Reg::R1, FOUR);
+    b.add(Reg::R2, Reg::R2, FOUR);
+    b.addi(Reg::R3, Reg::R3, -1);
+    b.branch(Cond::Ne, Reg::R3, Reg::R0, copy);
+}
+
+/// Branchless `xtime` of `reg` in place, clobbering `scratch`.
+fn emit_xtime(b: &mut ProgramBuilder, reg: Reg, scratch: Reg) {
+    use regs::{MASK_FF, POLY, SEVEN};
+    b.alu(AluOp::Srl, scratch, reg, SEVEN); // high bit (0/1)
+    b.sub(scratch, Reg::R0, scratch); // 0 or -1
+    b.alu(AluOp::And, scratch, scratch, POLY); // 0 or 0x1B
+    b.add(reg, reg, reg); // << 1
+    b.alu(AluOp::And, reg, reg, MASK_FF);
+    b.alu(AluOp::Xor, reg, reg, scratch);
+}
+
+/// Forward MixColumns, columns unrolled.
+fn emit_mixcolumns(b: &mut ProgramBuilder) {
+    use regs::STATE_BASE;
+    for c in 0..4i32 {
+        // t = b0^b1^b2^b3 in r4.
+        b.lw(Reg::R4, STATE_BASE, 16 * c);
+        for k in 1..4i32 {
+            b.lw(Reg::R10, STATE_BASE, 16 * c + 4 * k);
+            b.alu(AluOp::Xor, Reg::R4, Reg::R4, Reg::R10);
+        }
+        for k in 0..4i32 {
+            b.lw(Reg::R10, STATE_BASE, 16 * c + 4 * k); // b_k
+            b.lw(Reg::R18, STATE_BASE, 16 * c + 4 * ((k + 1) % 4)); // b_k+1
+            b.alu(AluOp::Xor, Reg::R18, Reg::R10, Reg::R18);
+            emit_xtime(b, Reg::R18, Reg::R2);
+            b.alu(AluOp::Xor, Reg::R10, Reg::R10, Reg::R4);
+            b.alu(AluOp::Xor, Reg::R10, Reg::R10, Reg::R18);
+            b.sw(Reg::R10, regs::TMP_BASE, 4 * k);
+        }
+        for k in 0..4i32 {
+            b.lw(Reg::R10, regs::TMP_BASE, 4 * k);
+            b.sw(Reg::R10, STATE_BASE, 16 * c + 4 * k);
+        }
+    }
+}
+
+/// Inverse MixColumns (coefficients 14/11/13/9 via xtime chains).
+fn emit_inv_mixcolumns(b: &mut ProgramBuilder) {
+    use regs::STATE_BASE;
+    for c in 0..4i32 {
+        for k in 0..4i32 {
+            // acc (r4) = 14*b_k ^ 11*b_{k+1} ^ 13*b_{k+2} ^ 9*b_{k+3}
+            b.li(Reg::R4, 0);
+            for (j, coeff) in [(0i32, 14u8), (1, 11), (2, 13), (3, 9)] {
+                b.lw(Reg::R10, STATE_BASE, 16 * c + 4 * ((k + j) % 4));
+                // x1 = b (r10); x2 = xt(x1) (r18); x4, x8 chained.
+                b.mv(Reg::R18, Reg::R10);
+                let mut power = 1u8;
+                let mut acc_started = false;
+                for _ in 0..4 {
+                    if coeff & power != 0 {
+                        if acc_started {
+                            b.alu(AluOp::Xor, Reg::R4, Reg::R4, Reg::R18);
+                        } else {
+                            b.alu(AluOp::Xor, Reg::R4, Reg::R4, Reg::R18);
+                            acc_started = true;
+                        }
+                    }
+                    power <<= 1;
+                    if power <= 8 {
+                        emit_xtime(b, Reg::R18, Reg::R2);
+                    }
+                }
+            }
+            b.sw(Reg::R4, regs::TMP_BASE, 4 * k);
+        }
+        for k in 0..4i32 {
+            b.lw(Reg::R10, regs::TMP_BASE, 4 * k);
+            b.sw(Reg::R10, STATE_BASE, 16 * c + 4 * k);
+        }
+    }
+}
+
+fn shift_perm(inverse: bool) -> Vec<u32> {
+    let mut p = vec![0u32; 16];
+    for r in 0..4usize {
+        for c in 0..4usize {
+            let src = if inverse { (c + 4 - r) % 4 } else { (c + r) % 4 };
+            p[r + 4 * c] = ((r + 4 * src) * 4) as u32;
+        }
+    }
+    p
+}
+
+/// Emits constants + tables shared by both directions.
+fn emit_prologue(b: &mut ProgramBuilder, l: &Layout, sbox_words: Vec<u32>, perm: Vec<u32>, rk: &[u8]) {
+    b.data_segment(l.sbox, sbox_words);
+    b.data_segment(l.perm, perm);
+    b.data_segment(l.rk, rk.iter().map(|&v| u32::from(v)).collect::<Vec<_>>());
+    b.li(regs::SBOX_BASE, i64::from(l.sbox as i32));
+    b.li(regs::STATE_BASE, i64::from(l.state as i32));
+    b.li(regs::TMP_BASE, i64::from(l.tmp as i32));
+    b.li(regs::FOUR, 4);
+    b.li(regs::MASK_FF, 0xFF);
+    b.li(regs::TWO, 2);
+    b.li(regs::SEVEN, 7);
+    b.li(regs::POLY, 0x1B);
+}
+
+/// Copies 16 words between cursors `from`/`to`, advancing both.
+fn emit_copy16(b: &mut ProgramBuilder, from: Reg, to: Reg) {
+    b.li(Reg::R3, 16);
+    let top = b.bound_label();
+    b.lw(Reg::R4, from, 0);
+    b.sw(Reg::R4, to, 0);
+    b.add(from, from, regs::FOUR);
+    b.add(to, to, regs::FOUR);
+    b.addi(Reg::R3, Reg::R3, -1);
+    b.branch(Cond::Ne, Reg::R3, Reg::R0, top);
+}
+
+// ---------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------
+
+/// AES-128 encryption of `blocks` 16-byte blocks (byte-per-word frames).
+#[derive(Debug, Clone)]
+pub struct AesEnc {
+    blocks: u32,
+}
+
+impl AesEnc {
+    /// Number of blocks per frame.
+    #[must_use]
+    pub fn new(blocks: u32) -> Self {
+        AesEnc { blocks }
+    }
+}
+
+impl Kernel for AesEnc {
+    fn spec(&self) -> KernelSpec {
+        KernelSpec {
+            name: "aes",
+            input_addr: SPM,
+            input_words: self.blocks * 16,
+            output_addr: OUTPUT_BASE,
+            output_words: self.blocks * 16,
+        }
+    }
+
+    fn input(&self) -> Vec<u32> {
+        synth_input(0xAE51, (self.blocks * 16) as usize, 0xFF)
+    }
+
+    fn emit_compute(&self, b: &mut ProgramBuilder) {
+        let l = layout(self.blocks);
+        let rk = expand_key(&bench_key());
+        emit_prologue(
+            b,
+            &l,
+            SBOX.iter().map(|&v| u32::from(v)).collect(),
+            shift_perm(false),
+            &rk,
+        );
+        b.li(regs::BLOCKS, i64::from(self.blocks));
+        b.li(regs::IN_PTR, i64::from(l.input as i32));
+        b.li(regs::OUT_PTR, i64::from(OUTPUT_BASE as i32));
+        let block_loop = b.bound_label();
+        // Load the state.
+        b.mv(Reg::R2, regs::STATE_BASE);
+        emit_copy16(b, regs::IN_PTR, Reg::R2);
+        // Round 0 key.
+        b.li(regs::RK_PTR, i64::from(l.rk as i32));
+        emit_ark(b);
+        // Rounds 1..=9.
+        b.li(regs::ROUNDS, 9);
+        let round_loop = b.bound_label();
+        emit_subbytes(b);
+        emit_shiftrows(b, l.perm);
+        emit_mixcolumns(b);
+        emit_ark(b);
+        b.addi(regs::ROUNDS, regs::ROUNDS, -1);
+        b.branch(Cond::Ne, regs::ROUNDS, Reg::R0, round_loop);
+        // Final round.
+        emit_subbytes(b);
+        emit_shiftrows(b, l.perm);
+        emit_ark(b);
+        // Write out.
+        b.mv(Reg::R1, regs::STATE_BASE);
+        emit_copy16(b, Reg::R1, regs::OUT_PTR);
+        b.addi(regs::BLOCKS, regs::BLOCKS, -1);
+        b.branch(Cond::Ne, regs::BLOCKS, Reg::R0, block_loop);
+    }
+
+    fn reference(&self, input: &[u32]) -> Vec<u32> {
+        let rk = expand_key(&bench_key());
+        let mut out = Vec::new();
+        for blk in input.chunks(16) {
+            let mut block = [0u8; 16];
+            for (i, v) in blk.iter().enumerate() {
+                block[i] = *v as u8;
+            }
+            out.extend(aes_encrypt_block(&rk, &block).iter().map(|&v| u32::from(v)));
+        }
+        out
+    }
+}
+
+/// AES-128 decryption (inverse cipher) of `blocks` blocks.
+#[derive(Debug, Clone)]
+pub struct AesDec {
+    blocks: u32,
+}
+
+impl AesDec {
+    /// Number of blocks per frame.
+    #[must_use]
+    pub fn new(blocks: u32) -> Self {
+        AesDec { blocks }
+    }
+}
+
+impl Kernel for AesDec {
+    fn spec(&self) -> KernelSpec {
+        KernelSpec {
+            name: "aesdec",
+            input_addr: SPM,
+            input_words: self.blocks * 16,
+            output_addr: OUTPUT_BASE,
+            output_words: self.blocks * 16,
+        }
+    }
+
+    fn input(&self) -> Vec<u32> {
+        synth_input(0xDEC1, (self.blocks * 16) as usize, 0xFF)
+    }
+
+    fn emit_compute(&self, b: &mut ProgramBuilder) {
+        let l = layout(self.blocks);
+        let rk = expand_key(&bench_key());
+        emit_prologue(
+            b,
+            &l,
+            inv_sbox().iter().map(|&v| u32::from(v)).collect(),
+            shift_perm(true),
+            &rk,
+        );
+        b.li(regs::BLOCKS, i64::from(self.blocks));
+        b.li(regs::IN_PTR, i64::from(l.input as i32));
+        b.li(regs::OUT_PTR, i64::from(OUTPUT_BASE as i32));
+        let block_loop = b.bound_label();
+        b.mv(Reg::R2, regs::STATE_BASE);
+        emit_copy16(b, regs::IN_PTR, Reg::R2);
+        // Round-key cursor walks backward by resetting per round: round
+        // 10 first.
+        b.li(regs::RK_PTR, i64::from((l.rk + 640) as i32)); // rk10: 10 rounds x 16 words x 4 B
+        emit_ark(b);
+        // Rounds 9..=1: InvShiftRows, InvSubBytes, ARK(round), InvMix.
+        b.li(regs::ROUNDS, 9);
+        b.li(Reg::R18, i64::from((l.rk + 576) as i32)); // rk9 cursor (word-per-byte layout)
+        let round_loop = b.bound_label();
+        // Stash the descending rk pointer in tmp[15] while r18 is
+        // clobbered by the body.
+        b.sw(Reg::R18, regs::TMP_BASE, 64);
+        emit_shiftrows(b, l.perm);
+        emit_subbytes(b);
+        b.lw(regs::RK_PTR, regs::TMP_BASE, 64);
+        emit_ark(b);
+        emit_inv_mixcolumns(b);
+        b.lw(Reg::R18, regs::TMP_BASE, 64);
+        b.addi(Reg::R18, Reg::R18, -64);
+        b.addi(regs::ROUNDS, regs::ROUNDS, -1);
+        b.branch(Cond::Ne, regs::ROUNDS, Reg::R0, round_loop);
+        // Final: InvShiftRows, InvSubBytes, ARK(rk0).
+        emit_shiftrows(b, l.perm);
+        emit_subbytes(b);
+        b.li(regs::RK_PTR, i64::from(l.rk as i32));
+        emit_ark(b);
+        b.mv(Reg::R1, regs::STATE_BASE);
+        emit_copy16(b, Reg::R1, regs::OUT_PTR);
+        b.addi(regs::BLOCKS, regs::BLOCKS, -1);
+        b.branch(Cond::Ne, regs::BLOCKS, Reg::R0, block_loop);
+    }
+
+    fn reference(&self, input: &[u32]) -> Vec<u32> {
+        let rk = expand_key(&bench_key());
+        let mut out = Vec::new();
+        for blk in input.chunks(16) {
+            let mut block = [0u8; 16];
+            for (i, v) in blk.iter().enumerate() {
+                block[i] = *v as u8;
+            }
+            out.extend(aes_decrypt_block(&rk, &block).iter().map(|&v| u32::from(v)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS-197 Appendix C.1 known-answer test.
+    #[test]
+    fn fips197_vector() {
+        let key: [u8; 16] =
+            core::array::from_fn(|i| i as u8);
+        let plain: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let expect: [u8; 16] = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        let rk = expand_key(&key);
+        assert_eq!(aes_encrypt_block(&rk, &plain), expect);
+        assert_eq!(aes_decrypt_block(&rk, &expect), plain);
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let enc = AesEnc::new(2);
+        let dec = AesDec::new(2);
+        let plain = enc.input();
+        let cipher = enc.reference(&plain);
+        assert_ne!(cipher, plain);
+        assert_eq!(dec.reference(&cipher), plain);
+    }
+
+    #[test]
+    fn sbox_inverse_is_consistent() {
+        let inv = inv_sbox();
+        for v in 0..=255u8 {
+            assert_eq!(inv[SBOX[v as usize] as usize], v);
+        }
+    }
+
+    #[test]
+    fn xtime_matches_gmul() {
+        for v in 0..=255u8 {
+            assert_eq!(xtime(v), gmul(v, 2));
+        }
+    }
+}

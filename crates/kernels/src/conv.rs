@@ -1,0 +1,339 @@
+//! CNN-style kernels: 2-D convolution, pooling, fully-connected layer
+//! (the building blocks of APP2, paper Fig 9).
+
+use crate::{synth_input, Kernel, KernelSpec, OUTPUT_BASE, SPM};
+use stitch_isa::op::AluOp;
+use stitch_isa::program::ProgramBuilder;
+use stitch_isa::{Cond, Reg};
+
+/// 3x3 Q4 convolution over a `w x h` image (valid padding), with
+/// per-tap rescaling `acc += (pix * coeff) >> 4` — the fixed-point style
+/// whose load-multiply-shift-add chains make 2dconv the showcase for
+/// fused `{AT-MA}`+`{AT-AS}` pairs in the paper (§VI-C).
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    w: u32,
+    h: u32,
+}
+
+impl Conv2d {
+    /// Image width and height (both at least 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics for degenerate image sizes.
+    #[must_use]
+    pub fn new(w: u32, h: u32) -> Self {
+        assert!(w >= 3 && h >= 3);
+        assert!((w * h + 9) * 4 <= 4096, "conv SPM footprint");
+        Conv2d { w, h }
+    }
+
+    fn coeffs(&self) -> Vec<u32> {
+        synth_input(0xC04, 9, 0x3F)
+    }
+}
+
+impl Kernel for Conv2d {
+    fn spec(&self) -> KernelSpec {
+        KernelSpec {
+            name: "2dconv",
+            input_addr: SPM,
+            input_words: self.w * self.h,
+            output_addr: OUTPUT_BASE,
+            output_words: (self.w - 2) * (self.h - 2),
+        }
+    }
+
+    fn input(&self) -> Vec<u32> {
+        synth_input(0xC0C0, (self.w * self.h) as usize, 0xFF)
+    }
+
+    fn emit_compute(&self, b: &mut ProgramBuilder) {
+        let coeff_base = SPM + self.w * self.h * 4;
+        b.data_segment(coeff_base, self.coeffs());
+        // r9 = coefficient base, r10/r11/r12 = row pointers, r13 = out
+        // ptr, r14 = 4, r15 = Q shift (8), r16/r17 = loop counters,
+        // r18 = acc, r1..r5 = tap temps.
+        b.li(Reg::R9, i64::from(coeff_base as i32));
+        b.li(Reg::R13, i64::from(OUTPUT_BASE as i32));
+        b.li(Reg::R14, 4);
+        b.li(Reg::R15, 4); // per-tap Q4 rescale amount
+        b.li(Reg::R10, i64::from(SPM as i32));
+        b.addi(Reg::R11, Reg::R10, (self.w * 4) as i32);
+        b.addi(Reg::R12, Reg::R11, (self.w * 4) as i32);
+        b.li(Reg::R16, i64::from(self.h - 2));
+        let row_loop = b.bound_label();
+        b.li(Reg::R17, i64::from(self.w - 2));
+        let col_loop = b.bound_label();
+        b.li(Reg::R18, 0);
+        b.mv(Reg::R2, Reg::R9); // coefficient cursor
+        // Nine unrolled taps: r1 walks each row, r2 walks coefficients.
+        for (ri, row_reg) in [Reg::R10, Reg::R11, Reg::R12].into_iter().enumerate() {
+            b.mv(Reg::R1, row_reg);
+            for dx in 0..3 {
+                b.lw(Reg::R3, Reg::R1, 0);
+                b.lw(Reg::R4, Reg::R2, 0);
+                b.mul(Reg::R5, Reg::R3, Reg::R4);
+                b.alu(AluOp::Sra, Reg::R5, Reg::R5, Reg::R15);
+                b.add(Reg::R18, Reg::R18, Reg::R5);
+                if dx < 2 {
+                    b.add(Reg::R1, Reg::R1, Reg::R14);
+                }
+                if !(ri == 2 && dx == 2) {
+                    b.add(Reg::R2, Reg::R2, Reg::R14);
+                }
+            }
+        }
+        b.sw(Reg::R18, Reg::R13, 0);
+        b.add(Reg::R13, Reg::R13, Reg::R14);
+        b.add(Reg::R10, Reg::R10, Reg::R14);
+        b.add(Reg::R11, Reg::R11, Reg::R14);
+        b.add(Reg::R12, Reg::R12, Reg::R14);
+        b.addi(Reg::R17, Reg::R17, -1);
+        b.branch(Cond::Ne, Reg::R17, Reg::R0, col_loop);
+        // Skip the two edge columns.
+        b.add(Reg::R10, Reg::R10, Reg::R14);
+        b.add(Reg::R10, Reg::R10, Reg::R14);
+        b.add(Reg::R11, Reg::R11, Reg::R14);
+        b.add(Reg::R11, Reg::R11, Reg::R14);
+        b.add(Reg::R12, Reg::R12, Reg::R14);
+        b.add(Reg::R12, Reg::R12, Reg::R14);
+        b.addi(Reg::R16, Reg::R16, -1);
+        b.branch(Cond::Ne, Reg::R16, Reg::R0, row_loop);
+    }
+
+    fn reference(&self, input: &[u32]) -> Vec<u32> {
+        let c = self.coeffs();
+        let (w, h) = (self.w as usize, self.h as usize);
+        let mut out = Vec::new();
+        for y in 0..h - 2 {
+            for x in 0..w - 2 {
+                let mut acc: i32 = 0;
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        let pix = input[(y + ky) * w + x + kx] as i32;
+                        acc = acc
+                            .wrapping_add(pix.wrapping_mul(c[ky * 3 + kx] as i32) >> 4);
+                    }
+                }
+                out.push(acc as u32);
+            }
+        }
+        out
+    }
+}
+
+/// 2x2 max pooling with stride 2 (branchless maxima).
+#[derive(Debug, Clone)]
+pub struct Pool2x2 {
+    w: u32,
+    h: u32,
+}
+
+impl Pool2x2 {
+    /// Image width and height (even, at least 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics for odd or degenerate sizes.
+    #[must_use]
+    pub fn new(w: u32, h: u32) -> Self {
+        assert!(w >= 2 && h >= 2 && w.is_multiple_of(2) && h.is_multiple_of(2));
+        assert!(w * h * 4 <= 4096, "pool SPM footprint");
+        Pool2x2 { w, h }
+    }
+}
+
+impl Kernel for Pool2x2 {
+    fn spec(&self) -> KernelSpec {
+        KernelSpec {
+            name: "pool",
+            input_addr: SPM,
+            input_words: self.w * self.h,
+            output_addr: OUTPUT_BASE,
+            output_words: (self.w / 2) * (self.h / 2),
+        }
+    }
+
+    fn input(&self) -> Vec<u32> {
+        synth_input(0x9001, (self.w * self.h) as usize, 0xFFF)
+    }
+
+    fn emit_compute(&self, b: &mut ProgramBuilder) {
+        // r10 = row0 ptr, r11 = row1 ptr, r13 = out, r14 = 4, r12 = 8.
+        b.li(Reg::R10, i64::from(SPM as i32));
+        b.addi(Reg::R11, Reg::R10, (self.w * 4) as i32);
+        b.li(Reg::R13, i64::from(OUTPUT_BASE as i32));
+        b.li(Reg::R14, 4);
+        b.li(Reg::R12, 8);
+        b.li(Reg::R15, 31);
+        b.li(Reg::R16, i64::from(self.h / 2));
+        let row_loop = b.bound_label();
+        b.li(Reg::R17, i64::from(self.w / 2));
+        let col_loop = b.bound_label();
+        // Load the 2x2 quad.
+        b.lw(Reg::R1, Reg::R10, 0);
+        b.add(Reg::R5, Reg::R10, Reg::R14);
+        b.lw(Reg::R2, Reg::R5, 0);
+        b.lw(Reg::R3, Reg::R11, 0);
+        b.add(Reg::R5, Reg::R11, Reg::R14);
+        b.lw(Reg::R4, Reg::R5, 0);
+        // Branchless max(a,b) = a + ((b-a) & ~((b-a)>>31)).
+        for pair in [(Reg::R1, Reg::R2), (Reg::R3, Reg::R4)] {
+            b.sub(Reg::R6, pair.1, pair.0);
+            b.alu(AluOp::Sra, Reg::R7, Reg::R6, Reg::R15); // needs r15=31
+            b.alu(AluOp::Nor, Reg::R7, Reg::R7, Reg::R7); // ~mask
+            b.alu(AluOp::And, Reg::R6, Reg::R6, Reg::R7);
+            b.add(pair.0, pair.0, Reg::R6);
+        }
+        b.sub(Reg::R6, Reg::R3, Reg::R1);
+        b.alu(AluOp::Sra, Reg::R7, Reg::R6, Reg::R15);
+        b.alu(AluOp::Nor, Reg::R7, Reg::R7, Reg::R7);
+        b.alu(AluOp::And, Reg::R6, Reg::R6, Reg::R7);
+        b.add(Reg::R1, Reg::R1, Reg::R6);
+        b.sw(Reg::R1, Reg::R13, 0);
+        b.add(Reg::R13, Reg::R13, Reg::R14);
+        b.add(Reg::R10, Reg::R10, Reg::R12);
+        b.add(Reg::R11, Reg::R11, Reg::R12);
+        b.addi(Reg::R17, Reg::R17, -1);
+        b.branch(Cond::Ne, Reg::R17, Reg::R0, col_loop);
+        // Advance both row pointers by one extra row.
+        b.li(Reg::R5, i64::from(self.w * 4));
+        b.add(Reg::R10, Reg::R10, Reg::R5);
+        b.add(Reg::R11, Reg::R11, Reg::R5);
+        b.addi(Reg::R16, Reg::R16, -1);
+        b.branch(Cond::Ne, Reg::R16, Reg::R0, row_loop);
+    }
+
+    fn reference(&self, input: &[u32]) -> Vec<u32> {
+        let (w, h) = (self.w as usize, self.h as usize);
+        let mut out = Vec::new();
+        for y in (0..h).step_by(2) {
+            for x in (0..w).step_by(2) {
+                let quad = [
+                    input[y * w + x] as i32,
+                    input[y * w + x + 1] as i32,
+                    input[(y + 1) * w + x] as i32,
+                    input[(y + 1) * w + x + 1] as i32,
+                ];
+                out.push(*quad.iter().max().expect("nonempty") as u32);
+            }
+        }
+        out
+    }
+}
+
+/// Fully-connected layer with ReLU: `out[o] = max(0, (W[o] . x) >> 8)`.
+#[derive(Debug, Clone)]
+pub struct FullyConnected {
+    inputs: u32,
+    outputs: u32,
+}
+
+impl FullyConnected {
+    /// Layer dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics when inputs + weights exceed the scratchpad.
+    #[must_use]
+    pub fn new(inputs: u32, outputs: u32) -> Self {
+        assert!((inputs + inputs * outputs) * 4 <= 4096, "fc SPM footprint");
+        FullyConnected { inputs, outputs }
+    }
+
+    fn weights(&self) -> Vec<u32> {
+        synth_input(0xFC + self.outputs, (self.inputs * self.outputs) as usize, 0x7F)
+    }
+}
+
+impl Kernel for FullyConnected {
+    fn spec(&self) -> KernelSpec {
+        KernelSpec {
+            name: "fc",
+            input_addr: SPM,
+            input_words: self.inputs,
+            output_addr: OUTPUT_BASE,
+            output_words: self.outputs,
+        }
+    }
+
+    fn input(&self) -> Vec<u32> {
+        synth_input(0xFCFC, self.inputs as usize, 0xFF)
+    }
+
+    fn emit_compute(&self, b: &mut ProgramBuilder) {
+        let w_base = SPM + self.inputs * 4;
+        b.data_segment(w_base, self.weights());
+        b.li(Reg::R10, 4);
+        b.li(Reg::R11, 8);
+        b.li(Reg::R15, 31);
+        b.li(Reg::R12, i64::from(w_base as i32)); // weight ptr (runs on)
+        b.li(Reg::R13, i64::from(OUTPUT_BASE as i32));
+        b.li(Reg::R9, i64::from(self.outputs));
+        let out_loop = b.bound_label();
+        b.li(Reg::R1, i64::from(SPM as i32));
+        b.li(Reg::R3, 0);
+        b.li(Reg::R4, i64::from(self.inputs));
+        let dot = b.bound_label();
+        b.lw(Reg::R5, Reg::R1, 0);
+        b.lw(Reg::R6, Reg::R12, 0);
+        b.mul(Reg::R7, Reg::R5, Reg::R6);
+        b.add(Reg::R3, Reg::R3, Reg::R7);
+        b.add(Reg::R1, Reg::R1, Reg::R10);
+        b.add(Reg::R12, Reg::R12, Reg::R10);
+        b.addi(Reg::R4, Reg::R4, -1);
+        b.branch(Cond::Ne, Reg::R4, Reg::R0, dot);
+        b.alu(AluOp::Sra, Reg::R3, Reg::R3, Reg::R11);
+        // ReLU: x & ~(x >> 31).
+        b.alu(AluOp::Sra, Reg::R7, Reg::R3, Reg::R15);
+        b.alu(AluOp::Nor, Reg::R7, Reg::R7, Reg::R7);
+        b.alu(AluOp::And, Reg::R3, Reg::R3, Reg::R7);
+        b.sw(Reg::R3, Reg::R13, 0);
+        b.add(Reg::R13, Reg::R13, Reg::R10);
+        b.addi(Reg::R9, Reg::R9, -1);
+        b.branch(Cond::Ne, Reg::R9, Reg::R0, out_loop);
+    }
+
+    fn reference(&self, input: &[u32]) -> Vec<u32> {
+        let w = self.weights();
+        (0..self.outputs as usize)
+            .map(|o| {
+                let mut acc: i32 = 0;
+                for i in 0..self.inputs as usize {
+                    acc = acc.wrapping_add(
+                        (input[i] as i32).wrapping_mul(w[o * self.inputs as usize + i] as i32),
+                    );
+                }
+                let v = acc >> 8;
+                v.max(0) as u32
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shapes() {
+        let k = Conv2d::new(8, 6);
+        assert_eq!(k.reference(&k.input()).len(), 6 * 4);
+    }
+
+    #[test]
+    fn pool_takes_maxima() {
+        let k = Pool2x2::new(4, 2);
+        let out = k.reference(&[1, 9, 3, 4, 5, 2, 8, 7]);
+        assert_eq!(out, vec![9, 8]);
+    }
+
+    #[test]
+    fn relu_clamps() {
+        let k = FullyConnected::new(4, 2);
+        let out = k.reference(&[0, 0, 0, 0]);
+        assert_eq!(out, vec![0, 0]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Dynamic time warping (the transport context-detection workhorse of
+//! APP4, paper §VI-A).
+
+use crate::{synth_input, Kernel, KernelSpec, OUTPUT_BASE, SPM};
+use stitch_isa::op::AluOp;
+use stitch_isa::program::ProgramBuilder;
+use stitch_isa::{Cond, Reg};
+
+/// DTW distance between two length-`n` sequences with a rolling
+/// two-row DP matrix, branchless `|.|` and `min` (shift/mask idioms that
+/// favour the `{AT-AS}`/`{AT-SA}` patches — the paper observes dtw
+/// benefits most from `{AT-AS}`).
+///
+/// Input frame: `[a[0..n], b[0..n]]`; output: the DTW distance.
+#[derive(Debug, Clone)]
+pub struct Dtw {
+    n: u32,
+}
+
+impl Dtw {
+    /// Sequence length (`>= 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n < 2`.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        assert!(n >= 2);
+        assert!((4 * n + 2) * 4 <= 4096, "dtw SPM footprint");
+        Dtw { n }
+    }
+}
+
+/// Large-but-safe "infinity" for the DP borders (avoids overflow when
+/// summed with costs).
+const INF: i64 = 0x0FFF_FFFF;
+
+impl Kernel for Dtw {
+    fn spec(&self) -> KernelSpec {
+        KernelSpec {
+            name: "dtw",
+            input_addr: SPM,
+            input_words: 2 * self.n,
+            output_addr: OUTPUT_BASE,
+            output_words: 1,
+        }
+    }
+
+    fn input(&self) -> Vec<u32> {
+        synth_input(0xD70, (2 * self.n) as usize, 0x3FF)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn emit_compute(&self, b: &mut ProgramBuilder) {
+        let n = self.n;
+        let a_base = SPM;
+        let b_base = SPM + 4 * n;
+        let prev_base = SPM + 8 * n; // n+1 entries
+        let curr_base = prev_base + 4 * (n + 1);
+
+        // Constants: r14 = 4, r15 = 31.
+        b.li(Reg::R14, 4);
+        b.li(Reg::R15, 31);
+
+        // Initialize prev row: [0, INF, INF, ...].
+        b.li(Reg::R1, i64::from(prev_base as i32));
+        b.sw(Reg::R0, Reg::R1, 0);
+        b.li(Reg::R2, INF);
+        b.li(Reg::R3, i64::from(n));
+        b.add(Reg::R1, Reg::R1, Reg::R14);
+        let init = b.bound_label();
+        b.sw(Reg::R2, Reg::R1, 0);
+        b.add(Reg::R1, Reg::R1, Reg::R14);
+        b.addi(Reg::R3, Reg::R3, -1);
+        b.branch(Cond::Ne, Reg::R3, Reg::R0, init);
+
+        // Outer loop over i (rows): r10 = a ptr, r9 = row count,
+        // r11 = prev ptr, r12 = curr ptr (swapped each row).
+        b.li(Reg::R10, i64::from(a_base as i32));
+        b.li(Reg::R9, i64::from(n));
+        b.li(Reg::R11, i64::from(prev_base as i32));
+        b.li(Reg::R12, i64::from(curr_base as i32));
+        let row_loop = b.bound_label();
+        // curr[0] = INF.
+        b.li(Reg::R2, INF);
+        b.sw(Reg::R2, Reg::R12, 0);
+        // a_i in r13.
+        b.lw(Reg::R13, Reg::R10, 0);
+        // Inner loop over j: r1 = b ptr, r2 = prev ptr cursor
+        // (&prev[j-1]), r3 = curr cursor (&curr[j-1]), r4 = count.
+        b.li(Reg::R1, i64::from(b_base as i32));
+        b.mv(Reg::R2, Reg::R11);
+        b.mv(Reg::R3, Reg::R12);
+        b.li(Reg::R4, i64::from(n));
+        let col_loop = b.bound_label();
+        // cost = |a_i - b_j|
+        b.lw(Reg::R5, Reg::R1, 0);
+        b.sub(Reg::R5, Reg::R13, Reg::R5);
+        b.alu(AluOp::Sra, Reg::R6, Reg::R5, Reg::R15);
+        b.alu(AluOp::Xor, Reg::R5, Reg::R5, Reg::R6);
+        b.sub(Reg::R5, Reg::R5, Reg::R6); // cost in r5
+        // m = min(prev[j-1], prev[j], curr[j-1])
+        b.lw(Reg::R6, Reg::R2, 0); // prev[j-1]
+        b.add(Reg::R8, Reg::R2, Reg::R14);
+        b.lw(Reg::R7, Reg::R8, 0); // prev[j]
+        // min(r6, r7): d = r7-r6; r6 += d & (d>>31)
+        b.sub(Reg::R8, Reg::R7, Reg::R6);
+        b.alu(AluOp::Sra, Reg::R7, Reg::R8, Reg::R15);
+        b.alu(AluOp::And, Reg::R8, Reg::R8, Reg::R7);
+        b.add(Reg::R6, Reg::R6, Reg::R8);
+        b.lw(Reg::R7, Reg::R3, 0); // curr[j-1]
+        b.sub(Reg::R8, Reg::R7, Reg::R6);
+        b.alu(AluOp::Sra, Reg::R7, Reg::R8, Reg::R15);
+        b.alu(AluOp::And, Reg::R8, Reg::R8, Reg::R7);
+        b.add(Reg::R6, Reg::R6, Reg::R8);
+        // curr[j] = cost + m
+        b.add(Reg::R5, Reg::R5, Reg::R6);
+        b.add(Reg::R8, Reg::R3, Reg::R14);
+        b.sw(Reg::R5, Reg::R8, 0);
+        // Advance.
+        b.add(Reg::R1, Reg::R1, Reg::R14);
+        b.add(Reg::R2, Reg::R2, Reg::R14);
+        b.add(Reg::R3, Reg::R3, Reg::R14);
+        b.addi(Reg::R4, Reg::R4, -1);
+        b.branch(Cond::Ne, Reg::R4, Reg::R0, col_loop);
+        // Swap prev/curr, advance a.
+        b.mv(Reg::R5, Reg::R11);
+        b.mv(Reg::R11, Reg::R12);
+        b.mv(Reg::R12, Reg::R5);
+        b.add(Reg::R10, Reg::R10, Reg::R14);
+        b.addi(Reg::R9, Reg::R9, -1);
+        b.branch(Cond::Ne, Reg::R9, Reg::R0, row_loop);
+        // Distance = prev[n] (prev holds the last written row after the
+        // final swap).
+        b.li(Reg::R1, i64::from((4 * n) as i32));
+        b.add(Reg::R1, Reg::R11, Reg::R1);
+        b.lw(Reg::R2, Reg::R1, 0);
+        b.li(Reg::R3, i64::from(OUTPUT_BASE as i32));
+        b.sw(Reg::R2, Reg::R3, 0);
+    }
+
+    fn reference(&self, input: &[u32]) -> Vec<u32> {
+        let n = self.n as usize;
+        let a: Vec<i64> = input[..n].iter().map(|&v| i64::from(v)).collect();
+        let bb: Vec<i64> = input[n..2 * n].iter().map(|&v| i64::from(v)).collect();
+        let mut prev = vec![INF; n + 1];
+        prev[0] = 0;
+        let mut curr = vec![0i64; n + 1];
+        for &ai in a.iter().take(n) {
+            curr[0] = INF;
+            for j in 0..n {
+                let cost = (ai - bb[j]).abs();
+                let m = prev[j].min(prev[j + 1]).min(curr[j]);
+                curr[j + 1] = cost + m;
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        vec![prev[n] as u32]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences_have_zero_distance() {
+        let k = Dtw::new(8);
+        let a = synth_input(1, 8, 0xFF);
+        let mut input = a.clone();
+        input.extend(a);
+        assert_eq!(k.reference(&input), vec![0]);
+    }
+
+    #[test]
+    fn constant_offset_costs_n_times_delta() {
+        let k = Dtw::new(4);
+        let input = vec![10, 10, 10, 10, 13, 13, 13, 13];
+        // Diagonal path: 4 matches, each cost 3.
+        assert_eq!(k.reference(&input), vec![12]);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let k = Dtw::new(6);
+        let a = synth_input(2, 6, 0xFF);
+        let b = synth_input(3, 6, 0xFF);
+        let mut ab = a.clone();
+        ab.extend(b.clone());
+        let mut ba = b;
+        ba.extend(a);
+        assert_eq!(k.reference(&ab), k.reference(&ba));
+    }
+}

@@ -1,0 +1,375 @@
+//! Fixed-point radix-2 FFT and IFFT kernels (the gesture pipeline's
+//! front end, paper Fig 7).
+
+use crate::{synth_input, Kernel, KernelSpec, OUTPUT_BASE, SPM};
+use stitch_isa::op::AluOp;
+use stitch_isa::program::ProgramBuilder;
+use stitch_isa::{Cond, Reg};
+
+/// Q14 twiddle factors `exp(-2*pi*i*k/n)` for `k < n/2`.
+fn twiddles(n: u32) -> (Vec<u32>, Vec<u32>) {
+    let half = (n / 2) as usize;
+    let mut re = Vec::with_capacity(half);
+    let mut im = Vec::with_capacity(half);
+    for k in 0..half {
+        let ang = -2.0 * std::f64::consts::PI * k as f64 / f64::from(n);
+        re.push(((ang.cos() * 16384.0).round() as i32) as u32);
+        im.push(((ang.sin() * 16384.0).round() as i32) as u32);
+    }
+    (re, im)
+}
+
+/// Bit-reversal permutation as byte offsets.
+fn bitrev_table(n: u32) -> Vec<u32> {
+    let bits = n.trailing_zeros();
+    (0..n).map(|i| i.reverse_bits() >> (32 - bits) << 2).collect()
+}
+
+/// Shared reference implementation; `inverse` conjugates the twiddles.
+fn fft_reference(n: u32, input: &[u32], inverse: bool) -> (Vec<i32>, Vec<i32>) {
+    let n = n as usize;
+    let (twr, twi) = twiddles(n as u32);
+    let mut re: Vec<i32> = input[..n].iter().map(|&v| v as i32).collect();
+    let mut im: Vec<i32> = input[n..2 * n].iter().map(|&v| v as i32).collect();
+    // Bit reversal.
+    let table = bitrev_table(n as u32);
+    for (i, &off) in table.iter().enumerate() {
+        let j = (off / 4) as usize;
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let step = n / len;
+        for i in (0..n).step_by(len) {
+            for j in 0..len / 2 {
+                let k = j * step;
+                let (wr, wi) = {
+                    let wi0 = twi[k] as i32;
+                    (twr[k] as i32, if inverse { wi0.wrapping_neg() } else { wi0 })
+                };
+                let (r1, i1) = (re[i + j + len / 2], im[i + j + len / 2]);
+                let tr = (wr.wrapping_mul(r1).wrapping_sub(wi.wrapping_mul(i1))) >> 14;
+                let ti = (wr.wrapping_mul(i1).wrapping_add(wi.wrapping_mul(r1))) >> 14;
+                let (r0, i0) = (re[i + j], im[i + j]);
+                re[i + j + len / 2] = r0.wrapping_sub(tr);
+                im[i + j + len / 2] = i0.wrapping_sub(ti);
+                re[i + j] = r0.wrapping_add(tr);
+                im[i + j] = i0.wrapping_add(ti);
+            }
+        }
+        len <<= 1;
+    }
+    (re, im)
+}
+
+/// Emits the in-place FFT over `re` at `SPM`, `im` at `SPM + 4n`, with
+/// twiddle/bit-reversal tables behind them. Register budget: r1..r19.
+#[allow(clippy::too_many_lines)]
+fn emit_fft_body(b: &mut ProgramBuilder, n: u32, inverse: bool) {
+    let re_base = SPM;
+    let im_base = SPM + 4 * n;
+    let twr_base = SPM + 8 * n;
+    let twi_base = twr_base + 2 * n; // n/2 entries
+    let rev_base = twi_base + 2 * n;
+    let (twr, mut twi) = twiddles(n);
+    if inverse {
+        for v in &mut twi {
+            *v = (*v as i32).wrapping_neg() as u32;
+        }
+    }
+    b.data_segment(twr_base, twr);
+    b.data_segment(twi_base, twi);
+    b.data_segment(rev_base, bitrev_table(n));
+
+    // Constant registers.
+    b.li(Reg::R15, i64::from(re_base as i32));
+    b.li(Reg::R16, i64::from(im_base as i32));
+    b.li(Reg::R17, i64::from(twr_base as i32));
+    b.li(Reg::R18, i64::from(twi_base as i32));
+    b.li(Reg::R13, 4);
+    b.li(Reg::R12, 14);
+    b.li(Reg::R11, i64::from(4 * n));
+
+    // ---- bit-reversal permutation ---------------------------------------
+    b.li(Reg::R1, 0); // i offset
+    b.li(Reg::R2, i64::from(rev_base as i32));
+    let brev = b.bound_label();
+    b.lw(Reg::R3, Reg::R2, 0); // j offset
+    let skip = b.label();
+    b.alu(AluOp::Sltu, Reg::R4, Reg::R1, Reg::R3);
+    b.branch(Cond::Eq, Reg::R4, Reg::R0, skip);
+    for base in [Reg::R15, Reg::R16] {
+        b.add(Reg::R5, base, Reg::R1);
+        b.add(Reg::R6, base, Reg::R3);
+        b.lw(Reg::R7, Reg::R5, 0);
+        b.lw(Reg::R8, Reg::R6, 0);
+        b.sw(Reg::R8, Reg::R5, 0);
+        b.sw(Reg::R7, Reg::R6, 0);
+    }
+    b.bind(skip).expect("fresh");
+    b.add(Reg::R2, Reg::R2, Reg::R13);
+    b.add(Reg::R1, Reg::R1, Reg::R13);
+    b.branch(Cond::Ne, Reg::R1, Reg::R11, brev);
+
+    // ---- stages ----------------------------------------------------------
+    // r10 = len_bytes (8..4n), r9 = log2(n/len), r8 = half_bytes.
+    b.li(Reg::R10, 8);
+    b.li(Reg::R9, i64::from(n.trailing_zeros()) - 1);
+    let stage = b.bound_label();
+    b.srli(Reg::R8, Reg::R10, 1); // half_bytes (cold, immediate fine)
+    b.li(Reg::R1, 0); // i offset
+    let group = b.bound_label();
+    b.li(Reg::R2, 0); // j offset
+    let butterfly = b.bound_label();
+    // Twiddle loads: k_bytes = j << s.
+    b.alu(AluOp::Sll, Reg::R3, Reg::R2, Reg::R9);
+    b.add(Reg::R4, Reg::R17, Reg::R3);
+    b.lw(Reg::R5, Reg::R4, 0); // wr
+    b.add(Reg::R4, Reg::R18, Reg::R3);
+    b.lw(Reg::R6, Reg::R4, 0); // wi
+    // o1 = i + j + half; load re1/im1.
+    b.add(Reg::R4, Reg::R1, Reg::R2);
+    b.add(Reg::R3, Reg::R4, Reg::R8);
+    b.add(Reg::R7, Reg::R15, Reg::R3);
+    b.lw(Reg::R14, Reg::R7, 0); // re1
+    b.add(Reg::R7, Reg::R16, Reg::R3);
+    b.lw(Reg::R19, Reg::R7, 0); // im1
+    // tr = (wr*re1 - wi*im1) >> 14
+    b.mul(Reg::R7, Reg::R5, Reg::R14);
+    b.mul(Reg::R3, Reg::R6, Reg::R19);
+    b.sub(Reg::R7, Reg::R7, Reg::R3);
+    b.alu(AluOp::Sra, Reg::R7, Reg::R7, Reg::R12);
+    // ti = (wr*im1 + wi*re1) >> 14
+    b.mul(Reg::R3, Reg::R5, Reg::R19);
+    b.mul(Reg::R5, Reg::R6, Reg::R14);
+    b.add(Reg::R3, Reg::R3, Reg::R5);
+    b.alu(AluOp::Sra, Reg::R3, Reg::R3, Reg::R12);
+    // Real part update.
+    b.add(Reg::R4, Reg::R1, Reg::R2); // o0
+    b.add(Reg::R5, Reg::R15, Reg::R4);
+    b.lw(Reg::R6, Reg::R5, 0); // re0
+    b.sub(Reg::R14, Reg::R6, Reg::R7);
+    b.add(Reg::R6, Reg::R6, Reg::R7);
+    b.sw(Reg::R6, Reg::R5, 0);
+    b.add(Reg::R19, Reg::R5, Reg::R8);
+    b.sw(Reg::R14, Reg::R19, 0);
+    // Imaginary part update.
+    b.add(Reg::R5, Reg::R16, Reg::R4);
+    b.lw(Reg::R6, Reg::R5, 0); // im0
+    b.sub(Reg::R14, Reg::R6, Reg::R3);
+    b.add(Reg::R6, Reg::R6, Reg::R3);
+    b.sw(Reg::R6, Reg::R5, 0);
+    b.add(Reg::R19, Reg::R5, Reg::R8);
+    b.sw(Reg::R14, Reg::R19, 0);
+    // Next butterfly / group / stage.
+    b.add(Reg::R2, Reg::R2, Reg::R13);
+    b.branch(Cond::Ne, Reg::R2, Reg::R8, butterfly);
+    b.add(Reg::R1, Reg::R1, Reg::R10);
+    b.branch(Cond::Ne, Reg::R1, Reg::R11, group);
+    b.slli(Reg::R10, Reg::R10, 1);
+    b.addi(Reg::R9, Reg::R9, -1);
+    // Continue while len_bytes <= 4n.
+    b.alu(AluOp::Sltu, Reg::R5, Reg::R11, Reg::R10);
+    b.branch(Cond::Eq, Reg::R5, Reg::R0, stage);
+}
+
+/// Copies `count` words from `src` to `dst` using r1..r4.
+fn emit_copy(b: &mut ProgramBuilder, src: u32, dst: u32, count: u32) {
+    b.li(Reg::R1, i64::from(src as i32));
+    b.li(Reg::R2, i64::from(dst as i32));
+    b.li(Reg::R3, i64::from(count));
+    b.li(Reg::R5, 4);
+    let top = b.bound_label();
+    b.lw(Reg::R4, Reg::R1, 0);
+    b.sw(Reg::R4, Reg::R2, 0);
+    b.add(Reg::R1, Reg::R1, Reg::R5);
+    b.add(Reg::R2, Reg::R2, Reg::R5);
+    b.addi(Reg::R3, Reg::R3, -1);
+    b.branch(Cond::Ne, Reg::R3, Reg::R0, top);
+}
+
+/// Forward FFT kernel: input `[re[0..n], im[0..n]]`, output the
+/// transformed `[re, im]` pair.
+#[derive(Debug, Clone)]
+pub struct Fft {
+    n: u32,
+}
+
+impl Fft {
+    /// `n` must be a power of two (the paper's pipelines use 64-point
+    /// transforms per axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is not a power of two or below 4.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        assert!(n.is_power_of_two() && n >= 4);
+        assert!(16 * n <= 4096, "fft SPM footprint");
+        Fft { n }
+    }
+}
+
+impl Kernel for Fft {
+    fn spec(&self) -> KernelSpec {
+        KernelSpec {
+            name: "fft",
+            input_addr: SPM,
+            input_words: 2 * self.n,
+            output_addr: OUTPUT_BASE,
+            output_words: 2 * self.n,
+        }
+    }
+
+    fn input(&self) -> Vec<u32> {
+        synth_input(0xFF7, (2 * self.n) as usize, 0x3FF)
+    }
+
+    fn emit_compute(&self, b: &mut ProgramBuilder) {
+        emit_fft_body(b, self.n, false);
+        emit_copy(b, SPM, OUTPUT_BASE, 2 * self.n);
+    }
+
+    fn reference(&self, input: &[u32]) -> Vec<u32> {
+        let (re, im) = fft_reference(self.n, input, false);
+        re.into_iter().chain(im).map(|v| v as u32).collect()
+    }
+}
+
+/// Inverse FFT kernel. Per the paper, the IFFT stage also carries extra
+/// `Update feature` processing, so it additionally emits the per-bin
+/// energy `(re^2 + im^2) >> 8` — making it longer-running than the FFT
+/// stage (the imbalance the stitching algorithm exploits).
+#[derive(Debug, Clone)]
+pub struct Ifft {
+    n: u32,
+}
+
+impl Ifft {
+    /// See [`Fft::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is not a power of two or below 4.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        assert!(n.is_power_of_two() && n >= 4);
+        assert!(16 * n <= 4096, "ifft SPM footprint");
+        Ifft { n }
+    }
+}
+
+impl Kernel for Ifft {
+    fn spec(&self) -> KernelSpec {
+        KernelSpec {
+            name: "ifft",
+            input_addr: SPM,
+            input_words: 2 * self.n,
+            // [re, im, energy]
+            output_words: 3 * self.n,
+            output_addr: OUTPUT_BASE,
+        }
+    }
+
+    fn input(&self) -> Vec<u32> {
+        synth_input(0x1FF7, (2 * self.n) as usize, 0x3FF)
+    }
+
+    fn emit_compute(&self, b: &mut ProgramBuilder) {
+        emit_fft_body(b, self.n, true);
+        emit_copy(b, SPM, OUTPUT_BASE, 2 * self.n);
+        // Energy pass: out[2n + i] = (re^2 + im^2) >> 8.
+        b.li(Reg::R1, i64::from(SPM as i32));
+        b.li(Reg::R2, i64::from((SPM + 4 * self.n) as i32));
+        b.li(Reg::R3, i64::from((OUTPUT_BASE + 8 * self.n) as i32));
+        b.li(Reg::R4, i64::from(self.n));
+        b.li(Reg::R10, 4);
+        b.li(Reg::R11, 8);
+        let top = b.bound_label();
+        b.lw(Reg::R5, Reg::R1, 0);
+        b.lw(Reg::R6, Reg::R2, 0);
+        b.mul(Reg::R7, Reg::R5, Reg::R5);
+        b.mul(Reg::R8, Reg::R6, Reg::R6);
+        b.add(Reg::R7, Reg::R7, Reg::R8);
+        b.alu(AluOp::Srl, Reg::R7, Reg::R7, Reg::R11);
+        b.sw(Reg::R7, Reg::R3, 0);
+        b.add(Reg::R1, Reg::R1, Reg::R10);
+        b.add(Reg::R2, Reg::R2, Reg::R10);
+        b.add(Reg::R3, Reg::R3, Reg::R10);
+        b.addi(Reg::R4, Reg::R4, -1);
+        b.branch(Cond::Ne, Reg::R4, Reg::R0, top);
+    }
+
+    fn reference(&self, input: &[u32]) -> Vec<u32> {
+        let (re, im) = fft_reference(self.n, input, true);
+        let energy: Vec<u32> = re
+            .iter()
+            .zip(&im)
+            .map(|(&r, &i)| {
+                (r.wrapping_mul(r).wrapping_add(i.wrapping_mul(i)) as u32) >> 8
+            })
+            .collect();
+        re.into_iter()
+            .chain(im)
+            .map(|v| v as u32)
+            .chain(energy)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twiddle_table_properties() {
+        let (re, im) = twiddles(64);
+        assert_eq!(re.len(), 32);
+        assert_eq!(re[0] as i32, 16384, "cos(0) = 1.0 in Q14");
+        assert_eq!(im[0] as i32, 0);
+        assert_eq!(im[16] as i32, -16384, "sin(-pi/2) = -1 in Q14");
+    }
+
+    #[test]
+    fn bitrev_is_involution() {
+        let t = bitrev_table(64);
+        for (i, &off) in t.iter().enumerate() {
+            let j = (off / 4) as usize;
+            assert_eq!((t[j] / 4) as usize, i);
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        // x = [A, 0, 0, ...] -> FFT = A everywhere.
+        let n = 16u32;
+        let mut input = vec![0u32; 32];
+        input[0] = 100;
+        let (re, im) = fft_reference(n, &input, false);
+        assert!(re.iter().all(|&r| r == 100));
+        assert!(im.iter().all(|&i| i == 0));
+    }
+
+    #[test]
+    fn forward_then_inverse_recovers_signal_scaled() {
+        // IFFT(FFT(x)) = n * x for exact arithmetic; Q14 rounding admits
+        // a small error.
+        let n = 16u32;
+        let input: Vec<u32> = (0..32).map(|i| if i < 16 { 50 + i } else { 0 }).collect();
+        let (fre, fim) = fft_reference(n, &input, false);
+        let spec: Vec<u32> =
+            fre.iter().chain(&fim).map(|&v| v as u32).collect();
+        let (ire, _) = fft_reference(n, &spec, true);
+        for i in 0..16usize {
+            let expect = (input[i] as i32) * 16;
+            assert!(
+                (ire[i] - expect).abs() <= 16,
+                "bin {i}: {} vs {expect}",
+                ire[i]
+            );
+        }
+    }
+}

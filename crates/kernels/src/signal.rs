@@ -1,0 +1,307 @@
+//! Signal-processing kernels: FIR filter, feature update, classification.
+
+use crate::{synth_input, Kernel, KernelSpec, OUTPUT_BASE, SPM};
+use stitch_isa::op::AluOp;
+use stitch_isa::program::ProgramBuilder;
+use stitch_isa::{Cond, Reg};
+
+/// Q8 fixed-point FIR filter (the gesture pipeline's `Filter` stage).
+///
+/// `out[i] = (sum_j coeff[j] * x[i+j]) >> 8` for
+/// `i in 0..n-taps+1`. Samples live in the scratchpad; coefficients are a
+/// constant table behind them.
+#[derive(Debug, Clone)]
+pub struct FirFilter {
+    n: u32,
+    taps: u32,
+}
+
+impl FirFilter {
+    /// Creates a filter over `n` samples with `taps` coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `taps` is zero or exceeds `n`.
+    #[must_use]
+    pub fn new(n: u32, taps: u32) -> Self {
+        assert!(taps > 0 && taps <= n);
+        assert!((n + taps) * 4 <= 4096, "fir SPM footprint");
+        FirFilter { n, taps }
+    }
+
+    fn coeffs(&self) -> Vec<u32> {
+        synth_input(0xF117 + self.taps, self.taps as usize, 0x7F)
+    }
+}
+
+impl Kernel for FirFilter {
+    fn spec(&self) -> KernelSpec {
+        KernelSpec {
+            name: "fir",
+            input_addr: SPM,
+            input_words: self.n,
+            output_addr: OUTPUT_BASE,
+            output_words: self.n - self.taps + 1,
+        }
+    }
+
+    fn input(&self) -> Vec<u32> {
+        synth_input(0xF117, self.n as usize, 0xFF)
+    }
+
+    fn emit_compute(&self, b: &mut ProgramBuilder) {
+        let coeff_base = SPM + self.n * 4;
+        b.data_segment(coeff_base, self.coeffs());
+        // r10=4, r11=8(Q), r13=coeff base, r12=window ptr, r8=out ptr,
+        // r9=outer count.
+        b.li(Reg::R10, 4);
+        b.li(Reg::R11, 8);
+        b.li(Reg::R13, i64::from(coeff_base as i32));
+        b.li(Reg::R12, i64::from(SPM as i32));
+        b.li(Reg::R8, i64::from(OUTPUT_BASE as i32));
+        b.li(Reg::R9, i64::from(self.n - self.taps + 1));
+        let outer = b.bound_label();
+        b.mv(Reg::R1, Reg::R12); // x ptr
+        b.mv(Reg::R2, Reg::R13); // coeff ptr
+        b.li(Reg::R3, 0); // acc
+        b.li(Reg::R4, i64::from(self.taps));
+        let inner = b.bound_label();
+        b.lw(Reg::R5, Reg::R1, 0);
+        b.lw(Reg::R6, Reg::R2, 0);
+        b.mul(Reg::R7, Reg::R5, Reg::R6);
+        b.add(Reg::R3, Reg::R3, Reg::R7);
+        b.add(Reg::R1, Reg::R1, Reg::R10);
+        b.add(Reg::R2, Reg::R2, Reg::R10);
+        b.addi(Reg::R4, Reg::R4, -1);
+        b.branch(Cond::Ne, Reg::R4, Reg::R0, inner);
+        b.alu(AluOp::Sra, Reg::R3, Reg::R3, Reg::R11);
+        b.sw(Reg::R3, Reg::R8, 0);
+        b.add(Reg::R8, Reg::R8, Reg::R10);
+        b.add(Reg::R12, Reg::R12, Reg::R10);
+        b.addi(Reg::R9, Reg::R9, -1);
+        b.branch(Cond::Ne, Reg::R9, Reg::R0, outer);
+    }
+
+    fn reference(&self, input: &[u32]) -> Vec<u32> {
+        let coeffs = self.coeffs();
+        (0..=(self.n - self.taps) as usize)
+            .map(|i| {
+                let mut acc: i32 = 0;
+                for (j, c) in coeffs.iter().enumerate() {
+                    acc = acc.wrapping_add((input[i + j] as i32).wrapping_mul(*c as i32));
+                }
+                (acc >> 8) as u32
+            })
+            .collect()
+    }
+}
+
+/// The gesture pipeline's `Update feature` stage: an exponential moving
+/// average computed with shift-and-add arithmetic.
+///
+/// `f := f + ((x[i] - f) >> 3)`; `out[i] = f`.
+#[derive(Debug, Clone)]
+pub struct UpdateFeature {
+    n: u32,
+}
+
+impl UpdateFeature {
+    /// Creates the stage over `n` samples.
+    #[must_use]
+    pub fn new(n: u32) -> Self {
+        assert!(n * 4 <= 4096, "update SPM footprint");
+        UpdateFeature { n }
+    }
+}
+
+impl Kernel for UpdateFeature {
+    fn spec(&self) -> KernelSpec {
+        KernelSpec {
+            name: "update",
+            input_addr: SPM,
+            input_words: self.n,
+            output_addr: OUTPUT_BASE,
+            output_words: self.n,
+        }
+    }
+
+    fn input(&self) -> Vec<u32> {
+        synth_input(0x0DA7E, self.n as usize, 0xFFF)
+    }
+
+    fn emit_compute(&self, b: &mut ProgramBuilder) {
+        // r1=x ptr, r2=f, r3=count, r4=out ptr, r10=4, r11=3(shift).
+        b.li(Reg::R1, i64::from(SPM as i32));
+        b.li(Reg::R2, 0);
+        b.li(Reg::R3, i64::from(self.n));
+        b.li(Reg::R4, i64::from(OUTPUT_BASE as i32));
+        b.li(Reg::R10, 4);
+        b.li(Reg::R11, 3);
+        let top = b.bound_label();
+        b.lw(Reg::R5, Reg::R1, 0);
+        b.sub(Reg::R6, Reg::R5, Reg::R2);
+        b.alu(AluOp::Sra, Reg::R6, Reg::R6, Reg::R11);
+        b.add(Reg::R2, Reg::R2, Reg::R6);
+        b.sw(Reg::R2, Reg::R4, 0);
+        b.add(Reg::R1, Reg::R1, Reg::R10);
+        b.add(Reg::R4, Reg::R4, Reg::R10);
+        b.addi(Reg::R3, Reg::R3, -1);
+        b.branch(Cond::Ne, Reg::R3, Reg::R0, top);
+    }
+
+    fn reference(&self, input: &[u32]) -> Vec<u32> {
+        let mut f: i32 = 0;
+        input
+            .iter()
+            .map(|&x| {
+                let d = (x as i32).wrapping_sub(f);
+                f = f.wrapping_add(d >> 3);
+                f as u32
+            })
+            .collect()
+    }
+}
+
+/// Nearest-centroid classifier (the gesture pipeline's final stage):
+/// L1 distances to `k` centroids, then the argmin.
+///
+/// Output: `k` distances followed by the winning class index.
+#[derive(Debug, Clone)]
+pub struct Classify {
+    n: u32,
+    k: u32,
+}
+
+impl Classify {
+    /// `n`-dimensional features, `k` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when features + centroids exceed the 4 KB scratchpad.
+    #[must_use]
+    pub fn new(n: u32, k: u32) -> Self {
+        assert!((n + n * k) * 4 <= 4096, "classify SPM footprint");
+        Classify { n, k }
+    }
+
+    fn centroids(&self) -> Vec<u32> {
+        synth_input(0xC1A55 + self.k, (self.n * self.k) as usize, 0xFFF)
+    }
+}
+
+impl Kernel for Classify {
+    fn spec(&self) -> KernelSpec {
+        KernelSpec {
+            name: "classify",
+            input_addr: SPM,
+            input_words: self.n,
+            output_addr: OUTPUT_BASE,
+            output_words: self.k + 1,
+        }
+    }
+
+    fn input(&self) -> Vec<u32> {
+        synth_input(0xC1A55, self.n as usize, 0xFFF)
+    }
+
+    fn emit_compute(&self, b: &mut ProgramBuilder) {
+        let cent_base = SPM + self.n * 4;
+        b.data_segment(cent_base, self.centroids());
+        // r10=4, r11=31 (sign shift), r12=centroid ptr, r9=class count,
+        // r8=out ptr, r14=best dist, r15=best idx, r13=current idx.
+        b.li(Reg::R10, 4);
+        b.li(Reg::R11, 31);
+        b.li(Reg::R12, i64::from(cent_base as i32));
+        b.li(Reg::R9, i64::from(self.k));
+        b.li(Reg::R8, i64::from(OUTPUT_BASE as i32));
+        b.li(Reg::R14, i64::from(i32::MAX));
+        b.li(Reg::R15, 0);
+        b.li(Reg::R13, 0);
+        let class_loop = b.bound_label();
+        b.li(Reg::R1, i64::from(SPM as i32)); // feature ptr
+        b.li(Reg::R3, 0); // distance acc
+        b.li(Reg::R4, i64::from(self.n));
+        let dim_loop = b.bound_label();
+        b.lw(Reg::R5, Reg::R1, 0);
+        b.lw(Reg::R6, Reg::R12, 0);
+        b.sub(Reg::R7, Reg::R5, Reg::R6);
+        // |d| = (d ^ (d >> 31)) - (d >> 31)
+        b.alu(AluOp::Sra, Reg::R2, Reg::R7, Reg::R11);
+        b.alu(AluOp::Xor, Reg::R7, Reg::R7, Reg::R2);
+        b.sub(Reg::R7, Reg::R7, Reg::R2);
+        b.add(Reg::R3, Reg::R3, Reg::R7);
+        b.add(Reg::R1, Reg::R1, Reg::R10);
+        b.add(Reg::R12, Reg::R12, Reg::R10);
+        b.addi(Reg::R4, Reg::R4, -1);
+        b.branch(Cond::Ne, Reg::R4, Reg::R0, dim_loop);
+        // Store the distance.
+        b.sw(Reg::R3, Reg::R8, 0);
+        b.add(Reg::R8, Reg::R8, Reg::R10);
+        // Track the minimum (branch: cold path, once per class).
+        let not_better = b.label();
+        b.branch(Cond::Ge, Reg::R3, Reg::R14, not_better);
+        b.mv(Reg::R14, Reg::R3);
+        b.mv(Reg::R15, Reg::R13);
+        b.bind(not_better).expect("fresh label");
+        b.addi(Reg::R13, Reg::R13, 1);
+        b.addi(Reg::R9, Reg::R9, -1);
+        b.branch(Cond::Ne, Reg::R9, Reg::R0, class_loop);
+        b.sw(Reg::R15, Reg::R8, 0);
+    }
+
+    fn reference(&self, input: &[u32]) -> Vec<u32> {
+        let cents = self.centroids();
+        let mut out = Vec::new();
+        let mut best = i32::MAX;
+        let mut best_idx = 0u32;
+        for c in 0..self.k {
+            let mut acc: i32 = 0;
+            for d in 0..self.n as usize {
+                let diff =
+                    (input[d] as i32).wrapping_sub(cents[(c * self.n) as usize + d] as i32);
+                acc = acc.wrapping_add(diff.abs());
+            }
+            out.push(acc as u32);
+            if acc < best {
+                best = acc;
+                best_idx = c;
+            }
+        }
+        out.push(best_idx);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fir_reference_shape() {
+        let k = FirFilter::new(32, 4);
+        let out = k.reference(&k.input());
+        assert_eq!(out.len(), 29);
+    }
+
+    #[test]
+    fn update_is_monotone_on_constant_input() {
+        let k = UpdateFeature::new(8);
+        let out = k.reference(&[800; 8]);
+        // EMA converges toward 800 from 0, never exceeding it.
+        for w in out.windows(2) {
+            assert!((w[0] as i32) <= (w[1] as i32));
+        }
+        assert!((out[7] as i32) <= 800);
+    }
+
+    #[test]
+    fn classify_picks_true_centroid() {
+        let k = Classify::new(16, 3);
+        // Feed centroid #1 exactly: distance 0 to itself.
+        let cents = k.centroids();
+        let input: Vec<u32> = cents[16..32].to_vec();
+        let out = k.reference(&input);
+        assert_eq!(out[1], 0);
+        assert_eq!(out[3], 1, "class 1 wins");
+    }
+}

@@ -1,0 +1,175 @@
+//! Sparse DRAM backing store.
+
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// A sparsely allocated, byte-addressable main memory.
+///
+/// Reads of untouched memory return zero; pages are allocated on first
+/// write. Word accesses are little-endian and need not be aligned (the
+/// sequencer in `TileMemory` enforces alignment policy).
+///
+/// ```
+/// use stitch_mem::Dram;
+/// let mut d = Dram::new();
+/// d.write_u32(0x1000, 0xDEAD_BEEF);
+/// assert_eq!(d.read_u32(0x1000), 0xDEAD_BEEF);
+/// assert_eq!(d.read_u8(0x1000), 0xEF); // little endian
+/// assert_eq!(d.read_u32(0xFFFF_0000), 0); // untouched
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Dram {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Dram {
+    /// Creates an empty (all-zero) memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_BITS)).map(AsRef::as_ref)
+    }
+
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
+        self.pages.entry(addr >> PAGE_BITS).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    #[must_use]
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        self.page(addr).map_or(0, |p| p[(addr as usize) & (PAGE_SIZE - 1)])
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        let page = self.page_mut(addr);
+        page[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads a 16-bit little-endian value.
+    #[must_use]
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        u16::from(self.read_u8(addr)) | (u16::from(self.read_u8(addr.wrapping_add(1))) << 8)
+    }
+
+    /// Writes a 16-bit little-endian value.
+    pub fn write_u16(&mut self, addr: u32, value: u16) {
+        self.write_u8(addr, value as u8);
+        self.write_u8(addr.wrapping_add(1), (value >> 8) as u8);
+    }
+
+    /// Reads a 32-bit little-endian value.
+    #[must_use]
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        // Fast path when the word sits inside one page.
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + 4 <= PAGE_SIZE {
+            if let Some(p) = self.page(addr) {
+                return u32::from_le_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]]);
+            }
+            return 0;
+        }
+        (0..4).fold(0u32, |acc, i| {
+            acc | (u32::from(self.read_u8(addr.wrapping_add(i))) << (8 * i))
+        })
+    }
+
+    /// Writes a 32-bit little-endian value.
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + 4 <= PAGE_SIZE {
+            let p = self.page_mut(addr);
+            p[off..off + 4].copy_from_slice(&value.to_le_bytes());
+            return;
+        }
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b);
+        }
+    }
+
+    /// Copies a slice of words into memory starting at `base`.
+    pub fn load_words(&mut self, base: u32, words: &[u32]) {
+        for (i, w) in words.iter().enumerate() {
+            self.write_u32(base.wrapping_add((i * 4) as u32), *w);
+        }
+    }
+
+    /// Reads `count` consecutive words starting at `base`.
+    #[must_use]
+    pub fn read_words(&self, base: u32, count: usize) -> Vec<u32> {
+        (0..count).map(|i| self.read_u32(base.wrapping_add((i * 4) as u32))).collect()
+    }
+
+    /// Number of resident 4 KB pages (for footprint assertions in tests).
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_initialized() {
+        let d = Dram::new();
+        assert_eq!(d.read_u32(0), 0);
+        assert_eq!(d.read_u8(u32::MAX), 0);
+        assert_eq!(d.resident_pages(), 0);
+    }
+
+    #[test]
+    fn byte_and_word_consistency() {
+        let mut d = Dram::new();
+        d.write_u32(100, 0x0403_0201);
+        assert_eq!(d.read_u8(100), 1);
+        assert_eq!(d.read_u8(101), 2);
+        assert_eq!(d.read_u8(102), 3);
+        assert_eq!(d.read_u8(103), 4);
+        assert_eq!(d.read_u16(100), 0x0201);
+        assert_eq!(d.read_u16(102), 0x0403);
+    }
+
+    #[test]
+    fn cross_page_word() {
+        let mut d = Dram::new();
+        let addr = (1 << PAGE_BITS) - 2; // spans two pages
+        d.write_u32(addr, 0xAABB_CCDD);
+        assert_eq!(d.read_u32(addr), 0xAABB_CCDD);
+        assert_eq!(d.resident_pages(), 2);
+    }
+
+    #[test]
+    fn bulk_words() {
+        let mut d = Dram::new();
+        d.load_words(0x400, &[1, 2, 3, 4]);
+        assert_eq!(d.read_words(0x400, 4), vec![1, 2, 3, 4]);
+    }
+
+    proptest! {
+        #[test]
+        fn write_read_round_trip(addr in 0u32..0x2000_0000, value: u32) {
+            let mut d = Dram::new();
+            d.write_u32(addr, value);
+            prop_assert_eq!(d.read_u32(addr), value);
+        }
+
+        #[test]
+        fn disjoint_writes_do_not_interfere(a in 0u32..1_000_000, b in 0u32..1_000_000,
+                                            va: u32, vb: u32) {
+            prop_assume!(a.abs_diff(b) >= 4);
+            let mut d = Dram::new();
+            d.write_u32(a, va);
+            d.write_u32(b, vb);
+            prop_assert_eq!(d.read_u32(a), va);
+            prop_assert_eq!(d.read_u32(b), vb);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # Memory substrate of the Stitch simulator
+//!
+//! Per-tile memory system matching the paper's Table II:
+//!
+//! - [`Dram`] — 512 MB backing store with a 30-cycle access latency,
+//!   sparsely allocated;
+//! - [`Cache`] — set-associative, write-back, write-allocate, LRU caches
+//!   (2-way 8 KB I-cache, 2-way 4 KB D-cache, 64 B blocks). The cache is a
+//!   *tag model*: functional data lives in the backing store, the cache
+//!   tracks which blocks are resident for timing and statistics. This is
+//!   exact for a single in-order core per private memory, which is the
+//!   Stitch organization (message passing, no shared memory, §III);
+//! - [`Spm`] — the 4 KB scratchpad memory accessible by both the core and
+//!   the patch LMAU (§III-C);
+//! - [`TileMemory`] — one tile's sequencer view that routes each address to
+//!   SPM, crossbar-configuration registers or cached DRAM and reports the
+//!   cost of every access in cycles.
+//!
+//! Each tile owns a private memory image: Stitch is a message-passing
+//! architecture, so there is no inter-tile shared state and no coherence
+//! (exactly the paper's argument for avoiding coherence overhead).
+
+pub mod cache;
+pub mod dram;
+pub mod spm;
+pub mod tile;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use dram::Dram;
+pub use spm::Spm;
+pub use tile::{AccessKind, MemResult, TileMemory, TileMemoryConfig};
+
+/// DRAM access latency in cycles (paper Table II).
+pub const DRAM_LATENCY: u32 = 30;
+/// Cache/SPM hit latency in cycles (paper Table II).
+pub const HIT_LATENCY: u32 = 1;

@@ -1,0 +1,161 @@
+//! Scratchpad memory (SPM).
+
+use stitch_isa::memmap::SPM_SIZE;
+
+/// The 4 KB per-tile scratchpad of the paper (§III-C).
+///
+/// The SPM extends the main-memory address space (window at
+/// [`stitch_isa::memmap::SPM_BASE`]), is never cached, and is accessible
+/// both by the core's load/store unit and by the patch's LMAU, which is how
+/// load/store operations become part of custom instructions. Accesses take
+/// one cycle.
+///
+/// Addresses passed to this type are *offsets* within the window; the
+/// sequencer ([`crate::TileMemory`]) performs the window translation.
+#[derive(Debug, Clone)]
+pub struct Spm {
+    data: Box<[u8]>,
+    reads: u64,
+    writes: u64,
+}
+
+impl Default for Spm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Spm {
+    /// Creates a zeroed scratchpad.
+    #[must_use]
+    pub fn new() -> Self {
+        Spm { data: vec![0u8; SPM_SIZE as usize].into_boxed_slice(), reads: 0, writes: 0 }
+    }
+
+    /// Capacity in bytes.
+    #[must_use]
+    pub fn size(&self) -> u32 {
+        self.data.len() as u32
+    }
+
+    fn wrap(&self, offset: u32) -> usize {
+        (offset as usize) & (self.data.len() - 1)
+    }
+
+    /// Reads one byte at `offset` (wrapping within the window).
+    pub fn read_u8(&mut self, offset: u32) -> u8 {
+        self.reads += 1;
+        self.data[self.wrap(offset)]
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, offset: u32, value: u8) {
+        self.writes += 1;
+        let i = self.wrap(offset);
+        self.data[i] = value;
+    }
+
+    /// Reads a little-endian word.
+    pub fn read_u32(&mut self, offset: u32) -> u32 {
+        self.reads += 1;
+        let i = self.wrap(offset);
+        if i + 4 <= self.data.len() {
+            u32::from_le_bytes(self.data[i..i + 4].try_into().expect("4 bytes"))
+        } else {
+            (0..4).fold(0, |acc, k| {
+                acc | (u32::from(self.data[self.wrap(offset + k)]) << (8 * k))
+            })
+        }
+    }
+
+    /// Writes a little-endian word.
+    pub fn write_u32(&mut self, offset: u32, value: u32) {
+        self.writes += 1;
+        let i = self.wrap(offset);
+        if i + 4 <= self.data.len() {
+            self.data[i..i + 4].copy_from_slice(&value.to_le_bytes());
+        } else {
+            for (k, b) in value.to_le_bytes().iter().enumerate() {
+                let j = self.wrap(offset + k as u32);
+                self.data[j] = *b;
+            }
+        }
+    }
+
+    /// Reads a 16-bit little-endian value.
+    pub fn read_u16(&mut self, offset: u32) -> u16 {
+        self.reads += 1;
+        u16::from(self.data[self.wrap(offset)])
+            | (u16::from(self.data[self.wrap(offset + 1)]) << 8)
+    }
+
+    /// Writes a 16-bit little-endian value.
+    pub fn write_u16(&mut self, offset: u32, value: u16) {
+        self.writes += 1;
+        let (i, j) = (self.wrap(offset), self.wrap(offset + 1));
+        self.data[i] = value as u8;
+        self.data[j] = (value >> 8) as u8;
+    }
+
+    /// Bulk-initializes words starting at `offset`.
+    pub fn load_words(&mut self, offset: u32, words: &[u32]) {
+        for (i, w) in words.iter().enumerate() {
+            self.write_u32(offset + (i * 4) as u32, *w);
+        }
+        // Initialization is not a simulated access.
+        self.writes -= words.len() as u64;
+    }
+
+    /// `(reads, writes)` counters for the energy model.
+    #[must_use]
+    pub fn access_counts(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+
+    /// Clears contents and counters.
+    pub fn reset(&mut self) {
+        self.data.fill(0);
+        self.reads = 0;
+        self.writes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_round_trip() {
+        let mut s = Spm::new();
+        s.write_u32(16, 0x1234_5678);
+        assert_eq!(s.read_u32(16), 0x1234_5678);
+        assert_eq!(s.read_u8(16), 0x78);
+    }
+
+    #[test]
+    fn wraps_within_window() {
+        let mut s = Spm::new();
+        s.write_u8(SPM_SIZE + 3, 7); // wraps to offset 3
+        assert_eq!(s.read_u8(3), 7);
+    }
+
+    #[test]
+    fn counts_accesses() {
+        let mut s = Spm::new();
+        s.write_u32(0, 1);
+        let _ = s.read_u32(0);
+        let _ = s.read_u8(4);
+        assert_eq!(s.access_counts(), (2, 1));
+        s.reset();
+        assert_eq!(s.access_counts(), (0, 0));
+        assert_eq!(s.read_u32(0), 0);
+    }
+
+    #[test]
+    fn load_words_does_not_count() {
+        let mut s = Spm::new();
+        s.load_words(0, &[1, 2, 3]);
+        assert_eq!(s.access_counts(), (0, 0));
+        assert_eq!(s.read_u32(4), 2);
+    }
+}

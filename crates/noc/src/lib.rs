@@ -1,0 +1,160 @@
+//! # On-chip networks of the Stitch architecture
+//!
+//! Stitch has **two** networks (paper Fig 2, Table II):
+//!
+//! 1. [`mesh`] — the conventional inter-core mesh used by the
+//!    message-passing programming model: 2-D, 16-bit-wide links modelled at
+//!    flit granularity, wormhole switching, XY dimension-order routing,
+//!    5-stage routers with 1-cycle links, 1-flit control and 5-flit data
+//!    packets, credit-based input buffering.
+//! 2. [`patchnet`] — the *compiler-scheduled* inter-patch network: crossbar
+//!    switches driven by clockless repeaters, **no buffers and no control
+//!    logic**. The compiler reserves contention-free circuits before an
+//!    application launches (via the memory-mapped crossbar configuration
+//!    register of each switch) and data then traverses multiple hops within
+//!    a single cycle, SMART-style.
+//!
+//! The geometry type [`Coord`]/[`TileId`] is shared by both networks and
+//! the chip simulator.
+
+pub mod mesh;
+pub mod patchnet;
+
+pub use mesh::{Mesh, MeshConfig, MeshStats, PacketKind};
+pub use patchnet::{Circuit, PatchNet, PatchNetError, PortDir};
+
+use std::fmt;
+
+/// Index of a tile on the chip, row-major from the top-left corner.
+///
+/// The paper numbers tiles starting at 1; this type is zero-based and the
+/// `Display` implementation prints the paper's 1-based name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TileId(pub u8);
+
+impl TileId {
+    /// Zero-based index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tile{}", self.0 + 1)
+    }
+}
+
+/// Position of a tile in the mesh. `x` grows eastward, `y` southward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Coord {
+    /// Column.
+    pub x: u8,
+    /// Row.
+    pub y: u8,
+}
+
+impl Coord {
+    /// Manhattan distance between two coordinates.
+    #[must_use]
+    pub fn manhattan(self, other: Coord) -> u32 {
+        u32::from(self.x.abs_diff(other.x)) + u32::from(self.y.abs_diff(other.y))
+    }
+}
+
+/// Mesh geometry helper: maps tiles to coordinates for a `width`-column
+/// mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Columns.
+    pub width: u8,
+    /// Rows.
+    pub height: u8,
+}
+
+impl Topology {
+    /// The paper's 4x4 prototype.
+    #[must_use]
+    pub fn stitch_4x4() -> Self {
+        Topology { width: 4, height: 4 }
+    }
+
+    /// Number of tiles.
+    #[must_use]
+    pub fn tiles(&self) -> usize {
+        usize::from(self.width) * usize::from(self.height)
+    }
+
+    /// Coordinate of a tile.
+    #[must_use]
+    pub fn coord(&self, t: TileId) -> Coord {
+        Coord { x: t.0 % self.width, y: t.0 / self.width }
+    }
+
+    /// Tile at a coordinate.
+    #[must_use]
+    pub fn tile_at(&self, c: Coord) -> TileId {
+        TileId(c.y * self.width + c.x)
+    }
+
+    /// Manhattan distance between two tiles.
+    #[must_use]
+    pub fn distance(&self, a: TileId, b: TileId) -> u32 {
+        self.coord(a).manhattan(self.coord(b))
+    }
+
+    /// Iterates over all tile ids.
+    pub fn iter(&self) -> impl Iterator<Item = TileId> {
+        (0..self.tiles() as u8).map(TileId)
+    }
+
+    /// Neighbor in a direction, if inside the mesh.
+    #[must_use]
+    pub fn neighbor(&self, t: TileId, dir: PortDir) -> Option<TileId> {
+        let c = self.coord(t);
+        let n = match dir {
+            PortDir::North if c.y > 0 => Coord { x: c.x, y: c.y - 1 },
+            PortDir::South if c.y + 1 < self.height => Coord { x: c.x, y: c.y + 1 },
+            PortDir::West if c.x > 0 => Coord { x: c.x - 1, y: c.y },
+            PortDir::East if c.x + 1 < self.width => Coord { x: c.x + 1, y: c.y },
+            _ => return None,
+        };
+        Some(self.tile_at(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_round_trip() {
+        let t = Topology::stitch_4x4();
+        assert_eq!(t.tiles(), 16);
+        for id in t.iter() {
+            assert_eq!(t.tile_at(t.coord(id)), id);
+        }
+        // Paper numbering: tile1 is top-left; tile2 and tile10 (1-based)
+        // are two hops apart vertically (Fig 2 / Fig 5 example).
+        assert_eq!(t.distance(TileId(1), TileId(9)), 2);
+        assert_eq!(TileId(1).to_string(), "tile2");
+    }
+
+    #[test]
+    fn neighbors() {
+        let t = Topology::stitch_4x4();
+        assert_eq!(t.neighbor(TileId(0), PortDir::North), None);
+        assert_eq!(t.neighbor(TileId(0), PortDir::East), Some(TileId(1)));
+        assert_eq!(t.neighbor(TileId(0), PortDir::South), Some(TileId(4)));
+        assert_eq!(t.neighbor(TileId(15), PortDir::East), None);
+        assert_eq!(t.neighbor(TileId(5), PortDir::West), Some(TileId(4)));
+    }
+
+    #[test]
+    fn manhattan() {
+        let t = Topology::stitch_4x4();
+        assert_eq!(t.distance(TileId(0), TileId(15)), 6);
+        assert_eq!(t.distance(TileId(3), TileId(3)), 0);
+    }
+}

@@ -1,0 +1,517 @@
+//! Flit-level model of the conventional inter-core mesh (paper Table II).
+//!
+//! - 2-D mesh, XY dimension-order routing (deadlock free);
+//! - wormhole switching with credit-based input buffering;
+//! - 5-stage routers: a flit becomes eligible for switch traversal
+//!   [`ROUTER_PIPELINE`] cycles after entering an input buffer, and link
+//!   traversal to the next router takes one further cycle;
+//! - 1-flit control packets and 5-flit data packets (head + four 32-bit
+//!   payload words on the 16-bit-wide link modelled at packet granularity);
+//! - messages longer than four words are segmented into multiple packets
+//!   and reassembled at the destination NIC.
+
+use crate::{PortDir, TileId, Topology};
+use std::collections::VecDeque;
+
+/// Router pipeline depth in cycles (5-stage router, Table II).
+pub const ROUTER_PIPELINE: u64 = 5;
+/// Link traversal latency in cycles.
+pub const LINK_LATENCY: u64 = 1;
+/// Maximum payload words per data packet (16-byte data packets).
+pub const MAX_PAYLOAD_WORDS: usize = 4;
+
+/// Packet class, sized per the paper (1-flit control, 5-flit data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// Single-flit control packet.
+    Control,
+    /// Head + up-to-four payload flits.
+    Data,
+}
+
+/// Network configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MeshConfig {
+    /// Geometry.
+    pub topo: Topology,
+    /// Input-buffer capacity per port, in flits.
+    pub buffer_flits: usize,
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        MeshConfig { topo: Topology::stitch_4x4(), buffer_flits: 8 }
+    }
+}
+
+/// Aggregate traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MeshStats {
+    /// Packets injected.
+    pub packets_sent: u64,
+    /// Packets fully delivered.
+    pub packets_delivered: u64,
+    /// Flit-hops traversed (energy proxy).
+    pub flit_hops: u64,
+    /// Sum of packet latencies (injection to delivery), cycles.
+    pub total_packet_latency: u64,
+}
+
+impl MeshStats {
+    /// Mean end-to-end packet latency in cycles.
+    #[must_use]
+    pub fn avg_latency(&self) -> f64 {
+        if self.packets_delivered == 0 {
+            0.0
+        } else {
+            self.total_packet_latency as f64 / self.packets_delivered as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Flit {
+    dst: TileId,
+    src: TileId,
+    is_head: bool,
+    is_tail: bool,
+    /// Payload word (heads of control packets carry one word too).
+    word: u32,
+    /// Message id for reassembly.
+    msg_id: u64,
+    /// Total words of the whole message (carried on every head).
+    msg_len: u32,
+    injected_at: u64,
+    /// Cycle at which the flit becomes eligible at its current router.
+    ready_at: u64,
+}
+
+const PORTS: usize = 5; // N,E,S,W + Local
+
+fn port_index(p: PortDir) -> usize {
+    match p {
+        PortDir::North => 0,
+        PortDir::East => 1,
+        PortDir::South => 2,
+        PortDir::West => 3,
+        PortDir::Reg | PortDir::Patch => 4, // local
+    }
+}
+
+#[derive(Debug, Default)]
+struct Router {
+    inputs: [VecDeque<Flit>; PORTS],
+    /// Wormhole state: which input currently owns each output port.
+    out_owner: [Option<usize>; PORTS],
+    /// Round-robin pointer per output.
+    rr: [usize; PORTS],
+}
+
+/// A fully delivered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sender tile.
+    pub src: TileId,
+    /// Payload words.
+    pub words: Vec<u32>,
+}
+
+#[derive(Debug, Default)]
+struct Reassembly {
+    src: TileId,
+    msg_id: u64,
+    expected: u32,
+    words: Vec<u32>,
+}
+
+/// The buffered inter-core mesh.
+///
+/// Advance it one cycle at a time with [`Mesh::tick`]; inject messages
+/// with [`Mesh::send`]; delivered messages appear per destination tile via
+/// [`Mesh::pop_delivered`].
+#[derive(Debug)]
+pub struct Mesh {
+    cfg: MeshConfig,
+    routers: Vec<Router>,
+    /// Per-tile injection queues (packets waiting to enter the local port).
+    inject: Vec<VecDeque<Vec<Flit>>>,
+    /// Per-tile in-flight reassemblies.
+    assembling: Vec<Vec<Reassembly>>,
+    /// Per-tile delivered messages.
+    delivered: Vec<VecDeque<Message>>,
+    stats: MeshStats,
+    cycle: u64,
+    next_msg_id: u64,
+}
+
+impl Mesh {
+    /// Creates an idle mesh.
+    #[must_use]
+    pub fn new(cfg: MeshConfig) -> Self {
+        let n = cfg.topo.tiles();
+        Mesh {
+            cfg,
+            routers: (0..n).map(|_| Router::default()).collect(),
+            inject: vec![VecDeque::new(); n],
+            assembling: (0..n).map(|_| Vec::new()).collect(),
+            delivered: vec![VecDeque::new(); n],
+            stats: MeshStats::default(),
+            cycle: 0,
+            next_msg_id: 0,
+        }
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> MeshStats {
+        self.stats
+    }
+
+    /// Queues a message of `words` from `src` to `dst`, segmenting it into
+    /// data packets (or a single control packet when empty).
+    pub fn send(&mut self, src: TileId, dst: TileId, words: &[u32]) {
+        let msg_id = self.next_msg_id;
+        self.next_msg_id += 1;
+        let msg_len = words.len() as u32;
+        let chunks: Vec<&[u32]> = if words.is_empty() {
+            vec![&[][..]]
+        } else {
+            words.chunks(MAX_PAYLOAD_WORDS).collect()
+        };
+        for chunk in chunks {
+            let mut flits = Vec::with_capacity(1 + chunk.len());
+            flits.push(Flit {
+                dst,
+                src,
+                is_head: true,
+                is_tail: chunk.is_empty(),
+                word: 0,
+                msg_id,
+                msg_len,
+                injected_at: self.cycle,
+                ready_at: self.cycle,
+            });
+            for (i, w) in chunk.iter().enumerate() {
+                flits.push(Flit {
+                    dst,
+                    src,
+                    is_head: false,
+                    is_tail: i + 1 == chunk.len(),
+                    word: *w,
+                    msg_id,
+                    msg_len,
+                    injected_at: self.cycle,
+                    ready_at: self.cycle,
+                });
+            }
+            self.inject[src.index()].push_back(flits);
+            self.stats.packets_sent += 1;
+        }
+    }
+
+    /// Pops the next fully received message at `tile` from `src`, if any.
+    pub fn pop_delivered(&mut self, tile: TileId, src: TileId) -> Option<Message> {
+        let q = &mut self.delivered[tile.index()];
+        let pos = q.iter().position(|m| m.src == src)?;
+        q.remove(pos)
+    }
+
+    /// Returns whether a message from `src` is waiting at `tile`.
+    #[must_use]
+    pub fn has_delivered(&self, tile: TileId, src: TileId) -> bool {
+        self.delivered[tile.index()].iter().any(|m| m.src == src)
+    }
+
+    /// True when no traffic is in flight anywhere.
+    #[must_use]
+    pub fn idle(&self) -> bool {
+        self.inject.iter().all(VecDeque::is_empty)
+            && self.routers.iter().all(|r| r.inputs.iter().all(VecDeque::is_empty))
+            && self.assembling.iter().all(Vec::is_empty)
+    }
+
+    /// Output port for a flit at `here` by XY routing.
+    fn route(&self, here: TileId, dst: TileId) -> usize {
+        let (c, d) = (self.cfg.topo.coord(here), self.cfg.topo.coord(dst));
+        if d.x > c.x {
+            port_index(PortDir::East)
+        } else if d.x < c.x {
+            port_index(PortDir::West)
+        } else if d.y > c.y {
+            port_index(PortDir::South)
+        } else if d.y < c.y {
+            port_index(PortDir::North)
+        } else {
+            4 // local
+        }
+    }
+
+    /// Advances the network one cycle.
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+        let n = self.cfg.topo.tiles();
+
+        // 1. Injection: move waiting flits into the local input buffer.
+        for t in 0..n {
+            let free = self.cfg.buffer_flits - self.routers[t].inputs[4].len();
+            let mut moved = 0;
+            while moved < free {
+                let Some(front) = self.inject[t].front_mut() else { break };
+                if front.is_empty() {
+                    self.inject[t].pop_front();
+                    continue;
+                }
+                let mut flit = front.remove(0);
+                flit.ready_at = self.cycle + ROUTER_PIPELINE;
+                self.routers[t].inputs[4].push_back(flit);
+                moved += 1;
+            }
+            // Drop exhausted packet shells.
+            while matches!(self.inject[t].front(), Some(f) if f.is_empty()) {
+                self.inject[t].pop_front();
+            }
+        }
+
+        // 2. Switch traversal: per router, per output port, forward at
+        // most one eligible flit, honoring wormhole ownership and
+        // downstream credits. Collect moves first to keep the update
+        // atomic within the cycle.
+        struct Move {
+            from_router: usize,
+            from_port: usize,
+            to_router: Option<usize>, // None = ejected locally
+            to_port: usize,
+        }
+        let mut moves: Vec<Move> = Vec::new();
+        // Track per-destination-buffer credit consumption within this cycle.
+        let mut credits: Vec<[usize; PORTS]> = (0..n)
+            .map(|r| {
+                let mut c = [0usize; PORTS];
+                for (p, q) in self.routers[r].inputs.iter().enumerate() {
+                    c[p] = self.cfg.buffer_flits - q.len();
+                }
+                c
+            })
+            .collect();
+
+        for r in 0..n {
+            let here = TileId(r as u8);
+            for out in 0..PORTS {
+                // Candidate inputs whose head-of-line flit wants `out`.
+                let owner = self.routers[r].out_owner[out];
+                let pick: Option<usize> = if let Some(input) = owner {
+                    // Wormhole: only the owning input may use this output.
+                    let head_ok = self.routers[r].inputs[input]
+                        .front()
+                        .is_some_and(|f| f.ready_at <= self.cycle && self.route(here, f.dst) == out);
+                    head_ok.then_some(input)
+                } else {
+                    // Round-robin among inputs with an eligible head flit.
+                    let start = self.routers[r].rr[out];
+                    (0..PORTS)
+                        .map(|k| (start + k) % PORTS)
+                        .find(|&input| {
+                            self.routers[r].inputs[input].front().is_some_and(|f| {
+                                f.is_head
+                                    && f.ready_at <= self.cycle
+                                    && self.route(here, f.dst) == out
+                            })
+                        })
+                };
+                let Some(input) = pick else { continue };
+
+                if out == 4 {
+                    // Ejection is always possible (NIC sinks flits).
+                    moves.push(Move { from_router: r, from_port: input, to_router: None, to_port: 0 });
+                } else {
+                    let dir = [PortDir::North, PortDir::East, PortDir::South, PortDir::West][out];
+                    let Some(next) = self.cfg.topo.neighbor(here, dir) else { continue };
+                    let in_port = port_index(dir.opposite());
+                    if credits[next.index()][in_port] == 0 {
+                        continue; // no downstream buffer space
+                    }
+                    credits[next.index()][in_port] -= 1;
+                    moves.push(Move {
+                        from_router: r,
+                        from_port: input,
+                        to_router: Some(next.index()),
+                        to_port: in_port,
+                    });
+                }
+            }
+        }
+
+        // 3. Apply moves.
+        for m in moves {
+            let flit = self.routers[m.from_router].inputs[m.from_port]
+                .pop_front()
+                .expect("picked flit present");
+            let here = TileId(m.from_router as u8);
+            let out = self.route(here, flit.dst);
+            // Maintain wormhole ownership.
+            let router = &mut self.routers[m.from_router];
+            if flit.is_head {
+                router.out_owner[out] = Some(m.from_port);
+                router.rr[out] = (m.from_port + 1) % PORTS;
+            }
+            if flit.is_tail {
+                router.out_owner[out] = None;
+            }
+            match m.to_router {
+                None => self.eject(here, flit),
+                Some(next) => {
+                    self.stats.flit_hops += 1;
+                    let mut f = flit;
+                    f.ready_at = self.cycle + LINK_LATENCY + ROUTER_PIPELINE;
+                    self.routers[next].inputs[m.to_port].push_back(f);
+                }
+            }
+        }
+    }
+
+    fn eject(&mut self, tile: TileId, flit: Flit) {
+        let slot = self.assembling[tile.index()]
+            .iter()
+            .position(|a| a.src == flit.src && a.msg_id == flit.msg_id);
+        let idx = match slot {
+            Some(i) => i,
+            None => {
+                self.assembling[tile.index()].push(Reassembly {
+                    src: flit.src,
+                    msg_id: flit.msg_id,
+                    expected: flit.msg_len,
+                    words: Vec::new(),
+                });
+                self.assembling[tile.index()].len() - 1
+            }
+        };
+        if !flit.is_head {
+            self.assembling[tile.index()][idx].words.push(flit.word);
+        }
+        if flit.is_tail {
+            self.stats.packets_delivered += 1;
+            self.stats.total_packet_latency += self.cycle - flit.injected_at;
+        }
+        let done = self.assembling[tile.index()][idx].words.len() as u32
+            >= self.assembling[tile.index()][idx].expected;
+        if done && flit.is_tail {
+            let a = self.assembling[tile.index()].remove(idx);
+            self.delivered[tile.index()].push_back(Message { src: a.src, words: a.words });
+        }
+    }
+
+    /// Runs the network until idle or `max_cycles`, returning cycles spent.
+    pub fn drain(&mut self, max_cycles: u64) -> u64 {
+        let start = self.cycle;
+        while !self.idle() && self.cycle - start < max_cycles {
+            self.tick();
+        }
+        self.cycle - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(MeshConfig::default())
+    }
+
+    #[test]
+    fn delivers_short_message() {
+        let mut m = mesh();
+        m.send(TileId(0), TileId(3), &[7, 8]);
+        m.drain(10_000);
+        let msg = m.pop_delivered(TileId(3), TileId(0)).expect("delivered");
+        assert_eq!(msg.words, vec![7, 8]);
+        assert!(m.pop_delivered(TileId(3), TileId(0)).is_none());
+    }
+
+    #[test]
+    fn latency_scales_with_hops() {
+        // 1 hop vs 6 hops: latency difference ~= 5 x (pipeline + link).
+        let mut m1 = mesh();
+        m1.send(TileId(0), TileId(1), &[1]);
+        m1.drain(10_000);
+        let l1 = m1.stats().avg_latency();
+
+        let mut m6 = mesh();
+        m6.send(TileId(0), TileId(15), &[1]);
+        m6.drain(10_000);
+        let l6 = m6.stats().avg_latency();
+        assert!(l6 > l1 + 4.0 * (ROUTER_PIPELINE + LINK_LATENCY) as f64 - 1.0,
+            "l1={l1} l6={l6}");
+    }
+
+    #[test]
+    fn long_messages_are_segmented_and_reassembled() {
+        let mut m = mesh();
+        let words: Vec<u32> = (0..23).collect();
+        m.send(TileId(2), TileId(13), &words);
+        m.drain(100_000);
+        let msg = m.pop_delivered(TileId(13), TileId(2)).expect("delivered");
+        assert_eq!(msg.words, words);
+        assert_eq!(m.stats().packets_sent, 6); // ceil(23/4)
+        assert_eq!(m.stats().packets_delivered, 6);
+    }
+
+    #[test]
+    fn zero_length_message_is_control_packet() {
+        let mut m = mesh();
+        m.send(TileId(5), TileId(6), &[]);
+        m.drain(10_000);
+        let msg = m.pop_delivered(TileId(6), TileId(5)).expect("delivered");
+        assert!(msg.words.is_empty());
+        assert_eq!(m.stats().packets_sent, 1);
+    }
+
+    #[test]
+    fn messages_from_same_source_keep_order() {
+        let mut m = mesh();
+        m.send(TileId(0), TileId(15), &[1]);
+        m.send(TileId(0), TileId(15), &[2]);
+        m.drain(100_000);
+        assert_eq!(m.pop_delivered(TileId(15), TileId(0)).unwrap().words, vec![1]);
+        assert_eq!(m.pop_delivered(TileId(15), TileId(0)).unwrap().words, vec![2]);
+    }
+
+    #[test]
+    fn cross_traffic_all_delivered() {
+        let mut m = mesh();
+        // All 16 tiles send to their diagonal opposite simultaneously.
+        for t in 0..16u8 {
+            m.send(TileId(t), TileId(15 - t), &[u32::from(t); 10]);
+        }
+        m.drain(1_000_000);
+        assert!(m.idle(), "network drains under all-to-all traffic");
+        for t in 0..16u8 {
+            let msg = m.pop_delivered(TileId(15 - t), TileId(t)).expect("delivered");
+            assert_eq!(msg.words, vec![u32::from(t); 10]);
+        }
+    }
+
+    #[test]
+    fn pop_filters_by_source() {
+        let mut m = mesh();
+        m.send(TileId(1), TileId(0), &[11]);
+        m.send(TileId(2), TileId(0), &[22]);
+        m.drain(100_000);
+        assert_eq!(m.pop_delivered(TileId(0), TileId(2)).unwrap().words, vec![22]);
+        assert_eq!(m.pop_delivered(TileId(0), TileId(1)).unwrap().words, vec![11]);
+    }
+
+    #[test]
+    fn flit_hops_counted() {
+        let mut m = mesh();
+        m.send(TileId(0), TileId(1), &[1, 2, 3, 4]); // 5 flits, 1 hop
+        m.drain(10_000);
+        assert_eq!(m.stats().flit_hops, 5);
+    }
+}

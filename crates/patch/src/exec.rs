@@ -1,0 +1,342 @@
+//! Functional evaluation of (possibly fused) patches.
+
+use crate::control::{AtAsControl, AtMaControl, AtSaControl, ControlWord, Sel4, T1Mode};
+use stitch_isa::op::AluOp;
+use std::collections::HashMap;
+
+/// Scratchpad port used by the LMAU during custom-instruction execution.
+///
+/// Addresses are byte offsets within the executing tile's SPM window.
+pub trait SpmPort {
+    /// Loads the word at `offset`.
+    fn load(&mut self, offset: u32) -> u32;
+    /// Stores `value` at `offset`.
+    fn store(&mut self, offset: u32, value: u32);
+}
+
+/// A simple in-memory [`SpmPort`] for tests and the compiler's speedup
+/// estimation.
+#[derive(Debug, Clone, Default)]
+pub struct MapSpm {
+    words: HashMap<u32, u32>,
+}
+
+impl MapSpm {
+    /// Creates an empty scratchpad.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-populates a word (word-aligned byte offset).
+    pub fn set(&mut self, offset: u32, value: u32) {
+        self.words.insert(offset & !3, value);
+    }
+
+    /// Reads back a word without counting as an access.
+    #[must_use]
+    pub fn get(&self, offset: u32) -> u32 {
+        self.words.get(&(offset & !3)).copied().unwrap_or(0)
+    }
+}
+
+impl SpmPort for MapSpm {
+    fn load(&mut self, offset: u32) -> u32 {
+        self.get(offset)
+    }
+
+    fn store(&mut self, offset: u32, value: u32) {
+        self.set(offset, value);
+    }
+}
+
+/// The two 32-bit results of a patch evaluation.
+///
+/// `out0` is the stage-2 result; `out1` is the LMAU (`T1`) output — the
+/// loaded value for `T1Mode::Load`, otherwise the stage-1 ALU result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PatchOutput {
+    /// Stage-2 result.
+    pub out0: u32,
+    /// LMAU result.
+    pub out1: u32,
+}
+
+struct Stage1Out {
+    a1: u32,
+    t1: u32,
+}
+
+fn run_stage1(
+    c: &crate::control::Stage1,
+    ins: [u32; 4],
+    spm: &mut dyn SpmPort,
+) -> Stage1Out {
+    let a1 = c.a1_op.eval(ins[c.a1_src1 as usize], ins[c.a1_src2 as usize]);
+    let t1 = match c.t1 {
+        T1Mode::Bypass => a1,
+        T1Mode::Load => spm.load(a1),
+        T1Mode::Store => {
+            spm.store(a1, ins[2]);
+            a1
+        }
+    };
+    Stage1Out { a1, t1 }
+}
+
+fn sel4(sel: Sel4, s1: &Stage1Out, ins: [u32; 4]) -> u32 {
+    match sel {
+        Sel4::A1 => s1.a1,
+        Sel4::T1 => s1.t1,
+        Sel4::In2 => ins[2],
+        Sel4::In3 => ins[3],
+    }
+}
+
+fn eval_atma(c: &AtMaControl, ins: [u32; 4], spm: &mut dyn SpmPort) -> PatchOutput {
+    let s1 = run_stage1(&c.s1, ins, spm);
+    let product = AluOp::Mul.eval(sel4(c.m_src1, &s1, ins), sel4(c.m_src2, &s1, ins));
+    let a2_src1 = if c.a2_takes_a1 { s1.a1 } else { product };
+    let out0 = c.a2_op.eval(a2_src1, sel4(c.a2_src2, &s1, ins));
+    PatchOutput { out0, out1: s1.t1 }
+}
+
+fn eval_atas(c: &AtAsControl, ins: [u32; 4], spm: &mut dyn SpmPort) -> PatchOutput {
+    let s1 = run_stage1(&c.s1, ins, spm);
+    let a2 = c.a2_op.eval(sel4(c.a2_src1, &s1, ins), sel4(c.a2_src2, &s1, ins));
+    let out0 = match c.s_op {
+        Some(op) => op.eval(a2, if c.s_amt_in3 { ins[3] } else { ins[2] }),
+        None => a2,
+    };
+    PatchOutput { out0, out1: s1.t1 }
+}
+
+fn eval_atsa(c: &AtSaControl, ins: [u32; 4], spm: &mut dyn SpmPort) -> PatchOutput {
+    let s1 = run_stage1(&c.s1, ins, spm);
+    let s_in = sel4(c.s_in, &s1, ins);
+    let shifted = match c.s_op {
+        Some(op) => op.eval(s_in, if c.s_amt_in3 { ins[3] } else { ins[2] }),
+        None => s_in,
+    };
+    let out0 = c.a2_op.eval(shifted, sel4(c.a2_src2, &s1, ins));
+    PatchOutput { out0, out1: s1.t1 }
+}
+
+fn eval_locus(c: &crate::control::LocusControl, ins: [u32; 4]) -> PatchOutput {
+    let mut vals: Vec<u32> = ins.to_vec();
+    for op in &c.ops {
+        let a = vals[op.src1 as usize];
+        let b = vals[op.src2 as usize];
+        vals.push(op.op.eval(a, b));
+    }
+    PatchOutput {
+        out0: *vals.last().expect("at least the inputs"),
+        out1: vals.get(4).copied().unwrap_or(0),
+    }
+}
+
+/// Evaluates one patch with the given control word.
+///
+/// The four `ins` words are the register-file operands of the custom
+/// instruction (unused slots are zero). The LOCUS SFU ignores `spm`.
+pub fn eval_single(control: &ControlWord, ins: [u32; 4], spm: &mut dyn SpmPort) -> PatchOutput {
+    match control {
+        ControlWord::AtMa(c) => eval_atma(c, ins, spm),
+        ControlWord::AtAs(c) => eval_atas(c, ins, spm),
+        ControlWord::AtSa(c) => eval_atsa(c, ins, spm),
+        ControlWord::Locus(c) => eval_locus(c, ins),
+    }
+}
+
+/// Evaluates a fused pair of patches (paper Fig 4(e), Fig 5).
+///
+/// The 166-bit inter-patch link carries four data words. The first patch
+/// consumes the original operands and replaces the first two words with
+/// its outputs; the second patch therefore sees
+/// `[p1.out0, p1.out1, in2, in3]`. The final results travel back to the
+/// issuing core. Memory (`T`) operations of either stage address the SPM
+/// given in `spm` — the compiler's mapper restricts `T` ops of fused
+/// instructions to the first (local) patch so a single SPM is involved
+/// (see DESIGN.md, substitution notes).
+pub fn eval_fused(
+    first: &ControlWord,
+    second: &ControlWord,
+    ins: [u32; 4],
+    spm: &mut dyn SpmPort,
+) -> PatchOutput {
+    let stage1 = eval_single(first, ins, spm);
+    let forwarded = [stage1.out0, stage1.out1, ins[2], ins[3]];
+    eval_single(second, forwarded, spm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::control::{LocusControl, LocusOp, Stage1};
+
+    fn ins(a: u32, b: u32, c: u32, d: u32) -> [u32; 4] {
+        [a, b, c, d]
+    }
+
+    #[test]
+    fn atma_mul_add() {
+        // out0 = (in0 + in1) ... no: mul(in2, in3) + a1 where a1 = in0+in1.
+        let c = AtMaControl {
+            s1: Stage1 { a1_op: AluOp::Add, a1_src1: 0, a1_src2: 1, t1: T1Mode::Bypass },
+            m_src1: Sel4::In2,
+            m_src2: Sel4::In3,
+            a2_takes_a1: false,
+            a2_op: AluOp::Add,
+            a2_src2: Sel4::A1,
+        };
+        let mut spm = MapSpm::new();
+        let out = eval_single(&ControlWord::AtMa(c), ins(10, 20, 3, 4), &mut spm);
+        assert_eq!(out.out0, 3 * 4 + 30);
+        assert_eq!(out.out1, 30);
+    }
+
+    #[test]
+    fn atma_aa_chain_via_intermediate_connection() {
+        // {AA}: a2 = (in0 - in1) ^ in2, multiplier bypassed.
+        let c = AtMaControl {
+            s1: Stage1 { a1_op: AluOp::Sub, a1_src1: 0, a1_src2: 1, t1: T1Mode::Bypass },
+            m_src1: Sel4::A1,
+            m_src2: Sel4::A1,
+            a2_takes_a1: true,
+            a2_op: AluOp::Xor,
+            a2_src2: Sel4::In2,
+        };
+        let mut spm = MapSpm::new();
+        let out = eval_single(&ControlWord::AtMa(c), ins(9, 4, 0xF0, 0), &mut spm);
+        assert_eq!(out.out0, 5 ^ 0xF0);
+    }
+
+    #[test]
+    fn lmau_load_feeds_stage2() {
+        // a1 = in0 + in1 (address); t1 = spm[a1]; out0 = t1 * in2 + 0.
+        let mut spm = MapSpm::new();
+        spm.set(24, 7);
+        let c = AtMaControl {
+            s1: Stage1 { a1_op: AluOp::Add, a1_src1: 0, a1_src2: 1, t1: T1Mode::Load },
+            m_src1: Sel4::T1,
+            m_src2: Sel4::In2,
+            a2_takes_a1: false,
+            a2_op: AluOp::Or,
+            a2_src2: Sel4::T1,
+        };
+        let out = eval_single(&ControlWord::AtMa(c), ins(16, 8, 6, 0), &mut spm);
+        assert_eq!(out.out1, 7, "loaded word on out1");
+        assert_eq!(out.out0, (7 * 6) | 7);
+    }
+
+    #[test]
+    fn lmau_store_writes_in2() {
+        let mut spm = MapSpm::new();
+        let c = AtAsControl {
+            s1: Stage1 { a1_op: AluOp::Add, a1_src1: 0, a1_src2: 1, t1: T1Mode::Store },
+            ..AtAsControl::default()
+        };
+        let out = eval_single(&ControlWord::AtAs(c), ins(32, 4, 123, 0), &mut spm);
+        assert_eq!(spm.get(36), 123);
+        assert_eq!(out.out1, 36, "address passes through on store");
+    }
+
+    #[test]
+    fn atas_add_then_shift() {
+        // out0 = (in0 + in1) << in2  (the paper's Fig 4(c) pattern half).
+        let c = AtAsControl {
+            s1: Stage1::default(),
+            a2_op: AluOp::Add,
+            a2_src1: Sel4::In2,
+            a2_src2: Sel4::In3,
+            s_op: Some(AluOp::Sll),
+            s_amt_in3: false,
+        };
+        // Note: a2 uses in2/in3; shift amount from in2 as well.
+        let mut spm = MapSpm::new();
+        let out = eval_single(&ControlWord::AtAs(c), ins(0, 0, 3, 5), &mut spm);
+        assert_eq!(out.out0, (3 + 5) << 3);
+    }
+
+    #[test]
+    fn atsa_shift_then_add() {
+        // out0 = (in2 >> in3... amount in3) + a1 where a1 = in0 & in1.
+        let c = AtSaControl {
+            s1: Stage1 { a1_op: AluOp::And, a1_src1: 0, a1_src2: 1, t1: T1Mode::Bypass },
+            s_in: Sel4::In2,
+            s_op: Some(AluOp::Srl),
+            s_amt_in3: true,
+            a2_op: AluOp::Add,
+            a2_src2: Sel4::A1,
+        };
+        let mut spm = MapSpm::new();
+        let out = eval_single(&ControlWord::AtSa(c), ins(0xFF, 0x0F, 64, 2), &mut spm);
+        assert_eq!(out.out0, (64 >> 2) + 0x0F);
+    }
+
+    #[test]
+    fn locus_chain() {
+        // (in0 + in1) << in2
+        let c = ControlWord::Locus(LocusControl {
+            ops: vec![
+                LocusOp { op: AluOp::Add, src1: 0, src2: 1 },
+                LocusOp { op: AluOp::Sll, src1: 4, src2: 2 },
+            ],
+        });
+        let mut spm = MapSpm::new();
+        let out = eval_single(&c, ins(2, 3, 4, 5), &mut spm);
+        assert_eq!(out.out0, (2 + 3) << 4);
+        assert_eq!(out.out1, 5, "first micro-op result on out1");
+    }
+
+    #[test]
+    fn fused_forwarding() {
+        // First patch computes (in0 + in1) on out0 (pass-through stage 2);
+        // second patch multiplies that by the ride-along in2.
+        let first = ControlWord::AtMa(AtMaControl {
+            s1: Stage1 { a1_op: AluOp::Add, a1_src1: 0, a1_src2: 1, t1: T1Mode::Bypass },
+            ..AtMaControl::default()
+        });
+        let second = ControlWord::AtMa(AtMaControl {
+            s1: Stage1::default(), // a1 = or(in0, in0) = p1.out0
+            m_src1: Sel4::A1,
+            m_src2: Sel4::In2,
+            a2_takes_a1: false,
+            a2_op: AluOp::Or,
+            a2_src2: Sel4::A1,
+        });
+        let mut spm = MapSpm::new();
+        let out = eval_fused(&first, &second, ins(6, 7, 10, 0), &mut spm);
+        assert_eq!(out.out0, (13 * 10) | 13);
+    }
+
+    #[test]
+    fn fig4e_pattern_single_cycle() {
+        // Paper Fig 4: ((a + b) << 2) + ((c - d) >> 1) style pattern split
+        // over two {AT-AS} patches: p1 computes (a+b)<<2 via A2+S; p2
+        // computes... p2.a1 consumes p1 outputs; p2.A2 adds shifted ride-
+        // along. Here: p1.out0 = (in0+in1)<<1 (amount from in2=1);
+        // p2: a1 = or(p1out0, p1out0); a2 = a1 + in3; out = a2 (s bypass).
+        let p1 = ControlWord::AtAs(AtAsControl {
+            s1: Stage1::default(),
+            a2_op: AluOp::Add,
+            a2_src1: Sel4::In2,
+            a2_src2: Sel4::In3,
+            s_op: Some(AluOp::Sll),
+            s_amt_in3: false,
+        });
+        // wait: shift amount = in2 which is also operand; use values where
+        // that is intended: in2=2 -> (2+5)<<2.
+        let p2 = ControlWord::AtAs(AtAsControl {
+            s1: Stage1::default(), // passes p1.out0
+            a2_op: AluOp::Add,
+            a2_src1: Sel4::A1,
+            a2_src2: Sel4::In2, // ride-along in2
+            s_op: None,
+            s_amt_in3: false,
+        });
+        let mut spm = MapSpm::new();
+        let out = eval_fused(&p1, &p2, ins(0, 0, 2, 5), &mut spm);
+        assert_eq!(out.out0, ((2 + 5) << 2) + 2);
+    }
+}

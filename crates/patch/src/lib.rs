@@ -1,0 +1,88 @@
+//! # Polymorphic patches — the tiny fusible ISE accelerators of Stitch
+//!
+//! A *polymorphic patch* (paper §III-A, Fig 3) is a two-stage configurable
+//! datapath tightly coupled to a core's pipeline:
+//!
+//! - **stage 1** is common to all three classes: an ALU (`A1`) followed by
+//!   the local-memory access unit (`T1`, the LMAU) — physically a 2×1
+//!   multiplexer on the scratchpad port, so `T1` either passes the ALU
+//!   result through or replaces it with the loaded word;
+//! - **stage 2** differs per class: `{AT-MA}` has a multiplier feeding an
+//!   ALU, `{AT-AS}` an ALU feeding a shifter, and `{AT-SA}` a shifter
+//!   feeding an ALU.
+//!
+//! Each patch takes up to four input operands and produces two outputs
+//! (`out0` = stage-2 result, `out1` = LMAU result), configured by a 19-bit
+//! control word carried by the two-word custom instruction
+//! ([`control::ControlWord`]).
+//!
+//! Two patches can be **fused** over the compiler-scheduled inter-patch NoC
+//! into a virtual accelerator executing a larger pattern in a single cycle;
+//! [`exec::eval_fused`] implements the data flow (the first patch's outputs
+//! arrive as the second patch's `in0`/`in1`, original `in2`/`in3` ride
+//! along on the 4-word link) and [`timing`] validates the combinational
+//! path against the 5 ns clock using the paper's Table IV delays.
+//!
+//! The [`shape`] module exposes each class's structural description
+//! (units, operand-source choices, output wiring) so the compiler's mapper
+//! can place dataflow-graph nodes onto patch units and synthesize control
+//! words. The LOCUS baseline's conventional special functional unit (an
+//! op-chain accelerator *without* LMAU, so no load/store inside custom
+//! instructions, and without fusion) is modelled alongside as
+//! [`PatchClass::LocusSfu`].
+
+pub mod control;
+pub mod exec;
+pub mod shape;
+pub mod timing;
+
+pub use control::{
+    AtAsControl, AtMaControl, AtSaControl, ControlWord, LocusControl, LocusOp, Sel4, Stage1,
+    T1Mode,
+};
+pub use exec::{eval_fused, eval_single, MapSpm, PatchOutput, SpmPort};
+pub use shape::{patch_shape, Port, UnitId, UnitSpec};
+pub use stitch_isa::custom::PatchClass;
+pub use timing::{
+    fused_delay_ns, fused_path_legal, patch_area_um2, patch_delay_ns, single_delay_ns,
+    CLOCK_PERIOD_NS, HOP_WIRE_DELAY_NS, MAX_FUSED_HOPS, SWITCH_DELAY_NS,
+};
+
+use std::fmt;
+
+/// Errors arising from control-word construction or evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatchError {
+    /// A packed control word does not decode for the given class.
+    BadControl {
+        /// The class attempted.
+        class: PatchClass,
+        /// Raw control bits.
+        bits: u32,
+        /// Reason.
+        reason: &'static str,
+    },
+    /// The class/control combination is inconsistent (e.g. a `{AT-AS}`
+    /// control word handed to an `{AT-MA}` patch).
+    ClassMismatch {
+        /// Class the control word was built for.
+        expected: PatchClass,
+        /// Class it was used with.
+        got: PatchClass,
+    },
+}
+
+impl fmt::Display for PatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatchError::BadControl { class, bits, reason } => {
+                write!(f, "invalid control word {bits:#07x} for {class}: {reason}")
+            }
+            PatchError::ClassMismatch { expected, got } => {
+                write!(f, "control word for {expected} used with {got} patch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatchError {}

@@ -1,0 +1,217 @@
+//! Structural descriptions of patch datapaths for the compiler's mapper.
+//!
+//! A [`UnitSpec`] lists, for every functional unit in a patch, which
+//! operation class it executes and which [`Port`]s each of its operands
+//! can be driven from. The mapper assigns dataflow-graph nodes to units
+//! and checks every DFG edge against these choices, then synthesizes the
+//! corresponding control word.
+
+use crate::PatchClass;
+use stitch_isa::op::OpClass;
+
+/// A data source inside a patch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Port {
+    /// External input operand `0..=3`.
+    In(u8),
+    /// Output of another unit of the same patch.
+    Unit(UnitId),
+}
+
+/// Functional-unit identifiers (meaning depends on the patch class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnitId {
+    /// Stage-1 ALU.
+    A1,
+    /// LMAU (scratchpad port mux).
+    T1,
+    /// Multiplier (`{AT-MA}` only).
+    M,
+    /// Stage-2 ALU.
+    A2,
+    /// Shifter (`{AT-AS}`/`{AT-SA}`).
+    S,
+    /// Generic LOCUS chain slot `0..=1`.
+    L(u8),
+}
+
+/// Capability of one functional unit.
+#[derive(Debug, Clone)]
+pub struct UnitSpec {
+    /// Identifier within the patch.
+    pub id: UnitId,
+    /// Operation class executed by this unit.
+    pub class: OpClass,
+    /// Allowed sources for each operand. `T` units take one operand (the
+    /// address, always from `A1`) — their `srcs` has length 1. Shifters
+    /// take `(data, amount)`.
+    pub srcs: Vec<Vec<Port>>,
+}
+
+const IN0: Port = Port::In(0);
+const IN1: Port = Port::In(1);
+const IN2: Port = Port::In(2);
+const IN3: Port = Port::In(3);
+
+fn any_in() -> Vec<Port> {
+    vec![IN0, IN1, IN2, IN3]
+}
+
+fn sel4(extra: &[Port]) -> Vec<Port> {
+    let mut v = vec![Port::Unit(UnitId::A1), Port::Unit(UnitId::T1), IN2, IN3];
+    v.extend_from_slice(extra);
+    v
+}
+
+/// Returns the unit list of a patch class.
+///
+/// The order is topological: a unit may only consume outputs of units
+/// appearing earlier in the list (matching the physical pipeline).
+#[must_use]
+pub fn patch_shape(class: PatchClass) -> Vec<UnitSpec> {
+    let stage1 = [
+        UnitSpec { id: UnitId::A1, class: OpClass::A, srcs: vec![any_in(), any_in()] },
+        UnitSpec {
+            id: UnitId::T1,
+            class: OpClass::T,
+            // Address always comes from A1; store data is in2 (fixed).
+            srcs: vec![vec![Port::Unit(UnitId::A1)]],
+        },
+    ];
+    match class {
+        PatchClass::AtMa => {
+            let mut v = stage1.to_vec();
+            v.push(UnitSpec { id: UnitId::M, class: OpClass::M, srcs: vec![sel4(&[]), sel4(&[])] });
+            v.push(UnitSpec {
+                id: UnitId::A2,
+                class: OpClass::A,
+                srcs: vec![
+                    vec![Port::Unit(UnitId::M), Port::Unit(UnitId::A1)],
+                    sel4(&[]),
+                ],
+            });
+            v
+        }
+        PatchClass::AtAs => {
+            let mut v = stage1.to_vec();
+            v.push(UnitSpec { id: UnitId::A2, class: OpClass::A, srcs: vec![sel4(&[]), sel4(&[])] });
+            v.push(UnitSpec {
+                id: UnitId::S,
+                class: OpClass::S,
+                srcs: vec![vec![Port::Unit(UnitId::A2)], vec![IN2, IN3]],
+            });
+            v
+        }
+        PatchClass::AtSa => {
+            let mut v = stage1.to_vec();
+            v.push(UnitSpec {
+                id: UnitId::S,
+                class: OpClass::S,
+                srcs: vec![sel4(&[]), vec![IN2, IN3]],
+            });
+            v.push(UnitSpec {
+                id: UnitId::A2,
+                class: OpClass::A,
+                srcs: vec![vec![Port::Unit(UnitId::S)], sel4(&[])],
+            });
+            v
+        }
+        PatchClass::LocusSfu => {
+            // Two generic slots (depth-2 chain); slot i can consume the
+            // inputs and any earlier slot. Each does A, S or M.
+            (0..2u8)
+                .map(|i| {
+                    let mut choices = any_in();
+                    for j in 0..i {
+                        choices.push(Port::Unit(UnitId::L(j)));
+                    }
+                    UnitSpec {
+                        id: UnitId::L(i),
+                        // Class is a wildcard for LOCUS; the mapper treats
+                        // `A` here as "any non-T class".
+                        class: OpClass::A,
+                        srcs: vec![choices.clone(), choices],
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// The unit whose result is wired to `out0` (stage-2 result).
+#[must_use]
+pub fn out0_unit(class: PatchClass) -> UnitId {
+    match class {
+        PatchClass::AtMa | PatchClass::AtSa => UnitId::A2,
+        PatchClass::AtAs => UnitId::S,
+        PatchClass::LocusSfu => UnitId::L(1),
+    }
+}
+
+/// The unit whose result is wired to `out1`.
+#[must_use]
+pub fn out1_unit(class: PatchClass) -> UnitId {
+    match class {
+        PatchClass::LocusSfu => UnitId::L(0),
+        _ => UnitId::T1,
+    }
+}
+
+/// Whether this class supports local-memory (`T`) operations in custom
+/// instructions — the decisive LOCUS limitation in the paper (§VI-C).
+#[must_use]
+pub fn supports_memory(class: PatchClass) -> bool {
+    class != PatchClass::LocusSfu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_topological() {
+        for class in
+            [PatchClass::AtMa, PatchClass::AtAs, PatchClass::AtSa, PatchClass::LocusSfu]
+        {
+            let units = patch_shape(class);
+            for (i, u) in units.iter().enumerate() {
+                for srcs in &u.srcs {
+                    for p in srcs {
+                        if let Port::Unit(dep) = p {
+                            let pos = units.iter().position(|v| v.id == *dep).unwrap();
+                            assert!(pos < i, "{class}: {dep:?} must precede {:?}", u.id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stitch_classes_have_lmau() {
+        for class in PatchClass::STITCH {
+            assert!(supports_memory(class));
+            assert!(patch_shape(class).iter().any(|u| u.id == UnitId::T1));
+        }
+        assert!(!supports_memory(PatchClass::LocusSfu));
+    }
+
+    #[test]
+    fn output_wiring() {
+        assert_eq!(out0_unit(PatchClass::AtMa), UnitId::A2);
+        assert_eq!(out0_unit(PatchClass::AtAs), UnitId::S);
+        assert_eq!(out0_unit(PatchClass::AtSa), UnitId::A2);
+        assert_eq!(out1_unit(PatchClass::AtMa), UnitId::T1);
+    }
+
+    #[test]
+    fn class_chains_match_names() {
+        // {AT-MA}: A,T then M,A
+        let u: Vec<_> = patch_shape(PatchClass::AtMa).iter().map(|u| u.class).collect();
+        assert_eq!(u, vec![OpClass::A, OpClass::T, OpClass::M, OpClass::A]);
+        let u: Vec<_> = patch_shape(PatchClass::AtAs).iter().map(|u| u.class).collect();
+        assert_eq!(u, vec![OpClass::A, OpClass::T, OpClass::A, OpClass::S]);
+        let u: Vec<_> = patch_shape(PatchClass::AtSa).iter().map(|u| u.class).collect();
+        assert_eq!(u, vec![OpClass::A, OpClass::T, OpClass::S, OpClass::A]);
+    }
+}

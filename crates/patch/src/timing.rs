@@ -1,0 +1,131 @@
+//! Combinational-delay model of patches and fused paths (paper Table IV
+//! and §VI-D "NoC timing analysis").
+
+use crate::PatchClass;
+
+/// Clock period at the paper's 200 MHz operating point, in nanoseconds.
+pub const CLOCK_PERIOD_NS: f64 = 5.0;
+
+/// Delay of one inter-patch NoC crossbar switch (Table IV).
+pub const SWITCH_DELAY_NS: f64 = 0.17;
+
+/// Wire delay of one hop (Table IV gives 0.3 ns for 3 hops of clockless
+/// repeated links).
+pub const HOP_WIRE_DELAY_NS: f64 = 0.1;
+
+/// Maximum total hops (forward + return) between two stitched patches
+/// (paper §VI-D restricts traversal to at most six hops).
+pub const MAX_FUSED_HOPS: u32 = 6;
+
+/// Combinational delay of one patch datapath in nanoseconds (Table IV).
+#[must_use]
+pub fn patch_delay_ns(class: PatchClass) -> f64 {
+    match class {
+        PatchClass::AtMa => 1.38,
+        PatchClass::AtAs => 1.12,
+        PatchClass::AtSa => 1.02,
+        // The LOCUS SFU runs a 3-op chain; the paper reports LOCUS at up
+        // to 400 MHz, i.e. a <=2.5 ns unit. We model it at 2.30 ns.
+        PatchClass::LocusSfu => 2.30,
+    }
+}
+
+/// Area of one patch in square micrometres (Table IV; LOCUS per-core SFU
+/// from Table III: 1,288,044 um^2 / 16 cores).
+#[must_use]
+pub fn patch_area_um2(class: PatchClass) -> f64 {
+    match class {
+        PatchClass::AtMa => 4152.0,
+        PatchClass::AtAs => 2096.0,
+        PatchClass::AtSa => 2157.0,
+        PatchClass::LocusSfu => 1_288_044.0 / 16.0,
+    }
+}
+
+/// End-to-end delay of a *single-patch* custom instruction: local switch
+/// in, patch, local switch out (paper: "1.36 ns single {AT-SA} including
+/// the NoC overhead: 2 x 0.17").
+#[must_use]
+pub fn single_delay_ns(class: PatchClass) -> f64 {
+    2.0 * SWITCH_DELAY_NS + patch_delay_ns(class)
+}
+
+/// End-to-end delay of a fused custom instruction whose two patches are
+/// `hops` switch-hops apart (each direction), following the paper's
+/// critical-path accounting:
+///
+/// ```text
+/// switch_in + patch1 + switch_out
+///   + hops x (wire + switch) + patch2 + hops x (wire + switch)
+///   + final switch
+/// ```
+///
+/// For `{AT-MA}` + `{AT-AS}` at 3 hops each way this reproduces the
+/// paper's 4.63 ns critical path.
+#[must_use]
+pub fn fused_delay_ns(first: PatchClass, second: PatchClass, hops: u32) -> f64 {
+    let leg = f64::from(hops) * (HOP_WIRE_DELAY_NS + SWITCH_DELAY_NS);
+    SWITCH_DELAY_NS
+        + patch_delay_ns(first)
+        + SWITCH_DELAY_NS
+        + leg
+        + patch_delay_ns(second)
+        + leg
+        + SWITCH_DELAY_NS
+}
+
+/// Whether a fused pair at `hops` (per direction) meets the cycle time and
+/// the hop restriction, i.e. executes in a single cycle.
+#[must_use]
+pub fn fused_path_legal(first: PatchClass, second: PatchClass, hops: u32) -> bool {
+    2 * hops <= MAX_FUSED_HOPS && fused_delay_ns(first, second, hops) <= CLOCK_PERIOD_NS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_delays() {
+        assert_eq!(patch_delay_ns(PatchClass::AtMa), 1.38);
+        assert_eq!(patch_delay_ns(PatchClass::AtAs), 1.12);
+        assert_eq!(patch_delay_ns(PatchClass::AtSa), 1.02);
+    }
+
+    #[test]
+    fn paper_critical_path_reproduced() {
+        // §VI-D: 0.17 + 1.38 + 0.17 + (0.3 + 3*0.17) + 1.12 +
+        //        (0.3 + 3*0.17) + 0.17 = 4.63 ns
+        let d = fused_delay_ns(PatchClass::AtMa, PatchClass::AtAs, 3);
+        assert!((d - 4.63).abs() < 1e-9, "got {d}");
+        assert!(d <= CLOCK_PERIOD_NS);
+    }
+
+    #[test]
+    fn paper_single_atsa_path() {
+        let d = single_delay_ns(PatchClass::AtSa);
+        assert!((d - 1.36).abs() < 1e-9, "got {d}");
+    }
+
+    #[test]
+    fn hop_limit_enforced() {
+        assert!(fused_path_legal(PatchClass::AtSa, PatchClass::AtSa, 3));
+        assert!(!fused_path_legal(PatchClass::AtSa, PatchClass::AtSa, 4), "8 total hops > 6");
+    }
+
+    #[test]
+    fn worst_pair_fits_cycle_at_three_hops() {
+        // Two {AT-MA} at 3 hops each way: 4.89 ns <= 5 ns.
+        let d = fused_delay_ns(PatchClass::AtMa, PatchClass::AtMa, 3);
+        assert!((d - 4.89).abs() < 1e-9, "got {d}");
+        assert!(fused_path_legal(PatchClass::AtMa, PatchClass::AtMa, 3));
+    }
+
+    #[test]
+    fn areas_match_table4() {
+        assert_eq!(patch_area_um2(PatchClass::AtMa), 4152.0);
+        assert_eq!(patch_area_um2(PatchClass::AtAs), 2096.0);
+        assert_eq!(patch_area_um2(PatchClass::AtSa), 2157.0);
+        assert!(patch_area_um2(PatchClass::LocusSfu) > 10.0 * patch_area_um2(PatchClass::AtMa));
+    }
+}

@@ -1,0 +1,128 @@
+//! Area model (Table III, Table IV, Fig 13).
+
+use stitch_patch::patch_area_um2;
+use stitch_sim::{Arch, ChipConfig};
+
+/// Area of one inter-patch NoC crossbar switch in µm² (Table IV).
+pub const SWITCH_AREA_UM2: f64 = 7423.0;
+
+/// Total chip area of the Stitch prototype in µm² (derived from the
+/// paper: the 168,568 µm² accelerator overhead is 0.5% of the chip).
+pub const CHIP_AREA_UM2: f64 = 168_568.0 / 0.005;
+
+/// Per-core area of the base tile (core + caches + SPM + mesh router),
+/// i.e. the chip without any accelerator, spread over 16 tiles.
+pub const BASE_TILE_AREA_UM2: f64 = (CHIP_AREA_UM2 - 168_568.0) / 16.0;
+
+/// Accelerator area of one architecture in µm² (Table III's rows).
+#[must_use]
+pub fn accelerator_area_um2(arch: Arch) -> f64 {
+    let cfg = ChipConfig::for_arch(arch);
+    let patches: f64 = cfg
+        .patches
+        .iter()
+        .flatten()
+        .map(|&c| patch_area_um2(c))
+        .sum();
+    match arch {
+        Arch::Baseline => 0.0,
+        Arch::Locus => patches, // no inter-patch network
+        Arch::StitchNoFusion => patches,
+        Arch::Stitch => patches + 16.0 * SWITCH_AREA_UM2,
+    }
+}
+
+/// Chip-level area breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// Base logic (cores, caches, SPMs, mesh) in µm².
+    pub base_um2: f64,
+    /// Polymorphic patches in µm².
+    pub patches_um2: f64,
+    /// Inter-patch NoC switches in µm².
+    pub interpatch_noc_um2: f64,
+}
+
+impl AreaBreakdown {
+    /// Breakdown for an architecture.
+    #[must_use]
+    pub fn for_arch(arch: Arch) -> Self {
+        let cfg = ChipConfig::for_arch(arch);
+        let patches: f64 = cfg
+            .patches
+            .iter()
+            .flatten()
+            .map(|&c| patch_area_um2(c))
+            .sum();
+        AreaBreakdown {
+            base_um2: BASE_TILE_AREA_UM2 * 16.0,
+            patches_um2: patches,
+            interpatch_noc_um2: if arch == Arch::Stitch { 16.0 * SWITCH_AREA_UM2 } else { 0.0 },
+        }
+    }
+
+    /// Total chip area in µm².
+    #[must_use]
+    pub fn total_um2(&self) -> f64 {
+        self.base_um2 + self.patches_um2 + self.interpatch_noc_um2
+    }
+
+    /// Accelerator share of the chip (the paper's 0.5% headline).
+    #[must_use]
+    pub fn accelerator_fraction(&self) -> f64 {
+        (self.patches_um2 + self.interpatch_noc_um2) / self.total_um2()
+    }
+}
+
+/// Total chip area in mm² for an architecture.
+#[must_use]
+pub fn chip_area_mm2(arch: Arch) -> f64 {
+    AreaBreakdown::for_arch(arch).total_um2() / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stitch_accelerator_area_matches_table3() {
+        // Table III: Stitch 168,568 µm² (ours differs only by the paper's
+        // internal rounding of Table IV entries).
+        let a = accelerator_area_um2(Arch::Stitch);
+        assert!((a - 168_568.0).abs() / 168_568.0 < 0.01, "got {a}");
+    }
+
+    #[test]
+    fn no_fusion_area_matches_table3() {
+        // Table III: 49,872 µm² for the patches alone.
+        let a = accelerator_area_um2(Arch::StitchNoFusion);
+        assert!((a - 49_872.0).abs() / 49_872.0 < 0.01, "got {a}");
+    }
+
+    #[test]
+    fn locus_area_matches_table3() {
+        let a = accelerator_area_um2(Arch::Locus);
+        assert!((a - 1_288_044.0).abs() / 1_288_044.0 < 0.001, "got {a}");
+    }
+
+    #[test]
+    fn stitch_overhead_is_half_a_percent() {
+        let b = AreaBreakdown::for_arch(Arch::Stitch);
+        let f = b.accelerator_fraction();
+        assert!((f - 0.005).abs() < 0.0005, "got {f}");
+    }
+
+    #[test]
+    fn locus_overhead_is_much_larger() {
+        // Table III: LOCUS 3.68% vs Stitch 0.50%.
+        let locus = accelerator_area_um2(Arch::Locus);
+        let stitch = accelerator_area_um2(Arch::Stitch);
+        let ratio = locus / stitch;
+        assert!((ratio - 7.64).abs() < 0.2, "paper: 7.64x, got {ratio:.2}");
+    }
+
+    #[test]
+    fn baseline_has_no_accelerator() {
+        assert_eq!(accelerator_area_um2(Arch::Baseline), 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # Area, power and timing models (40 nm, calibrated to the paper)
+//!
+//! The authors synthesized Stitch with Synopsys DC on a 40 nm library;
+//! we cannot synthesize, so this crate embeds the paper's *published*
+//! component measurements as model constants (Table III, Table IV,
+//! Fig 13, Table I) and evaluates chip-level area and activity-based
+//! power from simulation statistics:
+//!
+//! - [`area`] — accelerator and chip area (Table III / Fig 13);
+//! - [`power`] — the power model: per-core, mesh, patches and the
+//!   inter-patch NoC, calibrated so the paper's anchor points are
+//!   reproduced (baseline ≈ 107.5 mW, Stitch w/o fusion ≈ 108 mW,
+//!   full Stitch ≈ 139.5 mW at 200 MHz, accelerator share ≈ 23%);
+//! - [`metrics`] — performance/watt and performance/area relative to the
+//!   baseline (Fig 14);
+//! - [`external`] — the physical comparison platforms (TI SensorTag's
+//!   Cortex-M3, the quad Cortex-A7 of contemporary smartwatches) as
+//!   analytical models anchored to the paper's measured Table I values.
+
+pub mod area;
+pub mod external;
+pub mod metrics;
+pub mod power;
+
+pub use area::{accelerator_area_um2, chip_area_mm2, AreaBreakdown};
+pub use external::{CortexA7, SensorTag};
+pub use metrics::{area_efficiency, power_efficiency};
+pub use power::{average_power_mw, PowerBreakdown};
+
+/// Clock frequency (Hz) of the Stitch prototype.
+pub const CLOCK_HZ: f64 = 200.0e6;

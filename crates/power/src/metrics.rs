@@ -1,0 +1,86 @@
+//! Efficiency metrics (Fig 14): performance/watt and performance/area
+//! relative to the baseline.
+
+use crate::area::{accelerator_area_um2, AreaBreakdown};
+use crate::power::average_power_mw;
+use stitch_sim::{Arch, RunSummary};
+
+/// Performance/watt of `arch` relative to the baseline, given the two
+/// runs' throughput (frames/s or 1/cycles — any consistent unit).
+#[must_use]
+pub fn power_efficiency(
+    arch: Arch,
+    perf: f64,
+    summary: &RunSummary,
+    base_perf: f64,
+    base_summary: &RunSummary,
+) -> f64 {
+    let p = average_power_mw(arch, summary);
+    let pb = average_power_mw(Arch::Baseline, base_summary);
+    if p == 0.0 || pb == 0.0 || base_perf == 0.0 {
+        return 0.0;
+    }
+    (perf / p) / (base_perf / pb)
+}
+
+/// Performance/area of `arch` relative to the baseline.
+#[must_use]
+pub fn area_efficiency(arch: Arch, perf: f64, base_perf: f64) -> f64 {
+    let base_area = AreaBreakdown::for_arch(Arch::Baseline).total_um2();
+    let area = base_area + accelerator_area_um2(arch);
+    if base_perf == 0.0 {
+        return 0.0;
+    }
+    (perf / area) / (base_perf / base_area)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stitch_cpu::CoreStats;
+    use stitch_sim::TileSummary;
+
+    fn summary(cycles: u64) -> RunSummary {
+        RunSummary {
+            cycles,
+            tiles: (0..16)
+                .map(|_| TileSummary {
+                    core: CoreStats { cycles, ..Default::default() },
+                    ..Default::default()
+                })
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn area_efficiency_tracks_speedup_for_tiny_overhead() {
+        // Stitch's 0.5% overhead: 2.3X speedup gives ~2.29X area
+        // efficiency (the paper's 2.28X observation).
+        let e = area_efficiency(Arch::Stitch, 2.3, 1.0);
+        assert!((e - 2.29).abs() < 0.02, "got {e}");
+    }
+
+    #[test]
+    fn locus_area_efficiency_suffers() {
+        let stitch = area_efficiency(Arch::Stitch, 1.5, 1.0);
+        let locus = area_efficiency(Arch::Locus, 1.5, 1.0);
+        assert!(locus < stitch);
+    }
+
+    #[test]
+    fn power_efficiency_at_equal_power_is_speedup() {
+        let s = summary(1000);
+        let b = summary(2000);
+        // Same power model inputs per cycle; baseline arch for both.
+        let e = power_efficiency(Arch::Baseline, 2.0, &s, 1.0, &b);
+        assert!((e - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs_give_zero() {
+        let s = RunSummary::default();
+        assert_eq!(power_efficiency(Arch::Stitch, 1.0, &s, 1.0, &s), 0.0);
+        assert_eq!(area_efficiency(Arch::Stitch, 1.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Activity-based power model, calibrated to the paper's anchors.
+//!
+//! Anchor points (all at 200 MHz, 40 nm):
+//!
+//! | anchor | value | source |
+//! |---|---|---|
+//! | baseline 16-core chip | ≈ 107.5 mW | Fig 14: perf/watt 1.77X at 2.3X speedup ⇒ power ratio 1.30 |
+//! | Stitch w/o fusion | 108 mW | Table I |
+//! | full Stitch (gesture) | 139.5 mW | Table I / Fig 13 (140 mW) |
+//! | patches + inter-patch NoC share | ≈ 23% | Fig 13 |
+
+use crate::CLOCK_HZ;
+use stitch_sim::{Arch, RunSummary};
+
+/// Active power of one core + caches + SPM (mW).
+pub const CORE_MW: f64 = 5.5;
+/// Idle (recv-polling) power of one core, mW — the Amber-class cores
+/// the paper synthesizes have little clock gating, so idling saves only
+/// part of the active power.
+pub const CORE_IDLE_MW: f64 = 4.0;
+/// Mesh NoC static power (routers + links), mW.
+pub const MESH_STATIC_MW: f64 = 17.0;
+/// Mesh dynamic energy per flit-hop, nJ.
+pub const MESH_FLIT_HOP_NJ: f64 = 0.04;
+/// Leakage of one polymorphic patch, mW.
+pub const PATCH_LEAK_MW: f64 = 0.05;
+/// Dynamic energy per patch activation, nJ.
+pub const PATCH_ACTIVATION_NJ: f64 = 0.03;
+/// Inter-patch NoC static power (clockless repeaters are passive wiring;
+/// most of Fig 13's 23% accelerator share is patch *activity*), mW.
+pub const INTERPATCH_NOC_MW: f64 = 8.0;
+/// Extra energy per *fused* activation (multi-hop repeater traversal), nJ.
+pub const FUSED_HOP_NJ: f64 = 0.02;
+/// LOCUS SFU leakage per core, mW (a ~26x larger unit than a patch).
+pub const LOCUS_LEAK_MW: f64 = 1.1;
+/// LOCUS SFU dynamic energy per activation, nJ.
+pub const LOCUS_ACTIVATION_NJ: f64 = 0.12;
+
+/// Chip power breakdown for one run, in milliwatts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerBreakdown {
+    /// Cores, caches and scratchpads.
+    pub cores_mw: f64,
+    /// Inter-core mesh.
+    pub mesh_mw: f64,
+    /// Accelerators (patches or SFUs).
+    pub accelerators_mw: f64,
+    /// Inter-patch NoC.
+    pub interpatch_noc_mw: f64,
+}
+
+impl PowerBreakdown {
+    /// Total average power in mW.
+    #[must_use]
+    pub fn total_mw(&self) -> f64 {
+        self.cores_mw + self.mesh_mw + self.accelerators_mw + self.interpatch_noc_mw
+    }
+
+    /// Accelerator + inter-patch share (the paper's 23% for Stitch).
+    #[must_use]
+    pub fn accelerator_fraction(&self) -> f64 {
+        (self.accelerators_mw + self.interpatch_noc_mw) / self.total_mw()
+    }
+
+    /// Evaluates the model on a run.
+    #[must_use]
+    pub fn for_run(arch: Arch, summary: &RunSummary) -> Self {
+        let seconds = summary.cycles as f64 / CLOCK_HZ;
+        if seconds == 0.0 {
+            return PowerBreakdown::default();
+        }
+        // Core power: active share at CORE_MW, waiting share at idle.
+        let mut cores_mw = 0.0;
+        for t in &summary.tiles {
+            let busy = (t.core.cycles.saturating_sub(t.core.recv_wait_cycles)) as f64;
+            let wait = t.core.recv_wait_cycles as f64;
+            let total = summary.cycles.max(1) as f64;
+            let idle = (total - busy - wait).max(0.0);
+            cores_mw += (busy * CORE_MW + (wait + idle) * CORE_IDLE_MW) / total;
+        }
+        let mesh_mw = MESH_STATIC_MW
+            + summary.mesh.flit_hops as f64 * MESH_FLIT_HOP_NJ * 1e-9 / seconds * 1e3;
+        let activations: u64 = summary.tiles.iter().map(|t| t.patch_activations).sum();
+        let fused: u64 = summary.total_fused();
+        let (acc_leak, acc_nj) = match arch {
+            Arch::Baseline => (0.0, 0.0),
+            Arch::Locus => (16.0 * LOCUS_LEAK_MW, LOCUS_ACTIVATION_NJ),
+            Arch::StitchNoFusion | Arch::Stitch => (16.0 * PATCH_LEAK_MW, PATCH_ACTIVATION_NJ),
+        };
+        let accelerators_mw =
+            acc_leak + activations as f64 * acc_nj * 1e-9 / seconds * 1e3;
+        let interpatch_noc_mw = if arch == Arch::Stitch {
+            INTERPATCH_NOC_MW + fused as f64 * FUSED_HOP_NJ * 1e-9 / seconds * 1e3
+        } else {
+            0.0
+        };
+        PowerBreakdown { cores_mw, mesh_mw, accelerators_mw, interpatch_noc_mw }
+    }
+}
+
+/// Average chip power for a run, in mW.
+#[must_use]
+pub fn average_power_mw(arch: Arch, summary: &RunSummary) -> f64 {
+    PowerBreakdown::for_run(arch, summary).total_mw()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stitch_cpu::CoreStats;
+    use stitch_sim::TileSummary;
+
+    fn busy_summary(cycles: u64, activations: u64, fused: u64) -> RunSummary {
+        let tiles = (0..16)
+            .map(|_| TileSummary {
+                core: CoreStats {
+                    cycles,
+                    fused_ops: fused / 16,
+                    ..Default::default()
+                },
+                patch_activations: activations / 16,
+                ..Default::default()
+            })
+            .collect();
+        RunSummary { cycles, tiles, ..Default::default() }
+    }
+
+    #[test]
+    fn baseline_anchor() {
+        // All cores busy, no accelerators: ~16*5.5 + 17 = 105 mW, within
+        // a few percent of the 107.5 mW anchor.
+        let s = busy_summary(1_000_000, 0, 0);
+        let p = average_power_mw(Arch::Baseline, &s);
+        assert!((100.0..115.0).contains(&p), "baseline power {p}");
+    }
+
+    #[test]
+    fn stitch_fused_anchor() {
+        // Busy cores + heavy patch activity + inter-patch NoC: near the
+        // paper's 139.5 mW.
+        let s = busy_summary(1_000_000, 3_000_000, 300_000);
+        let p = average_power_mw(Arch::Stitch, &s);
+        assert!((110.0..150.0).contains(&p), "stitch power {p}");
+        let b = PowerBreakdown::for_run(Arch::Stitch, &s);
+        let f = b.accelerator_fraction();
+        assert!((0.10..0.35).contains(&f), "accelerator share {f}");
+    }
+
+    #[test]
+    fn no_fusion_skips_interpatch_noc() {
+        let s = busy_summary(1_000_000, 700_000, 0);
+        let nf = PowerBreakdown::for_run(Arch::StitchNoFusion, &s);
+        assert_eq!(nf.interpatch_noc_mw, 0.0);
+        let full = PowerBreakdown::for_run(Arch::Stitch, &s);
+        assert!(full.total_mw() > nf.total_mw() + 5.0);
+    }
+
+    #[test]
+    fn locus_pays_for_big_sfus() {
+        let s = busy_summary(1_000_000, 500_000, 0);
+        let locus = PowerBreakdown::for_run(Arch::Locus, &s);
+        let stitch_nf = PowerBreakdown::for_run(Arch::StitchNoFusion, &s);
+        assert!(locus.accelerators_mw > stitch_nf.accelerators_mw * 5.0);
+    }
+
+    #[test]
+    fn zero_cycles_is_zero_power() {
+        let s = RunSummary::default();
+        assert_eq!(average_power_mw(Arch::Stitch, &s), 0.0);
+    }
+}

@@ -1,0 +1,834 @@
+//! The 16-tile chip: cores, memories, patches and both networks.
+
+use crate::summary::{RunSummary, TileSummary};
+use crate::{ChipConfig, TileId};
+use std::collections::HashMap;
+use std::fmt;
+use stitch_cpu::{Core, CoreState, CpuError, Platform, StepOutcome};
+use stitch_isa::custom::CiId;
+use stitch_isa::instr::Width;
+use stitch_isa::program::Program;
+use stitch_mem::TileMemory;
+use stitch_noc::mesh::{Mesh, MeshConfig};
+use stitch_noc::{PatchNet, PatchNetError};
+use stitch_patch::{
+    eval_fused, eval_single, fused_path_legal, ControlWord, PatchOutput, SpmPort,
+};
+
+/// Where a custom instruction executes, as decided by the stitcher.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CiBinding {
+    /// A single patch on the issuing tile.
+    Single {
+        /// Decoded control word (class must match the tile's patch).
+        control: ControlWord,
+    },
+    /// A fused pair: the issuing tile's patch plus a remote patch reached
+    /// through a reserved inter-patch circuit.
+    Fused {
+        /// Control word of the local (first) patch.
+        first: ControlWord,
+        /// The remote tile providing the second patch.
+        partner: TileId,
+        /// Control word of the remote (second) patch.
+        second: ControlWord,
+    },
+}
+
+/// Simulator errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A core faulted.
+    Cpu {
+        /// Faulting tile.
+        tile: TileId,
+        /// Underlying error.
+        error: CpuError,
+    },
+    /// `max_cycles` elapsed before every core halted.
+    Timeout {
+        /// The cycle budget that was exhausted.
+        max_cycles: u64,
+    },
+    /// Every running core is blocked in `recv` with no traffic in flight.
+    Deadlock {
+        /// `(tile, awaited source)` pairs.
+        waiting: Vec<(TileId, u32)>,
+    },
+    /// A custom-instruction binding is inconsistent with the chip.
+    BadBinding {
+        /// Tile being loaded.
+        tile: TileId,
+        /// Explanation.
+        reason: String,
+    },
+    /// Inter-patch network error (reservation conflicts etc.).
+    PatchNet(PatchNetError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Cpu { tile, error } => write!(f, "{tile}: {error}"),
+            SimError::Timeout { max_cycles } => {
+                write!(f, "simulation exceeded {max_cycles} cycles")
+            }
+            SimError::Deadlock { waiting } => {
+                write!(f, "deadlock; waiting tiles: {waiting:?}")
+            }
+            SimError::BadBinding { tile, reason } => write!(f, "bad binding on {tile}: {reason}"),
+            SimError::PatchNet(e) => write!(f, "inter-patch NoC: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<PatchNetError> for SimError {
+    fn from(e: PatchNetError) -> Self {
+        SimError::PatchNet(e)
+    }
+}
+
+/// Scratchpad adapter handing the patch LMAU a tile's SPM.
+struct SpmAdapter<'a>(&'a mut TileMemory);
+
+impl SpmPort for SpmAdapter<'_> {
+    fn load(&mut self, offset: u32) -> u32 {
+        self.0.spm_lmau_load(offset)
+    }
+
+    fn store(&mut self, offset: u32, value: u32) {
+        self.0.spm_lmau_store(offset, value);
+    }
+}
+
+/// Per-core view of the chip, implementing the CPU's [`Platform`].
+struct TilePlatform<'a> {
+    tile: TileId,
+    mem: &'a mut TileMemory,
+    bindings: &'a HashMap<u16, CiBinding>,
+    mesh: &'a mut Mesh,
+    patchnet: &'a mut PatchNet,
+    activations: &'a mut [u64],
+    xbar_errors: &'a mut u64,
+}
+
+impl Platform for TilePlatform<'_> {
+    fn fetch(&mut self, byte_addr: u32) -> u32 {
+        self.mem.fetch(byte_addr)
+    }
+
+    fn load(&mut self, addr: u32, w: Width) -> (u32, u32) {
+        let r = self.mem.load(addr, w);
+        (r.value, r.latency)
+    }
+
+    fn store(&mut self, addr: u32, value: u32, w: Width) -> u32 {
+        let r = self.mem.store(addr, value, w);
+        if let Some((index, word)) = r.xbar_write {
+            let target = TileId(index as u8);
+            if index as usize >= self.patchnet.topology().tiles()
+                || self.patchnet.write_config_register(target, word).is_err()
+            {
+                *self.xbar_errors += 1;
+            }
+        }
+        r.latency
+    }
+
+    fn exec_custom(
+        &mut self,
+        ci: CiId,
+        inputs: [u32; 4],
+    ) -> Result<(PatchOutput, bool), CpuError> {
+        let binding = self.bindings.get(&ci.0).ok_or(CpuError::UnboundCustom(ci))?;
+        match binding {
+            CiBinding::Single { control } => {
+                self.activations[self.tile.index()] += 1;
+                let out = eval_single(control, inputs, &mut SpmAdapter(self.mem));
+                Ok((out, false))
+            }
+            CiBinding::Fused { first, partner, second } => {
+                self.activations[self.tile.index()] += 1;
+                self.activations[partner.index()] += 1;
+                let out = eval_fused(first, second, inputs, &mut SpmAdapter(self.mem));
+                Ok((out, true))
+            }
+        }
+    }
+
+    fn send(&mut self, dst: u32, addr: u32, len: u32) {
+        let words = self.mem.peek_words(addr, len as usize);
+        self.mesh.send(self.tile, TileId(dst as u8), &words);
+    }
+
+    fn try_recv(&mut self, src: u32, addr: u32, len: u32) -> Result<Option<u32>, CpuError> {
+        match self.mesh.pop_delivered(self.tile, TileId(src as u8)) {
+            None => Ok(None),
+            Some(msg) => {
+                if msg.words.len() as u32 != len {
+                    return Err(CpuError::MessageLengthMismatch {
+                        expected: len,
+                        got: msg.words.len() as u32,
+                    });
+                }
+                self.mem.poke_words(addr, &msg.words);
+                Ok(Some(len))
+            }
+        }
+    }
+}
+
+/// The simulated chip.
+pub struct Chip {
+    cfg: ChipConfig,
+    cores: Vec<Option<Core>>,
+    mems: Vec<TileMemory>,
+    bindings: Vec<HashMap<u16, CiBinding>>,
+    busy_until: Vec<u64>,
+    waiting_on: Vec<Option<u32>>,
+    mesh: Mesh,
+    patchnet: PatchNet,
+    activations: Vec<u64>,
+    xbar_errors: u64,
+    cycle: u64,
+}
+
+impl Chip {
+    /// Creates an idle chip.
+    #[must_use]
+    pub fn new(cfg: ChipConfig) -> Self {
+        let n = cfg.topo.tiles();
+        Chip {
+            mems: (0..n).map(|_| TileMemory::new(cfg.tile_mem)).collect(),
+            cores: (0..n).map(|_| None).collect(),
+            bindings: vec![HashMap::new(); n],
+            busy_until: vec![0; n],
+            waiting_on: vec![None; n],
+            mesh: Mesh::new(MeshConfig { topo: cfg.topo, buffer_flits: 8 }),
+            patchnet: PatchNet::new(cfg.topo),
+            activations: vec![0; n],
+            xbar_errors: 0,
+            cycle: 0,
+            cfg,
+        }
+    }
+
+    /// Configuration.
+    #[must_use]
+    pub fn config(&self) -> &ChipConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to the inter-patch network (for the stitcher).
+    pub fn patchnet_mut(&mut self) -> &mut PatchNet {
+        &mut self.patchnet
+    }
+
+    /// Read access to the inter-patch network.
+    #[must_use]
+    pub fn patchnet(&self) -> &PatchNet {
+        &self.patchnet
+    }
+
+    /// Loads a program without custom-instruction bindings.
+    pub fn load_program(&mut self, tile: TileId, program: &Program) {
+        self.load_kernel(tile, program, HashMap::new()).expect("no bindings to validate");
+    }
+
+    /// Loads a program plus the stitcher's custom-instruction bindings.
+    ///
+    /// Validates that each binding's patch classes match the chip layout,
+    /// that fused bindings have a reserved circuit meeting the single-cycle
+    /// timing constraint, and that remote stages perform no memory (`T`)
+    /// operations.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadBinding`] with an explanation on any inconsistency.
+    pub fn load_kernel(
+        &mut self,
+        tile: TileId,
+        program: &Program,
+        bindings: HashMap<u16, CiBinding>,
+    ) -> Result<(), SimError> {
+        let bad = |reason: String| SimError::BadBinding { tile, reason };
+        for (ci, b) in &bindings {
+            match b {
+                CiBinding::Single { control } => {
+                    let have = self.cfg.patches[tile.index()];
+                    if have != Some(control.class()) {
+                        return Err(bad(format!(
+                            "ci{ci}: tile has {have:?}, control targets {}",
+                            control.class()
+                        )));
+                    }
+                }
+                CiBinding::Fused { first, partner, second } => {
+                    let local = self.cfg.patches[tile.index()];
+                    let remote = self.cfg.patches[partner.index()];
+                    if local != Some(first.class()) {
+                        return Err(bad(format!(
+                            "ci{ci}: local patch is {local:?}, control targets {}",
+                            first.class()
+                        )));
+                    }
+                    if remote != Some(second.class()) {
+                        return Err(bad(format!(
+                            "ci{ci}: remote patch is {remote:?}, control targets {}",
+                            second.class()
+                        )));
+                    }
+                    if second.uses_memory() {
+                        return Err(bad(format!(
+                            "ci{ci}: remote stage performs T ops (disjoint SPMs)"
+                        )));
+                    }
+                    let Some(circuit) = self.patchnet.circuit(tile, *partner) else {
+                        return Err(bad(format!("ci{ci}: no circuit {tile} -> {partner}")));
+                    };
+                    if !fused_path_legal(first.class(), second.class(), circuit.hops) {
+                        return Err(bad(format!(
+                            "ci{ci}: {} + {} at {} hops misses the 5 ns cycle",
+                            first.class(),
+                            second.class(),
+                            circuit.hops
+                        )));
+                    }
+                }
+            }
+        }
+        // Load text data segments and reset the core.
+        for seg in &program.data {
+            self.mems[tile.index()].poke_words(seg.base, &seg.words);
+        }
+        self.cores[tile.index()] = Some(Core::new(program));
+        self.bindings[tile.index()] = bindings;
+        self.busy_until[tile.index()] = self.cycle;
+        self.waiting_on[tile.index()] = None;
+        Ok(())
+    }
+
+    /// Reserves an inter-patch circuit (stitcher API).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PatchNetError`] on contention.
+    pub fn reserve_circuit(
+        &mut self,
+        from: TileId,
+        to: TileId,
+    ) -> Result<stitch_noc::Circuit, SimError> {
+        Ok(self.patchnet.reserve(from, to)?)
+    }
+
+    /// Host write into a tile's memory (inputs, parameters).
+    pub fn poke_words(&mut self, tile: TileId, base: u32, words: &[u32]) {
+        self.mems[tile.index()].poke_words(base, words);
+    }
+
+    /// Host read from a tile's memory (results).
+    #[must_use]
+    pub fn peek_words(&mut self, tile: TileId, base: u32, count: usize) -> Vec<u32> {
+        self.mems[tile.index()].peek_words(base, count)
+    }
+
+    /// Host read of a single word.
+    #[must_use]
+    pub fn peek_u32(&mut self, tile: TileId, addr: u32) -> u32 {
+        self.mems[tile.index()].peek_u32(addr)
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Whether every loaded core has halted.
+    #[must_use]
+    pub fn all_halted(&self) -> bool {
+        self.cores
+            .iter()
+            .flatten()
+            .all(|c| c.state() == CoreState::Halted)
+    }
+
+    /// Advances the chip one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates core faults as [`SimError::Cpu`].
+    pub fn tick(&mut self) -> Result<(), SimError> {
+        self.cycle += 1;
+        self.mesh.tick();
+        let n = self.cfg.topo.tiles();
+        for i in 0..n {
+            if self.busy_until[i] > self.cycle {
+                continue;
+            }
+            let Some(core) = self.cores[i].as_mut() else { continue };
+            if core.state() == CoreState::Halted {
+                continue;
+            }
+            let mut plat = TilePlatform {
+                tile: TileId(i as u8),
+                mem: &mut self.mems[i],
+                bindings: &self.bindings[i],
+                mesh: &mut self.mesh,
+                patchnet: &mut self.patchnet,
+                activations: &mut self.activations,
+                xbar_errors: &mut self.xbar_errors,
+            };
+            match core.step(&mut plat) {
+                Ok(StepOutcome::Retired { cycles }) => {
+                    self.busy_until[i] = self.cycle + u64::from(cycles.max(1)) - 1;
+                    self.waiting_on[i] = None;
+                }
+                Ok(StepOutcome::WaitingRecv { src }) => {
+                    self.waiting_on[i] = Some(src);
+                }
+                Ok(StepOutcome::Halted) => {}
+                Err(error) => return Err(SimError::Cpu { tile: TileId(i as u8), error }),
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs until every core halts.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Timeout`] after `max_cycles`, [`SimError::Deadlock`]
+    /// when all running cores block on `recv` with no traffic in flight,
+    /// or a propagated core fault.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunSummary, SimError> {
+        let start = self.cycle;
+        while !self.all_halted() {
+            if self.cycle - start >= max_cycles {
+                return Err(SimError::Timeout { max_cycles });
+            }
+            self.tick()?;
+            self.check_deadlock()?;
+        }
+        Ok(self.summary(self.cycle - start))
+    }
+
+    fn check_deadlock(&self) -> Result<(), SimError> {
+        if !self.mesh.idle() {
+            return Ok(());
+        }
+        let mut waiting = Vec::new();
+        for (i, core) in self.cores.iter().enumerate() {
+            let Some(core) = core else { continue };
+            if core.state() == CoreState::Halted {
+                continue;
+            }
+            if self.busy_until[i] > self.cycle {
+                return Ok(()); // someone is still executing
+            }
+            match self.waiting_on[i] {
+                Some(src) => {
+                    if self.mesh.has_delivered(TileId(i as u8), TileId(src as u8)) {
+                        return Ok(()); // message available, will progress
+                    }
+                    waiting.push((TileId(i as u8), src));
+                }
+                None => return Ok(()), // running normally
+            }
+        }
+        if waiting.is_empty() {
+            Ok(())
+        } else {
+            Err(SimError::Deadlock { waiting })
+        }
+    }
+
+    /// Collects statistics for the elapsed run.
+    fn summary(&self, cycles: u64) -> RunSummary {
+        let tiles = (0..self.cfg.topo.tiles())
+            .map(|i| TileSummary {
+                core: self.cores[i].as_ref().map(|c| *c.stats()).unwrap_or_default(),
+                icache: self.mems[i].icache_stats(),
+                dcache: self.mems[i].dcache_stats(),
+                spm: self.mems[i].spm_counts(),
+                patch_activations: self.activations[i],
+            })
+            .collect();
+        RunSummary {
+            cycles,
+            tiles,
+            mesh: self.mesh.stats(),
+            circuits: self.patchnet.circuits().len(),
+        }
+    }
+
+    /// Register value of a tile's core (post-run inspection).
+    #[must_use]
+    pub fn core_reg(&self, tile: TileId, r: stitch_isa::Reg) -> Option<u32> {
+        self.cores[tile.index()].as_ref().map(|c| c.reg(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stitch_isa::custom::{CiDescriptor, CiStage, PatchClass};
+    use stitch_isa::{Cond, ProgramBuilder, Reg};
+    use stitch_patch::{AtMaControl, Sel4, Stage1, T1Mode};
+    use stitch_isa::op::AluOp;
+
+    fn stitch_chip() -> Chip {
+        Chip::new(ChipConfig::stitch_16())
+    }
+
+    #[test]
+    fn single_tile_compute() {
+        let mut chip = stitch_chip();
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 6);
+        b.li(Reg::R2, 7);
+        b.mul(Reg::R3, Reg::R1, Reg::R2);
+        b.li(Reg::R4, 0x2000);
+        b.sw(Reg::R3, Reg::R4, 0);
+        b.halt();
+        chip.load_program(TileId(0), &b.build().unwrap());
+        let s = chip.run(1_000_000).unwrap();
+        assert_eq!(chip.peek_u32(TileId(0), 0x2000), 42);
+        assert!(s.cycles > 0);
+        assert_eq!(s.tiles[0].core.mul_ops, 1);
+    }
+
+    #[test]
+    fn two_tile_message_passing() {
+        let mut chip = stitch_chip();
+        // Tile 0: sends [10, 20, 30] to tile 5.
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 0x1000);
+        b.li(Reg::R2, 10);
+        b.sw(Reg::R2, Reg::R1, 0);
+        b.li(Reg::R2, 20);
+        b.sw(Reg::R2, Reg::R1, 4);
+        b.li(Reg::R2, 30);
+        b.sw(Reg::R2, Reg::R1, 8);
+        b.li(Reg::R3, 5); // destination
+        b.li(Reg::R4, 3); // words
+        b.send(Reg::R3, Reg::R1, Reg::R4);
+        b.halt();
+        chip.load_program(TileId(0), &b.build().unwrap());
+
+        // Tile 5: receives and sums into 0x3000.
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 0x1000);
+        b.li(Reg::R3, 0); // source tile
+        b.li(Reg::R4, 3);
+        b.recv(Reg::R3, Reg::R1, Reg::R4);
+        b.lw(Reg::R5, Reg::R1, 0);
+        b.lw(Reg::R6, Reg::R1, 4);
+        b.lw(Reg::R7, Reg::R1, 8);
+        b.add(Reg::R5, Reg::R5, Reg::R6);
+        b.add(Reg::R5, Reg::R5, Reg::R7);
+        b.li(Reg::R8, 0x3000);
+        b.sw(Reg::R5, Reg::R8, 0);
+        b.halt();
+        chip.load_program(TileId(5), &b.build().unwrap());
+
+        chip.run(1_000_000).unwrap();
+        assert_eq!(chip.peek_u32(TileId(5), 0x3000), 60);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut chip = stitch_chip();
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 1); // wait on tile 1, which never sends
+        b.li(Reg::R2, 0x1000);
+        b.li(Reg::R3, 1);
+        b.recv(Reg::R1, Reg::R2, Reg::R3);
+        b.halt();
+        chip.load_program(TileId(0), &b.build().unwrap());
+        match chip.run(100_000) {
+            Err(SimError::Deadlock { waiting }) => {
+                assert_eq!(waiting, vec![(TileId(0), 1)]);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_instruction_on_local_patch() {
+        let mut chip = stitch_chip();
+        // Tile 0 has {AT-MA}; build CI: out0 = in0*in1 + in2.
+        let control = ControlWord::AtMa(AtMaControl {
+            s1: Stage1::default(),
+            m_src1: Sel4::In2,
+            m_src2: Sel4::In3,
+            a2_takes_a1: false,
+            a2_op: AluOp::Add,
+            a2_src2: Sel4::A1,
+        });
+        // a1 = or(in0,in0) = in0; product = in2*in3; out0 = product + in0.
+        let mut b = ProgramBuilder::new();
+        let ci = b.define_ci(CiDescriptor::single(
+            CiId(0),
+            "madd",
+            CiStage::new(PatchClass::AtMa, control.pack().unwrap()),
+        ));
+        b.li(Reg::R1, 100);
+        b.li(Reg::R2, 0);
+        b.li(Reg::R3, 6);
+        b.li(Reg::R4, 7);
+        b.custom(ci, &[Reg::R1, Reg::R2, Reg::R3, Reg::R4], &[Reg::R5]).unwrap();
+        b.halt();
+        let program = b.build().unwrap();
+        let bindings =
+            HashMap::from([(0u16, CiBinding::Single { control })]);
+        chip.load_kernel(TileId(0), &program, bindings).unwrap();
+        let s = chip.run(100_000).unwrap();
+        assert_eq!(chip.core_reg(TileId(0), Reg::R5), Some(6 * 7 + 100));
+        assert_eq!(s.tiles[0].patch_activations, 1);
+        assert_eq!(s.total_custom(), 1);
+        assert_eq!(s.total_fused(), 0);
+    }
+
+    #[test]
+    fn fused_custom_instruction() {
+        let mut chip = stitch_chip();
+        // Fuse tile1 ({AT-AS}) with tile9 ({AT-SA}), paper Fig 5 pair.
+        chip.reserve_circuit(TileId(1), TileId(9)).unwrap();
+        // First ({AT-AS}): a2 = in2 + in3; s = a2 << 1? shift amount comes
+        // from in2... use bypass: out0 = in2 + in3.
+        let first = ControlWord::AtAs(stitch_patch::AtAsControl {
+            s1: Stage1::default(),
+            a2_op: AluOp::Add,
+            a2_src1: Sel4::In2,
+            a2_src2: Sel4::In3,
+            s_op: None,
+            s_amt_in3: false,
+        });
+        // Second ({AT-SA}): receives [p1.out0, p1.out1, in2, in3];
+        // s = p1.out0 << in3? amount from in3 (ride-along). Then a2 = s + in2.
+        let second = ControlWord::AtSa(stitch_patch::AtSaControl {
+            s1: Stage1::default(),
+            s_in: Sel4::A1, // a1 = or(in0,in0) = p1.out0
+            s_op: Some(AluOp::Sll),
+            s_amt_in3: true,
+            a2_op: AluOp::Add,
+            a2_src2: Sel4::In2,
+        });
+        let mut b = ProgramBuilder::new();
+        let ci = b.define_ci(CiDescriptor::fused(
+            CiId(0),
+            "addshladd",
+            CiStage::new(PatchClass::AtAs, first.pack().unwrap()),
+            CiStage::new(PatchClass::AtSa, second.pack().unwrap()),
+        ));
+        b.li(Reg::R1, 0);
+        b.li(Reg::R2, 0);
+        b.li(Reg::R3, 5); // in2
+        b.li(Reg::R4, 2); // in3
+        b.custom(ci, &[Reg::R1, Reg::R2, Reg::R3, Reg::R4], &[Reg::R5]).unwrap();
+        b.halt();
+        let program = b.build().unwrap();
+        let bindings = HashMap::from([(
+            0u16,
+            CiBinding::Fused { first, partner: TileId(9), second },
+        )]);
+        chip.load_kernel(TileId(1), &program, bindings).unwrap();
+        let s = chip.run(100_000).unwrap();
+        // p1.out0 = 5 + 2 = 7; second: (7 << 2) + 5 = 33.
+        assert_eq!(chip.core_reg(TileId(1), Reg::R5), Some(33));
+        assert_eq!(s.total_fused(), 1);
+        assert_eq!(s.tiles[1].patch_activations, 1);
+        assert_eq!(s.tiles[9].patch_activations, 1);
+    }
+
+    #[test]
+    fn binding_validation_rejects_wrong_class() {
+        let mut chip = stitch_chip();
+        let control = ControlWord::AtAs(stitch_patch::AtAsControl::default());
+        let mut b = ProgramBuilder::new();
+        let ci = b.define_ci(CiDescriptor::single(
+            CiId(0),
+            "x",
+            CiStage::new(PatchClass::AtAs, 0),
+        ));
+        b.custom(ci, &[Reg::R1], &[Reg::R2]).unwrap();
+        b.halt();
+        // Tile 0 has {AT-MA}, not {AT-AS}.
+        let err = chip.load_kernel(
+            TileId(0),
+            &b.build().unwrap(),
+            HashMap::from([(0u16, CiBinding::Single { control })]),
+        );
+        assert!(matches!(err, Err(SimError::BadBinding { .. })));
+    }
+
+    #[test]
+    fn binding_validation_requires_circuit() {
+        let mut chip = stitch_chip();
+        let first = ControlWord::AtAs(stitch_patch::AtAsControl::default());
+        let second = ControlWord::AtSa(stitch_patch::AtSaControl::default());
+        let mut b = ProgramBuilder::new();
+        let ci = b.define_ci(CiDescriptor::fused(
+            CiId(0),
+            "x",
+            CiStage::new(PatchClass::AtAs, 0),
+            CiStage::new(PatchClass::AtSa, 0),
+        ));
+        b.custom(ci, &[Reg::R1], &[Reg::R2]).unwrap();
+        b.halt();
+        // No circuit reserved between tile1 and tile9.
+        let err = chip.load_kernel(
+            TileId(1),
+            &b.build().unwrap(),
+            HashMap::from([(0u16, CiBinding::Fused {
+                first,
+                partner: TileId(9),
+                second,
+            })]),
+        );
+        assert!(matches!(err, Err(SimError::BadBinding { .. })));
+    }
+
+    #[test]
+    fn binding_validation_rejects_remote_memory_ops() {
+        let mut chip = stitch_chip();
+        chip.reserve_circuit(TileId(1), TileId(9)).unwrap();
+        let first = ControlWord::AtAs(stitch_patch::AtAsControl::default());
+        let second = ControlWord::AtSa(stitch_patch::AtSaControl {
+            s1: Stage1 { t1: T1Mode::Load, ..Stage1::default() },
+            ..stitch_patch::AtSaControl::default()
+        });
+        let mut b = ProgramBuilder::new();
+        let ci = b.define_ci(CiDescriptor::fused(
+            CiId(0),
+            "x",
+            CiStage::new(PatchClass::AtAs, 0),
+            CiStage::new(PatchClass::AtSa, 0),
+        ));
+        b.custom(ci, &[Reg::R1], &[Reg::R2]).unwrap();
+        b.halt();
+        let err = chip.load_kernel(
+            TileId(1),
+            &b.build().unwrap(),
+            HashMap::from([(0u16, CiBinding::Fused {
+                first,
+                partner: TileId(9),
+                second,
+            })]),
+        );
+        assert!(matches!(err, Err(SimError::BadBinding { .. })));
+    }
+
+    #[test]
+    fn unbound_custom_instruction_faults() {
+        let mut chip = stitch_chip();
+        let mut b = ProgramBuilder::new();
+        let ci = b.define_ci(CiDescriptor::single(
+            CiId(0),
+            "x",
+            CiStage::new(PatchClass::AtMa, 0),
+        ));
+        b.custom(ci, &[Reg::R1], &[Reg::R2]).unwrap();
+        b.halt();
+        chip.load_program(TileId(0), &b.build().unwrap());
+        match chip.run(10_000) {
+            Err(SimError::Cpu { tile, error: CpuError::UnboundCustom(_) }) => {
+                assert_eq!(tile, TileId(0));
+            }
+            other => panic!("expected unbound custom fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipelined_ring_of_four_tiles() {
+        // tile0 -> tile1 -> tile2 -> tile3, three frames, each adds 1.
+        let mut chip = stitch_chip();
+        let frames = 3u32;
+
+        // Source (tile 0): sends values 100, 200, 300 to tile 1.
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R10, i64::from(frames));
+        b.li(Reg::R1, 0x1000);
+        b.li(Reg::R2, 100);
+        let top = b.bound_label();
+        b.sw(Reg::R2, Reg::R1, 0);
+        b.li(Reg::R3, 1);
+        b.li(Reg::R4, 1);
+        b.send(Reg::R3, Reg::R1, Reg::R4);
+        b.addi(Reg::R2, Reg::R2, 100);
+        b.addi(Reg::R10, Reg::R10, -1);
+        b.branch(Cond::Ne, Reg::R10, Reg::R0, top);
+        b.halt();
+        chip.load_program(TileId(0), &b.build().unwrap());
+
+        // Middle tiles 1, 2: recv from prev, add 1, send to next.
+        for t in 1..=2u8 {
+            let mut b = ProgramBuilder::new();
+            b.li(Reg::R10, i64::from(frames));
+            b.li(Reg::R1, 0x1000);
+            b.li(Reg::R5, i64::from(t) - 1); // prev tile
+            b.li(Reg::R6, i64::from(t) + 1); // next tile
+            b.li(Reg::R4, 1);
+            let top = b.bound_label();
+            b.recv(Reg::R5, Reg::R1, Reg::R4);
+            b.lw(Reg::R2, Reg::R1, 0);
+            b.addi(Reg::R2, Reg::R2, 1);
+            b.sw(Reg::R2, Reg::R1, 0);
+            b.send(Reg::R6, Reg::R1, Reg::R4);
+            b.addi(Reg::R10, Reg::R10, -1);
+            b.branch(Cond::Ne, Reg::R10, Reg::R0, top);
+            b.halt();
+            chip.load_program(TileId(t), &b.build().unwrap());
+        }
+
+        // Sink (tile 3): accumulates into 0x4000.
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R10, i64::from(frames));
+        b.li(Reg::R1, 0x1000);
+        b.li(Reg::R5, 2);
+        b.li(Reg::R4, 1);
+        b.li(Reg::R7, 0);
+        let top = b.bound_label();
+        b.recv(Reg::R5, Reg::R1, Reg::R4);
+        b.lw(Reg::R2, Reg::R1, 0);
+        b.add(Reg::R7, Reg::R7, Reg::R2);
+        b.addi(Reg::R10, Reg::R10, -1);
+        b.branch(Cond::Ne, Reg::R10, Reg::R0, top);
+        b.li(Reg::R8, 0x4000);
+        b.sw(Reg::R7, Reg::R8, 0);
+        b.halt();
+        chip.load_program(TileId(3), &b.build().unwrap());
+
+        chip.run(10_000_000).unwrap();
+        // (100+2) + (200+2) + (300+2) = 606
+        assert_eq!(chip.peek_u32(TileId(3), 0x4000), 606);
+    }
+
+    #[test]
+    fn xbar_store_configures_patchnet() {
+        let mut chip = stitch_chip();
+        let mut b = ProgramBuilder::new();
+        // Write "North drives East" into switch 5's register:
+        // out East is index 1; in North code 0 -> bits [5:3] = 0; all other
+        // outputs unconnected (7).
+        let mut word: i64 = 0;
+        for out in 0..6 {
+            let code = if out == 1 { 0 } else { 7 };
+            word |= code << (3 * out);
+        }
+        b.li(Reg::R1, i64::from(stitch_isa::memmap::XBAR_CFG_BASE as i32));
+        b.li(Reg::R2, word);
+        b.sw(Reg::R2, Reg::R1, 5 * 4);
+        b.halt();
+        chip.load_program(TileId(0), &b.build().unwrap());
+        chip.run(10_000).unwrap();
+        use stitch_noc::PortDir;
+        assert_eq!(
+            chip.patchnet().switch(TileId(5)).driver(PortDir::East),
+            Some(PortDir::North)
+        );
+    }
+}

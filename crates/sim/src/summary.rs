@@ -1,0 +1,116 @@
+//! Run statistics returned by the chip simulator.
+
+use crate::{TileId, CLOCK_HZ};
+use stitch_cpu::CoreStats;
+use stitch_mem::CacheStats;
+
+/// Per-tile statistics after a run.
+#[derive(Debug, Clone, Default)]
+pub struct TileSummary {
+    /// Core counters.
+    pub core: CoreStats,
+    /// Instruction-cache counters.
+    pub icache: CacheStats,
+    /// Data-cache counters.
+    pub dcache: CacheStats,
+    /// SPM `(reads, writes)`.
+    pub spm: (u64, u64),
+    /// Times this tile's patch executed (locally issued or as the remote
+    /// half of a fused instruction).
+    pub patch_activations: u64,
+}
+
+/// Chip-level statistics of one run.
+#[derive(Debug, Clone, Default)]
+pub struct RunSummary {
+    /// Wall-clock cycles until every core halted.
+    pub cycles: u64,
+    /// Per-tile breakdown.
+    pub tiles: Vec<TileSummary>,
+    /// Inter-core mesh statistics.
+    pub mesh: stitch_noc::MeshStats,
+    /// Number of reserved inter-patch circuits at run time.
+    pub circuits: usize,
+}
+
+impl RunSummary {
+    /// Total committed instructions across the chip.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.tiles.iter().map(|t| t.core.instructions).sum()
+    }
+
+    /// Total custom instructions executed.
+    #[must_use]
+    pub fn total_custom(&self) -> u64 {
+        self.tiles.iter().map(|t| t.core.custom_ops).sum()
+    }
+
+    /// Total fused custom instructions executed.
+    #[must_use]
+    pub fn total_fused(&self) -> u64 {
+        self.tiles.iter().map(|t| t.core.fused_ops).sum()
+    }
+
+    /// Merged core counters for the whole chip.
+    #[must_use]
+    pub fn merged_core(&self) -> CoreStats {
+        let mut acc = CoreStats::default();
+        for t in &self.tiles {
+            acc.merge(&t.core);
+        }
+        acc
+    }
+
+    /// Runtime in seconds at the 200 MHz clock.
+    #[must_use]
+    pub fn seconds(&self) -> f64 {
+        self.cycles as f64 / CLOCK_HZ as f64
+    }
+
+    /// Runtime in milliseconds at the 200 MHz clock.
+    #[must_use]
+    pub fn millis(&self) -> f64 {
+        self.seconds() * 1e3
+    }
+
+    /// The busiest tile (most core cycles) — the pipeline bottleneck.
+    #[must_use]
+    pub fn bottleneck_tile(&self) -> Option<TileId> {
+        self.tiles
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, t)| t.core.cycles)
+            .map(|(i, _)| TileId(i as u8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let mut s = RunSummary::default();
+        s.tiles.push(TileSummary {
+            core: CoreStats { instructions: 10, custom_ops: 2, fused_ops: 1, ..Default::default() },
+            ..Default::default()
+        });
+        s.tiles.push(TileSummary {
+            core: CoreStats { instructions: 5, cycles: 99, ..Default::default() },
+            ..Default::default()
+        });
+        assert_eq!(s.total_instructions(), 15);
+        assert_eq!(s.total_custom(), 2);
+        assert_eq!(s.total_fused(), 1);
+        assert_eq!(s.bottleneck_tile(), Some(TileId(1)));
+        assert_eq!(s.merged_core().instructions, 15);
+    }
+
+    #[test]
+    fn time_conversion() {
+        let s = RunSummary { cycles: CLOCK_HZ, ..Default::default() };
+        assert!((s.seconds() - 1.0).abs() < 1e-12);
+        assert!((s.millis() - 1000.0).abs() < 1e-9);
+    }
+}

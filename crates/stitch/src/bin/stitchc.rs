@@ -1,0 +1,145 @@
+//! `stitchc` — command-line front end for the Stitch toolchain.
+//!
+//! ```text
+//! stitchc run <file.s> [--max-cycles N]         assemble + simulate
+//! stitchc accelerate <file.s> [--config CFG]    full ISE flow + report
+//! stitchc kernels                               built-in kernel summary
+//! stitchc apps [--arch ARCH] [--frames N]       application throughput
+//! ```
+//!
+//! `CFG` is one of `at-ma`, `at-as`, `at-sa`, `locus`, or `PAIR` like
+//! `at-ma+at-sa`. `ARCH` is `baseline`, `locus`, `nofusion` or `stitch`.
+
+use std::process::ExitCode;
+use stitch::{Arch, PatchClass, PatchConfig, TileId, Workbench};
+use stitch_compiler::compile_kernel;
+use stitch_sim::{Chip, ChipConfig};
+
+fn parse_class(s: &str) -> Option<PatchClass> {
+    match s {
+        "at-ma" => Some(PatchClass::AtMa),
+        "at-as" => Some(PatchClass::AtAs),
+        "at-sa" => Some(PatchClass::AtSa),
+        _ => None,
+    }
+}
+
+fn parse_config(s: &str) -> Option<PatchConfig> {
+    if s == "locus" {
+        return Some(PatchConfig::Locus);
+    }
+    match s.split_once('+') {
+        Some((a, b)) => Some(PatchConfig::Pair(parse_class(a)?, parse_class(b)?)),
+        None => Some(PatchConfig::Single(parse_class(s)?)),
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: stitchc run <file.s>")?;
+    let max: u64 = flag(args, "--max-cycles").map_or(Ok(100_000_000), |v| {
+        v.parse().map_err(|_| "bad --max-cycles".to_string())
+    })?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = stitch_isa::asm::assemble(&src).map_err(|e| e.to_string())?;
+    let mut chip = Chip::new(ChipConfig::baseline_16());
+    chip.load_program(TileId(0), &program);
+    let summary = chip.run(max).map_err(|e| e.to_string())?;
+    println!("halted after {} cycles ({:.3} ms at 200 MHz)", summary.cycles, summary.millis());
+    let stats = &summary.tiles[0].core;
+    println!(
+        "instructions: {}  (alu {}, mul {}, mem {}, branches {} [{} taken])",
+        stats.instructions, stats.alu_ops, stats.mul_ops, stats.mem_ops, stats.branches,
+        stats.branches_taken
+    );
+    println!(
+        "caches: I$ {:.1}% miss, D$ {:.1}% miss",
+        summary.tiles[0].icache.miss_rate() * 100.0,
+        summary.tiles[0].dcache.miss_rate() * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_accelerate(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: stitchc accelerate <file.s>")?;
+    let config = flag(args, "--config")
+        .map_or(Some(PatchConfig::Single(PatchClass::AtMa)), |s| parse_config(&s))
+        .ok_or("bad --config (at-ma|at-as|at-sa|locus|a+b)")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = stitch_isa::asm::assemble(&src).map_err(|e| e.to_string())?;
+    let kv = compile_kernel("cli", &program, &[config], None).map_err(|e| e.to_string())?;
+    println!("baseline: {} cycles", kv.baseline_cycles);
+    match kv.variant(config) {
+        Some(v) => {
+            println!(
+                "{config}: {} cycles ({:.2}x) via {} custom instruction(s)",
+                v.cycles,
+                kv.baseline_cycles as f64 / v.cycles as f64,
+                v.custom_count
+            );
+            println!("\naccelerated listing:\n{}", v.program.listing());
+        }
+        None => println!("{config}: no custom instruction mapped (kernel unchanged)"),
+    }
+    Ok(())
+}
+
+fn cmd_kernels() -> Result<(), String> {
+    let mut ws = Workbench::new();
+    let rows = ws.kernel_table(&stitch_kernels::all_kernels()).map_err(|e| e.to_string())?;
+    println!("{:>10} {:>10} {:>8} {:>8} {:>9}", "kernel", "cycles", "LOCUS", "single", "stitched");
+    for r in rows {
+        println!(
+            "{:>10} {:>10} {:>7.2}x {:>7.2}x {:>8.2}x",
+            r.name, r.baseline_cycles, r.locus, r.single, r.stitched
+        );
+    }
+    Ok(())
+}
+
+fn cmd_apps(args: &[String]) -> Result<(), String> {
+    let arch = match flag(args, "--arch").as_deref() {
+        None | Some("stitch") => Arch::Stitch,
+        Some("baseline") => Arch::Baseline,
+        Some("locus") => Arch::Locus,
+        Some("nofusion") => Arch::StitchNoFusion,
+        Some(other) => return Err(format!("unknown --arch {other}")),
+    };
+    let frames: u32 = flag(args, "--frames").map_or(Ok(stitch::DEFAULT_FRAMES), |v| {
+        v.parse().map_err(|_| "bad --frames".to_string())
+    })?;
+    let mut ws = Workbench::new();
+    for app in stitch_apps::App::all() {
+        let run = ws.run_app(&app, arch, frames).map_err(|e| e.to_string())?;
+        println!(
+            "{:>5} on {:<17} {:>9.0} frames/s  {:>6.1} mW  {} fused",
+            app.name,
+            arch.name(),
+            run.throughput_fps,
+            run.power_mw,
+            run.plan.fused()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("accelerate") => cmd_accelerate(&args[1..]),
+        Some("kernels") => cmd_kernels(),
+        Some("apps") => cmd_apps(&args[1..]),
+        _ => Err("usage: stitchc <run|accelerate|kernels|apps> [...]".to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("stitchc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # Stitch — fusible heterogeneous accelerators enmeshed with a
+//! # many-core architecture
+//!
+//! End-to-end reproduction of *Tan, Karunaratne, Mitra, Peh: "Stitch:
+//! Fusible Heterogeneous Accelerators Enmeshed with Many-Core
+//! Architecture for Wearables" (ISCA 2018)* as a Rust workspace.
+//!
+//! This facade crate wires the subsystem crates together and exposes the
+//! [`Workbench`]: compile kernels through the ISE toolchain, run the
+//! stitching algorithm, simulate the 16-tile chip, and evaluate the
+//! power/area models — everything the paper's tables and figures need.
+//!
+//! ```no_run
+//! use stitch::{Arch, Workbench};
+//!
+//! # fn main() -> Result<(), stitch::Error> {
+//! let mut bench = Workbench::new();
+//! let app = stitch_apps::gesture();
+//! let run = bench.run_app(&app, Arch::Stitch, 10)?;
+//! println!("{}: {:.1} frames/s at {:.1} mW", app.name, run.throughput_fps, run.power_mw);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Subsystems (see DESIGN.md for the full inventory):
+//!
+//! | crate | subsystem |
+//! |---|---|
+//! | `stitch-isa` | W32 instruction set, assembler, binary encoding |
+//! | `stitch-mem` | caches, scratchpads, DRAM |
+//! | `stitch-patch` | polymorphic patch datapaths + control words |
+//! | `stitch-noc` | buffered mesh + compiler-scheduled inter-patch NoC |
+//! | `stitch-cpu` | in-order core model |
+//! | `stitch-sim` | 16-tile chip simulator |
+//! | `stitch-compiler` | ISE identification, mapping, rewriting, stitching |
+//! | `stitch-kernels` | wearable kernels (W32 + golden references) |
+//! | `stitch-apps` | APP1–APP4 pipelines |
+//! | `stitch-power` | 40 nm area/power models |
+
+pub mod workbench;
+
+pub use stitch_compiler::{PatchConfig, StitchPlan};
+pub use stitch_patch::PatchClass;
+pub use stitch_sim::{Arch, Chip, ChipConfig, RunSummary, TileId};
+pub use workbench::{AppRun, Error, KernelRow, Workbench};
+
+/// Frames simulated per application run in the default experiments —
+/// enough for the pipeline to reach steady state.
+pub const DEFAULT_FRAMES: u32 = 12;

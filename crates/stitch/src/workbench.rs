@@ -1,0 +1,267 @@
+//! The experiment workbench: compile → stitch → simulate → measure.
+
+use std::collections::HashMap;
+use std::fmt;
+use stitch_apps::{build_node_program, App};
+use stitch_compiler::{
+    accelerate_all, compile_kernel, stitch_application, AppKernel, CompilerError, KernelVariants,
+    PatchConfig, StitchPlan,
+};
+use stitch_kernels::Kernel;
+use stitch_power::{average_power_mw, PowerBreakdown};
+use stitch_sim::{Arch, Chip, ChipConfig, RunSummary, SimError};
+
+/// Simulation budget for application runs.
+const APP_BUDGET: u64 = 4_000_000_000;
+
+/// Facade error type.
+#[derive(Debug)]
+pub enum Error {
+    /// Compiler-flow failure.
+    Compiler(CompilerError),
+    /// Simulator failure.
+    Sim(SimError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Compiler(e) => write!(f, "{e}"),
+            Error::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<CompilerError> for Error {
+    fn from(e: CompilerError) -> Self {
+        Error::Compiler(e)
+    }
+}
+
+impl From<SimError> for Error {
+    fn from(e: SimError) -> Self {
+        Error::Sim(e)
+    }
+}
+
+/// Result of one application run.
+#[derive(Debug, Clone)]
+pub struct AppRun {
+    /// `APP1`..`APP4`.
+    pub app_name: &'static str,
+    /// Architecture simulated.
+    pub arch: Arch,
+    /// Frames processed.
+    pub frames: u32,
+    /// Chip statistics.
+    pub summary: RunSummary,
+    /// The stitching plan used.
+    pub plan: StitchPlan,
+    /// Steady-state throughput in frames per second (200 MHz clock).
+    pub throughput_fps: f64,
+    /// Average chip power (model), mW.
+    pub power_mw: f64,
+    /// Final output region of every node (for cross-architecture
+    /// differential checks): `outputs[i]` is node i's
+    /// `spec().output_words` words at `spec().output_addr`.
+    pub node_outputs: Vec<Vec<u32>>,
+}
+
+impl AppRun {
+    /// Power breakdown of this run.
+    #[must_use]
+    pub fn power_breakdown(&self) -> PowerBreakdown {
+        PowerBreakdown::for_run(self.arch, &self.summary)
+    }
+}
+
+/// A row of the Fig 11 kernel-speedup table.
+#[derive(Debug, Clone)]
+pub struct KernelRow {
+    /// Kernel name.
+    pub name: String,
+    /// Baseline cycles.
+    pub baseline_cycles: u64,
+    /// LOCUS SFU speedup (1.0 when no variant exists).
+    pub locus: f64,
+    /// Best single-patch speedup and its class.
+    pub single: f64,
+    /// Configuration achieving `single`.
+    pub single_config: Option<PatchConfig>,
+    /// Best stitched (fused pair) speedup.
+    pub stitched: f64,
+    /// Configuration achieving `stitched`.
+    pub stitched_config: Option<PatchConfig>,
+}
+
+/// Compiles kernels (with caching), runs the stitching algorithm and the
+/// chip simulator.
+#[derive(Default)]
+pub struct Workbench {
+    variants: HashMap<String, KernelVariants>,
+}
+
+impl Workbench {
+    /// Creates an empty workbench.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All configurations explored for kernels: the three singles first
+    /// (so ties prefer cheaper allocations), then the nine ordered pairs,
+    /// then LOCUS.
+    #[must_use]
+    pub fn all_configs() -> Vec<PatchConfig> {
+        PatchConfig::all()
+    }
+
+    fn cache_key(kernel: &dyn Kernel) -> String {
+        let s = kernel.spec();
+        format!("{}/{}x{}", s.name, s.input_words, s.output_words)
+    }
+
+    /// Compiled variants for one kernel (cached).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler failures.
+    pub fn variants(&mut self, kernel: &dyn Kernel) -> Result<KernelVariants, Error> {
+        let key = Self::cache_key(kernel);
+        if let Some(v) = self.variants.get(&key) {
+            return Ok(v.clone());
+        }
+        let spec = kernel.spec();
+        let kv = compile_kernel(
+            spec.name,
+            &kernel.standalone(),
+            &Self::all_configs(),
+            Some((spec.output_addr, spec.output_words as usize)),
+        )?;
+        self.variants.insert(key.clone(), kv);
+        Ok(self.variants[&key].clone())
+    }
+
+    /// The Fig 11 table: per-kernel speedups for LOCUS / best single /
+    /// best stitched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler failures.
+    pub fn kernel_table(
+        &mut self,
+        kernels: &[Box<dyn Kernel>],
+    ) -> Result<Vec<KernelRow>, Error> {
+        let mut rows = Vec::new();
+        for k in kernels {
+            let kv = self.variants(k.as_ref())?;
+            let speed = |v: Option<&stitch_compiler::AcceleratedKernel>| {
+                v.map_or(1.0, |v| kv.baseline_cycles as f64 / v.cycles as f64)
+            };
+            let single = kv.best_among(|c| matches!(c, PatchConfig::Single(_)));
+            let stitched = kv.best_among(|c| {
+                matches!(c, PatchConfig::Single(_) | PatchConfig::Pair(..))
+            });
+            rows.push(KernelRow {
+                name: k.spec().name.to_string(),
+                baseline_cycles: kv.baseline_cycles,
+                locus: speed(kv.variant(PatchConfig::Locus).filter(|v| v.cycles < kv.baseline_cycles)),
+                single: speed(single),
+                single_config: single.map(|v| v.config),
+                stitched: speed(stitched),
+                stitched_config: stitched.map(|v| v.config),
+            });
+        }
+        Ok(rows)
+    }
+
+    /// Runs one application on one architecture for `frames` frames.
+    ///
+    /// The full flow of the paper: compile each distinct kernel for every
+    /// patch configuration, run Algorithm 1 to place kernels and allocate
+    /// patches/circuits, accelerate each node's wired program with its
+    /// granted configuration, load the chip and simulate to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler and simulator failures.
+    pub fn run_app(&mut self, app: &App, arch: Arch, frames: u32) -> Result<AppRun, Error> {
+        // 1. Variants for each node's kernel (cached across nodes/archs).
+        let mut app_kernels = Vec::new();
+        for n in &app.nodes {
+            app_kernels.push(AppKernel {
+                name: n.name.clone(),
+                home: n.home,
+                variants: self.variants(n.kernel.as_ref())?,
+            });
+        }
+
+        // 2. Algorithm 1.
+        let chip_cfg = ChipConfig::for_arch(arch);
+        let plan = stitch_application(&app_kernels, &chip_cfg, arch);
+
+        // 3. Build and load per-node programs.
+        let mut chip = Chip::new(chip_cfg);
+        for &(from, to) in &plan.circuits {
+            chip.reserve_circuit(from, to)?;
+        }
+        for i in 0..app.nodes.len() {
+            let program = build_node_program(app, i, frames, &plan.tiles);
+            match &plan.accel[i] {
+                None => chip.load_program(plan.tiles[i], &program),
+                Some(granted) => {
+                    let accel =
+                        accelerate_all(&app.nodes[i].name, &program, &[granted.config])?;
+                    match accel.into_iter().next() {
+                        Some(a) => {
+                            chip.load_kernel(plan.tiles[i], &a.program, a.bindings(granted.partner))?;
+                        }
+                        // The wired program exposed no candidate for the
+                        // granted configuration: run it unaccelerated.
+                        None => chip.load_program(plan.tiles[i], &program),
+                    }
+                }
+            }
+        }
+
+        // 4. Simulate.
+        let summary = chip.run(APP_BUDGET)?;
+        let throughput_fps = if summary.cycles == 0 {
+            0.0
+        } else {
+            f64::from(frames) / summary.seconds()
+        };
+        let power_mw = average_power_mw(arch, &summary);
+        let node_outputs = (0..app.nodes.len())
+            .map(|i| {
+                let spec = app.nodes[i].kernel.spec();
+                chip.peek_words(plan.tiles[i], spec.output_addr, spec.output_words as usize)
+            })
+            .collect();
+        Ok(AppRun {
+            app_name: app.name,
+            arch,
+            frames,
+            summary,
+            plan,
+            throughput_fps,
+            power_mw,
+            node_outputs,
+        })
+    }
+
+    /// Convenience: runs all four architectures on an app.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler and simulator failures.
+    pub fn run_all_archs(
+        &mut self,
+        app: &App,
+        frames: u32,
+    ) -> Result<Vec<AppRun>, Error> {
+        Arch::ALL.iter().map(|&a| self.run_app(app, a, frames)).collect()
+    }
+}

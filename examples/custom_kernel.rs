@@ -1,0 +1,73 @@
+//! Bring your own kernel: a user-written Sobel-like edge filter is
+//! accelerated automatically, and the example dumps the synthesized
+//! 19-bit control words of every custom instruction the compiler built.
+//!
+//! ```sh
+//! cargo run --release -p stitch --example custom_kernel
+//! ```
+
+use stitch::{PatchClass, PatchConfig};
+use stitch_compiler::compile_kernel;
+use stitch_isa::memmap::SPM_BASE;
+use stitch_isa::op::AluOp;
+use stitch_isa::{Cond, ProgramBuilder, Reg};
+
+/// |a - b| + |c - d| over neighbouring pixels, a simple gradient.
+fn gradient_kernel(n: i64) -> stitch_isa::Program {
+    let mut b = ProgramBuilder::new();
+    b.data_segment(SPM_BASE, (0..n as u32).map(|i| (i * 37) & 0xFF).collect::<Vec<_>>());
+    b.li(Reg::R1, i64::from(SPM_BASE));
+    b.li(Reg::R4, n - 2);
+    b.li(Reg::R10, 4);
+    b.li(Reg::R11, 31);
+    b.li(Reg::R8, 0x4000);
+    let top = b.bound_label();
+    b.lw(Reg::R5, Reg::R1, 0);
+    b.add(Reg::R2, Reg::R1, Reg::R10);
+    b.lw(Reg::R6, Reg::R2, 0);
+    b.sub(Reg::R7, Reg::R5, Reg::R6);
+    // |d| = (d ^ (d>>31)) - (d>>31)
+    b.alu(AluOp::Sra, Reg::R9, Reg::R7, Reg::R11);
+    b.alu(AluOp::Xor, Reg::R7, Reg::R7, Reg::R9);
+    b.sub(Reg::R7, Reg::R7, Reg::R9);
+    b.sw(Reg::R7, Reg::R8, 0);
+    b.add(Reg::R8, Reg::R8, Reg::R10);
+    b.add(Reg::R1, Reg::R1, Reg::R10);
+    b.addi(Reg::R4, Reg::R4, -1);
+    b.branch(Cond::Ne, Reg::R4, Reg::R0, top);
+    b.halt();
+    b.build().expect("valid kernel")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = gradient_kernel(128);
+    let configs = vec![
+        PatchConfig::Single(PatchClass::AtSa),
+        PatchConfig::Single(PatchClass::AtAs),
+        PatchConfig::Pair(PatchClass::AtAs, PatchClass::AtSa),
+    ];
+    let kv = compile_kernel("gradient", &program, &configs, Some((0x4000, 4)))?;
+    println!("baseline: {} cycles", kv.baseline_cycles);
+    for v in &kv.variants {
+        println!(
+            "\n{}: {} cycles ({:.2}x) with {} custom instruction(s):",
+            v.config,
+            v.cycles,
+            kv.baseline_cycles as f64 / v.cycles as f64,
+            v.custom_count
+        );
+        for desc in v.program.ci_table.iter() {
+            print!("  {}  covers {} ops, stages:", desc.name, desc.covers);
+            for stage in &desc.stages {
+                print!(" {} control={:#07x}", stage.class, stage.control);
+            }
+            println!();
+        }
+    }
+    println!(
+        "\nEvery mapping above was verified by differential evaluation against\n\
+         the dataflow-graph semantics, and the whole accelerated binary was\n\
+         checked to produce the same output words as the baseline run."
+    );
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! The paper's case study (§V): the finger-gesture pipeline on all four
+//! architectures, with the stitching map Algorithm 1 produced.
+//!
+//! ```sh
+//! cargo run --release -p stitch --example gesture_pipeline
+//! ```
+
+use stitch::{Arch, Workbench};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = stitch_apps::gesture();
+    println!("{} — {}", app.name, app.title);
+    println!("pipeline nodes:");
+    for n in &app.nodes {
+        println!(
+            "  {:>9} @ {}  (in {:?}, out {:?})",
+            n.name,
+            n.home,
+            n.recvs.iter().map(|e| e.words).collect::<Vec<_>>(),
+            n.sends.iter().map(|e| e.words).collect::<Vec<_>>(),
+        );
+    }
+
+    let mut ws = Workbench::new();
+    let mut base_fps = 0.0;
+    for arch in Arch::ALL {
+        let run = ws.run_app(&app, arch, 12)?;
+        if arch == Arch::Baseline {
+            base_fps = run.throughput_fps;
+        }
+        println!(
+            "\n== {} ==  {:.0} frames/s ({:.2}x)  {:.1} mW  {} fused kernels",
+            arch,
+            run.throughput_fps,
+            run.throughput_fps / base_fps,
+            run.power_mw,
+            run.plan.fused()
+        );
+        if arch == Arch::Stitch {
+            println!("stitching decisions:");
+            for l in &run.plan.log {
+                println!("  {l}");
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Quickstart: write a tiny kernel, let the ISE toolchain accelerate it,
+//! and run both versions on the cycle-level chip simulator.
+//!
+//! ```sh
+//! cargo run --release -p stitch --example quickstart
+//! ```
+
+use stitch::{PatchClass, PatchConfig};
+use stitch_compiler::compile_kernel;
+use stitch_isa::memmap::SPM_BASE;
+use stitch_isa::{Cond, ProgramBuilder, Reg};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A dot-product kernel in W32 assembly: two 64-element Q8 vectors in
+    // the scratchpad, multiply-accumulate loop, result in DRAM.
+    let n = 64i64;
+    let mut b = ProgramBuilder::new();
+    b.data_segment(SPM_BASE, (1..=n as u32).collect::<Vec<_>>());
+    b.data_segment(SPM_BASE + (n * 4) as u32, (1..=n as u32).rev().collect::<Vec<_>>());
+    b.li(Reg::R1, i64::from(SPM_BASE)); // a
+    b.addi(Reg::R2, Reg::R1, (n * 4) as i32); // b
+    b.li(Reg::R3, 0); // acc
+    b.li(Reg::R4, n); // count
+    b.li(Reg::R10, 4); // stride
+    let top = b.bound_label();
+    b.lw(Reg::R5, Reg::R1, 0);
+    b.lw(Reg::R6, Reg::R2, 0);
+    b.mul(Reg::R7, Reg::R5, Reg::R6);
+    b.add(Reg::R3, Reg::R3, Reg::R7);
+    b.add(Reg::R1, Reg::R1, Reg::R10);
+    b.add(Reg::R2, Reg::R2, Reg::R10);
+    b.addi(Reg::R4, Reg::R4, -1);
+    b.branch(Cond::Ne, Reg::R4, Reg::R0, top);
+    b.li(Reg::R8, 0x4000);
+    b.sw(Reg::R3, Reg::R8, 0);
+    b.halt();
+    let program = b.build()?;
+
+    // Compile for one {AT-MA} patch; the toolchain profiles the kernel,
+    // finds hot dataflow patterns, maps them onto the patch, rewrites the
+    // binary with two-word custom instructions, and *measures* both
+    // versions on the simulator (also checking the output word matches).
+    let kv = compile_kernel(
+        "dot",
+        &program,
+        &[PatchConfig::Single(PatchClass::AtMa)],
+        Some((0x4000, 1)),
+    )?;
+
+    println!("baseline : {} cycles", kv.baseline_cycles);
+    let v = kv.variant(PatchConfig::Single(PatchClass::AtMa)).expect("variant");
+    println!(
+        "with {{AT-MA}} patch: {} cycles  ({:.2}x, {} custom instructions)",
+        v.cycles,
+        kv.baseline_cycles as f64 / v.cycles as f64,
+        v.custom_count
+    );
+    println!("\naccelerated hot loop:");
+    for (i, instr) in v.program.instrs.iter().enumerate() {
+        println!("  {i:3}: {instr}");
+    }
+    Ok(())
+}

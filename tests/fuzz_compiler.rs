@@ -1,0 +1,82 @@
+//! Compiler fuzzing: random arithmetic loop kernels must survive the
+//! whole enumerate → map → rewrite → simulate flow with bit-identical
+//! outputs (compile_kernel fails loudly on any divergence, so `Ok` here
+//! *is* the soundness assertion).
+
+use proptest::prelude::*;
+use stitch_compiler::{compile_kernel, PatchConfig};
+use stitch_isa::op::AluOp;
+use stitch_isa::{Cond, Program, ProgramBuilder, Reg};
+use stitch_patch::PatchClass;
+
+/// Ops eligible for patches (register-register, no control flow).
+const OPS: [AluOp; 11] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Nor,
+    AluOp::Slt,
+    AluOp::Sltu,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Mul,
+];
+
+/// Builds a kernel whose loop body is the given random op/operand list.
+/// Registers r2..=r9 hold evolving state; r10..=r13 hold constants.
+fn random_kernel(body: &[(u8, u8, u8, u8)], iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    // Seed state and constants.
+    for (i, r) in (2..=9u8).enumerate() {
+        b.li(Reg::from_index(r).expect("reg"), (i as i64 + 1) * 37 % 256);
+    }
+    b.li(Reg::R10, 1);
+    b.li(Reg::R11, 3);
+    b.li(Reg::R12, 5);
+    b.li(Reg::R13, 7);
+    b.li(Reg::R1, iters);
+    let top = b.bound_label();
+    for &(op, rd, rs1, rs2) in body {
+        let op = OPS[(op as usize) % OPS.len()];
+        let rd = Reg::from_index(2 + rd % 8).expect("rd");
+        let rs1 = Reg::from_index(2 + rs1 % 12).expect("rs1");
+        let rs2 = Reg::from_index(2 + rs2 % 12).expect("rs2");
+        b.alu(op, rd, rs1, rs2);
+    }
+    b.addi(Reg::R1, Reg::R1, -1);
+    b.branch(Cond::Ne, Reg::R1, Reg::R0, top);
+    // Publish the whole state so every def is live.
+    b.li(Reg::R14, 0x4000);
+    for (i, r) in (2..=9u8).enumerate() {
+        b.sw(Reg::from_index(r).expect("reg"), Reg::R14, (i * 4) as i32);
+    }
+    b.halt();
+    b.build().expect("valid random kernel")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_kernels_accelerate_soundly(
+        body in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 2..10),
+    ) {
+        let program = random_kernel(&body, 40);
+        let configs = [
+            PatchConfig::Single(PatchClass::AtMa),
+            PatchConfig::Single(PatchClass::AtSa),
+            PatchConfig::Pair(PatchClass::AtMa, PatchClass::AtAs),
+            PatchConfig::Locus,
+        ];
+        // compile_kernel differentially checks the 8-word output region
+        // of every produced variant against the baseline run; an unsound
+        // rewrite or mapping surfaces as Err here.
+        let kv = compile_kernel("fuzz", &program, &configs, Some((0x4000, 8)))
+            .expect("sound acceleration");
+        for v in &kv.variants {
+            prop_assert!(v.cycles <= kv.baseline_cycles);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests over the ISA: random programs must round-trip through
+//! the binary encoding and the text assembler, and random kernels must
+//! execute identically before and after encode/decode.
+
+use proptest::prelude::*;
+use stitch_isa::{
+    asm, decode_program, encode_program, AluOp, Cond, Instr, Operand, Reg, Width,
+};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|i| Reg::from_index(i).expect("index < 32"))
+}
+
+fn arb_instr(max_target: u32) -> impl Strategy<Value = Instr> {
+    let alu = (any::<u8>(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| {
+        Instr::Alu {
+            op: AluOp::ALL[(op as usize) % AluOp::ALL.len()],
+            rd,
+            rs1,
+            src2: Operand::Reg(rs2),
+        }
+    });
+    let alui = (any::<u8>(), arb_reg(), arb_reg(), -2048i32..2048).prop_map(
+        |(op, rd, rs1, imm)| Instr::Alu {
+            op: AluOp::ALL[(op as usize) % AluOp::ALL.len()],
+            rd,
+            rs1,
+            src2: Operand::Imm(imm),
+        },
+    );
+    let load = (arb_reg(), arb_reg(), -8192i32..8192).prop_map(|(rd, base, offset)| {
+        Instr::Load { w: Width::Word, rd, base, offset }
+    });
+    let store = (arb_reg(), arb_reg(), -8192i32..8192).prop_map(|(rs, base, offset)| {
+        Instr::Store { w: Width::Byte, rs, base, offset }
+    });
+    let branch = (any::<u8>(), arb_reg(), arb_reg(), 0..max_target).prop_map(
+        |(c, rs1, rs2, target)| Instr::Branch {
+            cond: Cond::ALL[(c as usize) % Cond::ALL.len()],
+            rs1,
+            rs2,
+            target,
+        },
+    );
+    let jal =
+        (arb_reg(), 0..max_target).prop_map(|(rd, target)| Instr::Jal { rd, target });
+    prop_oneof![alu, alui, load, store, branch, jal, Just(Instr::Nop), Just(Instr::Halt)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode -> decode is the identity on arbitrary instruction streams
+    /// whose control flow stays in range.
+    #[test]
+    fn binary_round_trip(instrs in prop::collection::vec(arb_instr(16), 1..64)) {
+        // Clamp targets to the actual length.
+        let len = instrs.len() as u32;
+        let fixed: Vec<Instr> = instrs
+            .into_iter()
+            .map(|i| match i {
+                Instr::Branch { cond, rs1, rs2, target } => {
+                    Instr::Branch { cond, rs1, rs2, target: target % len }
+                }
+                Instr::Jal { rd, target } => Instr::Jal { rd, target: target % len },
+                other => other,
+            })
+            .collect();
+        let words = encode_program(&fixed).expect("encode");
+        let back = decode_program(&words).expect("decode");
+        prop_assert_eq!(back, fixed);
+    }
+
+    /// The disassembly listing re-assembles to the same program.
+    #[test]
+    fn listing_round_trip(instrs in prop::collection::vec(arb_instr(8), 1..32)) {
+        let len = instrs.len() as u32;
+        let fixed: Vec<Instr> = instrs
+            .into_iter()
+            .map(|i| match i {
+                Instr::Branch { cond, rs1, rs2, target } => {
+                    Instr::Branch { cond, rs1, rs2, target: target % len }
+                }
+                Instr::Jal { rd, target } => Instr::Jal { rd, target: target % len },
+                other => other,
+            })
+            .collect();
+        let program = stitch_isa::Program { instrs: fixed, ..Default::default() };
+        let listing = program.listing();
+        let re = asm::assemble(&listing).expect("assemble listing");
+        prop_assert_eq!(re.instrs, program.instrs);
+    }
+}
+
+/// Every shipped kernel's binary round-trips through machine code, and
+/// the decoded program still matches its golden reference on the chip.
+#[test]
+fn kernels_survive_binary_round_trip() {
+    use stitch_sim::{Chip, ChipConfig, TileId};
+    for k in stitch_kernels::all_kernels().into_iter().take(6) {
+        let spec = k.spec();
+        let program = k.standalone();
+        let words = encode_program(&program.instrs).expect("encode");
+        let decoded = decode_program(&words).expect("decode");
+        assert_eq!(decoded, program.instrs, "{}: decode mismatch", spec.name);
+
+        let rebuilt = stitch_isa::Program {
+            instrs: decoded,
+            data: program.data.clone(),
+            ci_table: program.ci_table.clone(),
+            symbols: program.symbols.clone(),
+        };
+        let mut chip = Chip::new(ChipConfig::baseline_16());
+        chip.load_program(TileId(0), &rebuilt);
+        chip.run(2_000_000_000).expect("run");
+        let expected = k.reference(&k.input());
+        let got = chip.peek_words(TileId(0), spec.output_addr, expected.len());
+        assert_eq!(got, expected, "{}: reference mismatch after round trip", spec.name);
+    }
+}
