@@ -143,7 +143,13 @@ fn node(
     recvs: Vec<Edge>,
     sends: Vec<Edge>,
 ) -> NodeSpec {
-    NodeSpec { name: name.into(), kernel, home: TileId(home), recvs, sends }
+    NodeSpec {
+        name: name.into(),
+        kernel,
+        home: TileId(home),
+        recvs,
+        sends,
+    }
 }
 
 /// APP1 — finger gesture recognition (paper Fig 7).
@@ -162,7 +168,11 @@ pub fn gesture() -> App {
         0,
         vec![],
         (1..=6)
-            .map(|i| Edge { peer: i, addr: OUTPUT_BASE, words: fft_in })
+            .map(|i| Edge {
+                peer: i,
+                addr: OUTPUT_BASE,
+                words: fft_in,
+            })
             .collect(),
     ));
     // Nodes 1..=6: FFTs.
@@ -171,8 +181,16 @@ pub fn gesture() -> App {
             format!("fft{i}"),
             Box::new(kernels::fft::Fft::new(64)),
             (i + 1) as u8,
-            vec![Edge { peer: 0, addr: SPM, words: fft_in }],
-            vec![Edge { peer: 7, addr: OUTPUT_BASE, words: fft_in }],
+            vec![Edge {
+                peer: 0,
+                addr: SPM,
+                words: fft_in,
+            }],
+            vec![Edge {
+                peer: 7,
+                addr: OUTPUT_BASE,
+                words: fft_in,
+            }],
         ));
     }
     // Node 7: update feature over the six concatenated spectra.
@@ -181,16 +199,28 @@ pub fn gesture() -> App {
         Box::new(kernels::signal::UpdateFeature::new(768)),
         7,
         (0..6)
-            .map(|i| Edge { peer: 1 + i, addr: SPM + (i as u32) * fft_in * 4, words: fft_in })
+            .map(|i| Edge {
+                peer: 1 + i,
+                addr: SPM + (i as u32) * fft_in * 4,
+                words: fft_in,
+            })
             .collect(),
-        vec![Edge { peer: 8, addr: OUTPUT_BASE, words: 256 }],
+        vec![Edge {
+            peer: 8,
+            addr: OUTPUT_BASE,
+            words: 256,
+        }],
     ));
     // Node 8: FIR filter over a 256-sample band.
     nodes.push(node(
         "filter",
         Box::new(kernels::signal::FirFilter::new(256, 8)),
         8,
-        vec![Edge { peer: 7, addr: SPM, words: 256 }],
+        vec![Edge {
+            peer: 7,
+            addr: SPM,
+            words: 256,
+        }],
         (0..6)
             .map(|i| Edge {
                 peer: 9 + i,
@@ -206,9 +236,17 @@ pub fn gesture() -> App {
             format!("ifft{i}"),
             Box::new(kernels::fft::Ifft::new(64)),
             (9 + i) as u8,
-            vec![Edge { peer: 8, addr: SPM, words: fft_in }],
+            vec![Edge {
+                peer: 8,
+                addr: SPM,
+                words: fft_in,
+            }],
             // Forward a 32-word energy band to the classifier.
-            vec![Edge { peer: 15, addr: OUTPUT_BASE + 128 * 4, words: 32 }],
+            vec![Edge {
+                peer: 15,
+                addr: OUTPUT_BASE + 128 * 4,
+                words: 32,
+            }],
         ));
     }
     // Node 15: classifier over the six energy bands.
@@ -217,11 +255,19 @@ pub fn gesture() -> App {
         Box::new(kernels::signal::Classify::new(192, 4)),
         15,
         (0..6)
-            .map(|i| Edge { peer: 9 + i, addr: SPM + (i as u32) * 32 * 4, words: 32 })
+            .map(|i| Edge {
+                peer: 9 + i,
+                addr: SPM + (i as u32) * 32 * 4,
+                words: 32,
+            })
             .collect(),
         vec![],
     ));
-    let app = App { name: "APP1", title: "finger gesture recognition", nodes };
+    let app = App {
+        name: "APP1",
+        title: "finger gesture recognition",
+        nodes,
+    };
     app.validate();
     app
 }
@@ -239,7 +285,11 @@ pub fn cnn() -> App {
             i as u8,
             vec![],
             // Each contributes a 64-word activation slice to pool1.
-            vec![Edge { peer: 13, addr: OUTPUT_BASE, words: 64 }],
+            vec![Edge {
+                peer: 13,
+                addr: OUTPUT_BASE,
+                words: 64,
+            }],
         ));
     }
     // Node 13: first pooling layer over 13 x 64 = 832 activations.
@@ -248,27 +298,51 @@ pub fn cnn() -> App {
         Box::new(kernels::conv::Pool2x2::new(32, 26)),
         13,
         (0..13)
-            .map(|i| Edge { peer: i, addr: SPM + (i as u32) * 64 * 4, words: 64 })
+            .map(|i| Edge {
+                peer: i,
+                addr: SPM + (i as u32) * 64 * 4,
+                words: 64,
+            })
             .collect(),
-        vec![Edge { peer: 14, addr: OUTPUT_BASE, words: 208 }],
+        vec![Edge {
+            peer: 14,
+            addr: OUTPUT_BASE,
+            words: 208,
+        }],
     ));
     // Node 14: second pooling layer (26 x 8 = 208 inputs).
     nodes.push(node(
         "pool2",
         Box::new(kernels::conv::Pool2x2::new(26, 8)),
         14,
-        vec![Edge { peer: 13, addr: SPM, words: 208 }],
-        vec![Edge { peer: 15, addr: OUTPUT_BASE, words: 52 }],
+        vec![Edge {
+            peer: 13,
+            addr: SPM,
+            words: 208,
+        }],
+        vec![Edge {
+            peer: 15,
+            addr: OUTPUT_BASE,
+            words: 52,
+        }],
     ));
     // Node 15: fully-connected classifier.
     nodes.push(node(
         "fc",
         Box::new(kernels::conv::FullyConnected::new(52, 10)),
         15,
-        vec![Edge { peer: 14, addr: SPM, words: 52 }],
+        vec![Edge {
+            peer: 14,
+            addr: SPM,
+            words: 52,
+        }],
         vec![],
     ));
-    let app = App { name: "APP2", title: "CNN image recognition", nodes };
+    let app = App {
+        name: "APP2",
+        title: "CNN image recognition",
+        nodes,
+    };
     app.validate();
     app
 }
@@ -288,7 +362,11 @@ pub fn svm_app() -> App {
             Box::new(kernels::misc::Histogram::new(768)),
             lane as u8,
             vec![],
-            vec![Edge { peer: 4 + lane, addr: OUTPUT_BASE, words: 64 }],
+            vec![Edge {
+                peer: 4 + lane,
+                addr: OUTPUT_BASE,
+                words: 64,
+            }],
         ));
     }
     for lane in 0..4usize {
@@ -296,9 +374,17 @@ pub fn svm_app() -> App {
             format!("svm{lane}"),
             Box::new(kernels::misc::Svm::new(64, 4)),
             (4 + lane) as u8,
-            vec![Edge { peer: lane, addr: SPM, words: 64 }],
+            vec![Edge {
+                peer: lane,
+                addr: SPM,
+                words: 64,
+            }],
             // Forward the (anomalous) feature block for encryption.
-            vec![Edge { peer: 8 + lane, addr: SPM, words: 16 }],
+            vec![Edge {
+                peer: 8 + lane,
+                addr: SPM,
+                words: 16,
+            }],
         ));
     }
     for lane in 0..4usize {
@@ -306,8 +392,16 @@ pub fn svm_app() -> App {
             format!("aes{lane}"),
             Box::new(kernels::aes::AesEnc::new(1)),
             (8 + lane) as u8,
-            vec![Edge { peer: 4 + lane, addr: SPM, words: 16 }],
-            vec![Edge { peer: 12 + lane, addr: OUTPUT_BASE, words: 16 }],
+            vec![Edge {
+                peer: 4 + lane,
+                addr: SPM,
+                words: 16,
+            }],
+            vec![Edge {
+                peer: 12 + lane,
+                addr: OUTPUT_BASE,
+                words: 16,
+            }],
         ));
     }
     for lane in 0..4usize {
@@ -317,11 +411,19 @@ pub fn svm_app() -> App {
             // 16-word cipher blocks stream through.
             Box::new(kernels::misc::Crc32::new(32)),
             (12 + lane) as u8,
-            vec![Edge { peer: 8 + lane, addr: SPM, words: 16 }],
+            vec![Edge {
+                peer: 8 + lane,
+                addr: SPM,
+                words: 16,
+            }],
             vec![],
         ));
     }
-    let app = App { name: "APP3", title: "SVM anomaly recognition + encryption", nodes };
+    let app = App {
+        name: "APP3",
+        title: "SVM anomaly recognition + encryption",
+        nodes,
+    };
     app.validate();
     app
 }
@@ -340,7 +442,11 @@ pub fn transport() -> App {
             Box::new(kernels::aes::AesDec::new(1)),
             lane as u8,
             vec![],
-            vec![Edge { peer: 5 + lane, addr: OUTPUT_BASE, words: 16 }],
+            vec![Edge {
+                peer: 5 + lane,
+                addr: OUTPUT_BASE,
+                words: 16,
+            }],
         ));
     }
     for lane in 0..5usize {
@@ -350,10 +456,22 @@ pub fn transport() -> App {
             // the observation sequence of a 64-point DTW.
             Box::new(kernels::dtw::Dtw::new(64)),
             (5 + lane) as u8,
-            vec![Edge { peer: lane, addr: SPM + 64 * 4, words: 16 }],
+            vec![Edge {
+                peer: lane,
+                addr: SPM + 64 * 4,
+                words: 16,
+            }],
             vec![
-                Edge { peer: 15, addr: OUTPUT_BASE, words: 1 },
-                Edge { peer: 10 + lane, addr: SPM, words: 16 },
+                Edge {
+                    peer: 15,
+                    addr: OUTPUT_BASE,
+                    words: 1,
+                },
+                Edge {
+                    peer: 10 + lane,
+                    addr: SPM,
+                    words: 16,
+                },
             ],
         ));
     }
@@ -362,7 +480,11 @@ pub fn transport() -> App {
             format!("aes{lane}"),
             Box::new(kernels::aes::AesEnc::new(1)),
             (10 + lane) as u8,
-            vec![Edge { peer: 5 + lane, addr: SPM, words: 16 }],
+            vec![Edge {
+                peer: 5 + lane,
+                addr: SPM,
+                words: 16,
+            }],
             vec![],
         ));
     }
@@ -372,11 +494,19 @@ pub fn transport() -> App {
         Box::new(kernels::misc::Svm::new(5, 3)),
         15,
         (0..5)
-            .map(|lane| Edge { peer: 5 + lane, addr: SPM + (lane as u32) * 4, words: 1 })
+            .map(|lane| Edge {
+                peer: 5 + lane,
+                addr: SPM + (lane as u32) * 4,
+                words: 1,
+            })
             .collect(),
         vec![],
     ));
-    let app = App { name: "APP4", title: "transport context detection", nodes };
+    let app = App {
+        name: "APP4",
+        title: "transport context detection",
+        nodes,
+    };
     app.validate();
     app
 }

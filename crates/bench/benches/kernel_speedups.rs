@@ -1,20 +1,25 @@
-//! Criterion view of Fig 11/Fig 12: wall-clock of the compile+simulate
-//! pipeline for representative kernels (the experiment binaries print
-//! the actual figures; this tracks harness performance regressions).
+//! Wall-clock view of Fig 11/Fig 12: the compile+simulate pipeline for
+//! representative kernels (the experiment binaries print the actual
+//! figures; this tracks harness performance regressions).
+//!
+//! Hand-rolled timing (`bench::time_fn`) instead of Criterion — the
+//! offline sandbox has no crates-registry access.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use stitch_compiler::{compile_kernel, PatchConfig};
 use stitch_kernels::kernel_by_name;
 use stitch_patch::PatchClass;
 
-fn bench_kernel_flow(c: &mut Criterion) {
+fn main() {
     for name in ["fir", "update", "histogram"] {
         let kernel = kernel_by_name(name).expect("kernel");
         let spec = kernel.spec();
         let program = kernel.standalone();
-        c.bench_function(&format!("flow/{name} compile+measure {{AT-MA}}"), |b| {
-            b.iter(|| {
+        bench::time_fn(
+            &format!("flow/{name} compile+measure {{AT-MA}}"),
+            1,
+            10,
+            || {
                 black_box(
                     compile_kernel(
                         spec.name,
@@ -26,14 +31,7 @@ fn bench_kernel_flow(c: &mut Criterion) {
                     .variants
                     .len(),
                 )
-            });
-        });
+            },
+        );
     }
 }
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_kernel_flow
-);
-criterion_main!(benches);

@@ -1,7 +1,10 @@
-//! Criterion microbenchmarks over the core subsystems: simulator cycle
-//! throughput, patch evaluation, the ISE toolchain stages, and both NoCs.
+//! Microbenchmarks over the core subsystems: simulator cycle throughput,
+//! patch evaluation, the ISE toolchain stages, and both NoCs.
+//!
+//! Hand-rolled timing (`bench::time_fn`) instead of Criterion — the
+//! offline sandbox has no crates-registry access. Run with
+//! `cargo bench -p bench --bench microbench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use stitch_compiler::{
     enumerate_candidates, map_candidate, BlockDfg, Cfg, EnumerateLimits, PatchConfig,
@@ -42,20 +45,23 @@ fn hot_block_program() -> stitch_isa::Program {
     b.build().expect("valid")
 }
 
-fn bench_simulator(c: &mut Criterion) {
+fn bench_simulator() {
     let program = countdown_kernel(10_000);
-    c.bench_function("sim/30k-cycle kernel run", |b| {
-        b.iter(|| {
-            let mut chip = Chip::new(ChipConfig::baseline_16());
-            chip.load_program(TileId(0), &program);
-            black_box(chip.run(10_000_000).expect("run").cycles)
-        });
+    bench::time_fn("sim/30k-cycle kernel run", 2, 20, || {
+        let mut chip = Chip::new(ChipConfig::baseline_16());
+        chip.load_program(TileId(0), &program);
+        black_box(chip.run(10_000_000).expect("run").cycles)
     });
 }
 
-fn bench_patch_eval(c: &mut Criterion) {
+fn bench_patch_eval() {
     let single = ControlWord::AtMa(AtMaControl {
-        s1: Stage1 { a1_op: AluOp::Add, a1_src1: 0, a1_src2: 1, t1: stitch_patch::T1Mode::Load },
+        s1: Stage1 {
+            a1_op: AluOp::Add,
+            a1_src1: 0,
+            a1_src2: 1,
+            t1: stitch_patch::T1Mode::Load,
+        },
         m_src1: Sel4::T1,
         m_src2: Sel4::In2,
         a2_takes_a1: false,
@@ -67,65 +73,63 @@ fn bench_patch_eval(c: &mut Criterion) {
     for i in 0..256 {
         spm.set(i * 4, i);
     }
-    c.bench_function("patch/eval_single", |b| {
-        b.iter(|| black_box(eval_single(&single, [16, 8, 3, 4], &mut spm)));
+    bench::time_fn("patch/eval_single", 100, 100_000, || {
+        black_box(eval_single(&single, [16, 8, 3, 4], &mut spm))
     });
-    c.bench_function("patch/eval_fused", |b| {
-        b.iter(|| black_box(eval_fused(&single, &second, [16, 8, 3, 4], &mut spm)));
+    bench::time_fn("patch/eval_fused", 100, 100_000, || {
+        black_box(eval_fused(&single, &second, [16, 8, 3, 4], &mut spm))
     });
 }
 
-fn bench_compiler(c: &mut Criterion) {
+fn bench_compiler() {
     let program = hot_block_program();
     let cfg = Cfg::build(&program);
-    let block = cfg.blocks.iter().find(|b| b.succs.contains(&b.id)).expect("loop");
+    let block = cfg
+        .blocks
+        .iter()
+        .find(|b| b.succs.contains(&b.id))
+        .expect("loop");
     let dfg = BlockDfg::build(&program, &cfg, block);
-    c.bench_function("compiler/enumerate_candidates", |b| {
-        b.iter(|| black_box(enumerate_candidates(&dfg, EnumerateLimits::default()).len()));
+    bench::time_fn("compiler/enumerate_candidates", 5, 200, || {
+        black_box(enumerate_candidates(&dfg, EnumerateLimits::default()).len())
     });
     let cands = enumerate_candidates(&dfg, EnumerateLimits::default());
     let cand = cands.iter().max_by_key(|c| c.len()).expect("candidate");
-    c.bench_function("compiler/map_candidate pair", |b| {
-        b.iter(|| {
-            black_box(map_candidate(
-                &dfg,
-                cand,
-                PatchConfig::Pair(PatchClass::AtMa, PatchClass::AtSa),
-            ))
-        });
+    bench::time_fn("compiler/map_candidate pair", 5, 200, || {
+        black_box(map_candidate(
+            &dfg,
+            cand,
+            PatchConfig::Pair(PatchClass::AtMa, PatchClass::AtSa),
+        ))
     });
-    c.bench_function("compiler/encode_program", |b| {
-        b.iter(|| black_box(encode_program(&program.instrs).expect("encode").len()));
+    bench::time_fn("compiler/encode_program", 5, 2_000, || {
+        black_box(encode_program(&program.instrs).expect("encode").len())
     });
 }
 
-fn bench_nocs(c: &mut Criterion) {
-    c.bench_function("noc/mesh all-to-opposite drain", |b| {
-        b.iter(|| {
-            let mut m = Mesh::new(MeshConfig::default());
-            for t in 0..16u8 {
-                m.send(TileId(t), TileId(15 - t), &[1, 2, 3, 4]);
-            }
-            black_box(m.drain(100_000))
-        });
+fn bench_nocs() {
+    bench::time_fn("noc/mesh all-to-opposite drain", 2, 200, || {
+        let mut m = Mesh::new(MeshConfig::default());
+        for t in 0..16u8 {
+            m.send(TileId(t), TileId(15 - t), &[1, 2, 3, 4]);
+        }
+        black_box(m.drain(100_000))
     });
-    c.bench_function("noc/patchnet reserve+clear", |b| {
-        b.iter(|| {
-            let mut net = PatchNet::new_4x4();
-            let mut n = 0;
-            for from in 0..8u8 {
-                if net.reserve(TileId(from), TileId(15 - from)).is_ok() {
-                    n += 1;
-                }
+    bench::time_fn("noc/patchnet reserve+clear", 2, 2_000, || {
+        let mut net = PatchNet::new_4x4();
+        let mut n = 0;
+        for from in 0..8u8 {
+            if net.reserve(TileId(from), TileId(15 - from)).is_ok() {
+                n += 1;
             }
-            black_box(n)
-        });
+        }
+        black_box(n)
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_simulator, bench_patch_eval, bench_compiler, bench_nocs
-);
-criterion_main!(benches);
+fn main() {
+    bench_simulator();
+    bench_patch_eval();
+    bench_compiler();
+    bench_nocs();
+}

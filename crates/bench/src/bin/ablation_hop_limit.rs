@@ -18,7 +18,11 @@ fn main() {
     for hops in 1..=6u32 {
         let worst = PatchClass::STITCH
             .iter()
-            .flat_map(|&a| PatchClass::STITCH.iter().map(move |&b| fused_delay_ns(a, b, hops)))
+            .flat_map(|&a| {
+                PatchClass::STITCH
+                    .iter()
+                    .map(move |&b| fused_delay_ns(a, b, hops))
+            })
             .fold(0.0f64, f64::max);
         // Tile pairs within this distance.
         let mut covered = 0;
@@ -38,7 +42,11 @@ fn main() {
             "{:>14} {:>18.2} {:>16} {:>13.0}%",
             hops,
             worst,
-            if ok { "200 MHz single-cycle" } else { "needs slower clock" },
+            if ok {
+                "200 MHz single-cycle"
+            } else {
+                "needs slower clock"
+            },
             covered as f64 / f64::from(total) * 100.0
         );
     }

@@ -5,15 +5,18 @@
 //! a homogeneous chip should lose on applications whose bottlenecks want
 //! shifter patches.
 
-use stitch_compiler::{stitch_application, AppKernel};
 use stitch::{Arch, ChipConfig, PatchClass, Workbench};
+use stitch_compiler::{stitch_application, AppKernel};
 
 fn best_time(plan: &stitch_compiler::StitchPlan, kernels: &[AppKernel]) -> u64 {
     kernels
         .iter()
         .zip(&plan.accel)
         .map(|(k, a)| match a {
-            Some(g) => k.variants.variant(g.config).map_or(k.variants.baseline_cycles, |v| v.cycles),
+            Some(g) => k
+                .variants
+                .variant(g.config)
+                .map_or(k.variants.baseline_cycles, |v| v.cycles),
             None => k.variants.baseline_cycles,
         })
         .max()
@@ -21,7 +24,10 @@ fn best_time(plan: &stitch_compiler::StitchPlan, kernels: &[AppKernel]) -> u64 {
 }
 
 fn main() {
-    println!("{}", bench::header("Ablation: heterogeneous vs homogeneous patch mix"));
+    println!(
+        "{}",
+        bench::header("Ablation: heterogeneous vs homogeneous patch mix")
+    );
     let mut ws = Workbench::new();
     let hetero = ChipConfig::stitch_16();
     let mut homo = ChipConfig::stitch_16();
@@ -39,7 +45,10 @@ fn main() {
             .collect();
         let plan_het = stitch_application(&kernels, &hetero, Arch::Stitch);
         let plan_hom = stitch_application(&kernels, &homo, Arch::Stitch);
-        let (bh, bo) = (best_time(&plan_het, &kernels), best_time(&plan_hom, &kernels));
+        let (bh, bo) = (
+            best_time(&plan_het, &kernels),
+            best_time(&plan_hom, &kernels),
+        );
         println!(
             "{}",
             bench::row(

@@ -6,9 +6,15 @@ use stitch_kernels::all_kernels;
 use stitch_sim::{Chip, ChipConfig, TileId};
 
 fn main() {
-    println!("{}", bench::header("Ablation: SPM vs larger D-cache (no ISEs)"));
+    println!(
+        "{}",
+        bench::header("Ablation: SPM vs larger D-cache (no ISEs)")
+    );
     let mut degradations = Vec::new();
-    println!("{:>10} {:>12} {:>12} {:>10}", "kernel", "8KB D$", "4KB D$+SPM", "delta");
+    println!(
+        "{:>10} {:>12} {:>12} {:>10}",
+        "kernel", "8KB D$", "4KB D$+SPM", "delta"
+    );
     for k in all_kernels() {
         let program = k.standalone();
         let run = |cfg: ChipConfig| -> u64 {
@@ -32,7 +38,11 @@ fn main() {
     println!("{}", "-".repeat(72));
     println!(
         "{}",
-        bench::row("average degradation", "1.5%", &format!("{:.2}%", avg * 100.0))
+        bench::row(
+            "average degradation",
+            "1.5%",
+            &format!("{:.2}%", avg * 100.0)
+        )
     );
     assert!(
         avg.abs() < 0.10,

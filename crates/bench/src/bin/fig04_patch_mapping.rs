@@ -60,19 +60,35 @@ fn main() {
     println!("baseline loop: {} cycles", kv.baseline_cycles);
     println!(
         "{}",
-        bench::row("(b) single {AT-MA}", "4 cycles/iter", &report(&kv, configs[0]))
+        bench::row(
+            "(b) single {AT-MA}",
+            "4 cycles/iter",
+            &report(&kv, configs[0])
+        )
     );
     println!(
         "{}",
-        bench::row("(c) single {AT-AS}", "2 cycles/iter", &report(&kv, configs[1]))
+        bench::row(
+            "(c) single {AT-AS}",
+            "2 cycles/iter",
+            &report(&kv, configs[1])
+        )
     );
     println!(
         "{}",
-        bench::row("(d) fused {AT-MA,AT-AS}", "2 cycles/iter", &report(&kv, configs[3]))
+        bench::row(
+            "(d) fused {AT-MA,AT-AS}",
+            "2 cycles/iter",
+            &report(&kv, configs[3])
+        )
     );
     println!(
         "{}",
-        bench::row("(e) fused {AT-AS,AT-AS}", "1 cycle/iter", &report(&kv, configs[4]))
+        bench::row(
+            "(e) fused {AT-AS,AT-AS}",
+            "1 cycle/iter",
+            &report(&kv, configs[4])
+        )
     );
     println!();
     println!(

@@ -6,7 +6,10 @@ use stitch_apps::App;
 use stitch_compiler::AppKernel;
 
 fn main() {
-    println!("{}", bench::header("Fig 10: per-application stitching maps"));
+    println!(
+        "{}",
+        bench::header("Fig 10: per-application stitching maps")
+    );
     let mut ws = Workbench::new();
     for app in App::all() {
         let run = ws.run_app(&app, Arch::Stitch, DEFAULT_FRAMES).expect("run");
@@ -24,7 +27,11 @@ fn main() {
         print!("{}", run.plan.render(&kernels));
         println!(
             "circuits: {:?}",
-            run.plan.circuits.iter().map(|(a, b)| format!("{a}->{b}")).collect::<Vec<_>>()
+            run.plan
+                .circuits
+                .iter()
+                .map(|(a, b)| format!("{a}->{b}"))
+                .collect::<Vec<_>>()
         );
         println!("algorithm log:");
         for l in &run.plan.log {

@@ -12,7 +12,9 @@ fn main() {
     println!("{}", bench::header("Fig 11: kernel speedups"));
     let mut bench_ws = Workbench::new();
     let kernels = all_kernels();
-    let rows = bench_ws.kernel_table(&kernels).expect("kernel table");
+    let rows = bench_ws
+        .kernel_table_threaded(&kernels, Workbench::default_threads())
+        .expect("kernel table");
     println!(
         "{:>10} {:>10} {:>8} {:>8} {:>10} {:>22}",
         "kernel", "base cyc", "LOCUS", "single", "stitched", "best stitched config"
@@ -74,7 +76,9 @@ fn main() {
     );
     let dconv = by_name("2dconv");
     assert!(
-        dconv.single_config.is_some_and(|c| c.name().contains("AT-MA")),
+        dconv
+            .single_config
+            .is_some_and(|c| c.name().contains("AT-MA")),
         "2dconv prefers {{AT-MA}} (paper)"
     );
     println!("\nShape checks passed: patches > LOCUS, stitched >= single, astar flat, 2dconv -> {{AT-MA}}.");

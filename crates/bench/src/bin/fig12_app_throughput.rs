@@ -16,8 +16,17 @@ fn main() {
         "app", "baseline", "LOCUS", "w/o fusion", "Stitch", "fused"
     );
     let mut per_arch: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for app in App::all() {
-        let runs = ws.run_all_archs(&app, DEFAULT_FRAMES).expect("runs");
+    // One threaded sweep over the whole app x arch grid; results come
+    // back in grid order, so each app's four runs are contiguous.
+    let apps = App::all();
+    let grid = Workbench::full_grid(&apps);
+    let mut results = ws.sweep(&apps, &grid, DEFAULT_FRAMES, 0).into_iter();
+    for app in &apps {
+        let runs: Vec<_> = results
+            .by_ref()
+            .take(Arch::ALL.len())
+            .map(|r| r.expect("run"))
+            .collect();
         let base = runs[0].throughput_fps;
         let rel: Vec<f64> = runs.iter().map(|r| r.throughput_fps / base).collect();
         println!(
@@ -35,12 +44,27 @@ fn main() {
     }
     println!("{}", "-".repeat(72));
     let g: Vec<f64> = per_arch.iter().map(|v| bench::geomean(v)).collect();
-    println!("{}", bench::row("geomean LOCUS", "1.14x", &format!("{:.2}x", g[0])));
-    println!("{}", bench::row("geomean Stitch w/o fusion", "1.53x", &format!("{:.2}x", g[1])));
-    println!("{}", bench::row("geomean Stitch", "2.3x", &format!("{:.2}x", g[2])));
-    assert!(g[0] < g[1], "w/o-fusion beats LOCUS (heterogeneous patches + SPM)");
+    println!(
+        "{}",
+        bench::row("geomean LOCUS", "1.14x", &format!("{:.2}x", g[0]))
+    );
+    println!(
+        "{}",
+        bench::row(
+            "geomean Stitch w/o fusion",
+            "1.53x",
+            &format!("{:.2}x", g[1])
+        )
+    );
+    println!(
+        "{}",
+        bench::row("geomean Stitch", "2.3x", &format!("{:.2}x", g[2]))
+    );
+    assert!(
+        g[0] < g[1],
+        "w/o-fusion beats LOCUS (heterogeneous patches + SPM)"
+    );
     assert!(g[1] <= g[2] + 1e-9, "fusion never loses on average");
-    let _ = Arch::ALL;
     println!(
         "\nShape checks passed: LOCUS < Stitch w/o fusion <= Stitch; fusion\n\
          pays off most where load imbalance frees patches (APP4)."

@@ -41,8 +41,17 @@ fn main() {
             &format!("{:.2}%", a.accelerator_fraction() * 100.0)
         )
     );
-    assert!((0.10..0.35).contains(&p.accelerator_fraction()), "power share near 23%");
-    assert!((0.004..0.006).contains(&a.accelerator_fraction()), "area share near 0.5%");
-    assert!((90.0..170.0).contains(&p.total_mw()), "total power near 140 mW");
+    assert!(
+        (0.10..0.35).contains(&p.accelerator_fraction()),
+        "power share near 23%"
+    );
+    assert!(
+        (0.004..0.006).contains(&a.accelerator_fraction()),
+        "area share near 0.5%"
+    );
+    assert!(
+        (90.0..170.0).contains(&p.total_mw()),
+        "total power near 140 mW"
+    );
     println!("\nShape checks passed: ~140 mW total, accelerators ~23% power / 0.5% area.");
 }

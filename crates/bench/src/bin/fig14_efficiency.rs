@@ -5,7 +5,7 @@
 //! the area efficiency tracks the throughput because the accelerator
 //! overhead is only 0.5% of the chip.
 
-use stitch::{Arch, Workbench, DEFAULT_FRAMES};
+use stitch::{Arch, SweepPoint, Workbench, DEFAULT_FRAMES};
 use stitch_apps::App;
 use stitch_power::{area_efficiency, power_efficiency};
 
@@ -17,9 +17,20 @@ fn main() {
         "app", "speedup", "perf/watt", "perf/area"
     );
     let (mut spd, mut pe, mut ae) = (Vec::new(), Vec::new(), Vec::new());
-    for app in App::all() {
-        let base = ws.run_app(&app, Arch::Baseline, DEFAULT_FRAMES).expect("run");
-        let st = ws.run_app(&app, Arch::Stitch, DEFAULT_FRAMES).expect("run");
+    // Threaded sweep over app x {Baseline, Stitch}; results arrive in
+    // point order, so each app contributes an adjacent (base, st) pair.
+    let apps = App::all();
+    let points: Vec<SweepPoint> = (0..apps.len())
+        .flat_map(|app| {
+            [Arch::Baseline, Arch::Stitch]
+                .into_iter()
+                .map(move |arch| SweepPoint { app, arch })
+        })
+        .collect();
+    let mut results = ws.sweep(&apps, &points, DEFAULT_FRAMES, 0).into_iter();
+    for app in &apps {
+        let base = results.next().expect("point").expect("run");
+        let st = results.next().expect("point").expect("run");
         let s = st.throughput_fps / base.throughput_fps;
         let p = power_efficiency(
             Arch::Stitch,
@@ -35,8 +46,11 @@ fn main() {
         ae.push(a);
     }
     println!("{}", "-".repeat(72));
-    let (gs, gp, ga) =
-        (bench::geomean(&spd), bench::geomean(&pe), bench::geomean(&ae));
+    let (gs, gp, ga) = (
+        bench::geomean(&spd),
+        bench::geomean(&pe),
+        bench::geomean(&ae),
+    );
     println!(
         "{}",
         bench::row("geomean speedup", "2.3x", &format!("{gs:.2}x"))
@@ -54,11 +68,23 @@ fn main() {
     // draw power) and well above the break-even line for the apps where
     // acceleration is substantial. Our absolute speedups are smaller than
     // the paper's (see EXPERIMENTS.md), which compresses perf/watt too.
-    assert!((ga / gs - 1.0).abs() < 0.02, "area efficiency tracks speedup");
-    assert!(gp < gs, "power efficiency < speedup (accelerators draw power)");
-    assert!(gp > 0.9, "power efficiency must stay near or above break-even");
+    assert!(
+        (ga / gs - 1.0).abs() < 0.02,
+        "area efficiency tracks speedup"
+    );
+    assert!(
+        gp < gs,
+        "power efficiency < speedup (accelerators draw power)"
+    );
+    assert!(
+        gp > 0.9,
+        "power efficiency must stay near or above break-even"
+    );
     let best = pe.iter().cloned().fold(0.0f64, f64::max);
-    assert!(best > 1.1, "the most accelerable app must gain perf/watt, got {best:.2}");
+    assert!(
+        best > 1.1,
+        "the most accelerable app must gain perf/watt, got {best:.2}"
+    );
     println!("\nShape checks passed: perf/area ~= speedup; perf/watt < speedup and");
     println!("clearly above break-even where acceleration is substantial.");
 }

@@ -21,7 +21,9 @@ fn main() {
     for app in App::all() {
         let st = ws.run_app(&app, Arch::Stitch, DEFAULT_FRAMES).expect("run");
         // The A7 re-executes the same per-frame work on 4 big cores.
-        let base = ws.run_app(&app, Arch::Baseline, DEFAULT_FRAMES).expect("run");
+        let base = ws
+            .run_app(&app, Arch::Baseline, DEFAULT_FRAMES)
+            .expect("run");
         let a7_fps = CortexA7::throughput_fps(&base.summary, DEFAULT_FRAMES);
         let t = st.throughput_fps / a7_fps;
         let p = (st.throughput_fps / st.power_mw) / (a7_fps / CortexA7::POWER_MW);
@@ -34,13 +36,25 @@ fn main() {
     }
     println!("{}", "-".repeat(72));
     let (gt, gp) = (bench::geomean(&thr), bench::geomean(&ppw));
-    println!("{}", bench::row("geomean throughput vs A7", "1.65x", &format!("{gt:.2}x")));
-    println!("{}", bench::row("geomean perf/watt vs A7", "6.04x", &format!("{gp:.2}x")));
+    println!(
+        "{}",
+        bench::row("geomean throughput vs A7", "1.65x", &format!("{gt:.2}x"))
+    );
+    println!(
+        "{}",
+        bench::row("geomean perf/watt vs A7", "6.04x", &format!("{gp:.2}x"))
+    );
     println!(
         "{}",
         bench::row("Stitch power", "~140 mW", "see fig13_breakdown")
     );
-    assert!(gt > 1.0, "16 small cores + ISEs outrun 4 big cores on these pipelines");
-    assert!(gp > gt, "the watt advantage multiplies the throughput advantage");
+    assert!(
+        gt > 1.0,
+        "16 small cores + ISEs outrun 4 big cores on these pipelines"
+    );
+    assert!(
+        gp > gt,
+        "the watt advantage multiplies the throughput advantage"
+    );
     println!("\nShape checks passed: Stitch beats the A7 in throughput and by a much\nlarger factor in performance/watt (the paper's central claim).");
 }

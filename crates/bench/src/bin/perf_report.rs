@@ -1,0 +1,144 @@
+//! Simulator performance report.
+//!
+//! Times the pre-change simulation loop (sequential, cycle-by-cycle
+//! `Chip::run_reference`) against the event-driven threaded sweep on the
+//! exact Fig 12 app x arch grid, cross-checks that both engines produce
+//! bit-identical summaries, and writes the numbers to `BENCH_sim.json`.
+//! See EXPERIMENTS.md for how to regenerate the file.
+
+use std::time::Instant;
+
+use bench::JsonObject;
+use stitch::{SimEngine, SweepPoint, Workbench, DEFAULT_FRAMES};
+use stitch_apps::App;
+use stitch_kernels::all_kernels;
+use stitch_sim::{Arch, CLOCK_HZ};
+
+/// Wall time of the same prewarmed Fig 12 grid on the pre-change engine,
+/// measured at the seed commit on this host (see EXPERIMENTS.md,
+/// "Pre-change baseline", for the exact procedure). The pre-change code
+/// has neither the event-driven fast path nor the mapper memo cache, so
+/// the baseline cannot be re-measured from this binary; it is recorded
+/// here as a constant instead.
+const SEED_FIG12_WALL_S: f64 = 13.26;
+/// Commit the baseline was measured at.
+const SEED_COMMIT: &str = "d1039ad";
+
+fn main() {
+    let apps = App::all();
+    let grid = Workbench::full_grid(&apps);
+    let threads = Workbench::default_threads();
+    println!("{}", bench::header("Simulator performance report"));
+    println!(
+        "host threads: {threads}; frames: {DEFAULT_FRAMES}; grid: {} points",
+        grid.len()
+    );
+
+    let mut ws = Workbench::new();
+    // Compile every kernel up front so both timed regions measure pure
+    // stitch+simulate work.
+    ws.prewarm(&apps);
+
+    // Fig 12 grid, pre-change shape: sequential loop, naive tick-by-tick
+    // simulator.
+    ws.set_engine(SimEngine::Reference);
+    let t = Instant::now();
+    let mut ref_runs = Vec::new();
+    for p in &grid {
+        ref_runs.push(
+            ws.run_app(&apps[p.app], p.arch, DEFAULT_FRAMES)
+                .expect("reference run"),
+        );
+    }
+    let ref_s = t.elapsed().as_secs_f64();
+    let sim_cycles: u64 = ref_runs.iter().map(|r| r.summary.cycles).sum();
+    println!("fig12 grid, sequential reference loop: {ref_s:>8.2}s");
+
+    // Fig 12 grid, this change: threaded sweep over the event-driven fast
+    // path.
+    ws.set_engine(SimEngine::EventDriven);
+    let t = Instant::now();
+    let fast_runs: Vec<_> = ws
+        .sweep(&apps, &grid, DEFAULT_FRAMES, threads)
+        .into_iter()
+        .map(|r| r.expect("fast run"))
+        .collect();
+    let fast_s = t.elapsed().as_secs_f64();
+    println!("fig12 grid, threaded event-driven sweep: {fast_s:>6.2}s");
+
+    // The fast path must be invisible in the results.
+    for (a, b) in ref_runs.iter().zip(&fast_runs) {
+        assert_eq!(
+            a.summary, b.summary,
+            "engines diverge on {}/{:?}",
+            a.app_name, a.arch
+        );
+    }
+    let speedup = ref_s / fast_s;
+    let speedup_vs_seed = SEED_FIG12_WALL_S / fast_s;
+    println!("speedup vs in-tree reference engine: {speedup:.2}x (summaries bit-identical)");
+    println!(
+        "speedup vs pre-change loop ({SEED_FIG12_WALL_S:.2}s at {SEED_COMMIT}): \
+         {speedup_vs_seed:.2}x"
+    );
+
+    // Fig 11 kernel table, sequential vs threaded (fresh caches so both
+    // legs compile from scratch).
+    let kernels = all_kernels();
+    let t = Instant::now();
+    Workbench::new()
+        .kernel_table(&kernels)
+        .expect("kernel table");
+    let fig11_seq_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    Workbench::new()
+        .kernel_table_threaded(&kernels, threads)
+        .expect("kernel table");
+    let fig11_thr_s = t.elapsed().as_secs_f64();
+
+    // Fig 14 pairs (Baseline + Stitch per app) on the new path.
+    let pairs: Vec<SweepPoint> = (0..apps.len())
+        .flat_map(|app| {
+            [Arch::Baseline, Arch::Stitch]
+                .into_iter()
+                .map(move |arch| SweepPoint { app, arch })
+        })
+        .collect();
+    let t = Instant::now();
+    for r in ws.sweep(&apps, &pairs, DEFAULT_FRAMES, threads) {
+        r.expect("fig14 run");
+    }
+    let fig14_s = t.elapsed().as_secs_f64();
+
+    let mut fig12 = JsonObject::new();
+    fig12
+        .int("points", grid.len() as u64)
+        .int("sim_cycles", sim_cycles)
+        .float("reference_seq_wall_s", ref_s)
+        .float("fast_threaded_wall_s", fast_s)
+        .float("speedup", speedup)
+        .str("seed_commit", SEED_COMMIT)
+        .float("seed_wall_s", SEED_FIG12_WALL_S)
+        .float("speedup_vs_seed", speedup_vs_seed)
+        .float("reference_sim_cycles_per_s", sim_cycles as f64 / ref_s)
+        .float("fast_sim_cycles_per_s", sim_cycles as f64 / fast_s);
+    let mut fig11 = JsonObject::new();
+    fig11
+        .int("kernels", kernels.len() as u64)
+        .float("sequential_wall_s", fig11_seq_s)
+        .float("threaded_wall_s", fig11_thr_s);
+    let mut fig14 = JsonObject::new();
+    fig14
+        .int("points", pairs.len() as u64)
+        .float("fast_threaded_wall_s", fig14_s);
+    let mut root = JsonObject::new();
+    root.int("host_threads", threads as u64)
+        .int("frames", u64::from(DEFAULT_FRAMES))
+        .float("clock_mhz", CLOCK_HZ as f64 / 1e6)
+        .object("fig12_grid", &fig12)
+        .object("fig11_kernel_table", &fig11)
+        .object("fig14_pairs", &fig14);
+
+    std::fs::write("BENCH_sim.json", root.render_pretty()).expect("write BENCH_sim.json");
+    println!("\nwrote BENCH_sim.json");
+}

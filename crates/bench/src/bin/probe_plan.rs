@@ -27,9 +27,15 @@ fn main() {
     for l in &run.plan.log {
         println!("  {l}");
     }
-    println!("fps={:.1} power={:.0}mW cycles={}", run.throughput_fps, run.power_mw, run.summary.cycles);
+    println!(
+        "fps={:.1} power={:.0}mW cycles={}",
+        run.throughput_fps, run.power_mw, run.summary.cycles
+    );
     // Per-tile cycle histogram to find the bottleneck.
     for (t, ts) in run.summary.tiles.iter().enumerate() {
-        println!("tile{:<2} cycles={:>9} wait={:>9} ci={:>7}", t, ts.core.cycles, ts.core.recv_wait_cycles, ts.core.custom_ops);
+        println!(
+            "tile{:<2} cycles={:>9} wait={:>9} ci={:>7}",
+            t, ts.core.cycles, ts.core.recv_wait_cycles, ts.core.custom_ops
+        );
     }
 }

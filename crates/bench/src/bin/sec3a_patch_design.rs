@@ -8,7 +8,10 @@ use stitch_compiler::{chain_analysis, critical_chain, profile_program, BlockDfg,
 use stitch_kernels::all_kernels;
 
 fn main() {
-    println!("{}", bench::header("Sec III-A: hot operation-chain analysis"));
+    println!(
+        "{}",
+        bench::header("Sec III-A: hot operation-chain analysis")
+    );
     let mut per_kernel: Vec<(String, Vec<String>)> = Vec::new();
     for k in all_kernels() {
         let program = k.standalone();

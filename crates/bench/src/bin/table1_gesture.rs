@@ -17,10 +17,15 @@ const DEADLINE_MS: f64 = 7.81;
 const PAPER_STITCH_MS: f64 = 7.62;
 
 fn main() {
-    println!("{}", bench::header("Table I: gesture recognition platforms"));
+    println!(
+        "{}",
+        bench::header("Table I: gesture recognition platforms")
+    );
     let mut ws = Workbench::new();
     let app = stitch_apps::gesture();
-    let nofusion = ws.run_app(&app, Arch::StitchNoFusion, DEFAULT_FRAMES).expect("run");
+    let nofusion = ws
+        .run_app(&app, Arch::StitchNoFusion, DEFAULT_FRAMES)
+        .expect("run");
     let stitch = ws.run_app(&app, Arch::Stitch, DEFAULT_FRAMES).expect("run");
 
     // Calibrate frames/gesture so the Stitch row lands on the paper's
@@ -80,7 +85,10 @@ fn main() {
             &format!("{:.1} mW", stitch.power_mw)
         )
     );
-    assert!(st_ms <= nf_ms + 1e-9, "fusion must not slow the gesture app");
+    assert!(
+        st_ms <= nf_ms + 1e-9,
+        "fusion must not slow the gesture app"
+    );
     assert!(
         st_ms <= DEADLINE_MS,
         "calibrated gesture time must meet the 7.81 ms deadline (got {st_ms:.2})"

@@ -11,11 +11,15 @@ fn main() {
     let cfg = ChipConfig::stitch_16();
     println!(
         "{}",
-        bench::row("cores", "16 in-order @ 200 MHz", &format!(
-            "{} in-order @ {} MHz",
-            cfg.topo.tiles(),
-            CLOCK_HZ / 1_000_000
-        ))
+        bench::row(
+            "cores",
+            "16 in-order @ 200 MHz",
+            &format!(
+                "{} in-order @ {} MHz",
+                cfg.topo.tiles(),
+                CLOCK_HZ / 1_000_000
+            )
+        )
     );
     println!(
         "{}",
@@ -68,11 +72,15 @@ fn main() {
     );
     println!(
         "{}",
-        bench::row("DRAM", "512MB, 30-cycle", &format!(
-            "{}MB, {}-cycle",
-            stitch_isa::memmap::DRAM_SIZE / (1024 * 1024),
-            stitch_mem::DRAM_LATENCY
-        ))
+        bench::row(
+            "DRAM",
+            "512MB, 30-cycle",
+            &format!(
+                "{}MB, {}-cycle",
+                stitch_isa::memmap::DRAM_SIZE / (1024 * 1024),
+                stitch_mem::DRAM_LATENCY
+            )
+        )
     );
     println!(
         "{}",

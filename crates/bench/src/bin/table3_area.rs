@@ -34,11 +34,14 @@ fn main() {
             "{arch}: area deviates more than 2% from Table III"
         );
     }
-    let ratio =
-        accelerator_area_um2(Arch::Locus) / accelerator_area_um2(Arch::Stitch);
+    let ratio = accelerator_area_um2(Arch::Locus) / accelerator_area_um2(Arch::Stitch);
     println!(
         "{}",
-        bench::row("LOCUS / Stitch area ratio", "7.64x", &format!("{ratio:.2}x"))
+        bench::row(
+            "LOCUS / Stitch area ratio",
+            "7.64x",
+            &format!("{ratio:.2}x")
+        )
     );
     println!("\nAll areas within 2% of Table III (residual = the paper's rounding).");
 }

@@ -2,8 +2,8 @@
 //! the fused-path critical-path accounting.
 
 use stitch_patch::{
-    fused_delay_ns, fused_path_legal, patch_area_um2, patch_delay_ns, single_delay_ns,
-    PatchClass, CLOCK_PERIOD_NS,
+    fused_delay_ns, fused_path_legal, patch_area_um2, patch_delay_ns, single_delay_ns, PatchClass,
+    CLOCK_PERIOD_NS,
 };
 use stitch_power::area::SWITCH_AREA_UM2;
 
@@ -33,18 +33,27 @@ fn main() {
     }
     println!(
         "{}",
-        bench::row("NoC switch delay", "0.17 ns", &format!("{} ns", stitch_patch::SWITCH_DELAY_NS))
+        bench::row(
+            "NoC switch delay",
+            "0.17 ns",
+            &format!("{} ns", stitch_patch::SWITCH_DELAY_NS)
+        )
     );
     println!(
         "{}",
-        bench::row("NoC switch area", "7423 um^2", &format!("{SWITCH_AREA_UM2} um^2"))
+        bench::row(
+            "NoC switch area",
+            "7423 um^2",
+            &format!("{SWITCH_AREA_UM2} um^2")
+        )
     );
     println!(
         "{}",
-        bench::row("3-hop wire delay", "0.3 ns", &format!(
-            "{:.2} ns",
-            3.0 * stitch_patch::HOP_WIRE_DELAY_NS
-        ))
+        bench::row(
+            "3-hop wire delay",
+            "0.3 ns",
+            &format!("{:.2} ns", 3.0 * stitch_patch::HOP_WIRE_DELAY_NS)
+        )
     );
     println!();
     println!("==== §VI-D: NoC timing analysis ====");
@@ -60,7 +69,11 @@ fn main() {
     let single = single_delay_ns(PatchClass::AtSa);
     println!(
         "{}",
-        bench::row("single {AT-SA} incl. switches", "1.36 ns", &format!("{single:.2} ns"))
+        bench::row(
+            "single {AT-SA} incl. switches",
+            "1.36 ns",
+            &format!("{single:.2} ns")
+        )
     );
     assert!((crit - 4.63).abs() < 1e-9);
     assert!((single - 1.36).abs() < 1e-9);
@@ -68,8 +81,14 @@ fn main() {
     // Hop-limit sweep: every legal pair at <=3 hops/direction fits 5 ns.
     for a in PatchClass::STITCH {
         for b in PatchClass::STITCH {
-            assert!(fused_path_legal(a, b, 3), "{a}+{b} must be single-cycle at 3 hops");
-            assert!(!fused_path_legal(a, b, 4), "8 total hops exceed the 6-hop limit");
+            assert!(
+                fused_path_legal(a, b, 3),
+                "{a}+{b} must be single-cycle at 3 hops"
+            );
+            assert!(
+                !fused_path_legal(a, b, 4),
+                "8 total hops exceed the 6-hop limit"
+            );
         }
     }
     println!("\nAll component numbers match Table IV; the 4.63 ns critical path and");

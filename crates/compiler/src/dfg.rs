@@ -2,14 +2,14 @@
 
 use crate::cfg::{BasicBlock, Cfg};
 use std::collections::HashMap;
+use stitch_cpu::MUL_LATENCY;
 use stitch_isa::instr::{Instr, Operand, Width};
 use stitch_isa::op::AluOp;
 use stitch_isa::program::Program;
 use stitch_isa::reg::Reg;
-use stitch_cpu::MUL_LATENCY;
 
 /// Operation kind of a DFG node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeOp {
     /// Register-register ALU/shift/multiply operation.
     Alu(AluOp),
@@ -115,21 +115,30 @@ impl BlockDfg {
         for (nid, i) in block.range().enumerate() {
             let instr = &instrs[i];
             let (op, srcs): (NodeOp, Vec<Src>) = match instr {
-                Instr::Alu { op, rs1, src2: Operand::Reg(rs2), .. }
-                    if *op != AluOp::Mulh =>
-                {
-                    (NodeOp::Alu(*op), vec![src_of(*rs1, &last_def), src_of(*rs2, &last_def)])
-                }
-                Instr::Load { w: Width::Word, base, offset: 0, .. }
-                    if spm_ptrs.contains(base) =>
-                {
-                    (NodeOp::Load, vec![src_of(*base, &last_def)])
-                }
-                Instr::Store { w: Width::Word, rs, base, offset: 0 }
-                    if spm_ptrs.contains(base) =>
-                {
-                    (NodeOp::Store, vec![src_of(*base, &last_def), src_of(*rs, &last_def)])
-                }
+                Instr::Alu {
+                    op,
+                    rs1,
+                    src2: Operand::Reg(rs2),
+                    ..
+                } if *op != AluOp::Mulh => (
+                    NodeOp::Alu(*op),
+                    vec![src_of(*rs1, &last_def), src_of(*rs2, &last_def)],
+                ),
+                Instr::Load {
+                    w: Width::Word,
+                    base,
+                    offset: 0,
+                    ..
+                } if spm_ptrs.contains(base) => (NodeOp::Load, vec![src_of(*base, &last_def)]),
+                Instr::Store {
+                    w: Width::Word,
+                    rs,
+                    base,
+                    offset: 0,
+                } if spm_ptrs.contains(base) => (
+                    NodeOp::Store,
+                    vec![src_of(*base, &last_def), src_of(*rs, &last_def)],
+                ),
                 _ => (NodeOp::Other, Vec::new()),
             };
 
@@ -148,8 +157,10 @@ impl BlockDfg {
                 instr,
                 Instr::Load { .. } | Instr::Store { .. } | Instr::Send { .. } | Instr::Recv { .. }
             );
-            let is_write =
-                matches!(instr, Instr::Store { .. } | Instr::Recv { .. } | Instr::Send { .. });
+            let is_write = matches!(
+                instr,
+                Instr::Store { .. } | Instr::Recv { .. } | Instr::Send { .. }
+            );
             if is_mem {
                 if let Some(s) = last_store {
                     order_preds.push(s);
@@ -209,7 +220,12 @@ impl BlockDfg {
             }
         }
 
-        BlockDfg { block_id: block.id, nodes, consumers, live_after_block: live_after }
+        BlockDfg {
+            block_id: block.id,
+            nodes,
+            consumers,
+            live_after_block: live_after,
+        }
     }
 
     /// Number of nodes.
@@ -267,7 +283,10 @@ mod tests {
             b.mul(Reg::R4, Reg::R3, Reg::R3);
             b.sub(Reg::R5, Reg::R4, Reg::R1);
         });
-        assert_eq!(dfg.nodes[0].srcs, vec![Src::Ext(Reg::R1), Src::Ext(Reg::R2)]);
+        assert_eq!(
+            dfg.nodes[0].srcs,
+            vec![Src::Ext(Reg::R1), Src::Ext(Reg::R2)]
+        );
         assert_eq!(dfg.nodes[1].srcs, vec![Src::Node(0), Src::Node(0)]);
         assert_eq!(dfg.nodes[2].srcs, vec![Src::Node(1), Src::Ext(Reg::R1)]);
         assert_eq!(dfg.consumers[0], vec![1, 1]);
@@ -285,7 +304,10 @@ mod tests {
         });
         let load_nodes: Vec<_> = dfg.nodes.iter().filter(|n| n.op == NodeOp::Load).collect();
         assert_eq!(load_nodes.len(), 1);
-        assert!(dfg.nodes.iter().any(|n| n.op == NodeOp::Other && n.instr_index >= 2));
+        assert!(dfg
+            .nodes
+            .iter()
+            .any(|n| n.op == NodeOp::Other && n.instr_index >= 2));
     }
 
     #[test]
@@ -296,7 +318,11 @@ mod tests {
             b.sw(Reg::R2, Reg::R1, 0); // store after load: ordered
             b.lw(Reg::R3, Reg::R1, 0); // load after store: ordered
         });
-        let store_id = dfg.nodes.iter().position(|n| n.op == NodeOp::Store).unwrap();
+        let store_id = dfg
+            .nodes
+            .iter()
+            .position(|n| n.op == NodeOp::Store)
+            .unwrap();
         let last_load = dfg.len() - 2; // before halt
         assert!(dfg.nodes[store_id].order_preds.contains(&(store_id - 1)));
         assert!(dfg.nodes[last_load].order_preds.contains(&store_id));
@@ -317,7 +343,10 @@ mod tests {
         let p = b.build().unwrap();
         let cfg = Cfg::build(&p);
         let dfg = BlockDfg::build(&p, &cfg, &cfg.blocks[0]);
-        assert!(!dfg.live_after_block[0], "first r3 def is redefined in-block");
+        assert!(
+            !dfg.live_after_block[0],
+            "first r3 def is redefined in-block"
+        );
         assert!(dfg.live_after_block[1], "r4 escapes");
         assert!(dfg.live_after_block[2], "second r3 def escapes");
     }

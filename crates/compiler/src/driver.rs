@@ -17,10 +17,10 @@ use crate::rewrite::{rewrite_program, select_candidates, Chosen};
 use crate::{CompilerError, HOT_THRESHOLD};
 use std::collections::HashMap;
 use stitch_isa::program::Program;
+use stitch_mem::TileMemoryConfig;
 use stitch_noc::TileId;
 use stitch_patch::{ControlWord, PatchClass};
 use stitch_sim::{Chip, ChipConfig, CiBinding, Topology};
-use stitch_mem::TileMemoryConfig;
 
 /// Cycle budget for measurement runs.
 const MEASURE_BUDGET: u64 = 200_000_000;
@@ -93,11 +93,11 @@ impl KernelVariants {
 
     /// Best (lowest-cycle) variant among `allowed`.
     #[must_use]
-    pub fn best_among(
-        &self,
-        allowed: impl Fn(PatchConfig) -> bool,
-    ) -> Option<&AcceleratedKernel> {
-        self.variants.iter().filter(|v| allowed(v.config)).min_by_key(|v| v.cycles)
+    pub fn best_among(&self, allowed: impl Fn(PatchConfig) -> bool) -> Option<&AcceleratedKernel> {
+        self.variants
+            .iter()
+            .filter(|v| allowed(v.config))
+            .min_by_key(|v| v.cycles)
     }
 
     /// Speedup of a configuration over the baseline.
@@ -182,12 +182,13 @@ pub fn accelerate_all(
                     // patch: candidates that do not need both patches map
                     // onto the first patch alone.
                     let m = map_candidate(dfg, c, config).or_else(|| match config {
-                        PatchConfig::Pair(c1, _) => {
-                            map_candidate(dfg, c, PatchConfig::Single(c1))
-                        }
+                        PatchConfig::Pair(c1, _) => map_candidate(dfg, c, PatchConfig::Single(c1)),
                         _ => None,
                     })?;
-                    Some(Chosen { candidate: c.clone(), mapping: m })
+                    Some(Chosen {
+                        candidate: c.clone(),
+                        mapping: m,
+                    })
                 })
                 .collect();
             plans.insert(b, select_candidates(dfg, mapped));
@@ -215,19 +216,29 @@ fn measurement_chip(config: Option<PatchConfig>) -> ChipConfig {
     let topo = Topology::stitch_4x4();
     match config {
         None => ChipConfig::baseline_16(),
-        Some(PatchConfig::Locus) => {
-            ChipConfig { topo, tile_mem: TileMemoryConfig::baseline(), patches: vec![Some(PatchClass::LocusSfu); 16] }
-        }
+        Some(PatchConfig::Locus) => ChipConfig {
+            topo,
+            tile_mem: TileMemoryConfig::baseline(),
+            patches: vec![Some(PatchClass::LocusSfu); 16],
+        },
         Some(PatchConfig::Single(c)) => {
             let mut patches = vec![None; 16];
             patches[0] = Some(c);
-            ChipConfig { topo, tile_mem: TileMemoryConfig::stitch(), patches }
+            ChipConfig {
+                topo,
+                tile_mem: TileMemoryConfig::stitch(),
+                patches,
+            }
         }
         Some(PatchConfig::Pair(c1, c2)) => {
             let mut patches = vec![None; 16];
             patches[0] = Some(c1);
             patches[1] = Some(c2);
-            ChipConfig { topo, tile_mem: TileMemoryConfig::stitch(), patches }
+            ChipConfig {
+                topo,
+                tile_mem: TileMemoryConfig::stitch(),
+                patches,
+            }
         }
     }
 }
@@ -254,8 +265,7 @@ fn measure_variant(
         chip.reserve_circuit(TileId(0), TileId(1))
             .map_err(|e| CompilerError::Rewrite(format!("measurement circuit: {e}")))?;
     }
-    let partner =
-        matches!(variant.config, PatchConfig::Pair(..)).then_some(TileId(1));
+    let partner = matches!(variant.config, PatchConfig::Pair(..)).then_some(TileId(1));
     chip.load_kernel(TileId(0), &variant.program, variant.bindings(partner))
         .map_err(|e| CompilerError::Rewrite(format!("load variant: {e}")))?;
     let summary = chip
@@ -318,15 +328,14 @@ mod tests {
         let kv = compile_kernel(
             "dot",
             &program,
-            &[
-                PatchConfig::Single(PatchClass::AtMa),
-                PatchConfig::Locus,
-            ],
+            &[PatchConfig::Single(PatchClass::AtMa), PatchConfig::Locus],
             Some((0x4000, 1)),
         )
         .unwrap();
         assert!(kv.baseline_cycles > 0);
-        let atma = kv.variant(PatchConfig::Single(PatchClass::AtMa)).expect("AT-MA variant");
+        let atma = kv
+            .variant(PatchConfig::Single(PatchClass::AtMa))
+            .expect("AT-MA variant");
         assert!(atma.custom_count >= 1);
         assert!(
             atma.cycles < kv.baseline_cycles,
@@ -378,7 +387,9 @@ mod tests {
             .variant(PatchConfig::Pair(PatchClass::AtMa, PatchClass::AtSa))
             .expect("pair variant");
         assert!(pair.is_fused());
-        let single = kv.variant(PatchConfig::Single(PatchClass::AtMa)).expect("single");
+        let single = kv
+            .variant(PatchConfig::Single(PatchClass::AtMa))
+            .expect("single");
         assert!(
             pair.cycles <= single.cycles,
             "fusion should not lose: pair {} vs single {}",
@@ -394,12 +405,16 @@ mod tests {
         let kv = compile_kernel(
             "dot16",
             &program,
-            &[PatchConfig::Single(PatchClass::AtMa), PatchConfig::Single(PatchClass::AtAs)],
+            &[
+                PatchConfig::Single(PatchClass::AtMa),
+                PatchConfig::Single(PatchClass::AtAs),
+            ],
             Some((0x4000, 1)),
         )
         .unwrap();
-        let best =
-            kv.best_among(|c| matches!(c, PatchConfig::Single(_))).expect("some single");
+        let best = kv
+            .best_among(|c| matches!(c, PatchConfig::Single(_)))
+            .expect("some single");
         assert!(best.cycles <= kv.baseline_cycles);
     }
 }

@@ -18,7 +18,10 @@ pub struct EnumerateLimits {
 
 impl Default for EnumerateLimits {
     fn default() -> Self {
-        EnumerateLimits { max_nodes: 8, max_candidates: 512 }
+        EnumerateLimits {
+            max_nodes: 8,
+            max_candidates: 512,
+        }
     }
 }
 
@@ -53,7 +56,10 @@ impl Candidate {
     /// Number of store operations inside.
     #[must_use]
     pub fn store_count(&self, dfg: &BlockDfg) -> usize {
-        self.nodes.iter().filter(|&&n| dfg.nodes[n].op == NodeOp::Store).count()
+        self.nodes
+            .iter()
+            .filter(|&&n| dfg.nodes[n].op == NodeOp::Store)
+            .count()
     }
 }
 
@@ -134,7 +140,12 @@ fn interface(dfg: &BlockDfg, set: Mask) -> Option<Candidate> {
     if ext.len() > 4 || outputs.len() > 2 || stores > 1 {
         return None;
     }
-    Some(Candidate { nodes, ext_inputs: ext, outputs, saved_cycles: saved.saturating_sub(1) })
+    Some(Candidate {
+        nodes,
+        ext_inputs: ext,
+        outputs,
+        saved_cycles: saved.saturating_sub(1),
+    })
 }
 
 /// `true` when `set` is convex: no path from inside leaves and re-enters.
@@ -291,10 +302,7 @@ mod tests {
         assert_eq!(chain.ext_inputs.len(), 3);
         assert_eq!(chain.outputs, vec![1]);
         // add(1) + mul(MUL_LATENCY) - 1 cycles saved.
-        assert_eq!(
-            chain.saved_cycles,
-            stitch_cpu::MUL_LATENCY
-        );
+        assert_eq!(chain.saved_cycles, stitch_cpu::MUL_LATENCY);
     }
 
     #[test]
@@ -323,8 +331,9 @@ mod tests {
             b.sw(Reg::R5, Reg::R10, 4);
             b.sw(Reg::R6, Reg::R10, 8);
         });
-        assert!(!cands.iter().any(|c| c.nodes.len() == 3
-            && c.nodes.iter().all(|&n| n < 3)));
+        assert!(!cands
+            .iter()
+            .any(|c| c.nodes.len() == 3 && c.nodes.iter().all(|&n| n < 3)));
     }
 
     #[test]
@@ -362,9 +371,9 @@ mod tests {
         });
         // load -> add -> store should appear as one candidate.
         assert!(
-            cands.iter().any(|c| c.len() == 3
-                && c.saved_cycles == 2
-                && c.outputs.len() <= 1),
+            cands
+                .iter()
+                .any(|c| c.len() == 3 && c.saved_cycles == 2 && c.outputs.len() <= 1),
             "{cands:?}"
         );
     }

@@ -98,8 +98,7 @@ pub fn chain_analysis(kernels: &[(String, Vec<String>)], max_rounds: usize) -> C
     if total == 0 {
         return ChainReport::default();
     }
-    let mut chains: Vec<Vec<String>> =
-        kernels.iter().map(|(_, cs)| cs.clone()).collect();
+    let mut chains: Vec<Vec<String>> = kernels.iter().map(|(_, cs)| cs.clone()).collect();
     let mut rounds = Vec::new();
 
     for _ in 0..max_rounds {
@@ -129,7 +128,10 @@ pub fn chain_analysis(kernels: &[(String, Vec<String>)], max_rounds: usize) -> C
         if count < 2 && !rounds.is_empty() {
             break;
         }
-        rounds.push(ChainRound { chain: best.clone(), rate: count as f64 / total as f64 });
+        rounds.push(ChainRound {
+            chain: best.clone(),
+            rate: count as f64 / total as f64,
+        });
         // Remove the winner from every chain (splitting at occurrences).
         for kernel_chains in &mut chains {
             let mut next = Vec::new();
@@ -182,7 +184,10 @@ mod tests {
         ];
         let report = chain_analysis(&kernels, 8);
         assert_eq!(report.rounds[0].chain, "AT");
-        assert!((report.rounds[0].rate - 1.0).abs() < 1e-12, "AT in all kernels");
+        assert!(
+            (report.rounds[0].rate - 1.0).abs() < 1e-12,
+            "AT in all kernels"
+        );
         // After removing AT: k1/k2 -> "MA", k3 -> "MAS", k4 -> "AS",
         // k5 -> "SA"x2. MA occurs in 3 kernels -> next winner.
         assert_eq!(report.rounds[1].chain, "MA");
@@ -197,7 +202,10 @@ mod tests {
     #[test]
     fn render_format() {
         let r = ChainReport {
-            rounds: vec![ChainRound { chain: "AT".into(), rate: 0.957 }],
+            rounds: vec![ChainRound {
+                chain: "AT".into(),
+                rate: 0.957,
+            }],
         };
         assert_eq!(r.render(), "{AT}: 95.7%");
     }

@@ -8,23 +8,27 @@
 
 use crate::cfg::Cfg;
 use crate::CompilerError;
-use std::collections::HashMap;
 use stitch_cpu::{Core, CoreState, Platform, StepOutcome};
 use stitch_isa::custom::CiId;
 use stitch_isa::instr::Width;
 use stitch_isa::program::Program;
+use stitch_mem::Dram;
 use stitch_patch::PatchOutput;
 
 /// Functional platform for profiling runs: flat memory, 1-cycle
 /// everything, sends discarded, receives return zero-filled messages.
+///
+/// Backed by the sparse paged [`Dram`] rather than a word-keyed hash
+/// map: profiling re-executes the whole kernel, so per-access lookup
+/// cost dominates the compile flow.
 #[derive(Default)]
 struct ProfilePlatform {
-    mem: HashMap<u32, u32>,
+    mem: Dram,
 }
 
 impl ProfilePlatform {
     fn read(&self, addr: u32) -> u32 {
-        self.mem.get(&(addr & !3)).copied().unwrap_or(0)
+        self.mem.read_u32(addr & !3)
     }
 }
 
@@ -57,7 +61,7 @@ impl Platform for ProfilePlatform {
                 (old & !(0xFF << sh)) | ((value & 0xFF) << sh)
             }
         };
-        self.mem.insert(aligned, v);
+        self.mem.write_u32(aligned, v);
         1
     }
 
@@ -69,7 +73,13 @@ impl Platform for ProfilePlatform {
         // Profiling happens before acceleration; treat any custom
         // instruction as a pass-through so pre-accelerated binaries can
         // still be profiled structurally.
-        Ok((PatchOutput { out0: inputs[0], out1: inputs[1] }, false))
+        Ok((
+            PatchOutput {
+                out0: inputs[0],
+                out1: inputs[1],
+            },
+            false,
+        ))
     }
 
     fn send(&mut self, _dst: u32, _addr: u32, _len: u32) {}
@@ -149,7 +159,9 @@ pub fn profile_program(program: &Program, max_steps: u64) -> Result<ProfileRepor
                 instr_counts[pc] += 1;
             }
             Ok(StepOutcome::WaitingRecv { .. }) => {
-                return Err(CompilerError::Profile("blocked on recv during profiling".into()))
+                return Err(CompilerError::Profile(
+                    "blocked on recv during profiling".into(),
+                ))
             }
             Ok(StepOutcome::Halted) => break,
             Err(e) => return Err(CompilerError::Profile(e.to_string())),
@@ -157,11 +169,7 @@ pub fn profile_program(program: &Program, max_steps: u64) -> Result<ProfileRepor
         steps += 1;
     }
     let cfg = Cfg::build(program);
-    let block_counts = cfg
-        .blocks
-        .iter()
-        .map(|b| instr_counts[b.start])
-        .collect();
+    let block_counts = cfg.blocks.iter().map(|b| instr_counts[b.start]).collect();
     Ok(ProfileReport {
         total_instructions: instr_counts.iter().sum(),
         block_counts,

@@ -91,8 +91,10 @@ fn placement_legal(dfg: &BlockDfg, cand: &Candidate) -> bool {
         .filter_map(|&n| dfg.nodes[n].def.map(|d| (n, d)))
         .collect();
 
-    let cand_has_mem =
-        cand.nodes.iter().any(|&n| matches!(dfg.nodes[n].op, NodeOp::Load | NodeOp::Store));
+    let cand_has_mem = cand
+        .nodes
+        .iter()
+        .any(|&n| matches!(dfg.nodes[n].op, NodeOp::Load | NodeOp::Store));
     let cand_has_store = cand.store_count(dfg) > 0;
 
     for n in first..=last {
@@ -129,7 +131,9 @@ fn placement_legal(dfg: &BlockDfg, cand: &Candidate) -> bool {
     // that def until the splice position.
     for s in &cand.ext_inputs {
         if let Src::Node(p) = s {
-            let Some(d) = dfg.nodes[*p].def else { return false };
+            let Some(d) = dfg.nodes[*p].def else {
+                return false;
+            };
             for n in (p + 1)..=last {
                 if !member(n) && n != *p && dfg.nodes[n].def == Some(d) {
                     return false;
@@ -142,8 +146,11 @@ fn placement_legal(dfg: &BlockDfg, cand: &Candidate) -> bool {
 
 /// Output of [`accelerate_block`]: the rewritten instruction sequence,
 /// the CI descriptors it introduced, and the per-id control words.
-pub type AcceleratedBlock =
-    (Vec<Instr>, Vec<CiDescriptor>, HashMap<u16, Vec<stitch_patch::ControlWord>>);
+pub type AcceleratedBlock = (
+    Vec<Instr>,
+    Vec<CiDescriptor>,
+    HashMap<u16, Vec<stitch_patch::ControlWord>>,
+);
 
 /// Rewrites one block: returns the new instruction sequence (with block-
 /// relative branch targets untouched — the caller fixes program-level
@@ -235,15 +242,11 @@ pub fn accelerate_block(
                 .mapping
                 .controls
                 .iter()
-                .map(|cw| {
-                    CiStage::new(cw.class(), cw.pack().expect("mapper emits packable words"))
-                })
+                .map(|cw| CiStage::new(cw.class(), cw.pack().expect("mapper emits packable words")))
                 .collect();
             let mut desc = match stages.as_slice() {
                 [s] => CiDescriptor::single(id, format!("{name_prefix}_ci{}", id.0), *s),
-                [s1, s2] => {
-                    CiDescriptor::fused(id, format!("{name_prefix}_ci{}", id.0), *s1, *s2)
-                }
+                [s1, s2] => CiDescriptor::fused(id, format!("{name_prefix}_ci{}", id.0), *s1, *s2),
                 _ => return Err(CompilerError::Rewrite("bad stage count".into())),
             };
             desc.covers = c.candidate.len() as u32;
@@ -316,9 +319,7 @@ pub fn rewrite_program(
         match instr {
             Instr::Branch { target, .. } | Instr::Jal { target, .. } => {
                 let new = new_index_of.get(target).copied().ok_or_else(|| {
-                    CompilerError::Rewrite(format!(
-                        "branch target {target} is not a block leader"
-                    ))
+                    CompilerError::Rewrite(format!("branch target {target} is not a block leader"))
                 })?;
                 *target = new;
             }
@@ -351,8 +352,8 @@ mod tests {
     use crate::cfg::Cfg;
     use crate::enumerate::{enumerate_candidates, EnumerateLimits};
     use crate::mapper::{map_candidate, PatchConfig};
-    use stitch_patch::PatchClass;
     use stitch_isa::{ProgramBuilder, Reg};
+    use stitch_patch::PatchClass;
 
     fn full_flow(
         build: impl FnOnce(&mut ProgramBuilder),
@@ -371,8 +372,10 @@ mod tests {
             let mapped: Vec<Chosen> = cands
                 .into_iter()
                 .filter_map(|c| {
-                    map_candidate(&dfg, &c, config)
-                        .map(|m| Chosen { candidate: c, mapping: m })
+                    map_candidate(&dfg, &c, config).map(|m| Chosen {
+                        candidate: c,
+                        mapping: m,
+                    })
                 })
                 .collect();
             let chosen = select_candidates(&dfg, mapped);

@@ -59,7 +59,11 @@ impl StitchPlan {
     /// Number of fused kernels.
     #[must_use]
     pub fn fused(&self) -> usize {
-        self.accel.iter().flatten().filter(|a| a.partner.is_some()).count()
+        self.accel
+            .iter()
+            .flatten()
+            .filter(|a| a.partner.is_some())
+            .count()
     }
 
     /// Renders the stitching map (Fig 10-style).
@@ -92,11 +96,7 @@ impl StitchPlan {
 /// distinct.
 #[must_use]
 #[allow(clippy::too_many_lines)]
-pub fn stitch_application(
-    kernels: &[AppKernel],
-    chip: &ChipConfig,
-    arch: Arch,
-) -> StitchPlan {
+pub fn stitch_application(kernels: &[AppKernel], chip: &ChipConfig, arch: Arch) -> StitchPlan {
     let n = kernels.len();
     let mut tiles: Vec<TileId> = kernels.iter().map(|k| k.home).collect();
     let mut accel: Vec<Option<GrantedAccel>> = vec![None; n];
@@ -105,7 +105,12 @@ pub fn stitch_application(
 
     match arch {
         Arch::Baseline => {
-            return StitchPlan { tiles, accel, circuits, log };
+            return StitchPlan {
+                tiles,
+                accel,
+                circuits,
+                log,
+            };
         }
         Arch::Locus => {
             // Every core has an identical SFU: each kernel independently
@@ -122,7 +127,12 @@ pub fn stitch_application(
                     }
                 }
             }
-            return StitchPlan { tiles, accel, circuits, log };
+            return StitchPlan {
+                tiles,
+                accel,
+                circuits,
+                log,
+            };
         }
         Arch::StitchNoFusion | Arch::Stitch => {}
     }
@@ -149,7 +159,10 @@ pub fn stitch_application(
     // while there is patch available do ...
     let mut exhausted = vec![false; n];
     for _iteration in 0..8 * chip.topo.tiles() {
-        if !patch_used.iter().enumerate().any(|(t, &used)| !used && chip.patches[t].is_some())
+        if !patch_used
+            .iter()
+            .enumerate()
+            .any(|(t, &used)| !used && chip.patches[t].is_some())
         {
             break; // all patches consumed
         }
@@ -211,12 +224,12 @@ pub fn stitch_application(
             .variants
             .variants
             .iter()
-            .filter(|v|
-
+            .filter(|v| {
                 allow(v.config)
                     && !checked[k].contains(&v.config)
                     && v.cycles < time[k]
-                    && (matches!(v.config, PatchConfig::Single(_)) || worth_pairing(v.cycles)))
+                    && (matches!(v.config, PatchConfig::Single(_)) || worth_pairing(v.cycles))
+            })
             .collect();
         options.sort_by_key(|v| v.cycles);
         if options.is_empty() {
@@ -316,7 +329,11 @@ pub fn stitch_application(
             }
             if granted {
                 if accel[k].is_none() {
-                    accel[k] = Some(GrantedAccel { config: v.config, partner: None, hops: 0 });
+                    accel[k] = Some(GrantedAccel {
+                        config: v.config,
+                        partner: None,
+                        hops: 0,
+                    });
                 }
                 break;
             }
@@ -332,16 +349,16 @@ pub fn stitch_application(
         }
     }
 
-    StitchPlan { tiles, accel, circuits, log }
+    StitchPlan {
+        tiles,
+        accel,
+        circuits,
+        log,
+    }
 }
 
 /// Moves kernel `k` onto tile `t`, swapping with the displaced occupant.
-fn relocate(
-    tiles: &mut [TileId],
-    occupant: &mut [Option<usize>],
-    k: usize,
-    t: TileId,
-) {
+fn relocate(tiles: &mut [TileId], occupant: &mut [Option<usize>], k: usize, t: TileId) {
     let from = tiles[k];
     if from == t {
         return;
@@ -373,7 +390,12 @@ mod tests {
         }
     }
 
-    fn fake_kernel(name: &str, home: u8, baseline: u64, variants: Vec<(PatchConfig, u64)>) -> AppKernel {
+    fn fake_kernel(
+        name: &str,
+        home: u8,
+        baseline: u64,
+        variants: Vec<(PatchConfig, u64)>,
+    ) -> AppKernel {
         AppKernel {
             name: name.into(),
             home: TileId(home),
@@ -381,7 +403,10 @@ mod tests {
                 name: name.into(),
                 baseline: Program::default(),
                 baseline_cycles: baseline,
-                variants: variants.into_iter().map(|(c, cy)| fake_variant(c, cy)).collect(),
+                variants: variants
+                    .into_iter()
+                    .map(|(c, cy)| fake_variant(c, cy))
+                    .collect(),
             },
         }
     }
@@ -416,7 +441,12 @@ mod tests {
         // Tile 1 is {AT-AS}; kernel b (the bottleneck) wants one.
         let kernels = vec![
             fake_kernel("a", 0, 500, vec![]),
-            fake_kernel("b", 3, 2000, vec![(PatchConfig::Single(PatchClass::AtAs), 700)]),
+            fake_kernel(
+                "b",
+                3,
+                2000,
+                vec![(PatchConfig::Single(PatchClass::AtAs), 700)],
+            ),
         ];
         let plan = stitch_application(&kernels, &cfg, Arch::Stitch);
         assert_eq!(plan.accelerated(), 1);
@@ -456,7 +486,10 @@ mod tests {
         let plan = stitch_application(&kernels, &cfg, Arch::StitchNoFusion);
         assert_eq!(plan.fused(), 0);
         assert_eq!(plan.accelerated(), 1);
-        assert_eq!(plan.accel[0].unwrap().config, PatchConfig::Single(PatchClass::AtMa));
+        assert_eq!(
+            plan.accel[0].unwrap().config,
+            PatchConfig::Single(PatchClass::AtMa)
+        );
     }
 
     #[test]

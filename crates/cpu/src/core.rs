@@ -71,6 +71,53 @@ pub enum StepOutcome {
     Halted,
 }
 
+/// Immutable program image held by a core: decoded instruction text plus
+/// the word-offset table used for I-cache addressing.
+///
+/// Kept separate from the mutable [`ArchState`] so that `step` can borrow
+/// the current instruction from the text while updating registers and
+/// statistics — the hot loop never clones an [`Instr`].
+#[derive(Debug, Clone)]
+struct TextImage {
+    instrs: Vec<Instr>,
+    word_offsets: Vec<u32>,
+}
+
+/// Mutable architectural state: registers, PC, run state, counters.
+#[derive(Debug, Clone)]
+struct ArchState {
+    regs: [u32; 32],
+    pc: u32,
+    state: CoreState,
+    stats: CoreStats,
+}
+
+impl ArchState {
+    /// Reads a register (the zero register reads zero).
+    fn reg(&self, r: Reg) -> u32 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index() as usize]
+        }
+    }
+
+    /// Writes a register (writes to the zero register are discarded).
+    fn set_reg(&mut self, r: Reg, value: u32) {
+        if !r.is_zero() {
+            self.regs[r.index() as usize] = value;
+        }
+    }
+
+    fn jump_to(&mut self, target: u32, text_len: usize) -> Result<(), CpuError> {
+        if target as usize > text_len {
+            return Err(CpuError::BadTarget { target });
+        }
+        self.pc = target;
+        Ok(())
+    }
+}
+
 /// One W32 core: architectural registers, PC and statistics.
 ///
 /// The core holds its decoded program (instruction text plus the
@@ -78,12 +125,8 @@ pub enum StepOutcome {
 /// and the NIC live behind the [`Platform`] trait.
 #[derive(Debug, Clone)]
 pub struct Core {
-    regs: [u32; 32],
-    pc: u32,
-    state: CoreState,
-    instrs: Vec<Instr>,
-    word_offsets: Vec<u32>,
-    stats: CoreStats,
+    text: TextImage,
+    arch: ArchState,
 }
 
 impl Core {
@@ -97,63 +140,75 @@ impl Core {
             off += i.words();
         }
         Core {
-            regs: [0; 32],
-            pc: 0,
-            state: CoreState::Running,
-            instrs: program.instrs.clone(),
-            word_offsets,
-            stats: CoreStats::default(),
+            text: TextImage {
+                instrs: program.instrs.clone(),
+                word_offsets,
+            },
+            arch: ArchState {
+                regs: [0; 32],
+                pc: 0,
+                state: CoreState::Running,
+                stats: CoreStats::default(),
+            },
         }
     }
 
     /// Current state.
     #[must_use]
     pub fn state(&self) -> CoreState {
-        self.state
+        self.arch.state
     }
 
     /// Current program counter (instruction index).
     #[must_use]
     pub fn pc(&self) -> u32 {
-        self.pc
+        self.arch.pc
     }
 
     /// Reads a register (the zero register reads zero).
     #[must_use]
     pub fn reg(&self, r: Reg) -> u32 {
-        if r.is_zero() {
-            0
-        } else {
-            self.regs[r.index() as usize]
-        }
+        self.arch.reg(r)
     }
 
     /// Writes a register (writes to the zero register are discarded).
     pub fn set_reg(&mut self, r: Reg, value: u32) {
-        if !r.is_zero() {
-            self.regs[r.index() as usize] = value;
-        }
+        self.arch.set_reg(r, value);
     }
 
     /// Statistics accumulated so far.
     #[must_use]
     pub fn stats(&self) -> &CoreStats {
-        &self.stats
+        &self.arch.stats
     }
 
     /// Restarts the core (registers, pc, state; statistics are kept).
     pub fn reset(&mut self) {
-        self.regs = [0; 32];
-        self.pc = 0;
-        self.state = CoreState::Running;
+        self.arch.regs = [0; 32];
+        self.arch.pc = 0;
+        self.arch.state = CoreState::Running;
     }
 
-    fn jump_to(&mut self, target: u32) -> Result<(), CpuError> {
-        if target as usize > self.instrs.len() {
-            return Err(CpuError::BadTarget { target });
-        }
-        self.pc = target;
-        Ok(())
+    /// Byte address and word count of the instruction the core is parked
+    /// on. Used by the simulator's fast path to batch the instruction
+    /// re-fetches of a polling `recv`.
+    #[must_use]
+    pub fn poll_footprint(&self) -> (u32, u32) {
+        let pc = self.arch.pc as usize;
+        let instr = &self.text.instrs[pc];
+        debug_assert!(
+            matches!(instr, Instr::Recv { .. }),
+            "poll footprint of a non-recv instruction"
+        );
+        (TEXT_BASE + self.text.word_offsets[pc] * 4, instr.words())
+    }
+
+    /// Accounts `polls` skipped failed `recv` polls: each would have
+    /// burned one core cycle and one recv-wait cycle. The caller accounts
+    /// the matching instruction re-fetches on the tile memory separately.
+    pub fn record_skipped_polls(&mut self, polls: u64) {
+        self.arch.stats.recv_wait_cycles += polls;
+        self.arch.stats.cycles += polls;
     }
 
     /// Executes one instruction against `platform`.
@@ -163,20 +218,24 @@ impl Core {
     /// Propagates [`CpuError`] on malformed control flow, unbound custom
     /// instructions, or message length mismatches.
     pub fn step<P: Platform>(&mut self, platform: &mut P) -> Result<StepOutcome, CpuError> {
-        if self.state == CoreState::Halted {
+        // Split-borrow: `instr` borrows the immutable text image while the
+        // body mutates `cpu` — no per-step clone of the instruction.
+        let text = &self.text;
+        let cpu = &mut self.arch;
+        if cpu.state == CoreState::Halted {
             return Ok(StepOutcome::Halted);
         }
-        let Some(instr) = self.instrs.get(self.pc as usize).cloned() else {
-            return Err(CpuError::PcOutOfRange { pc: self.pc });
+        let Some(instr) = text.instrs.get(cpu.pc as usize) else {
+            return Err(CpuError::PcOutOfRange { pc: cpu.pc });
         };
 
         // Fetch (all words of the instruction).
-        let base = TEXT_BASE + self.word_offsets[self.pc as usize] * 4;
+        let base = TEXT_BASE + text.word_offsets[cpu.pc as usize] * 4;
         let mut cycles = 0u32;
         for w in 0..instr.words() {
             let lat = platform.fetch(base + w * 4);
             cycles += lat;
-            self.stats.fetch_stall_cycles += u64::from(lat.saturating_sub(1));
+            cpu.stats.fetch_stall_cycles += u64::from(lat.saturating_sub(1));
         }
         // The fetch pipeline overlaps with execute: only *stall* cycles
         // (I-cache misses) add latency. The base execute cycle per
@@ -186,121 +245,140 @@ impl Core {
         // cycles are removed here and only miss stalls remain.
         cycles = cycles.saturating_sub(instr.words());
 
-        let mut next_pc = self.pc + 1;
-        match &instr {
+        let mut next_pc = cpu.pc + 1;
+        match instr {
             Instr::Nop => cycles += 1,
             Instr::Halt => {
-                self.state = CoreState::Halted;
-                self.stats.instructions += 1;
-                self.stats.cycles += u64::from(cycles + 1);
+                cpu.state = CoreState::Halted;
+                cpu.stats.instructions += 1;
+                cpu.stats.cycles += u64::from(cycles + 1);
                 return Ok(StepOutcome::Retired { cycles: cycles + 1 });
             }
             Instr::Alu { op, rd, rs1, src2 } => {
-                let a = self.reg(*rs1);
+                let a = cpu.reg(*rs1);
                 let b = match src2 {
-                    Operand::Reg(r) => self.reg(*r),
+                    Operand::Reg(r) => cpu.reg(*r),
                     Operand::Imm(v) => *v as u32,
                 };
-                self.set_reg(*rd, op.eval(a, b));
+                cpu.set_reg(*rd, op.eval(a, b));
                 match op.class() {
                     OpClass::M => {
                         cycles += MUL_LATENCY;
-                        self.stats.mul_ops += 1;
+                        cpu.stats.mul_ops += 1;
                     }
                     _ => {
                         cycles += 1;
-                        self.stats.alu_ops += 1;
+                        cpu.stats.alu_ops += 1;
                     }
                 }
             }
             Instr::Lui { rd, imm } => {
-                self.set_reg(*rd, imm << 12);
+                cpu.set_reg(*rd, imm << 12);
                 cycles += 1;
-                self.stats.alu_ops += 1;
+                cpu.stats.alu_ops += 1;
             }
-            Instr::Load { w, rd, base, offset } => {
-                let addr = self.reg(*base).wrapping_add_signed(*offset);
+            Instr::Load {
+                w,
+                rd,
+                base,
+                offset,
+            } => {
+                let addr = cpu.reg(*base).wrapping_add_signed(*offset);
                 let (value, lat) = platform.load(addr, *w);
-                self.set_reg(*rd, value);
+                cpu.set_reg(*rd, value);
                 cycles += lat;
-                self.stats.mem_ops += 1;
-                self.stats.mem_stall_cycles += u64::from(lat.saturating_sub(1));
+                cpu.stats.mem_ops += 1;
+                cpu.stats.mem_stall_cycles += u64::from(lat.saturating_sub(1));
             }
-            Instr::Store { w, rs, base, offset } => {
-                let addr = self.reg(*base).wrapping_add_signed(*offset);
-                let lat = platform.store(addr, self.reg(*rs), *w);
+            Instr::Store {
+                w,
+                rs,
+                base,
+                offset,
+            } => {
+                let addr = cpu.reg(*base).wrapping_add_signed(*offset);
+                let lat = platform.store(addr, cpu.reg(*rs), *w);
                 cycles += lat;
-                self.stats.mem_ops += 1;
-                self.stats.mem_stall_cycles += u64::from(lat.saturating_sub(1));
+                cpu.stats.mem_ops += 1;
+                cpu.stats.mem_stall_cycles += u64::from(lat.saturating_sub(1));
             }
-            Instr::Branch { cond, rs1, rs2, target } => {
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 cycles += 1;
-                self.stats.branches += 1;
-                if cond.eval(self.reg(*rs1), self.reg(*rs2)) {
-                    self.stats.branches_taken += 1;
+                cpu.stats.branches += 1;
+                if cond.eval(cpu.reg(*rs1), cpu.reg(*rs2)) {
+                    cpu.stats.branches_taken += 1;
                     cycles += BRANCH_PENALTY;
                     next_pc = *target;
                 }
             }
             Instr::Jal { rd, target } => {
-                self.set_reg(*rd, self.pc + 1);
+                cpu.set_reg(*rd, cpu.pc + 1);
                 cycles += 1 + BRANCH_PENALTY;
-                self.stats.branches += 1;
-                self.stats.branches_taken += 1;
+                cpu.stats.branches += 1;
+                cpu.stats.branches_taken += 1;
                 next_pc = *target;
             }
             Instr::Jalr { rd, rs } => {
-                let target = self.reg(*rs);
-                self.set_reg(*rd, self.pc + 1);
+                let target = cpu.reg(*rs);
+                cpu.set_reg(*rd, cpu.pc + 1);
                 cycles += 1 + BRANCH_PENALTY;
-                self.stats.branches += 1;
-                self.stats.branches_taken += 1;
+                cpu.stats.branches += 1;
+                cpu.stats.branches_taken += 1;
                 next_pc = target;
             }
             Instr::Custom(ci) => {
                 let slots = ci.input_slots();
-                let inputs =
-                    [self.reg(slots[0]), self.reg(slots[1]), self.reg(slots[2]), self.reg(slots[3])];
+                let inputs = [
+                    cpu.reg(slots[0]),
+                    cpu.reg(slots[1]),
+                    cpu.reg(slots[2]),
+                    cpu.reg(slots[3]),
+                ];
                 let (out, fused) = platform.exec_custom(ci.ci, inputs)?;
                 let outs = ci.outputs();
                 if let Some(r0) = outs.first() {
-                    self.set_reg(*r0, out.out0);
+                    cpu.set_reg(*r0, out.out0);
                 }
                 if let Some(r1) = outs.get(1) {
-                    self.set_reg(*r1, out.out1);
+                    cpu.set_reg(*r1, out.out1);
                 }
                 cycles += 1; // single-cycle execution, the paper's headline
-                self.stats.custom_ops += 1;
+                cpu.stats.custom_ops += 1;
                 if fused {
-                    self.stats.fused_ops += 1;
+                    cpu.stats.fused_ops += 1;
                 }
             }
             Instr::Send { dst, addr, len } => {
-                let n = self.reg(*len);
-                platform.send(self.reg(*dst), self.reg(*addr), n);
+                let n = cpu.reg(*len);
+                platform.send(cpu.reg(*dst), cpu.reg(*addr), n);
                 cycles += 1 + n;
-                self.stats.words_sent += u64::from(n);
+                cpu.stats.words_sent += u64::from(n);
             }
             Instr::Recv { src, addr, len } => {
-                let src_tile = self.reg(*src);
-                let n = self.reg(*len);
-                match platform.try_recv(src_tile, self.reg(*addr), n)? {
+                let src_tile = cpu.reg(*src);
+                let n = cpu.reg(*len);
+                match platform.try_recv(src_tile, cpu.reg(*addr), n)? {
                     Some(words) => {
                         cycles += 1 + words;
-                        self.stats.words_received += u64::from(words);
+                        cpu.stats.words_received += u64::from(words);
                     }
                     None => {
-                        self.stats.recv_wait_cycles += 1;
-                        self.stats.cycles += 1;
+                        cpu.stats.recv_wait_cycles += 1;
+                        cpu.stats.cycles += 1;
                         return Ok(StepOutcome::WaitingRecv { src: src_tile });
                     }
                 }
             }
         }
 
-        self.stats.instructions += 1;
-        self.stats.cycles += u64::from(cycles);
-        self.jump_to(next_pc)?;
+        cpu.stats.instructions += 1;
+        cpu.stats.cycles += u64::from(cycles);
+        cpu.jump_to(next_pc, text.instrs.len())?;
         Ok(StepOutcome::Retired { cycles })
     }
 }
@@ -335,7 +413,13 @@ mod tests {
             _ci: CiId,
             inputs: [u32; 4],
         ) -> Result<(PatchOutput, bool), CpuError> {
-            Ok((PatchOutput { out0: inputs[0].wrapping_add(inputs[1]), out1: inputs[0] }, false))
+            Ok((
+                PatchOutput {
+                    out0: inputs[0].wrapping_add(inputs[1]),
+                    out1: inputs[0],
+                },
+                false,
+            ))
         }
         fn send(&mut self, dst: u32, addr: u32, len: u32) {
             self.sent.push((dst, addr, len));
@@ -436,7 +520,8 @@ mod tests {
         ));
         b.li(Reg::R1, 20);
         b.li(Reg::R2, 22);
-        b.custom(id, &[Reg::R1, Reg::R2], &[Reg::R3, Reg::R4]).unwrap();
+        b.custom(id, &[Reg::R1, Reg::R2], &[Reg::R3, Reg::R4])
+            .unwrap();
         b.halt();
         let (core, _) = run(&b.build().unwrap());
         assert_eq!(core.reg(Reg::R3), 42, "out0 = a+b in test platform");
@@ -490,9 +575,8 @@ mod tests {
         // Deliver the message and resume.
         plat.inbox.push((3, vec![9, 9, 9, 9]));
         loop {
-            match core.step(&mut plat).unwrap() {
-                StepOutcome::Halted => break,
-                _ => {}
+            if core.step(&mut plat).unwrap() == StepOutcome::Halted {
+                break;
             }
         }
         assert_eq!(core.stats().words_received, 4);
@@ -513,7 +597,10 @@ mod tests {
     fn bad_jalr_target_is_error() {
         let mut b = ProgramBuilder::new();
         b.li(Reg::R1, 4000);
-        b.emit(Instr::Jalr { rd: Reg::R0, rs: Reg::R1 });
+        b.emit(Instr::Jalr {
+            rd: Reg::R0,
+            rs: Reg::R1,
+        });
         b.halt();
         let p = b.build().unwrap();
         let mut core = Core::new(&p);

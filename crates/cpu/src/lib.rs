@@ -72,7 +72,10 @@ impl fmt::Display for CpuError {
         match self {
             CpuError::PcOutOfRange { pc } => write!(f, "pc {pc} outside program text"),
             CpuError::UnboundCustom(id) => {
-                write!(f, "custom instruction {id} has no patch binding on this tile")
+                write!(
+                    f,
+                    "custom instruction {id} has no patch binding on this tile"
+                )
             }
             CpuError::MessageLengthMismatch { expected, got } => {
                 write!(f, "recv expected {expected} words, message has {got}")

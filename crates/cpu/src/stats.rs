@@ -80,7 +80,12 @@ mod tests {
 
     #[test]
     fn ipc_and_wait_fraction() {
-        let s = CoreStats { cycles: 100, instructions: 50, recv_wait_cycles: 25, ..Default::default() };
+        let s = CoreStats {
+            cycles: 100,
+            instructions: 50,
+            recv_wait_cycles: 25,
+            ..Default::default()
+        };
         assert!((s.ipc() - 0.5).abs() < 1e-12);
         assert!((s.recv_wait_fraction() - 0.25).abs() < 1e-12);
         assert_eq!(CoreStats::default().ipc(), 0.0);
@@ -88,8 +93,17 @@ mod tests {
 
     #[test]
     fn merge_sums() {
-        let mut a = CoreStats { cycles: 10, instructions: 5, ..Default::default() };
-        let b = CoreStats { cycles: 7, instructions: 3, mul_ops: 2, ..Default::default() };
+        let mut a = CoreStats {
+            cycles: 10,
+            instructions: 5,
+            ..Default::default()
+        };
+        let b = CoreStats {
+            cycles: 7,
+            instructions: 3,
+            mul_ops: 2,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.cycles, 17);
         assert_eq!(a.instructions, 8);

@@ -61,7 +61,10 @@ pub fn assemble(source: &str) -> Result<crate::Program, IsaError> {
             if name.is_empty() || !is_ident(name) {
                 break;
             }
-            if labels.insert(name.to_string(), instrs.len() as u32).is_some() {
+            if labels
+                .insert(name.to_string(), instrs.len() as u32)
+                .is_some()
+            {
                 return Err(IsaError::DuplicateLabel(name.to_string()));
             }
             text = rest[1..].trim();
@@ -74,10 +77,13 @@ pub fn assemble(source: &str) -> Result<crate::Program, IsaError> {
 
     for (idx, name, line) in fixups {
         let target = match name.strip_prefix('@') {
-            Some(abs) => abs
-                .parse::<u32>()
-                .map_err(|_| IsaError::Parse { line, msg: format!("bad target `{name}`") })?,
-            None => *labels.get(&name).ok_or_else(|| IsaError::UnboundLabel(name.clone()))?,
+            Some(abs) => abs.parse::<u32>().map_err(|_| IsaError::Parse {
+                line,
+                msg: format!("bad target `{name}`"),
+            })?,
+            None => *labels
+                .get(&name)
+                .ok_or_else(|| IsaError::UnboundLabel(name.clone()))?,
         };
         match &mut instrs[idx] {
             Instr::Branch { target: t, .. } | Instr::Jal { target: t, .. } => *t = target,
@@ -85,21 +91,31 @@ pub fn assemble(source: &str) -> Result<crate::Program, IsaError> {
         }
     }
 
-    Ok(crate::Program { instrs, ..Default::default() })
+    Ok(crate::Program {
+        instrs,
+        ..Default::default()
+    })
 }
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
 }
 
 fn err(line: usize, msg: impl Into<String>) -> IsaError {
-    IsaError::Parse { line, msg: msg.into() }
+    IsaError::Parse {
+        line,
+        msg: msg.into(),
+    }
 }
 
 fn parse_reg(tok: &str, line: usize) -> Result<Reg, IsaError> {
-    tok.parse().map_err(|_| err(line, format!("bad register `{tok}`")))
+    tok.parse()
+        .map_err(|_| err(line, format!("bad register `{tok}`")))
 }
 
 fn parse_imm(tok: &str, line: usize) -> Result<i64, IsaError> {
@@ -119,11 +135,18 @@ fn parse_imm(tok: &str, line: usize) -> Result<i64, IsaError> {
 
 /// Splits `"12(sp)"` into offset and base register.
 fn parse_mem(tok: &str, line: usize) -> Result<(i32, Reg), IsaError> {
-    let open = tok.find('(').ok_or_else(|| err(line, format!("expected `off(base)`: `{tok}`")))?;
-    let close =
-        tok.rfind(')').ok_or_else(|| err(line, format!("missing `)` in `{tok}`")))?;
+    let open = tok
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected `off(base)`: `{tok}`")))?;
+    let close = tok
+        .rfind(')')
+        .ok_or_else(|| err(line, format!("missing `)` in `{tok}`")))?;
     let off_txt = tok[..open].trim();
-    let offset = if off_txt.is_empty() { 0 } else { parse_imm(off_txt, line)? as i32 };
+    let offset = if off_txt.is_empty() {
+        0
+    } else {
+        parse_imm(off_txt, line)? as i32
+    };
     let base = parse_reg(tok[open + 1..close].trim(), line)?;
     Ok((offset, base))
 }
@@ -150,7 +173,10 @@ fn parse_instr(
         if args.len() == n {
             Ok(())
         } else {
-            Err(err(line, format!("`{mnemonic}` expects {n} operands, got {}", args.len())))
+            Err(err(
+                line,
+                format!("`{mnemonic}` expects {n} operands, got {}", args.len()),
+            ))
         }
     };
 
@@ -222,16 +248,25 @@ fn parse_instr(
         "j" => {
             want(1)?;
             fixups.push((instrs.len(), args[0].to_string(), line));
-            instrs.push(Instr::Jal { rd: Reg::R0, target: u32::MAX });
+            instrs.push(Instr::Jal {
+                rd: Reg::R0,
+                target: u32::MAX,
+            });
         }
         "jal" => {
             want(2)?;
             fixups.push((instrs.len(), args[1].to_string(), line));
-            instrs.push(Instr::Jal { rd: parse_reg(args[0], line)?, target: u32::MAX });
+            instrs.push(Instr::Jal {
+                rd: parse_reg(args[0], line)?,
+                target: u32::MAX,
+            });
         }
         "jr" => {
             want(1)?;
-            instrs.push(Instr::Jalr { rd: Reg::R0, rs: parse_reg(args[0], line)? });
+            instrs.push(Instr::Jalr {
+                rd: Reg::R0,
+                rs: parse_reg(args[0], line)?,
+            });
         }
         "jalr" => {
             want(2)?;
@@ -248,9 +283,17 @@ fn parse_instr(
                 parse_reg(args[2], line)?,
             );
             instrs.push(if mnemonic == "send" {
-                Instr::Send { dst: a, addr: b, len: c }
+                Instr::Send {
+                    dst: a,
+                    addr: b,
+                    len: c,
+                }
             } else {
-                Instr::Recv { src: a, addr: b, len: c }
+                Instr::Recv {
+                    src: a,
+                    addr: b,
+                    len: c,
+                }
             });
         }
         "custom" => {
@@ -302,8 +345,9 @@ fn parse_custom(text: &str, line: usize) -> Result<CustomInstr, IsaError> {
         .strip_prefix("ci")
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| err(line, format!("bad ci id `{id_txt}`")))?;
-    let (ins_txt, rest) =
-        rest.split_once(']').ok_or_else(|| err(line, "missing `]` after inputs"))?;
+    let (ins_txt, rest) = rest
+        .split_once(']')
+        .ok_or_else(|| err(line, "missing `]` after inputs"))?;
     let rest = rest.trim();
     let rest = rest
         .strip_prefix("->")
@@ -345,19 +389,45 @@ mod tests {
         assert_eq!(p.instrs.len(), 4);
         assert_eq!(
             p.instrs[2],
-            Instr::Branch { cond: Cond::Ne, rs1: Reg::R1, rs2: Reg::R0, target: 1 }
+            Instr::Branch {
+                cond: Cond::Ne,
+                rs1: Reg::R1,
+                rs2: Reg::R0,
+                target: 1
+            }
         );
     }
 
     #[test]
     fn memory_operands() {
         let p = assemble("lw r1, 8(sp)\nsw r1, -4(r2)\nlb r3, (r4)\nhalt").unwrap();
-        assert_eq!(p.instrs[0], Instr::Load { w: Width::Word, rd: Reg::R1, base: Reg::SP, offset: 8 });
+        assert_eq!(
+            p.instrs[0],
+            Instr::Load {
+                w: Width::Word,
+                rd: Reg::R1,
+                base: Reg::SP,
+                offset: 8
+            }
+        );
         assert_eq!(
             p.instrs[1],
-            Instr::Store { w: Width::Word, rs: Reg::R1, base: Reg::R2, offset: -4 }
+            Instr::Store {
+                w: Width::Word,
+                rs: Reg::R1,
+                base: Reg::R2,
+                offset: -4
+            }
         );
-        assert_eq!(p.instrs[2], Instr::Load { w: Width::Byte, rd: Reg::R3, base: Reg::R4, offset: 0 });
+        assert_eq!(
+            p.instrs[2],
+            Instr::Load {
+                w: Width::Byte,
+                rd: Reg::R3,
+                base: Reg::R4,
+                offset: 0
+            }
+        );
     }
 
     #[test]
@@ -399,18 +469,27 @@ mod tests {
             Err(IsaError::Parse { line, .. }) => assert_eq!(line, 2),
             other => panic!("expected parse error, got {other:?}"),
         }
-        assert!(matches!(assemble("bne r1, r0, missing"), Err(IsaError::UnboundLabel(_))));
-        assert!(matches!(assemble("x: nop\nx: nop"), Err(IsaError::DuplicateLabel(_))));
+        assert!(matches!(
+            assemble("bne r1, r0, missing"),
+            Err(IsaError::UnboundLabel(_))
+        ));
+        assert!(matches!(
+            assemble("x: nop\nx: nop"),
+            Err(IsaError::DuplicateLabel(_))
+        ));
     }
 
     #[test]
     fn hex_immediates() {
         let p = assemble("li r1, 0xFF\nandi r2, r1, 0x0F\nhalt").unwrap();
-        assert_eq!(p.instrs[0], Instr::Alu {
-            op: AluOp::Add,
-            rd: Reg::R1,
-            rs1: Reg::R0,
-            src2: Operand::Imm(255)
-        });
+        assert_eq!(
+            p.instrs[0],
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::R1,
+                rs1: Reg::R0,
+                src2: Operand::Imm(255)
+            }
+        );
     }
 }

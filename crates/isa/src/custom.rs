@@ -81,7 +81,10 @@ impl CiStage {
     /// Creates a stage, masking the control word to 19 bits.
     #[must_use]
     pub fn new(class: PatchClass, control: u32) -> Self {
-        CiStage { class, control: control & ((1 << CONTROL_BITS) - 1) }
+        CiStage {
+            class,
+            control: control & ((1 << CONTROL_BITS) - 1),
+        }
     }
 }
 
@@ -103,13 +106,23 @@ impl CiDescriptor {
     /// Creates a single-patch descriptor.
     #[must_use]
     pub fn single(id: CiId, name: impl Into<String>, stage: CiStage) -> Self {
-        CiDescriptor { id, name: name.into(), stages: vec![stage], covers: 0 }
+        CiDescriptor {
+            id,
+            name: name.into(),
+            stages: vec![stage],
+            covers: 0,
+        }
     }
 
     /// Creates a fused (two-patch) descriptor.
     #[must_use]
     pub fn fused(id: CiId, name: impl Into<String>, first: CiStage, second: CiStage) -> Self {
-        CiDescriptor { id, name: name.into(), stages: vec![first, second], covers: 0 }
+        CiDescriptor {
+            id,
+            name: name.into(),
+            stages: vec![first, second],
+            covers: 0,
+        }
     }
 
     /// `true` if the instruction spans two stitched patches.
@@ -154,7 +167,9 @@ impl CiTable {
     ///
     /// Returns [`IsaError::UnknownCi`] when the id is not present.
     pub fn get(&self, id: CiId) -> Result<&CiDescriptor, IsaError> {
-        self.entries.get(id.0 as usize).ok_or(IsaError::UnknownCi(id.0))
+        self.entries
+            .get(id.0 as usize)
+            .ok_or(IsaError::UnknownCi(id.0))
     }
 
     /// Number of entries.
@@ -196,7 +211,10 @@ impl CustomInstr {
     /// are supplied (the register-file port constraint of the paper).
     pub fn new(ci: CiId, inputs: &[Reg], outputs: &[Reg]) -> Result<Self, IsaError> {
         if inputs.len() > MAX_CI_INPUTS || outputs.len() > MAX_CI_OUTPUTS {
-            return Err(IsaError::BadCiArity { inputs: inputs.len(), outputs: outputs.len() });
+            return Err(IsaError::BadCiArity {
+                inputs: inputs.len(),
+                outputs: outputs.len(),
+            });
         }
         let mut ins = [Reg::R0; MAX_CI_INPUTS];
         ins[..inputs.len()].copy_from_slice(inputs);
@@ -261,7 +279,10 @@ mod tests {
         let five = [Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5];
         assert!(matches!(
             CustomInstr::new(CiId(0), &five, &[Reg::R6]),
-            Err(IsaError::BadCiArity { inputs: 5, outputs: 1 })
+            Err(IsaError::BadCiArity {
+                inputs: 5,
+                outputs: 1
+            })
         ));
         let three_out = [Reg::R1, Reg::R2, Reg::R3];
         assert!(CustomInstr::new(CiId(0), &[Reg::R1], &three_out).is_err());
@@ -276,7 +297,12 @@ mod tests {
         let mut t = CiTable::new();
         let s = CiStage::new(PatchClass::AtMa, 0x7_FFFF);
         let a = t.push(CiDescriptor::single(CiId(99), "a", s));
-        let b = t.push(CiDescriptor::fused(CiId(99), "b", s, CiStage::new(PatchClass::AtAs, 1)));
+        let b = t.push(CiDescriptor::fused(
+            CiId(99),
+            "b",
+            s,
+            CiStage::new(PatchClass::AtAs, 1),
+        ));
         assert_eq!(a, CiId(0));
         assert_eq!(b, CiId(1));
         assert_eq!(t.get(a).unwrap().name, "a");

@@ -55,8 +55,10 @@ fn check_signed(what: &'static str, value: i64, bits: u32) -> Result<u32, IsaErr
 }
 
 fn reg_at(word: u32, shift: u32) -> Result<Reg, IsaError> {
-    Reg::from_index(extract(word, shift, 5) as u8)
-        .ok_or(IsaError::Decode { word, reason: "bad register field" })
+    Reg::from_index(extract(word, shift, 5) as u8).ok_or(IsaError::Decode {
+        word,
+        reason: "bad register field",
+    })
 }
 
 /// Encodes one instruction located at word address `pc` (in words).
@@ -66,20 +68,27 @@ fn reg_at(word: u32, shift: u32) -> Result<Reg, IsaError> {
 /// # Errors
 ///
 /// Fails when an immediate or displacement exceeds its field width.
-pub fn encode(instr: &Instr, pc: u32, target_words: impl Fn(u32) -> u32) -> Result<Vec<u32>, IsaError> {
+pub fn encode(
+    instr: &Instr,
+    pc: u32,
+    target_words: impl Fn(u32) -> u32,
+) -> Result<Vec<u32>, IsaError> {
     let op = |o: Opcode| (o as u32) << 26;
     let one = |w: u32| Ok(vec![w]);
     match instr {
         Instr::Nop => one(op(Opcode::Nop)),
         Instr::Halt => one(op(Opcode::Halt)),
-        Instr::Alu { op: aop, rd, rs1, src2 } => match src2 {
-            Operand::Reg(rs2) => one(
-                op(Opcode::AluRr)
-                    | field(aop.code().into(), 22, 4)
-                    | field(rd.index().into(), 17, 5)
-                    | field(rs1.index().into(), 12, 5)
-                    | field(rs2.index().into(), 7, 5),
-            ),
+        Instr::Alu {
+            op: aop,
+            rd,
+            rs1,
+            src2,
+        } => match src2 {
+            Operand::Reg(rs2) => one(op(Opcode::AluRr)
+                | field(aop.code().into(), 22, 4)
+                | field(rd.index().into(), 17, 5)
+                | field(rs1.index().into(), 12, 5)
+                | field(rs2.index().into(), 7, 5)),
             Operand::Imm(imm) => {
                 let enc = check_signed("alu immediate", i64::from(*imm), 12)?;
                 one(op(Opcode::AluRi)
@@ -99,7 +108,12 @@ pub fn encode(instr: &Instr, pc: u32, target_words: impl Fn(u32) -> u32) -> Resu
             }
             one(op(Opcode::Lui) | field(rd.index().into(), 21, 5) | field(*imm, 0, 20))
         }
-        Instr::Load { w, rd, base, offset } => {
+        Instr::Load {
+            w,
+            rd,
+            base,
+            offset,
+        } => {
             let enc = check_signed("load offset", i64::from(*offset), 14)?;
             one(op(Opcode::Load)
                 | field(w.code().into(), 24, 2)
@@ -107,7 +121,12 @@ pub fn encode(instr: &Instr, pc: u32, target_words: impl Fn(u32) -> u32) -> Resu
                 | field(base.index().into(), 14, 5)
                 | field(enc, 0, 14))
         }
-        Instr::Store { w, rs, base, offset } => {
+        Instr::Store {
+            w,
+            rs,
+            base,
+            offset,
+        } => {
             let enc = check_signed("store offset", i64::from(*offset), 14)?;
             one(op(Opcode::Store)
                 | field(w.code().into(), 24, 2)
@@ -115,7 +134,12 @@ pub fn encode(instr: &Instr, pc: u32, target_words: impl Fn(u32) -> u32) -> Resu
                 | field(base.index().into(), 14, 5)
                 | field(enc, 0, 14))
         }
-        Instr::Branch { cond, rs1, rs2, target } => {
+        Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        } => {
             let disp = i64::from(target_words(*target)) - i64::from(pc);
             let enc = check_signed("branch displacement", disp, 13)?;
             one(op(Opcode::Branch)
@@ -129,21 +153,17 @@ pub fn encode(instr: &Instr, pc: u32, target_words: impl Fn(u32) -> u32) -> Resu
             let enc = check_signed("jump displacement", disp, 21)?;
             one(op(Opcode::Jal) | field(rd.index().into(), 21, 5) | field(enc, 0, 21))
         }
-        Instr::Jalr { rd, rs } => one(
-            op(Opcode::Jalr) | field(rd.index().into(), 21, 5) | field(rs.index().into(), 16, 5),
-        ),
-        Instr::Send { dst, addr, len } => one(
-            op(Opcode::Send)
-                | field(dst.index().into(), 21, 5)
-                | field(addr.index().into(), 16, 5)
-                | field(len.index().into(), 11, 5),
-        ),
-        Instr::Recv { src, addr, len } => one(
-            op(Opcode::Recv)
-                | field(src.index().into(), 21, 5)
-                | field(addr.index().into(), 16, 5)
-                | field(len.index().into(), 11, 5),
-        ),
+        Instr::Jalr { rd, rs } => one(op(Opcode::Jalr)
+            | field(rd.index().into(), 21, 5)
+            | field(rs.index().into(), 16, 5)),
+        Instr::Send { dst, addr, len } => one(op(Opcode::Send)
+            | field(dst.index().into(), 21, 5)
+            | field(addr.index().into(), 16, 5)
+            | field(len.index().into(), 11, 5)),
+        Instr::Recv { src, addr, len } => one(op(Opcode::Recv)
+            | field(src.index().into(), 21, 5)
+            | field(addr.index().into(), 16, 5)
+            | field(len.index().into(), 11, 5)),
         Instr::Custom(ci) => {
             let ins = ci.input_slots();
             let outs = ci.outputs();
@@ -174,14 +194,19 @@ pub fn encode(instr: &Instr, pc: u32, target_words: impl Fn(u32) -> u32) -> Resu
 ///
 /// Fails on unknown opcodes or malformed fields.
 pub fn decode(words: &[u32], pc: u32) -> Result<(Instr, u32), IsaError> {
-    let word = *words.first().ok_or(IsaError::Decode { word: 0, reason: "empty stream" })?;
+    let word = *words.first().ok_or(IsaError::Decode {
+        word: 0,
+        reason: "empty stream",
+    })?;
     let opcode = word >> 26;
     let instr = match opcode {
         x if x == Opcode::Nop as u32 => Instr::Nop,
         x if x == Opcode::Halt as u32 => Instr::Halt,
         x if x == Opcode::AluRr as u32 => {
-            let aop = AluOp::from_code(extract(word, 22, 4) as u8)
-                .ok_or(IsaError::Decode { word, reason: "bad alu op" })?;
+            let aop = AluOp::from_code(extract(word, 22, 4) as u8).ok_or(IsaError::Decode {
+                word,
+                reason: "bad alu op",
+            })?;
             Instr::Alu {
                 op: aop,
                 rd: reg_at(word, 17)?,
@@ -190,8 +215,10 @@ pub fn decode(words: &[u32], pc: u32) -> Result<(Instr, u32), IsaError> {
             }
         }
         x if x == Opcode::AluRi as u32 => {
-            let aop = AluOp::from_code(extract(word, 22, 4) as u8)
-                .ok_or(IsaError::Decode { word, reason: "bad alu op" })?;
+            let aop = AluOp::from_code(extract(word, 22, 4) as u8).ok_or(IsaError::Decode {
+                word,
+                reason: "bad alu op",
+            })?;
             Instr::Alu {
                 op: aop,
                 rd: reg_at(word, 17)?,
@@ -199,26 +226,33 @@ pub fn decode(words: &[u32], pc: u32) -> Result<(Instr, u32), IsaError> {
                 src2: Operand::Imm(sign_extend(extract(word, 0, 12), 12)),
             }
         }
-        x if x == Opcode::Lui as u32 => {
-            Instr::Lui { rd: reg_at(word, 21)?, imm: extract(word, 0, 20) }
-        }
+        x if x == Opcode::Lui as u32 => Instr::Lui {
+            rd: reg_at(word, 21)?,
+            imm: extract(word, 0, 20),
+        },
         x if x == Opcode::Load as u32 => Instr::Load {
-            w: Width::from_code(extract(word, 24, 2) as u8)
-                .ok_or(IsaError::Decode { word, reason: "bad width" })?,
+            w: Width::from_code(extract(word, 24, 2) as u8).ok_or(IsaError::Decode {
+                word,
+                reason: "bad width",
+            })?,
             rd: reg_at(word, 19)?,
             base: reg_at(word, 14)?,
             offset: sign_extend(extract(word, 0, 14), 14),
         },
         x if x == Opcode::Store as u32 => Instr::Store {
-            w: Width::from_code(extract(word, 24, 2) as u8)
-                .ok_or(IsaError::Decode { word, reason: "bad width" })?,
+            w: Width::from_code(extract(word, 24, 2) as u8).ok_or(IsaError::Decode {
+                word,
+                reason: "bad width",
+            })?,
             rs: reg_at(word, 19)?,
             base: reg_at(word, 14)?,
             offset: sign_extend(extract(word, 0, 14), 14),
         },
         x if x == Opcode::Branch as u32 => {
-            let cond = Cond::from_code(extract(word, 23, 3) as u8)
-                .ok_or(IsaError::Decode { word, reason: "bad condition" })?;
+            let cond = Cond::from_code(extract(word, 23, 3) as u8).ok_or(IsaError::Decode {
+                word,
+                reason: "bad condition",
+            })?;
             let disp = sign_extend(extract(word, 0, 13), 13);
             Instr::Branch {
                 cond,
@@ -229,11 +263,15 @@ pub fn decode(words: &[u32], pc: u32) -> Result<(Instr, u32), IsaError> {
         }
         x if x == Opcode::Jal as u32 => {
             let disp = sign_extend(extract(word, 0, 21), 21);
-            Instr::Jal { rd: reg_at(word, 21)?, target: pc.wrapping_add_signed(disp) }
+            Instr::Jal {
+                rd: reg_at(word, 21)?,
+                target: pc.wrapping_add_signed(disp),
+            }
         }
-        x if x == Opcode::Jalr as u32 => {
-            Instr::Jalr { rd: reg_at(word, 21)?, rs: reg_at(word, 16)? }
-        }
+        x if x == Opcode::Jalr as u32 => Instr::Jalr {
+            rd: reg_at(word, 21)?,
+            rs: reg_at(word, 16)?,
+        },
         x if x == Opcode::Send as u32 => Instr::Send {
             dst: reg_at(word, 21)?,
             addr: reg_at(word, 16)?,
@@ -252,20 +290,35 @@ pub fn decode(words: &[u32], pc: u32) -> Result<(Instr, u32), IsaError> {
             let n_ins = extract(word, 3, 3) as usize;
             let n_outs = extract(word, 1, 2) as usize;
             if n_ins > 4 || n_outs > 2 {
-                return Err(IsaError::Decode { word, reason: "bad custom arity" });
+                return Err(IsaError::Decode {
+                    word,
+                    reason: "bad custom arity",
+                });
             }
-            let all_ins =
-                [reg_at(word, 11)?, reg_at(word, 6)?, reg_at(w1, 27)?, reg_at(w1, 22)?];
+            let all_ins = [
+                reg_at(word, 11)?,
+                reg_at(word, 6)?,
+                reg_at(w1, 27)?,
+                reg_at(w1, 22)?,
+            ];
             let all_outs = [reg_at(w1, 17)?, reg_at(w1, 12)?];
             let ci = CustomInstr::new(
                 CiId(extract(word, 16, 10) as u16),
                 &all_ins[..n_ins],
                 &all_outs[..n_outs],
             )
-            .map_err(|_| IsaError::Decode { word, reason: "bad custom arity" })?;
+            .map_err(|_| IsaError::Decode {
+                word,
+                reason: "bad custom arity",
+            })?;
             return Ok((Instr::Custom(ci), 2));
         }
-        _ => return Err(IsaError::Decode { word, reason: "unknown opcode" }),
+        _ => {
+            return Err(IsaError::Decode {
+                word,
+                reason: "unknown opcode",
+            })
+        }
     };
     Ok((instr, 1))
 }
@@ -320,7 +373,10 @@ pub fn decode_program(words: &[u32]) -> Result<Vec<Instr>, IsaError> {
                 .get(*t as usize)
                 .copied()
                 .filter(|&i| i != u32::MAX)
-                .ok_or(IsaError::Decode { word, reason: "branch into middle of instruction" })?;
+                .ok_or(IsaError::Decode {
+                    word,
+                    reason: "branch into middle of instruction",
+                })?;
             *t = idx;
             Ok(())
         };
@@ -348,14 +404,48 @@ mod tests {
     fn round_trip_basic() {
         round_trip(vec![
             Instr::Nop,
-            Instr::Alu { op: AluOp::Add, rd: Reg::R1, rs1: Reg::R2, src2: Operand::Reg(Reg::R3) },
-            Instr::Alu { op: AluOp::Sra, rd: Reg::R4, rs1: Reg::R5, src2: Operand::Imm(-7) },
-            Instr::Lui { rd: Reg::R6, imm: 0xFFFFF },
-            Instr::Load { w: Width::Word, rd: Reg::R7, base: Reg::SP, offset: -16 },
-            Instr::Store { w: Width::Byte, rs: Reg::R8, base: Reg::R9, offset: 8191 },
-            Instr::Send { dst: Reg::R1, addr: Reg::R2, len: Reg::R3 },
-            Instr::Recv { src: Reg::R1, addr: Reg::R2, len: Reg::R3 },
-            Instr::Jalr { rd: Reg::LR, rs: Reg::R10 },
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::R1,
+                rs1: Reg::R2,
+                src2: Operand::Reg(Reg::R3),
+            },
+            Instr::Alu {
+                op: AluOp::Sra,
+                rd: Reg::R4,
+                rs1: Reg::R5,
+                src2: Operand::Imm(-7),
+            },
+            Instr::Lui {
+                rd: Reg::R6,
+                imm: 0xFFFFF,
+            },
+            Instr::Load {
+                w: Width::Word,
+                rd: Reg::R7,
+                base: Reg::SP,
+                offset: -16,
+            },
+            Instr::Store {
+                w: Width::Byte,
+                rs: Reg::R8,
+                base: Reg::R9,
+                offset: 8191,
+            },
+            Instr::Send {
+                dst: Reg::R1,
+                addr: Reg::R2,
+                len: Reg::R3,
+            },
+            Instr::Recv {
+                src: Reg::R1,
+                addr: Reg::R2,
+                len: Reg::R3,
+            },
+            Instr::Jalr {
+                rd: Reg::LR,
+                rs: Reg::R10,
+            },
             Instr::Halt,
         ]);
     }
@@ -366,10 +456,18 @@ mod tests {
         // target, exercising the index<->word translation.
         let ci = CustomInstr::new(CiId(5), &[Reg::R1, Reg::R2, Reg::R3], &[Reg::R4]).unwrap();
         round_trip(vec![
-            Instr::Branch { cond: Cond::Ne, rs1: Reg::R1, rs2: Reg::R0, target: 3 },
+            Instr::Branch {
+                cond: Cond::Ne,
+                rs1: Reg::R1,
+                rs2: Reg::R0,
+                target: 3,
+            },
             Instr::Custom(ci),
             Instr::Nop,
-            Instr::Jal { rd: Reg::R0, target: 0 },
+            Instr::Jal {
+                rd: Reg::R0,
+                target: 0,
+            },
             Instr::Halt,
         ]);
     }

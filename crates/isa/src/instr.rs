@@ -86,7 +86,10 @@ impl Cond {
     /// Encoding code.
     #[must_use]
     pub fn code(self) -> u8 {
-        Self::ALL.iter().position(|&c| c == self).expect("cond in ALL") as u8
+        Self::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("cond in ALL") as u8
     }
 
     /// Inverse of [`Cond::code`].
@@ -315,13 +318,28 @@ impl fmt::Display for Instr {
                 Operand::Imm(_) => write!(f, "{op}i {rd}, {rs1}, {src2}"),
             },
             Instr::Lui { rd, imm } => write!(f, "lui {rd}, {imm:#x}"),
-            Instr::Load { w, rd, base, offset } => {
+            Instr::Load {
+                w,
+                rd,
+                base,
+                offset,
+            } => {
                 write!(f, "l{} {rd}, {offset}({base})", width_suffix(*w))
             }
-            Instr::Store { w, rs, base, offset } => {
+            Instr::Store {
+                w,
+                rs,
+                base,
+                offset,
+            } => {
                 write!(f, "s{} {rs}, {offset}({base})", width_suffix(*w))
             }
-            Instr::Branch { cond, rs1, rs2, target } => {
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 write!(f, "{} {rs1}, {rs2}, @{target}", cond.mnemonic())
             }
             Instr::Jal { rd, target } => {
@@ -382,7 +400,12 @@ mod tests {
         assert_eq!(i.uses(), vec![Reg::R1, Reg::R2]);
         assert_eq!(i.defs(), vec![Reg::R3]);
 
-        let st = Instr::Store { w: Width::Word, rs: Reg::R4, base: Reg::R5, offset: 8 };
+        let st = Instr::Store {
+            w: Width::Word,
+            rs: Reg::R4,
+            base: Reg::R5,
+            offset: 8,
+        };
         assert_eq!(st.uses(), vec![Reg::R4, Reg::R5]);
         assert!(st.defs().is_empty());
 
@@ -400,7 +423,11 @@ mod tests {
     #[test]
     fn terminators() {
         assert!(Instr::Halt.is_block_terminator());
-        assert!(Instr::Jal { rd: Reg::R0, target: 0 }.is_block_terminator());
+        assert!(Instr::Jal {
+            rd: Reg::R0,
+            target: 0
+        }
+        .is_block_terminator());
         assert!(!Instr::Nop.is_block_terminator());
     }
 
@@ -413,7 +440,12 @@ mod tests {
             src2: Operand::Imm(-4),
         };
         assert_eq!(i.to_string(), "addi r3, r1, -4");
-        let l = Instr::Load { w: Width::Word, rd: Reg::R2, base: Reg::SP, offset: 12 };
+        let l = Instr::Load {
+            w: Width::Word,
+            rd: Reg::R2,
+            base: Reg::SP,
+            offset: 12,
+        };
         assert_eq!(l.to_string(), "lw r2, 12(sp)");
     }
 

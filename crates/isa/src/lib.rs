@@ -133,12 +133,18 @@ impl fmt::Display for IsaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IsaError::ImmediateOutOfRange { what, value, bits } => {
-                write!(f, "immediate {value} for {what} does not fit in {bits} bits")
+                write!(
+                    f,
+                    "immediate {value} for {what} does not fit in {bits} bits"
+                )
             }
             IsaError::UnboundLabel(l) => write!(f, "label `{l}` was never bound"),
             IsaError::DuplicateLabel(l) => write!(f, "label `{l}` bound twice"),
             IsaError::BranchOutOfRange { from, to } => {
-                write!(f, "branch from instruction {from} to {to} exceeds displacement range")
+                write!(
+                    f,
+                    "branch from instruction {from} to {to} exceeds displacement range"
+                )
             }
             IsaError::Decode { word, reason } => {
                 write!(f, "cannot decode word {word:#010x}: {reason}")
@@ -146,7 +152,10 @@ impl fmt::Display for IsaError {
             IsaError::Parse { line, msg } => write!(f, "parse error on line {line}: {msg}"),
             IsaError::UnknownCi(id) => write!(f, "custom instruction id {id} not in CI table"),
             IsaError::BadCiArity { inputs, outputs } => {
-                write!(f, "custom instruction arity {inputs}-in/{outputs}-out exceeds 4-in/2-out")
+                write!(
+                    f,
+                    "custom instruction arity {inputs}-in/{outputs}-out exceeds 4-in/2-out"
+                )
             }
         }
     }

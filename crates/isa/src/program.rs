@@ -51,7 +51,10 @@ impl Program {
     /// Number of static custom instructions in the text.
     #[must_use]
     pub fn custom_count(&self) -> usize {
-        self.instrs.iter().filter(|i| matches!(i, Instr::Custom(_))).count()
+        self.instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Custom(_)))
+            .count()
     }
 
     /// Looks up a symbol's address.
@@ -156,7 +159,10 @@ impl ProgramBuilder {
 
     /// Adds an initialized data segment.
     pub fn data_segment(&mut self, base: u32, words: impl Into<Vec<u32>>) {
-        self.data.push(DataSegment { base, words: words.into() });
+        self.data.push(DataSegment {
+            base,
+            words: words.into(),
+        });
     }
 
     /// Registers a custom-instruction descriptor, returning its id.
@@ -184,12 +190,22 @@ impl ProgramBuilder {
 
     /// Register-register ALU op.
     pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.emit(Instr::Alu { op, rd, rs1, src2: Operand::Reg(rs2) })
+        self.emit(Instr::Alu {
+            op,
+            rd,
+            rs1,
+            src2: Operand::Reg(rs2),
+        })
     }
 
     /// Register-immediate ALU op (11-bit signed immediate).
     pub fn alui(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
-        self.emit(Instr::Alu { op, rd, rs1, src2: Operand::Imm(imm) })
+        self.emit(Instr::Alu {
+            op,
+            rd,
+            rs1,
+            src2: Operand::Imm(imm),
+        })
     }
 
     /// `lui rd, imm20`
@@ -199,45 +215,79 @@ impl ProgramBuilder {
 
     /// `lw rd, offset(base)`
     pub fn lw(&mut self, rd: Reg, base: Reg, offset: i32) -> &mut Self {
-        self.emit(Instr::Load { w: Width::Word, rd, base, offset })
+        self.emit(Instr::Load {
+            w: Width::Word,
+            rd,
+            base,
+            offset,
+        })
     }
 
     /// `lb rd, offset(base)` (zero-extending byte load)
     pub fn lb(&mut self, rd: Reg, base: Reg, offset: i32) -> &mut Self {
-        self.emit(Instr::Load { w: Width::Byte, rd, base, offset })
+        self.emit(Instr::Load {
+            w: Width::Byte,
+            rd,
+            base,
+            offset,
+        })
     }
 
     /// `sw rs, offset(base)`
     pub fn sw(&mut self, rs: Reg, base: Reg, offset: i32) -> &mut Self {
-        self.emit(Instr::Store { w: Width::Word, rs, base, offset })
+        self.emit(Instr::Store {
+            w: Width::Word,
+            rs,
+            base,
+            offset,
+        })
     }
 
     /// `sb rs, offset(base)`
     pub fn sb(&mut self, rs: Reg, base: Reg, offset: i32) -> &mut Self {
-        self.emit(Instr::Store { w: Width::Byte, rs, base, offset })
+        self.emit(Instr::Store {
+            w: Width::Byte,
+            rs,
+            base,
+            offset,
+        })
     }
 
     /// Conditional branch to a label.
     pub fn branch(&mut self, cond: Cond, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
         self.pending.push((self.instrs.len(), target));
-        self.emit(Instr::Branch { cond, rs1, rs2, target: u32::MAX })
+        self.emit(Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            target: u32::MAX,
+        })
     }
 
     /// Unconditional jump to a label.
     pub fn jump(&mut self, target: Label) -> &mut Self {
         self.pending.push((self.instrs.len(), target));
-        self.emit(Instr::Jal { rd: Reg::R0, target: u32::MAX })
+        self.emit(Instr::Jal {
+            rd: Reg::R0,
+            target: u32::MAX,
+        })
     }
 
     /// Call (jump-and-link) to a label, writing `lr`.
     pub fn call(&mut self, target: Label) -> &mut Self {
         self.pending.push((self.instrs.len(), target));
-        self.emit(Instr::Jal { rd: Reg::LR, target: u32::MAX })
+        self.emit(Instr::Jal {
+            rd: Reg::LR,
+            target: u32::MAX,
+        })
     }
 
     /// Return through `lr`.
     pub fn ret(&mut self) -> &mut Self {
-        self.emit(Instr::Jalr { rd: Reg::R0, rs: Reg::LR })
+        self.emit(Instr::Jalr {
+            rd: Reg::R0,
+            rs: Reg::LR,
+        })
     }
 
     /// Custom instruction.
@@ -376,9 +426,20 @@ mod tests {
         let p = b.build().unwrap();
         assert_eq!(
             p.instrs[1],
-            Instr::Branch { cond: Cond::Ne, rs1: Reg::R1, rs2: Reg::R2, target: 0 }
+            Instr::Branch {
+                cond: Cond::Ne,
+                rs1: Reg::R1,
+                rs2: Reg::R2,
+                target: 0
+            }
         );
-        assert_eq!(p.instrs[2], Instr::Jal { rd: Reg::R0, target: 3 });
+        assert_eq!(
+            p.instrs[2],
+            Instr::Jal {
+                rd: Reg::R0,
+                target: 3
+            }
+        );
     }
 
     #[test]

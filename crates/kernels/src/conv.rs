@@ -68,7 +68,7 @@ impl Kernel for Conv2d {
         let col_loop = b.bound_label();
         b.li(Reg::R18, 0);
         b.mv(Reg::R2, Reg::R9); // coefficient cursor
-        // Nine unrolled taps: r1 walks each row, r2 walks coefficients.
+                                // Nine unrolled taps: r1 walks each row, r2 walks coefficients.
         for (ri, row_reg) in [Reg::R10, Reg::R11, Reg::R12].into_iter().enumerate() {
             b.mv(Reg::R1, row_reg);
             for dx in 0..3 {
@@ -113,8 +113,7 @@ impl Kernel for Conv2d {
                 for ky in 0..3 {
                     for kx in 0..3 {
                         let pix = input[(y + ky) * w + x + kx] as i32;
-                        acc = acc
-                            .wrapping_add(pix.wrapping_mul(c[ky * 3 + kx] as i32) >> 4);
+                        acc = acc.wrapping_add(pix.wrapping_mul(c[ky * 3 + kx] as i32) >> 4);
                     }
                 }
                 out.push(acc as u32);
@@ -244,7 +243,11 @@ impl FullyConnected {
     }
 
     fn weights(&self) -> Vec<u32> {
-        synth_input(0xFC + self.outputs, (self.inputs * self.outputs) as usize, 0x7F)
+        synth_input(
+            0xFC + self.outputs,
+            (self.inputs * self.outputs) as usize,
+            0x7F,
+        )
     }
 }
 

@@ -99,11 +99,11 @@ impl Kernel for Dtw {
         b.alu(AluOp::Sra, Reg::R6, Reg::R5, Reg::R15);
         b.alu(AluOp::Xor, Reg::R5, Reg::R5, Reg::R6);
         b.sub(Reg::R5, Reg::R5, Reg::R6); // cost in r5
-        // m = min(prev[j-1], prev[j], curr[j-1])
+                                          // m = min(prev[j-1], prev[j], curr[j-1])
         b.lw(Reg::R6, Reg::R2, 0); // prev[j-1]
         b.add(Reg::R8, Reg::R2, Reg::R14);
         b.lw(Reg::R7, Reg::R8, 0); // prev[j]
-        // min(r6, r7): d = r7-r6; r6 += d & (d>>31)
+                                   // min(r6, r7): d = r7-r6; r6 += d & (d>>31)
         b.sub(Reg::R8, Reg::R7, Reg::R6);
         b.alu(AluOp::Sra, Reg::R7, Reg::R8, Reg::R15);
         b.alu(AluOp::And, Reg::R8, Reg::R8, Reg::R7);

@@ -22,7 +22,9 @@ fn twiddles(n: u32) -> (Vec<u32>, Vec<u32>) {
 /// Bit-reversal permutation as byte offsets.
 fn bitrev_table(n: u32) -> Vec<u32> {
     let bits = n.trailing_zeros();
-    (0..n).map(|i| i.reverse_bits() >> (32 - bits) << 2).collect()
+    (0..n)
+        .map(|i| i.reverse_bits() >> (32 - bits) << 2)
+        .collect()
 }
 
 /// Shared reference implementation; `inverse` conjugates the twiddles.
@@ -48,7 +50,10 @@ fn fft_reference(n: u32, input: &[u32], inverse: bool) -> (Vec<i32>, Vec<i32>) {
                 let k = j * step;
                 let (wr, wi) = {
                     let wi0 = twi[k] as i32;
-                    (twr[k] as i32, if inverse { wi0.wrapping_neg() } else { wi0 })
+                    (
+                        twr[k] as i32,
+                        if inverse { wi0.wrapping_neg() } else { wi0 },
+                    )
                 };
                 let (r1, i1) = (re[i + j + len / 2], im[i + j + len / 2]);
                 let tr = (wr.wrapping_mul(r1).wrapping_sub(wi.wrapping_mul(i1))) >> 14;
@@ -130,14 +135,14 @@ fn emit_fft_body(b: &mut ProgramBuilder, n: u32, inverse: bool) {
     b.lw(Reg::R5, Reg::R4, 0); // wr
     b.add(Reg::R4, Reg::R18, Reg::R3);
     b.lw(Reg::R6, Reg::R4, 0); // wi
-    // o1 = i + j + half; load re1/im1.
+                               // o1 = i + j + half; load re1/im1.
     b.add(Reg::R4, Reg::R1, Reg::R2);
     b.add(Reg::R3, Reg::R4, Reg::R8);
     b.add(Reg::R7, Reg::R15, Reg::R3);
     b.lw(Reg::R14, Reg::R7, 0); // re1
     b.add(Reg::R7, Reg::R16, Reg::R3);
     b.lw(Reg::R19, Reg::R7, 0); // im1
-    // tr = (wr*re1 - wi*im1) >> 14
+                                // tr = (wr*re1 - wi*im1) >> 14
     b.mul(Reg::R7, Reg::R5, Reg::R14);
     b.mul(Reg::R3, Reg::R6, Reg::R19);
     b.sub(Reg::R7, Reg::R7, Reg::R3);
@@ -308,9 +313,7 @@ impl Kernel for Ifft {
         let energy: Vec<u32> = re
             .iter()
             .zip(&im)
-            .map(|(&r, &i)| {
-                (r.wrapping_mul(r).wrapping_add(i.wrapping_mul(i)) as u32) >> 8
-            })
+            .map(|(&r, &i)| (r.wrapping_mul(r).wrapping_add(i.wrapping_mul(i)) as u32) >> 8)
             .collect();
         re.into_iter()
             .chain(im)
@@ -360,8 +363,7 @@ mod tests {
         let n = 16u32;
         let input: Vec<u32> = (0..32).map(|i| if i < 16 { 50 + i } else { 0 }).collect();
         let (fre, fim) = fft_reference(n, &input, false);
-        let spec: Vec<u32> =
-            fre.iter().chain(&fim).map(|&v| v as u32).collect();
+        let spec: Vec<u32> = fre.iter().chain(&fim).map(|&v| v as u32).collect();
         let (ire, _) = fft_reference(n, &spec, true);
         for i in 0..16usize {
             let expect = (input[i] as i32) * 16;

@@ -227,7 +227,8 @@ mod tests {
         );
         let mut chip = Chip::new(ChipConfig::baseline_16());
         chip.load_program(TileId(0), &program);
-        chip.run(500_000_000).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        chip.run(500_000_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         let got = chip.peek_words(TileId(0), spec.output_addr, expected.len());
         assert_eq!(got, expected, "{}: output mismatch", spec.name);
     }
@@ -274,13 +275,21 @@ mod tests {
         let mut chip = Chip::new(ChipConfig::baseline_16());
 
         // Source: emits its own computed output once.
-        let src_prog = k.pipelined(PipeIo { src: None, dst: Some(1), frames: 2 });
+        let src_prog = k.pipelined(PipeIo {
+            src: None,
+            dst: Some(1),
+            frames: 2,
+        });
         chip.load_program(TileId(0), &src_prog);
 
         // Sink: a fir instance whose input frame matches the source's
         // output length (64 - 4 + 1 = 61 words).
         let sink = signal::FirFilter::new(61, 4);
-        let sink_prog = sink.pipelined(PipeIo { src: Some(0), dst: None, frames: 2 });
+        let sink_prog = sink.pipelined(PipeIo {
+            src: Some(0),
+            dst: None,
+            frames: 2,
+        });
         chip.load_program(TileId(1), &sink_prog);
 
         chip.run(500_000_000).unwrap();
@@ -288,11 +297,7 @@ mod tests {
         // computed the expected composition of the two filters.
         let _ = spec;
         let expected = sink.reference(&k.reference(&k.input()));
-        let got = chip.peek_words(
-            TileId(1),
-            sink.spec().output_addr,
-            expected.len(),
-        );
+        let got = chip.peek_words(TileId(1), sink.spec().output_addr, expected.len());
         assert_eq!(got, expected, "composed pipeline output");
     }
 

@@ -106,12 +106,19 @@ impl Svm {
     /// Panics when features + weights + biases exceed the scratchpad.
     #[must_use]
     pub fn new(dims: u32, classes: u32) -> Self {
-        assert!((dims + dims * classes + classes) * 4 <= 4096, "svm SPM footprint");
+        assert!(
+            (dims + dims * classes + classes) * 4 <= 4096,
+            "svm SPM footprint"
+        );
         Svm { dims, classes }
     }
 
     fn weights(&self) -> Vec<u32> {
-        synth_input(0x5F3 + self.classes, (self.dims * self.classes) as usize, 0xFF)
+        synth_input(
+            0x5F3 + self.classes,
+            (self.dims * self.classes) as usize,
+            0xFF,
+        )
     }
 
     fn biases(&self) -> Vec<u32> {

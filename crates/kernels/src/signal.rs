@@ -257,8 +257,7 @@ impl Kernel for Classify {
         for c in 0..self.k {
             let mut acc: i32 = 0;
             for d in 0..self.n as usize {
-                let diff =
-                    (input[d] as i32).wrapping_sub(cents[(c * self.n) as usize + d] as i32);
+                let diff = (input[d] as i32).wrapping_sub(cents[(c * self.n) as usize + d] as i32);
                 acc = acc.wrapping_add(diff.abs());
             }
             out.push(acc as u32);

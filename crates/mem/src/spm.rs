@@ -29,7 +29,11 @@ impl Spm {
     /// Creates a zeroed scratchpad.
     #[must_use]
     pub fn new() -> Self {
-        Spm { data: vec![0u8; SPM_SIZE as usize].into_boxed_slice(), reads: 0, writes: 0 }
+        Spm {
+            data: vec![0u8; SPM_SIZE as usize].into_boxed_slice(),
+            reads: 0,
+            writes: 0,
+        }
     }
 
     /// Capacity in bytes.
@@ -85,8 +89,7 @@ impl Spm {
     /// Reads a 16-bit little-endian value.
     pub fn read_u16(&mut self, offset: u32) -> u16 {
         self.reads += 1;
-        u16::from(self.data[self.wrap(offset)])
-            | (u16::from(self.data[self.wrap(offset + 1)]) << 8)
+        u16::from(self.data[self.wrap(offset)]) | (u16::from(self.data[self.wrap(offset + 1)]) << 8)
     }
 
     /// Writes a 16-bit little-endian value.

@@ -109,6 +109,19 @@ impl TileMemory {
         self.icache.access(addr, false).latency
     }
 
+    /// Registers `times` repeated re-fetches of the `words`-word
+    /// instruction at byte address `addr` (all icache hits), as if
+    /// [`TileMemory::fetch`] had been called for each word each time.
+    /// Backs the simulator's batched recv-poll fast path.
+    pub fn record_repeat_fetches(&mut self, addr: u32, words: u32, times: u64) {
+        let mut addrs = [0u32; 4];
+        let words = (words as usize).min(addrs.len());
+        for (w, slot) in addrs[..words].iter_mut().enumerate() {
+            *slot = addr + (w as u32) * 4;
+        }
+        self.icache.record_repeat_hits(&addrs[..words], times);
+    }
+
     /// Performs a data load.
     pub fn load(&mut self, addr: u32, w: Width) -> MemResult {
         if self.cfg.has_spm && memmap::is_spm(addr) {
@@ -118,7 +131,11 @@ impl TileMemory {
                 Width::Half => u32::from(self.spm.read_u16(off)),
                 Width::Word => self.spm.read_u32(off),
             };
-            return MemResult { value, latency: crate::HIT_LATENCY, xbar_write: None };
+            return MemResult {
+                value,
+                latency: crate::HIT_LATENCY,
+                xbar_write: None,
+            };
         }
         let lookup = self.dcache.access(addr, false);
         let value = match w {
@@ -126,7 +143,11 @@ impl TileMemory {
             Width::Half => u32::from(self.dram.read_u16(addr)),
             Width::Word => self.dram.read_u32(addr),
         };
-        MemResult { value, latency: lookup.latency, xbar_write: None }
+        MemResult {
+            value,
+            latency: lookup.latency,
+            xbar_write: None,
+        }
     }
 
     /// Performs a data store.
@@ -146,7 +167,11 @@ impl TileMemory {
                 Width::Half => self.spm.write_u16(off, value as u16),
                 Width::Word => self.spm.write_u32(off, value),
             }
-            return MemResult { value: 0, latency: crate::HIT_LATENCY, xbar_write: None };
+            return MemResult {
+                value: 0,
+                latency: crate::HIT_LATENCY,
+                xbar_write: None,
+            };
         }
         let lookup = self.dcache.access(addr, true);
         match w {
@@ -154,7 +179,11 @@ impl TileMemory {
             Width::Half => self.dram.write_u16(addr, value as u16),
             Width::Word => self.dram.write_u32(addr, value),
         }
-        MemResult { value: 0, latency: lookup.latency, xbar_write: None }
+        MemResult {
+            value: 0,
+            latency: lookup.latency,
+            xbar_write: None,
+        }
     }
 
     /// Direct SPM access for the patch LMAU (one cycle, part of the custom

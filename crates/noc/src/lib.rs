@@ -77,7 +77,10 @@ impl Topology {
     /// The paper's 4x4 prototype.
     #[must_use]
     pub fn stitch_4x4() -> Self {
-        Topology { width: 4, height: 4 }
+        Topology {
+            width: 4,
+            height: 4,
+        }
     }
 
     /// Number of tiles.
@@ -89,7 +92,10 @@ impl Topology {
     /// Coordinate of a tile.
     #[must_use]
     pub fn coord(&self, t: TileId) -> Coord {
-        Coord { x: t.0 % self.width, y: t.0 / self.width }
+        Coord {
+            x: t.0 % self.width,
+            y: t.0 / self.width,
+        }
     }
 
     /// Tile at a coordinate.

@@ -40,7 +40,10 @@ pub struct MeshConfig {
 
 impl Default for MeshConfig {
     fn default() -> Self {
-        MeshConfig { topo: Topology::stitch_4x4(), buffer_flits: 8 }
+        MeshConfig {
+            topo: Topology::stitch_4x4(),
+            buffer_flits: 8,
+        }
     }
 }
 
@@ -124,6 +127,17 @@ struct Reassembly {
     words: Vec<u32>,
 }
 
+/// One switch-traversal decision, collected first so the per-cycle update
+/// stays atomic. Stored in a scratch buffer owned by [`Mesh`] so `tick`
+/// allocates nothing in steady state.
+#[derive(Debug)]
+struct Move {
+    from_router: usize,
+    from_port: usize,
+    to_router: Option<usize>, // None = ejected locally
+    to_port: usize,
+}
+
 /// The buffered inter-core mesh.
 ///
 /// Advance it one cycle at a time with [`Mesh::tick`]; inject messages
@@ -134,7 +148,7 @@ pub struct Mesh {
     cfg: MeshConfig,
     routers: Vec<Router>,
     /// Per-tile injection queues (packets waiting to enter the local port).
-    inject: Vec<VecDeque<Vec<Flit>>>,
+    inject: Vec<VecDeque<VecDeque<Flit>>>,
     /// Per-tile in-flight reassemblies.
     assembling: Vec<Vec<Reassembly>>,
     /// Per-tile delivered messages.
@@ -142,6 +156,10 @@ pub struct Mesh {
     stats: MeshStats,
     cycle: u64,
     next_msg_id: u64,
+    /// Scratch buffer for switch-traversal moves (reused across ticks).
+    scratch_moves: Vec<Move>,
+    /// Scratch buffer for per-input-buffer credits (reused across ticks).
+    scratch_credits: Vec<[usize; PORTS]>,
 }
 
 impl Mesh {
@@ -158,6 +176,8 @@ impl Mesh {
             stats: MeshStats::default(),
             cycle: 0,
             next_msg_id: 0,
+            scratch_moves: Vec::new(),
+            scratch_credits: Vec::new(),
         }
     }
 
@@ -179,14 +199,14 @@ impl Mesh {
         let msg_id = self.next_msg_id;
         self.next_msg_id += 1;
         let msg_len = words.len() as u32;
-        let chunks: Vec<&[u32]> = if words.is_empty() {
-            vec![&[][..]]
-        } else {
-            words.chunks(MAX_PAYLOAD_WORDS).collect()
-        };
+        // Empty messages still produce one (control) packet.
+        let empty: &[u32] = &[];
+        let chunks = words
+            .chunks(MAX_PAYLOAD_WORDS)
+            .chain(std::iter::once(empty).take(usize::from(words.is_empty())));
         for chunk in chunks {
-            let mut flits = Vec::with_capacity(1 + chunk.len());
-            flits.push(Flit {
+            let mut flits = VecDeque::with_capacity(1 + chunk.len());
+            flits.push_back(Flit {
                 dst,
                 src,
                 is_head: true,
@@ -198,7 +218,7 @@ impl Mesh {
                 ready_at: self.cycle,
             });
             for (i, w) in chunk.iter().enumerate() {
-                flits.push(Flit {
+                flits.push_back(Flit {
                     dst,
                     src,
                     is_head: false,
@@ -229,11 +249,40 @@ impl Mesh {
     }
 
     /// True when no traffic is in flight anywhere.
+    ///
+    /// O(1): every injected packet increments `packets_sent` and its tail
+    /// flit increments `packets_delivered` at ejection, and a reassembly
+    /// entry is removed exactly when its message's last packet delivers —
+    /// so the counters match iff injection queues, router buffers, and
+    /// reassembly tables are all empty (checked against the exhaustive
+    /// scan in debug builds).
     #[must_use]
     pub fn idle(&self) -> bool {
+        let fast = self.stats.packets_sent == self.stats.packets_delivered;
+        debug_assert_eq!(fast, self.idle_exhaustive());
+        fast
+    }
+
+    /// Structural idle check — scans every queue. Kept as the oracle for
+    /// the counter-based [`Mesh::idle`].
+    fn idle_exhaustive(&self) -> bool {
         self.inject.iter().all(VecDeque::is_empty)
-            && self.routers.iter().all(|r| r.inputs.iter().all(VecDeque::is_empty))
+            && self
+                .routers
+                .iter()
+                .all(|r| r.inputs.iter().all(VecDeque::is_empty))
             && self.assembling.iter().all(Vec::is_empty)
+    }
+
+    /// Jumps the network clock forward to `cycle` without ticking.
+    ///
+    /// Only legal while [`Mesh::idle`]: an idle tick is a pure
+    /// `cycle += 1`, so skipping the intermediate cycles is
+    /// state-equivalent. Used by the simulator's event-driven fast path.
+    pub fn fast_forward(&mut self, cycle: u64) {
+        debug_assert!(self.idle(), "fast_forward requires an idle mesh");
+        debug_assert!(cycle >= self.cycle, "fast_forward only moves forward");
+        self.cycle = cycle;
     }
 
     /// Output port for a flit at `here` by XY routing.
@@ -255,6 +304,13 @@ impl Mesh {
     /// Advances the network one cycle.
     pub fn tick(&mut self) {
         self.cycle += 1;
+        // An idle tick is a pure clock advance: no flit sits in any
+        // injection queue, router buffer, or reassembly table (the
+        // counter equality implies structural emptiness — debug-asserted
+        // in `idle`), so the scans below would all come up empty.
+        if self.idle() {
+            return;
+        }
         let n = self.cfg.topo.tiles();
 
         // 1. Injection: move waiting flits into the local input buffer.
@@ -262,12 +318,13 @@ impl Mesh {
             let free = self.cfg.buffer_flits - self.routers[t].inputs[4].len();
             let mut moved = 0;
             while moved < free {
-                let Some(front) = self.inject[t].front_mut() else { break };
-                if front.is_empty() {
+                let Some(front) = self.inject[t].front_mut() else {
+                    break;
+                };
+                let Some(mut flit) = front.pop_front() else {
                     self.inject[t].pop_front();
                     continue;
-                }
-                let mut flit = front.remove(0);
+                };
                 flit.ready_at = self.cycle + ROUTER_PIPELINE;
                 self.routers[t].inputs[4].push_back(flit);
                 moved += 1;
@@ -281,24 +338,20 @@ impl Mesh {
         // 2. Switch traversal: per router, per output port, forward at
         // most one eligible flit, honoring wormhole ownership and
         // downstream credits. Collect moves first to keep the update
-        // atomic within the cycle.
-        struct Move {
-            from_router: usize,
-            from_port: usize,
-            to_router: Option<usize>, // None = ejected locally
-            to_port: usize,
-        }
-        let mut moves: Vec<Move> = Vec::new();
+        // atomic within the cycle. Both working buffers are taken from
+        // (and returned to) `self` so steady-state ticks allocate nothing.
+        let mut moves = std::mem::take(&mut self.scratch_moves);
+        moves.clear();
         // Track per-destination-buffer credit consumption within this cycle.
-        let mut credits: Vec<[usize; PORTS]> = (0..n)
-            .map(|r| {
-                let mut c = [0usize; PORTS];
-                for (p, q) in self.routers[r].inputs.iter().enumerate() {
-                    c[p] = self.cfg.buffer_flits - q.len();
-                }
-                c
-            })
-            .collect();
+        let mut credits = std::mem::take(&mut self.scratch_credits);
+        credits.clear();
+        for r in 0..n {
+            let mut c = [0usize; PORTS];
+            for (p, q) in self.routers[r].inputs.iter().enumerate() {
+                c[p] = self.cfg.buffer_flits - q.len();
+            }
+            credits.push(c);
+        }
 
         for r in 0..n {
             let here = TileId(r as u8);
@@ -307,31 +360,34 @@ impl Mesh {
                 let owner = self.routers[r].out_owner[out];
                 let pick: Option<usize> = if let Some(input) = owner {
                     // Wormhole: only the owning input may use this output.
-                    let head_ok = self.routers[r].inputs[input]
-                        .front()
-                        .is_some_and(|f| f.ready_at <= self.cycle && self.route(here, f.dst) == out);
+                    let head_ok = self.routers[r].inputs[input].front().is_some_and(|f| {
+                        f.ready_at <= self.cycle && self.route(here, f.dst) == out
+                    });
                     head_ok.then_some(input)
                 } else {
                     // Round-robin among inputs with an eligible head flit.
                     let start = self.routers[r].rr[out];
-                    (0..PORTS)
-                        .map(|k| (start + k) % PORTS)
-                        .find(|&input| {
-                            self.routers[r].inputs[input].front().is_some_and(|f| {
-                                f.is_head
-                                    && f.ready_at <= self.cycle
-                                    && self.route(here, f.dst) == out
-                            })
+                    (0..PORTS).map(|k| (start + k) % PORTS).find(|&input| {
+                        self.routers[r].inputs[input].front().is_some_and(|f| {
+                            f.is_head && f.ready_at <= self.cycle && self.route(here, f.dst) == out
                         })
+                    })
                 };
                 let Some(input) = pick else { continue };
 
                 if out == 4 {
                     // Ejection is always possible (NIC sinks flits).
-                    moves.push(Move { from_router: r, from_port: input, to_router: None, to_port: 0 });
+                    moves.push(Move {
+                        from_router: r,
+                        from_port: input,
+                        to_router: None,
+                        to_port: 0,
+                    });
                 } else {
                     let dir = [PortDir::North, PortDir::East, PortDir::South, PortDir::West][out];
-                    let Some(next) = self.cfg.topo.neighbor(here, dir) else { continue };
+                    let Some(next) = self.cfg.topo.neighbor(here, dir) else {
+                        continue;
+                    };
                     let in_port = port_index(dir.opposite());
                     if credits[next.index()][in_port] == 0 {
                         continue; // no downstream buffer space
@@ -348,7 +404,7 @@ impl Mesh {
         }
 
         // 3. Apply moves.
-        for m in moves {
+        for m in moves.drain(..) {
             let flit = self.routers[m.from_router].inputs[m.from_port]
                 .pop_front()
                 .expect("picked flit present");
@@ -373,6 +429,8 @@ impl Mesh {
                 }
             }
         }
+        self.scratch_moves = moves;
+        self.scratch_credits = credits;
     }
 
     fn eject(&mut self, tile: TileId, flit: Flit) {
@@ -402,7 +460,10 @@ impl Mesh {
             >= self.assembling[tile.index()][idx].expected;
         if done && flit.is_tail {
             let a = self.assembling[tile.index()].remove(idx);
-            self.delivered[tile.index()].push_back(Message { src: a.src, words: a.words });
+            self.delivered[tile.index()].push_back(Message {
+                src: a.src,
+                words: a.words,
+            });
         }
     }
 
@@ -446,8 +507,10 @@ mod tests {
         m6.send(TileId(0), TileId(15), &[1]);
         m6.drain(10_000);
         let l6 = m6.stats().avg_latency();
-        assert!(l6 > l1 + 4.0 * (ROUTER_PIPELINE + LINK_LATENCY) as f64 - 1.0,
-            "l1={l1} l6={l6}");
+        assert!(
+            l6 > l1 + 4.0 * (ROUTER_PIPELINE + LINK_LATENCY) as f64 - 1.0,
+            "l1={l1} l6={l6}"
+        );
     }
 
     #[test]
@@ -478,8 +541,14 @@ mod tests {
         m.send(TileId(0), TileId(15), &[1]);
         m.send(TileId(0), TileId(15), &[2]);
         m.drain(100_000);
-        assert_eq!(m.pop_delivered(TileId(15), TileId(0)).unwrap().words, vec![1]);
-        assert_eq!(m.pop_delivered(TileId(15), TileId(0)).unwrap().words, vec![2]);
+        assert_eq!(
+            m.pop_delivered(TileId(15), TileId(0)).unwrap().words,
+            vec![1]
+        );
+        assert_eq!(
+            m.pop_delivered(TileId(15), TileId(0)).unwrap().words,
+            vec![2]
+        );
     }
 
     #[test]
@@ -492,7 +561,9 @@ mod tests {
         m.drain(1_000_000);
         assert!(m.idle(), "network drains under all-to-all traffic");
         for t in 0..16u8 {
-            let msg = m.pop_delivered(TileId(15 - t), TileId(t)).expect("delivered");
+            let msg = m
+                .pop_delivered(TileId(15 - t), TileId(t))
+                .expect("delivered");
             assert_eq!(msg.words, vec![u32::from(t); 10]);
         }
     }
@@ -503,8 +574,14 @@ mod tests {
         m.send(TileId(1), TileId(0), &[11]);
         m.send(TileId(2), TileId(0), &[22]);
         m.drain(100_000);
-        assert_eq!(m.pop_delivered(TileId(0), TileId(2)).unwrap().words, vec![22]);
-        assert_eq!(m.pop_delivered(TileId(0), TileId(1)).unwrap().words, vec![11]);
+        assert_eq!(
+            m.pop_delivered(TileId(0), TileId(2)).unwrap().words,
+            vec![22]
+        );
+        assert_eq!(
+            m.pop_delivered(TileId(0), TileId(1)).unwrap().words,
+            vec![11]
+        );
     }
 
     #[test]

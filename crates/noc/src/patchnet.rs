@@ -54,7 +54,10 @@ impl PortDir {
     }
 
     fn code(self) -> u32 {
-        Self::ALL.iter().position(|&p| p == self).expect("port in ALL") as u32
+        Self::ALL
+            .iter()
+            .position(|&p| p == self)
+            .expect("port in ALL") as u32
     }
 
     fn from_code(c: u32) -> Option<PortDir> {
@@ -260,11 +263,7 @@ impl PatchNet {
     /// # Errors
     ///
     /// Returns [`PatchNetError::BadConfigWord`] on undecodable values.
-    pub fn write_config_register(
-        &mut self,
-        tile: TileId,
-        word: u32,
-    ) -> Result<(), PatchNetError> {
+    pub fn write_config_register(&mut self, tile: TileId, word: u32) -> Result<(), PatchNetError> {
         self.switches[tile.index()] = SwitchConfig::unpack(word)?;
         Ok(())
     }
@@ -293,8 +292,7 @@ impl PatchNet {
         for i in 0..path.len() {
             let tile = path[i];
             // Port facing the previous/next tile on the path.
-            let toward_prev =
-                (i > 0).then(|| dir_between(self.topo, tile, path[i - 1]));
+            let toward_prev = (i > 0).then(|| dir_between(self.topo, tile, path[i - 1]));
             let toward_next =
                 (i + 1 < path.len()).then(|| dir_between(self.topo, tile, path[i + 1]));
             // Forward leg: REG/prev-facing in -> next-facing/PATCH out.
@@ -311,7 +309,12 @@ impl PatchNet {
             )?;
         }
 
-        let circuit = Circuit { from, to, tiles: path, hops };
+        let circuit = Circuit {
+            from,
+            to,
+            tiles: path,
+            hops,
+        };
         self.lookup.insert((from, to), self.circuits.len());
         self.circuits.push(circuit.clone());
         Ok(circuit)
@@ -363,7 +366,9 @@ impl PatchNet {
                 break;
             }
             for dir in [PortDir::North, PortDir::East, PortDir::South, PortDir::West] {
-                let Some(next) = self.topo.neighbor(tile, dir) else { continue };
+                let Some(next) = self.topo.neighbor(tile, dir) else {
+                    continue;
+                };
                 // Forward uses `dir`-out at `tile`; return uses
                 // `dir.opposite()`-out at `next`.
                 if self.switch(tile).driver(dir).is_some()
@@ -444,10 +449,22 @@ mod tests {
         assert_eq!(sw.driver(PortDir::South), Some(PortDir::North));
         assert_eq!(sw.driver(PortDir::North), Some(PortDir::South));
         // Endpoints: source injects from REG, destination stops at PATCH.
-        assert_eq!(net.switch(TileId(1)).driver(PortDir::South), Some(PortDir::Reg));
-        assert_eq!(net.switch(TileId(9)).driver(PortDir::Patch), Some(PortDir::North));
-        assert_eq!(net.switch(TileId(9)).driver(PortDir::North), Some(PortDir::Patch));
-        assert_eq!(net.switch(TileId(1)).driver(PortDir::Reg), Some(PortDir::South));
+        assert_eq!(
+            net.switch(TileId(1)).driver(PortDir::South),
+            Some(PortDir::Reg)
+        );
+        assert_eq!(
+            net.switch(TileId(9)).driver(PortDir::Patch),
+            Some(PortDir::North)
+        );
+        assert_eq!(
+            net.switch(TileId(9)).driver(PortDir::North),
+            Some(PortDir::Patch)
+        );
+        assert_eq!(
+            net.switch(TileId(1)).driver(PortDir::Reg),
+            Some(PortDir::South)
+        );
     }
 
     #[test]
@@ -485,7 +502,10 @@ mod tests {
     #[test]
     fn same_tile_rejected() {
         let mut net = PatchNet::new_4x4();
-        assert_eq!(net.reserve(TileId(3), TileId(3)), Err(PatchNetError::SameTile(TileId(3))));
+        assert_eq!(
+            net.reserve(TileId(3), TileId(3)),
+            Err(PatchNetError::SameTile(TileId(3)))
+        );
     }
 
     #[test]
@@ -511,7 +531,10 @@ mod tests {
         let mut cfg = SwitchConfig::default();
         cfg.set(PortDir::East, PortDir::West);
         net.write_config_register(TileId(5), cfg.pack()).unwrap();
-        assert_eq!(net.switch(TileId(5)).driver(PortDir::East), Some(PortDir::West));
+        assert_eq!(
+            net.switch(TileId(5)).driver(PortDir::East),
+            Some(PortDir::West)
+        );
     }
 
     #[test]

@@ -35,8 +35,7 @@ pub const A_OPS: [AluOp; 8] = [
 ];
 
 /// The three shifter operations plus pass-through.
-pub const S_OPS: [Option<AluOp>; 4] =
-    [Some(AluOp::Sll), Some(AluOp::Srl), Some(AluOp::Sra), None];
+pub const S_OPS: [Option<AluOp>; 4] = [Some(AluOp::Sll), Some(AluOp::Srl), Some(AluOp::Sra), None];
 
 fn a_op_code(op: AluOp) -> Option<u32> {
     A_OPS.iter().position(|&o| o == op).map(|i| i as u32)
@@ -133,7 +132,12 @@ pub struct Stage1 {
 impl Default for Stage1 {
     fn default() -> Self {
         // Pass in0 through: or(in0, in0) = in0, LMAU bypass.
-        Stage1 { a1_op: AluOp::Or, a1_src1: 0, a1_src2: 0, t1: T1Mode::Bypass }
+        Stage1 {
+            a1_op: AluOp::Or,
+            a1_src1: 0,
+            a1_src2: 0,
+            t1: T1Mode::Bypass,
+        }
     }
 }
 
@@ -143,7 +147,8 @@ impl Stage1 {
         if self.a1_src1 > 3 || self.a1_src2 > 3 {
             return Err("input selector out of range");
         }
-        Ok(op | (u32::from(self.a1_src1) << 3)
+        Ok(op
+            | (u32::from(self.a1_src1) << 3)
             | (u32::from(self.a1_src2) << 5)
             | (self.t1.code() << 7))
     }
@@ -343,7 +348,11 @@ impl ControlWord {
     /// Returns [`PatchError::BadControl`] if a field is not encodable
     /// (e.g. an M-class op in an ALU slot).
     pub fn pack(&self) -> Result<u32, PatchError> {
-        let bad = |reason| PatchError::BadControl { class: self.class(), bits: 0, reason };
+        let bad = |reason| PatchError::BadControl {
+            class: self.class(),
+            bits: 0,
+            reason,
+        };
         match self {
             ControlWord::AtMa(c) => {
                 let s1 = c.s1.pack().map_err(bad)?;
@@ -408,7 +417,11 @@ impl ControlWord {
     ///
     /// Returns [`PatchError::BadControl`] on reserved encodings.
     pub fn unpack(class: PatchClass, bits: u32) -> Result<Self, PatchError> {
-        let bad = |reason| PatchError::BadControl { class, bits, reason };
+        let bad = |reason| PatchError::BadControl {
+            class,
+            bits,
+            reason,
+        };
         match class {
             PatchClass::AtMa => Ok(ControlWord::AtMa(AtMaControl {
                 s1: Stage1::unpack(bits).map_err(bad)?,
@@ -442,8 +455,8 @@ impl ControlWord {
                 let mut ops = Vec::with_capacity(count);
                 for i in 0..count {
                     let enc = (bits >> (i * 10)) & 0x3FF;
-                    let op = AluOp::from_code((enc & 0xF) as u8)
-                        .ok_or_else(|| bad("bad locus op"))?;
+                    let op =
+                        AluOp::from_code((enc & 0xF) as u8).ok_or_else(|| bad("bad locus op"))?;
                     ops.push(LocusOp {
                         op,
                         src1: ((enc >> 4) & 7) as u8,
@@ -459,13 +472,17 @@ impl ControlWord {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn stage1_round_trip() {
         for op in A_OPS {
             for t1 in [T1Mode::Bypass, T1Mode::Load, T1Mode::Store] {
-                let s = Stage1 { a1_op: op, a1_src1: 2, a1_src2: 3, t1 };
+                let s = Stage1 {
+                    a1_op: op,
+                    a1_src1: 2,
+                    a1_src2: 3,
+                    t1,
+                };
                 let bits = s.pack().unwrap();
                 assert!(bits < (1 << 9));
                 assert_eq!(Stage1::unpack(bits).unwrap(), s);
@@ -475,9 +492,15 @@ mod tests {
 
     #[test]
     fn stage1_rejects_non_a_ops() {
-        let s = Stage1 { a1_op: AluOp::Mul, ..Stage1::default() };
+        let s = Stage1 {
+            a1_op: AluOp::Mul,
+            ..Stage1::default()
+        };
         assert!(s.pack().is_err());
-        let s = Stage1 { a1_op: AluOp::Sll, ..Stage1::default() };
+        let s = Stage1 {
+            a1_op: AluOp::Sll,
+            ..Stage1::default()
+        };
         assert!(s.pack().is_err());
     }
 
@@ -499,8 +522,16 @@ mod tests {
     fn locus_round_trip() {
         let c = ControlWord::Locus(LocusControl {
             ops: vec![
-                LocusOp { op: AluOp::Add, src1: 0, src2: 1 },
-                LocusOp { op: AluOp::Sll, src1: 4, src2: 2 },
+                LocusOp {
+                    op: AluOp::Add,
+                    src1: 0,
+                    src2: 1,
+                },
+                LocusOp {
+                    op: AluOp::Sll,
+                    src1: 4,
+                    src2: 2,
+                },
             ],
         });
         let bits = c.pack().unwrap();
@@ -510,7 +541,11 @@ mod tests {
     #[test]
     fn locus_rejects_forward_references() {
         let c = ControlWord::Locus(LocusControl {
-            ops: vec![LocusOp { op: AluOp::Add, src1: 5, src2: 0 }],
+            ops: vec![LocusOp {
+                op: AluOp::Add,
+                src1: 5,
+                src2: 0,
+            }],
         });
         assert!(c.pack().is_err());
     }
@@ -523,21 +558,21 @@ mod tests {
         assert!(ControlWord::AtMa(c).uses_memory());
     }
 
-    proptest! {
-        /// Any 19-bit pattern with a non-reserved t1 field decodes, and
-        /// re-packing is the identity (totality of the decoder).
-        #[test]
-        fn decode_encode_identity(bits in 0u32..(1 << 19)) {
+    /// Any 19-bit pattern with a non-reserved t1 field decodes, and
+    /// re-packing is the identity (totality of the decoder). Exhaustive
+    /// over all 2^19 control words — no sampling needed.
+    #[test]
+    fn decode_encode_identity() {
+        for bits in 0u32..(1 << 19) {
             for class in PatchClass::STITCH {
                 match ControlWord::unpack(class, bits) {
                     Ok(w) => {
                         let repacked = w.pack().unwrap();
-                        prop_assert_eq!(
-                            ControlWord::unpack(class, repacked).unwrap(), w);
+                        assert_eq!(ControlWord::unpack(class, repacked).unwrap(), w);
                     }
                     Err(_) => {
                         // Only the reserved t1_mode=3 encoding may fail.
-                        prop_assert_eq!((bits >> 7) & 3, 3);
+                        assert_eq!((bits >> 7) & 3, 3, "bits {bits:#x}");
                     }
                 }
             }

@@ -1,8 +1,8 @@
 //! Functional evaluation of (possibly fused) patches.
 
 use crate::control::{AtAsControl, AtMaControl, AtSaControl, ControlWord, Sel4, T1Mode};
-use stitch_isa::op::AluOp;
 use std::collections::HashMap;
+use stitch_isa::op::AluOp;
 
 /// Scratchpad port used by the LMAU during custom-instruction execution.
 ///
@@ -67,12 +67,10 @@ struct Stage1Out {
     t1: u32,
 }
 
-fn run_stage1(
-    c: &crate::control::Stage1,
-    ins: [u32; 4],
-    spm: &mut dyn SpmPort,
-) -> Stage1Out {
-    let a1 = c.a1_op.eval(ins[c.a1_src1 as usize], ins[c.a1_src2 as usize]);
+fn run_stage1(c: &crate::control::Stage1, ins: [u32; 4], spm: &mut dyn SpmPort) -> Stage1Out {
+    let a1 = c
+        .a1_op
+        .eval(ins[c.a1_src1 as usize], ins[c.a1_src2 as usize]);
     let t1 = match c.t1 {
         T1Mode::Bypass => a1,
         T1Mode::Load => spm.load(a1),
@@ -103,7 +101,9 @@ fn eval_atma(c: &AtMaControl, ins: [u32; 4], spm: &mut dyn SpmPort) -> PatchOutp
 
 fn eval_atas(c: &AtAsControl, ins: [u32; 4], spm: &mut dyn SpmPort) -> PatchOutput {
     let s1 = run_stage1(&c.s1, ins, spm);
-    let a2 = c.a2_op.eval(sel4(c.a2_src1, &s1, ins), sel4(c.a2_src2, &s1, ins));
+    let a2 = c
+        .a2_op
+        .eval(sel4(c.a2_src1, &s1, ins), sel4(c.a2_src2, &s1, ins));
     let out0 = match c.s_op {
         Some(op) => op.eval(a2, if c.s_amt_in3 { ins[3] } else { ins[2] }),
         None => a2,
@@ -182,7 +182,12 @@ mod tests {
     fn atma_mul_add() {
         // out0 = (in0 + in1) ... no: mul(in2, in3) + a1 where a1 = in0+in1.
         let c = AtMaControl {
-            s1: Stage1 { a1_op: AluOp::Add, a1_src1: 0, a1_src2: 1, t1: T1Mode::Bypass },
+            s1: Stage1 {
+                a1_op: AluOp::Add,
+                a1_src1: 0,
+                a1_src2: 1,
+                t1: T1Mode::Bypass,
+            },
             m_src1: Sel4::In2,
             m_src2: Sel4::In3,
             a2_takes_a1: false,
@@ -199,7 +204,12 @@ mod tests {
     fn atma_aa_chain_via_intermediate_connection() {
         // {AA}: a2 = (in0 - in1) ^ in2, multiplier bypassed.
         let c = AtMaControl {
-            s1: Stage1 { a1_op: AluOp::Sub, a1_src1: 0, a1_src2: 1, t1: T1Mode::Bypass },
+            s1: Stage1 {
+                a1_op: AluOp::Sub,
+                a1_src1: 0,
+                a1_src2: 1,
+                t1: T1Mode::Bypass,
+            },
             m_src1: Sel4::A1,
             m_src2: Sel4::A1,
             a2_takes_a1: true,
@@ -217,7 +227,12 @@ mod tests {
         let mut spm = MapSpm::new();
         spm.set(24, 7);
         let c = AtMaControl {
-            s1: Stage1 { a1_op: AluOp::Add, a1_src1: 0, a1_src2: 1, t1: T1Mode::Load },
+            s1: Stage1 {
+                a1_op: AluOp::Add,
+                a1_src1: 0,
+                a1_src2: 1,
+                t1: T1Mode::Load,
+            },
             m_src1: Sel4::T1,
             m_src2: Sel4::In2,
             a2_takes_a1: false,
@@ -233,7 +248,12 @@ mod tests {
     fn lmau_store_writes_in2() {
         let mut spm = MapSpm::new();
         let c = AtAsControl {
-            s1: Stage1 { a1_op: AluOp::Add, a1_src1: 0, a1_src2: 1, t1: T1Mode::Store },
+            s1: Stage1 {
+                a1_op: AluOp::Add,
+                a1_src1: 0,
+                a1_src2: 1,
+                t1: T1Mode::Store,
+            },
             ..AtAsControl::default()
         };
         let out = eval_single(&ControlWord::AtAs(c), ins(32, 4, 123, 0), &mut spm);
@@ -262,7 +282,12 @@ mod tests {
     fn atsa_shift_then_add() {
         // out0 = (in2 >> in3... amount in3) + a1 where a1 = in0 & in1.
         let c = AtSaControl {
-            s1: Stage1 { a1_op: AluOp::And, a1_src1: 0, a1_src2: 1, t1: T1Mode::Bypass },
+            s1: Stage1 {
+                a1_op: AluOp::And,
+                a1_src1: 0,
+                a1_src2: 1,
+                t1: T1Mode::Bypass,
+            },
             s_in: Sel4::In2,
             s_op: Some(AluOp::Srl),
             s_amt_in3: true,
@@ -279,8 +304,16 @@ mod tests {
         // (in0 + in1) << in2
         let c = ControlWord::Locus(LocusControl {
             ops: vec![
-                LocusOp { op: AluOp::Add, src1: 0, src2: 1 },
-                LocusOp { op: AluOp::Sll, src1: 4, src2: 2 },
+                LocusOp {
+                    op: AluOp::Add,
+                    src1: 0,
+                    src2: 1,
+                },
+                LocusOp {
+                    op: AluOp::Sll,
+                    src1: 4,
+                    src2: 2,
+                },
             ],
         });
         let mut spm = MapSpm::new();
@@ -294,7 +327,12 @@ mod tests {
         // First patch computes (in0 + in1) on out0 (pass-through stage 2);
         // second patch multiplies that by the ride-along in2.
         let first = ControlWord::AtMa(AtMaControl {
-            s1: Stage1 { a1_op: AluOp::Add, a1_src1: 0, a1_src2: 1, t1: T1Mode::Bypass },
+            s1: Stage1 {
+                a1_op: AluOp::Add,
+                a1_src1: 0,
+                a1_src2: 1,
+                t1: T1Mode::Bypass,
+            },
             ..AtMaControl::default()
         });
         let second = ControlWord::AtMa(AtMaControl {

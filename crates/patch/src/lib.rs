@@ -37,8 +37,7 @@ pub mod shape;
 pub mod timing;
 
 pub use control::{
-    AtAsControl, AtMaControl, AtSaControl, ControlWord, LocusControl, LocusOp, Sel4, Stage1,
-    T1Mode,
+    AtAsControl, AtMaControl, AtSaControl, ControlWord, LocusControl, LocusOp, Sel4, Stage1, T1Mode,
 };
 pub use exec::{eval_fused, eval_single, MapSpm, PatchOutput, SpmPort};
 pub use shape::{patch_shape, Port, UnitId, UnitSpec};
@@ -75,7 +74,11 @@ pub enum PatchError {
 impl fmt::Display for PatchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PatchError::BadControl { class, bits, reason } => {
+            PatchError::BadControl {
+                class,
+                bits,
+                reason,
+            } => {
                 write!(f, "invalid control word {bits:#07x} for {class}: {reason}")
             }
             PatchError::ClassMismatch { expected, got } => {

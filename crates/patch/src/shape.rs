@@ -70,7 +70,11 @@ fn sel4(extra: &[Port]) -> Vec<Port> {
 #[must_use]
 pub fn patch_shape(class: PatchClass) -> Vec<UnitSpec> {
     let stage1 = [
-        UnitSpec { id: UnitId::A1, class: OpClass::A, srcs: vec![any_in(), any_in()] },
+        UnitSpec {
+            id: UnitId::A1,
+            class: OpClass::A,
+            srcs: vec![any_in(), any_in()],
+        },
         UnitSpec {
             id: UnitId::T1,
             class: OpClass::T,
@@ -81,7 +85,11 @@ pub fn patch_shape(class: PatchClass) -> Vec<UnitSpec> {
     match class {
         PatchClass::AtMa => {
             let mut v = stage1.to_vec();
-            v.push(UnitSpec { id: UnitId::M, class: OpClass::M, srcs: vec![sel4(&[]), sel4(&[])] });
+            v.push(UnitSpec {
+                id: UnitId::M,
+                class: OpClass::M,
+                srcs: vec![sel4(&[]), sel4(&[])],
+            });
             v.push(UnitSpec {
                 id: UnitId::A2,
                 class: OpClass::A,
@@ -94,7 +102,11 @@ pub fn patch_shape(class: PatchClass) -> Vec<UnitSpec> {
         }
         PatchClass::AtAs => {
             let mut v = stage1.to_vec();
-            v.push(UnitSpec { id: UnitId::A2, class: OpClass::A, srcs: vec![sel4(&[]), sel4(&[])] });
+            v.push(UnitSpec {
+                id: UnitId::A2,
+                class: OpClass::A,
+                srcs: vec![sel4(&[]), sel4(&[])],
+            });
             v.push(UnitSpec {
                 id: UnitId::S,
                 class: OpClass::S,
@@ -170,9 +182,12 @@ mod tests {
 
     #[test]
     fn shapes_are_topological() {
-        for class in
-            [PatchClass::AtMa, PatchClass::AtAs, PatchClass::AtSa, PatchClass::LocusSfu]
-        {
+        for class in [
+            PatchClass::AtMa,
+            PatchClass::AtAs,
+            PatchClass::AtSa,
+            PatchClass::LocusSfu,
+        ] {
             let units = patch_shape(class);
             for (i, u) in units.iter().enumerate() {
                 for srcs in &u.srcs {
@@ -207,11 +222,20 @@ mod tests {
     #[test]
     fn class_chains_match_names() {
         // {AT-MA}: A,T then M,A
-        let u: Vec<_> = patch_shape(PatchClass::AtMa).iter().map(|u| u.class).collect();
+        let u: Vec<_> = patch_shape(PatchClass::AtMa)
+            .iter()
+            .map(|u| u.class)
+            .collect();
         assert_eq!(u, vec![OpClass::A, OpClass::T, OpClass::M, OpClass::A]);
-        let u: Vec<_> = patch_shape(PatchClass::AtAs).iter().map(|u| u.class).collect();
+        let u: Vec<_> = patch_shape(PatchClass::AtAs)
+            .iter()
+            .map(|u| u.class)
+            .collect();
         assert_eq!(u, vec![OpClass::A, OpClass::T, OpClass::A, OpClass::S]);
-        let u: Vec<_> = patch_shape(PatchClass::AtSa).iter().map(|u| u.class).collect();
+        let u: Vec<_> = patch_shape(PatchClass::AtSa)
+            .iter()
+            .map(|u| u.class)
+            .collect();
         assert_eq!(u, vec![OpClass::A, OpClass::T, OpClass::S, OpClass::A]);
     }
 }

@@ -110,7 +110,10 @@ mod tests {
     #[test]
     fn hop_limit_enforced() {
         assert!(fused_path_legal(PatchClass::AtSa, PatchClass::AtSa, 3));
-        assert!(!fused_path_legal(PatchClass::AtSa, PatchClass::AtSa, 4), "8 total hops > 6");
+        assert!(
+            !fused_path_legal(PatchClass::AtSa, PatchClass::AtSa, 4),
+            "8 total hops > 6"
+        );
     }
 
     #[test]

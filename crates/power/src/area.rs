@@ -57,7 +57,11 @@ impl AreaBreakdown {
         AreaBreakdown {
             base_um2: BASE_TILE_AREA_UM2 * 16.0,
             patches_um2: patches,
-            interpatch_noc_um2: if arch == Arch::Stitch { 16.0 * SWITCH_AREA_UM2 } else { 0.0 },
+            interpatch_noc_um2: if arch == Arch::Stitch {
+                16.0 * SWITCH_AREA_UM2
+            } else {
+                0.0
+            },
         }
     }
 

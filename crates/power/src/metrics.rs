@@ -45,7 +45,10 @@ mod tests {
             cycles,
             tiles: (0..16)
                 .map(|_| TileSummary {
-                    core: CoreStats { cycles, ..Default::default() },
+                    core: CoreStats {
+                        cycles,
+                        ..Default::default()
+                    },
                     ..Default::default()
                 })
                 .collect(),

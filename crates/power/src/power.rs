@@ -87,14 +87,18 @@ impl PowerBreakdown {
             Arch::Locus => (16.0 * LOCUS_LEAK_MW, LOCUS_ACTIVATION_NJ),
             Arch::StitchNoFusion | Arch::Stitch => (16.0 * PATCH_LEAK_MW, PATCH_ACTIVATION_NJ),
         };
-        let accelerators_mw =
-            acc_leak + activations as f64 * acc_nj * 1e-9 / seconds * 1e3;
+        let accelerators_mw = acc_leak + activations as f64 * acc_nj * 1e-9 / seconds * 1e3;
         let interpatch_noc_mw = if arch == Arch::Stitch {
             INTERPATCH_NOC_MW + fused as f64 * FUSED_HOP_NJ * 1e-9 / seconds * 1e3
         } else {
             0.0
         };
-        PowerBreakdown { cores_mw, mesh_mw, accelerators_mw, interpatch_noc_mw }
+        PowerBreakdown {
+            cores_mw,
+            mesh_mw,
+            accelerators_mw,
+            interpatch_noc_mw,
+        }
     }
 }
 
@@ -122,7 +126,11 @@ mod tests {
                 ..Default::default()
             })
             .collect();
-        RunSummary { cycles, tiles, ..Default::default() }
+        RunSummary {
+            cycles,
+            tiles,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -11,9 +11,7 @@ use stitch_isa::program::Program;
 use stitch_mem::TileMemory;
 use stitch_noc::mesh::{Mesh, MeshConfig};
 use stitch_noc::{PatchNet, PatchNetError};
-use stitch_patch::{
-    eval_fused, eval_single, fused_path_legal, ControlWord, PatchOutput, SpmPort,
-};
+use stitch_patch::{eval_fused, eval_single, fused_path_legal, ControlWord, PatchOutput, SpmPort};
 
 /// Where a custom instruction executes, as decided by the stitcher.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,7 +105,9 @@ impl SpmPort for SpmAdapter<'_> {
 struct TilePlatform<'a> {
     tile: TileId,
     mem: &'a mut TileMemory,
-    bindings: &'a HashMap<u16, CiBinding>,
+    /// Sorted `(ci, binding)` pairs — tables hold a handful of entries,
+    /// so a linear scan beats hashing on every custom instruction.
+    bindings: &'a [(u16, CiBinding)],
     mesh: &'a mut Mesh,
     patchnet: &'a mut PatchNet,
     activations: &'a mut [u64],
@@ -137,19 +137,23 @@ impl Platform for TilePlatform<'_> {
         r.latency
     }
 
-    fn exec_custom(
-        &mut self,
-        ci: CiId,
-        inputs: [u32; 4],
-    ) -> Result<(PatchOutput, bool), CpuError> {
-        let binding = self.bindings.get(&ci.0).ok_or(CpuError::UnboundCustom(ci))?;
+    fn exec_custom(&mut self, ci: CiId, inputs: [u32; 4]) -> Result<(PatchOutput, bool), CpuError> {
+        let binding = self
+            .bindings
+            .iter()
+            .find_map(|(id, b)| (*id == ci.0).then_some(b))
+            .ok_or(CpuError::UnboundCustom(ci))?;
         match binding {
             CiBinding::Single { control } => {
                 self.activations[self.tile.index()] += 1;
                 let out = eval_single(control, inputs, &mut SpmAdapter(self.mem));
                 Ok((out, false))
             }
-            CiBinding::Fused { first, partner, second } => {
+            CiBinding::Fused {
+                first,
+                partner,
+                second,
+            } => {
                 self.activations[self.tile.index()] += 1;
                 self.activations[partner.index()] += 1;
                 let out = eval_fused(first, second, inputs, &mut SpmAdapter(self.mem));
@@ -185,7 +189,7 @@ pub struct Chip {
     cfg: ChipConfig,
     cores: Vec<Option<Core>>,
     mems: Vec<TileMemory>,
-    bindings: Vec<HashMap<u16, CiBinding>>,
+    bindings: Vec<Vec<(u16, CiBinding)>>,
     busy_until: Vec<u64>,
     waiting_on: Vec<Option<u32>>,
     mesh: Mesh,
@@ -193,6 +197,18 @@ pub struct Chip {
     activations: Vec<u64>,
     xbar_errors: u64,
     cycle: u64,
+    /// Loaded cores that have not halted (maintained incrementally so the
+    /// run loop never rescans every tile).
+    live: usize,
+    /// Cores currently blocked in `recv` (`waiting_on[i].is_some()`).
+    waiting: usize,
+    /// Earliest `busy_until` among non-waiting live cores after the last
+    /// tick (`u64::MAX` when none; `0` when stale, e.g. after a load).
+    /// Maintained by `tick` so the fast path's skip decision is O(1).
+    next_wake: u64,
+    /// Cycles elided by the fast path (diagnostic; not part of the
+    /// summary, which must stay bit-identical to the reference loop).
+    skipped: u64,
 }
 
 impl Chip {
@@ -203,14 +219,21 @@ impl Chip {
         Chip {
             mems: (0..n).map(|_| TileMemory::new(cfg.tile_mem)).collect(),
             cores: (0..n).map(|_| None).collect(),
-            bindings: vec![HashMap::new(); n],
+            bindings: vec![Vec::new(); n],
             busy_until: vec![0; n],
             waiting_on: vec![None; n],
-            mesh: Mesh::new(MeshConfig { topo: cfg.topo, buffer_flits: 8 }),
+            mesh: Mesh::new(MeshConfig {
+                topo: cfg.topo,
+                buffer_flits: 8,
+            }),
             patchnet: PatchNet::new(cfg.topo),
             activations: vec![0; n],
             xbar_errors: 0,
             cycle: 0,
+            live: 0,
+            waiting: 0,
+            next_wake: 0,
+            skipped: 0,
             cfg,
         }
     }
@@ -234,7 +257,8 @@ impl Chip {
 
     /// Loads a program without custom-instruction bindings.
     pub fn load_program(&mut self, tile: TileId, program: &Program) {
-        self.load_kernel(tile, program, HashMap::new()).expect("no bindings to validate");
+        self.load_kernel(tile, program, HashMap::new())
+            .expect("no bindings to validate");
     }
 
     /// Loads a program plus the stitcher's custom-instruction bindings.
@@ -265,7 +289,11 @@ impl Chip {
                         )));
                     }
                 }
-                CiBinding::Fused { first, partner, second } => {
+                CiBinding::Fused {
+                    first,
+                    partner,
+                    second,
+                } => {
                     let local = self.cfg.patches[tile.index()];
                     let remote = self.cfg.patches[partner.index()];
                     if local != Some(first.class()) {
@@ -303,10 +331,24 @@ impl Chip {
         for seg in &program.data {
             self.mems[tile.index()].poke_words(seg.base, &seg.words);
         }
-        self.cores[tile.index()] = Some(Core::new(program));
-        self.bindings[tile.index()] = bindings;
-        self.busy_until[tile.index()] = self.cycle;
-        self.waiting_on[tile.index()] = None;
+        let i = tile.index();
+        // Keep the live/waiting counters consistent if a core is replaced.
+        if self.cores[i]
+            .as_ref()
+            .is_some_and(|c| c.state() != CoreState::Halted)
+        {
+            self.live -= 1;
+        }
+        if self.waiting_on[i].take().is_some() {
+            self.waiting -= 1;
+        }
+        self.cores[i] = Some(Core::new(program));
+        self.live += 1;
+        let mut table: Vec<(u16, CiBinding)> = bindings.into_iter().collect();
+        table.sort_by_key(|(id, _)| *id);
+        self.bindings[i] = table;
+        self.busy_until[i] = self.cycle;
+        self.next_wake = 0; // stale until the next tick
         Ok(())
     }
 
@@ -347,12 +389,20 @@ impl Chip {
     }
 
     /// Whether every loaded core has halted.
+    ///
+    /// O(1) via the maintained live-core counter (checked against a full
+    /// scan in debug builds).
     #[must_use]
     pub fn all_halted(&self) -> bool {
-        self.cores
-            .iter()
-            .flatten()
-            .all(|c| c.state() == CoreState::Halted)
+        let fast = self.live == 0;
+        debug_assert_eq!(
+            fast,
+            self.cores
+                .iter()
+                .flatten()
+                .all(|c| c.state() == CoreState::Halted)
+        );
+        fast
     }
 
     /// Advances the chip one cycle.
@@ -364,11 +414,18 @@ impl Chip {
         self.cycle += 1;
         self.mesh.tick();
         let n = self.cfg.topo.tiles();
+        // Earliest future step among live cores that are *not* parked in
+        // `recv` (waiting cores poll every cycle; the fast path batches
+        // those polls separately).
+        let mut next_wake = u64::MAX;
         for i in 0..n {
             if self.busy_until[i] > self.cycle {
+                next_wake = next_wake.min(self.busy_until[i]);
                 continue;
             }
-            let Some(core) = self.cores[i].as_mut() else { continue };
+            let Some(core) = self.cores[i].as_mut() else {
+                continue;
+            };
             if core.state() == CoreState::Halted {
                 continue;
             }
@@ -381,22 +438,50 @@ impl Chip {
                 activations: &mut self.activations,
                 xbar_errors: &mut self.xbar_errors,
             };
-            match core.step(&mut plat) {
+            let outcome = core.step(&mut plat);
+            let halted_now = core.state() == CoreState::Halted;
+            match outcome {
                 Ok(StepOutcome::Retired { cycles }) => {
                     self.busy_until[i] = self.cycle + u64::from(cycles.max(1)) - 1;
-                    self.waiting_on[i] = None;
+                    if self.waiting_on[i].take().is_some() {
+                        self.waiting -= 1;
+                    }
+                    if halted_now {
+                        // `halt` retires like any instruction; the core
+                        // leaves the live set here.
+                        self.live -= 1;
+                    } else {
+                        next_wake = next_wake.min(self.busy_until[i]);
+                    }
                 }
                 Ok(StepOutcome::WaitingRecv { src }) => {
-                    self.waiting_on[i] = Some(src);
+                    if self.waiting_on[i].replace(src).is_none() {
+                        self.waiting += 1;
+                    }
                 }
                 Ok(StepOutcome::Halted) => {}
-                Err(error) => return Err(SimError::Cpu { tile: TileId(i as u8), error }),
+                Err(error) => {
+                    return Err(SimError::Cpu {
+                        tile: TileId(i as u8),
+                        error,
+                    })
+                }
             }
         }
+        self.next_wake = next_wake;
         Ok(())
     }
 
-    /// Runs until every core halts.
+    /// Runs until every core halts, using the event-driven fast path.
+    ///
+    /// Whenever the mesh is idle and every live core is either busy
+    /// beyond the next cycle or parked in a `recv` with no deliverable
+    /// message, the intermediate cycles are fully deterministic: busy
+    /// cores stall and waiting cores repeat the same failed poll. The
+    /// loop jumps straight to the earliest wake-up, replaying the
+    /// batched poll side effects, instead of ticking through them.
+    /// Produces a [`RunSummary`] bit-identical to
+    /// [`Chip::run_reference`].
     ///
     /// # Errors
     ///
@@ -404,6 +489,35 @@ impl Chip {
     /// when all running cores block on `recv` with no traffic in flight,
     /// or a propagated core fault.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunSummary, SimError> {
+        let start = self.cycle;
+        let deadline = start.saturating_add(max_cycles);
+        while !self.all_halted() {
+            if self.cycle >= deadline {
+                return Err(SimError::Timeout { max_cycles });
+            }
+            self.try_skip(deadline);
+            self.tick()?;
+            // Deadlock is only possible when every live core is parked in
+            // `recv` and nothing is in flight; the O(1) gate keeps the
+            // per-tile scan out of the common case.
+            if self.waiting > 0 && self.waiting == self.live && self.mesh.idle() {
+                self.check_deadlock()?;
+            }
+        }
+        Ok(self.summary(self.cycle - start))
+    }
+
+    /// Runs until every core halts with the naive cycle-by-cycle loop.
+    ///
+    /// This is the golden reference for [`Chip::run`]: it advances one
+    /// tick at a time and re-checks halting and deadlock every cycle.
+    /// Kept (and exercised by the equivalence tests) to pin down the
+    /// fast path's cycle-skipping invariant.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Chip::run`].
+    pub fn run_reference(&mut self, max_cycles: u64) -> Result<RunSummary, SimError> {
         let start = self.cycle;
         while !self.all_halted() {
             if self.cycle - start >= max_cycles {
@@ -415,11 +529,66 @@ impl Chip {
         Ok(self.summary(self.cycle - start))
     }
 
+    /// Event-driven cycle skip.
+    ///
+    /// Fires only when (a) the mesh is idle — no flit moves during the
+    /// skipped window, (b) every non-waiting live core is busy past the
+    /// next cycle (`next_wake`, maintained by [`Chip::tick`]), and
+    /// (c) no waiting core has a deliverable message — so each skipped
+    /// tick would repeat the exact same failed `recv` poll. Under those
+    /// conditions every intervening tick is deterministic; the clock
+    /// jumps to the cycle before the earliest wake-up (clamped below the
+    /// deadline so timeouts fire on schedule) and the waiting cores'
+    /// per-cycle poll side effects — instruction-fetch icache hits and
+    /// `recv_wait_cycles` — are replayed in one batch, keeping every
+    /// statistic bit-identical to the naive loop.
+    fn try_skip(&mut self, deadline: u64) {
+        if self.next_wake <= self.cycle + 1 || self.next_wake == u64::MAX || !self.mesh.idle() {
+            return;
+        }
+        // A deliverable message completes that core's recv on the very
+        // next tick — nothing to skip.
+        for (i, src) in self.waiting_on.iter().enumerate() {
+            if let Some(src) = src {
+                if self.mesh.has_delivered(TileId(i as u8), TileId(*src as u8)) {
+                    return;
+                }
+            }
+        }
+        let target = (self.next_wake - 1).min(deadline.saturating_sub(1));
+        if target <= self.cycle {
+            return;
+        }
+        let polls = target - self.cycle;
+        if self.waiting > 0 {
+            for i in 0..self.waiting_on.len() {
+                if self.waiting_on[i].is_none() {
+                    continue;
+                }
+                let core = self.cores[i].as_mut().expect("waiting core exists");
+                let (addr, words) = core.poll_footprint();
+                core.record_skipped_polls(polls);
+                self.mems[i].record_repeat_fetches(addr, words, polls);
+            }
+        }
+        self.mesh.fast_forward(target);
+        self.skipped += target - self.cycle;
+        self.cycle = target;
+    }
+
+    /// Cycles the fast path jumped over instead of ticking (diagnostic).
+    #[must_use]
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped
+    }
+
     fn check_deadlock(&self) -> Result<(), SimError> {
         if !self.mesh.idle() {
             return Ok(());
         }
-        let mut waiting = Vec::new();
+        // First pass: allocation-free scan that bails as soon as any core
+        // can still make progress.
+        let mut stuck = 0usize;
         for (i, core) in self.cores.iter().enumerate() {
             let Some(core) = core else { continue };
             if core.state() == CoreState::Halted {
@@ -433,23 +602,33 @@ impl Chip {
                     if self.mesh.has_delivered(TileId(i as u8), TileId(src as u8)) {
                         return Ok(()); // message available, will progress
                     }
-                    waiting.push((TileId(i as u8), src));
+                    stuck += 1;
                 }
                 None => return Ok(()), // running normally
             }
         }
-        if waiting.is_empty() {
-            Ok(())
-        } else {
-            Err(SimError::Deadlock { waiting })
+        if stuck == 0 {
+            return Ok(());
         }
+        // Genuine deadlock: only now build the report.
+        let waiting = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.as_ref().is_some_and(|c| c.state() != CoreState::Halted))
+            .filter_map(|(i, _)| self.waiting_on[i].map(|src| (TileId(i as u8), src)))
+            .collect();
+        Err(SimError::Deadlock { waiting })
     }
 
     /// Collects statistics for the elapsed run.
     fn summary(&self, cycles: u64) -> RunSummary {
         let tiles = (0..self.cfg.topo.tiles())
             .map(|i| TileSummary {
-                core: self.cores[i].as_ref().map(|c| *c.stats()).unwrap_or_default(),
+                core: self.cores[i]
+                    .as_ref()
+                    .map(|c| *c.stats())
+                    .unwrap_or_default(),
                 icache: self.mems[i].icache_stats(),
                 dcache: self.mems[i].dcache_stats(),
                 spm: self.mems[i].spm_counts(),
@@ -475,9 +654,9 @@ impl Chip {
 mod tests {
     use super::*;
     use stitch_isa::custom::{CiDescriptor, CiStage, PatchClass};
+    use stitch_isa::op::AluOp;
     use stitch_isa::{Cond, ProgramBuilder, Reg};
     use stitch_patch::{AtMaControl, Sel4, Stage1, T1Mode};
-    use stitch_isa::op::AluOp;
 
     fn stitch_chip() -> Chip {
         Chip::new(ChipConfig::stitch_16())
@@ -579,11 +758,11 @@ mod tests {
         b.li(Reg::R2, 0);
         b.li(Reg::R3, 6);
         b.li(Reg::R4, 7);
-        b.custom(ci, &[Reg::R1, Reg::R2, Reg::R3, Reg::R4], &[Reg::R5]).unwrap();
+        b.custom(ci, &[Reg::R1, Reg::R2, Reg::R3, Reg::R4], &[Reg::R5])
+            .unwrap();
         b.halt();
         let program = b.build().unwrap();
-        let bindings =
-            HashMap::from([(0u16, CiBinding::Single { control })]);
+        let bindings = HashMap::from([(0u16, CiBinding::Single { control })]);
         chip.load_kernel(TileId(0), &program, bindings).unwrap();
         let s = chip.run(100_000).unwrap();
         assert_eq!(chip.core_reg(TileId(0), Reg::R5), Some(6 * 7 + 100));
@@ -628,12 +807,17 @@ mod tests {
         b.li(Reg::R2, 0);
         b.li(Reg::R3, 5); // in2
         b.li(Reg::R4, 2); // in3
-        b.custom(ci, &[Reg::R1, Reg::R2, Reg::R3, Reg::R4], &[Reg::R5]).unwrap();
+        b.custom(ci, &[Reg::R1, Reg::R2, Reg::R3, Reg::R4], &[Reg::R5])
+            .unwrap();
         b.halt();
         let program = b.build().unwrap();
         let bindings = HashMap::from([(
             0u16,
-            CiBinding::Fused { first, partner: TileId(9), second },
+            CiBinding::Fused {
+                first,
+                partner: TileId(9),
+                second,
+            },
         )]);
         chip.load_kernel(TileId(1), &program, bindings).unwrap();
         let s = chip.run(100_000).unwrap();
@@ -683,11 +867,14 @@ mod tests {
         let err = chip.load_kernel(
             TileId(1),
             &b.build().unwrap(),
-            HashMap::from([(0u16, CiBinding::Fused {
-                first,
-                partner: TileId(9),
-                second,
-            })]),
+            HashMap::from([(
+                0u16,
+                CiBinding::Fused {
+                    first,
+                    partner: TileId(9),
+                    second,
+                },
+            )]),
         );
         assert!(matches!(err, Err(SimError::BadBinding { .. })));
     }
@@ -698,7 +885,10 @@ mod tests {
         chip.reserve_circuit(TileId(1), TileId(9)).unwrap();
         let first = ControlWord::AtAs(stitch_patch::AtAsControl::default());
         let second = ControlWord::AtSa(stitch_patch::AtSaControl {
-            s1: Stage1 { t1: T1Mode::Load, ..Stage1::default() },
+            s1: Stage1 {
+                t1: T1Mode::Load,
+                ..Stage1::default()
+            },
             ..stitch_patch::AtSaControl::default()
         });
         let mut b = ProgramBuilder::new();
@@ -713,11 +903,14 @@ mod tests {
         let err = chip.load_kernel(
             TileId(1),
             &b.build().unwrap(),
-            HashMap::from([(0u16, CiBinding::Fused {
-                first,
-                partner: TileId(9),
-                second,
-            })]),
+            HashMap::from([(
+                0u16,
+                CiBinding::Fused {
+                    first,
+                    partner: TileId(9),
+                    second,
+                },
+            )]),
         );
         assert!(matches!(err, Err(SimError::BadBinding { .. })));
     }
@@ -735,7 +928,10 @@ mod tests {
         b.halt();
         chip.load_program(TileId(0), &b.build().unwrap());
         match chip.run(10_000) {
-            Err(SimError::Cpu { tile, error: CpuError::UnboundCustom(_) }) => {
+            Err(SimError::Cpu {
+                tile,
+                error: CpuError::UnboundCustom(_),
+            }) => {
                 assert_eq!(tile, TileId(0));
             }
             other => panic!("expected unbound custom fault, got {other:?}"),

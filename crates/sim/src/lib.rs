@@ -32,9 +32,11 @@
 //! ```
 
 pub mod chip;
+pub mod rng;
 pub mod summary;
 
 pub use chip::{Chip, CiBinding, SimError};
+pub use rng::SimRng;
 pub use summary::{RunSummary, TileSummary};
 
 pub use stitch_noc::{TileId, Topology};
@@ -63,7 +65,12 @@ pub enum Arch {
 
 impl Arch {
     /// All four variants, in the paper's presentation order.
-    pub const ALL: [Arch; 4] = [Arch::Baseline, Arch::Locus, Arch::StitchNoFusion, Arch::Stitch];
+    pub const ALL: [Arch; 4] = [
+        Arch::Baseline,
+        Arch::Locus,
+        Arch::StitchNoFusion,
+        Arch::Stitch,
+    ];
 
     /// Display name used in the paper's figures.
     #[must_use]

@@ -5,7 +5,7 @@ use stitch_cpu::CoreStats;
 use stitch_mem::CacheStats;
 
 /// Per-tile statistics after a run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TileSummary {
     /// Core counters.
     pub core: CoreStats,
@@ -21,7 +21,7 @@ pub struct TileSummary {
 }
 
 /// Chip-level statistics of one run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunSummary {
     /// Wall-clock cycles until every core halted.
     pub cycles: u64,
@@ -93,11 +93,20 @@ mod tests {
     fn totals() {
         let mut s = RunSummary::default();
         s.tiles.push(TileSummary {
-            core: CoreStats { instructions: 10, custom_ops: 2, fused_ops: 1, ..Default::default() },
+            core: CoreStats {
+                instructions: 10,
+                custom_ops: 2,
+                fused_ops: 1,
+                ..Default::default()
+            },
             ..Default::default()
         });
         s.tiles.push(TileSummary {
-            core: CoreStats { instructions: 5, cycles: 99, ..Default::default() },
+            core: CoreStats {
+                instructions: 5,
+                cycles: 99,
+                ..Default::default()
+            },
             ..Default::default()
         });
         assert_eq!(s.total_instructions(), 15);
@@ -109,7 +118,10 @@ mod tests {
 
     #[test]
     fn time_conversion() {
-        let s = RunSummary { cycles: CLOCK_HZ, ..Default::default() };
+        let s = RunSummary {
+            cycles: CLOCK_HZ,
+            ..Default::default()
+        };
         assert!((s.seconds() - 1.0).abs() < 1e-12);
         assert!((s.millis() - 1000.0).abs() < 1e-9);
     }

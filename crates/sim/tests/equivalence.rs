@@ -1,0 +1,277 @@
+//! Golden equivalence tests for the event-driven fast path.
+//!
+//! `Chip::run` skips cycles whenever the mesh is idle, no core is polling
+//! `recv`, and every live core is busy beyond the next cycle. These tests
+//! pin the invariant: over randomized multi-tile message-passing pipelines
+//! and fused custom-instruction workloads, the fast path must produce a
+//! `RunSummary` bit-identical to the naive cycle-by-cycle
+//! `Chip::run_reference` loop.
+
+use std::collections::HashMap;
+use stitch_isa::custom::{CiDescriptor, CiId, CiStage, PatchClass};
+use stitch_isa::op::AluOp;
+use stitch_isa::{Cond, Program, ProgramBuilder, Reg};
+use stitch_patch::{AtAsControl, AtSaControl, ControlWord, Sel4, Stage1};
+use stitch_sim::{Chip, ChipConfig, CiBinding, SimRng, TileId};
+
+const BUDGET: u64 = 50_000_000;
+
+/// Emits a compute loop with a random trip count: multi-cycle `mul`s
+/// create the busy gaps the fast path is designed to skip.
+fn compute_pad(b: &mut ProgramBuilder, rng: &mut SimRng) {
+    let n = 1 + rng.index(40) as i64;
+    b.li(Reg::R20, n);
+    let top = b.bound_label();
+    b.mul(Reg::R21, Reg::R20, Reg::R20);
+    b.add(Reg::R22, Reg::R22, Reg::R21);
+    b.addi(Reg::R20, Reg::R20, -1);
+    b.branch(Cond::Ne, Reg::R20, Reg::R0, top);
+}
+
+/// A random linear pipeline: `chain[0]` produces `frames` messages of
+/// `len` words, middle tiles bump the first word and forward, the last
+/// tile accumulates. Always terminates, so any Timeout/Deadlock is a bug.
+fn random_pipeline(seed: u64) -> Vec<(TileId, Program)> {
+    let mut rng = SimRng::new(seed);
+    let k = 2 + rng.index(6); // 2..=7 tiles in the chain
+    let mut tiles: Vec<u8> = (0..16).collect();
+    for i in 0..k {
+        let j = i + rng.index(16 - i);
+        tiles.swap(i, j);
+    }
+    let chain = &tiles[..k];
+    let frames = 1 + rng.index(4) as i64;
+    let len = 1 + rng.index(8) as i64; // up to 2 mesh packets
+    let mut programs = Vec::new();
+
+    // Source.
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::R10, frames);
+    b.li(Reg::R1, 0x1000);
+    b.li(Reg::R2, 1 + rng.index(1000) as i64);
+    b.li(Reg::R3, i64::from(chain[1]));
+    b.li(Reg::R4, len);
+    let top = b.bound_label();
+    compute_pad(&mut b, &mut rng);
+    for w in 0..len {
+        b.sw(Reg::R2, Reg::R1, (w * 4) as i32);
+    }
+    b.send(Reg::R3, Reg::R1, Reg::R4);
+    b.addi(Reg::R2, Reg::R2, 7);
+    b.addi(Reg::R10, Reg::R10, -1);
+    b.branch(Cond::Ne, Reg::R10, Reg::R0, top);
+    b.halt();
+    programs.push((TileId(chain[0]), b.build().expect("source program")));
+
+    // Middles.
+    for m in 1..k - 1 {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R10, frames);
+        b.li(Reg::R1, 0x1000);
+        b.li(Reg::R5, i64::from(chain[m - 1]));
+        b.li(Reg::R6, i64::from(chain[m + 1]));
+        b.li(Reg::R4, len);
+        let top = b.bound_label();
+        b.recv(Reg::R5, Reg::R1, Reg::R4);
+        b.lw(Reg::R2, Reg::R1, 0);
+        b.addi(Reg::R2, Reg::R2, 1);
+        b.sw(Reg::R2, Reg::R1, 0);
+        compute_pad(&mut b, &mut rng);
+        b.send(Reg::R6, Reg::R1, Reg::R4);
+        b.addi(Reg::R10, Reg::R10, -1);
+        b.branch(Cond::Ne, Reg::R10, Reg::R0, top);
+        b.halt();
+        programs.push((TileId(chain[m]), b.build().expect("middle program")));
+    }
+
+    // Sink.
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::R10, frames);
+    b.li(Reg::R1, 0x1000);
+    b.li(Reg::R5, i64::from(chain[k - 2]));
+    b.li(Reg::R4, len);
+    b.li(Reg::R7, 0);
+    let top = b.bound_label();
+    b.recv(Reg::R5, Reg::R1, Reg::R4);
+    b.lw(Reg::R2, Reg::R1, 0);
+    b.add(Reg::R7, Reg::R7, Reg::R2);
+    compute_pad(&mut b, &mut rng);
+    b.addi(Reg::R10, Reg::R10, -1);
+    b.branch(Cond::Ne, Reg::R10, Reg::R0, top);
+    b.li(Reg::R8, 0x4000);
+    b.sw(Reg::R7, Reg::R8, 0);
+    b.halt();
+    programs.push((TileId(chain[k - 1]), b.build().expect("sink program")));
+
+    programs
+}
+
+fn pipeline_chip(seed: u64) -> Chip {
+    let mut chip = Chip::new(ChipConfig::stitch_16());
+    for (tile, program) in random_pipeline(seed) {
+        chip.load_program(tile, &program);
+    }
+    chip
+}
+
+#[test]
+fn fast_path_matches_reference_on_random_pipelines() {
+    for seed in 0..24u64 {
+        let mut fast = pipeline_chip(0xE0_0100 + seed);
+        let mut naive = pipeline_chip(0xE0_0100 + seed);
+        let a = fast.run(BUDGET).expect("fast run terminates");
+        let b = naive
+            .run_reference(BUDGET)
+            .expect("reference run terminates");
+        assert_eq!(a, b, "summary diverges for seed {seed}");
+        assert_eq!(
+            fast.cycle(),
+            naive.cycle(),
+            "clock diverges for seed {seed}"
+        );
+    }
+}
+
+/// Fused custom-instruction workload (paper Fig 5 pair {AT-AS}+{AT-SA}):
+/// tile 1 iterates a fused CI with per-iteration inputs while tile 0 runs
+/// an independent compute loop — exercising skips around patch activity.
+fn fused_chip(seed: u64) -> Chip {
+    let mut rng = SimRng::new(seed);
+    let mut chip = Chip::new(ChipConfig::stitch_16());
+    chip.reserve_circuit(TileId(1), TileId(9)).expect("circuit");
+    let first = ControlWord::AtAs(AtAsControl {
+        s1: Stage1::default(),
+        a2_op: AluOp::Add,
+        a2_src1: Sel4::In2,
+        a2_src2: Sel4::In3,
+        s_op: None,
+        s_amt_in3: false,
+    });
+    let second = ControlWord::AtSa(AtSaControl {
+        s1: Stage1::default(),
+        s_in: Sel4::A1,
+        s_op: Some(AluOp::Sll),
+        s_amt_in3: true,
+        a2_op: AluOp::Add,
+        a2_src2: Sel4::In2,
+    });
+    let mut b = ProgramBuilder::new();
+    let ci = b.define_ci(CiDescriptor::fused(
+        CiId(0),
+        "addshladd",
+        CiStage::new(PatchClass::AtAs, first.pack().expect("pack")),
+        CiStage::new(PatchClass::AtSa, second.pack().expect("pack")),
+    ));
+    let iters = 4 + rng.index(12) as i64;
+    b.li(Reg::R10, iters);
+    b.li(Reg::R1, 0);
+    b.li(Reg::R2, 0);
+    b.li(Reg::R3, 1 + rng.index(50) as i64);
+    b.li(Reg::R4, rng.index(3) as i64);
+    b.li(Reg::R9, 0);
+    let top = b.bound_label();
+    b.custom(ci, &[Reg::R1, Reg::R2, Reg::R3, Reg::R4], &[Reg::R5])
+        .expect("ci");
+    b.add(Reg::R9, Reg::R9, Reg::R5);
+    b.addi(Reg::R3, Reg::R3, 3);
+    b.addi(Reg::R10, Reg::R10, -1);
+    b.branch(Cond::Ne, Reg::R10, Reg::R0, top);
+    b.halt();
+    let bindings = HashMap::from([(
+        0u16,
+        CiBinding::Fused {
+            first,
+            partner: TileId(9),
+            second,
+        },
+    )]);
+    chip.load_kernel(TileId(1), &b.build().expect("fused program"), bindings)
+        .expect("load fused kernel");
+
+    // Independent compute on another tile so the chains interleave.
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::R1, 10 + rng.index(60) as i64);
+    let top = b.bound_label();
+    b.mul(Reg::R2, Reg::R1, Reg::R1);
+    b.addi(Reg::R1, Reg::R1, -1);
+    b.branch(Cond::Ne, Reg::R1, Reg::R0, top);
+    b.halt();
+    chip.load_program(TileId(0), &b.build().expect("compute program"));
+    chip
+}
+
+#[test]
+fn fast_path_matches_reference_on_fused_ci_workloads() {
+    for seed in 0..16u64 {
+        let mut fast = fused_chip(0xF5_ED00 + seed);
+        let mut naive = fused_chip(0xF5_ED00 + seed);
+        let a = fast.run(BUDGET).expect("fast run terminates");
+        let b = naive
+            .run_reference(BUDGET)
+            .expect("reference run terminates");
+        assert_eq!(a, b, "summary diverges for seed {seed}");
+        assert!(
+            a.total_fused() > 0,
+            "workload must exercise fusion (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn fast_path_is_deterministic() {
+    for seed in [3u64, 11, 19] {
+        let mut first = pipeline_chip(0xD0_0D00 + seed);
+        let mut second = pipeline_chip(0xD0_0D00 + seed);
+        let a = first.run(BUDGET).expect("run");
+        let b = second.run(BUDGET).expect("run");
+        assert_eq!(a, b, "two identical runs diverge for seed {seed}");
+        assert_eq!(
+            first.peek_u32(TileId(0), 0x1000),
+            second.peek_u32(TileId(0), 0x1000)
+        );
+    }
+}
+
+/// The fast path must also reproduce reference *failure* behavior:
+/// deadlocks are reported with identical waiting sets and cycle counts.
+#[test]
+fn fast_path_matches_reference_on_deadlock() {
+    let deadlocked = || {
+        let mut chip = Chip::new(ChipConfig::stitch_16());
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 7); // tile 7 never sends
+        b.li(Reg::R2, 0x1000);
+        b.li(Reg::R3, 1);
+        b.recv(Reg::R1, Reg::R2, Reg::R3);
+        b.halt();
+        chip.load_program(TileId(2), &b.build().expect("program"));
+        chip
+    };
+    let mut fast = deadlocked();
+    let mut naive = deadlocked();
+    let a = fast.run(100_000).expect_err("deadlock");
+    let b = naive.run_reference(100_000).expect_err("deadlock");
+    assert_eq!(a, b);
+    assert_eq!(fast.cycle(), naive.cycle());
+}
+
+/// Timeouts fire after exactly the same budget on both paths.
+#[test]
+fn fast_path_matches_reference_on_timeout() {
+    let endless = || {
+        let mut chip = Chip::new(ChipConfig::stitch_16());
+        let mut b = ProgramBuilder::new();
+        let top = b.bound_label();
+        b.mul(Reg::R1, Reg::R2, Reg::R3);
+        b.branch(Cond::Eq, Reg::R0, Reg::R0, top);
+        b.halt();
+        chip.load_program(TileId(4), &b.build().expect("program"));
+        chip
+    };
+    let mut fast = endless();
+    let mut naive = endless();
+    let a = fast.run(10_000).expect_err("timeout");
+    let b = naive.run_reference(10_000).expect_err("timeout");
+    assert_eq!(a, b);
+    assert_eq!(fast.cycle(), naive.cycle());
+}

@@ -35,7 +35,9 @@ fn parse_config(s: &str) -> Option<PatchConfig> {
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -48,11 +50,19 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut chip = Chip::new(ChipConfig::baseline_16());
     chip.load_program(TileId(0), &program);
     let summary = chip.run(max).map_err(|e| e.to_string())?;
-    println!("halted after {} cycles ({:.3} ms at 200 MHz)", summary.cycles, summary.millis());
+    println!(
+        "halted after {} cycles ({:.3} ms at 200 MHz)",
+        summary.cycles,
+        summary.millis()
+    );
     let stats = &summary.tiles[0].core;
     println!(
         "instructions: {}  (alu {}, mul {}, mem {}, branches {} [{} taken])",
-        stats.instructions, stats.alu_ops, stats.mul_ops, stats.mem_ops, stats.branches,
+        stats.instructions,
+        stats.alu_ops,
+        stats.mul_ops,
+        stats.mem_ops,
+        stats.branches,
         stats.branches_taken
     );
     println!(
@@ -66,7 +76,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 fn cmd_accelerate(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("usage: stitchc accelerate <file.s>")?;
     let config = flag(args, "--config")
-        .map_or(Some(PatchConfig::Single(PatchClass::AtMa)), |s| parse_config(&s))
+        .map_or(Some(PatchConfig::Single(PatchClass::AtMa)), |s| {
+            parse_config(&s)
+        })
         .ok_or("bad --config (at-ma|at-as|at-sa|locus|a+b)")?;
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let program = stitch_isa::asm::assemble(&src).map_err(|e| e.to_string())?;
@@ -89,8 +101,13 @@ fn cmd_accelerate(args: &[String]) -> Result<(), String> {
 
 fn cmd_kernels() -> Result<(), String> {
     let mut ws = Workbench::new();
-    let rows = ws.kernel_table(&stitch_kernels::all_kernels()).map_err(|e| e.to_string())?;
-    println!("{:>10} {:>10} {:>8} {:>8} {:>9}", "kernel", "cycles", "LOCUS", "single", "stitched");
+    let rows = ws
+        .kernel_table(&stitch_kernels::all_kernels())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{:>10} {:>10} {:>8} {:>8} {:>9}",
+        "kernel", "cycles", "LOCUS", "single", "stitched"
+    );
     for r in rows {
         println!(
             "{:>10} {:>10} {:>7.2}x {:>7.2}x {:>8.2}x",

@@ -42,7 +42,7 @@ pub mod workbench;
 pub use stitch_compiler::{PatchConfig, StitchPlan};
 pub use stitch_patch::PatchClass;
 pub use stitch_sim::{Arch, Chip, ChipConfig, RunSummary, TileId};
-pub use workbench::{AppRun, Error, KernelRow, Workbench};
+pub use workbench::{AppRun, Error, KernelRow, SimEngine, SweepPoint, Workbench};
 
 /// Frames simulated per application run in the default experiments —
 /// enough for the pipeline to reach steady state.

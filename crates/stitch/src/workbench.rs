@@ -2,6 +2,10 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
 use stitch_apps::{build_node_program, App};
 use stitch_compiler::{
     accelerate_all, compile_kernel, stitch_application, AppKernel, CompilerError, KernelVariants,
@@ -67,6 +71,9 @@ pub struct AppRun {
     /// differential checks): `outputs[i]` is node i's
     /// `spec().output_words` words at `spec().output_addr`.
     pub node_outputs: Vec<Vec<u32>>,
+    /// Cycles the event-driven fast path elided (0 on the reference
+    /// engine) — a diagnostic, deliberately outside `summary`.
+    pub skipped_cycles: u64,
 }
 
 impl AppRun {
@@ -96,11 +103,38 @@ pub struct KernelRow {
     pub stitched_config: Option<PatchConfig>,
 }
 
+/// One (app, arch) point of a [`Workbench::sweep`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// Index into the app slice handed to `sweep`.
+    pub app: usize,
+    /// Architecture to simulate.
+    pub arch: Arch,
+}
+
+/// Which simulator loop drives [`Workbench::run_app`].
+///
+/// Both produce bit-identical [`RunSummary`]s; `Reference` exists for
+/// equivalence testing and as the performance baseline in
+/// `perf_report`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimEngine {
+    /// Event-driven fast path ([`Chip::run`]).
+    #[default]
+    EventDriven,
+    /// Naive cycle-by-cycle loop ([`Chip::run_reference`]).
+    Reference,
+}
+
 /// Compiles kernels (with caching), runs the stitching algorithm and the
 /// chip simulator.
-#[derive(Default)]
+///
+/// Cloning a workbench clones its compiled-kernel cache; the sweep
+/// harness hands each worker thread a warm clone.
+#[derive(Default, Clone)]
 pub struct Workbench {
     variants: HashMap<String, KernelVariants>,
+    engine: SimEngine,
 }
 
 impl Workbench {
@@ -108,6 +142,12 @@ impl Workbench {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Selects the simulator loop used by subsequent runs (clones made by
+    /// the sweep harness inherit it).
+    pub fn set_engine(&mut self, engine: SimEngine) {
+        self.engine = engine;
     }
 
     /// All configurations explored for kernels: the three singles first
@@ -144,35 +184,86 @@ impl Workbench {
         Ok(self.variants[&key].clone())
     }
 
+    fn kernel_row(kernel: &dyn Kernel, kv: &KernelVariants) -> KernelRow {
+        let speed = |v: Option<&stitch_compiler::AcceleratedKernel>| {
+            v.map_or(1.0, |v| kv.baseline_cycles as f64 / v.cycles as f64)
+        };
+        let single = kv.best_among(|c| matches!(c, PatchConfig::Single(_)));
+        let stitched =
+            kv.best_among(|c| matches!(c, PatchConfig::Single(_) | PatchConfig::Pair(..)));
+        KernelRow {
+            name: kernel.spec().name.to_string(),
+            baseline_cycles: kv.baseline_cycles,
+            locus: speed(
+                kv.variant(PatchConfig::Locus)
+                    .filter(|v| v.cycles < kv.baseline_cycles),
+            ),
+            single: speed(single),
+            single_config: single.map(|v| v.config),
+            stitched: speed(stitched),
+            stitched_config: stitched.map(|v| v.config),
+        }
+    }
+
     /// The Fig 11 table: per-kernel speedups for LOCUS / best single /
     /// best stitched.
     ///
     /// # Errors
     ///
     /// Propagates compiler failures.
-    pub fn kernel_table(
-        &mut self,
-        kernels: &[Box<dyn Kernel>],
-    ) -> Result<Vec<KernelRow>, Error> {
+    pub fn kernel_table(&mut self, kernels: &[Box<dyn Kernel>]) -> Result<Vec<KernelRow>, Error> {
         let mut rows = Vec::new();
         for k in kernels {
             let kv = self.variants(k.as_ref())?;
-            let speed = |v: Option<&stitch_compiler::AcceleratedKernel>| {
-                v.map_or(1.0, |v| kv.baseline_cycles as f64 / v.cycles as f64)
-            };
-            let single = kv.best_among(|c| matches!(c, PatchConfig::Single(_)));
-            let stitched = kv.best_among(|c| {
-                matches!(c, PatchConfig::Single(_) | PatchConfig::Pair(..))
-            });
-            rows.push(KernelRow {
-                name: k.spec().name.to_string(),
-                baseline_cycles: kv.baseline_cycles,
-                locus: speed(kv.variant(PatchConfig::Locus).filter(|v| v.cycles < kv.baseline_cycles)),
-                single: speed(single),
-                single_config: single.map(|v| v.config),
-                stitched: speed(stitched),
-                stitched_config: stitched.map(|v| v.config),
-            });
+            rows.push(Self::kernel_row(k.as_ref(), &kv));
+        }
+        Ok(rows)
+    }
+
+    /// [`Workbench::kernel_table`] with per-kernel compilation fanned out
+    /// over `threads` OS threads. Row order matches `kernels`; compiled
+    /// variants are folded back into this workbench's cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler failures.
+    pub fn kernel_table_threaded(
+        &mut self,
+        kernels: &[Box<dyn Kernel>],
+        threads: usize,
+    ) -> Result<Vec<KernelRow>, Error> {
+        let workers = threads.max(1).min(kernels.len().max(1));
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Result<KernelVariants, Error>)>();
+        let mut compiled: Vec<Option<Result<KernelVariants, Error>>> =
+            (0..kernels.len()).map(|_| None).collect();
+        thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let mut ws = self.clone();
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= kernels.len() {
+                        break;
+                    }
+                    let r = ws.variants(kernels[i].as_ref());
+                    if tx.send((i, r)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, r) in rx {
+                compiled[i] = Some(r);
+            }
+        });
+        let mut rows = Vec::new();
+        for (k, slot) in kernels.iter().zip(compiled) {
+            let kv = slot.expect("every kernel produced a result")?;
+            self.variants
+                .insert(Self::cache_key(k.as_ref()), kv.clone());
+            rows.push(Self::kernel_row(k.as_ref(), &kv));
         }
         Ok(rows)
     }
@@ -212,11 +303,14 @@ impl Workbench {
             match &plan.accel[i] {
                 None => chip.load_program(plan.tiles[i], &program),
                 Some(granted) => {
-                    let accel =
-                        accelerate_all(&app.nodes[i].name, &program, &[granted.config])?;
+                    let accel = accelerate_all(&app.nodes[i].name, &program, &[granted.config])?;
                     match accel.into_iter().next() {
                         Some(a) => {
-                            chip.load_kernel(plan.tiles[i], &a.program, a.bindings(granted.partner))?;
+                            chip.load_kernel(
+                                plan.tiles[i],
+                                &a.program,
+                                a.bindings(granted.partner),
+                            )?;
                         }
                         // The wired program exposed no candidate for the
                         // granted configuration: run it unaccelerated.
@@ -227,7 +321,10 @@ impl Workbench {
         }
 
         // 4. Simulate.
-        let summary = chip.run(APP_BUDGET)?;
+        let summary = match self.engine {
+            SimEngine::EventDriven => chip.run(APP_BUDGET)?,
+            SimEngine::Reference => chip.run_reference(APP_BUDGET)?,
+        };
         let throughput_fps = if summary.cycles == 0 {
             0.0
         } else {
@@ -248,6 +345,7 @@ impl Workbench {
             plan,
             throughput_fps,
             power_mw,
+            skipped_cycles: chip.skipped_cycles(),
             node_outputs,
         })
     }
@@ -257,11 +355,93 @@ impl Workbench {
     /// # Errors
     ///
     /// Propagates compiler and simulator failures.
-    pub fn run_all_archs(
+    pub fn run_all_archs(&mut self, app: &App, frames: u32) -> Result<Vec<AppRun>, Error> {
+        Arch::ALL
+            .iter()
+            .map(|&a| self.run_app(app, a, frames))
+            .collect()
+    }
+
+    /// Worker-thread count used by the sweep entry points when callers
+    /// pass `0`: one per available hardware thread.
+    #[must_use]
+    pub fn default_threads() -> usize {
+        thread::available_parallelism().map_or(1, NonZeroUsize::get)
+    }
+
+    /// Compiles the variants of every kernel appearing in `apps` so that
+    /// sweep workers start from a warm, read-only cache. Compile errors
+    /// are left for the affected sweep points to report individually.
+    pub fn prewarm(&mut self, apps: &[App]) {
+        for app in apps {
+            for n in &app.nodes {
+                let _ = self.variants(n.kernel.as_ref());
+            }
+        }
+    }
+
+    /// Every architecture × every app, as sweep points in `Arch::ALL`-major
+    /// order grouped by app (the order `run_all_archs` would produce).
+    #[must_use]
+    pub fn full_grid(apps: &[App]) -> Vec<SweepPoint> {
+        (0..apps.len())
+            .flat_map(|app| Arch::ALL.iter().map(move |&arch| SweepPoint { app, arch }))
+            .collect()
+    }
+
+    /// Runs every sweep point across `threads` OS threads (`0` = one per
+    /// hardware thread), returning results in `points` order regardless
+    /// of completion order.
+    ///
+    /// Workers claim points from a shared atomic counter and each owns a
+    /// clone of this workbench with a prewarmed kernel cache, so no lock
+    /// is held while simulating. Each point is an independent
+    /// compile→stitch→simulate pipeline, so results are identical to
+    /// running the points sequentially.
+    pub fn sweep(
         &mut self,
-        app: &App,
+        apps: &[App],
+        points: &[SweepPoint],
         frames: u32,
-    ) -> Result<Vec<AppRun>, Error> {
-        Arch::ALL.iter().map(|&a| self.run_app(app, a, frames)).collect()
+        threads: usize,
+    ) -> Vec<Result<AppRun, Error>> {
+        if points.is_empty() {
+            return Vec::new();
+        }
+        self.prewarm(apps);
+        let workers = if threads == 0 {
+            Self::default_threads()
+        } else {
+            threads
+        }
+        .min(points.len());
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Result<AppRun, Error>)>();
+        let mut out: Vec<Option<Result<AppRun, Error>>> = (0..points.len()).map(|_| None).collect();
+        thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let mut ws = self.clone();
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= points.len() {
+                        break;
+                    }
+                    let p = points[i];
+                    let r = ws.run_app(&apps[p.app], p.arch, frames);
+                    if tx.send((i, r)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, r) in rx {
+                out[i] = Some(r);
+            }
+        });
+        out.into_iter()
+            .map(|slot| slot.expect("every point produced a result"))
+            .collect()
     }
 }

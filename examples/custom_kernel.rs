@@ -15,7 +15,10 @@ use stitch_isa::{Cond, ProgramBuilder, Reg};
 /// |a - b| + |c - d| over neighbouring pixels, a simple gradient.
 fn gradient_kernel(n: i64) -> stitch_isa::Program {
     let mut b = ProgramBuilder::new();
-    b.data_segment(SPM_BASE, (0..n as u32).map(|i| (i * 37) & 0xFF).collect::<Vec<_>>());
+    b.data_segment(
+        SPM_BASE,
+        (0..n as u32).map(|i| (i * 37) & 0xFF).collect::<Vec<_>>(),
+    );
     b.li(Reg::R1, i64::from(SPM_BASE));
     b.li(Reg::R4, n - 2);
     b.li(Reg::R10, 4);

@@ -15,7 +15,9 @@ fn main() {
 
     // The paper's Fig 5 example: stitch patch2 with patch10 (1-based),
     // bypassing tile6's switch.
-    let c = net.reserve(TileId(1), TileId(9)).expect("paper example circuit");
+    let c = net
+        .reserve(TileId(1), TileId(9))
+        .expect("paper example circuit");
     println!(
         "fig-5 circuit tile2 -> tile10: path {:?}, {} hops/direction",
         c.tiles.iter().map(ToString::to_string).collect::<Vec<_>>(),
@@ -28,14 +30,20 @@ fn main() {
         bypass.driver(PortDir::North),
         bypass.pack()
     );
-    for (a, b) in [(PatchClass::AtAs, PatchClass::AtAs), (PatchClass::AtMa, PatchClass::AtAs)] {
+    for (a, b) in [
+        (PatchClass::AtAs, PatchClass::AtAs),
+        (PatchClass::AtMa, PatchClass::AtAs),
+    ] {
         println!(
-            "  fused {a}+{b} at {} hops: {:.2} ns {} {} ns clock -> {}",
+            "  fused {a}+{b} at {} hops: {:.2} ns vs {} ns clock -> {}",
             c.hops,
             fused_delay_ns(a, b, c.hops),
-            "vs",
             CLOCK_PERIOD_NS,
-            if fused_path_legal(a, b, c.hops) { "single cycle" } else { "ILLEGAL" }
+            if fused_path_legal(a, b, c.hops) {
+                "single cycle"
+            } else {
+                "ILLEGAL"
+            }
         );
     }
 
@@ -59,9 +67,11 @@ fn main() {
         }
     }
     println!("\nall-to-opposite reservation: {placed} circuits placed before contention");
-    println!("circuits: {:?}", net
-        .circuits()
-        .iter()
-        .map(|c| format!("{}->{} ({} hops)", c.from, c.to, c.hops))
-        .collect::<Vec<_>>());
+    println!(
+        "circuits: {:?}",
+        net.circuits()
+            .iter()
+            .map(|c| format!("{}->{} ({} hops)", c.from, c.to, c.hops))
+            .collect::<Vec<_>>()
+    );
 }

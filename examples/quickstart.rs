@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 64i64;
     let mut b = ProgramBuilder::new();
     b.data_segment(SPM_BASE, (1..=n as u32).collect::<Vec<_>>());
-    b.data_segment(SPM_BASE + (n * 4) as u32, (1..=n as u32).rev().collect::<Vec<_>>());
+    b.data_segment(
+        SPM_BASE + (n * 4) as u32,
+        (1..=n as u32).rev().collect::<Vec<_>>(),
+    );
     b.li(Reg::R1, i64::from(SPM_BASE)); // a
     b.addi(Reg::R2, Reg::R1, (n * 4) as i32); // b
     b.li(Reg::R3, 0); // acc
@@ -48,7 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     println!("baseline : {} cycles", kv.baseline_cycles);
-    let v = kv.variant(PatchConfig::Single(PatchClass::AtMa)).expect("variant");
+    let v = kv
+        .variant(PatchConfig::Single(PatchClass::AtMa))
+        .expect("variant");
     println!(
         "with {{AT-MA}} patch: {} cycles  ({:.2}x, {} custom instructions)",
         v.cycles,

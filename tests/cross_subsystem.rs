@@ -50,7 +50,9 @@ fn synthesized_control_words_pack_and_unpack() {
         Some((spec.output_addr, spec.output_words as usize)),
     )
     .expect("compile");
-    let v = kv.variant(PatchConfig::Single(PatchClass::AtMa)).expect("variant");
+    let v = kv
+        .variant(PatchConfig::Single(PatchClass::AtMa))
+        .expect("variant");
     assert!(!v.ci_controls.is_empty());
     for controls in v.ci_controls.values() {
         for cw in controls {
@@ -78,12 +80,17 @@ fn synthesized_control_words_pack_and_unpack() {
 #[test]
 fn chip_fused_execution_matches_direct_evaluation() {
     use stitch_isa::custom::{CiDescriptor, CiId, CiStage};
+    use stitch_isa::op::AluOp;
     use stitch_isa::{ProgramBuilder, Reg};
     use stitch_patch::{AtAsControl, AtSaControl, ControlWord, Sel4, Stage1};
-    use stitch_isa::op::AluOp;
 
     let first = ControlWord::AtAs(AtAsControl {
-        s1: Stage1 { a1_op: AluOp::Add, a1_src1: 0, a1_src2: 1, t1: stitch_patch::T1Mode::Bypass },
+        s1: Stage1 {
+            a1_op: AluOp::Add,
+            a1_src1: 0,
+            a1_src2: 1,
+            t1: stitch_patch::T1Mode::Bypass,
+        },
         a2_op: AluOp::Xor,
         a2_src1: Sel4::A1,
         a2_src2: Sel4::In2,
@@ -115,14 +122,23 @@ fn chip_fused_execution_matches_direct_evaluation() {
     b.li(Reg::R2, i64::from(ins[1]));
     b.li(Reg::R3, i64::from(ins[2]));
     b.li(Reg::R4, i64::from(ins[3]));
-    b.custom(ci, &[Reg::R1, Reg::R2, Reg::R3, Reg::R4], &[Reg::R5, Reg::R6])
-        .expect("custom");
+    b.custom(
+        ci,
+        &[Reg::R1, Reg::R2, Reg::R3, Reg::R4],
+        &[Reg::R5, Reg::R6],
+    )
+    .expect("custom");
     b.halt();
     let bindings = HashMap::from([(
         0u16,
-        stitch_sim::CiBinding::Fused { first, partner: TileId(9), second },
+        stitch_sim::CiBinding::Fused {
+            first,
+            partner: TileId(9),
+            second,
+        },
     )]);
-    chip.load_kernel(TileId(1), &b.build().expect("program"), bindings).expect("load");
+    chip.load_kernel(TileId(1), &b.build().expect("program"), bindings)
+        .expect("load");
     chip.run(10_000).expect("run");
     assert_eq!(chip.core_reg(TileId(1), Reg::R5), Some(expect.out0));
     assert_eq!(chip.core_reg(TileId(1), Reg::R6), Some(expect.out1));

@@ -53,7 +53,9 @@ fn architecture_ordering_holds_for_every_app() {
     let mut ws = Workbench::new();
     for app in App::all() {
         let base = ws.run_app(&app, Arch::Baseline, 6).expect("baseline");
-        let nof = ws.run_app(&app, Arch::StitchNoFusion, 6).expect("no-fusion");
+        let nof = ws
+            .run_app(&app, Arch::StitchNoFusion, 6)
+            .expect("no-fusion");
         let full = ws.run_app(&app, Arch::Stitch, 6).expect("stitch");
         assert!(
             nof.throughput_fps >= base.throughput_fps * 0.99,

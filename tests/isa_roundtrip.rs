@@ -1,94 +1,108 @@
-//! Property tests over the ISA: random programs must round-trip through
-//! the binary encoding and the text assembler, and random kernels must
-//! execute identically before and after encode/decode.
+//! Randomized tests over the ISA: random programs must round-trip
+//! through the binary encoding and the text assembler, and random
+//! kernels must execute identically before and after encode/decode.
+//! Driven by the in-tree deterministic PRNG (no `proptest` offline).
 
-use proptest::prelude::*;
-use stitch_isa::{
-    asm, decode_program, encode_program, AluOp, Cond, Instr, Operand, Reg, Width,
-};
+use stitch_isa::{asm, decode_program, encode_program, AluOp, Cond, Instr, Operand, Reg, Width};
+use stitch_sim::SimRng;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(|i| Reg::from_index(i).expect("index < 32"))
+fn rand_reg(rng: &mut SimRng) -> Reg {
+    Reg::from_index(rng.below(32) as u8).expect("index < 32")
 }
 
-fn arb_instr(max_target: u32) -> impl Strategy<Value = Instr> {
-    let alu = (any::<u8>(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| {
-        Instr::Alu {
-            op: AluOp::ALL[(op as usize) % AluOp::ALL.len()],
-            rd,
-            rs1,
-            src2: Operand::Reg(rs2),
-        }
-    });
-    let alui = (any::<u8>(), arb_reg(), arb_reg(), -2048i32..2048).prop_map(
-        |(op, rd, rs1, imm)| Instr::Alu {
-            op: AluOp::ALL[(op as usize) % AluOp::ALL.len()],
-            rd,
-            rs1,
-            src2: Operand::Imm(imm),
+/// One random instruction with any branch/jump target below `max_target`.
+fn rand_instr(rng: &mut SimRng, max_target: u32) -> Instr {
+    match rng.below(8) {
+        0 => Instr::Alu {
+            op: AluOp::ALL[rng.index(AluOp::ALL.len())],
+            rd: rand_reg(rng),
+            rs1: rand_reg(rng),
+            src2: Operand::Reg(rand_reg(rng)),
         },
-    );
-    let load = (arb_reg(), arb_reg(), -8192i32..8192).prop_map(|(rd, base, offset)| {
-        Instr::Load { w: Width::Word, rd, base, offset }
-    });
-    let store = (arb_reg(), arb_reg(), -8192i32..8192).prop_map(|(rs, base, offset)| {
-        Instr::Store { w: Width::Byte, rs, base, offset }
-    });
-    let branch = (any::<u8>(), arb_reg(), arb_reg(), 0..max_target).prop_map(
-        |(c, rs1, rs2, target)| Instr::Branch {
-            cond: Cond::ALL[(c as usize) % Cond::ALL.len()],
-            rs1,
-            rs2,
-            target,
+        1 => Instr::Alu {
+            op: AluOp::ALL[rng.index(AluOp::ALL.len())],
+            rd: rand_reg(rng),
+            rs1: rand_reg(rng),
+            src2: Operand::Imm(rng.range(0, 4096) as i32 - 2048),
         },
-    );
-    let jal =
-        (arb_reg(), 0..max_target).prop_map(|(rd, target)| Instr::Jal { rd, target });
-    prop_oneof![alu, alui, load, store, branch, jal, Just(Instr::Nop), Just(Instr::Halt)]
+        2 => Instr::Load {
+            w: Width::Word,
+            rd: rand_reg(rng),
+            base: rand_reg(rng),
+            offset: rng.range(0, 16384) as i32 - 8192,
+        },
+        3 => Instr::Store {
+            w: Width::Byte,
+            rs: rand_reg(rng),
+            base: rand_reg(rng),
+            offset: rng.range(0, 16384) as i32 - 8192,
+        },
+        4 => Instr::Branch {
+            cond: Cond::ALL[rng.index(Cond::ALL.len())],
+            rs1: rand_reg(rng),
+            rs2: rand_reg(rng),
+            target: rng.below(u64::from(max_target)) as u32,
+        },
+        5 => Instr::Jal {
+            rd: rand_reg(rng),
+            target: rng.below(u64::from(max_target)) as u32,
+        },
+        6 => Instr::Nop,
+        _ => Instr::Halt,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A random instruction stream whose control flow stays in range.
+fn rand_stream(rng: &mut SimRng, max_len: u64) -> Vec<Instr> {
+    let len = rng.range(1, max_len) as u32;
+    (0..len)
+        .map(|_| match rand_instr(rng, len.max(1)) {
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target: target % len,
+            },
+            Instr::Jal { rd, target } => Instr::Jal {
+                rd,
+                target: target % len,
+            },
+            other => other,
+        })
+        .collect()
+}
 
-    /// encode -> decode is the identity on arbitrary instruction streams
-    /// whose control flow stays in range.
-    #[test]
-    fn binary_round_trip(instrs in prop::collection::vec(arb_instr(16), 1..64)) {
-        // Clamp targets to the actual length.
-        let len = instrs.len() as u32;
-        let fixed: Vec<Instr> = instrs
-            .into_iter()
-            .map(|i| match i {
-                Instr::Branch { cond, rs1, rs2, target } => {
-                    Instr::Branch { cond, rs1, rs2, target: target % len }
-                }
-                Instr::Jal { rd, target } => Instr::Jal { rd, target: target % len },
-                other => other,
-            })
-            .collect();
+/// encode -> decode is the identity on arbitrary instruction streams
+/// whose control flow stays in range.
+#[test]
+fn binary_round_trip() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::new(0xB1A5 + seed);
+        let fixed = rand_stream(&mut rng, 64);
         let words = encode_program(&fixed).expect("encode");
         let back = decode_program(&words).expect("decode");
-        prop_assert_eq!(back, fixed);
+        assert_eq!(back, fixed, "seed {seed}");
     }
+}
 
-    /// The disassembly listing re-assembles to the same program.
-    #[test]
-    fn listing_round_trip(instrs in prop::collection::vec(arb_instr(8), 1..32)) {
-        let len = instrs.len() as u32;
-        let fixed: Vec<Instr> = instrs
-            .into_iter()
-            .map(|i| match i {
-                Instr::Branch { cond, rs1, rs2, target } => {
-                    Instr::Branch { cond, rs1, rs2, target: target % len }
-                }
-                Instr::Jal { rd, target } => Instr::Jal { rd, target: target % len },
-                other => other,
-            })
-            .collect();
-        let program = stitch_isa::Program { instrs: fixed, ..Default::default() };
+/// The disassembly listing re-assembles to the same program.
+#[test]
+fn listing_round_trip() {
+    for seed in 0..64u64 {
+        let mut rng = SimRng::new(0x7157 + seed);
+        let fixed = rand_stream(&mut rng, 32);
+        let program = stitch_isa::Program {
+            instrs: fixed,
+            ..Default::default()
+        };
         let listing = program.listing();
         let re = asm::assemble(&listing).expect("assemble listing");
-        prop_assert_eq!(re.instrs, program.instrs);
+        assert_eq!(re.instrs, program.instrs, "seed {seed}");
     }
 }
 
@@ -115,6 +129,10 @@ fn kernels_survive_binary_round_trip() {
         chip.run(2_000_000_000).expect("run");
         let expected = k.reference(&k.input());
         let got = chip.peek_words(TileId(0), spec.output_addr, expected.len());
-        assert_eq!(got, expected, "{}: reference mismatch after round trip", spec.name);
+        assert_eq!(
+            got, expected,
+            "{}: reference mismatch after round trip",
+            spec.name
+        );
     }
 }

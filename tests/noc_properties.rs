@@ -1,23 +1,28 @@
-//! Property tests over both on-chip networks.
+//! Randomized property tests over both on-chip networks, driven by the
+//! in-tree deterministic PRNG (the sandbox has no `proptest`).
 
-use proptest::prelude::*;
 use stitch_noc::mesh::{Mesh, MeshConfig};
 use stitch_noc::{PatchNet, PortDir, TileId};
+use stitch_sim::SimRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every accepted circuit is walkable through the switch state: from
-    /// the source's REG input to the destination's PATCH output and back,
-    /// regardless of what else was reserved before it.
-    #[test]
-    fn accepted_circuits_are_walkable(pairs in prop::collection::vec((0u8..16, 0u8..16), 1..12)) {
+/// Every accepted circuit is walkable through the switch state: from
+/// the source's REG input to the destination's PATCH output and back,
+/// regardless of what else was reserved before it.
+#[test]
+fn accepted_circuits_are_walkable() {
+    for seed in 0..48u64 {
+        let mut rng = SimRng::new(0xC1C0 + seed);
+        let pairs: Vec<(u8, u8)> = (0..rng.range(1, 12))
+            .map(|_| (rng.below(16) as u8, rng.below(16) as u8))
+            .collect();
         let mut net = PatchNet::new_4x4();
         for (from, to) in pairs {
             if from == to {
                 continue;
             }
-            let Ok(circuit) = net.reserve(TileId(from), TileId(to)) else { continue };
+            let Ok(circuit) = net.reserve(TileId(from), TileId(to)) else {
+                continue;
+            };
             // Walk the forward leg using only the switch configuration.
             let topo = net.topology();
             let mut here = circuit.tiles[0];
@@ -37,20 +42,37 @@ proptest! {
                         .find(|&d| topo.neighbor(here, d) == Some(prev))
                         .expect("adjacent tiles")
                 };
-                prop_assert_eq!(net.switch(here).driver(dir), Some(expected_in));
+                assert_eq!(
+                    net.switch(here).driver(dir),
+                    Some(expected_in),
+                    "seed {seed}"
+                );
                 here = next;
             }
             // Terminal: the destination's PATCH output is driven.
-            prop_assert!(net.switch(circuit.to).driver(PortDir::Patch).is_some());
+            assert!(
+                net.switch(circuit.to).driver(PortDir::Patch).is_some(),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    /// Random bounded traffic on the mesh is always fully delivered with
-    /// intact payloads and per-(src,dst) FIFO order.
-    #[test]
-    fn mesh_delivers_all_random_traffic(
-        msgs in prop::collection::vec((0u8..16, 0u8..16, 1usize..12), 1..24),
-    ) {
+/// Random bounded traffic on the mesh is always fully delivered with
+/// intact payloads and per-(src,dst) FIFO order.
+#[test]
+fn mesh_delivers_all_random_traffic() {
+    for seed in 0..48u64 {
+        let mut rng = SimRng::new(0x3E5A + seed);
+        let msgs: Vec<(u8, u8, usize)> = (0..rng.range(1, 24))
+            .map(|_| {
+                (
+                    rng.below(16) as u8,
+                    rng.below(16) as u8,
+                    rng.range(1, 12) as usize,
+                )
+            })
+            .collect();
         let mut mesh = Mesh::new(MeshConfig::default());
         let mut expected: Vec<(u8, u8, Vec<u32>)> = Vec::new();
         for (i, &(src, dst, len)) in msgs.iter().enumerate() {
@@ -62,22 +84,26 @@ proptest! {
             expected.push((src, dst, words));
         }
         mesh.drain(10_000_000);
-        prop_assert!(mesh.idle(), "network must drain");
+        assert!(mesh.idle(), "seed {seed}: network must drain");
         // FIFO per (src,dst): pop in send order.
         for (src, dst, words) in expected {
             let got = mesh
                 .pop_delivered(TileId(dst), TileId(src))
                 .expect("message delivered");
-            prop_assert_eq!(got.words, words);
+            assert_eq!(got.words, words, "seed {seed}");
         }
     }
+}
 
-    /// Switch configuration registers round-trip through their packed
-    /// 18-bit form for every reachable state.
-    #[test]
-    fn switch_config_register_round_trip(pairs in prop::collection::vec((0u8..16, 0u8..16), 1..8)) {
+/// Switch configuration registers round-trip through their packed
+/// 18-bit form for every reachable state.
+#[test]
+fn switch_config_register_round_trip() {
+    for seed in 0..48u64 {
+        let mut rng = SimRng::new(0x51C7 + seed);
         let mut net = PatchNet::new_4x4();
-        for (from, to) in pairs {
+        for _ in 0..rng.range(1, 8) {
+            let (from, to) = (rng.below(16) as u8, rng.below(16) as u8);
             if from != to {
                 let _ = net.reserve(TileId(from), TileId(to));
             }
@@ -85,7 +111,7 @@ proptest! {
         for t in net.topology().iter() {
             let word = net.switch(t).pack();
             let back = stitch_noc::patchnet::SwitchConfig::unpack(word).expect("decodes");
-            prop_assert_eq!(&back, net.switch(t));
+            assert_eq!(&back, net.switch(t), "seed {seed}");
         }
     }
 }
