@@ -1,0 +1,165 @@
+//! Graceful-degradation curve: Fig 12 application throughput under an
+//! increasing number of permanently failed patches.
+//!
+//! For each app, the sweep first runs the fault-free Stitch mapping,
+//! then kills 1..=4 of the patches that mapping actually allocated (the
+//! worst case — failing idle patches would be free) and re-runs through
+//! the recovery path: the stitcher re-runs with the dead patches masked,
+//! falling back from fused pair to single patch to software per kernel,
+//! and the fault plan is installed on the chip so any residual use of a
+//! dead patch would demote at runtime.
+//!
+//! Three properties are asserted, matching ISSUE 2's acceptance
+//! criteria: outputs stay bit-identical to the fault-free run, the curve
+//! is monotone (more dead patches never helps), and it never cliffs
+//! below the all-software baseline — the ladder bottoms out at W32
+//! software, not at zero. Results land in `BENCH_faults.json`; see
+//! EXPERIMENTS.md ("Fault injection and graceful degradation").
+
+use bench::JsonObject;
+use stitch::{Arch, FaultKind, FaultPlan, TileId, Workbench, DEFAULT_FRAMES};
+use stitch_apps::App;
+
+/// Patches to fail, cumulatively.
+const MAX_FAILED: usize = 4;
+
+/// Tolerance for the monotonicity check: masking one more patch may
+/// shuffle the greedy stitcher's placement enough to win back a percent.
+const MONOTONE_SLACK: f64 = 1.02;
+
+fn main() {
+    println!(
+        "{}",
+        bench::header("Fault sweep: throughput vs failed patches")
+    );
+    let mut ws = Workbench::new();
+    let apps = App::all();
+    ws.prewarm(&apps);
+
+    let mut app_reports = Vec::new();
+    let mut worst_retention = f64::INFINITY;
+    for app in &apps {
+        let clean = ws
+            .run_app(app, Arch::Stitch, DEFAULT_FRAMES)
+            .expect("fault-free run");
+        let software = ws
+            .run_app(app, Arch::Baseline, DEFAULT_FRAMES)
+            .expect("software baseline");
+
+        // Kill the patches the fault-free mapping actually uses: host
+        // tiles of accelerated kernels first, then fused partners.
+        let mut targets: Vec<TileId> = Vec::new();
+        for (i, accel) in clean.plan.accel.iter().enumerate() {
+            if accel.is_some() && !targets.contains(&clean.plan.tiles[i]) {
+                targets.push(clean.plan.tiles[i]);
+            }
+        }
+        for accel in clean.plan.accel.iter().flatten() {
+            if let Some(p) = accel.partner {
+                if !targets.contains(&p) {
+                    targets.push(p);
+                }
+            }
+        }
+        targets.truncate(MAX_FAILED);
+
+        println!(
+            "{:>6}: clean {:>7.0} fps ({} accelerated, {} fused), software {:>7.0} fps",
+            app.name,
+            clean.throughput_fps,
+            clean.plan.accelerated(),
+            clean.plan.fused(),
+            software.throughput_fps
+        );
+
+        let mut points = Vec::new();
+        let mut prev_fps = clean.throughput_fps;
+        for k in 1..=targets.len() {
+            let mut plan = FaultPlan::new(k as u64);
+            for &t in &targets[..k] {
+                plan.push(
+                    0,
+                    FaultKind::PatchFail {
+                        tile: t,
+                        until: None,
+                    },
+                );
+            }
+            let run = ws
+                .run_app_faulted(app, Arch::Stitch, DEFAULT_FRAMES, &plan)
+                .expect("degraded run completes");
+
+            // Degradation must never change values.
+            assert_eq!(
+                run.node_outputs, clean.node_outputs,
+                "{}: outputs changed with {k} failed patches",
+                app.name
+            );
+            // The recovery mapping routes around dead patches entirely,
+            // so nothing is left to demote at runtime.
+            assert_eq!(
+                run.fault_stats.demotions, 0,
+                "{}: recovery mapping still touched a dead patch",
+                app.name
+            );
+            // Monotone: one more dead patch never helps (within greedy
+            // placement noise)...
+            assert!(
+                run.throughput_fps <= prev_fps * MONOTONE_SLACK,
+                "{}: throughput rose from {prev_fps:.0} to {:.0} fps at {k} failed patches",
+                app.name,
+                run.throughput_fps
+            );
+            // ...and never cliffs below the all-software floor.
+            assert!(
+                run.throughput_fps >= software.throughput_fps * 0.98,
+                "{}: fell below the software floor at {k} failed patches",
+                app.name
+            );
+
+            let rel = run.throughput_fps / clean.throughput_fps;
+            println!(
+                "        {k} failed: {:>7.0} fps ({:>5.1}% of clean, {} still accelerated)",
+                run.throughput_fps,
+                rel * 100.0,
+                run.plan.accelerated()
+            );
+            let mut point = JsonObject::new();
+            point
+                .int("failed_patches", k as u64)
+                .float("throughput_fps", run.throughput_fps)
+                .float("relative_to_clean", rel)
+                .int("accelerated_kernels", run.plan.accelerated() as u64)
+                .int("fused_kernels", run.plan.fused() as u64)
+                .int("faults_injected", run.fault_stats.injected);
+            points.push(point);
+            prev_fps = run.throughput_fps;
+            worst_retention = worst_retention.min(rel);
+        }
+
+        let mut report = JsonObject::new();
+        report
+            .str("app", app.name)
+            .float("clean_fps", clean.throughput_fps)
+            .float("software_fps", software.throughput_fps)
+            .int("accelerated_kernels", clean.plan.accelerated() as u64)
+            .int("fused_kernels", clean.plan.fused() as u64)
+            .array("degradation", &points);
+        app_reports.push(report);
+    }
+
+    let mut root = JsonObject::new();
+    root.int("frames", u64::from(DEFAULT_FRAMES))
+        .int("max_failed_patches", MAX_FAILED as u64)
+        .float("worst_relative_throughput", worst_retention)
+        .array("apps", &app_reports);
+    std::fs::write("BENCH_faults.json", root.render_pretty()).expect("write BENCH_faults.json");
+
+    println!("{}", "-".repeat(72));
+    println!(
+        "worst-case retention across apps: {:.1}% of fault-free throughput",
+        worst_retention * 100.0
+    );
+    println!("degradation is monotone and outputs stayed bit-identical everywhere");
+    println!("\nwrote BENCH_faults.json");
+}

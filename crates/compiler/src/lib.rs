@@ -43,7 +43,9 @@ pub use lcs::{chain_analysis, critical_chain, ChainReport, ChainRound};
 pub use mapper::{map_candidate, Mapping, OutPort, PatchConfig};
 pub use profile::{profile_program, ProfileReport};
 pub use rewrite::{accelerate_block, rewrite_program, select_candidates, Chosen, RewriteResult};
-pub use stitcher::{stitch_application, AppKernel, GrantedAccel, StitchPlan};
+pub use stitcher::{
+    stitch_application, stitch_application_masked, AppKernel, GrantedAccel, StitchPlan,
+};
 
 use std::fmt;
 

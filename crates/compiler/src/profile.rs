@@ -8,7 +8,7 @@
 
 use crate::cfg::Cfg;
 use crate::CompilerError;
-use stitch_cpu::{Core, CoreState, Platform, StepOutcome};
+use stitch_cpu::{Core, CoreState, CustomOutcome, Platform, StepOutcome};
 use stitch_isa::custom::CiId;
 use stitch_isa::instr::Width;
 use stitch_isa::program::Program;
@@ -69,11 +69,11 @@ impl Platform for ProfilePlatform {
         &mut self,
         _ci: CiId,
         inputs: [u32; 4],
-    ) -> Result<(PatchOutput, bool), stitch_cpu::CpuError> {
+    ) -> Result<CustomOutcome, stitch_cpu::CpuError> {
         // Profiling happens before acceleration; treat any custom
         // instruction as a pass-through so pre-accelerated binaries can
         // still be profiled structurally.
-        Ok((
+        Ok(CustomOutcome::healthy(
             PatchOutput {
                 out0: inputs[0],
                 out1: inputs[1],

@@ -95,8 +95,31 @@ impl StitchPlan {
 /// `kernels` must not exceed the tile count, and home tiles must be
 /// distinct.
 #[must_use]
-#[allow(clippy::too_many_lines)]
 pub fn stitch_application(kernels: &[AppKernel], chip: &ChipConfig, arch: Arch) -> StitchPlan {
+    stitch_application_masked(kernels, chip, arch, &[])
+}
+
+/// [`stitch_application`] with the patches on `masked` tiles treated as
+/// unavailable — the recovery entry point of the fault-degradation
+/// ladder.
+///
+/// When a patch fails permanently at runtime, the runtime first demotes
+/// the affected custom instructions to their W32 software sequence
+/// (correct but slow); re-running the stitcher with the dead patches
+/// masked then produces a fresh mapping that routes acceleration around
+/// the failures — a fused pair falls back to a healthy single patch or
+/// to software, exactly as if the chip had been manufactured without
+/// those patches. Masked tiles can still *host* kernels (their core and
+/// memories are healthy); they just contribute no patch and join no
+/// fused circuit.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn stitch_application_masked(
+    kernels: &[AppKernel],
+    chip: &ChipConfig,
+    arch: Arch,
+    masked: &[TileId],
+) -> StitchPlan {
     let n = kernels.len();
     let mut tiles: Vec<TileId> = kernels.iter().map(|k| k.home).collect();
     let mut accel: Vec<Option<GrantedAccel>> = vec![None; n];
@@ -144,6 +167,12 @@ pub fn stitch_application(kernels: &[AppKernel], chip: &ChipConfig, arch: Arch) 
     }
     let mut locked = vec![false; n];
     let mut patch_used = vec![false; chip.topo.tiles()];
+    for &t in masked {
+        if !patch_used[t.index()] && chip.patches[t.index()].is_some() {
+            log.push(format!("{t}: patch masked out (fault recovery)"));
+        }
+        patch_used[t.index()] = true;
+    }
     let mut checked: Vec<Vec<PatchConfig>> = vec![Vec::new(); n];
     let mut time: Vec<u64> = kernels.iter().map(|k| k.variants.baseline_cycles).collect();
     let mut net = PatchNet::new(chip.topo);
@@ -518,6 +547,69 @@ mod tests {
                 seen.push(t);
             }
         }
+    }
+
+    #[test]
+    fn masked_patch_is_never_allocated() {
+        let cfg = ChipConfig::stitch_16();
+        let kernels = vec![fake_kernel(
+            "k",
+            0,
+            1000,
+            vec![(PatchConfig::Single(PatchClass::AtAs), 400)],
+        )];
+        // Mask every {AT-AS} tile but one: the kernel must land there.
+        let atas = cfg.tiles_with(PatchClass::AtAs);
+        let (last, masked) = atas.split_last().expect("four {AT-AS} patches");
+        let plan = stitch_application_masked(&kernels, &cfg, Arch::Stitch, masked);
+        assert_eq!(plan.accelerated(), 1);
+        assert_eq!(plan.tiles[0], *last);
+
+        // Mask all of them: the kernel stays in software.
+        let plan = stitch_application_masked(&kernels, &cfg, Arch::Stitch, &atas);
+        assert_eq!(plan.accelerated(), 0);
+        assert!(plan.log.iter().any(|l| l.contains("masked out")));
+    }
+
+    #[test]
+    fn masked_partner_downgrades_fused_pair() {
+        let cfg = ChipConfig::stitch_16();
+        // The kernel prefers a fused pair but keeps a single fallback;
+        // masking every second-class patch must force the single.
+        let kernels = vec![fake_kernel(
+            "hot",
+            0,
+            10_000,
+            vec![
+                (PatchConfig::Pair(PatchClass::AtMa, PatchClass::AtSa), 3000),
+                (PatchConfig::Single(PatchClass::AtMa), 5000),
+            ],
+        )];
+        let masked = cfg.tiles_with(PatchClass::AtSa);
+        let plan = stitch_application_masked(&kernels, &cfg, Arch::Stitch, &masked);
+        assert_eq!(plan.fused(), 0);
+        assert_eq!(plan.accelerated(), 1);
+        assert_eq!(
+            plan.accel[0].expect("granted").config,
+            PatchConfig::Single(PatchClass::AtMa)
+        );
+        assert!(plan.circuits.is_empty());
+    }
+
+    #[test]
+    fn empty_mask_matches_unmasked_plan() {
+        let cfg = ChipConfig::stitch_16();
+        let kernels = vec![fake_kernel(
+            "hot",
+            0,
+            10_000,
+            vec![(PatchConfig::Pair(PatchClass::AtMa, PatchClass::AtSa), 3000)],
+        )];
+        let a = stitch_application(&kernels, &cfg, Arch::Stitch);
+        let b = stitch_application_masked(&kernels, &cfg, Arch::Stitch, &[]);
+        assert_eq!(a.tiles, b.tiles);
+        assert_eq!(a.accel, b.accel);
+        assert_eq!(a.circuits, b.circuits);
     }
 
     #[test]

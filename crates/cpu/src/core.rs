@@ -11,6 +11,36 @@ use stitch_patch::PatchOutput;
 /// Base byte address of a tile's program text (instruction fetch space).
 pub const TEXT_BASE: u32 = 0x0100_0000;
 
+/// Result of executing one custom instruction on the platform.
+///
+/// A healthy patch retires in one cycle ([`CustomOutcome::healthy`]); a
+/// faulted one may demote to the equivalent W32 software sequence, which
+/// produces the same values at a higher cycle cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CustomOutcome {
+    /// The two architectural results.
+    pub out: PatchOutput,
+    /// True when the CI genuinely executed as a fused pair of patches.
+    pub fused: bool,
+    /// Execute-stage cycles charged for the instruction (≥ 1).
+    pub cycles: u32,
+    /// True when the binding was demoted to the software fallback.
+    pub demoted: bool,
+}
+
+impl CustomOutcome {
+    /// The fault-free outcome: single-cycle execution on the patch.
+    #[must_use]
+    pub fn healthy(out: PatchOutput, fused: bool) -> Self {
+        CustomOutcome {
+            out,
+            fused,
+            cycles: 1,
+            demoted: false,
+        }
+    }
+}
+
 /// Services the chip provides to a core: memory, patches, and the NIC.
 pub trait Platform {
     /// Latency (cycles) of fetching the instruction word at `byte_addr`.
@@ -24,12 +54,15 @@ pub trait Platform {
 
     /// Executes custom instruction `ci` with the four operand words.
     ///
-    /// Returns the patch outputs and whether the binding was fused.
+    /// Returns the patch outputs, the cycle charge, and whether the
+    /// binding executed fused or demoted (see [`CustomOutcome`]).
     ///
     /// # Errors
     ///
-    /// [`CpuError::UnboundCustom`] when the stitcher allocated no patch.
-    fn exec_custom(&mut self, ci: CiId, inputs: [u32; 4]) -> Result<(PatchOutput, bool), CpuError>;
+    /// [`CpuError::UnboundCustom`] when the stitcher allocated no patch;
+    /// [`CpuError::PatchFaulted`] when a fault plan in strict mode hits a
+    /// dead patch or severed fused circuit.
+    fn exec_custom(&mut self, ci: CiId, inputs: [u32; 4]) -> Result<CustomOutcome, CpuError>;
 
     /// Sends `len` words starting at local address `addr` to tile `dst`
     /// (NIC DMA; the platform reads the words functionally).
@@ -339,18 +372,24 @@ impl Core {
                     cpu.reg(slots[2]),
                     cpu.reg(slots[3]),
                 ];
-                let (out, fused) = platform.exec_custom(ci.ci, inputs)?;
+                let o = platform.exec_custom(ci.ci, inputs)?;
                 let outs = ci.outputs();
                 if let Some(r0) = outs.first() {
-                    cpu.set_reg(*r0, out.out0);
+                    cpu.set_reg(*r0, o.out.out0);
                 }
                 if let Some(r1) = outs.get(1) {
-                    cpu.set_reg(*r1, out.out1);
+                    cpu.set_reg(*r1, o.out.out1);
                 }
-                cycles += 1; // single-cycle execution, the paper's headline
+                // Single-cycle execution on a healthy patch (the paper's
+                // headline); a demoted CI charges its software-sequence
+                // cost instead.
+                cycles += o.cycles.max(1);
                 cpu.stats.custom_ops += 1;
-                if fused {
+                if o.fused {
                     cpu.stats.fused_ops += 1;
+                }
+                if o.demoted {
+                    cpu.stats.demoted_ops += 1;
                 }
             }
             Instr::Send { dst, addr, len } => {
@@ -408,12 +447,8 @@ mod tests {
             self.mem.insert(addr & !3, value);
             1
         }
-        fn exec_custom(
-            &mut self,
-            _ci: CiId,
-            inputs: [u32; 4],
-        ) -> Result<(PatchOutput, bool), CpuError> {
-            Ok((
+        fn exec_custom(&mut self, _ci: CiId, inputs: [u32; 4]) -> Result<CustomOutcome, CpuError> {
+            Ok(CustomOutcome::healthy(
                 PatchOutput {
                     out0: inputs[0].wrapping_add(inputs[1]),
                     out1: inputs[0],

@@ -25,7 +25,7 @@
 pub mod core;
 pub mod stats;
 
-pub use crate::core::{Core, CoreState, Platform, StepOutcome};
+pub use crate::core::{Core, CoreState, CustomOutcome, Platform, StepOutcome};
 pub use stats::CoreStats;
 
 /// Multiply latency on the base pipeline, in cycles. The open-source
@@ -65,6 +65,35 @@ pub enum CpuError {
         /// The target instruction index.
         target: u32,
     },
+    /// A custom instruction hit a faulted patch or severed fused circuit
+    /// while the active fault plan forbids graceful degradation (strict
+    /// mode). The chip simulator translates this into its typed
+    /// `SimError::Faulted`.
+    PatchFaulted {
+        /// The custom instruction that detected the fault.
+        ci: CiId,
+        /// What was found broken.
+        kind: PatchFaultKind,
+    },
+}
+
+/// Hardware component a strict-mode custom instruction found broken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatchFaultKind {
+    /// The local patch datapath is dead.
+    PatchDead,
+    /// The fused partner patch or a crossbar switch on the circuit is
+    /// dead, so the inter-patch handshake cannot complete.
+    CircuitDead,
+}
+
+impl fmt::Display for PatchFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatchFaultKind::PatchDead => write!(f, "patch datapath dead"),
+            PatchFaultKind::CircuitDead => write!(f, "fused circuit severed"),
+        }
+    }
 }
 
 impl fmt::Display for CpuError {
@@ -81,6 +110,9 @@ impl fmt::Display for CpuError {
                 write!(f, "recv expected {expected} words, message has {got}")
             }
             CpuError::BadTarget { target } => write!(f, "control transfer to {target}"),
+            CpuError::PatchFaulted { ci, kind } => {
+                write!(f, "custom instruction {ci} hit a hardware fault: {kind}")
+            }
         }
     }
 }

@@ -17,6 +17,9 @@ pub struct CoreStats {
     pub custom_ops: u64,
     /// Custom instructions that executed on a fused patch pair.
     pub fused_ops: u64,
+    /// Custom instructions demoted to the W32 software fallback because
+    /// of a patch or fused-circuit fault.
+    pub demoted_ops: u64,
     /// Committed branches.
     pub branches: u64,
     /// Branches taken.
@@ -64,6 +67,7 @@ impl CoreStats {
         self.mem_ops += other.mem_ops;
         self.custom_ops += other.custom_ops;
         self.fused_ops += other.fused_ops;
+        self.demoted_ops += other.demoted_ops;
         self.branches += other.branches;
         self.branches_taken += other.branches_taken;
         self.fetch_stall_cycles += other.fetch_stall_cycles;

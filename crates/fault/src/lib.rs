@@ -1,0 +1,420 @@
+//! # Deterministic fault injection for the Stitch chip
+//!
+//! Wearable SoCs are always-on: a single flaky patch or mesh link must
+//! degrade throughput, not correctness. This crate defines the *plan*
+//! side of the fault subsystem — a seed-driven, fully deterministic
+//! [`FaultPlan`] that the simulator replays cycle-accurately — while the
+//! *mechanism* side (detection, watchdogs, and the degradation ladder)
+//! lives in `stitch-sim` and `stitch-noc`.
+//!
+//! Fault classes modelled (severity order matches the degradation ladder
+//! in DESIGN.md):
+//!
+//! 1. **Patch failures** ([`FaultKind::PatchFail`]) — the polymorphic
+//!    patch datapath of one tile dies, permanently or until a recovery
+//!    cycle. Bound custom instructions demote to the equivalent W32
+//!    software sequence.
+//! 2. **Inter-patch switch failures** ([`FaultKind::SwitchFail`]) — the
+//!    bufferless crossbar switch of one tile dies, severing every fused
+//!    circuit routed through it. Fused CIs demote after a bounded
+//!    watchdog retry.
+//! 3. **Config-state soft errors** ([`FaultKind::ConfigUpset`]) — a bit
+//!    flip in a patch's configuration registers, detected by parity on
+//!    the next activation and scrubbed from the instruction stream at a
+//!    fixed cycle cost (values are never corrupted by a *detected*
+//!    upset).
+//! 4. **Mesh link faults** ([`FaultKind::MeshLinkFail`]) — a core-mesh
+//!    link goes down; the routers fall back to deterministic fault-aware
+//!    routing, and persistent stalls surface as a typed
+//!    `SimError::Faulted` instead of a silent hang.
+//!
+//! Classes 1–3 are *compute-only*: they may change cycle counts but never
+//! architectural results. Class 4 can reorder message delivery, so plans
+//! containing it are excluded from the bit-identity property
+//! (see `FaultPlan::is_compute_only`).
+
+pub mod rng;
+
+pub use rng::SimRng;
+use std::fmt;
+use stitch_noc::{PortDir, TileId};
+
+/// One injected hardware fault.
+///
+/// `until` fields give the first cycle at which the component works
+/// again (half-open interval); `None` means the fault is permanent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The tile's patch datapath fails.
+    PatchFail {
+        /// Tile whose patch dies.
+        tile: TileId,
+        /// First healthy cycle again, or `None` for permanent.
+        until: Option<u64>,
+    },
+    /// The tile's inter-patch crossbar switch fails, severing every
+    /// fused circuit routed through the tile.
+    SwitchFail {
+        /// Tile whose switch dies.
+        tile: TileId,
+        /// First healthy cycle again, or `None` for permanent.
+        until: Option<u64>,
+    },
+    /// A soft error flips the tile's patch configuration state. Parity
+    /// detects it on the next activation; the configuration is scrubbed
+    /// from the instruction stream at a fixed cycle cost.
+    ConfigUpset {
+        /// Tile whose patch configuration is upset.
+        tile: TileId,
+    },
+    /// The mesh link leaving `tile` toward `dir` (and its reverse
+    /// direction — links are physically bidirectional) goes down.
+    MeshLinkFail {
+        /// Tile on one end of the link.
+        tile: TileId,
+        /// Direction of the link (`North`/`East`/`South`/`West`).
+        dir: PortDir,
+        /// First healthy cycle again, or `None` for permanent.
+        until: Option<u64>,
+    },
+}
+
+impl FaultKind {
+    /// The tile the fault is anchored to.
+    #[must_use]
+    pub fn tile(&self) -> TileId {
+        match self {
+            FaultKind::PatchFail { tile, .. }
+            | FaultKind::SwitchFail { tile, .. }
+            | FaultKind::ConfigUpset { tile }
+            | FaultKind::MeshLinkFail { tile, .. } => *tile,
+        }
+    }
+
+    /// True when the fault can only affect patch compute (cycles), never
+    /// message ordering — the class covered by the bit-identity
+    /// invariant.
+    #[must_use]
+    pub fn is_compute_only(&self) -> bool {
+        !matches!(self, FaultKind::MeshLinkFail { .. })
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let until = |u: &Option<u64>| match u {
+            Some(c) => format!("until cycle {c}"),
+            None => "permanently".to_string(),
+        };
+        match self {
+            FaultKind::PatchFail { tile, until: u } => {
+                write!(f, "{tile} patch fails {}", until(u))
+            }
+            FaultKind::SwitchFail { tile, until: u } => {
+                write!(f, "{tile} inter-patch switch fails {}", until(u))
+            }
+            FaultKind::ConfigUpset { tile } => {
+                write!(f, "{tile} patch config upset")
+            }
+            FaultKind::MeshLinkFail {
+                tile,
+                dir,
+                until: u,
+            } => {
+                write!(f, "{tile} mesh link {dir:?} fails {}", until(u))
+            }
+        }
+    }
+}
+
+/// A fault scheduled at an absolute simulation cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Cycle at which the fault manifests.
+    pub cycle: u64,
+    /// What breaks.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, replayable schedule of hardware faults.
+///
+/// Events are kept sorted by cycle; the simulator applies every event
+/// whose cycle has been reached at the top of the corresponding tick, in
+/// both the event-driven fast path and the cycle-by-cycle reference
+/// engine, so the two stay bit-identical under an active plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    degrade: bool,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan tagged with a seed, in graceful-degradation mode.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            degrade: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// Seed the plan was built from (diagnostic only).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when the runtime should degrade gracefully on detection;
+    /// false (strict mode) makes the first detection abort the run with
+    /// a typed `SimError::Faulted`.
+    #[must_use]
+    pub fn degrade(&self) -> bool {
+        self.degrade
+    }
+
+    /// Switches the plan to strict mode (no graceful degradation).
+    #[must_use]
+    pub fn strict(mut self) -> Self {
+        self.degrade = false;
+        self
+    }
+
+    /// Schedules a fault, keeping events sorted by cycle (stable for
+    /// equal cycles, so insertion order breaks ties deterministically).
+    pub fn push(&mut self, cycle: u64, kind: FaultKind) {
+        let at = self.events.partition_point(|e| e.cycle <= cycle);
+        self.events.insert(at, FaultEvent { cycle, kind });
+    }
+
+    /// Builder-style [`push`](Self::push).
+    #[must_use]
+    pub fn with(mut self, cycle: u64, kind: FaultKind) -> Self {
+        self.push(cycle, kind);
+        self
+    }
+
+    /// The scheduled events, sorted by cycle.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no fault is scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// True when every event is compute-only (no mesh link faults), the
+    /// precondition for the bit-identical-results invariant.
+    #[must_use]
+    pub fn is_compute_only(&self) -> bool {
+        self.events.iter().all(|e| e.kind.is_compute_only())
+    }
+
+    /// Tiles whose patch fails permanently under this plan — the set to
+    /// mask when re-running the stitcher for a recovery mapping.
+    #[must_use]
+    pub fn failed_patches(&self) -> Vec<TileId> {
+        let mut tiles: Vec<TileId> = self
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::PatchFail { tile, until: None } => Some(tile),
+                _ => None,
+            })
+            .collect();
+        tiles.sort_unstable();
+        tiles.dedup();
+        tiles
+    }
+
+    /// Generates a randomized plan, deterministically from `seed`.
+    #[must_use]
+    pub fn random(seed: u64, space: &FaultSpace) -> Self {
+        let mut rng = SimRng::new(seed);
+        let mut plan = FaultPlan::new(seed);
+        let n = 1 + rng.index(space.max_events.max(1));
+        for _ in 0..n {
+            let cycle = rng.below(space.horizon.max(1));
+            let tile = TileId(rng.index(usize::from(space.tiles.max(1))) as u8);
+            let until = (space.allow_transient && rng.chance(1, 2))
+                .then(|| cycle + rng.range(1_000, 1_000 + space.horizon.max(2)));
+            let choices = if space.compute_only { 3 } else { 4 };
+            let kind = match rng.index(choices) {
+                0 => FaultKind::PatchFail { tile, until },
+                1 => FaultKind::SwitchFail { tile, until },
+                2 => FaultKind::ConfigUpset { tile },
+                _ => FaultKind::MeshLinkFail {
+                    tile,
+                    dir: [PortDir::North, PortDir::East, PortDir::South, PortDir::West]
+                        [rng.index(4)],
+                    until,
+                },
+            };
+            plan.push(cycle, kind);
+        }
+        plan
+    }
+}
+
+/// Sampling space for [`FaultPlan::random`].
+#[derive(Debug, Clone)]
+pub struct FaultSpace {
+    /// Number of tiles faults may target.
+    pub tiles: u8,
+    /// Injection cycles are drawn from `[0, horizon)`.
+    pub horizon: u64,
+    /// A plan carries `1..=max_events` faults.
+    pub max_events: usize,
+    /// Restrict to compute-only faults (no mesh link faults).
+    pub compute_only: bool,
+    /// Allow transient faults (with a recovery cycle) as well as
+    /// permanent ones.
+    pub allow_transient: bool,
+}
+
+impl Default for FaultSpace {
+    fn default() -> Self {
+        FaultSpace {
+            tiles: 16,
+            horizon: 100_000,
+            max_events: 4,
+            compute_only: false,
+            allow_transient: true,
+        }
+    }
+}
+
+impl FaultSpace {
+    /// Restricts the space to compute-only faults.
+    #[must_use]
+    pub fn compute_only(mut self) -> Self {
+        self.compute_only = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plans_are_deterministic() {
+        let space = FaultSpace::default();
+        for seed in 0..32 {
+            let a = FaultPlan::random(seed, &space);
+            let b = FaultPlan::random(seed, &space);
+            assert_eq!(a, b, "seed {seed} not reproducible");
+            assert!(!a.is_empty());
+            assert!(a.len() <= space.max_events);
+        }
+    }
+
+    #[test]
+    fn events_stay_sorted() {
+        let mut plan = FaultPlan::new(1);
+        plan.push(50, FaultKind::ConfigUpset { tile: TileId(3) });
+        plan.push(
+            10,
+            FaultKind::PatchFail {
+                tile: TileId(1),
+                until: None,
+            },
+        );
+        plan.push(
+            50,
+            FaultKind::SwitchFail {
+                tile: TileId(2),
+                until: Some(60),
+            },
+        );
+        let cycles: Vec<u64> = plan.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![10, 50, 50]);
+        // Equal cycles keep insertion order.
+        assert!(matches!(
+            plan.events()[1].kind,
+            FaultKind::ConfigUpset { .. }
+        ));
+    }
+
+    #[test]
+    fn compute_only_space_excludes_link_faults() {
+        let space = FaultSpace {
+            max_events: 8,
+            ..FaultSpace::default()
+        }
+        .compute_only();
+        for seed in 0..64 {
+            let plan = FaultPlan::random(seed, &space);
+            assert!(plan.is_compute_only(), "seed {seed} drew a link fault");
+        }
+    }
+
+    #[test]
+    fn failed_patches_lists_permanent_patch_faults_only() {
+        let plan = FaultPlan::new(0)
+            .with(
+                5,
+                FaultKind::PatchFail {
+                    tile: TileId(9),
+                    until: None,
+                },
+            )
+            .with(
+                7,
+                FaultKind::PatchFail {
+                    tile: TileId(2),
+                    until: Some(100),
+                },
+            )
+            .with(
+                9,
+                FaultKind::SwitchFail {
+                    tile: TileId(4),
+                    until: None,
+                },
+            )
+            .with(
+                11,
+                FaultKind::PatchFail {
+                    tile: TileId(9),
+                    until: None,
+                },
+            );
+        assert_eq!(plan.failed_patches(), vec![TileId(9)]);
+    }
+
+    #[test]
+    fn strict_mode_flag() {
+        let plan = FaultPlan::new(3);
+        assert!(plan.degrade());
+        assert!(!plan.strict().degrade());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let kind = FaultKind::PatchFail {
+            tile: TileId(0),
+            until: None,
+        };
+        assert_eq!(kind.to_string(), "tile1 patch fails permanently");
+        let kind = FaultKind::MeshLinkFail {
+            tile: TileId(5),
+            dir: PortDir::East,
+            until: Some(99),
+        };
+        assert_eq!(
+            kind.to_string(),
+            "tile6 mesh link East fails until cycle 99"
+        );
+    }
+}

@@ -136,6 +136,11 @@ struct Move {
     from_port: usize,
     to_router: Option<usize>, // None = ejected locally
     to_port: usize,
+    /// Output port the flit traverses at `from_router` (recorded at
+    /// selection time so wormhole ownership follows the port actually
+    /// used, even if fault-aware routing would answer differently on a
+    /// later cycle).
+    out: usize,
 }
 
 /// The buffered inter-core mesh.
@@ -160,6 +165,17 @@ pub struct Mesh {
     scratch_moves: Vec<Move>,
     /// Scratch buffer for per-input-buffer credits (reused across ticks).
     scratch_credits: Vec<[usize; PORTS]>,
+    /// Per-tile, per-direction (N,E,S,W) cycle until which the outgoing
+    /// link is down (`0` = healthy, `u64::MAX` = permanently down). The
+    /// link is unusable while `cycle < link_down_until[t][d]`.
+    link_down_until: Vec<[u64; 4]>,
+    /// Set once any link fault is injected; gates the fault-aware
+    /// routing fallback so fault-free runs take the original XY path.
+    any_link_faults: bool,
+    /// Consecutive ticks in which traffic was in flight but no flit
+    /// moved — the probe a fault-aware simulator uses to convert a
+    /// wedged network into a typed error instead of a silent hang.
+    stalled_ticks: u64,
 }
 
 impl Mesh {
@@ -178,6 +194,9 @@ impl Mesh {
             next_msg_id: 0,
             scratch_moves: Vec::new(),
             scratch_credits: Vec::new(),
+            link_down_until: vec![[0; 4]; n],
+            any_link_faults: false,
+            stalled_ticks: 0,
         }
     }
 
@@ -285,8 +304,44 @@ impl Mesh {
         self.cycle = cycle;
     }
 
-    /// Output port for a flit at `here` by XY routing.
-    fn route(&self, here: TileId, dst: TileId) -> usize {
+    /// Marks the bidirectional mesh link between `tile` and its `dir`
+    /// neighbor as down until `until` (use `u64::MAX` for a permanent
+    /// fault). Calls naming a nonexistent neighbor or the local port are
+    /// ignored — there is no link to fail.
+    pub fn set_link_fault(&mut self, tile: TileId, dir: PortDir, until: u64) {
+        let d = port_index(dir);
+        if d == 4 {
+            return;
+        }
+        let Some(next) = self.cfg.topo.neighbor(tile, dir) else {
+            return;
+        };
+        let fwd = &mut self.link_down_until[tile.index()][d];
+        *fwd = (*fwd).max(until);
+        let back = &mut self.link_down_until[next.index()][port_index(dir.opposite())];
+        *back = (*back).max(until);
+        self.any_link_faults = true;
+    }
+
+    /// Whether the outgoing link at `here` through port `out` is usable
+    /// this cycle.
+    fn link_up(&self, here: TileId, out: usize) -> bool {
+        out >= 4 || self.cycle >= self.link_down_until[here.index()][out]
+    }
+
+    /// Consecutive ticks in which traffic was in flight but nothing
+    /// moved. A fault-aware runtime treats a large value as a wedged
+    /// network (e.g. every route to a destination severed) and reports a
+    /// typed fault; the counter is free of false positives beyond the
+    /// router-pipeline fill delay, which is why callers use a threshold
+    /// far above [`ROUTER_PIPELINE`].
+    #[must_use]
+    pub fn stalled_ticks(&self) -> u64 {
+        self.stalled_ticks
+    }
+
+    /// Output port for a flit at `here` by XY dimension-order routing.
+    fn route_xy(&self, here: TileId, dst: TileId) -> usize {
         let (c, d) = (self.cfg.topo.coord(here), self.cfg.topo.coord(dst));
         if d.x > c.x {
             port_index(PortDir::East)
@@ -301,6 +356,49 @@ impl Mesh {
         }
     }
 
+    /// Output port for a flit at `here`, with a deterministic fault-aware
+    /// fallback when the preferred XY link is down: first the productive
+    /// port of the other dimension, then any live link in fixed N,E,S,W
+    /// order (a misroute — forward progress over minimality). When every
+    /// link is down the preferred port is returned and the flit simply
+    /// waits; the stall probe converts that into a typed fault upstream.
+    /// Fault-free runs never leave the XY path.
+    fn route(&self, here: TileId, dst: TileId) -> usize {
+        let preferred = self.route_xy(here, dst);
+        if preferred == 4 || !self.any_link_faults || self.link_up(here, preferred) {
+            return preferred;
+        }
+        let (c, d) = (self.cfg.topo.coord(here), self.cfg.topo.coord(dst));
+        let vertical = if d.y > c.y {
+            port_index(PortDir::South)
+        } else {
+            port_index(PortDir::North)
+        };
+        let horizontal = if d.x > c.x {
+            port_index(PortDir::East)
+        } else {
+            port_index(PortDir::West)
+        };
+        let productive = if preferred == horizontal && d.y != c.y {
+            Some(vertical)
+        } else if preferred == vertical && d.x != c.x {
+            Some(horizontal)
+        } else {
+            None
+        };
+        let candidates = productive.into_iter().chain(0..4usize);
+        for out in candidates {
+            if out == preferred {
+                continue;
+            }
+            let dir = [PortDir::North, PortDir::East, PortDir::South, PortDir::West][out];
+            if self.cfg.topo.neighbor(here, dir).is_some() && self.link_up(here, out) {
+                return out;
+            }
+        }
+        preferred
+    }
+
     /// Advances the network one cycle.
     pub fn tick(&mut self) {
         self.cycle += 1;
@@ -309,9 +407,11 @@ impl Mesh {
         // counter equality implies structural emptiness — debug-asserted
         // in `idle`), so the scans below would all come up empty.
         if self.idle() {
+            self.stalled_ticks = 0;
             return;
         }
         let n = self.cfg.topo.tiles();
+        let mut progressed = false;
 
         // 1. Injection: move waiting flits into the local input buffer.
         for t in 0..n {
@@ -328,6 +428,7 @@ impl Mesh {
                 flit.ready_at = self.cycle + ROUTER_PIPELINE;
                 self.routers[t].inputs[4].push_back(flit);
                 moved += 1;
+                progressed = true;
             }
             // Drop exhausted packet shells.
             while matches!(self.inject[t].front(), Some(f) if f.is_empty()) {
@@ -360,8 +461,12 @@ impl Mesh {
                 let owner = self.routers[r].out_owner[out];
                 let pick: Option<usize> = if let Some(input) = owner {
                     // Wormhole: only the owning input may use this output.
+                    // Body flits follow the head's output unconditionally;
+                    // re-checking `route` per flit is redundant while
+                    // routes are static and would strand mid-packet flits
+                    // when a link fault changes the route's answer.
                     let head_ok = self.routers[r].inputs[input].front().is_some_and(|f| {
-                        f.ready_at <= self.cycle && self.route(here, f.dst) == out
+                        f.ready_at <= self.cycle && (!f.is_head || self.route(here, f.dst) == out)
                     });
                     head_ok.then_some(input)
                 } else {
@@ -382,12 +487,16 @@ impl Mesh {
                         from_port: input,
                         to_router: None,
                         to_port: 0,
+                        out,
                     });
                 } else {
                     let dir = [PortDir::North, PortDir::East, PortDir::South, PortDir::West][out];
                     let Some(next) = self.cfg.topo.neighbor(here, dir) else {
                         continue;
                     };
+                    if self.any_link_faults && !self.link_up(here, out) {
+                        continue; // link is down; the flit waits in place
+                    }
                     let in_port = port_index(dir.opposite());
                     if credits[next.index()][in_port] == 0 {
                         continue; // no downstream buffer space
@@ -398,26 +507,31 @@ impl Mesh {
                         from_port: input,
                         to_router: Some(next.index()),
                         to_port: in_port,
+                        out,
                     });
                 }
             }
         }
 
         // 3. Apply moves.
+        progressed |= !moves.is_empty();
         for m in moves.drain(..) {
+            // Invariant: selection picks at most one move per input port
+            // per cycle (an input's head-of-line flit targets exactly one
+            // output), and only when that flit exists — the pop cannot
+            // come up empty.
             let flit = self.routers[m.from_router].inputs[m.from_port]
                 .pop_front()
                 .expect("picked flit present");
             let here = TileId(m.from_router as u8);
-            let out = self.route(here, flit.dst);
-            // Maintain wormhole ownership.
+            // Maintain wormhole ownership along the port actually used.
             let router = &mut self.routers[m.from_router];
             if flit.is_head {
-                router.out_owner[out] = Some(m.from_port);
-                router.rr[out] = (m.from_port + 1) % PORTS;
+                router.out_owner[m.out] = Some(m.from_port);
+                router.rr[m.out] = (m.from_port + 1) % PORTS;
             }
             if flit.is_tail {
-                router.out_owner[out] = None;
+                router.out_owner[m.out] = None;
             }
             match m.to_router {
                 None => self.eject(here, flit),
@@ -431,6 +545,11 @@ impl Mesh {
         }
         self.scratch_moves = moves;
         self.scratch_credits = credits;
+        if progressed {
+            self.stalled_ticks = 0;
+        } else {
+            self.stalled_ticks += 1;
+        }
     }
 
     fn eject(&mut self, tile: TileId, flit: Flit) {
@@ -590,5 +709,68 @@ mod tests {
         m.send(TileId(0), TileId(1), &[1, 2, 3, 4]); // 5 flits, 1 hop
         m.drain(10_000);
         assert_eq!(m.stats().flit_hops, 5);
+    }
+
+    #[test]
+    fn link_fault_reroutes_around_dead_link() {
+        let mut m = mesh();
+        // Kill the direct XY first hop (tile0 -> tile1 eastward).
+        m.set_link_fault(TileId(0), PortDir::East, u64::MAX);
+        m.send(TileId(0), TileId(3), &[41, 42]);
+        m.drain(100_000);
+        assert!(m.idle(), "message reroutes around the dead link");
+        let msg = m.pop_delivered(TileId(3), TileId(0)).expect("delivered");
+        assert_eq!(msg.words, vec![41, 42]);
+    }
+
+    #[test]
+    fn transient_link_fault_recovers() {
+        let mut m = mesh();
+        // Sever every link of tile 5 until cycle 200: traffic through it
+        // must wait, then flow again.
+        for dir in [PortDir::North, PortDir::East, PortDir::South, PortDir::West] {
+            m.set_link_fault(TileId(5), dir, 200);
+        }
+        m.send(TileId(5), TileId(6), &[9]);
+        m.drain(100_000);
+        assert!(m.idle(), "traffic resumes after the transient fault");
+        let msg = m.pop_delivered(TileId(6), TileId(5)).expect("delivered");
+        assert_eq!(msg.words, vec![9]);
+        assert!(m.cycle() >= 200, "delivery waited for link recovery");
+    }
+
+    #[test]
+    fn severed_source_raises_stall_probe() {
+        let mut m = mesh();
+        // Isolate tile 0 completely; its outbound packet can never leave
+        // the local input buffer, so nothing in the network ever moves.
+        for dir in [PortDir::North, PortDir::East, PortDir::South, PortDir::West] {
+            m.set_link_fault(TileId(0), dir, u64::MAX);
+        }
+        m.send(TileId(0), TileId(15), &[1]);
+        m.drain(5_000);
+        assert!(!m.idle(), "packet is wedged");
+        assert!(
+            m.stalled_ticks() > 1_000,
+            "stall probe flags the wedged network (got {})",
+            m.stalled_ticks()
+        );
+    }
+
+    #[test]
+    fn fault_free_stall_probe_stays_low() {
+        let mut m = mesh();
+        for t in 0..16u8 {
+            m.send(TileId(t), TileId(15 - t), &[u32::from(t); 10]);
+        }
+        let mut max_stall = 0;
+        while !m.idle() {
+            m.tick();
+            max_stall = max_stall.max(m.stalled_ticks());
+        }
+        assert!(
+            max_stall <= ROUTER_PIPELINE + LINK_LATENCY + 1,
+            "healthy traffic never looks stalled (max {max_stall})"
+        );
     }
 }

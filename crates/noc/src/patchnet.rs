@@ -54,10 +54,14 @@ impl PortDir {
     }
 
     fn code(self) -> u32 {
-        Self::ALL
-            .iter()
-            .position(|&p| p == self)
-            .expect("port in ALL") as u32
+        match self {
+            PortDir::North => 0,
+            PortDir::East => 1,
+            PortDir::South => 2,
+            PortDir::West => 3,
+            PortDir::Reg => 4,
+            PortDir::Patch => 5,
+        }
     }
 
     fn from_code(c: u32) -> Option<PortDir> {
@@ -388,8 +392,10 @@ impl PatchNet {
             return None;
         }
         let mut path = vec![to];
-        while let Some(p) = prev[path.last().expect("nonempty").index()] {
+        let mut cursor = to;
+        while let Some(p) = prev[cursor.index()] {
             path.push(p);
+            cursor = p;
         }
         path.reverse();
         debug_assert_eq!(path[0], from);

@@ -130,7 +130,9 @@ fn eval_locus(c: &crate::control::LocusControl, ins: [u32; 4]) -> PatchOutput {
         vals.push(op.op.eval(a, b));
     }
     PatchOutput {
-        out0: *vals.last().expect("at least the inputs"),
+        // `vals` starts with the four inputs, so a last element always
+        // exists; `unwrap_or_default` keeps the path panic-free anyway.
+        out0: vals.last().copied().unwrap_or_default(),
         out1: vals.get(4).copied().unwrap_or(0),
     }
 }
@@ -167,6 +169,29 @@ pub fn eval_fused(
     let stage1 = eval_single(first, ins, spm);
     let forwarded = [stage1.out0, stage1.out1, ins[2], ins[3]];
     eval_single(second, forwarded, spm)
+}
+
+/// Cycle count of the equivalent W32 *software* sequence for one control
+/// word — the cost model of a demoted custom instruction.
+///
+/// When a patch fails, the runtime falls back to the scalar form the
+/// compiler substituted from: one single-cycle ALU op per active ALU or
+/// shifter, one single-cycle SPM access for an LMAU load/store, and
+/// `mul_latency` cycles for an engaged `{AT-MA}` multiplier. Unused units
+/// cost nothing. Values are computed by the same [`eval_single`] /
+/// [`eval_fused`] dataflow, so degradation changes cycles, never results.
+#[must_use]
+pub fn software_cycles(control: &ControlWord, mul_latency: u32) -> u32 {
+    let stage1 = |s: &crate::control::Stage1| 1 + u32::from(s.t1 != T1Mode::Bypass);
+    match control {
+        ControlWord::AtMa(c) => {
+            let mul = if c.a2_takes_a1 { 0 } else { mul_latency };
+            stage1(&c.s1) + mul + 1
+        }
+        ControlWord::AtAs(c) => stage1(&c.s1) + 1 + u32::from(c.s_op.is_some()),
+        ControlWord::AtSa(c) => stage1(&c.s1) + u32::from(c.s_op.is_some()) + 1,
+        ControlWord::Locus(c) => (c.ops.len() as u32).max(1),
+    }
 }
 
 #[cfg(test)]
@@ -376,5 +401,51 @@ mod tests {
         let mut spm = MapSpm::new();
         let out = eval_fused(&p1, &p2, ins(0, 0, 2, 5), &mut spm);
         assert_eq!(out.out0, ((2 + 5) << 2) + 2);
+    }
+
+    #[test]
+    fn software_cycles_counts_active_units() {
+        const MUL: u32 = 8;
+        // Full {AT-MA}: stage-1 ALU + load + multiply + stage-2 ALU.
+        let full = ControlWord::AtMa(AtMaControl {
+            s1: Stage1 {
+                a1_op: AluOp::Add,
+                a1_src1: 0,
+                a1_src2: 1,
+                t1: T1Mode::Load,
+            },
+            a2_takes_a1: false,
+            ..AtMaControl::default()
+        });
+        assert_eq!(software_cycles(&full, MUL), 2 + MUL + 1);
+        // Multiplier bypassed ({AA} pattern): no mul charge.
+        let aa = ControlWord::AtMa(AtMaControl {
+            a2_takes_a1: true,
+            ..AtMaControl::default()
+        });
+        assert_eq!(software_cycles(&aa, MUL), 1 + 1);
+        // {AT-AS} without shifter engaged.
+        let atas = ControlWord::AtAs(AtAsControl::default());
+        assert_eq!(software_cycles(&atas, MUL), 2);
+        // LOCUS chain: one cycle per micro-op.
+        let locus = ControlWord::Locus(LocusControl {
+            ops: vec![
+                LocusOp {
+                    op: AluOp::Add,
+                    src1: 0,
+                    src2: 1,
+                },
+                LocusOp {
+                    op: AluOp::Sll,
+                    src1: 4,
+                    src2: 2,
+                },
+            ],
+        });
+        assert_eq!(software_cycles(&locus, MUL), 2);
+        // A demoted CI is never cheaper than the 1-cycle patch it replaces.
+        for cw in [&full, &aa, &atas, &locus] {
+            assert!(software_cycles(cw, MUL) >= 1);
+        }
     }
 }

@@ -39,7 +39,7 @@ pub mod timing;
 pub use control::{
     AtAsControl, AtMaControl, AtSaControl, ControlWord, LocusControl, LocusOp, Sel4, Stage1, T1Mode,
 };
-pub use exec::{eval_fused, eval_single, MapSpm, PatchOutput, SpmPort};
+pub use exec::{eval_fused, eval_single, software_cycles, MapSpm, PatchOutput, SpmPort};
 pub use shape::{patch_shape, Port, UnitId, UnitSpec};
 pub use stitch_isa::custom::PatchClass;
 pub use timing::{

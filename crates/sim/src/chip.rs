@@ -1,17 +1,25 @@
 //! The 16-tile chip: cores, memories, patches and both networks.
 
+use crate::faults::{
+    FaultRuntime, FaultStats, MESH_STALL_TICKS, WATCHDOG_RETRIES, WATCHDOG_TIMEOUT_CYCLES,
+};
 use crate::summary::{RunSummary, TileSummary};
 use crate::{ChipConfig, TileId};
 use std::collections::HashMap;
 use std::fmt;
-use stitch_cpu::{Core, CoreState, CpuError, Platform, StepOutcome};
+use stitch_cpu::{
+    Core, CoreState, CpuError, CustomOutcome, PatchFaultKind, Platform, StepOutcome, MUL_LATENCY,
+};
+use stitch_fault::{FaultKind, FaultPlan};
 use stitch_isa::custom::CiId;
 use stitch_isa::instr::Width;
 use stitch_isa::program::Program;
 use stitch_mem::TileMemory;
 use stitch_noc::mesh::{Mesh, MeshConfig};
 use stitch_noc::{PatchNet, PatchNetError};
-use stitch_patch::{eval_fused, eval_single, fused_path_legal, ControlWord, PatchOutput, SpmPort};
+use stitch_patch::{
+    eval_fused, eval_single, fused_path_legal, software_cycles, ControlWord, SpmPort,
+};
 
 /// Where a custom instruction executes, as decided by the stitcher.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,8 +58,8 @@ pub enum SimError {
     },
     /// Every running core is blocked in `recv` with no traffic in flight.
     Deadlock {
-        /// `(tile, awaited source)` pairs.
-        waiting: Vec<(TileId, u32)>,
+        /// The blocked tiles and what each is waiting for.
+        waiting: Vec<Blocked>,
     },
     /// A custom-instruction binding is inconsistent with the chip.
     BadBinding {
@@ -62,6 +70,83 @@ pub enum SimError {
     },
     /// Inter-patch network error (reservation conflicts etc.).
     PatchNet(PatchNetError),
+    /// An injected hardware fault was detected and the active
+    /// [`FaultPlan`] forbids graceful degradation (strict mode), or the
+    /// mesh was wedged by link faults.
+    Faulted {
+        /// Tile where the fault was detected.
+        tile: TileId,
+        /// Cycle of detection.
+        cycle: u64,
+        /// What was found broken.
+        kind: FaultedKind,
+    },
+}
+
+/// One blocked tile in a [`SimError::Deadlock`] report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blocked {
+    /// The blocked tile.
+    pub tile: TileId,
+    /// The message operation it is parked in.
+    pub op: BlockedOp,
+}
+
+/// The blocking operation of a deadlocked tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockedOp {
+    /// Parked in `recv`, waiting for a message from `from`.
+    Recv {
+        /// Peer tile the receive is waiting on.
+        from: TileId,
+    },
+    /// Parked in `send` toward `to`. The current NIC model has unbounded
+    /// injection queues, so sends never block today; the variant keeps
+    /// the report format complete for bounded-queue NIC models.
+    Send {
+        /// Peer tile the send is addressed to.
+        to: TileId,
+    },
+}
+
+impl fmt::Display for Blocked {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            BlockedOp::Recv { from } => write!(f, "{} blocked in recv from {from}", self.tile),
+            BlockedOp::Send { to } => write!(f, "{} blocked in send to {to}", self.tile),
+        }
+    }
+}
+
+/// What a [`SimError::Faulted`] run found broken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultedKind {
+    /// A patch datapath is dead (strict mode forbids demotion).
+    PatchDead,
+    /// A fused circuit is severed (strict mode forbids demotion).
+    CircuitDead,
+    /// The inter-core mesh made no progress for `MESH_STALL_TICKS` ticks
+    /// while traffic was in flight — link faults isolated a router.
+    MeshStall,
+}
+
+impl From<PatchFaultKind> for FaultedKind {
+    fn from(k: PatchFaultKind) -> Self {
+        match k {
+            PatchFaultKind::PatchDead => FaultedKind::PatchDead,
+            PatchFaultKind::CircuitDead => FaultedKind::CircuitDead,
+        }
+    }
+}
+
+impl fmt::Display for FaultedKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultedKind::PatchDead => write!(f, "patch datapath dead"),
+            FaultedKind::CircuitDead => write!(f, "fused circuit severed"),
+            FaultedKind::MeshStall => write!(f, "mesh wedged by link faults"),
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -72,10 +157,17 @@ impl fmt::Display for SimError {
                 write!(f, "simulation exceeded {max_cycles} cycles")
             }
             SimError::Deadlock { waiting } => {
-                write!(f, "deadlock; waiting tiles: {waiting:?}")
+                write!(f, "deadlock;")?;
+                for (i, b) in waiting.iter().enumerate() {
+                    write!(f, "{} {b}", if i == 0 { "" } else { "," })?;
+                }
+                Ok(())
             }
             SimError::BadBinding { tile, reason } => write!(f, "bad binding on {tile}: {reason}"),
             SimError::PatchNet(e) => write!(f, "inter-patch NoC: {e}"),
+            SimError::Faulted { tile, cycle, kind } => {
+                write!(f, "{tile} faulted at cycle {cycle}: {kind}")
+            }
         }
     }
 }
@@ -104,6 +196,7 @@ impl SpmPort for SpmAdapter<'_> {
 /// Per-core view of the chip, implementing the CPU's [`Platform`].
 struct TilePlatform<'a> {
     tile: TileId,
+    cycle: u64,
     mem: &'a mut TileMemory,
     /// Sorted `(ci, binding)` pairs — tables hold a handful of entries,
     /// so a linear scan beats hashing on every custom instruction.
@@ -112,6 +205,18 @@ struct TilePlatform<'a> {
     patchnet: &'a mut PatchNet,
     activations: &'a mut [u64],
     xbar_errors: &'a mut u64,
+    faults: Option<&'a mut FaultRuntime>,
+}
+
+/// How a fused custom instruction executes under the active fault state.
+enum FusedMode {
+    /// Both patches and the circuit are live.
+    Healthy,
+    /// Local first stage on the live patch; the severed remote stage is
+    /// emulated in software.
+    LocalOnly,
+    /// Whole instruction in software (the local patch is dead).
+    Software,
 }
 
 impl Platform for TilePlatform<'_> {
@@ -137,7 +242,7 @@ impl Platform for TilePlatform<'_> {
         r.latency
     }
 
-    fn exec_custom(&mut self, ci: CiId, inputs: [u32; 4]) -> Result<(PatchOutput, bool), CpuError> {
+    fn exec_custom(&mut self, ci: CiId, inputs: [u32; 4]) -> Result<CustomOutcome, CpuError> {
         let binding = self
             .bindings
             .iter()
@@ -145,19 +250,120 @@ impl Platform for TilePlatform<'_> {
             .ok_or(CpuError::UnboundCustom(ci))?;
         match binding {
             CiBinding::Single { control } => {
-                self.activations[self.tile.index()] += 1;
+                let mut extra = 0;
+                let mut demoted = false;
+                if let Some(f) = self.faults.as_deref_mut() {
+                    extra += f.scrub(self.tile);
+                    if f.patch_down(self.tile, self.cycle) {
+                        if !f.plan.degrade() {
+                            return Err(CpuError::PatchFaulted {
+                                ci,
+                                kind: PatchFaultKind::PatchDead,
+                            });
+                        }
+                        f.stats.demotions += 1;
+                        demoted = true;
+                    }
+                }
+                // The software fallback runs the same dataflow through
+                // the same evaluator, so values and SPM effects stay
+                // bit-identical; only the cycle charge changes.
                 let out = eval_single(control, inputs, &mut SpmAdapter(self.mem));
-                Ok((out, false))
+                if demoted {
+                    return Ok(CustomOutcome {
+                        out,
+                        fused: false,
+                        cycles: software_cycles(control, MUL_LATENCY) + extra,
+                        demoted: true,
+                    });
+                }
+                self.activations[self.tile.index()] += 1;
+                Ok(CustomOutcome {
+                    out,
+                    fused: false,
+                    cycles: 1 + extra,
+                    demoted: false,
+                })
             }
             CiBinding::Fused {
                 first,
                 partner,
                 second,
             } => {
-                self.activations[self.tile.index()] += 1;
-                self.activations[partner.index()] += 1;
+                let mut extra = 0;
+                let mut mode = FusedMode::Healthy;
+                if let Some(f) = self.faults.as_deref_mut() {
+                    extra += f.scrub(self.tile);
+                    extra += f.scrub(*partner);
+                    if f.patch_down(self.tile, self.cycle) {
+                        if !f.plan.degrade() {
+                            return Err(CpuError::PatchFaulted {
+                                ci,
+                                kind: PatchFaultKind::PatchDead,
+                            });
+                        }
+                        f.stats.demotions += 1;
+                        mode = FusedMode::Software;
+                    } else {
+                        let circuit_dead = f.patch_down(*partner, self.cycle)
+                            || match self.patchnet.circuit(self.tile, *partner) {
+                                Some(c) => c.tiles.iter().any(|t| f.switch_down(*t, self.cycle)),
+                                // Bindings are validated at load time, so
+                                // the circuit exists; treat absence as
+                                // severed, defensively.
+                                None => true,
+                            };
+                        if circuit_dead {
+                            if !f.plan.degrade() {
+                                return Err(CpuError::PatchFaulted {
+                                    ci,
+                                    kind: PatchFaultKind::CircuitDead,
+                                });
+                            }
+                            // The fused handshake times out. The first
+                            // detection per (tile, CI) pays the bounded
+                            // watchdog retries; the demotion is then
+                            // remembered and later activations go
+                            // straight to the fallback.
+                            if f.watchdog_tripped.insert((self.tile.0, ci.0)) {
+                                f.stats.watchdog_trips += 1;
+                                extra += WATCHDOG_RETRIES * WATCHDOG_TIMEOUT_CYCLES;
+                            }
+                            f.stats.demotions += 1;
+                            mode = FusedMode::LocalOnly;
+                        }
+                    }
+                }
                 let out = eval_fused(first, second, inputs, &mut SpmAdapter(self.mem));
-                Ok((out, true))
+                Ok(match mode {
+                    FusedMode::Healthy => {
+                        self.activations[self.tile.index()] += 1;
+                        self.activations[partner.index()] += 1;
+                        CustomOutcome {
+                            out,
+                            fused: true,
+                            cycles: 1 + extra,
+                            demoted: false,
+                        }
+                    }
+                    FusedMode::LocalOnly => {
+                        self.activations[self.tile.index()] += 1;
+                        CustomOutcome {
+                            out,
+                            fused: false,
+                            cycles: 1 + software_cycles(second, MUL_LATENCY) + extra,
+                            demoted: true,
+                        }
+                    }
+                    FusedMode::Software => CustomOutcome {
+                        out,
+                        fused: false,
+                        cycles: software_cycles(first, MUL_LATENCY)
+                            + software_cycles(second, MUL_LATENCY)
+                            + extra,
+                        demoted: true,
+                    },
+                })
             }
         }
     }
@@ -209,6 +415,9 @@ pub struct Chip {
     /// Cycles elided by the fast path (diagnostic; not part of the
     /// summary, which must stay bit-identical to the reference loop).
     skipped: u64,
+    /// Installed fault plan and its runtime state, if any. `None` keeps
+    /// every fault check off the hot paths of fault-free runs.
+    faults: Option<FaultRuntime>,
 }
 
 impl Chip {
@@ -234,8 +443,22 @@ impl Chip {
             waiting: 0,
             next_wake: 0,
             skipped: 0,
+            faults: None,
             cfg,
         }
+    }
+
+    /// Installs a fault plan to be replayed during subsequent runs.
+    /// Event cycles are absolute simulation cycles; install the plan
+    /// before the first `run` so they line up with the schedule.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultRuntime::new(plan, self.cfg.topo.tiles()));
+    }
+
+    /// Fault-handling counters (all zero when no plan is installed).
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
     }
 
     /// Configuration.
@@ -257,6 +480,8 @@ impl Chip {
 
     /// Loads a program without custom-instruction bindings.
     pub fn load_program(&mut self, tile: TileId, program: &Program) {
+        // Invariant: `load_kernel` only errors while validating bindings,
+        // and the binding table here is empty.
         self.load_kernel(tile, program, HashMap::new())
             .expect("no bindings to validate");
     }
@@ -412,6 +637,9 @@ impl Chip {
     /// Propagates core faults as [`SimError::Cpu`].
     pub fn tick(&mut self) -> Result<(), SimError> {
         self.cycle += 1;
+        if self.faults.is_some() {
+            self.apply_due_faults();
+        }
         self.mesh.tick();
         let n = self.cfg.topo.tiles();
         // Earliest future step among live cores that are *not* parked in
@@ -431,12 +659,14 @@ impl Chip {
             }
             let mut plat = TilePlatform {
                 tile: TileId(i as u8),
+                cycle: self.cycle,
                 mem: &mut self.mems[i],
                 bindings: &self.bindings[i],
                 mesh: &mut self.mesh,
                 patchnet: &mut self.patchnet,
                 activations: &mut self.activations,
                 xbar_errors: &mut self.xbar_errors,
+                faults: self.faults.as_mut(),
             };
             let outcome = core.step(&mut plat);
             let halted_now = core.state() == CoreState::Halted;
@@ -460,6 +690,15 @@ impl Chip {
                     }
                 }
                 Ok(StepOutcome::Halted) => {}
+                // Strict-mode fault detections become the typed error the
+                // property harness asserts on.
+                Err(CpuError::PatchFaulted { kind, .. }) => {
+                    return Err(SimError::Faulted {
+                        tile: TileId(i as u8),
+                        cycle: self.cycle,
+                        kind: kind.into(),
+                    })
+                }
                 Err(error) => {
                     return Err(SimError::Cpu {
                         tile: TileId(i as u8),
@@ -470,6 +709,66 @@ impl Chip {
         }
         self.next_wake = next_wake;
         Ok(())
+    }
+
+    /// Applies every fault event whose cycle has been reached.
+    ///
+    /// Runs at the top of [`Chip::tick`] — after the clock advances,
+    /// before the mesh moves — and [`Chip::try_skip`] never jumps past a
+    /// pending event, so both engines apply each fault at exactly its
+    /// scheduled cycle.
+    fn apply_due_faults(&mut self) {
+        loop {
+            let Some(f) = self.faults.as_mut() else {
+                return;
+            };
+            let Some(ev) = f.plan.events().get(f.next) else {
+                return;
+            };
+            if ev.cycle > self.cycle {
+                return;
+            }
+            let kind = ev.kind.clone();
+            f.next += 1;
+            f.stats.injected += 1;
+            // Overlapping transient faults accumulate to the latest
+            // recovery cycle.
+            match kind {
+                FaultKind::PatchFail { tile, until } => {
+                    let slot = &mut f.patch_down_until[tile.index()];
+                    *slot = (*slot).max(until.unwrap_or(u64::MAX));
+                }
+                FaultKind::SwitchFail { tile, until } => {
+                    let slot = &mut f.switch_down_until[tile.index()];
+                    *slot = (*slot).max(until.unwrap_or(u64::MAX));
+                }
+                FaultKind::ConfigUpset { tile } => f.config_upset[tile.index()] = true,
+                FaultKind::MeshLinkFail { tile, dir, until } => {
+                    self.mesh
+                        .set_link_fault(tile, dir, until.unwrap_or(u64::MAX));
+                }
+            }
+        }
+    }
+
+    /// Converts a wedged mesh — no flit movement for [`MESH_STALL_TICKS`]
+    /// ticks while traffic is in flight — into a typed fault. Armed only
+    /// while a fault plan is installed: a healthy mesh never stalls, and
+    /// gating on the plan guarantees fault-free runs are unaffected.
+    fn check_mesh_stall(&self) -> Result<(), SimError> {
+        if self.faults.is_none() || self.mesh.stalled_ticks() < MESH_STALL_TICKS {
+            return Ok(());
+        }
+        let tile = self
+            .waiting_on
+            .iter()
+            .position(Option::is_some)
+            .map_or(TileId(0), |i| TileId(i as u8));
+        Err(SimError::Faulted {
+            tile,
+            cycle: self.cycle,
+            kind: FaultedKind::MeshStall,
+        })
     }
 
     /// Runs until every core halts, using the event-driven fast path.
@@ -497,6 +796,7 @@ impl Chip {
             }
             self.try_skip(deadline);
             self.tick()?;
+            self.check_mesh_stall()?;
             // Deadlock is only possible when every live core is parked in
             // `recv` and nothing is in flight; the O(1) gate keeps the
             // per-tile scan out of the common case.
@@ -524,6 +824,7 @@ impl Chip {
                 return Err(SimError::Timeout { max_cycles });
             }
             self.tick()?;
+            self.check_mesh_stall()?;
             self.check_deadlock()?;
         }
         Ok(self.summary(self.cycle - start))
@@ -555,7 +856,16 @@ impl Chip {
                 }
             }
         }
-        let target = (self.next_wake - 1).min(deadline.saturating_sub(1));
+        let mut target = (self.next_wake - 1).min(deadline.saturating_sub(1));
+        // Never jump over a scheduled fault: it must be applied at the
+        // top of its exact tick, in both engines.
+        if let Some(next_fault) = self
+            .faults
+            .as_ref()
+            .and_then(FaultRuntime::next_event_cycle)
+        {
+            target = target.min(next_fault.saturating_sub(1));
+        }
         if target <= self.cycle {
             return;
         }
@@ -565,6 +875,8 @@ impl Chip {
                 if self.waiting_on[i].is_none() {
                     continue;
                 }
+                // Invariant: `waiting_on[i]` is only populated by `tick`
+                // for a loaded, non-halted core.
                 let core = self.cores[i].as_mut().expect("waiting core exists");
                 let (addr, words) = core.poll_footprint();
                 core.record_skipped_polls(polls);
@@ -610,13 +922,21 @@ impl Chip {
         if stuck == 0 {
             return Ok(());
         }
-        // Genuine deadlock: only now build the report.
+        // Genuine deadlock: only now build the report, with each tile's
+        // blocked operation and peer.
         let waiting = self
             .cores
             .iter()
             .enumerate()
             .filter(|(_, c)| c.as_ref().is_some_and(|c| c.state() != CoreState::Halted))
-            .filter_map(|(i, _)| self.waiting_on[i].map(|src| (TileId(i as u8), src)))
+            .filter_map(|(i, _)| {
+                self.waiting_on[i].map(|src| Blocked {
+                    tile: TileId(i as u8),
+                    op: BlockedOp::Recv {
+                        from: TileId(src as u8),
+                    },
+                })
+            })
             .collect();
         Err(SimError::Deadlock { waiting })
     }
@@ -729,10 +1049,36 @@ mod tests {
         chip.load_program(TileId(0), &b.build().unwrap());
         match chip.run(100_000) {
             Err(SimError::Deadlock { waiting }) => {
-                assert_eq!(waiting, vec![(TileId(0), 1)]);
+                assert_eq!(
+                    waiting,
+                    vec![Blocked {
+                        tile: TileId(0),
+                        op: BlockedOp::Recv { from: TileId(1) },
+                    }]
+                );
             }
             other => panic!("expected deadlock, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn deadlock_report_is_readable() {
+        let err = SimError::Deadlock {
+            waiting: vec![
+                Blocked {
+                    tile: TileId(2),
+                    op: BlockedOp::Recv { from: TileId(7) },
+                },
+                Blocked {
+                    tile: TileId(7),
+                    op: BlockedOp::Send { to: TileId(2) },
+                },
+            ],
+        };
+        assert_eq!(
+            err.to_string(),
+            "deadlock; tile3 blocked in recv from tile8, tile8 blocked in send to tile3"
+        );
     }
 
     #[test]
@@ -1026,5 +1372,203 @@ mod tests {
             chip.patchnet().switch(TileId(5)).driver(PortDir::East),
             Some(PortDir::North)
         );
+    }
+
+    /// The `madd` kernel from `custom_instruction_on_local_patch`:
+    /// `R5 = 6*7 + 100` via one CI on tile 0's {AT-MA} patch.
+    fn madd_kernel() -> (Program, HashMap<u16, CiBinding>) {
+        let control = ControlWord::AtMa(AtMaControl {
+            s1: Stage1::default(),
+            m_src1: Sel4::In2,
+            m_src2: Sel4::In3,
+            a2_takes_a1: false,
+            a2_op: AluOp::Add,
+            a2_src2: Sel4::A1,
+        });
+        let mut b = ProgramBuilder::new();
+        let ci = b.define_ci(CiDescriptor::single(
+            CiId(0),
+            "madd",
+            CiStage::new(PatchClass::AtMa, control.pack().unwrap()),
+        ));
+        b.li(Reg::R1, 100);
+        b.li(Reg::R2, 0);
+        b.li(Reg::R3, 6);
+        b.li(Reg::R4, 7);
+        b.custom(ci, &[Reg::R1, Reg::R2, Reg::R3, Reg::R4], &[Reg::R5])
+            .unwrap();
+        b.halt();
+        let bindings = HashMap::from([(0u16, CiBinding::Single { control })]);
+        (b.build().unwrap(), bindings)
+    }
+
+    #[test]
+    fn failed_patch_demotes_to_software_with_identical_result() {
+        let (program, bindings) = madd_kernel();
+        let mut healthy = stitch_chip();
+        healthy
+            .load_kernel(TileId(0), &program, bindings.clone())
+            .unwrap();
+        let hs = healthy.run(100_000).unwrap();
+
+        let mut faulted = stitch_chip();
+        faulted.set_fault_plan(FaultPlan::new(1).with(
+            0,
+            FaultKind::PatchFail {
+                tile: TileId(0),
+                until: None,
+            },
+        ));
+        faulted.load_kernel(TileId(0), &program, bindings).unwrap();
+        let fs = faulted.run(100_000).unwrap();
+
+        // Same architectural result, software cycle cost, no activation.
+        assert_eq!(faulted.core_reg(TileId(0), Reg::R5), Some(6 * 7 + 100));
+        assert_eq!(fs.tiles[0].patch_activations, 0);
+        assert_eq!(fs.tiles[0].core.demoted_ops, 1);
+        assert_eq!(faulted.fault_stats().demotions, 1);
+        assert!(fs.cycles > hs.cycles, "demotion must cost extra cycles");
+    }
+
+    #[test]
+    fn strict_mode_reports_typed_fault() {
+        let (program, bindings) = madd_kernel();
+        let mut chip = stitch_chip();
+        chip.set_fault_plan(
+            FaultPlan::new(2)
+                .with(
+                    0,
+                    FaultKind::PatchFail {
+                        tile: TileId(0),
+                        until: None,
+                    },
+                )
+                .strict(),
+        );
+        chip.load_kernel(TileId(0), &program, bindings).unwrap();
+        match chip.run(100_000) {
+            Err(SimError::Faulted { tile, kind, .. }) => {
+                assert_eq!(tile, TileId(0));
+                assert_eq!(kind, FaultedKind::PatchDead);
+            }
+            other => panic!("expected typed fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn severed_circuit_demotes_fused_ci_after_watchdog() {
+        // Same fused kernel as `fused_custom_instruction`, but a switch on
+        // the circuit dies before the CI issues.
+        let mut chip = stitch_chip();
+        chip.reserve_circuit(TileId(1), TileId(9)).unwrap();
+        let first = ControlWord::AtAs(stitch_patch::AtAsControl {
+            s1: Stage1::default(),
+            a2_op: AluOp::Add,
+            a2_src1: Sel4::In2,
+            a2_src2: Sel4::In3,
+            s_op: None,
+            s_amt_in3: false,
+        });
+        let second = ControlWord::AtSa(stitch_patch::AtSaControl {
+            s1: Stage1::default(),
+            s_in: Sel4::A1,
+            s_op: Some(AluOp::Sll),
+            s_amt_in3: true,
+            a2_op: AluOp::Add,
+            a2_src2: Sel4::In2,
+        });
+        let mut b = ProgramBuilder::new();
+        let ci = b.define_ci(CiDescriptor::fused(
+            CiId(0),
+            "addshladd",
+            CiStage::new(PatchClass::AtAs, first.pack().unwrap()),
+            CiStage::new(PatchClass::AtSa, second.pack().unwrap()),
+        ));
+        b.li(Reg::R1, 0);
+        b.li(Reg::R2, 0);
+        b.li(Reg::R3, 5);
+        b.li(Reg::R4, 2);
+        b.custom(ci, &[Reg::R1, Reg::R2, Reg::R3, Reg::R4], &[Reg::R5])
+            .unwrap();
+        b.halt();
+        chip.set_fault_plan(FaultPlan::new(3).with(
+            0,
+            FaultKind::SwitchFail {
+                tile: TileId(9),
+                until: None,
+            },
+        ));
+        chip.load_kernel(
+            TileId(1),
+            &b.build().unwrap(),
+            HashMap::from([(
+                0u16,
+                CiBinding::Fused {
+                    first,
+                    partner: TileId(9),
+                    second,
+                },
+            )]),
+        )
+        .unwrap();
+        let s = chip.run(100_000).unwrap();
+        // Same value as the healthy fused run, but demoted: the local
+        // patch computed stage one, software emulated stage two.
+        assert_eq!(chip.core_reg(TileId(1), Reg::R5), Some(33));
+        assert_eq!(s.total_fused(), 0);
+        assert_eq!(s.tiles[1].core.demoted_ops, 1);
+        assert_eq!(s.tiles[1].patch_activations, 1);
+        assert_eq!(s.tiles[9].patch_activations, 0);
+        let stats = chip.fault_stats();
+        assert_eq!(stats.watchdog_trips, 1);
+        assert_eq!(stats.demotions, 1);
+        assert_eq!(stats.injected, 1);
+    }
+
+    #[test]
+    fn transient_patch_fault_recovers() {
+        // Patch on tile 0 is down for cycles [0, 40); a CI executed after
+        // recovery runs on the patch again.
+        let (program, bindings) = madd_kernel();
+        let mut chip = stitch_chip();
+        chip.set_fault_plan(FaultPlan::new(4).with(
+            0,
+            FaultKind::PatchFail {
+                tile: TileId(0),
+                until: Some(1),
+            },
+        ));
+        chip.load_kernel(TileId(0), &program, bindings).unwrap();
+        let s = chip.run(100_000).unwrap();
+        // The fault recovered at cycle 1, long before the CI issued
+        // (four `li` instructions precede it).
+        assert_eq!(chip.core_reg(TileId(0), Reg::R5), Some(142));
+        assert_eq!(s.tiles[0].core.demoted_ops, 0);
+        assert_eq!(s.tiles[0].patch_activations, 1);
+    }
+
+    #[test]
+    fn config_upset_scrubs_at_fixed_cost() {
+        let (program, bindings) = madd_kernel();
+        let mut healthy = stitch_chip();
+        healthy
+            .load_kernel(TileId(0), &program, bindings.clone())
+            .unwrap();
+        let hs = healthy.run(100_000).unwrap();
+
+        let mut upset = stitch_chip();
+        upset.set_fault_plan(FaultPlan::new(5).with(0, FaultKind::ConfigUpset { tile: TileId(0) }));
+        upset.load_kernel(TileId(0), &program, bindings).unwrap();
+        let us = upset.run(100_000).unwrap();
+
+        assert_eq!(upset.core_reg(TileId(0), Reg::R5), Some(142));
+        assert_eq!(upset.fault_stats().scrubs, 1);
+        // The scrub charges exactly its fixed cost on the core counter
+        // (wall-clock grows one less: the issue cycle overlaps).
+        assert_eq!(
+            us.tiles[0].core.cycles,
+            hs.tiles[0].core.cycles + u64::from(crate::faults::CONFIG_SCRUB_CYCLES)
+        );
+        assert!(us.cycles > hs.cycles);
     }
 }

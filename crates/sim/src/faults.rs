@@ -1,0 +1,111 @@
+//! Runtime side of the fault subsystem: the mutable state the chip
+//! threads through a run while replaying a [`FaultPlan`].
+//!
+//! The *plan* (which component breaks, when) lives in `stitch-fault`;
+//! this module holds the *mechanism*: which patches and switches are
+//! currently down, which configurations are awaiting a parity scrub, and
+//! which fused bindings already paid their watchdog timeout. The
+//! degradation ladder itself is implemented where detection happens —
+//! `TilePlatform::exec_custom` in [`crate::chip`] for patch faults, the
+//! mesh stall probe for link faults.
+
+use crate::TileId;
+use std::collections::HashSet;
+use stitch_fault::FaultPlan;
+
+/// Cycles of one fused-handshake watchdog window.
+pub const WATCHDOG_TIMEOUT_CYCLES: u32 = 8;
+
+/// Bounded watchdog retries before a fused CI demotes to software.
+pub const WATCHDOG_RETRIES: u32 = 3;
+
+/// Cycle cost of re-scrubbing a patch configuration after a parity error
+/// (the control word is re-driven from the custom instruction itself).
+pub const CONFIG_SCRUB_CYCLES: u32 = 12;
+
+/// Consecutive motionless mesh ticks treated as a hard NoC fault. Healthy
+/// traffic never idles the switch fabric for more than the router
+/// pipeline fill (~6 cycles); this threshold leaves orders of magnitude
+/// of margin while still converting a wedged network into a typed error
+/// long before a run budget expires.
+pub const MESH_STALL_TICKS: u64 = 10_000;
+
+/// Counters for fault handling during a run (diagnostics; deliberately
+/// not part of [`crate::RunSummary`], whose equality pins architectural
+/// behavior, not fault bookkeeping — though these too evolve identically
+/// in the fast path and the reference engine).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Fault events applied so far.
+    pub injected: u64,
+    /// Custom-instruction activations executed via the software fallback.
+    pub demotions: u64,
+    /// Fused handshakes that timed out and paid the bounded retry cost.
+    pub watchdog_trips: u64,
+    /// Config-parity scrubs performed.
+    pub scrubs: u64,
+}
+
+/// Mutable fault state for one run.
+pub(crate) struct FaultRuntime {
+    /// The installed plan (events sorted by cycle).
+    pub plan: FaultPlan,
+    /// Index of the next unapplied event.
+    pub next: usize,
+    /// Per tile: the patch is down while `cycle < patch_down_until`.
+    pub patch_down_until: Vec<u64>,
+    /// Per tile: the crossbar switch is down while `cycle < …`.
+    pub switch_down_until: Vec<u64>,
+    /// Per tile: a config upset awaits its parity scrub.
+    pub config_upset: Vec<bool>,
+    /// `(tile, ci)` pairs that already paid the watchdog timeout; later
+    /// activations go straight to the software fallback.
+    pub watchdog_tripped: HashSet<(u8, u16)>,
+    /// Counters.
+    pub stats: FaultStats,
+}
+
+impl FaultRuntime {
+    pub fn new(plan: FaultPlan, tiles: usize) -> Self {
+        FaultRuntime {
+            plan,
+            next: 0,
+            patch_down_until: vec![0; tiles],
+            switch_down_until: vec![0; tiles],
+            config_upset: vec![false; tiles],
+            watchdog_tripped: HashSet::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Cycle of the next unapplied event, if any — the fast path never
+    /// skips past it, so faults fire on the same cycle in both engines.
+    pub fn next_event_cycle(&self) -> Option<u64> {
+        self.plan.events().get(self.next).map(|e| e.cycle)
+    }
+
+    /// Whether `tile`'s patch datapath is down at `cycle`.
+    pub fn patch_down(&self, tile: TileId, cycle: u64) -> bool {
+        self.patch_down_until[tile.index()] > cycle
+    }
+
+    /// Whether `tile`'s inter-patch switch is down at `cycle`.
+    pub fn switch_down(&self, tile: TileId, cycle: u64) -> bool {
+        self.switch_down_until[tile.index()] > cycle
+    }
+
+    /// Consumes a pending config upset on `tile`, returning the scrub
+    /// penalty in cycles (0 when the configuration is clean). Detection
+    /// happens on the next activation — parity is checked when the
+    /// control word is driven — and the scrub restores the correct
+    /// configuration from the instruction stream, so values are never
+    /// affected.
+    pub fn scrub(&mut self, tile: TileId) -> u32 {
+        if std::mem::take(&mut self.config_upset[tile.index()]) {
+            self.stats.scrubs += 1;
+            CONFIG_SCRUB_CYCLES
+        } else {
+            0
+        }
+    }
+}

@@ -32,13 +32,16 @@
 //! ```
 
 pub mod chip;
+pub mod faults;
 pub mod rng;
 pub mod summary;
 
-pub use chip::{Chip, CiBinding, SimError};
+pub use chip::{Blocked, BlockedOp, Chip, CiBinding, FaultedKind, SimError};
+pub use faults::FaultStats;
 pub use rng::SimRng;
 pub use summary::{RunSummary, TileSummary};
 
+pub use stitch_fault::{FaultEvent, FaultKind, FaultPlan, FaultSpace};
 pub use stitch_noc::{TileId, Topology};
 
 use stitch_isa::custom::PatchClass;

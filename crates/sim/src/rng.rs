@@ -1,127 +1,8 @@
-//! Tiny deterministic PRNG for tests and benchmarks.
+//! Deterministic PRNG, re-exported for backwards compatibility.
 //!
-//! The sandboxed build has no crates-registry access, so `rand` is not
-//! available; every randomized test and sweep in the workspace draws from
-//! this xorshift64* generator instead. Determinism matters more than
-//! statistical quality here: a seed fully reproduces a failing case.
+//! The generator moved to `stitch-fault` (which the simulator depends
+//! on, never the reverse) so that fault plans, tests, and benchmarks all
+//! draw from a single implementation. Existing `stitch_sim::SimRng` /
+//! `stitch_sim::rng::SimRng` paths keep working through this re-export.
 
-/// A seedable xorshift64* generator.
-///
-/// Passes the basic avalanche checks that matter for test-input
-/// diversity; do not use it for cryptography.
-#[derive(Debug, Clone)]
-pub struct SimRng {
-    state: u64,
-}
-
-impl SimRng {
-    /// Creates a generator from a seed (zero is mapped to a fixed
-    /// non-zero constant, since xorshift has an all-zero fixed point).
-    #[must_use]
-    pub fn new(seed: u64) -> Self {
-        SimRng {
-            state: if seed == 0 {
-                0x9E37_79B9_7F4A_7C15
-            } else {
-                seed
-            },
-        }
-    }
-
-    /// Next 64 random bits.
-    pub fn next_u64(&mut self) -> u64 {
-        let mut x = self.state;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.state = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-
-    /// Next 32 random bits.
-    pub fn next_u32(&mut self) -> u32 {
-        (self.next_u64() >> 32) as u32
-    }
-
-    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
-    pub fn below(&mut self, bound: u64) -> u64 {
-        assert!(bound > 0, "below(0)");
-        // Multiply-shift mapping; bias is negligible for test purposes.
-        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
-    }
-
-    /// Uniform value in `[lo, hi)` (half-open); `lo < hi`.
-    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        assert!(lo < hi, "empty range");
-        lo + self.below(hi - lo)
-    }
-
-    /// Uniform `usize` in `[0, bound)`.
-    pub fn index(&mut self, bound: usize) -> usize {
-        self.below(bound as u64) as usize
-    }
-
-    /// Bernoulli draw with probability `num/den`.
-    pub fn chance(&mut self, num: u64, den: u64) -> bool {
-        self.below(den) < num
-    }
-
-    /// A vector of `len` random 32-bit words.
-    pub fn words(&mut self, len: usize) -> Vec<u32> {
-        (0..len).map(|_| self.next_u32()).collect()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn deterministic_per_seed() {
-        let mut a = SimRng::new(42);
-        let mut b = SimRng::new(42);
-        for _ in 0..100 {
-            assert_eq!(a.next_u64(), b.next_u64());
-        }
-        let mut c = SimRng::new(43);
-        assert_ne!(a.next_u64(), c.next_u64());
-    }
-
-    #[test]
-    fn zero_seed_is_usable() {
-        let mut r = SimRng::new(0);
-        assert_ne!(r.next_u64(), r.next_u64());
-    }
-
-    #[test]
-    fn below_respects_bound() {
-        let mut r = SimRng::new(7);
-        for bound in [1u64, 2, 3, 16, 1000] {
-            for _ in 0..200 {
-                assert!(r.below(bound) < bound);
-            }
-        }
-    }
-
-    #[test]
-    fn range_covers_interval() {
-        let mut r = SimRng::new(11);
-        let mut seen = [false; 8];
-        for _ in 0..500 {
-            let v = r.range(2, 10);
-            assert!((2..10).contains(&v));
-            seen[(v - 2) as usize] = true;
-        }
-        assert!(
-            seen.iter().all(|&s| s),
-            "all values of a small range appear"
-        );
-    }
-
-    #[test]
-    fn chance_extremes() {
-        let mut r = SimRng::new(5);
-        assert!((0..50).all(|_| r.chance(1, 1)));
-        assert!((0..50).all(|_| !r.chance(0, 2)));
-    }
-}
+pub use stitch_fault::rng::SimRng;

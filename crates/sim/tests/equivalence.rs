@@ -3,116 +3,17 @@
 //! `Chip::run` skips cycles whenever the mesh is idle, no core is polling
 //! `recv`, and every live core is busy beyond the next cycle. These tests
 //! pin the invariant: over randomized multi-tile message-passing pipelines
-//! and fused custom-instruction workloads, the fast path must produce a
-//! `RunSummary` bit-identical to the naive cycle-by-cycle
-//! `Chip::run_reference` loop.
+//! and fused custom-instruction workloads — with and without an active
+//! [`FaultPlan`] — the fast path must produce a `RunSummary` bit-identical
+//! to the naive cycle-by-cycle `Chip::run_reference` loop.
 
-use std::collections::HashMap;
-use stitch_isa::custom::{CiDescriptor, CiId, CiStage, PatchClass};
-use stitch_isa::op::AluOp;
-use stitch_isa::{Cond, Program, ProgramBuilder, Reg};
-use stitch_patch::{AtAsControl, AtSaControl, ControlWord, Sel4, Stage1};
-use stitch_sim::{Chip, ChipConfig, CiBinding, SimRng, TileId};
+mod common;
+
+use common::{fused_chip, pipeline_chip};
+use stitch_isa::{Cond, ProgramBuilder, Reg};
+use stitch_sim::{Chip, ChipConfig, FaultPlan, FaultSpace, TileId};
 
 const BUDGET: u64 = 50_000_000;
-
-/// Emits a compute loop with a random trip count: multi-cycle `mul`s
-/// create the busy gaps the fast path is designed to skip.
-fn compute_pad(b: &mut ProgramBuilder, rng: &mut SimRng) {
-    let n = 1 + rng.index(40) as i64;
-    b.li(Reg::R20, n);
-    let top = b.bound_label();
-    b.mul(Reg::R21, Reg::R20, Reg::R20);
-    b.add(Reg::R22, Reg::R22, Reg::R21);
-    b.addi(Reg::R20, Reg::R20, -1);
-    b.branch(Cond::Ne, Reg::R20, Reg::R0, top);
-}
-
-/// A random linear pipeline: `chain[0]` produces `frames` messages of
-/// `len` words, middle tiles bump the first word and forward, the last
-/// tile accumulates. Always terminates, so any Timeout/Deadlock is a bug.
-fn random_pipeline(seed: u64) -> Vec<(TileId, Program)> {
-    let mut rng = SimRng::new(seed);
-    let k = 2 + rng.index(6); // 2..=7 tiles in the chain
-    let mut tiles: Vec<u8> = (0..16).collect();
-    for i in 0..k {
-        let j = i + rng.index(16 - i);
-        tiles.swap(i, j);
-    }
-    let chain = &tiles[..k];
-    let frames = 1 + rng.index(4) as i64;
-    let len = 1 + rng.index(8) as i64; // up to 2 mesh packets
-    let mut programs = Vec::new();
-
-    // Source.
-    let mut b = ProgramBuilder::new();
-    b.li(Reg::R10, frames);
-    b.li(Reg::R1, 0x1000);
-    b.li(Reg::R2, 1 + rng.index(1000) as i64);
-    b.li(Reg::R3, i64::from(chain[1]));
-    b.li(Reg::R4, len);
-    let top = b.bound_label();
-    compute_pad(&mut b, &mut rng);
-    for w in 0..len {
-        b.sw(Reg::R2, Reg::R1, (w * 4) as i32);
-    }
-    b.send(Reg::R3, Reg::R1, Reg::R4);
-    b.addi(Reg::R2, Reg::R2, 7);
-    b.addi(Reg::R10, Reg::R10, -1);
-    b.branch(Cond::Ne, Reg::R10, Reg::R0, top);
-    b.halt();
-    programs.push((TileId(chain[0]), b.build().expect("source program")));
-
-    // Middles.
-    for m in 1..k - 1 {
-        let mut b = ProgramBuilder::new();
-        b.li(Reg::R10, frames);
-        b.li(Reg::R1, 0x1000);
-        b.li(Reg::R5, i64::from(chain[m - 1]));
-        b.li(Reg::R6, i64::from(chain[m + 1]));
-        b.li(Reg::R4, len);
-        let top = b.bound_label();
-        b.recv(Reg::R5, Reg::R1, Reg::R4);
-        b.lw(Reg::R2, Reg::R1, 0);
-        b.addi(Reg::R2, Reg::R2, 1);
-        b.sw(Reg::R2, Reg::R1, 0);
-        compute_pad(&mut b, &mut rng);
-        b.send(Reg::R6, Reg::R1, Reg::R4);
-        b.addi(Reg::R10, Reg::R10, -1);
-        b.branch(Cond::Ne, Reg::R10, Reg::R0, top);
-        b.halt();
-        programs.push((TileId(chain[m]), b.build().expect("middle program")));
-    }
-
-    // Sink.
-    let mut b = ProgramBuilder::new();
-    b.li(Reg::R10, frames);
-    b.li(Reg::R1, 0x1000);
-    b.li(Reg::R5, i64::from(chain[k - 2]));
-    b.li(Reg::R4, len);
-    b.li(Reg::R7, 0);
-    let top = b.bound_label();
-    b.recv(Reg::R5, Reg::R1, Reg::R4);
-    b.lw(Reg::R2, Reg::R1, 0);
-    b.add(Reg::R7, Reg::R7, Reg::R2);
-    compute_pad(&mut b, &mut rng);
-    b.addi(Reg::R10, Reg::R10, -1);
-    b.branch(Cond::Ne, Reg::R10, Reg::R0, top);
-    b.li(Reg::R8, 0x4000);
-    b.sw(Reg::R7, Reg::R8, 0);
-    b.halt();
-    programs.push((TileId(chain[k - 1]), b.build().expect("sink program")));
-
-    programs
-}
-
-fn pipeline_chip(seed: u64) -> Chip {
-    let mut chip = Chip::new(ChipConfig::stitch_16());
-    for (tile, program) in random_pipeline(seed) {
-        chip.load_program(tile, &program);
-    }
-    chip
-}
 
 #[test]
 fn fast_path_matches_reference_on_random_pipelines() {
@@ -130,74 +31,6 @@ fn fast_path_matches_reference_on_random_pipelines() {
             "clock diverges for seed {seed}"
         );
     }
-}
-
-/// Fused custom-instruction workload (paper Fig 5 pair {AT-AS}+{AT-SA}):
-/// tile 1 iterates a fused CI with per-iteration inputs while tile 0 runs
-/// an independent compute loop — exercising skips around patch activity.
-fn fused_chip(seed: u64) -> Chip {
-    let mut rng = SimRng::new(seed);
-    let mut chip = Chip::new(ChipConfig::stitch_16());
-    chip.reserve_circuit(TileId(1), TileId(9)).expect("circuit");
-    let first = ControlWord::AtAs(AtAsControl {
-        s1: Stage1::default(),
-        a2_op: AluOp::Add,
-        a2_src1: Sel4::In2,
-        a2_src2: Sel4::In3,
-        s_op: None,
-        s_amt_in3: false,
-    });
-    let second = ControlWord::AtSa(AtSaControl {
-        s1: Stage1::default(),
-        s_in: Sel4::A1,
-        s_op: Some(AluOp::Sll),
-        s_amt_in3: true,
-        a2_op: AluOp::Add,
-        a2_src2: Sel4::In2,
-    });
-    let mut b = ProgramBuilder::new();
-    let ci = b.define_ci(CiDescriptor::fused(
-        CiId(0),
-        "addshladd",
-        CiStage::new(PatchClass::AtAs, first.pack().expect("pack")),
-        CiStage::new(PatchClass::AtSa, second.pack().expect("pack")),
-    ));
-    let iters = 4 + rng.index(12) as i64;
-    b.li(Reg::R10, iters);
-    b.li(Reg::R1, 0);
-    b.li(Reg::R2, 0);
-    b.li(Reg::R3, 1 + rng.index(50) as i64);
-    b.li(Reg::R4, rng.index(3) as i64);
-    b.li(Reg::R9, 0);
-    let top = b.bound_label();
-    b.custom(ci, &[Reg::R1, Reg::R2, Reg::R3, Reg::R4], &[Reg::R5])
-        .expect("ci");
-    b.add(Reg::R9, Reg::R9, Reg::R5);
-    b.addi(Reg::R3, Reg::R3, 3);
-    b.addi(Reg::R10, Reg::R10, -1);
-    b.branch(Cond::Ne, Reg::R10, Reg::R0, top);
-    b.halt();
-    let bindings = HashMap::from([(
-        0u16,
-        CiBinding::Fused {
-            first,
-            partner: TileId(9),
-            second,
-        },
-    )]);
-    chip.load_kernel(TileId(1), &b.build().expect("fused program"), bindings)
-        .expect("load fused kernel");
-
-    // Independent compute on another tile so the chains interleave.
-    let mut b = ProgramBuilder::new();
-    b.li(Reg::R1, 10 + rng.index(60) as i64);
-    let top = b.bound_label();
-    b.mul(Reg::R2, Reg::R1, Reg::R1);
-    b.addi(Reg::R1, Reg::R1, -1);
-    b.branch(Cond::Ne, Reg::R1, Reg::R0, top);
-    b.halt();
-    chip.load_program(TileId(0), &b.build().expect("compute program"));
-    chip
 }
 
 #[test]
@@ -274,4 +107,79 @@ fn fast_path_matches_reference_on_timeout() {
     let b = naive.run_reference(10_000).expect_err("timeout");
     assert_eq!(a, b);
     assert_eq!(fast.cycle(), naive.cycle());
+}
+
+/// Compute-only faults (patch death, switch death, config upsets) must be
+/// invisible to the fast path's cycle skipping: both engines apply each
+/// event at exactly its scheduled cycle — including events that land
+/// inside an idle window the fast path would otherwise elide — so
+/// summaries, clocks, and fault counters all stay bit-identical.
+#[test]
+fn fast_path_matches_reference_under_compute_faults() {
+    // Short horizon so faults land while the CI loop is still running.
+    let space = FaultSpace {
+        tiles: 10, // covers the fused pair on tiles 1 and 9
+        horizon: 500,
+        max_events: 4,
+        allow_transient: true,
+        ..FaultSpace::default()
+    }
+    .compute_only();
+    for seed in 0..16u64 {
+        let plan = FaultPlan::random(0xFA_0000 + seed, &space);
+        let mut fast = fused_chip(0xF5_ED00 + seed);
+        let mut naive = fused_chip(0xF5_ED00 + seed);
+        fast.set_fault_plan(plan.clone());
+        naive.set_fault_plan(plan);
+        let a = fast.run(BUDGET).expect("fast run terminates");
+        let b = naive
+            .run_reference(BUDGET)
+            .expect("reference run terminates");
+        assert_eq!(a, b, "summary diverges under faults for seed {seed}");
+        assert_eq!(
+            fast.cycle(),
+            naive.cycle(),
+            "clock diverges under faults for seed {seed}"
+        );
+        assert_eq!(
+            fast.fault_stats(),
+            naive.fault_stats(),
+            "fault bookkeeping diverges for seed {seed}"
+        );
+    }
+}
+
+/// Full fault space, link faults included, over message-passing
+/// pipelines: both engines must agree bit-for-bit on the outcome —
+/// identical summaries on success, identical typed errors (Timeout,
+/// Deadlock, Faulted) otherwise — and on the clock and fault counters.
+#[test]
+fn fast_path_matches_reference_under_link_faults() {
+    let space = FaultSpace {
+        tiles: 16,
+        horizon: 20_000,
+        max_events: 4,
+        compute_only: false,
+        allow_transient: true,
+    };
+    for seed in 0..16u64 {
+        let plan = FaultPlan::random(0x11_F000 + seed, &space);
+        let mut fast = pipeline_chip(0xE0_0100 + seed);
+        let mut naive = pipeline_chip(0xE0_0100 + seed);
+        fast.set_fault_plan(plan.clone());
+        naive.set_fault_plan(plan);
+        let a = fast.run(BUDGET);
+        let b = naive.run_reference(BUDGET);
+        assert_eq!(a, b, "outcome diverges under link faults for seed {seed}");
+        assert_eq!(
+            fast.cycle(),
+            naive.cycle(),
+            "clock diverges under link faults for seed {seed}"
+        );
+        assert_eq!(
+            fast.fault_stats(),
+            naive.fault_stats(),
+            "fault bookkeeping diverges for seed {seed}"
+        );
+    }
 }

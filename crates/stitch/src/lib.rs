@@ -41,7 +41,10 @@ pub mod workbench;
 
 pub use stitch_compiler::{PatchConfig, StitchPlan};
 pub use stitch_patch::PatchClass;
-pub use stitch_sim::{Arch, Chip, ChipConfig, RunSummary, TileId};
+pub use stitch_sim::{
+    Arch, Chip, ChipConfig, FaultKind, FaultPlan, FaultSpace, FaultStats, RunSummary, SimError,
+    TileId,
+};
 pub use workbench::{AppRun, Error, KernelRow, SimEngine, SweepPoint, Workbench};
 
 /// Frames simulated per application run in the default experiments —

@@ -8,12 +8,12 @@ use std::sync::mpsc;
 use std::thread;
 use stitch_apps::{build_node_program, App};
 use stitch_compiler::{
-    accelerate_all, compile_kernel, stitch_application, AppKernel, CompilerError, KernelVariants,
-    PatchConfig, StitchPlan,
+    accelerate_all, compile_kernel, stitch_application_masked, AppKernel, CompilerError,
+    KernelVariants, PatchConfig, StitchPlan,
 };
 use stitch_kernels::Kernel;
 use stitch_power::{average_power_mw, PowerBreakdown};
-use stitch_sim::{Arch, Chip, ChipConfig, RunSummary, SimError};
+use stitch_sim::{Arch, Chip, ChipConfig, FaultPlan, FaultStats, RunSummary, SimError};
 
 /// Simulation budget for application runs.
 const APP_BUDGET: u64 = 4_000_000_000;
@@ -74,6 +74,8 @@ pub struct AppRun {
     /// Cycles the event-driven fast path elided (0 on the reference
     /// engine) — a diagnostic, deliberately outside `summary`.
     pub skipped_cycles: u64,
+    /// Fault-handling counters (all zero on a fault-free run).
+    pub fault_stats: FaultStats,
 }
 
 impl AppRun {
@@ -279,6 +281,40 @@ impl Workbench {
     ///
     /// Propagates compiler and simulator failures.
     pub fn run_app(&mut self, app: &App, arch: Arch, frames: u32) -> Result<AppRun, Error> {
+        self.run_app_inner(app, arch, frames, None)
+    }
+
+    /// [`Workbench::run_app`] with an injected [`FaultPlan`].
+    ///
+    /// Models the full degradation ladder: permanently failed patches are
+    /// masked out of the stitching re-run (the recovery mapping routes
+    /// acceleration around them, falling back from fused pair to single
+    /// patch to software), and the remaining plan — transient faults,
+    /// switch failures, config upsets, link faults — is installed on the
+    /// chip for the runtime mechanisms (demotion, watchdog, scrub,
+    /// fault-aware routing) to handle as the run unfolds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler and simulator failures, including the typed
+    /// `SimError::Faulted` for wedged networks or strict-mode plans.
+    pub fn run_app_faulted(
+        &mut self,
+        app: &App,
+        arch: Arch,
+        frames: u32,
+        fault_plan: &FaultPlan,
+    ) -> Result<AppRun, Error> {
+        self.run_app_inner(app, arch, frames, Some(fault_plan))
+    }
+
+    fn run_app_inner(
+        &mut self,
+        app: &App,
+        arch: Arch,
+        frames: u32,
+        fault_plan: Option<&FaultPlan>,
+    ) -> Result<AppRun, Error> {
         // 1. Variants for each node's kernel (cached across nodes/archs).
         let mut app_kernels = Vec::new();
         for n in &app.nodes {
@@ -289,12 +325,18 @@ impl Workbench {
             });
         }
 
-        // 2. Algorithm 1.
+        // 2. Algorithm 1, with permanently dead patches masked out.
+        let masked = fault_plan
+            .map(FaultPlan::failed_patches)
+            .unwrap_or_default();
         let chip_cfg = ChipConfig::for_arch(arch);
-        let plan = stitch_application(&app_kernels, &chip_cfg, arch);
+        let plan = stitch_application_masked(&app_kernels, &chip_cfg, arch, &masked);
 
         // 3. Build and load per-node programs.
         let mut chip = Chip::new(chip_cfg);
+        if let Some(fp) = fault_plan {
+            chip.set_fault_plan(fp.clone());
+        }
         for &(from, to) in &plan.circuits {
             chip.reserve_circuit(from, to)?;
         }
@@ -346,6 +388,7 @@ impl Workbench {
             throughput_fps,
             power_mw,
             skipped_cycles: chip.skipped_cycles(),
+            fault_stats: chip.fault_stats(),
             node_outputs,
         })
     }

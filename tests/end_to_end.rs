@@ -1,7 +1,7 @@
 //! End-to-end integration tests: the full compile → stitch → simulate
 //! flow must preserve application semantics across architectures.
 
-use stitch::{Arch, Workbench};
+use stitch::{Arch, FaultKind, FaultPlan, Workbench};
 use stitch_apps::App;
 
 /// The same application must produce bit-identical node outputs on every
@@ -68,6 +68,65 @@ fn architecture_ordering_holds_for_every_app() {
             app.name
         );
     }
+}
+
+/// The degradation ladder at application level (DESIGN.md §9): killing
+/// the patch under an accelerated kernel must leave the app's outputs
+/// bit-identical, whichever rung catches it — the recovery re-stitch
+/// for a known-permanent death, or runtime demotion to the W32 software
+/// fallback when no recovery mapping is available.
+#[test]
+fn failed_patch_degrades_gracefully_at_app_level() {
+    let mut ws = Workbench::new();
+    let app = stitch_apps::svm_app();
+    let frames = 3;
+    let clean = ws.run_app(&app, Arch::Stitch, frames).expect("clean run");
+    let tile = (0..app.nodes.len())
+        .find(|&i| clean.plan.accel[i].is_some())
+        .map(|i| clean.plan.tiles[i])
+        .expect("APP3 accelerates at least one kernel");
+
+    // Permanent death: the stitcher re-runs with the patch masked, so
+    // acceleration routes around it and nothing is left to demote.
+    let plan = FaultPlan::new(1).with(0, FaultKind::PatchFail { tile, until: None });
+    let recovered = ws
+        .run_app_faulted(&app, Arch::Stitch, frames, &plan)
+        .expect("recovery run completes");
+    assert_eq!(
+        recovered.node_outputs, clean.node_outputs,
+        "recovery mapping changed outputs"
+    );
+    assert_eq!(recovered.fault_stats.demotions, 0);
+    assert!(
+        recovered.plan.log.iter().any(|l| l.contains("masked out")),
+        "recovery stitch must record the mask"
+    );
+
+    // Same fault minus the foreknowledge (a transient that never heals
+    // within the run): the original mapping still binds CIs to the dead
+    // patch, so the runtime demotes them — outputs identical, cycles up.
+    let plan = FaultPlan::new(2).with(
+        0,
+        FaultKind::PatchFail {
+            tile,
+            until: Some(u64::MAX),
+        },
+    );
+    let demoted = ws
+        .run_app_faulted(&app, Arch::Stitch, frames, &plan)
+        .expect("demoted run completes");
+    assert_eq!(
+        demoted.node_outputs, clean.node_outputs,
+        "software fallback changed outputs"
+    );
+    assert!(
+        demoted.fault_stats.demotions > 0,
+        "the dead patch's CIs must demote at runtime"
+    );
+    assert!(
+        demoted.summary.cycles >= clean.summary.cycles,
+        "demotion must not make the run faster"
+    );
 }
 
 /// The power model must track the paper's anchors on real runs.
