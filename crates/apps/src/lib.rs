@@ -20,7 +20,7 @@
 //! node→tile placement.
 
 use stitch_isa::program::{Program, ProgramBuilder};
-use stitch_isa::{Cond, Reg};
+use stitch_isa::{Cond, IsaError, Reg};
 use stitch_kernels as kernels;
 use stitch_kernels::{Kernel, OUTPUT_BASE, SPM};
 use stitch_sim::TileId;
@@ -106,8 +106,17 @@ impl App {
 
 /// Builds the runnable program for one node, given the final node→tile
 /// placement. `frames` is the number of frames the pipeline processes.
-#[must_use]
-pub fn build_node_program(app: &App, node: usize, frames: u32, tile_of: &[TileId]) -> Program {
+///
+/// # Errors
+///
+/// Propagates [`stitch_isa::IsaError`] from program assembly (an unbound
+/// label in the node kernel's compute body).
+pub fn build_node_program(
+    app: &App,
+    node: usize,
+    frames: u32,
+    tile_of: &[TileId],
+) -> Result<Program, IsaError> {
     let n = &app.nodes[node];
     let mut b = ProgramBuilder::new();
     if n.recvs.is_empty() {
@@ -133,7 +142,7 @@ pub fn build_node_program(app: &App, node: usize, frames: u32, tile_of: &[TileId
     b.addi(frames_reg, frames_reg, -1);
     b.branch(Cond::Ne, frames_reg, Reg::R0, frame_loop);
     b.halt();
-    b.build().expect("node programs are label-correct")
+    b.build()
 }
 
 fn node(
@@ -534,7 +543,7 @@ mod tests {
         for app in App::all() {
             let tiles: Vec<TileId> = app.nodes.iter().map(|n| n.home).collect();
             for i in 0..app.nodes.len() {
-                let p = build_node_program(&app, i, 3, &tiles);
+                let p = build_node_program(&app, i, 3, &tiles).unwrap();
                 assert!(p.instrs.len() > 4, "{}: {}", app.name, app.nodes[i].name);
             }
         }
@@ -548,7 +557,7 @@ mod tests {
             let tiles: Vec<TileId> = app.nodes.iter().map(|n| n.home).collect();
             let mut chip = Chip::new(ChipConfig::baseline_16());
             for i in 0..app.nodes.len() {
-                chip.load_program(tiles[i], &build_node_program(&app, i, 2, &tiles));
+                chip.load_program(tiles[i], &build_node_program(&app, i, 2, &tiles).unwrap());
             }
             let summary = chip
                 .run(2_000_000_000)

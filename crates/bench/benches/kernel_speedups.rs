@@ -14,7 +14,7 @@ fn main() {
     for name in ["fir", "update", "histogram"] {
         let kernel = kernel_by_name(name).expect("kernel");
         let spec = kernel.spec();
-        let program = kernel.standalone();
+        let program = kernel.standalone().expect("kernel program builds");
         bench::time_fn(
             &format!("flow/{name} compile+measure {{AT-MA}}"),
             1,

@@ -16,7 +16,7 @@ fn main() {
         "kernel", "8KB D$", "4KB D$+SPM", "delta"
     );
     for k in all_kernels() {
-        let program = k.standalone();
+        let program = k.standalone().expect("kernel program builds");
         let run = |cfg: ChipConfig| -> u64 {
             let mut chip = Chip::new(cfg);
             chip.load_program(TileId(0), &program);

@@ -15,9 +15,20 @@
 //! below the all-software baseline — the ladder bottoms out at W32
 //! software, not at zero. Results land in `BENCH_faults.json`; see
 //! EXPERIMENTS.md ("Fault injection and graceful degradation").
+//!
+//! The sweep is **crash-safe** (ISSUE 3): every point — clean, software
+//! baseline, and each degraded run — is persisted atomically to the
+//! `BENCH_faults.points/` manifest the moment it completes. Run with
+//! `--resume` to skip completed points after a kill; the reassembled
+//! `BENCH_faults.json` is bit-identical to an uninterrupted run's
+//! because the report is always built from the stored records (floats
+//! round-trip as IEEE-754 bit patterns). Without `--resume` the
+//! manifest is cleared and everything recomputes.
 
 use bench::JsonObject;
-use stitch::{Arch, FaultKind, FaultPlan, TileId, Workbench, DEFAULT_FRAMES};
+use stitch::{
+    Arch, FaultKind, FaultPlan, Rec, RecView, SweepManifest, TileId, Workbench, DEFAULT_FRAMES,
+};
 use stitch_apps::App;
 
 /// Patches to fail, cumulatively.
@@ -27,11 +38,108 @@ const MAX_FAILED: usize = 4;
 /// shuffle the greedy stitcher's placement enough to win back a percent.
 const MONOTONE_SLACK: f64 = 1.02;
 
+/// Manifest directory for crash-safe resume.
+const POINTS_DIR: &str = "BENCH_faults.points";
+
+/// Payload format version; bump on layout changes so stale manifests
+/// read as absent and recompute.
+const REC_VERSION: u8 = 1;
+
+/// Everything a sweep point contributes to the report and to the
+/// cross-point assertions, in manifest-storable form.
+struct PointRec {
+    throughput_fps: f64,
+    accelerated: u64,
+    fused: u64,
+    injected: u64,
+    demotions: u64,
+    rollbacks: u64,
+    /// Patch-kill targets derived from the plan (clean points only).
+    targets: Vec<TileId>,
+    /// Per-node output words, for the bit-identity check.
+    outputs: Vec<Vec<u32>>,
+}
+
+fn encode_point(p: &PointRec) -> Vec<u8> {
+    let mut rec = Rec::new();
+    rec.u8(REC_VERSION);
+    rec.f64(p.throughput_fps);
+    rec.u64(p.accelerated);
+    rec.u64(p.fused);
+    rec.u64(p.injected);
+    rec.u64(p.demotions);
+    rec.u64(p.rollbacks);
+    rec.u8(p.targets.len() as u8);
+    for t in &p.targets {
+        rec.u8(t.0);
+    }
+    rec.u32(p.outputs.len() as u32);
+    for node in &p.outputs {
+        rec.words(node);
+    }
+    rec.into_bytes()
+}
+
+fn decode_point(bytes: &[u8]) -> Option<PointRec> {
+    let mut v = RecView::new(bytes);
+    if v.u8()? != REC_VERSION {
+        return None;
+    }
+    let throughput_fps = v.f64()?;
+    let accelerated = v.u64()?;
+    let fused = v.u64()?;
+    let injected = v.u64()?;
+    let demotions = v.u64()?;
+    let rollbacks = v.u64()?;
+    let targets = (0..v.u8()?)
+        .map(|_| v.u8().map(TileId))
+        .collect::<Option<_>>()?;
+    let outputs = (0..v.u32()?).map(|_| v.words()).collect::<Option<_>>()?;
+    if !v.at_end() {
+        return None;
+    }
+    Some(PointRec {
+        throughput_fps,
+        accelerated,
+        fused,
+        injected,
+        demotions,
+        rollbacks,
+        targets,
+        outputs,
+    })
+}
+
+/// Loads the point from the manifest, or computes it and persists it
+/// atomically before returning. All report assembly downstream uses the
+/// returned record only, so resumed and fresh sweeps emit identical
+/// bytes.
+fn point(manifest: &SweepManifest, key: &str, compute: impl FnOnce() -> PointRec) -> PointRec {
+    if let Some(rec) = manifest.load(key).and_then(|b| decode_point(&b)) {
+        return rec;
+    }
+    let rec = compute();
+    manifest
+        .store(key, &encode_point(&rec))
+        .unwrap_or_else(|e| panic!("persist sweep point {key}: {e}"));
+    rec
+}
+
 fn main() {
+    let resume = std::env::args().any(|a| a == "--resume");
     println!(
         "{}",
         bench::header("Fault sweep: throughput vs failed patches")
     );
+    let manifest = SweepManifest::open(POINTS_DIR).expect("open sweep manifest");
+    if resume {
+        println!(
+            "resuming: {} completed point(s) in {POINTS_DIR}/",
+            manifest.completed()
+        );
+    } else {
+        manifest.clear().expect("clear sweep manifest");
+    }
     let mut ws = Workbench::new();
     let apps = App::all();
     ws.prewarm(&apps);
@@ -39,66 +147,112 @@ fn main() {
     let mut app_reports = Vec::new();
     let mut worst_retention = f64::INFINITY;
     for app in &apps {
-        let clean = ws
-            .run_app(app, Arch::Stitch, DEFAULT_FRAMES)
-            .expect("fault-free run");
-        let software = ws
-            .run_app(app, Arch::Baseline, DEFAULT_FRAMES)
-            .expect("software baseline");
-
-        // Kill the patches the fault-free mapping actually uses: host
-        // tiles of accelerated kernels first, then fused partners.
-        let mut targets: Vec<TileId> = Vec::new();
-        for (i, accel) in clean.plan.accel.iter().enumerate() {
-            if accel.is_some() && !targets.contains(&clean.plan.tiles[i]) {
-                targets.push(clean.plan.tiles[i]);
-            }
-        }
-        for accel in clean.plan.accel.iter().flatten() {
-            if let Some(p) = accel.partner {
-                if !targets.contains(&p) {
-                    targets.push(p);
+        let clean = point(
+            &manifest,
+            &format!("{}-f{DEFAULT_FRAMES}-clean", app.name),
+            || {
+                let run = ws
+                    .run_app(app, Arch::Stitch, DEFAULT_FRAMES)
+                    .expect("fault-free run");
+                // Kill the patches the fault-free mapping actually uses:
+                // host tiles of accelerated kernels first, then fused
+                // partners.
+                let mut targets: Vec<TileId> = Vec::new();
+                for (i, accel) in run.plan.accel.iter().enumerate() {
+                    if accel.is_some() && !targets.contains(&run.plan.tiles[i]) {
+                        targets.push(run.plan.tiles[i]);
+                    }
                 }
-            }
-        }
-        targets.truncate(MAX_FAILED);
+                for accel in run.plan.accel.iter().flatten() {
+                    if let Some(p) = accel.partner {
+                        if !targets.contains(&p) {
+                            targets.push(p);
+                        }
+                    }
+                }
+                targets.truncate(MAX_FAILED);
+                PointRec {
+                    throughput_fps: run.throughput_fps,
+                    accelerated: run.plan.accelerated() as u64,
+                    fused: run.plan.fused() as u64,
+                    injected: run.fault_stats.injected,
+                    demotions: run.fault_stats.demotions,
+                    rollbacks: run.fault_stats.rollbacks,
+                    targets,
+                    outputs: run.node_outputs,
+                }
+            },
+        );
+        let software = point(
+            &manifest,
+            &format!("{}-f{DEFAULT_FRAMES}-software", app.name),
+            || {
+                let run = ws
+                    .run_app(app, Arch::Baseline, DEFAULT_FRAMES)
+                    .expect("software baseline");
+                PointRec {
+                    throughput_fps: run.throughput_fps,
+                    accelerated: 0,
+                    fused: 0,
+                    injected: 0,
+                    demotions: 0,
+                    rollbacks: 0,
+                    targets: Vec::new(),
+                    outputs: Vec::new(),
+                }
+            },
+        );
 
         println!(
             "{:>6}: clean {:>7.0} fps ({} accelerated, {} fused), software {:>7.0} fps",
-            app.name,
-            clean.throughput_fps,
-            clean.plan.accelerated(),
-            clean.plan.fused(),
-            software.throughput_fps
+            app.name, clean.throughput_fps, clean.accelerated, clean.fused, software.throughput_fps
         );
 
         let mut points = Vec::new();
         let mut prev_fps = clean.throughput_fps;
-        for k in 1..=targets.len() {
-            let mut plan = FaultPlan::new(k as u64);
-            for &t in &targets[..k] {
-                plan.push(
-                    0,
-                    FaultKind::PatchFail {
-                        tile: t,
-                        until: None,
-                    },
-                );
-            }
-            let run = ws
-                .run_app_faulted(app, Arch::Stitch, DEFAULT_FRAMES, &plan)
-                .expect("degraded run completes");
+        for k in 1..=clean.targets.len() {
+            let run = point(
+                &manifest,
+                &format!("{}-f{DEFAULT_FRAMES}-failed{k}", app.name),
+                || {
+                    let mut plan = FaultPlan::new(k as u64);
+                    for &t in &clean.targets[..k] {
+                        plan.push(
+                            0,
+                            FaultKind::PatchFail {
+                                tile: t,
+                                until: None,
+                            },
+                        );
+                    }
+                    let run = ws
+                        .run_app_faulted(app, Arch::Stitch, DEFAULT_FRAMES, &plan)
+                        .expect("degraded run completes");
+                    PointRec {
+                        throughput_fps: run.throughput_fps,
+                        accelerated: run.plan.accelerated() as u64,
+                        fused: run.plan.fused() as u64,
+                        injected: run.fault_stats.injected,
+                        demotions: run.fault_stats.demotions,
+                        rollbacks: run.fault_stats.rollbacks,
+                        targets: Vec::new(),
+                        outputs: run.node_outputs,
+                    }
+                },
+            );
 
-            // Degradation must never change values.
+            // The assertions run on the stored records, so a resumed
+            // sweep re-checks every property, not only the points it
+            // recomputed. Degradation must never change values.
             assert_eq!(
-                run.node_outputs, clean.node_outputs,
+                run.outputs, clean.outputs,
                 "{}: outputs changed with {k} failed patches",
                 app.name
             );
             // The recovery mapping routes around dead patches entirely,
             // so nothing is left to demote at runtime.
             assert_eq!(
-                run.fault_stats.demotions, 0,
+                run.demotions, 0,
                 "{}: recovery mapping still touched a dead patch",
                 app.name
             );
@@ -122,17 +276,17 @@ fn main() {
                 "        {k} failed: {:>7.0} fps ({:>5.1}% of clean, {} still accelerated)",
                 run.throughput_fps,
                 rel * 100.0,
-                run.plan.accelerated()
+                run.accelerated
             );
-            let mut point = JsonObject::new();
-            point
-                .int("failed_patches", k as u64)
+            let mut pt = JsonObject::new();
+            pt.int("failed_patches", k as u64)
                 .float("throughput_fps", run.throughput_fps)
                 .float("relative_to_clean", rel)
-                .int("accelerated_kernels", run.plan.accelerated() as u64)
-                .int("fused_kernels", run.plan.fused() as u64)
-                .int("faults_injected", run.fault_stats.injected);
-            points.push(point);
+                .int("accelerated_kernels", run.accelerated)
+                .int("fused_kernels", run.fused)
+                .int("faults_injected", run.injected)
+                .int("rollbacks", run.rollbacks);
+            points.push(pt);
             prev_fps = run.throughput_fps;
             worst_retention = worst_retention.min(rel);
         }
@@ -142,8 +296,8 @@ fn main() {
             .str("app", app.name)
             .float("clean_fps", clean.throughput_fps)
             .float("software_fps", software.throughput_fps)
-            .int("accelerated_kernels", clean.plan.accelerated() as u64)
-            .int("fused_kernels", clean.plan.fused() as u64)
+            .int("accelerated_kernels", clean.accelerated)
+            .int("fused_kernels", clean.fused)
             .array("degradation", &points);
         app_reports.push(report);
     }

@@ -5,14 +5,75 @@
 //! exact Fig 12 app x arch grid, cross-checks that both engines produce
 //! bit-identical summaries, and writes the numbers to `BENCH_sim.json`.
 //! See EXPERIMENTS.md for how to regenerate the file.
+//!
+//! The slow reference leg is crash-safe (ISSUE 3): each grid point's
+//! wall time, cycle count, and summary digest are persisted atomically
+//! to `BENCH_sim.points/` as the point completes. Run with `--resume`
+//! to skip reference points that already finished — their wall times
+//! are reassembled from the manifest (the sequential wall figure is the
+//! sum of per-point times either way), and the engine cross-check falls
+//! back to the stored digest for points that were not re-simulated.
+//! Without `--resume` the manifest is cleared and everything re-runs.
 
 use std::time::Instant;
 
 use bench::JsonObject;
-use stitch::{SimEngine, SweepPoint, Workbench, DEFAULT_FRAMES};
+use stitch::manifest::fnv1a64;
+use stitch::{Rec, RecView, SimEngine, SweepManifest, SweepPoint, Workbench, DEFAULT_FRAMES};
 use stitch_apps::App;
 use stitch_kernels::all_kernels;
-use stitch_sim::{Arch, CLOCK_HZ};
+use stitch_sim::{Arch, RunSummary, CLOCK_HZ};
+
+/// Manifest directory for crash-safe resume of the reference leg.
+const POINTS_DIR: &str = "BENCH_sim.points";
+
+/// Payload format version; bump on layout changes so stale manifests
+/// read as absent and recompute.
+const REC_VERSION: u8 = 1;
+
+/// One completed reference-leg grid point. `summary` is populated only
+/// when the point was simulated by this process; resumed points carry
+/// the digest alone.
+struct RefPoint {
+    wall_s: f64,
+    cycles: u64,
+    digest: u64,
+    summary: Option<RunSummary>,
+}
+
+/// Digest used to cross-check engines across a resume boundary: FNV-1a
+/// over the summary's (deterministic) debug rendering.
+fn summary_digest(s: &RunSummary) -> u64 {
+    fnv1a64(format!("{s:?}").as_bytes())
+}
+
+fn encode_ref_point(p: &RefPoint) -> Vec<u8> {
+    let mut rec = Rec::new();
+    rec.u8(REC_VERSION);
+    rec.f64(p.wall_s);
+    rec.u64(p.cycles);
+    rec.u64(p.digest);
+    rec.into_bytes()
+}
+
+fn decode_ref_point(bytes: &[u8]) -> Option<RefPoint> {
+    let mut v = RecView::new(bytes);
+    if v.u8()? != REC_VERSION {
+        return None;
+    }
+    let wall_s = v.f64()?;
+    let cycles = v.u64()?;
+    let digest = v.u64()?;
+    if !v.at_end() {
+        return None;
+    }
+    Some(RefPoint {
+        wall_s,
+        cycles,
+        digest,
+        summary: None,
+    })
+}
 
 /// Wall time of the same prewarmed Fig 12 grid on the pre-change engine,
 /// measured at the seed commit on this host (see EXPERIMENTS.md,
@@ -25,6 +86,7 @@ const SEED_FIG12_WALL_S: f64 = 13.26;
 const SEED_COMMIT: &str = "d1039ad";
 
 fn main() {
+    let resume = std::env::args().any(|a| a == "--resume");
     let apps = App::all();
     let grid = Workbench::full_grid(&apps);
     let threads = Workbench::default_threads();
@@ -33,6 +95,15 @@ fn main() {
         "host threads: {threads}; frames: {DEFAULT_FRAMES}; grid: {} points",
         grid.len()
     );
+    let manifest = SweepManifest::open(POINTS_DIR).expect("open sweep manifest");
+    if resume {
+        println!(
+            "resuming: {} completed reference point(s) in {POINTS_DIR}/",
+            manifest.completed()
+        );
+    } else {
+        manifest.clear().expect("clear sweep manifest");
+    }
 
     let mut ws = Workbench::new();
     // Compile every kernel up front so both timed regions measure pure
@@ -40,22 +111,54 @@ fn main() {
     ws.prewarm(&apps);
 
     // Fig 12 grid, pre-change shape: sequential loop, naive tick-by-tick
-    // simulator.
+    // simulator. Each point is persisted (atomic tmp+rename) as it
+    // completes, so a killed run resumes here instead of repaying the
+    // whole leg.
     ws.set_engine(SimEngine::Reference);
-    let t = Instant::now();
-    let mut ref_runs = Vec::new();
+    let mut ref_points: Vec<RefPoint> = Vec::new();
+    let mut reused = 0usize;
     for p in &grid {
-        ref_runs.push(
-            ws.run_app(&apps[p.app], p.arch, DEFAULT_FRAMES)
-                .expect("reference run"),
+        let key = format!(
+            "fig12-ref-{}-{:?}-f{DEFAULT_FRAMES}",
+            apps[p.app].name, p.arch
+        );
+        let point = match manifest.load(&key).and_then(|b| decode_ref_point(&b)) {
+            Some(point) => {
+                reused += 1;
+                point
+            }
+            None => {
+                let t = Instant::now();
+                let run = ws
+                    .run_app(&apps[p.app], p.arch, DEFAULT_FRAMES)
+                    .expect("reference run");
+                let point = RefPoint {
+                    wall_s: t.elapsed().as_secs_f64(),
+                    cycles: run.summary.cycles,
+                    digest: summary_digest(&run.summary),
+                    summary: Some(run.summary),
+                };
+                manifest
+                    .store(&key, &encode_ref_point(&point))
+                    .unwrap_or_else(|e| panic!("persist reference point {key}: {e}"));
+                point
+            }
+        };
+        ref_points.push(point);
+    }
+    let ref_s: f64 = ref_points.iter().map(|p| p.wall_s).sum();
+    let sim_cycles: u64 = ref_points.iter().map(|p| p.cycles).sum();
+    if reused > 0 {
+        println!(
+            "reference leg: {reused}/{} points reused from the manifest",
+            grid.len()
         );
     }
-    let ref_s = t.elapsed().as_secs_f64();
-    let sim_cycles: u64 = ref_runs.iter().map(|r| r.summary.cycles).sum();
     println!("fig12 grid, sequential reference loop: {ref_s:>8.2}s");
 
     // Fig 12 grid, this change: threaded sweep over the event-driven fast
-    // path.
+    // path. Always re-run — it is cheap, and the wall time is the
+    // headline number.
     ws.set_engine(SimEngine::EventDriven);
     let t = Instant::now();
     let fast_runs: Vec<_> = ws
@@ -66,12 +169,23 @@ fn main() {
     let fast_s = t.elapsed().as_secs_f64();
     println!("fig12 grid, threaded event-driven sweep: {fast_s:>6.2}s");
 
-    // The fast path must be invisible in the results.
-    for (a, b) in ref_runs.iter().zip(&fast_runs) {
+    // The fast path must be invisible in the results. Points simulated
+    // this process compare summaries exactly; resumed points compare
+    // against the stored digest.
+    for (a, b) in ref_points.iter().zip(&fast_runs) {
+        if let Some(s) = &a.summary {
+            assert_eq!(
+                *s, b.summary,
+                "engines diverge on {}/{:?}",
+                b.app_name, b.arch
+            );
+        }
         assert_eq!(
-            a.summary, b.summary,
-            "engines diverge on {}/{:?}",
-            a.app_name, a.arch
+            a.digest,
+            summary_digest(&b.summary),
+            "engines diverge on {}/{:?} (digest)",
+            b.app_name,
+            b.arch
         );
     }
     let speedup = ref_s / fast_s;

@@ -14,7 +14,7 @@ fn main() {
     );
     let mut per_kernel: Vec<(String, Vec<String>)> = Vec::new();
     for k in all_kernels() {
-        let program = k.standalone();
+        let program = k.standalone().expect("kernel program builds");
         let profile = profile_program(&program, 500_000_000).expect("profile");
         let cfg = Cfg::build(&program);
         let hot = profile.hot_blocks(&cfg, stitch_compiler::HOT_THRESHOLD);

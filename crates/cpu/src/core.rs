@@ -162,6 +162,25 @@ pub struct Core {
     arch: ArchState,
 }
 
+/// Architectural snapshot of one core: everything `step` mutates.
+///
+/// The program text is *not* part of the snapshot — a snapshot restores
+/// into a core running the same program (the chip validates program
+/// identity before restoring). Statistics are included because the
+/// simulator's `RunSummary` equivalence contract extends to every
+/// counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreSnapshot {
+    /// Architectural register file.
+    pub regs: [u32; 32],
+    /// Program counter (instruction index).
+    pub pc: u32,
+    /// Run state.
+    pub state: CoreState,
+    /// Counters accumulated so far.
+    pub stats: CoreStats,
+}
+
 impl Core {
     /// Creates a core at `pc = 0` over a program.
     #[must_use]
@@ -220,6 +239,34 @@ impl Core {
         self.arch.regs = [0; 32];
         self.arch.pc = 0;
         self.arch.state = CoreState::Running;
+    }
+
+    /// Captures the core's full architectural state.
+    #[must_use]
+    pub fn snapshot(&self) -> CoreSnapshot {
+        CoreSnapshot {
+            regs: self.arch.regs,
+            pc: self.arch.pc,
+            state: self.arch.state,
+            stats: self.arch.stats,
+        }
+    }
+
+    /// Restores a previously captured snapshot. The program text is left
+    /// untouched; a snapshot whose `pc` does not fit the current text
+    /// surfaces as a typed [`CpuError::PcOutOfRange`] on the next step.
+    pub fn restore(&mut self, snap: &CoreSnapshot) {
+        self.arch.regs = snap.regs;
+        self.arch.pc = snap.pc;
+        self.arch.state = snap.state;
+        self.arch.stats = snap.stats;
+    }
+
+    /// Number of instructions in the loaded program text (used by the
+    /// chip to validate that a snapshot matches the loaded workload).
+    #[must_use]
+    pub fn text_len(&self) -> usize {
+        self.text.instrs.len()
     }
 
     /// Byte address and word count of the instruction the core is parked

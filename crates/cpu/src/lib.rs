@@ -25,7 +25,7 @@
 pub mod core;
 pub mod stats;
 
-pub use crate::core::{Core, CoreState, CustomOutcome, Platform, StepOutcome};
+pub use crate::core::{Core, CoreSnapshot, CoreState, CustomOutcome, Platform, StepOutcome};
 pub use stats::CoreStats;
 
 /// Multiply latency on the base pipeline, in cycles. The open-source

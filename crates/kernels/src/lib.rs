@@ -29,7 +29,7 @@ pub mod signal;
 
 use stitch_isa::memmap::SPM_BASE;
 use stitch_isa::program::{Program, ProgramBuilder};
-use stitch_isa::Reg;
+use stitch_isa::{IsaError, Reg};
 
 /// Base DRAM address of kernel outputs (checked by tests and the driver).
 pub const OUTPUT_BASE: u32 = 0x0010_0000;
@@ -101,19 +101,28 @@ pub trait Kernel: Sync + Send {
     fn reference(&self, input: &[u32]) -> Vec<u32>;
 
     /// Standalone program: embedded input, one compute pass, halt.
-    fn standalone(&self) -> Program {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`stitch_isa::IsaError`] from program assembly (an
+    /// unbound label in a kernel's compute body).
+    fn standalone(&self) -> Result<Program, IsaError> {
         let spec = self.spec();
         let mut b = ProgramBuilder::new();
         b.data_segment(spec.input_addr, self.input());
         self.emit_compute(&mut b);
         b.halt();
         b.symbol("output", spec.output_addr);
-        b.build().expect("kernel programs are label-correct")
+        b.build()
     }
 
     /// Pipelined program: per frame, receive (unless source), compute,
     /// send (unless sink).
-    fn pipelined(&self, io: PipeIo) -> Program {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`stitch_isa::IsaError`] from program assembly.
+    fn pipelined(&self, io: PipeIo) -> Result<Program, IsaError> {
         use wrap_regs as w;
         let spec = self.spec();
         let mut b = ProgramBuilder::new();
@@ -144,7 +153,7 @@ pub trait Kernel: Sync + Send {
         b.branch(stitch_isa::Cond::Ne, w::FRAMES, Reg::R0, frame_loop);
         b.halt();
         b.symbol("output", spec.output_addr);
-        b.build().expect("kernel programs are label-correct")
+        b.build()
     }
 }
 
@@ -217,7 +226,7 @@ mod tests {
     /// output region against the golden reference.
     pub(crate) fn check_kernel(k: &dyn Kernel) {
         let spec = k.spec();
-        let program = k.standalone();
+        let program = k.standalone().unwrap();
         let expected = k.reference(&k.input());
         assert_eq!(
             expected.len() as u32,
@@ -248,7 +257,7 @@ mod tests {
             let spec = k.spec();
             let expected = k.reference(&k.input());
             let mut chip = Chip::new(ChipConfig::stitch_16());
-            chip.load_program(TileId(0), &k.standalone());
+            chip.load_program(TileId(0), &k.standalone().unwrap());
             chip.run(500_000_000).unwrap();
             let got = chip.peek_words(TileId(0), spec.output_addr, expected.len());
             assert_eq!(got, expected, "{}: stitch-geometry mismatch", spec.name);
@@ -275,21 +284,25 @@ mod tests {
         let mut chip = Chip::new(ChipConfig::baseline_16());
 
         // Source: emits its own computed output once.
-        let src_prog = k.pipelined(PipeIo {
-            src: None,
-            dst: Some(1),
-            frames: 2,
-        });
+        let src_prog = k
+            .pipelined(PipeIo {
+                src: None,
+                dst: Some(1),
+                frames: 2,
+            })
+            .unwrap();
         chip.load_program(TileId(0), &src_prog);
 
         // Sink: a fir instance whose input frame matches the source's
         // output length (64 - 4 + 1 = 61 words).
         let sink = signal::FirFilter::new(61, 4);
-        let sink_prog = sink.pipelined(PipeIo {
-            src: Some(0),
-            dst: None,
-            frames: 2,
-        });
+        let sink_prog = sink
+            .pipelined(PipeIo {
+                src: Some(0),
+                dst: None,
+                frames: 2,
+            })
+            .unwrap();
         chip.load_program(TileId(1), &sink_prog);
 
         chip.run(500_000_000).unwrap();

@@ -98,6 +98,32 @@ struct Line {
     lru: u64,
 }
 
+/// Snapshot of one cache way (public mirror of the internal line state).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LineSnapshot {
+    /// Block resident.
+    pub valid: bool,
+    /// Block modified since fill.
+    pub dirty: bool,
+    /// Address tag.
+    pub tag: u32,
+    /// LRU timestamp of the last touch.
+    pub lru: u64,
+}
+
+/// Full residency/timing snapshot of a [`Cache`]: every line (including
+/// LRU timestamps — replacement order is part of the simulator's
+/// bit-identical equivalence contract), counters, and the LRU clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// All lines, in `set * ways + way` order.
+    pub lines: Vec<LineSnapshot>,
+    /// Counters at capture time.
+    pub stats: CacheStats,
+    /// LRU clock at capture time.
+    pub tick: u64,
+}
+
 /// Outcome of one cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Lookup {
@@ -269,6 +295,42 @@ impl Cache {
         for line in &mut self.sets {
             *line = Line::default();
         }
+    }
+
+    /// Captures residency, LRU order and counters.
+    #[must_use]
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            lines: self
+                .sets
+                .iter()
+                .map(|l| LineSnapshot {
+                    valid: l.valid,
+                    dirty: l.dirty,
+                    tag: l.tag,
+                    lru: l.lru,
+                })
+                .collect(),
+            stats: self.stats,
+            tick: self.tick,
+        }
+    }
+
+    /// Restores a snapshot captured from a cache with the same geometry
+    /// (the chip validates geometry before restoring; mismatched line
+    /// counts are a caller bug).
+    pub fn restore(&mut self, snap: &CacheSnapshot) {
+        debug_assert_eq!(snap.lines.len(), self.sets.len(), "cache geometry mismatch");
+        for (line, s) in self.sets.iter_mut().zip(&snap.lines) {
+            *line = Line {
+                valid: s.valid,
+                dirty: s.dirty,
+                tag: s.tag,
+                lru: s.lru,
+            };
+        }
+        self.stats = snap.stats;
+        self.tick = snap.tick;
     }
 }
 

@@ -25,10 +25,10 @@ pub mod dram;
 pub mod spm;
 pub mod tile;
 
-pub use cache::{Cache, CacheConfig, CacheStats};
-pub use dram::Dram;
-pub use spm::Spm;
-pub use tile::{AccessKind, MemResult, TileMemory, TileMemoryConfig};
+pub use cache::{Cache, CacheConfig, CacheSnapshot, CacheStats, LineSnapshot};
+pub use dram::{Dram, DramSnapshot, PAGE_SIZE};
+pub use spm::{Spm, SpmSnapshot};
+pub use tile::{AccessKind, MemResult, TileMemory, TileMemoryConfig, TileMemorySnapshot};
 
 /// DRAM access latency in cycles (paper Table II).
 pub const DRAM_LATENCY: u32 = 30;

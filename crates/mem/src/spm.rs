@@ -121,6 +121,36 @@ impl Spm {
         self.reads = 0;
         self.writes = 0;
     }
+
+    /// Captures contents and counters.
+    #[must_use]
+    pub fn snapshot(&self) -> SpmSnapshot {
+        SpmSnapshot {
+            data: self.data.clone(),
+            reads: self.reads,
+            writes: self.writes,
+        }
+    }
+
+    /// Restores a snapshot (same window size by construction — every SPM
+    /// is [`SPM_SIZE`] bytes).
+    pub fn restore(&mut self, snap: &SpmSnapshot) {
+        debug_assert_eq!(snap.data.len(), self.data.len(), "SPM size mismatch");
+        self.data.copy_from_slice(&snap.data);
+        self.reads = snap.reads;
+        self.writes = snap.writes;
+    }
+}
+
+/// Snapshot of a scratchpad: contents plus energy-model counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpmSnapshot {
+    /// Raw window contents.
+    pub data: Box<[u8]>,
+    /// Read accesses at capture time.
+    pub reads: u64,
+    /// Write accesses at capture time.
+    pub writes: u64,
 }
 
 #[cfg(test)]

@@ -241,6 +241,52 @@ impl TileMemory {
     pub fn spm_counts(&self) -> (u64, u64) {
         self.spm.access_counts()
     }
+
+    /// Captures a full snapshot of the tile's memory system. DRAM pages
+    /// are captured sparsely and the dirty set is reset, so a later
+    /// [`TileMemory::refresh_snapshot`] only re-copies written pages.
+    #[must_use]
+    pub fn snapshot(&mut self) -> TileMemorySnapshot {
+        TileMemorySnapshot {
+            dram: self.dram.snapshot(),
+            icache: self.icache.snapshot(),
+            dcache: self.dcache.snapshot(),
+            spm: self.spm.snapshot(),
+        }
+    }
+
+    /// Updates a snapshot previously captured from *this* tile memory:
+    /// DRAM incrementally via its dirty-page delta, caches and SPM by
+    /// re-capture (they are kilobytes, the DRAM is the bulk).
+    pub fn refresh_snapshot(&mut self, snap: &mut TileMemorySnapshot) {
+        self.dram.refresh_snapshot(&mut snap.dram);
+        snap.icache = self.icache.snapshot();
+        snap.dcache = self.dcache.snapshot();
+        snap.spm = self.spm.snapshot();
+    }
+
+    /// Restores a snapshot captured from a tile memory with the same
+    /// configuration (validated by the chip before restoring).
+    pub fn restore(&mut self, snap: &TileMemorySnapshot) {
+        self.dram.restore(&snap.dram);
+        self.icache.restore(&snap.icache);
+        self.dcache.restore(&snap.dcache);
+        self.spm.restore(&snap.spm);
+    }
+}
+
+/// Snapshot of one tile's memory system: sparse DRAM pages, both cache
+/// tag/LRU arrays (with counters), and SPM contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileMemorySnapshot {
+    /// Backing DRAM pages (sparse, sorted).
+    pub dram: crate::DramSnapshot,
+    /// Instruction-cache residency and counters.
+    pub icache: crate::CacheSnapshot,
+    /// Data-cache residency and counters.
+    pub dcache: crate::CacheSnapshot,
+    /// Scratchpad contents and counters.
+    pub spm: crate::SpmSnapshot,
 }
 
 #[cfg(test)]

@@ -20,8 +20,11 @@
 pub mod mesh;
 pub mod patchnet;
 
-pub use mesh::{Mesh, MeshConfig, MeshStats, PacketKind};
-pub use patchnet::{Circuit, PatchNet, PatchNetError, PortDir};
+pub use mesh::{
+    FlitSnapshot, Mesh, MeshConfig, MeshSnapshot, MeshStats, Message, PacketKind,
+    ReassemblySnapshot, RouterSnapshot,
+};
+pub use patchnet::{Circuit, PatchNet, PatchNetError, PatchNetSnapshot, PortDir};
 
 use std::fmt;
 

@@ -127,6 +127,81 @@ struct Reassembly {
     words: Vec<u32>,
 }
 
+/// Snapshot of one in-flight flit (public mirror of the internal state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlitSnapshot {
+    /// Destination tile.
+    pub dst: TileId,
+    /// Source tile.
+    pub src: TileId,
+    /// Head flit of its packet.
+    pub is_head: bool,
+    /// Tail flit of its packet.
+    pub is_tail: bool,
+    /// Payload word.
+    pub word: u32,
+    /// Message id for reassembly.
+    pub msg_id: u64,
+    /// Total words of the whole message.
+    pub msg_len: u32,
+    /// Injection cycle (for latency accounting).
+    pub injected_at: u64,
+    /// Cycle at which the flit becomes eligible at its current router.
+    pub ready_at: u64,
+}
+
+/// Snapshot of one router: buffered flits plus wormhole/arbiter state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouterSnapshot {
+    /// Input buffers in port order (N, E, S, W, local).
+    pub inputs: [Vec<FlitSnapshot>; PORTS],
+    /// Which input currently owns each output port.
+    pub out_owner: [Option<u8>; PORTS],
+    /// Round-robin pointer per output.
+    pub rr: [u8; PORTS],
+}
+
+/// Snapshot of one in-progress message reassembly at a destination NIC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReassemblySnapshot {
+    /// Sender tile.
+    pub src: TileId,
+    /// Message id.
+    pub msg_id: u64,
+    /// Total words expected.
+    pub expected: u32,
+    /// Words received so far.
+    pub words: Vec<u32>,
+}
+
+/// Complete state of a [`Mesh`]: every buffered flit, credit-relevant
+/// occupancy, wormhole ownership, pending injections, reassemblies,
+/// delivered-but-unread messages, statistics, and fault state. Captured
+/// by [`Mesh::snapshot`] and reinstalled by [`Mesh::restore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeshSnapshot {
+    /// Per-router buffered flits and arbiter state.
+    pub routers: Vec<RouterSnapshot>,
+    /// Per-tile injection queues (packets awaiting the local port).
+    pub inject: Vec<Vec<Vec<FlitSnapshot>>>,
+    /// Per-tile in-flight reassemblies.
+    pub assembling: Vec<Vec<ReassemblySnapshot>>,
+    /// Per-tile delivered messages not yet consumed.
+    pub delivered: Vec<Vec<Message>>,
+    /// Traffic statistics at capture time.
+    pub stats: MeshStats,
+    /// Network clock at capture time.
+    pub cycle: u64,
+    /// Next message id to allocate.
+    pub next_msg_id: u64,
+    /// Per-tile, per-direction link-fault deadlines.
+    pub link_down_until: Vec<[u64; 4]>,
+    /// Whether any link fault was ever injected.
+    pub any_link_faults: bool,
+    /// Consecutive no-progress ticks at capture time.
+    pub stalled_ticks: u64,
+}
+
 /// One switch-traversal decision, collected first so the per-cycle update
 /// stays atomic. Stored in a scratch buffer owned by [`Mesh`] so `tick`
 /// allocates nothing in steady state.
@@ -586,6 +661,175 @@ impl Mesh {
         }
     }
 
+    /// Captures the complete network state (scratch buffers excluded —
+    /// they are transient within one `tick`).
+    #[must_use]
+    pub fn snapshot(&self) -> MeshSnapshot {
+        let flit = |f: &Flit| FlitSnapshot {
+            dst: f.dst,
+            src: f.src,
+            is_head: f.is_head,
+            is_tail: f.is_tail,
+            word: f.word,
+            msg_id: f.msg_id,
+            msg_len: f.msg_len,
+            injected_at: f.injected_at,
+            ready_at: f.ready_at,
+        };
+        MeshSnapshot {
+            routers: self
+                .routers
+                .iter()
+                .map(|r| RouterSnapshot {
+                    inputs: std::array::from_fn(|p| r.inputs[p].iter().map(flit).collect()),
+                    out_owner: std::array::from_fn(|p| r.out_owner[p].map(|o| o as u8)),
+                    rr: std::array::from_fn(|p| r.rr[p] as u8),
+                })
+                .collect(),
+            inject: self
+                .inject
+                .iter()
+                .map(|q| q.iter().map(|pkt| pkt.iter().map(flit).collect()).collect())
+                .collect(),
+            assembling: self
+                .assembling
+                .iter()
+                .map(|v| {
+                    v.iter()
+                        .map(|a| ReassemblySnapshot {
+                            src: a.src,
+                            msg_id: a.msg_id,
+                            expected: a.expected,
+                            words: a.words.clone(),
+                        })
+                        .collect()
+                })
+                .collect(),
+            delivered: self
+                .delivered
+                .iter()
+                .map(|q| q.iter().cloned().collect())
+                .collect(),
+            stats: self.stats,
+            cycle: self.cycle,
+            next_msg_id: self.next_msg_id,
+            link_down_until: self.link_down_until.clone(),
+            any_link_faults: self.any_link_faults,
+            stalled_ticks: self.stalled_ticks,
+        }
+    }
+
+    /// Restores a snapshot captured from a mesh with the same topology
+    /// (validated by the chip before restoring).
+    pub fn restore(&mut self, snap: &MeshSnapshot) {
+        debug_assert_eq!(snap.routers.len(), self.routers.len(), "topology mismatch");
+        let flit = |f: &FlitSnapshot| Flit {
+            dst: f.dst,
+            src: f.src,
+            is_head: f.is_head,
+            is_tail: f.is_tail,
+            word: f.word,
+            msg_id: f.msg_id,
+            msg_len: f.msg_len,
+            injected_at: f.injected_at,
+            ready_at: f.ready_at,
+        };
+        for (r, s) in self.routers.iter_mut().zip(&snap.routers) {
+            for p in 0..PORTS {
+                r.inputs[p].clear();
+                r.inputs[p].extend(s.inputs[p].iter().map(flit));
+                r.out_owner[p] = s.out_owner[p].map(usize::from);
+                r.rr[p] = usize::from(s.rr[p]);
+            }
+        }
+        for (q, s) in self.inject.iter_mut().zip(&snap.inject) {
+            q.clear();
+            q.extend(
+                s.iter()
+                    .map(|pkt| pkt.iter().map(flit).collect::<VecDeque<_>>()),
+            );
+        }
+        for (v, s) in self.assembling.iter_mut().zip(&snap.assembling) {
+            v.clear();
+            v.extend(s.iter().map(|a| Reassembly {
+                src: a.src,
+                msg_id: a.msg_id,
+                expected: a.expected,
+                words: a.words.clone(),
+            }));
+        }
+        for (q, s) in self.delivered.iter_mut().zip(&snap.delivered) {
+            q.clear();
+            q.extend(s.iter().cloned());
+        }
+        self.stats = snap.stats;
+        self.cycle = snap.cycle;
+        self.next_msg_id = snap.next_msg_id;
+        self.link_down_until.clone_from(&snap.link_down_until);
+        self.any_link_faults = snap.any_link_faults;
+        self.stalled_ticks = snap.stalled_ticks;
+    }
+
+    /// Structural invariant check: buffer occupancy never exceeds the
+    /// credit-managed capacity, and flits are conserved — every packet
+    /// injected and not yet delivered has exactly one tail flit somewhere
+    /// in the network (no duplication, no loss), and no reassembly holds
+    /// more words than its message declares.
+    ///
+    /// Returns a description of the first violation found. Runs an
+    /// exhaustive scan, so callers gate it (debug builds / paranoid mode).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (r, router) in self.routers.iter().enumerate() {
+            for (p, q) in router.inputs.iter().enumerate() {
+                if q.len() > self.cfg.buffer_flits {
+                    return Err(format!(
+                        "router {r} input port {p} holds {} flits, capacity {} \
+                         (credit conservation violated)",
+                        q.len(),
+                        self.cfg.buffer_flits
+                    ));
+                }
+            }
+        }
+        let mut tails: u64 = 0;
+        for router in &self.routers {
+            for q in &router.inputs {
+                tails += q.iter().filter(|f| f.is_tail).count() as u64;
+            }
+        }
+        for q in &self.inject {
+            for pkt in q {
+                tails += pkt.iter().filter(|f| f.is_tail).count() as u64;
+            }
+        }
+        let outstanding = self.stats.packets_sent - self.stats.packets_delivered;
+        if tails != outstanding {
+            return Err(format!(
+                "{tails} tail flits in flight but {outstanding} packets outstanding \
+                 (flit duplicated or lost)"
+            ));
+        }
+        for (t, v) in self.assembling.iter().enumerate() {
+            for a in v {
+                if a.words.len() as u32 > a.expected {
+                    return Err(format!(
+                        "tile {t} reassembly of msg {} from {} holds {} words, expected {} \
+                         (flit duplicated)",
+                        a.msg_id,
+                        a.src.0,
+                        a.words.len(),
+                        a.expected
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Runs the network until idle or `max_cycles`, returning cycles spent.
     pub fn drain(&mut self, max_cycles: u64) -> u64 {
         let start = self.cycle;
@@ -755,6 +999,55 @@ mod tests {
             "stall probe flags the wedged network (got {})",
             m.stalled_ticks()
         );
+    }
+
+    #[test]
+    fn snapshot_mid_flight_resumes_identically() {
+        // Capture while traffic is in flight; the restored mesh must
+        // finish the run with identical deliveries and statistics.
+        let mut m = mesh();
+        for t in 0..8u8 {
+            m.send(TileId(t), TileId(15 - t), &[u32::from(t); 7]);
+        }
+        for _ in 0..9 {
+            m.tick();
+        }
+        assert!(!m.idle(), "traffic still in flight at capture");
+        let snap = m.snapshot();
+
+        let mut replica = mesh();
+        replica.restore(&snap);
+        m.drain(100_000);
+        replica.drain(100_000);
+        assert_eq!(m.stats(), replica.stats());
+        assert_eq!(m.cycle(), replica.cycle());
+        for t in 0..8u8 {
+            let a = m.pop_delivered(TileId(15 - t), TileId(t)).unwrap();
+            let b = replica.pop_delivered(TileId(15 - t), TileId(t)).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn invariants_hold_throughout_a_run() {
+        let mut m = mesh();
+        for t in 0..16u8 {
+            m.send(TileId(t), TileId(15 - t), &[u32::from(t); 10]);
+        }
+        while !m.idle() {
+            m.tick();
+            m.check_invariants().expect("invariants hold");
+        }
+    }
+
+    #[test]
+    fn invariant_checker_detects_lost_flit() {
+        let mut m = mesh();
+        m.send(TileId(0), TileId(3), &[1, 2]);
+        m.tick();
+        // Forge a loss: claim a packet delivered that never arrived.
+        m.stats.packets_delivered += 1;
+        assert!(m.check_invariants().is_err());
     }
 
     #[test]

@@ -53,7 +53,10 @@ impl PortDir {
         }
     }
 
-    fn code(self) -> u32 {
+    /// Stable numeric code of this port (its index in [`PortDir::ALL`]);
+    /// the configuration-register and snapshot wire encoding.
+    #[must_use]
+    pub fn code(self) -> u32 {
         match self {
             PortDir::North => 0,
             PortDir::East => 1,
@@ -64,7 +67,9 @@ impl PortDir {
         }
     }
 
-    fn from_code(c: u32) -> Option<PortDir> {
+    /// Inverse of [`PortDir::code`]; `None` for out-of-range codes.
+    #[must_use]
+    pub fn from_code(c: u32) -> Option<PortDir> {
         Self::ALL.get(c as usize).copied()
     }
 }
@@ -104,6 +109,23 @@ pub enum PatchNetError {
     BadConfigWord(u32),
     /// Endpoints must differ.
     SameTile(TileId),
+    /// A switch index outside the topology was addressed.
+    BadTile {
+        /// The out-of-range switch index.
+        index: u32,
+        /// Number of switches in the network.
+        tiles: u32,
+    },
+    /// A reserved circuit's path is no longer driven by the switch state
+    /// (a reconfigure broke it) — reported by the paranoid validator.
+    BrokenCircuit {
+        /// Circuit source tile.
+        from: TileId,
+        /// Circuit destination tile.
+        to: TileId,
+        /// The switch whose configuration no longer carries the circuit.
+        tile: TileId,
+    },
 }
 
 impl fmt::Display for PatchNetError {
@@ -117,6 +139,15 @@ impl fmt::Display for PatchNetError {
             }
             PatchNetError::BadConfigWord(w) => write!(f, "bad crossbar config word {w:#x}"),
             PatchNetError::SameTile(t) => write!(f, "circuit endpoints are both {t}"),
+            PatchNetError::BadTile { index, tiles } => {
+                write!(f, "switch index {index} outside the {tiles}-tile network")
+            }
+            PatchNetError::BrokenCircuit { from, to, tile } => {
+                write!(
+                    f,
+                    "circuit {from}->{to} no longer driven at {tile}'s switch"
+                )
+            }
         }
     }
 }
@@ -266,9 +297,17 @@ impl PatchNet {
     ///
     /// # Errors
     ///
-    /// Returns [`PatchNetError::BadConfigWord`] on undecodable values.
+    /// Returns [`PatchNetError::BadConfigWord`] on undecodable values and
+    /// [`PatchNetError::BadTile`] when `tile` names no switch (a stray
+    /// store into the configuration window).
     pub fn write_config_register(&mut self, tile: TileId, word: u32) -> Result<(), PatchNetError> {
-        self.switches[tile.index()] = SwitchConfig::unpack(word)?;
+        let Some(slot) = self.switches.get_mut(tile.index()) else {
+            return Err(PatchNetError::BadTile {
+                index: u32::from(tile.0),
+                tiles: self.topo.tiles() as u32,
+            });
+        };
+        *slot = SwitchConfig::unpack(word)?;
         Ok(())
     }
 
@@ -345,6 +384,78 @@ impl PatchNet {
         self.lookup.clear();
     }
 
+    /// Captures switch configurations (packed register format) and the
+    /// reserved circuits. The `(from, to)` lookup table is derivable and
+    /// rebuilt on restore.
+    #[must_use]
+    pub fn snapshot(&self) -> PatchNetSnapshot {
+        PatchNetSnapshot {
+            switches: self.switches.iter().map(SwitchConfig::pack).collect(),
+            circuits: self.circuits.clone(),
+        }
+    }
+
+    /// Restores a snapshot captured from a network with the same topology
+    /// (validated by the chip before restoring).
+    ///
+    /// # Errors
+    ///
+    /// [`PatchNetError::BadConfigWord`] if a packed switch word does not
+    /// decode (a corrupted snapshot), [`PatchNetError::BadTile`] on a
+    /// switch-count mismatch.
+    pub fn restore(&mut self, snap: &PatchNetSnapshot) -> Result<(), PatchNetError> {
+        if snap.switches.len() != self.switches.len() {
+            return Err(PatchNetError::BadTile {
+                index: snap.switches.len() as u32,
+                tiles: self.topo.tiles() as u32,
+            });
+        }
+        let mut switches = Vec::with_capacity(snap.switches.len());
+        for &w in &snap.switches {
+            switches.push(SwitchConfig::unpack(w)?);
+        }
+        self.switches = switches;
+        self.circuits = snap.circuits.clone();
+        self.lookup = self
+            .circuits
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ((c.from, c.to), i))
+            .collect();
+        Ok(())
+    }
+
+    /// Verifies that every reserved circuit is still carried by the
+    /// current switch state (both directions at every hop). A raw
+    /// `cfgxbar` write can silently sever a circuit — this is the
+    /// legality check the paranoid invariant mode runs after every
+    /// reconfigure.
+    ///
+    /// # Errors
+    ///
+    /// [`PatchNetError::BrokenCircuit`] naming the first bad switch.
+    pub fn validate_circuits(&self) -> Result<(), PatchNetError> {
+        for c in &self.circuits {
+            for i in 0..c.tiles.len() {
+                let tile = c.tiles[i];
+                let toward_prev = (i > 0).then(|| dir_between(self.topo, tile, c.tiles[i - 1]));
+                let toward_next =
+                    (i + 1 < c.tiles.len()).then(|| dir_between(self.topo, tile, c.tiles[i + 1]));
+                let fwd_in = toward_prev.unwrap_or(PortDir::Reg);
+                let fwd_out = toward_next.unwrap_or(PortDir::Patch);
+                let sw = &self.switches[tile.index()];
+                if sw.driver(fwd_out) != Some(fwd_in) || sw.driver(fwd_in) != Some(fwd_out) {
+                    return Err(PatchNetError::BrokenCircuit {
+                        from: c.from,
+                        to: c.to,
+                        tile,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Dijkstra (uniform weights, so effectively BFS) over switches whose
     /// relevant output ports are still free in *both* directions.
     fn shortest_free_path(&self, from: TileId, to: TileId) -> Option<Vec<TileId>> {
@@ -401,6 +512,16 @@ impl PatchNet {
         debug_assert_eq!(path[0], from);
         Some(path)
     }
+}
+
+/// Snapshot of the inter-patch network: per-switch packed configuration
+/// registers plus the reserved circuits.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PatchNetSnapshot {
+    /// Packed 18-bit configuration word per switch, in tile order.
+    pub switches: Vec<u32>,
+    /// Reserved circuits, in reservation order.
+    pub circuits: Vec<Circuit>,
 }
 
 /// Mesh direction from `a` to an adjacent tile `b`.
@@ -540,6 +661,70 @@ mod tests {
         assert_eq!(
             net.switch(TileId(5)).driver(PortDir::East),
             Some(PortDir::West)
+        );
+    }
+
+    #[test]
+    fn write_config_register_rejects_bad_tile() {
+        let mut net = PatchNet::new_4x4();
+        let err = net.write_config_register(TileId(99), 0).unwrap_err();
+        assert_eq!(
+            err,
+            PatchNetError::BadTile {
+                index: 99,
+                tiles: 16
+            }
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trip_restores_circuits_and_switches() {
+        let mut net = PatchNet::new_4x4();
+        net.reserve(TileId(1), TileId(9)).unwrap();
+        net.reserve(TileId(2), TileId(10)).unwrap();
+        let snap = net.snapshot();
+
+        let mut replica = PatchNet::new_4x4();
+        replica.restore(&snap).unwrap();
+        assert_eq!(replica.circuits(), net.circuits());
+        for t in 0..16u8 {
+            assert_eq!(replica.switch(TileId(t)), net.switch(TileId(t)));
+        }
+        // The rebuilt lookup works.
+        assert!(replica.circuit(TileId(1), TileId(9)).is_some());
+        // And contention is still detected after restore.
+        assert!(replica.reserve(TileId(1), TileId(13)).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_wrong_switch_count() {
+        let mut net = PatchNet::new_4x4();
+        let snap = PatchNetSnapshot {
+            switches: vec![0; 4],
+            circuits: Vec::new(),
+        };
+        assert!(matches!(
+            net.restore(&snap),
+            Err(PatchNetError::BadTile { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_circuits_catches_severed_path() {
+        let mut net = PatchNet::new_4x4();
+        net.reserve(TileId(1), TileId(9)).unwrap();
+        net.validate_circuits().unwrap();
+        // A raw reconfigure of the bypass switch severs the circuit.
+        net.write_config_register(TileId(5), SwitchConfig::default().pack())
+            .unwrap();
+        let err = net.validate_circuits().unwrap_err();
+        assert_eq!(
+            err,
+            PatchNetError::BrokenCircuit {
+                from: TileId(1),
+                to: TileId(9),
+                tile: TileId(5),
+            }
         );
     }
 

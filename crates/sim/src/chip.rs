@@ -1,8 +1,10 @@
 //! The 16-tile chip: cores, memories, patches and both networks.
 
 use crate::faults::{
-    FaultRuntime, FaultStats, MESH_STALL_TICKS, WATCHDOG_RETRIES, WATCHDOG_TIMEOUT_CYCLES,
+    FaultRuntime, FaultStats, PendingMask, MESH_STALL_TICKS, WATCHDOG_RETRIES,
+    WATCHDOG_TIMEOUT_CYCLES,
 };
+use crate::snapshot::{ChipSnapshot, SnapshotError};
 use crate::summary::{RunSummary, TileSummary};
 use crate::{ChipConfig, TileId};
 use std::collections::HashMap;
@@ -58,6 +60,8 @@ pub enum SimError {
     },
     /// Every running core is blocked in `recv` with no traffic in flight.
     Deadlock {
+        /// Cycle at which the deadlock was detected.
+        cycle: u64,
         /// The blocked tiles and what each is waiting for.
         waiting: Vec<Blocked>,
     },
@@ -80,6 +84,17 @@ pub enum SimError {
         cycle: u64,
         /// What was found broken.
         kind: FaultedKind,
+    },
+    /// A runtime self-check failed (see [`Chip::set_paranoid`]): the
+    /// simulated hardware reached a state its own conservation laws
+    /// forbid — a simulator bug, not a modelled fault.
+    InvariantViolation {
+        /// Which component's invariant broke (`"mesh"`, `"patchnet"`).
+        component: &'static str,
+        /// Cycle at which the check failed.
+        cycle: u64,
+        /// Human-readable description of the violated invariant.
+        detail: String,
     },
 }
 
@@ -156,8 +171,8 @@ impl fmt::Display for SimError {
             SimError::Timeout { max_cycles } => {
                 write!(f, "simulation exceeded {max_cycles} cycles")
             }
-            SimError::Deadlock { waiting } => {
-                write!(f, "deadlock;")?;
+            SimError::Deadlock { cycle, waiting } => {
+                write!(f, "deadlock at cycle {cycle};")?;
                 for (i, b) in waiting.iter().enumerate() {
                     write!(f, "{} {b}", if i == 0 { "" } else { "," })?;
                 }
@@ -167,6 +182,16 @@ impl fmt::Display for SimError {
             SimError::PatchNet(e) => write!(f, "inter-patch NoC: {e}"),
             SimError::Faulted { tile, cycle, kind } => {
                 write!(f, "{tile} faulted at cycle {cycle}: {kind}")
+            }
+            SimError::InvariantViolation {
+                component,
+                cycle,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "{component} invariant violated at cycle {cycle}: {detail}"
+                )
             }
         }
     }
@@ -205,6 +230,9 @@ struct TilePlatform<'a> {
     patchnet: &'a mut PatchNet,
     activations: &'a mut [u64],
     xbar_errors: &'a mut u64,
+    /// Set when a store reconfigures a crossbar this cycle, so the chip
+    /// re-validates circuit legality right after the tick.
+    xbar_reconfigured: &'a mut bool,
     faults: Option<&'a mut FaultRuntime>,
 }
 
@@ -237,6 +265,8 @@ impl Platform for TilePlatform<'_> {
                 || self.patchnet.write_config_register(target, word).is_err()
             {
                 *self.xbar_errors += 1;
+            } else {
+                *self.xbar_reconfigured = true;
             }
         }
         r.latency
@@ -261,8 +291,15 @@ impl Platform for TilePlatform<'_> {
                                 kind: PatchFaultKind::PatchDead,
                             });
                         }
-                        f.stats.demotions += 1;
-                        demoted = true;
+                        // Topmost ladder rung: for a *transient* fault
+                        // with a checkpoint available, ask the chip to
+                        // roll back and replay with the window masked.
+                        // This tick's effects are then discarded by the
+                        // restore, so the healthy path below is fine.
+                        if !f.request_patch_rollback(self.tile) {
+                            f.stats.demotions += 1;
+                            demoted = true;
+                        }
                     }
                 }
                 // The software fallback runs the same dataflow through
@@ -302,8 +339,10 @@ impl Platform for TilePlatform<'_> {
                                 kind: PatchFaultKind::PatchDead,
                             });
                         }
-                        f.stats.demotions += 1;
-                        mode = FusedMode::Software;
+                        if !f.request_patch_rollback(self.tile) {
+                            f.stats.demotions += 1;
+                            mode = FusedMode::Software;
+                        }
                     } else {
                         let circuit_dead = f.patch_down(*partner, self.cycle)
                             || match self.patchnet.circuit(self.tile, *partner) {
@@ -320,17 +359,28 @@ impl Platform for TilePlatform<'_> {
                                     kind: PatchFaultKind::CircuitDead,
                                 });
                             }
-                            // The fused handshake times out. The first
-                            // detection per (tile, CI) pays the bounded
-                            // watchdog retries; the demotion is then
-                            // remembered and later activations go
-                            // straight to the fallback.
-                            if f.watchdog_tripped.insert((self.tile.0, ci.0)) {
-                                f.stats.watchdog_trips += 1;
-                                extra += WATCHDOG_RETRIES * WATCHDOG_TIMEOUT_CYCLES;
+                            // Topmost rung: if every blocker is transient
+                            // and a checkpoint is armed, roll back instead
+                            // of demoting (this tick is then discarded).
+                            let rolled = match self.patchnet.circuit(self.tile, *partner) {
+                                Some(c) => {
+                                    f.request_circuit_rollback(*partner, &c.tiles, self.cycle)
+                                }
+                                None => false,
+                            };
+                            if !rolled {
+                                // The fused handshake times out. The first
+                                // detection per (tile, CI) pays the bounded
+                                // watchdog retries; the demotion is then
+                                // remembered and later activations go
+                                // straight to the fallback.
+                                if f.watchdog_tripped.insert((self.tile.0, ci.0)) {
+                                    f.stats.watchdog_trips += 1;
+                                    extra += WATCHDOG_RETRIES * WATCHDOG_TIMEOUT_CYCLES;
+                                }
+                                f.stats.demotions += 1;
+                                mode = FusedMode::LocalOnly;
                             }
-                            f.stats.demotions += 1;
-                            mode = FusedMode::LocalOnly;
                         }
                     }
                 }
@@ -418,6 +468,25 @@ pub struct Chip {
     /// Installed fault plan and its runtime state, if any. `None` keeps
     /// every fault check off the hot paths of fault-free runs.
     faults: Option<FaultRuntime>,
+    /// Opt-in per-tick self-checks (see [`Chip::set_paranoid`]).
+    paranoid: bool,
+    /// A store reconfigured a crossbar during the current tick.
+    xbar_reconfigured: bool,
+    /// Periodic-checkpoint + transient-fault-replay state, when enabled.
+    rollback: Option<RollbackState>,
+}
+
+/// State of the checkpoint-rollback rung (see [`Chip::enable_rollback`]).
+struct RollbackState {
+    /// Cycles between periodic checkpoint refreshes.
+    interval: u64,
+    /// Remaining rollback retries before detections fall through to the
+    /// ordinary degradation ladder.
+    budget_left: u32,
+    /// Cycle of the next periodic checkpoint refresh.
+    next_checkpoint: u64,
+    /// The most recent checkpoint (boxed: a full chip image is large).
+    last: Option<Box<ChipSnapshot>>,
 }
 
 impl Chip {
@@ -444,6 +513,9 @@ impl Chip {
             next_wake: 0,
             skipped: 0,
             faults: None,
+            paranoid: false,
+            xbar_reconfigured: false,
+            rollback: None,
             cfg,
         }
     }
@@ -453,12 +525,289 @@ impl Chip {
     /// before the first `run` so they line up with the schedule.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.faults = Some(FaultRuntime::new(plan, self.cfg.topo.tiles()));
+        self.sync_rollback_armed();
     }
 
     /// Fault-handling counters (all zero when no plan is installed).
     #[must_use]
     pub fn fault_stats(&self) -> FaultStats {
         self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// Enables (or disables) per-tick hardware self-checks: mesh flit
+    /// conservation and buffer occupancy after every tick, inter-patch
+    /// circuit legality after every crossbar reconfiguration. Violations
+    /// surface as [`SimError::InvariantViolation`]. Debug builds run the
+    /// same checks as `debug_assert`s even when this is off; release
+    /// builds skip them entirely unless enabled here.
+    pub fn set_paranoid(&mut self, on: bool) {
+        self.paranoid = on;
+    }
+
+    /// Captures the complete dynamic state of the chip.
+    ///
+    /// Program text and custom-instruction bindings are load-time
+    /// artifacts and are *not* captured; [`Chip::restore`] expects a chip
+    /// with the same programs loaded. Takes `&mut self` only for the
+    /// DRAM dirty-page bookkeeping — the simulated state is unchanged.
+    pub fn checkpoint(&mut self) -> ChipSnapshot {
+        ChipSnapshot {
+            topo: self.cfg.topo,
+            cycle: self.cycle,
+            cores: self
+                .cores
+                .iter()
+                .map(|c| c.as_ref().map(Core::snapshot))
+                .collect(),
+            mems: self.mems.iter_mut().map(TileMemory::snapshot).collect(),
+            mesh: self.mesh.snapshot(),
+            patchnet: self.patchnet.snapshot(),
+            busy_until: self.busy_until.clone(),
+            waiting_on: self.waiting_on.clone(),
+            activations: self.activations.clone(),
+            xbar_errors: self.xbar_errors,
+            next_wake: self.next_wake,
+            skipped: self.skipped,
+            faults: self.faults.as_ref().map(FaultRuntime::snapshot),
+        }
+    }
+
+    /// Updates an existing checkpoint of *this* chip in place, copying
+    /// only DRAM pages dirtied since the snapshot was taken (everything
+    /// else is small and rewritten wholesale).
+    fn refresh_checkpoint(&mut self, snap: &mut ChipSnapshot) {
+        snap.cycle = self.cycle;
+        snap.cores = self
+            .cores
+            .iter()
+            .map(|c| c.as_ref().map(Core::snapshot))
+            .collect();
+        for (m, s) in self.mems.iter_mut().zip(snap.mems.iter_mut()) {
+            m.refresh_snapshot(s);
+        }
+        snap.mesh = self.mesh.snapshot();
+        snap.patchnet = self.patchnet.snapshot();
+        snap.busy_until.clone_from(&self.busy_until);
+        snap.waiting_on.clone_from(&self.waiting_on);
+        snap.activations.clone_from(&self.activations);
+        snap.xbar_errors = self.xbar_errors;
+        snap.next_wake = self.next_wake;
+        snap.skipped = self.skipped;
+        snap.faults = self.faults.as_ref().map(FaultRuntime::snapshot);
+    }
+
+    /// Reinstalls a previously captured state. The snapshot must come
+    /// from a chip with the same topology and the same pattern of loaded
+    /// programs (text and bindings are not part of the snapshot); resumed
+    /// execution is then bit-identical to the run the snapshot was taken
+    /// from.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::TopologyMismatch`] / [`SnapshotError::Mismatch`]
+    /// when the snapshot does not fit this chip, or a propagated
+    /// [`SnapshotError::PatchNet`] if the recorded switch state is
+    /// invalid. The chip is unmodified on error.
+    pub fn restore(&mut self, snap: &ChipSnapshot) -> Result<(), SnapshotError> {
+        let n = self.cfg.topo.tiles();
+        if snap.topo != self.cfg.topo {
+            return Err(SnapshotError::TopologyMismatch {
+                expected: (self.cfg.topo.width, self.cfg.topo.height),
+                found: (snap.topo.width, snap.topo.height),
+            });
+        }
+        if snap.cores.len() != n
+            || snap.mems.len() != n
+            || snap.busy_until.len() != n
+            || snap.waiting_on.len() != n
+            || snap.activations.len() != n
+        {
+            return Err(SnapshotError::Mismatch {
+                what: "per-tile vector length",
+            });
+        }
+        if snap.mesh.routers.len() != n
+            || snap.mesh.inject.len() != n
+            || snap.mesh.assembling.len() != n
+            || snap.mesh.delivered.len() != n
+            || snap.mesh.link_down_until.len() != n
+        {
+            return Err(SnapshotError::Mismatch {
+                what: "mesh vector length",
+            });
+        }
+        if let Some(fr) = &snap.faults {
+            if fr.patch_down_until.len() != n
+                || fr.switch_down_until.len() != n
+                || fr.patch_mask_until.len() != n
+                || fr.switch_mask_until.len() != n
+                || fr.config_upset.len() != n
+            {
+                return Err(SnapshotError::Mismatch {
+                    what: "fault-runtime vector length",
+                });
+            }
+            if fr.next as usize > fr.plan.len() {
+                return Err(SnapshotError::Mismatch {
+                    what: "fault event index beyond plan",
+                });
+            }
+        }
+        for (have, want) in self.cores.iter().zip(&snap.cores) {
+            match (have, want) {
+                (Some(_), Some(_)) | (None, None) => {}
+                (None, Some(_)) => {
+                    return Err(SnapshotError::Mismatch {
+                        what: "snapshot holds core state for an unloaded tile",
+                    })
+                }
+                (Some(_), None) => {
+                    return Err(SnapshotError::Mismatch {
+                        what: "snapshot lacks core state for a loaded tile",
+                    })
+                }
+            }
+        }
+        // Validation done; the patch-net restore re-validates its own
+        // switch words, and rebuilding a chip-captured snapshot cannot
+        // fail, so mutation starts here.
+        self.patchnet.restore(&snap.patchnet)?;
+        for (core, cs) in self.cores.iter_mut().zip(&snap.cores) {
+            if let (Some(c), Some(s)) = (core.as_mut(), cs.as_ref()) {
+                c.restore(s);
+            }
+        }
+        for (m, s) in self.mems.iter_mut().zip(&snap.mems) {
+            m.restore(s);
+        }
+        self.mesh.restore(&snap.mesh);
+        self.busy_until.clone_from(&snap.busy_until);
+        self.waiting_on.clone_from(&snap.waiting_on);
+        self.activations.clone_from(&snap.activations);
+        self.xbar_errors = snap.xbar_errors;
+        self.cycle = snap.cycle;
+        self.next_wake = snap.next_wake;
+        self.skipped = snap.skipped;
+        self.faults = snap.faults.as_ref().map(FaultRuntime::from_snapshot);
+        // The incremental counters are derived state: recompute them.
+        self.live = self
+            .cores
+            .iter()
+            .flatten()
+            .filter(|c| c.state() != CoreState::Halted)
+            .count();
+        self.waiting = self.waiting_on.iter().filter(|w| w.is_some()).count();
+        self.xbar_reconfigured = false;
+        self.sync_rollback_armed();
+        Ok(())
+    }
+
+    /// Arms the topmost rung of the degradation ladder: keep a periodic
+    /// checkpoint (refreshed every `interval` cycles) and, when a
+    /// *transient* patch/switch fault is detected, roll back to it and
+    /// replay with the fault window masked instead of demoting — at most
+    /// `budget` times per run, after which detections fall through to the
+    /// ordinary ladder. Takes the first checkpoint immediately, so call
+    /// it after programs are loaded. Each rollback is counted in
+    /// [`FaultStats::rollbacks`].
+    pub fn enable_rollback(&mut self, interval: u64, budget: u32) {
+        let interval = interval.max(1);
+        let snap = Box::new(self.checkpoint());
+        self.rollback = Some(RollbackState {
+            interval,
+            budget_left: budget,
+            next_checkpoint: self.cycle + interval,
+            last: Some(snap),
+        });
+        self.sync_rollback_armed();
+    }
+
+    /// Re-derives the fault runtime's `rollback_armed` flag from the
+    /// chip-side rollback state. Detections only queue rollback requests
+    /// while armed, so a queued request is always serviceable.
+    fn sync_rollback_armed(&mut self) {
+        let armed = self
+            .rollback
+            .as_ref()
+            .is_some_and(|r| r.budget_left > 0 && r.last.is_some());
+        if let Some(f) = self.faults.as_mut() {
+            f.rollback_armed = armed;
+        }
+    }
+
+    /// Runs right after every tick while rollback is enabled: serves a
+    /// rollback request queued by this tick's fault detections, or else
+    /// refreshes the periodic checkpoint when due. Ordered this way so a
+    /// detection can never be checkpointed over before it is served.
+    fn rollback_service(&mut self) {
+        let pending = match self.faults.as_mut() {
+            Some(f) if !f.pending_masks.is_empty() => std::mem::take(&mut f.pending_masks),
+            _ => Vec::new(),
+        };
+        if !pending.is_empty() {
+            self.serve_rollback(pending);
+            return;
+        }
+        let due = self
+            .rollback
+            .as_ref()
+            .is_some_and(|r| self.cycle >= r.next_checkpoint);
+        if due {
+            let mut last = self.rollback.as_mut().and_then(|r| r.last.take());
+            match last.as_deref_mut() {
+                Some(snap) => self.refresh_checkpoint(snap),
+                None => last = Some(Box::new(self.checkpoint())),
+            }
+            let rb = self.rollback.as_mut().expect("due implies rollback state");
+            rb.last = last;
+            rb.next_checkpoint = self.cycle + rb.interval;
+            self.sync_rollback_armed();
+        }
+    }
+
+    /// Performs one rollback: rewinds the chip to the last checkpoint and
+    /// installs the requested masks so the replay reads the faulted
+    /// components as healthy until their recovery cycles.
+    fn serve_rollback(&mut self, pending: Vec<PendingMask>) {
+        // Mask state must survive the rewind (the checkpoint predates the
+        // detection): merge-max the pre-restore masks plus the new
+        // requests back in afterwards.
+        let f = self
+            .faults
+            .as_ref()
+            .expect("pending masks imply a fault runtime");
+        let mut patch_mask = f.patch_mask_until.clone();
+        let mut switch_mask = f.switch_mask_until.clone();
+        for m in &pending {
+            let slot = if m.switch {
+                &mut switch_mask[m.tile]
+            } else {
+                &mut patch_mask[m.tile]
+            };
+            *slot = (*slot).max(m.until);
+        }
+        let rollbacks = f.stats.rollbacks + 1;
+        let snap = self
+            .rollback
+            .as_mut()
+            .and_then(|r| r.last.take())
+            .expect("armed rollback implies a checkpoint");
+        // Infallible: the checkpoint was captured from this very chip.
+        self.restore(&snap).expect("own checkpoint restores");
+        if let Some(rb) = self.rollback.as_mut() {
+            rb.last = Some(snap);
+            rb.budget_left -= 1;
+        }
+        let f = self
+            .faults
+            .as_mut()
+            .expect("restore preserves the fault runtime");
+        for i in 0..patch_mask.len() {
+            f.patch_mask_until[i] = f.patch_mask_until[i].max(patch_mask[i]);
+            f.switch_mask_until[i] = f.switch_mask_until[i].max(switch_mask[i]);
+        }
+        f.stats.rollbacks = rollbacks;
+        self.sync_rollback_armed();
     }
 
     /// Configuration.
@@ -666,6 +1015,7 @@ impl Chip {
                 patchnet: &mut self.patchnet,
                 activations: &mut self.activations,
                 xbar_errors: &mut self.xbar_errors,
+                xbar_reconfigured: &mut self.xbar_reconfigured,
                 faults: self.faults.as_mut(),
             };
             let outcome = core.step(&mut plat);
@@ -708,6 +1058,54 @@ impl Chip {
             }
         }
         self.next_wake = next_wake;
+        let reconfigured = std::mem::take(&mut self.xbar_reconfigured);
+        if self.paranoid || cfg!(debug_assertions) {
+            self.verify_tick_invariants(reconfigured)?;
+        }
+        Ok(())
+    }
+
+    /// Per-tick self-checks: mesh conservation always, circuit legality
+    /// after a crossbar reconfiguration. In paranoid mode a violation is
+    /// a typed error; in plain debug builds it is a `debug_assert`.
+    fn verify_tick_invariants(&mut self, reconfigured: bool) -> Result<(), SimError> {
+        // Plain debug builds only pay for the mesh scan while traffic is
+        // in flight; paranoid mode scans every tick (a ghost flit after
+        // delivery would only be caught with traffic drained).
+        if (self.paranoid || !self.mesh.idle()) && self.mesh.check_invariants().is_err() {
+            return self.report_mesh_violation();
+        }
+        if reconfigured {
+            if let Err(e) = self.patchnet.validate_circuits() {
+                let err = SimError::InvariantViolation {
+                    component: "patchnet",
+                    cycle: self.cycle,
+                    detail: e.to_string(),
+                };
+                if self.paranoid {
+                    return Err(err);
+                }
+                debug_assert!(false, "{err}");
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds (and, in paranoid mode, returns) the typed error for a mesh
+    /// invariant violation; out of line to keep the per-tick check small.
+    #[cold]
+    fn report_mesh_violation(&self) -> Result<(), SimError> {
+        if let Err(detail) = self.mesh.check_invariants() {
+            let err = SimError::InvariantViolation {
+                component: "mesh",
+                cycle: self.cycle,
+                detail,
+            };
+            if self.paranoid {
+                return Err(err);
+            }
+            debug_assert!(false, "{err}");
+        }
         Ok(())
     }
 
@@ -796,6 +1194,9 @@ impl Chip {
             }
             self.try_skip(deadline);
             self.tick()?;
+            if self.rollback.is_some() {
+                self.rollback_service();
+            }
             self.check_mesh_stall()?;
             // Deadlock is only possible when every live core is parked in
             // `recv` and nothing is in flight; the O(1) gate keeps the
@@ -824,6 +1225,9 @@ impl Chip {
                 return Err(SimError::Timeout { max_cycles });
             }
             self.tick()?;
+            if self.rollback.is_some() {
+                self.rollback_service();
+            }
             self.check_mesh_stall()?;
             self.check_deadlock()?;
         }
@@ -865,6 +1269,11 @@ impl Chip {
             .and_then(FaultRuntime::next_event_cycle)
         {
             target = target.min(next_fault.saturating_sub(1));
+        }
+        // Nor over a periodic checkpoint: both engines must refresh it at
+        // exactly the same cycle for resumed runs to stay bit-identical.
+        if let Some(rb) = self.rollback.as_ref() {
+            target = target.min(rb.next_checkpoint.saturating_sub(1));
         }
         if target <= self.cycle {
             return;
@@ -938,7 +1347,10 @@ impl Chip {
                 })
             })
             .collect();
-        Err(SimError::Deadlock { waiting })
+        Err(SimError::Deadlock {
+            cycle: self.cycle,
+            waiting,
+        })
     }
 
     /// Collects statistics for the elapsed run.
@@ -1048,7 +1460,8 @@ mod tests {
         b.halt();
         chip.load_program(TileId(0), &b.build().unwrap());
         match chip.run(100_000) {
-            Err(SimError::Deadlock { waiting }) => {
+            Err(SimError::Deadlock { cycle, waiting }) => {
+                assert!(cycle > 0, "deadlock reports its detection cycle");
                 assert_eq!(
                     waiting,
                     vec![Blocked {
@@ -1064,6 +1477,7 @@ mod tests {
     #[test]
     fn deadlock_report_is_readable() {
         let err = SimError::Deadlock {
+            cycle: 412,
             waiting: vec![
                 Blocked {
                     tile: TileId(2),
@@ -1077,7 +1491,7 @@ mod tests {
         };
         assert_eq!(
             err.to_string(),
-            "deadlock; tile3 blocked in recv from tile8, tile8 blocked in send to tile3"
+            "deadlock at cycle 412; tile3 blocked in recv from tile8, tile8 blocked in send to tile3"
         );
     }
 

@@ -8,7 +8,14 @@
 //! degradation ladder itself is implemented where detection happens —
 //! `TilePlatform::exec_custom` in [`crate::chip`] for patch faults, the
 //! mesh stall probe for link faults.
+//!
+//! The ladder's topmost rung — checkpoint rollback for *transient*
+//! faults — also keeps its runtime state here: per-component mask
+//! deadlines that make a rolled-back fault window read as healthy during
+//! the replay, and the pending-mask queue a detection fills to ask the
+//! chip for a rollback (serviced by `Chip` right after the tick).
 
+use crate::snapshot::FaultRuntimeSnapshot;
 use crate::TileId;
 use std::collections::HashSet;
 use stitch_fault::FaultPlan;
@@ -44,6 +51,21 @@ pub struct FaultStats {
     pub watchdog_trips: u64,
     /// Config-parity scrubs performed.
     pub scrubs: u64,
+    /// Checkpoint rollbacks taken to replay past a transient fault.
+    pub rollbacks: u64,
+}
+
+/// One component masked by a rollback: during the replay the component
+/// reads healthy until the underlying transient fault's recovery cycle.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingMask {
+    /// Masks the inter-patch switch (`true`) or the patch datapath.
+    pub switch: bool,
+    /// Tile index of the masked component.
+    pub tile: usize,
+    /// First cycle at which the mask expires (the fault's recovery
+    /// cycle — beyond it the component is genuinely healthy again).
+    pub until: u64,
 }
 
 /// Mutable fault state for one run.
@@ -56,6 +78,11 @@ pub(crate) struct FaultRuntime {
     pub patch_down_until: Vec<u64>,
     /// Per tile: the crossbar switch is down while `cycle < …`.
     pub switch_down_until: Vec<u64>,
+    /// Per tile: rollback mask — while `cycle < patch_mask_until` the
+    /// patch reads healthy even if down (replay of a rolled-back window).
+    pub patch_mask_until: Vec<u64>,
+    /// Per tile: rollback mask for the inter-patch switch.
+    pub switch_mask_until: Vec<u64>,
     /// Per tile: a config upset awaits its parity scrub.
     pub config_upset: Vec<bool>,
     /// `(tile, ci)` pairs that already paid the watchdog timeout; later
@@ -63,6 +90,13 @@ pub(crate) struct FaultRuntime {
     pub watchdog_tripped: HashSet<(u8, u16)>,
     /// Counters.
     pub stats: FaultStats,
+    /// Maintained by the chip: true while a checkpoint and a rollback
+    /// retry budget are both available. Detections only queue rollback
+    /// requests while armed, so a queued request is always serviceable.
+    pub rollback_armed: bool,
+    /// Masks requested by detections during the current tick; drained by
+    /// the chip's rollback service immediately after the tick.
+    pub pending_masks: Vec<PendingMask>,
 }
 
 impl FaultRuntime {
@@ -72,9 +106,13 @@ impl FaultRuntime {
             next: 0,
             patch_down_until: vec![0; tiles],
             switch_down_until: vec![0; tiles],
+            patch_mask_until: vec![0; tiles],
+            switch_mask_until: vec![0; tiles],
             config_upset: vec![false; tiles],
             watchdog_tripped: HashSet::new(),
             stats: FaultStats::default(),
+            rollback_armed: false,
+            pending_masks: Vec::new(),
         }
     }
 
@@ -84,14 +122,18 @@ impl FaultRuntime {
         self.plan.events().get(self.next).map(|e| e.cycle)
     }
 
-    /// Whether `tile`'s patch datapath is down at `cycle`.
+    /// Whether `tile`'s patch datapath is down at `cycle`. A rollback
+    /// mask overrides the fault: during a masked replay the patch reads
+    /// healthy.
     pub fn patch_down(&self, tile: TileId, cycle: u64) -> bool {
-        self.patch_down_until[tile.index()] > cycle
+        self.patch_down_until[tile.index()] > cycle && self.patch_mask_until[tile.index()] <= cycle
     }
 
-    /// Whether `tile`'s inter-patch switch is down at `cycle`.
+    /// Whether `tile`'s inter-patch switch is down at `cycle` (mask-aware
+    /// like [`FaultRuntime::patch_down`]).
     pub fn switch_down(&self, tile: TileId, cycle: u64) -> bool {
         self.switch_down_until[tile.index()] > cycle
+            && self.switch_mask_until[tile.index()] <= cycle
     }
 
     /// Consumes a pending config upset on `tile`, returning the scrub
@@ -106,6 +148,112 @@ impl FaultRuntime {
             CONFIG_SCRUB_CYCLES
         } else {
             0
+        }
+    }
+
+    /// Queues a rollback for a transiently-down patch on `tile`. Returns
+    /// false — leaving the caller to the demotion rungs — when rollback
+    /// is not armed or the fault is permanent (masking a permanent fault
+    /// would replay into the same wall forever).
+    pub fn request_patch_rollback(&mut self, tile: TileId) -> bool {
+        if !self.rollback_armed {
+            return false;
+        }
+        let until = self.patch_down_until[tile.index()];
+        if until == u64::MAX {
+            return false;
+        }
+        self.pending_masks.push(PendingMask {
+            switch: false,
+            tile: tile.index(),
+            until,
+        });
+        true
+    }
+
+    /// Queues a rollback for a severed fused circuit: every component
+    /// blocking it (the partner patch and/or switches along the path)
+    /// must be down *transiently*; a single permanent blocker makes the
+    /// rollback pointless and the request is refused.
+    pub fn request_circuit_rollback(
+        &mut self,
+        partner: TileId,
+        path: &[TileId],
+        cycle: u64,
+    ) -> bool {
+        if !self.rollback_armed {
+            return false;
+        }
+        let before = self.pending_masks.len();
+        if self.patch_down(partner, cycle) {
+            let until = self.patch_down_until[partner.index()];
+            if until == u64::MAX {
+                self.pending_masks.truncate(before);
+                return false;
+            }
+            self.pending_masks.push(PendingMask {
+                switch: false,
+                tile: partner.index(),
+                until,
+            });
+        }
+        for t in path {
+            if self.switch_down(*t, cycle) {
+                let until = self.switch_down_until[t.index()];
+                if until == u64::MAX {
+                    self.pending_masks.truncate(before);
+                    return false;
+                }
+                self.pending_masks.push(PendingMask {
+                    switch: true,
+                    tile: t.index(),
+                    until,
+                });
+            }
+        }
+        // No down component found means the circuit itself is missing
+        // (defensive severed-path handling) — not a transient fault.
+        if self.pending_masks.len() == before {
+            return false;
+        }
+        true
+    }
+
+    /// Captures the runtime state (the transient `pending_masks` queue is
+    /// always empty at checkpoint points — the chip services it right
+    /// after every tick, before checkpointing).
+    pub fn snapshot(&self) -> FaultRuntimeSnapshot {
+        let mut watchdog: Vec<(u8, u16)> = self.watchdog_tripped.iter().copied().collect();
+        watchdog.sort_unstable();
+        FaultRuntimeSnapshot {
+            plan: self.plan.clone(),
+            next: self.next as u64,
+            patch_down_until: self.patch_down_until.clone(),
+            switch_down_until: self.switch_down_until.clone(),
+            patch_mask_until: self.patch_mask_until.clone(),
+            switch_mask_until: self.switch_mask_until.clone(),
+            config_upset: self.config_upset.clone(),
+            watchdog_tripped: watchdog,
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds the runtime from a snapshot (lengths validated by the
+    /// chip before this is called). `rollback_armed` is chip-managed and
+    /// re-synced by the caller.
+    pub fn from_snapshot(snap: &FaultRuntimeSnapshot) -> Self {
+        FaultRuntime {
+            plan: snap.plan.clone(),
+            next: snap.next as usize,
+            patch_down_until: snap.patch_down_until.clone(),
+            switch_down_until: snap.switch_down_until.clone(),
+            patch_mask_until: snap.patch_mask_until.clone(),
+            switch_mask_until: snap.switch_mask_until.clone(),
+            config_upset: snap.config_upset.clone(),
+            watchdog_tripped: snap.watchdog_tripped.iter().copied().collect(),
+            stats: snap.stats,
+            rollback_armed: false,
+            pending_masks: Vec::new(),
         }
     }
 }

@@ -34,11 +34,13 @@
 pub mod chip;
 pub mod faults;
 pub mod rng;
+pub mod snapshot;
 pub mod summary;
 
 pub use chip::{Blocked, BlockedOp, Chip, CiBinding, FaultedKind, SimError};
 pub use faults::FaultStats;
 pub use rng::SimRng;
+pub use snapshot::{ChipSnapshot, FaultRuntimeSnapshot, SnapshotError};
 pub use summary::{RunSummary, TileSummary};
 
 pub use stitch_fault::{FaultEvent, FaultKind, FaultPlan, FaultSpace};

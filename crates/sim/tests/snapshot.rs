@@ -1,0 +1,363 @@
+//! Snapshot-equivalence oracle for checkpoint/restore (ISSUE 3).
+//!
+//! The property under test: interrupt a run at a random cycle, capture a
+//! [`ChipSnapshot`], round-trip it through the binary codec, restore it
+//! into a *fresh* chip (same programs loaded), and resume — the resumed
+//! run must be bit-identical to the uninterrupted one: same
+//! [`RunSummary`] counters, same final cycle, same architectural
+//! results, same [`FaultStats`]. Engines are crossed deliberately (fast
+//! path to capture, reference loop to resume, and vice versa), so the
+//! oracle also re-pins engine equivalence through a checkpoint boundary.
+//!
+//! Seed base and count are env-overridable, mirroring `faults.rs`:
+//! `STITCH_SNAPSHOT_SEED_BASE=1234 STITCH_SNAPSHOT_SEEDS=25 cargo test
+//! -q -p stitch-sim --test snapshot`.
+
+mod common;
+
+use common::{fused_chip, pipeline_chip, pipeline_sink, SINK_ADDR};
+use stitch_sim::{
+    Chip, ChipSnapshot, FaultKind, FaultPlan, FaultSpace, SimError, SimRng, SnapshotError, TileId,
+};
+
+const BUDGET: u64 = 5_000_000;
+
+fn seed_base() -> u64 {
+    std::env::var("STITCH_SNAPSHOT_SEED_BASE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5A_A9_00)
+}
+
+fn seed_count() -> u64 {
+    std::env::var("STITCH_SNAPSHOT_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100)
+}
+
+/// Compute-only fault space aimed at the fused pair (tiles 1 and 9),
+/// matching the one the fault property tests use: plans from it never
+/// block completion, so the oracle's "run finishes" precondition holds.
+fn ci_space() -> FaultSpace {
+    FaultSpace {
+        tiles: 10,
+        horizon: 500,
+        max_events: 4,
+        allow_transient: true,
+        ..FaultSpace::default()
+    }
+    .compute_only()
+}
+
+/// One oracle case: run `make(seed)` to completion, then re-run it,
+/// interrupt at a random cycle, checkpoint, codec-round-trip, restore
+/// into a fresh chip, resume, and demand bit-identical behavior.
+///
+/// `fast_capture` picks the engine for the uninterrupted and the
+/// interrupted runs; `fast_resume` picks the engine for the resumed leg.
+/// Returns the fault injections seen, so callers can assert their
+/// fault-active harness actually had teeth.
+fn oracle(
+    seed: u64,
+    make: &dyn Fn(u64) -> Chip,
+    plan: Option<&FaultPlan>,
+    fast_capture: bool,
+    fast_resume: bool,
+) -> u64 {
+    let run = |chip: &mut Chip, fast: bool, budget: u64| {
+        if fast {
+            chip.run(budget)
+        } else {
+            chip.run_reference(budget)
+        }
+    };
+
+    // Uninterrupted baseline.
+    let mut clean = make(seed);
+    if let Some(p) = plan {
+        clean.set_fault_plan(p.clone());
+    }
+    let clean_sum = run(&mut clean, fast_capture, BUDGET)
+        .unwrap_or_else(|e| panic!("seed {seed}: uninterrupted run failed: {e}"));
+    let total = clean.cycle();
+    assert!(total > 1, "seed {seed}: run too short to interrupt");
+
+    // Interrupted run: stop somewhere strictly inside the run.
+    let mut rng = SimRng::new(seed ^ 0x5AFE_C0DE);
+    let stop = 1 + rng.below(total - 1);
+    let mut partial = make(seed);
+    if let Some(p) = plan {
+        partial.set_fault_plan(p.clone());
+    }
+    match run(&mut partial, fast_capture, stop) {
+        Err(SimError::Timeout { .. }) => {}
+        other => panic!("seed {seed}: interrupt at {stop}/{total} gave {other:?}"),
+    }
+    let snap = partial.checkpoint();
+    assert_eq!(snap.cycle, stop, "seed {seed}: checkpoint cycle drifted");
+
+    // The wire format must reproduce the snapshot exactly.
+    let bytes = snap.encode();
+    let decoded = ChipSnapshot::decode(&bytes)
+        .unwrap_or_else(|e| panic!("seed {seed}: decode of own encoding failed: {e}"));
+    assert_eq!(decoded, snap, "seed {seed}: codec round-trip not identical");
+
+    // Resume in a fresh chip (same programs, virgin dynamic state).
+    let mut resumed = make(seed);
+    resumed
+        .restore(&decoded)
+        .unwrap_or_else(|e| panic!("seed {seed}: restore into fresh chip failed: {e}"));
+    let resumed_sum = run(&mut resumed, fast_resume, BUDGET)
+        .unwrap_or_else(|e| panic!("seed {seed}: resumed run failed: {e}"));
+
+    assert_eq!(
+        resumed.cycle(),
+        total,
+        "seed {seed}: resumed run ended on a different cycle"
+    );
+    // The resumed summary counts cycles from the restore point; shift it
+    // back to the common origin and demand bitwise equality.
+    let mut adjusted = resumed_sum;
+    adjusted.cycles += snap.cycle;
+    assert_eq!(
+        adjusted, clean_sum,
+        "seed {seed}: resumed summary diverges from the uninterrupted run"
+    );
+    let (cs, rs) = (clean.fault_stats(), resumed.fault_stats());
+    assert_eq!(
+        cs, rs,
+        "seed {seed}: fault bookkeeping diverges across the checkpoint"
+    );
+    cs.injected
+}
+
+/// Fault-free pipelines: resume must be bit-identical, architectural
+/// results included, under all four capture/resume engine pairings.
+#[test]
+fn resumed_pipeline_runs_are_bit_identical() {
+    let base = seed_base();
+    for i in 0..seed_count() {
+        let seed = base + i;
+        let (fast_capture, fast_resume) = (i % 4 < 2, i % 2 == 0);
+        oracle(seed, &pipeline_chip, None, fast_capture, fast_resume);
+
+        // Spot-check the architectural result too (the summary pins
+        // counters, not memory contents) on a subset — one extra full
+        // run per checked seed.
+        if i % 8 == 0 {
+            let sink = pipeline_sink(seed);
+            let mut clean = pipeline_chip(seed);
+            clean.run(BUDGET).expect("pipeline completes");
+            let mut partial = pipeline_chip(seed);
+            let stop = clean.cycle() / 2;
+            assert!(matches!(
+                partial.run(stop.max(1)),
+                Err(SimError::Timeout { .. })
+            ));
+            let snap = partial.checkpoint();
+            let mut resumed = pipeline_chip(seed);
+            resumed.restore(&snap).expect("restore");
+            resumed.run(BUDGET).expect("resumed pipeline completes");
+            assert_eq!(
+                resumed.peek_u32(sink, SINK_ADDR),
+                clean.peek_u32(sink, SINK_ADDR),
+                "seed {seed}: resumed run produced a different checksum"
+            );
+        }
+    }
+}
+
+/// Fault-active runs: the checkpoint may land before, between, or after
+/// scheduled fault events; the restored fault runtime must replay them
+/// identically. Fused CI workloads exercise the degradation ladder
+/// (scrubs, demotions) across the checkpoint boundary.
+#[test]
+fn resumed_fault_active_runs_are_bit_identical() {
+    let base = seed_base();
+    let space = ci_space();
+    let mut injected = 0;
+    for i in 0..seed_count() {
+        let seed = base + i;
+        let plan = FaultPlan::random(seed, &space);
+        let (fast_capture, fast_resume) = (i % 4 < 2, i % 2 == 0);
+        injected += oracle(seed, &fused_chip, Some(&plan), fast_capture, fast_resume);
+    }
+    assert!(
+        injected > 0,
+        "no plan injected anything — fault-active oracle lost its teeth"
+    );
+}
+
+/// Restoring into a chip that does not match the snapshot fails with a
+/// typed error and leaves the chip untouched — never panics, never
+/// half-applies.
+#[test]
+fn restore_into_mismatched_chip_is_typed_and_harmless() {
+    let seed = seed_base();
+    let mut donor = pipeline_chip(seed);
+    assert!(matches!(donor.run(200), Err(SimError::Timeout { .. })));
+    let good = donor.checkpoint();
+
+    // Wrong topology.
+    let mut bad_topo = good.clone();
+    bad_topo.topo.width = 2;
+    bad_topo.topo.height = 2;
+    let mut target = pipeline_chip(seed);
+    match target.restore(&bad_topo) {
+        Err(SnapshotError::TopologyMismatch { expected, found }) => {
+            assert_eq!(expected, (4, 4));
+            assert_eq!(found, (2, 2));
+        }
+        other => panic!("topology mismatch not detected: {other:?}"),
+    }
+
+    // Wrong program pattern: the snapshot holds core state for tiles the
+    // target never loaded.
+    let mut empty = Chip::new(stitch_sim::ChipConfig::stitch_16());
+    assert!(matches!(
+        empty.restore(&good),
+        Err(SnapshotError::Mismatch { .. })
+    ));
+    // ... and the reverse: the target has a loaded tile the snapshot
+    // does not cover.
+    let mut fresh = Chip::new(stitch_sim::ChipConfig::stitch_16());
+    let fresh_snap = fresh.checkpoint();
+    let mut loaded = pipeline_chip(seed);
+    assert!(matches!(
+        loaded.restore(&fresh_snap),
+        Err(SnapshotError::Mismatch { .. })
+    ));
+
+    // Truncated per-tile vectors.
+    let mut short = good.clone();
+    short.busy_until.pop();
+    assert!(matches!(
+        target.restore(&short),
+        Err(SnapshotError::Mismatch { .. })
+    ));
+
+    // The failed restores above left `target` untouched: it still
+    // resumes from its own (virgin) state and completes normally.
+    assert_eq!(target.cycle(), 0);
+    target.restore(&good).expect("matching restore succeeds");
+    target.run(BUDGET).expect("restored chip completes");
+}
+
+/// Snapshot *files* that were truncated or corrupted in flight decode to
+/// typed errors (or, for payload-byte flips, to a structurally valid
+/// snapshot) — never a panic, never an unbounded allocation.
+#[test]
+fn truncated_and_corrupted_snapshot_files_are_typed() {
+    let seed = seed_base() ^ 0xF11E;
+    let mut chip = fused_chip(seed);
+    assert!(matches!(chip.run(100), Err(SimError::Timeout { .. })));
+    let bytes = chip.checkpoint().encode();
+
+    // Round-trip through an actual file, the way the sweep harness
+    // stores manifests.
+    let path = std::env::temp_dir().join(format!("stitch-snap-test-{seed:x}.bin"));
+    std::fs::write(&path, &bytes).expect("write snapshot file");
+    let reread = std::fs::read(&path).expect("read snapshot file");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(reread, bytes);
+    ChipSnapshot::decode(&reread).expect("file round-trip decodes");
+
+    // Truncations: every short prefix of the header region, then a
+    // deterministic spread across the payload (every prefix is covered
+    // by the codec's unit tests on a small snapshot; quadratic cost
+    // rules it out here).
+    let mut cuts: Vec<usize> = (0..64.min(bytes.len())).collect();
+    let mut rng = SimRng::new(seed);
+    cuts.extend((0..256).map(|_| rng.index(bytes.len())));
+    for cut in cuts {
+        assert!(
+            ChipSnapshot::decode(&bytes[..cut]).is_err(),
+            "truncation at {cut}/{} decoded successfully",
+            bytes.len()
+        );
+    }
+
+    // Corruptions: single-byte flips anywhere must never panic; flips in
+    // the magic/version header must be rejected outright.
+    for i in 0..8 {
+        let mut dented = bytes.clone();
+        dented[i] ^= 0xA5;
+        assert!(
+            ChipSnapshot::decode(&dented).is_err(),
+            "corrupted header byte {i} was accepted"
+        );
+    }
+    for _ in 0..100 {
+        let mut dented = bytes.clone();
+        let at = rng.index(dented.len());
+        dented[at] ^= 1 << rng.index(8);
+        // Payload flips may still decode (a register value is just a
+        // different register value); the property is totality.
+        let _ = ChipSnapshot::decode(&dented);
+    }
+}
+
+/// The rollback rung above demotion: a *transient* switch fault on the
+/// fused circuit, detected while a checkpoint is armed, is recovered by
+/// rewinding and replaying with the fault window masked — the run
+/// finishes at full fused-ISE throughput, bit-identical to the healthy
+/// run, with the recovery visible only in [`FaultStats::rollbacks`].
+#[test]
+fn rollback_recovers_transient_circuit_fault_without_demotion() {
+    let seed = seed_base() ^ 0x0_11B;
+    let mut healthy = fused_chip(seed);
+    let healthy_sum = healthy.run(BUDGET).expect("healthy run completes");
+    assert!(healthy_sum.total_fused() > 0, "workload must fuse");
+    let total = healthy.cycle();
+
+    // Transient fault on the partner tile's inter-patch switch, covering
+    // the rest of the run; `until` is finite, so the rollback rung (not
+    // demotion) handles it.
+    let plan = FaultPlan::new(seed).with(
+        20,
+        FaultKind::SwitchFail {
+            tile: TileId(9),
+            until: Some(total + 1_000),
+        },
+    );
+    for fast in [true, false] {
+        let mut chip = fused_chip(seed);
+        // Order matters: `set_fault_plan` installs a fresh fault runtime,
+        // so the rollback rung must be armed afterwards.
+        chip.set_fault_plan(plan.clone());
+        chip.enable_rollback(1_000_000, 4);
+        let sum = if fast {
+            chip.run(BUDGET)
+        } else {
+            chip.run_reference(BUDGET)
+        }
+        .expect("rollback run completes");
+
+        // The replay masks the fault window, so the run is bit-identical
+        // to the healthy one — full fused throughput, no demotion, no
+        // watchdog cost.
+        assert_eq!(sum, healthy_sum, "rollback replay diverged (fast={fast})");
+        assert_eq!(chip.cycle(), total);
+        let fs = chip.fault_stats();
+        assert_eq!(fs.rollbacks, 1, "exactly one rollback (fast={fast})");
+        assert_eq!(fs.demotions, 0, "no demotion (fast={fast})");
+        assert_eq!(fs.watchdog_trips, 0, "no watchdog cost (fast={fast})");
+        assert_eq!(fs.injected, 1);
+    }
+
+    // With the budget exhausted (or rollback never armed), the same
+    // fault falls through to the ordinary ladder: watchdog + demotion,
+    // still completing with correct values.
+    let mut chip = fused_chip(seed);
+    chip.set_fault_plan(plan.clone());
+    chip.enable_rollback(1_000_000, 0);
+    let sum = chip.run(BUDGET).expect("degraded run completes");
+    let fs = chip.fault_stats();
+    assert_eq!(fs.rollbacks, 0, "zero budget must never roll back");
+    assert!(fs.demotions > 0, "ladder fall-through must demote");
+    assert!(
+        sum.total_fused() < healthy_sum.total_fused(),
+        "demoted run cannot be at full fused throughput"
+    );
+}

@@ -1,0 +1,415 @@
+//! Crash-safe sweep manifests.
+//!
+//! A [`SweepManifest`] is a directory of per-point result files. Each
+//! completed sweep point is written **atomically** — the payload goes to
+//! a `.tmp` sibling first and is then `rename`d into place — so a killed
+//! sweep leaves either a complete, verifiable point file or nothing: a
+//! partial write can never be mistaken for a result. On `--resume` the
+//! driver asks [`SweepManifest::load`] before computing a point and
+//! skips the simulation when a valid file exists.
+//!
+//! Point files are self-checking: a magic/version header, the point key
+//! (so a renamed file cannot impersonate another point), the payload,
+//! and an FNV-1a checksum over both. Anything that fails validation —
+//! truncation, corruption, a stale format — reads as *absent*, which is
+//! always safe: the point is simply recomputed.
+//!
+//! Payloads are opaque bytes to the manifest; sweep drivers encode their
+//! per-point records with the little [`Rec`]/[`RecView`] codec below
+//! (floats travel as IEEE-754 bit patterns, so a resumed sweep
+//! reassembles *bit-identical* reports).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Magic + format version of a point file (bumping the version retires
+/// every existing manifest at once).
+const MAGIC: &[u8; 8] = b"STCHPT01";
+
+/// Extension of completed point files.
+const POINT_EXT: &str = "point";
+
+/// 64-bit FNV-1a, used as the point-file checksum.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A directory of atomically written per-point sweep results.
+#[derive(Debug, Clone)]
+pub struct SweepManifest {
+    dir: PathBuf,
+}
+
+impl SweepManifest {
+    /// Opens (creating if needed) the manifest directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `create_dir_all` failure.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(SweepManifest { dir })
+    }
+
+    /// The manifest directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// File path for a point key. Keys map to filenames; characters
+    /// outside `[A-Za-z0-9._-]` are replaced with `_` and a hash of the
+    /// original key is appended so distinct keys can never collide.
+    fn path_for(&self, key: &str) -> PathBuf {
+        let safe: String = key
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let name = if safe == key {
+            format!("{safe}.{POINT_EXT}")
+        } else {
+            format!("{safe}-{:016x}.{POINT_EXT}", fnv1a64(key.as_bytes()))
+        };
+        self.dir.join(name)
+    }
+
+    /// Returns the payload stored for `key`, or `None` when the point
+    /// has not completed — which includes every failure mode (missing
+    /// file, truncation, corruption, wrong key, old format): an invalid
+    /// file is indistinguishable from work still to do, and recomputing
+    /// is always correct.
+    #[must_use]
+    pub fn load(&self, key: &str) -> Option<Vec<u8>> {
+        let bytes = fs::read(self.path_for(key)).ok()?;
+        let mut v = RecView::new(&bytes);
+        if v.bytes(MAGIC.len())? != MAGIC {
+            return None;
+        }
+        let stored_key = v.str()?;
+        if stored_key != key {
+            return None;
+        }
+        let payload = v.blob()?;
+        let sum = v.u64()?;
+        if !v.at_end() || sum != fnv1a64(&bytes[..bytes.len() - 8]) {
+            return None;
+        }
+        Some(payload.to_vec())
+    }
+
+    /// Atomically records `payload` as the completed result for `key`:
+    /// the bytes are written to a temporary sibling and renamed into
+    /// place, so concurrent readers (and any future resume) observe
+    /// either the complete file or nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write/rename failure.
+    pub fn store(&self, key: &str, payload: &[u8]) -> io::Result<()> {
+        let path = self.path_for(key);
+        let mut rec = Rec::new();
+        rec.raw(MAGIC);
+        rec.str(key);
+        rec.blob(payload);
+        let sum = fnv1a64(&rec.buf);
+        rec.u64(sum);
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, &rec.buf)?;
+        fs::rename(&tmp, &path)
+    }
+
+    /// Number of completed point files currently in the manifest.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        entries
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == POINT_EXT))
+            .count()
+    }
+
+    /// Removes every point (and leftover temporary) file, so the next
+    /// sweep starts from scratch. Used when a driver runs *without*
+    /// `--resume`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first removal failure.
+    pub fn clear(&self) -> io::Result<()> {
+        for e in fs::read_dir(&self.dir)?.flatten() {
+            let p = e.path();
+            if p.extension().is_some_and(|x| x == POINT_EXT || x == "tmp") {
+                fs::remove_file(&p)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Little-endian record writer for manifest payloads.
+///
+/// Deliberately tiny: fixed-width integers, IEEE-754 bit-pattern floats
+/// (so a decoded value is *bit-identical* to the encoded one), and
+/// length-prefixed strings/blobs/word-vectors. The matching reader is
+/// [`RecView`].
+#[derive(Debug, Default, Clone)]
+pub struct Rec {
+    buf: Vec<u8>,
+}
+
+impl Rec {
+    /// Empty record.
+    #[must_use]
+    pub fn new() -> Self {
+        Rec::default()
+    }
+
+    /// Finished bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends raw bytes with no length prefix (header use only).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its exact bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed byte blob.
+    pub fn blob(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends a length-prefixed vector of words.
+    pub fn words(&mut self, w: &[u32]) {
+        self.u32(w.len() as u32);
+        for &x in w {
+            self.u32(x);
+        }
+    }
+}
+
+/// Bounds-checked reader over [`Rec`]-encoded bytes. Every accessor
+/// returns `None` past the end — truncation can never panic.
+#[derive(Debug, Clone, Copy)]
+pub struct RecView<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RecView<'a> {
+    /// Reader over `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        RecView { buf, pos: 0 }
+    }
+
+    /// Whether every byte has been consumed.
+    #[must_use]
+    pub fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Next `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    /// Next `u8`.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.bytes(1).map(|b| b[0])
+    }
+
+    /// Next `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        self.bytes(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Next `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        self.bytes(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Next `f64` (bit pattern).
+    pub fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    /// Next length-prefixed string.
+    pub fn str(&mut self) -> Option<&'a str> {
+        let len = self.u32()? as usize;
+        std::str::from_utf8(self.bytes(len)?).ok()
+    }
+
+    /// Next length-prefixed blob.
+    pub fn blob(&mut self) -> Option<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.bytes(len)
+    }
+
+    /// Next length-prefixed word vector. The length is validated against
+    /// the remaining bytes before allocating.
+    pub fn words(&mut self) -> Option<Vec<u32>> {
+        let len = self.u32()? as usize;
+        if len.checked_mul(4)? > self.buf.len() - self.pos {
+            return None;
+        }
+        (0..len).map(|_| self.u32()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_manifest(tag: &str) -> SweepManifest {
+        let dir =
+            std::env::temp_dir().join(format!("stitch-manifest-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        SweepManifest::open(dir).expect("open manifest")
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let m = tmp_manifest("roundtrip");
+        let mut rec = Rec::new();
+        rec.f64(123.456);
+        rec.u64(42);
+        rec.words(&[1, 2, 3]);
+        rec.str("APP1");
+        let payload = rec.into_bytes();
+        m.store("APP1-clean", &payload).expect("store");
+        assert_eq!(m.load("APP1-clean").as_deref(), Some(&payload[..]));
+        assert_eq!(m.completed(), 1);
+
+        let bytes = m.load("APP1-clean").expect("loaded");
+        let mut v = RecView::new(&bytes);
+        assert_eq!(v.f64(), Some(123.456));
+        assert_eq!(v.u64(), Some(42));
+        assert_eq!(v.words(), Some(vec![1, 2, 3]));
+        assert_eq!(v.str(), Some("APP1"));
+        assert!(v.at_end());
+        let _ = fs::remove_dir_all(m.dir());
+    }
+
+    #[test]
+    fn missing_truncated_and_corrupted_points_read_as_absent() {
+        let m = tmp_manifest("invalid");
+        assert_eq!(m.load("nope"), None);
+
+        m.store("pt", b"payload").expect("store");
+        let path = m.path_for("pt");
+        let full = fs::read(&path).expect("read back");
+
+        // Truncation at every prefix reads as absent, never panics.
+        for cut in 0..full.len() {
+            fs::write(&path, &full[..cut]).expect("truncate");
+            assert_eq!(m.load("pt"), None, "cut at {cut} accepted");
+        }
+        // Any single-byte corruption breaks the checksum.
+        for i in 0..full.len() {
+            let mut dented = full.clone();
+            dented[i] ^= 0x40;
+            fs::write(&path, &dented).expect("corrupt");
+            assert_eq!(m.load("pt"), None, "flip at {i} accepted");
+        }
+        // Restored intact, it loads again.
+        fs::write(&path, &full).expect("restore");
+        assert_eq!(m.load("pt").as_deref(), Some(&b"payload"[..]));
+        let _ = fs::remove_dir_all(m.dir());
+    }
+
+    #[test]
+    fn renamed_point_files_cannot_impersonate_other_keys() {
+        let m = tmp_manifest("rename");
+        m.store("point-a", b"aaa").expect("store");
+        fs::rename(m.path_for("point-a"), m.path_for("point-b")).expect("rename");
+        assert_eq!(m.load("point-b"), None, "key binding not enforced");
+        let _ = fs::remove_dir_all(m.dir());
+    }
+
+    #[test]
+    fn hostile_keys_map_to_distinct_files() {
+        let m = tmp_manifest("keys");
+        m.store("a/b", b"one").expect("store");
+        m.store("a_b", b"two").expect("store");
+        m.store("a:b", b"three").expect("store");
+        assert_eq!(m.load("a/b").as_deref(), Some(&b"one"[..]));
+        assert_eq!(m.load("a_b").as_deref(), Some(&b"two"[..]));
+        assert_eq!(m.load("a:b").as_deref(), Some(&b"three"[..]));
+        let _ = fs::remove_dir_all(m.dir());
+    }
+
+    #[test]
+    fn clear_removes_points_and_leftover_tmps() {
+        let m = tmp_manifest("clear");
+        m.store("x", b"1").expect("store");
+        m.store("y", b"2").expect("store");
+        // Simulate a crash between write and rename.
+        fs::write(m.dir().join("z.tmp"), b"partial").expect("tmp");
+        assert_eq!(m.completed(), 2);
+        m.clear().expect("clear");
+        assert_eq!(m.completed(), 0);
+        assert_eq!(m.load("x"), None);
+        assert!(!m.dir().join("z.tmp").exists());
+        let _ = fs::remove_dir_all(m.dir());
+    }
+
+    #[test]
+    fn overwriting_a_point_is_atomic_last_writer_wins() {
+        let m = tmp_manifest("overwrite");
+        m.store("k", b"old").expect("store");
+        m.store("k", b"new").expect("store");
+        assert_eq!(m.load("k").as_deref(), Some(&b"new"[..]));
+        assert_eq!(m.completed(), 1);
+        let _ = fs::remove_dir_all(m.dir());
+    }
+}

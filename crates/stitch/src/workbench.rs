@@ -1,5 +1,6 @@
 //! The experiment workbench: compile → stitch → simulate → measure.
 
+use crate::manifest::SweepManifest;
 use std::collections::HashMap;
 use std::fmt;
 use std::num::NonZeroUsize;
@@ -25,6 +26,10 @@ pub enum Error {
     Compiler(CompilerError),
     /// Simulator failure.
     Sim(SimError),
+    /// Program assembly failure (kernel/node program construction).
+    Program(stitch_isa::IsaError),
+    /// Sweep resume-manifest failure (I/O or a corrupt manifest file).
+    Resume(String),
 }
 
 impl fmt::Display for Error {
@@ -32,6 +37,8 @@ impl fmt::Display for Error {
         match self {
             Error::Compiler(e) => write!(f, "{e}"),
             Error::Sim(e) => write!(f, "{e}"),
+            Error::Program(e) => write!(f, "program assembly: {e}"),
+            Error::Resume(e) => write!(f, "sweep resume: {e}"),
         }
     }
 }
@@ -47,6 +54,12 @@ impl From<CompilerError> for Error {
 impl From<SimError> for Error {
     fn from(e: SimError) -> Self {
         Error::Sim(e)
+    }
+}
+
+impl From<stitch_isa::IsaError> for Error {
+    fn from(e: stitch_isa::IsaError) -> Self {
+        Error::Program(e)
     }
 }
 
@@ -178,7 +191,7 @@ impl Workbench {
         let spec = kernel.spec();
         let kv = compile_kernel(
             spec.name,
-            &kernel.standalone(),
+            &kernel.standalone()?,
             &Self::all_configs(),
             Some((spec.output_addr, spec.output_words as usize)),
         )?;
@@ -341,7 +354,7 @@ impl Workbench {
             chip.reserve_circuit(from, to)?;
         }
         for i in 0..app.nodes.len() {
-            let program = build_node_program(app, i, frames, &plan.tiles);
+            let program = build_node_program(app, i, frames, &plan.tiles)?;
             match &plan.accel[i] {
                 None => chip.load_program(plan.tiles[i], &program),
                 Some(granted) => {
@@ -448,6 +461,24 @@ impl Workbench {
         frames: u32,
         threads: usize,
     ) -> Vec<Result<AppRun, Error>> {
+        self.sweep_with(apps, points, frames, threads, |_, _| Ok(()))
+    }
+
+    /// [`Workbench::sweep`] with a completion hook: `on_done(i, run)` is
+    /// invoked *inside the worker thread* as soon as point `i` finishes,
+    /// before the sweep as a whole returns. This is the crash-safety
+    /// primitive — a hook that persists the point means a killed sweep
+    /// keeps everything completed up to the kill. A hook error turns
+    /// that point's result into [`Error::Resume`] without stopping the
+    /// rest of the sweep.
+    pub fn sweep_with(
+        &mut self,
+        apps: &[App],
+        points: &[SweepPoint],
+        frames: u32,
+        threads: usize,
+        on_done: impl Fn(usize, &AppRun) -> Result<(), Error> + Sync,
+    ) -> Vec<Result<AppRun, Error>> {
         if points.is_empty() {
             return Vec::new();
         }
@@ -465,6 +496,7 @@ impl Workbench {
             for _ in 0..workers {
                 let tx = tx.clone();
                 let next = &next;
+                let on_done = &on_done;
                 let mut ws = self.clone();
                 s.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -473,6 +505,13 @@ impl Workbench {
                     }
                     let p = points[i];
                     let r = ws.run_app(&apps[p.app], p.arch, frames);
+                    let r = match r {
+                        Ok(run) => match on_done(i, &run) {
+                            Ok(()) => Ok(run),
+                            Err(e) => Err(e),
+                        },
+                        Err(e) => Err(e),
+                    };
                     if tx.send((i, r)).is_err() {
                         break;
                     }
@@ -483,6 +522,60 @@ impl Workbench {
                 out[i] = Some(r);
             }
         });
+        out.into_iter()
+            .map(|slot| slot.expect("every point produced a result"))
+            .collect()
+    }
+
+    /// Crash-safe, resumable sweep over a [`SweepManifest`].
+    ///
+    /// Every point maps to a manifest key via `key_of`. Points whose key
+    /// already holds a valid record are **not** simulated: `decode`
+    /// rebuilds their result straight from the stored payload. Missing
+    /// points run through the ordinary threaded sweep, and each one is
+    /// persisted atomically (tmp + rename) from inside its worker the
+    /// moment it completes — killing the process mid-sweep therefore
+    /// loses only the points still in flight, and a rerun picks up where
+    /// the kill happened.
+    ///
+    /// `encode` must capture everything `decode` needs: a resumed sweep
+    /// reassembles its report *only* from payloads, which is what makes
+    /// the resumed output bit-identical to an uninterrupted run's
+    /// (floats round-trip as bit patterns via [`crate::Rec`]).
+    /// `reduce` converts a freshly simulated run into the same record
+    /// type. A `decode` returning `None` (truncated or stale payload) is
+    /// safe: the point is treated as missing and recomputed.
+    #[allow(clippy::too_many_arguments)] // key/encode/decode/reduce form one codec surface
+    pub fn sweep_resumable<T>(
+        &mut self,
+        apps: &[App],
+        points: &[SweepPoint],
+        frames: u32,
+        threads: usize,
+        manifest: &SweepManifest,
+        key_of: impl Fn(SweepPoint) -> String,
+        encode: impl Fn(&AppRun) -> Vec<u8> + Sync,
+        decode: impl Fn(&[u8]) -> Option<T>,
+        reduce: impl Fn(&AppRun) -> T,
+    ) -> Vec<Result<T, Error>> {
+        let keys: Vec<String> = points.iter().map(|&p| key_of(p)).collect();
+        let mut out: Vec<Option<Result<T, Error>>> = (0..points.len()).map(|_| None).collect();
+        let mut missing: Vec<(usize, SweepPoint)> = Vec::new();
+        for (i, &p) in points.iter().enumerate() {
+            match manifest.load(&keys[i]).and_then(|bytes| decode(&bytes)) {
+                Some(t) => out[i] = Some(Ok(t)),
+                None => missing.push((i, p)),
+            }
+        }
+        let todo: Vec<SweepPoint> = missing.iter().map(|&(_, p)| p).collect();
+        let fresh = self.sweep_with(apps, &todo, frames, threads, |j, run| {
+            manifest
+                .store(&keys[missing[j].0], &encode(run))
+                .map_err(|e| Error::Resume(format!("store {}: {e}", keys[missing[j].0])))
+        });
+        for ((i, _), r) in missing.iter().zip(fresh) {
+            out[*i] = Some(r.map(|run| reduce(&run)));
+        }
         out.into_iter()
             .map(|slot| slot.expect("every point produced a result"))
             .collect()

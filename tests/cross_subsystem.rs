@@ -21,7 +21,7 @@ fn every_kernel_accelerates_soundly() {
         let spec = k.spec();
         let kv = compile_kernel(
             spec.name,
-            &k.standalone(),
+            &k.standalone().unwrap(),
             &configs,
             Some((spec.output_addr, spec.output_words as usize)),
         )
@@ -45,7 +45,7 @@ fn synthesized_control_words_pack_and_unpack() {
     let spec = k.spec();
     let kv = compile_kernel(
         spec.name,
-        &k.standalone(),
+        &k.standalone().unwrap(),
         &[PatchConfig::Single(PatchClass::AtMa)],
         Some((spec.output_addr, spec.output_words as usize)),
     )
@@ -153,7 +153,7 @@ fn kernel_is_placement_independent() {
     let expected = k.reference(&k.input());
     for tile in [0u8, 5, 15] {
         let mut chip = Chip::new(ChipConfig::stitch_16());
-        chip.load_program(TileId(tile), &k.standalone());
+        chip.load_program(TileId(tile), &k.standalone().unwrap());
         chip.run(2_000_000_000).expect("run");
         let got = chip.peek_words(TileId(tile), spec.output_addr, expected.len());
         assert_eq!(got, expected, "tile {tile}");

@@ -113,7 +113,7 @@ fn kernels_survive_binary_round_trip() {
     use stitch_sim::{Chip, ChipConfig, TileId};
     for k in stitch_kernels::all_kernels().into_iter().take(6) {
         let spec = k.spec();
-        let program = k.standalone();
+        let program = k.standalone().unwrap();
         let words = encode_program(&program.instrs).expect("encode");
         let decoded = decode_program(&words).expect("decode");
         assert_eq!(decoded, program.instrs, "{}: decode mismatch", spec.name);
