@@ -285,6 +285,7 @@ fn main() {
                 .int("accelerated_kernels", run.accelerated)
                 .int("fused_kernels", run.fused)
                 .int("faults_injected", run.injected)
+                .int("demotions", run.demotions)
                 .int("rollbacks", run.rollbacks);
             points.push(pt);
             prev_fps = run.throughput_fps;
@@ -296,6 +297,7 @@ fn main() {
             .str("app", app.name)
             .float("clean_fps", clean.throughput_fps)
             .float("software_fps", software.throughput_fps)
+            .int("clean_demotions", clean.demotions)
             .int("accelerated_kernels", clean.accelerated)
             .int("fused_kernels", clean.fused)
             .array("degradation", &points);

@@ -28,8 +28,10 @@ use stitch_sim::{Arch, RunSummary, CLOCK_HZ};
 const POINTS_DIR: &str = "BENCH_sim.points";
 
 /// Payload format version; bump on layout changes so stale manifests
-/// read as absent and recompute.
-const REC_VERSION: u8 = 1;
+/// read as absent and recompute. v2: `RunSummary` gained the
+/// observability `windows` field, which changes the debug rendering the
+/// digest hashes, so v1 digests can no longer be compared.
+const REC_VERSION: u8 = 2;
 
 /// One completed reference-leg grid point. `summary` is populated only
 /// when the point was simulated by this process; resumed points carry
@@ -224,10 +226,17 @@ fn main() {
     }
     let fig14_s = t.elapsed().as_secs_f64();
 
+    // Demotion counters are part of the summary and must be surfaced,
+    // not silently dropped: a non-zero count on this fault-free grid
+    // would mean a run degraded somewhere.
+    let demotions: u64 = fast_runs.iter().map(|r| r.summary.total_demoted()).sum();
+    println!("demoted custom instructions across the grid: {demotions}");
+
     let mut fig12 = JsonObject::new();
     fig12
         .int("points", grid.len() as u64)
         .int("sim_cycles", sim_cycles)
+        .int("demotions", demotions)
         .float("reference_seq_wall_s", ref_s)
         .float("fast_threaded_wall_s", fast_s)
         .float("speedup", speedup)

@@ -47,6 +47,15 @@ impl CoreStats {
         }
     }
 
+    /// Cycles spent executing (total minus `recv` polling). This is the
+    /// quantity the observability layer's per-window `busy_cycles` sums
+    /// to, since every retired instruction's cost is charged to exactly
+    /// one window.
+    #[must_use]
+    pub fn busy_cycles(&self) -> u64 {
+        self.cycles.saturating_sub(self.recv_wait_cycles)
+    }
+
     /// Fraction of cycles spent waiting for messages (load imbalance
     /// indicator used by the stitching discussion in §VI-C).
     #[must_use]

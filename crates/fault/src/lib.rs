@@ -98,6 +98,19 @@ impl FaultKind {
     pub fn is_compute_only(&self) -> bool {
         !matches!(self, FaultKind::MeshLinkFail { .. })
     }
+
+    /// Stable numeric code for observability streams and reports:
+    /// 0 patch, 1 switch, 2 config upset, 3 mesh link. Kept fixed so
+    /// recorded traces stay comparable across versions.
+    #[must_use]
+    pub fn trace_code(&self) -> u8 {
+        match self {
+            FaultKind::PatchFail { .. } => 0,
+            FaultKind::SwitchFail { .. } => 1,
+            FaultKind::ConfigUpset { .. } => 2,
+            FaultKind::MeshLinkFail { .. } => 3,
+        }
+    }
 }
 
 impl fmt::Display for FaultKind {

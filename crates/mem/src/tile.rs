@@ -28,6 +28,17 @@ pub struct MemResult {
     pub xbar_write: Option<(u32, u32)>,
 }
 
+impl MemResult {
+    /// Whether the access paid a miss penalty. SPM and crossbar accesses
+    /// are always single-cycle, so any latency above [`crate::HIT_LATENCY`]
+    /// is a cache miss — the same predicate the cache's own miss counter
+    /// uses, which keeps observers reconcilable with [`crate::CacheStats`].
+    #[must_use]
+    pub fn is_miss(&self) -> bool {
+        self.latency > crate::HIT_LATENCY
+    }
+}
+
 /// Cache geometry selection for one tile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TileMemoryConfig {

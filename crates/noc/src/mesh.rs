@@ -12,6 +12,7 @@
 
 use crate::{PortDir, TileId, Topology};
 use std::collections::VecDeque;
+use stitch_trace::{TraceEvent, Tracer};
 
 /// Router pipeline depth in cycles (5-stage router, Table II).
 pub const ROUTER_PIPELINE: u64 = 5;
@@ -287,6 +288,20 @@ impl Mesh {
         self.stats
     }
 
+    /// [`Mesh::send`] with the injection reported to `tracer`.
+    pub fn send_traced(&mut self, src: TileId, dst: TileId, words: &[u32], tracer: &mut Tracer) {
+        let before = self.stats.packets_sent;
+        self.send(src, dst, words);
+        let packets = self.stats.packets_sent - before;
+        tracer.emit(|| TraceEvent::MessageSend {
+            cycle: self.cycle,
+            src: src.0,
+            dst: dst.0,
+            words: words.len() as u32,
+            packets: packets as u32,
+        });
+    }
+
     /// Queues a message of `words` from `src` to `dst`, segmenting it into
     /// data packets (or a single control packet when empty).
     pub fn send(&mut self, src: TileId, dst: TileId, words: &[u32]) {
@@ -476,6 +491,14 @@ impl Mesh {
 
     /// Advances the network one cycle.
     pub fn tick(&mut self) {
+        self.tick_traced(&mut Tracer::disabled());
+    }
+
+    /// [`Mesh::tick`] with per-link flit hops and packet deliveries
+    /// reported to `tracer`. Idle ticks emit nothing — the event-driven
+    /// fast path may replace them with [`Mesh::fast_forward`] without
+    /// changing the event stream.
+    pub fn tick_traced(&mut self, tracer: &mut Tracer) {
         self.cycle += 1;
         // An idle tick is a pure clock advance: no flit sits in any
         // injection queue, router buffer, or reassembly table (the
@@ -609,9 +632,14 @@ impl Mesh {
                 router.out_owner[m.out] = None;
             }
             match m.to_router {
-                None => self.eject(here, flit),
+                None => self.eject(here, flit, tracer),
                 Some(next) => {
                     self.stats.flit_hops += 1;
+                    tracer.emit(|| TraceEvent::FlitHop {
+                        cycle: self.cycle,
+                        tile: here.0,
+                        dir: m.out as u8,
+                    });
                     let mut f = flit;
                     f.ready_at = self.cycle + LINK_LATENCY + ROUTER_PIPELINE;
                     self.routers[next].inputs[m.to_port].push_back(f);
@@ -627,7 +655,7 @@ impl Mesh {
         }
     }
 
-    fn eject(&mut self, tile: TileId, flit: Flit) {
+    fn eject(&mut self, tile: TileId, flit: Flit, tracer: &mut Tracer) {
         let slot = self.assembling[tile.index()]
             .iter()
             .position(|a| a.src == flit.src && a.msg_id == flit.msg_id);
@@ -649,6 +677,12 @@ impl Mesh {
         if flit.is_tail {
             self.stats.packets_delivered += 1;
             self.stats.total_packet_latency += self.cycle - flit.injected_at;
+            tracer.emit(|| TraceEvent::PacketDeliver {
+                cycle: self.cycle,
+                src: flit.src.0,
+                dst: tile.0,
+                latency: (self.cycle - flit.injected_at) as u32,
+            });
         }
         let done = self.assembling[tile.index()][idx].words.len() as u32
             >= self.assembling[tile.index()][idx].expected;

@@ -57,9 +57,16 @@ impl PowerBreakdown {
     }
 
     /// Accelerator + inter-patch share (the paper's 23% for Stitch).
+    /// A zero-power breakdown (e.g. a zero-cycle run) has no meaningful
+    /// share; report 0.0 rather than the 0/0 NaN, which is not valid
+    /// JSON and must never reach a BENCH report.
     #[must_use]
     pub fn accelerator_fraction(&self) -> f64 {
-        (self.accelerators_mw + self.interpatch_noc_mw) / self.total_mw()
+        let total = self.total_mw();
+        if total == 0.0 {
+            return 0.0;
+        }
+        (self.accelerators_mw + self.interpatch_noc_mw) / total
     }
 
     /// Evaluates the model on a run.
@@ -152,6 +159,20 @@ mod tests {
         let b = PowerBreakdown::for_run(Arch::Stitch, &s);
         let f = b.accelerator_fraction();
         assert!((0.10..0.35).contains(&f), "accelerator share {f}");
+    }
+
+    #[test]
+    fn zero_breakdown_has_finite_fraction() {
+        // Regression: a default (zero-cycle-run) breakdown used to
+        // compute 0.0/0.0 = NaN, which would poison any JSON report it
+        // reached. The share of nothing is defined as 0.0.
+        let b = PowerBreakdown::default();
+        let f = b.accelerator_fraction();
+        assert!(f.is_finite(), "accelerator_fraction must never be NaN");
+        assert_eq!(f, 0.0);
+        let s = RunSummary::default();
+        let run = PowerBreakdown::for_run(Arch::Stitch, &s);
+        assert!(run.accelerator_fraction().is_finite());
     }
 
     #[test]

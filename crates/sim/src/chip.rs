@@ -16,12 +16,13 @@ use stitch_fault::{FaultKind, FaultPlan};
 use stitch_isa::custom::CiId;
 use stitch_isa::instr::Width;
 use stitch_isa::program::Program;
-use stitch_mem::TileMemory;
+use stitch_mem::{TileMemory, HIT_LATENCY};
 use stitch_noc::mesh::{Mesh, MeshConfig};
 use stitch_noc::{PatchNet, PatchNetError};
 use stitch_patch::{
     eval_fused, eval_single, fused_path_legal, software_cycles, ControlWord, SpmPort,
 };
+use stitch_trace::{TraceCapture, TraceConfig, TraceEvent, Tracer, NO_PARTNER};
 
 /// Where a custom instruction executes, as decided by the stitcher.
 #[derive(Debug, Clone, PartialEq)]
@@ -234,6 +235,7 @@ struct TilePlatform<'a> {
     /// re-validates circuit legality right after the tick.
     xbar_reconfigured: &'a mut bool,
     faults: Option<&'a mut FaultRuntime>,
+    tracer: &'a mut Tracer,
 }
 
 /// How a fused custom instruction executes under the active fault state.
@@ -247,18 +249,40 @@ enum FusedMode {
     Software,
 }
 
+impl TilePlatform<'_> {
+    /// Reports a cache access that paid more than the hit latency. The
+    /// fast path's skipped windows only ever replay icache *hits*
+    /// (repeated-poll fetches), so miss events stay engine-identical.
+    #[inline]
+    fn note_miss(&mut self, icache: bool, latency: u32) {
+        if latency > HIT_LATENCY {
+            let (cycle, tile) = (self.cycle, self.tile.0);
+            self.tracer.emit(|| TraceEvent::CacheMiss {
+                cycle,
+                tile,
+                icache,
+                penalty: latency - HIT_LATENCY,
+            });
+        }
+    }
+}
+
 impl Platform for TilePlatform<'_> {
     fn fetch(&mut self, byte_addr: u32) -> u32 {
-        self.mem.fetch(byte_addr)
+        let latency = self.mem.fetch(byte_addr);
+        self.note_miss(true, latency);
+        latency
     }
 
     fn load(&mut self, addr: u32, w: Width) -> (u32, u32) {
         let r = self.mem.load(addr, w);
+        self.note_miss(false, r.latency);
         (r.value, r.latency)
     }
 
     fn store(&mut self, addr: u32, value: u32, w: Width) -> u32 {
         let r = self.mem.store(addr, value, w);
+        self.note_miss(false, r.latency);
         if let Some((index, word)) = r.xbar_write {
             let target = TileId(index as u8);
             if index as usize >= self.patchnet.topology().tiles()
@@ -282,8 +306,13 @@ impl Platform for TilePlatform<'_> {
             CiBinding::Single { control } => {
                 let mut extra = 0;
                 let mut demoted = false;
+                let (cycle, tile) = (self.cycle, self.tile.0);
                 if let Some(f) = self.faults.as_deref_mut() {
-                    extra += f.scrub(self.tile);
+                    let scrubbed = f.scrub(self.tile);
+                    if scrubbed > 0 {
+                        self.tracer.emit(|| TraceEvent::Scrub { cycle, tile });
+                    }
+                    extra += scrubbed;
                     if f.patch_down(self.tile, self.cycle) {
                         if !f.plan.degrade() {
                             return Err(CpuError::PatchFaulted {
@@ -299,6 +328,11 @@ impl Platform for TilePlatform<'_> {
                         if !f.request_patch_rollback(self.tile) {
                             f.stats.demotions += 1;
                             demoted = true;
+                            self.tracer.emit(|| TraceEvent::Demote {
+                                cycle,
+                                tile,
+                                to_software: true,
+                            });
                         }
                     }
                 }
@@ -315,6 +349,12 @@ impl Platform for TilePlatform<'_> {
                     });
                 }
                 self.activations[self.tile.index()] += 1;
+                self.tracer.emit(|| TraceEvent::PatchActivate {
+                    cycle,
+                    tile,
+                    partner: NO_PARTNER,
+                    fused: false,
+                });
                 Ok(CustomOutcome {
                     out,
                     fused: false,
@@ -329,9 +369,21 @@ impl Platform for TilePlatform<'_> {
             } => {
                 let mut extra = 0;
                 let mut mode = FusedMode::Healthy;
+                let (cycle, tile) = (self.cycle, self.tile.0);
                 if let Some(f) = self.faults.as_deref_mut() {
-                    extra += f.scrub(self.tile);
-                    extra += f.scrub(*partner);
+                    let scrubbed_local = f.scrub(self.tile);
+                    if scrubbed_local > 0 {
+                        self.tracer.emit(|| TraceEvent::Scrub { cycle, tile });
+                    }
+                    let scrubbed_remote = f.scrub(*partner);
+                    if scrubbed_remote > 0 {
+                        let remote = partner.0;
+                        self.tracer.emit(|| TraceEvent::Scrub {
+                            cycle,
+                            tile: remote,
+                        });
+                    }
+                    extra += scrubbed_local + scrubbed_remote;
                     if f.patch_down(self.tile, self.cycle) {
                         if !f.plan.degrade() {
                             return Err(CpuError::PatchFaulted {
@@ -342,6 +394,11 @@ impl Platform for TilePlatform<'_> {
                         if !f.request_patch_rollback(self.tile) {
                             f.stats.demotions += 1;
                             mode = FusedMode::Software;
+                            self.tracer.emit(|| TraceEvent::Demote {
+                                cycle,
+                                tile,
+                                to_software: true,
+                            });
                         }
                     } else {
                         let circuit_dead = f.patch_down(*partner, self.cycle)
@@ -377,9 +434,16 @@ impl Platform for TilePlatform<'_> {
                                 if f.watchdog_tripped.insert((self.tile.0, ci.0)) {
                                     f.stats.watchdog_trips += 1;
                                     extra += WATCHDOG_RETRIES * WATCHDOG_TIMEOUT_CYCLES;
+                                    self.tracer
+                                        .emit(|| TraceEvent::WatchdogTrip { cycle, tile });
                                 }
                                 f.stats.demotions += 1;
                                 mode = FusedMode::LocalOnly;
+                                self.tracer.emit(|| TraceEvent::Demote {
+                                    cycle,
+                                    tile,
+                                    to_software: false,
+                                });
                             }
                         }
                     }
@@ -389,6 +453,13 @@ impl Platform for TilePlatform<'_> {
                     FusedMode::Healthy => {
                         self.activations[self.tile.index()] += 1;
                         self.activations[partner.index()] += 1;
+                        let remote = partner.0;
+                        self.tracer.emit(|| TraceEvent::PatchActivate {
+                            cycle,
+                            tile,
+                            partner: remote,
+                            fused: true,
+                        });
                         CustomOutcome {
                             out,
                             fused: true,
@@ -398,6 +469,12 @@ impl Platform for TilePlatform<'_> {
                     }
                     FusedMode::LocalOnly => {
                         self.activations[self.tile.index()] += 1;
+                        self.tracer.emit(|| TraceEvent::PatchActivate {
+                            cycle,
+                            tile,
+                            partner: NO_PARTNER,
+                            fused: false,
+                        });
                         CustomOutcome {
                             out,
                             fused: false,
@@ -420,7 +497,8 @@ impl Platform for TilePlatform<'_> {
 
     fn send(&mut self, dst: u32, addr: u32, len: u32) {
         let words = self.mem.peek_words(addr, len as usize);
-        self.mesh.send(self.tile, TileId(dst as u8), &words);
+        self.mesh
+            .send_traced(self.tile, TileId(dst as u8), &words, self.tracer);
     }
 
     fn try_recv(&mut self, src: u32, addr: u32, len: u32) -> Result<Option<u32>, CpuError> {
@@ -434,6 +512,16 @@ impl Platform for TilePlatform<'_> {
                     });
                 }
                 self.mem.poke_words(addr, &msg.words);
+                // The completing poll happens on a real tick in both
+                // engines (a deliverable message blocks `try_skip`), so
+                // this event is engine-identical.
+                let (cycle, tile) = (self.cycle, self.tile.0);
+                self.tracer.emit(|| TraceEvent::RecvDone {
+                    cycle,
+                    tile,
+                    from: src as u8,
+                    words: len,
+                });
                 Ok(Some(len))
             }
         }
@@ -474,6 +562,10 @@ pub struct Chip {
     xbar_reconfigured: bool,
     /// Periodic-checkpoint + transient-fault-replay state, when enabled.
     rollback: Option<RollbackState>,
+    /// Observability event recorder. Disabled by default (one branch per
+    /// would-be event); not part of snapshots — an observer, not chip
+    /// state — so rollback replays append to the same stream.
+    tracer: Tracer,
 }
 
 /// State of the checkpoint-rollback rung (see [`Chip::enable_rollback`]).
@@ -516,8 +608,31 @@ impl Chip {
             paranoid: false,
             xbar_reconfigured: false,
             rollback: None,
+            tracer: Tracer::disabled(),
             cfg,
         }
+    }
+
+    /// Enables event tracing per `cfg` (the tile count is taken from the
+    /// chip's own topology). Replaces any previously collected trace.
+    /// Call before `run` so the stream covers the whole execution.
+    pub fn set_trace(&mut self, cfg: &TraceConfig) {
+        let cfg = TraceConfig {
+            tiles: self.cfg.topo.tiles(),
+            ..cfg.clone()
+        };
+        self.tracer = Tracer::new(&cfg);
+    }
+
+    /// The active tracer (e.g. to attach an extra sink).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Tears tracing down and returns the retained event stream, or
+    /// `None` if tracing was never enabled.
+    pub fn take_trace(&mut self) -> Option<TraceCapture> {
+        self.tracer.take_capture()
     }
 
     /// Installs a fault plan to be replayed during subsequent runs.
@@ -713,6 +828,8 @@ impl Chip {
     pub fn enable_rollback(&mut self, interval: u64, budget: u32) {
         let interval = interval.max(1);
         let snap = Box::new(self.checkpoint());
+        let cycle = self.cycle;
+        self.tracer.emit(|| TraceEvent::Checkpoint { cycle });
         self.rollback = Some(RollbackState {
             interval,
             budget_left: budget,
@@ -758,6 +875,8 @@ impl Chip {
                 Some(snap) => self.refresh_checkpoint(snap),
                 None => last = Some(Box::new(self.checkpoint())),
             }
+            let cycle = self.cycle;
+            self.tracer.emit(|| TraceEvent::Checkpoint { cycle });
             let rb = self.rollback.as_mut().expect("due implies rollback state");
             rb.last = last;
             rb.next_checkpoint = self.cycle + rb.interval;
@@ -792,7 +911,11 @@ impl Chip {
             .as_mut()
             .and_then(|r| r.last.take())
             .expect("armed rollback implies a checkpoint");
+        let (cycle, to_cycle) = (self.cycle, snap.cycle);
+        self.tracer
+            .emit(|| TraceEvent::Rollback { cycle, to_cycle });
         // Infallible: the checkpoint was captured from this very chip.
+        // The tracer is not chip state and survives the restore.
         self.restore(&snap).expect("own checkpoint restores");
         if let Some(rb) = self.rollback.as_mut() {
             rb.last = Some(snap);
@@ -936,7 +1059,15 @@ impl Chip {
         from: TileId,
         to: TileId,
     ) -> Result<stitch_noc::Circuit, SimError> {
-        Ok(self.patchnet.reserve(from, to)?)
+        let circuit = self.patchnet.reserve(from, to)?;
+        let (cycle, hops) = (self.cycle, circuit.hops);
+        self.tracer.emit(|| TraceEvent::CircuitReserve {
+            cycle,
+            from: from.0,
+            to: to.0,
+            hops: hops.min(u32::from(u8::MAX)) as u8,
+        });
+        Ok(circuit)
     }
 
     /// Host write into a tile's memory (inputs, parameters).
@@ -989,7 +1120,7 @@ impl Chip {
         if self.faults.is_some() {
             self.apply_due_faults();
         }
-        self.mesh.tick();
+        self.mesh.tick_traced(&mut self.tracer);
         let n = self.cfg.topo.tiles();
         // Earliest future step among live cores that are *not* parked in
         // `recv` (waiting cores poll every cycle; the fast path batches
@@ -1017,6 +1148,7 @@ impl Chip {
                 xbar_errors: &mut self.xbar_errors,
                 xbar_reconfigured: &mut self.xbar_reconfigured,
                 faults: self.faults.as_mut(),
+                tracer: &mut self.tracer,
             };
             let outcome = core.step(&mut plat);
             let halted_now = core.state() == CoreState::Halted;
@@ -1026,10 +1158,20 @@ impl Chip {
                     if self.waiting_on[i].take().is_some() {
                         self.waiting -= 1;
                     }
+                    let cycle = self.cycle;
+                    self.tracer.emit(|| TraceEvent::Retire {
+                        cycle,
+                        tile: i as u8,
+                        cost: cycles.max(1),
+                    });
                     if halted_now {
                         // `halt` retires like any instruction; the core
                         // leaves the live set here.
                         self.live -= 1;
+                        self.tracer.emit(|| TraceEvent::Halt {
+                            cycle,
+                            tile: i as u8,
+                        });
                     } else {
                         next_wake = next_wake.min(self.busy_until[i]);
                     }
@@ -1037,6 +1179,15 @@ impl Chip {
                 Ok(StepOutcome::WaitingRecv { src }) => {
                     if self.waiting_on[i].replace(src).is_none() {
                         self.waiting += 1;
+                        // Transition into waiting only — repeated failed
+                        // polls are event-free, so the fast path's batch
+                        // replay leaves the stream unchanged.
+                        let cycle = self.cycle;
+                        self.tracer.emit(|| TraceEvent::RecvWait {
+                            cycle,
+                            tile: i as u8,
+                            from: src as u8,
+                        });
                     }
                 }
                 Ok(StepOutcome::Halted) => {}
@@ -1129,6 +1280,12 @@ impl Chip {
             let kind = ev.kind.clone();
             f.next += 1;
             f.stats.injected += 1;
+            let cycle = self.cycle;
+            self.tracer.emit(|| TraceEvent::FaultInject {
+                cycle,
+                tile: kind.tile().0,
+                kind: kind.trace_code(),
+            });
             // Overlapping transient faults accumulate to the latest
             // recovery cycle.
             match kind {
@@ -1372,6 +1529,7 @@ impl Chip {
             tiles,
             mesh: self.mesh.stats(),
             circuits: self.patchnet.circuits().len(),
+            windows: self.tracer.windows_snapshot(self.cycle),
         }
     }
 

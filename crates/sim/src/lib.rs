@@ -45,6 +45,10 @@ pub use summary::{RunSummary, TileSummary};
 
 pub use stitch_fault::{FaultEvent, FaultKind, FaultPlan, FaultSpace};
 pub use stitch_noc::{TileId, Topology};
+pub use stitch_trace::{
+    to_chrome_trace, EventKind, EventMask, JsonValue, TileWindow, TraceCapture, TraceConfig,
+    TraceEvent, TraceWindows, Tracer, WindowMetrics, NO_PARTNER,
+};
 
 use stitch_isa::custom::PatchClass;
 use stitch_mem::TileMemoryConfig;

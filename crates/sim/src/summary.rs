@@ -3,6 +3,7 @@
 use crate::{TileId, CLOCK_HZ};
 use stitch_cpu::CoreStats;
 use stitch_mem::CacheStats;
+use stitch_trace::TraceWindows;
 
 /// Per-tile statistics after a run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -31,6 +32,9 @@ pub struct RunSummary {
     pub mesh: stitch_noc::MeshStats,
     /// Number of reserved inter-patch circuits at run time.
     pub circuits: usize,
+    /// Windowed per-tile utilization and link-heatmap metrics, present
+    /// when the run was traced with windowed collection enabled.
+    pub windows: Option<TraceWindows>,
 }
 
 impl RunSummary {
@@ -50,6 +54,13 @@ impl RunSummary {
     #[must_use]
     pub fn total_fused(&self) -> u64 {
         self.tiles.iter().map(|t| t.core.fused_ops).sum()
+    }
+
+    /// Total custom instructions that ran (fully or partly) in the
+    /// software fallback because of the degradation ladder.
+    #[must_use]
+    pub fn total_demoted(&self) -> u64 {
+        self.tiles.iter().map(|t| t.core.demoted_ops).sum()
     }
 
     /// Merged core counters for the whole chip.
@@ -75,12 +86,15 @@ impl RunSummary {
     }
 
     /// The busiest tile (most core cycles) — the pipeline bottleneck.
+    /// Ties break toward the lowest tile id so reports are stable.
     #[must_use]
     pub fn bottleneck_tile(&self) -> Option<TileId> {
         self.tiles
             .iter()
             .enumerate()
-            .max_by_key(|(_, t)| t.core.cycles)
+            // `max_by_key` keeps the *last* maximum, so rank equal cycle
+            // counts by descending index to land on the lowest tile id.
+            .max_by_key(|(i, t)| (t.core.cycles, std::cmp::Reverse(*i)))
             .map(|(i, _)| TileId(i as u8))
     }
 }
@@ -97,6 +111,7 @@ mod tests {
                 instructions: 10,
                 custom_ops: 2,
                 fused_ops: 1,
+                demoted_ops: 3,
                 ..Default::default()
             },
             ..Default::default()
@@ -105,6 +120,7 @@ mod tests {
             core: CoreStats {
                 instructions: 5,
                 cycles: 99,
+                demoted_ops: 1,
                 ..Default::default()
             },
             ..Default::default()
@@ -112,8 +128,32 @@ mod tests {
         assert_eq!(s.total_instructions(), 15);
         assert_eq!(s.total_custom(), 2);
         assert_eq!(s.total_fused(), 1);
+        assert_eq!(s.total_demoted(), 4);
         assert_eq!(s.bottleneck_tile(), Some(TileId(1)));
         assert_eq!(s.merged_core().instructions, 15);
+    }
+
+    #[test]
+    fn bottleneck_tie_breaks_to_lowest_tile() {
+        let mut s = RunSummary::default();
+        for cycles in [50, 99, 99, 7] {
+            s.tiles.push(TileSummary {
+                core: CoreStats {
+                    cycles,
+                    ..Default::default()
+                },
+                ..Default::default()
+            });
+        }
+        // Tiles 1 and 2 tie at 99 cycles: report the lowest id, not the
+        // last maximum that `max_by_key` alone would return.
+        assert_eq!(s.bottleneck_tile(), Some(TileId(1)));
+        // An all-zero chip reports tile 0, deterministically.
+        let z = RunSummary {
+            tiles: vec![TileSummary::default(); 3],
+            ..Default::default()
+        };
+        assert_eq!(z.bottleneck_tile(), Some(TileId(0)));
     }
 
     #[test]

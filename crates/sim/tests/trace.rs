@@ -1,0 +1,168 @@
+//! Observability-layer integration tests.
+//!
+//! The tracing contract is engine-independence: `Chip::run` (event-driven
+//! fast path) and `Chip::run_reference` (naive cycle loop) must emit
+//! **bit-identical** event streams, because every event marks a
+//! transition both engines execute on the same cycle — the windows the
+//! fast path skips are exactly the cycles in which nothing is emitted.
+//! These tests pin that property over the same randomized workloads the
+//! summary-equivalence suite uses, fault-free and under active fault
+//! plans, and then pin the exporter: the Chrome-trace JSON must parse
+//! and its event counts must reconcile exactly with the `RunSummary` of
+//! the run that produced it.
+
+mod common;
+
+use common::{fused_chip, pipeline_chip};
+use stitch_sim::{
+    to_chrome_trace, Chip, FaultPlan, FaultSpace, JsonValue, TraceCapture, TraceConfig,
+};
+
+const BUDGET: u64 = 50_000_000;
+
+/// Enables full-stream tracing (every event class) on a chip.
+fn arm(chip: &mut Chip) {
+    chip.set_trace(&TraceConfig::full(16));
+}
+
+/// Runs the chip on the chosen engine and returns its captured stream.
+fn capture(chip: &mut Chip, reference: bool) -> TraceCapture {
+    let outcome = if reference {
+        chip.run_reference(BUDGET)
+    } else {
+        chip.run(BUDGET)
+    };
+    // Faulted runs may end in a typed error; the stream up to that
+    // point must still match across engines.
+    drop(outcome);
+    let cap = chip.take_trace().expect("tracing was enabled");
+    assert_eq!(cap.dropped, 0, "ring too small for this workload");
+    cap
+}
+
+#[test]
+fn engines_emit_identical_streams_fault_free() {
+    // 30 message-passing pipelines + 20 fused-CI workloads.
+    for seed in 0..30u64 {
+        let mut fast = pipeline_chip(0xE0_0100 + seed);
+        let mut naive = pipeline_chip(0xE0_0100 + seed);
+        arm(&mut fast);
+        arm(&mut naive);
+        let a = capture(&mut fast, false);
+        let b = capture(&mut naive, true);
+        assert!(!a.events.is_empty(), "pipeline seed {seed} emitted nothing");
+        assert_eq!(a, b, "streams diverge for pipeline seed {seed}");
+    }
+    for seed in 0..20u64 {
+        let mut fast = fused_chip(0xF5_ED00 + seed);
+        let mut naive = fused_chip(0xF5_ED00 + seed);
+        arm(&mut fast);
+        arm(&mut naive);
+        let a = capture(&mut fast, false);
+        let b = capture(&mut naive, true);
+        assert!(
+            a.events.iter().any(|e| {
+                matches!(e, stitch_sim::TraceEvent::PatchActivate { fused: true, .. })
+            }),
+            "fused seed {seed} must trace a fused activation"
+        );
+        assert_eq!(a, b, "streams diverge for fused seed {seed}");
+    }
+}
+
+#[test]
+fn engines_emit_identical_streams_under_faults() {
+    // Compute-only faults over fused workloads: degradation ladder
+    // events (Demote, Scrub, WatchdogTrip, FaultInject) included.
+    let compute = FaultSpace {
+        tiles: 10,
+        horizon: 500,
+        max_events: 4,
+        allow_transient: true,
+        ..FaultSpace::default()
+    }
+    .compute_only();
+    for seed in 0..16u64 {
+        let plan = FaultPlan::random(0xFA_0000 + seed, &compute);
+        let mut fast = fused_chip(0xF5_ED00 + seed);
+        let mut naive = fused_chip(0xF5_ED00 + seed);
+        fast.set_fault_plan(plan.clone());
+        naive.set_fault_plan(plan);
+        arm(&mut fast);
+        arm(&mut naive);
+        let a = capture(&mut fast, false);
+        let b = capture(&mut naive, true);
+        assert_eq!(a, b, "streams diverge under compute faults, seed {seed}");
+    }
+    // Full fault space (link faults included) over pipelines; runs may
+    // end in typed errors, the streams must still match.
+    let full = FaultSpace {
+        tiles: 16,
+        horizon: 20_000,
+        max_events: 4,
+        compute_only: false,
+        allow_transient: true,
+    };
+    for seed in 0..8u64 {
+        let plan = FaultPlan::random(0x11_F000 + seed, &full);
+        let mut fast = pipeline_chip(0xE0_0100 + seed);
+        let mut naive = pipeline_chip(0xE0_0100 + seed);
+        fast.set_fault_plan(plan.clone());
+        naive.set_fault_plan(plan);
+        arm(&mut fast);
+        arm(&mut naive);
+        let a = capture(&mut fast, false);
+        let b = capture(&mut naive, true);
+        assert_eq!(a, b, "streams diverge under link faults, seed {seed}");
+    }
+}
+
+/// Golden exporter test: the Chrome-trace JSON parses, and both the
+/// rendered spans and the windowed counter totals reconcile exactly
+/// with the `RunSummary` of the run.
+#[test]
+fn perfetto_export_reconciles_with_summary() {
+    let mut chip = pipeline_chip(0xE0_0105);
+    arm(&mut chip);
+    let summary = chip.run(BUDGET).expect("run terminates");
+    let cap = chip.take_trace().expect("capture");
+    assert_eq!(cap.dropped, 0);
+
+    let json = to_chrome_trace(&cap, summary.windows.as_ref(), summary.tiles.len(), 5);
+    let v = JsonValue::parse(&json).expect("export is valid JSON");
+    assert_eq!(
+        v.get("displayTimeUnit").and_then(JsonValue::as_str),
+        Some("ns")
+    );
+    let events = v
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array");
+
+    let count = |ph: &str, name: &str| {
+        events
+            .iter()
+            .filter(|e| {
+                e.get("ph").and_then(JsonValue::as_str) == Some(ph)
+                    && e.get("name").and_then(JsonValue::as_str) == Some(name)
+            })
+            .count() as u64
+    };
+    // One "exec" span per committed instruction, one "flit" instant per
+    // flit-hop, one "deliver" instant per delivered packet.
+    assert_eq!(count("X", "exec"), summary.total_instructions());
+    assert_eq!(count("i", "flit"), summary.mesh.flit_hops);
+    assert_eq!(count("i", "deliver"), summary.mesh.packets_delivered);
+
+    // Windowed totals reconcile with the per-tile counters.
+    let windows = summary.windows.as_ref().expect("windows collected");
+    for (w, tile) in windows.tile_totals().iter().zip(&summary.tiles) {
+        assert_eq!(w.retired, tile.core.instructions);
+        assert_eq!(w.busy_cycles, tile.core.busy_cycles());
+        assert_eq!(w.recv_wait_cycles, tile.core.recv_wait_cycles);
+        assert_eq!(w.icache_misses, tile.icache.misses);
+        assert_eq!(w.dcache_misses, tile.dcache.misses);
+    }
+    let link_flits: u64 = windows.link_totals().iter().flatten().sum();
+    assert_eq!(link_flits, summary.mesh.flit_hops);
+}

@@ -14,7 +14,9 @@ use stitch_compiler::{
 };
 use stitch_kernels::Kernel;
 use stitch_power::{average_power_mw, PowerBreakdown};
-use stitch_sim::{Arch, Chip, ChipConfig, FaultPlan, FaultStats, RunSummary, SimError};
+use stitch_sim::{
+    Arch, Chip, ChipConfig, FaultPlan, FaultStats, RunSummary, SimError, TraceCapture, TraceConfig,
+};
 
 /// Simulation budget for application runs.
 const APP_BUDGET: u64 = 4_000_000_000;
@@ -89,6 +91,10 @@ pub struct AppRun {
     pub skipped_cycles: u64,
     /// Fault-handling counters (all zero on a fault-free run).
     pub fault_stats: FaultStats,
+    /// Captured event stream, when the workbench had tracing enabled
+    /// (see [`Workbench::set_trace`]). The windowed metrics live in
+    /// `summary.windows`.
+    pub trace: Option<TraceCapture>,
 }
 
 impl AppRun {
@@ -150,6 +156,7 @@ pub enum SimEngine {
 pub struct Workbench {
     variants: HashMap<String, KernelVariants>,
     engine: SimEngine,
+    trace: Option<TraceConfig>,
 }
 
 impl Workbench {
@@ -163,6 +170,14 @@ impl Workbench {
     /// the sweep harness inherit it).
     pub fn set_engine(&mut self, engine: SimEngine) {
         self.engine = engine;
+    }
+
+    /// Enables event tracing for subsequent runs (`None` disables it).
+    /// Each run gets a fresh tracer per the config; the captured stream
+    /// comes back in [`AppRun::trace`] and the windowed metrics in
+    /// `summary.windows`. Sweep-worker clones inherit the setting.
+    pub fn set_trace(&mut self, cfg: Option<TraceConfig>) {
+        self.trace = cfg;
     }
 
     /// All configurations explored for kernels: the three singles first
@@ -347,6 +362,11 @@ impl Workbench {
 
         // 3. Build and load per-node programs.
         let mut chip = Chip::new(chip_cfg);
+        // Tracing starts before circuit reservation so stitch-time
+        // `CircuitReserve` events are part of the stream.
+        if let Some(tc) = &self.trace {
+            chip.set_trace(tc);
+        }
         if let Some(fp) = fault_plan {
             chip.set_fault_plan(fp.clone());
         }
@@ -403,6 +423,7 @@ impl Workbench {
             skipped_cycles: chip.skipped_cycles(),
             fault_stats: chip.fault_stats(),
             node_outputs,
+            trace: chip.take_trace(),
         })
     }
 

@@ -1,0 +1,336 @@
+//! The structured event vocabulary of the observability layer.
+//!
+//! Events carry only plain integers (tile indices as `u8`, cycles as
+//! `u64`) so that every crate in the stack — the mesh, the chip, the
+//! fault runtime — can construct them without depending on each other's
+//! types. The stream is designed around one invariant: **no event is
+//! emitted during a window the event-driven fast path may skip.** Busy
+//! cores stalling, waiting cores repeating a failed `recv` poll, and an
+//! idle mesh advancing its clock all emit nothing; every event marks a
+//! state *transition* that both simulator engines execute on the exact
+//! same cycle. Bit-identical streams across engines follow by
+//! construction and are pinned by `crates/sim/tests/trace.rs`.
+
+/// Partner value of a [`TraceEvent::PatchActivate`] for a single-patch
+/// (unfused) activation.
+pub const NO_PARTNER: u8 = u8::MAX;
+
+/// One observed hardware event.
+///
+/// `cycle` is always the simulated chip cycle at which the event
+/// occurred. Where a direction is carried it uses the mesh port
+/// encoding: 0 = North, 1 = East, 2 = South, 3 = West.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A core retired one instruction costing `cost` cycles (the core is
+    /// busy for cycles `cycle .. cycle + cost`).
+    Retire {
+        /// Cycle of the retirement.
+        cycle: u64,
+        /// Retiring tile.
+        tile: u8,
+        /// Charged execution cycles (≥ 1).
+        cost: u32,
+    },
+    /// A core executed its `halt` and left the live set.
+    Halt {
+        /// Cycle of the halt.
+        cycle: u64,
+        /// Halting tile.
+        tile: u8,
+    },
+    /// A core entered the blocked-in-`recv` state (first failed poll).
+    /// Emitted only on the *transition* into waiting — repeated failed
+    /// polls emit nothing, which is what lets the fast path skip them.
+    RecvWait {
+        /// Cycle of the first failed poll.
+        cycle: u64,
+        /// Waiting tile.
+        tile: u8,
+        /// Peer tile the receive is waiting on.
+        from: u8,
+    },
+    /// A `recv` completed (message consumed from the NIC).
+    RecvDone {
+        /// Cycle of the successful poll.
+        cycle: u64,
+        /// Receiving tile.
+        tile: u8,
+        /// Sender.
+        from: u8,
+        /// Message length in words.
+        words: u32,
+    },
+    /// A cache access missed and paid the DRAM penalty.
+    CacheMiss {
+        /// Cycle of the access.
+        cycle: u64,
+        /// Accessing tile.
+        tile: u8,
+        /// Instruction cache (`true`) or data cache.
+        icache: bool,
+        /// Stall cycles beyond the hit latency.
+        penalty: u32,
+    },
+    /// A message entered the mesh NIC (segmented into `packets` packets).
+    MessageSend {
+        /// Injection cycle.
+        cycle: u64,
+        /// Sending tile.
+        src: u8,
+        /// Destination tile.
+        dst: u8,
+        /// Message length in words.
+        words: u32,
+        /// Data/control packets the message was segmented into.
+        packets: u32,
+    },
+    /// A packet's tail flit ejected at its destination NIC.
+    PacketDeliver {
+        /// Delivery cycle.
+        cycle: u64,
+        /// Sending tile.
+        src: u8,
+        /// Destination tile.
+        dst: u8,
+        /// Injection-to-delivery latency in cycles.
+        latency: u32,
+    },
+    /// One flit traversed the outgoing link of `tile` through port `dir`
+    /// (0 = N, 1 = E, 2 = S, 3 = W). The per-link heatmap integrates
+    /// these.
+    FlitHop {
+        /// Traversal cycle.
+        cycle: u64,
+        /// Router the flit left.
+        tile: u8,
+        /// Outgoing port (0..4).
+        dir: u8,
+    },
+    /// A patch executed a custom instruction. For a fused activation the
+    /// event names the remote `partner` (whose patch also fired);
+    /// `partner` is [`NO_PARTNER`] for single-patch activations.
+    PatchActivate {
+        /// Activation cycle.
+        cycle: u64,
+        /// Issuing tile.
+        tile: u8,
+        /// Remote tile of a fused pair, or [`NO_PARTNER`].
+        partner: u8,
+        /// Whether the activation ran as a fused pair.
+        fused: bool,
+    },
+    /// An inter-patch circuit was reserved (stitch time).
+    CircuitReserve {
+        /// Reservation cycle.
+        cycle: u64,
+        /// First (issuing) tile.
+        from: u8,
+        /// Second (remote) tile.
+        to: u8,
+        /// Switch hops of the reserved path.
+        hops: u8,
+    },
+    /// A scheduled hardware fault manifested. `kind` uses
+    /// `stitch-fault`'s stable code (0 = patch, 1 = switch, 2 = config
+    /// upset, 3 = mesh link).
+    FaultInject {
+        /// Injection cycle.
+        cycle: u64,
+        /// Tile the fault is anchored to.
+        tile: u8,
+        /// Stable fault-class code.
+        kind: u8,
+    },
+    /// A custom instruction demoted to its software fallback.
+    Demote {
+        /// Cycle of the demoted activation.
+        cycle: u64,
+        /// Issuing tile.
+        tile: u8,
+        /// Whole instruction in software (`true`) or only the remote
+        /// stage of a fused pair.
+        to_software: bool,
+    },
+    /// A fused handshake timed out and paid the bounded watchdog retries.
+    WatchdogTrip {
+        /// Cycle of the trip.
+        cycle: u64,
+        /// Issuing tile.
+        tile: u8,
+    },
+    /// A patch configuration was re-scrubbed after a detected parity
+    /// error.
+    Scrub {
+        /// Cycle of the scrub.
+        cycle: u64,
+        /// Scrubbed tile.
+        tile: u8,
+    },
+    /// The chip rolled back to its last checkpoint to replay past a
+    /// transient fault. Events already emitted for the rolled-back
+    /// window remain in the stream (the trace is an observer log, not
+    /// checkpointed state).
+    Rollback {
+        /// Cycle the rollback was served at.
+        cycle: u64,
+        /// Checkpoint cycle execution resumes from.
+        to_cycle: u64,
+    },
+    /// A periodic checkpoint was (re)taken.
+    Checkpoint {
+        /// Checkpoint cycle.
+        cycle: u64,
+    },
+}
+
+/// Event class, used for masks and reconciliation counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+#[allow(missing_docs)] // variants mirror `TraceEvent` one-to-one
+pub enum EventKind {
+    Retire = 0,
+    Halt = 1,
+    RecvWait = 2,
+    RecvDone = 3,
+    CacheMiss = 4,
+    MessageSend = 5,
+    PacketDeliver = 6,
+    FlitHop = 7,
+    PatchActivate = 8,
+    CircuitReserve = 9,
+    FaultInject = 10,
+    Demote = 11,
+    WatchdogTrip = 12,
+    Scrub = 13,
+    Rollback = 14,
+    Checkpoint = 15,
+}
+
+impl TraceEvent {
+    /// The cycle the event occurred at.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::Retire { cycle, .. }
+            | TraceEvent::Halt { cycle, .. }
+            | TraceEvent::RecvWait { cycle, .. }
+            | TraceEvent::RecvDone { cycle, .. }
+            | TraceEvent::CacheMiss { cycle, .. }
+            | TraceEvent::MessageSend { cycle, .. }
+            | TraceEvent::PacketDeliver { cycle, .. }
+            | TraceEvent::FlitHop { cycle, .. }
+            | TraceEvent::PatchActivate { cycle, .. }
+            | TraceEvent::CircuitReserve { cycle, .. }
+            | TraceEvent::FaultInject { cycle, .. }
+            | TraceEvent::Demote { cycle, .. }
+            | TraceEvent::WatchdogTrip { cycle, .. }
+            | TraceEvent::Scrub { cycle, .. }
+            | TraceEvent::Rollback { cycle, .. }
+            | TraceEvent::Checkpoint { cycle } => cycle,
+        }
+    }
+
+    /// The event's class.
+    #[must_use]
+    pub fn kind(&self) -> EventKind {
+        match self {
+            TraceEvent::Retire { .. } => EventKind::Retire,
+            TraceEvent::Halt { .. } => EventKind::Halt,
+            TraceEvent::RecvWait { .. } => EventKind::RecvWait,
+            TraceEvent::RecvDone { .. } => EventKind::RecvDone,
+            TraceEvent::CacheMiss { .. } => EventKind::CacheMiss,
+            TraceEvent::MessageSend { .. } => EventKind::MessageSend,
+            TraceEvent::PacketDeliver { .. } => EventKind::PacketDeliver,
+            TraceEvent::FlitHop { .. } => EventKind::FlitHop,
+            TraceEvent::PatchActivate { .. } => EventKind::PatchActivate,
+            TraceEvent::CircuitReserve { .. } => EventKind::CircuitReserve,
+            TraceEvent::FaultInject { .. } => EventKind::FaultInject,
+            TraceEvent::Demote { .. } => EventKind::Demote,
+            TraceEvent::WatchdogTrip { .. } => EventKind::WatchdogTrip,
+            TraceEvent::Scrub { .. } => EventKind::Scrub,
+            TraceEvent::Rollback { .. } => EventKind::Rollback,
+            TraceEvent::Checkpoint { .. } => EventKind::Checkpoint,
+        }
+    }
+}
+
+/// A set of [`EventKind`]s, used to choose which classes the ring buffer
+/// retains (the windowed metrics always see every event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventMask(u32);
+
+impl EventMask {
+    /// Every event class.
+    pub const ALL: EventMask = EventMask(u32::MAX);
+    /// No event class.
+    pub const NONE: EventMask = EventMask(0);
+
+    /// The control-plane classes: everything except the three
+    /// per-cycle-dense classes (`Retire`, `CacheMiss`, `FlitHop`), whose
+    /// aggregate view lives in the windowed metrics. This is the
+    /// practical mask for long application traces.
+    #[must_use]
+    pub fn control() -> EventMask {
+        Self::ALL
+            .without(EventKind::Retire)
+            .without(EventKind::CacheMiss)
+            .without(EventKind::FlitHop)
+    }
+
+    /// A mask of exactly `kinds`.
+    #[must_use]
+    pub fn of(kinds: &[EventKind]) -> EventMask {
+        let mut m = 0u32;
+        for k in kinds {
+            m |= 1 << (*k as u32);
+        }
+        EventMask(m)
+    }
+
+    /// This mask with `kind` removed.
+    #[must_use]
+    pub fn without(self, kind: EventKind) -> EventMask {
+        EventMask(self.0 & !(1 << (kind as u32)))
+    }
+
+    /// Whether `kind` is in the mask.
+    #[must_use]
+    pub fn contains(self, kind: EventKind) -> bool {
+        self.0 & (1 << (kind as u32)) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_and_kind_accessors() {
+        let ev = TraceEvent::Retire {
+            cycle: 42,
+            tile: 3,
+            cost: 5,
+        };
+        assert_eq!(ev.cycle(), 42);
+        assert_eq!(ev.kind(), EventKind::Retire);
+        let ev = TraceEvent::Checkpoint { cycle: 7 };
+        assert_eq!(ev.cycle(), 7);
+        assert_eq!(ev.kind(), EventKind::Checkpoint);
+    }
+
+    #[test]
+    fn masks_compose() {
+        assert!(EventMask::ALL.contains(EventKind::FlitHop));
+        assert!(!EventMask::NONE.contains(EventKind::FlitHop));
+        let m = EventMask::control();
+        assert!(!m.contains(EventKind::Retire));
+        assert!(!m.contains(EventKind::FlitHop));
+        assert!(!m.contains(EventKind::CacheMiss));
+        assert!(m.contains(EventKind::RecvWait));
+        assert!(m.contains(EventKind::Demote));
+        let m = EventMask::of(&[EventKind::Halt]);
+        assert!(m.contains(EventKind::Halt));
+        assert!(!m.contains(EventKind::Retire));
+    }
+}

@@ -1,0 +1,374 @@
+//! Windowed metrics: integrating the event stream into fixed-size cycle
+//! windows of per-tile utilization, stall breakdowns, and a per-link
+//! flit heatmap.
+//!
+//! All counters are integers so the containing `RunSummary` keeps its
+//! `Eq` derive and the engine-equivalence tests can compare summaries
+//! exactly. Attribution rules:
+//!
+//! * a retired instruction's full `cost` is charged to the window its
+//!   *retire* cycle falls in (an instruction spanning a boundary is not
+//!   split);
+//! * receive-wait spans are split exactly at window boundaries, so
+//!   `recv_wait_cycles` per window never exceeds the window length;
+//! * flit hops, cache misses, activations, and demotions are charged to
+//!   the window of their event cycle.
+//!
+//! Globally the windows reconcile with the run's aggregate counters:
+//! summed over windows, `busy_cycles[t]` equals the core's
+//! `cycles - recv_wait_cycles`, `recv_wait_cycles[t]` equals the core's
+//! `recv_wait_cycles`, `retired[t]` equals `instructions`, and the link
+//! heatmap sums to the mesh's `flit_hops`. (Under checkpoint rollback
+//! the window stream is rewound to the restore point and rebuilt from
+//! the replay, so counts observed between the enclosing window boundary
+//! and the restore cycle are approximate; the exact identities hold for
+//! rollback-free runs, which is what the reconciliation tests pin.)
+
+use crate::event::{TraceEvent, NO_PARTNER};
+
+/// Per-tile counters for one cycle window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TileWindow {
+    /// Instructions retired in the window.
+    pub retired: u64,
+    /// Execution cycles charged in the window (retire-cycle attribution).
+    pub busy_cycles: u64,
+    /// Cycles spent blocked in `recv` during the window (boundary-split).
+    pub recv_wait_cycles: u64,
+    /// Of the busy cycles, those paying a cache-miss penalty.
+    pub miss_penalty_cycles: u64,
+    /// Instruction-cache misses.
+    pub icache_misses: u64,
+    /// Data-cache misses.
+    pub dcache_misses: u64,
+    /// Patch activations (a fused activation counts on both tiles).
+    pub activations: u64,
+    /// Custom instructions demoted to software fallback.
+    pub demotions: u64,
+}
+
+/// One closed cycle window across the whole chip.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WindowMetrics {
+    /// First cycle of the window (it covers `start .. start + window`).
+    pub start: u64,
+    /// Per-tile counters, indexed by tile id.
+    pub tiles: Vec<TileWindow>,
+    /// Flits that left each router through ports N/E/S/W (`[tile][dir]`).
+    pub link_flits: Vec<[u64; 4]>,
+}
+
+impl WindowMetrics {
+    fn new(start: u64, tiles: usize) -> WindowMetrics {
+        WindowMetrics {
+            start,
+            tiles: vec![TileWindow::default(); tiles],
+            link_flits: vec![[0; 4]; tiles],
+        }
+    }
+
+    /// Whether any counter in the window is nonzero.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.tiles.iter().all(|t| *t == TileWindow::default())
+            && self.link_flits.iter().all(|l| *l == [0; 4])
+    }
+}
+
+/// The windowed view of a traced run, attached to `RunSummary`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceWindows {
+    /// Window length in cycles.
+    pub window: u64,
+    /// Closed windows in time order. The final window is closed at the
+    /// snapshot cycle and may be shorter than `window`.
+    pub windows: Vec<WindowMetrics>,
+}
+
+impl TraceWindows {
+    /// Per-tile totals summed over all windows.
+    #[must_use]
+    pub fn tile_totals(&self) -> Vec<TileWindow> {
+        let tiles = self.windows.first().map_or(0, |w| w.tiles.len());
+        let mut tot = vec![TileWindow::default(); tiles];
+        for w in &self.windows {
+            for (acc, t) in tot.iter_mut().zip(&w.tiles) {
+                acc.retired += t.retired;
+                acc.busy_cycles += t.busy_cycles;
+                acc.recv_wait_cycles += t.recv_wait_cycles;
+                acc.miss_penalty_cycles += t.miss_penalty_cycles;
+                acc.icache_misses += t.icache_misses;
+                acc.dcache_misses += t.dcache_misses;
+                acc.activations += t.activations;
+                acc.demotions += t.demotions;
+            }
+        }
+        tot
+    }
+
+    /// The link heatmap summed over all windows (`[tile][dir]`).
+    #[must_use]
+    pub fn link_totals(&self) -> Vec<[u64; 4]> {
+        let tiles = self.windows.first().map_or(0, |w| w.link_flits.len());
+        let mut tot = vec![[0u64; 4]; tiles];
+        for w in &self.windows {
+            for (acc, l) in tot.iter_mut().zip(&w.link_flits) {
+                for d in 0..4 {
+                    acc[d] += l[d];
+                }
+            }
+        }
+        tot
+    }
+}
+
+/// Streams events into windows. Fed by the tracer with *every* event
+/// (the ring-buffer mask does not apply here).
+#[derive(Debug, Clone)]
+pub struct MetricsCollector {
+    window: u64,
+    tiles: usize,
+    done: Vec<WindowMetrics>,
+    cur: WindowMetrics,
+    /// Cycle each tile's open receive-wait started at, if blocked.
+    wait_since: Vec<Option<u64>>,
+}
+
+impl MetricsCollector {
+    /// A collector with `window`-cycle windows (min 1) over `tiles` tiles.
+    #[must_use]
+    pub fn new(window: u64, tiles: usize) -> MetricsCollector {
+        let window = window.max(1);
+        MetricsCollector {
+            window,
+            tiles,
+            done: Vec::new(),
+            cur: WindowMetrics::new(0, tiles),
+            wait_since: vec![None; tiles],
+        }
+    }
+
+    fn cur_end(&self) -> u64 {
+        self.cur.start + self.window
+    }
+
+    /// Close windows until `cycle` falls inside the current one.
+    fn roll_to(&mut self, cycle: u64) {
+        while cycle >= self.cur_end() {
+            let end = self.cur_end();
+            // Split open receive-waits at the boundary.
+            for (tile, since) in self.wait_since.iter_mut().enumerate() {
+                if let Some(w) = since {
+                    let from = (*w).max(self.cur.start);
+                    self.cur.tiles[tile].recv_wait_cycles += end - from;
+                    *w = end;
+                }
+            }
+            let next = WindowMetrics::new(end, self.tiles);
+            self.done.push(std::mem::replace(&mut self.cur, next));
+        }
+    }
+
+    /// Consume one event.
+    pub fn record(&mut self, ev: &TraceEvent) {
+        // A rollback rewinds the chip clock; re-open the window stream at
+        // the restore point so subsequent (replayed) events land in
+        // in-range windows. Earlier closed windows are kept as observed.
+        if let TraceEvent::Rollback { to_cycle, .. } = *ev {
+            let start = to_cycle - to_cycle % self.window;
+            self.done.retain(|w| w.start < start);
+            self.cur = WindowMetrics::new(start, self.tiles);
+            self.wait_since = vec![None; self.tiles];
+            return;
+        }
+        self.roll_to(ev.cycle());
+        match *ev {
+            TraceEvent::Retire { tile, cost, .. } => {
+                let t = &mut self.cur.tiles[tile as usize];
+                t.retired += 1;
+                t.busy_cycles += u64::from(cost);
+            }
+            TraceEvent::RecvWait { cycle, tile, .. } => {
+                self.wait_since[tile as usize] = Some(cycle);
+            }
+            TraceEvent::RecvDone { cycle, tile, .. } => {
+                if let Some(w) = self.wait_since[tile as usize].take() {
+                    let from = w.max(self.cur.start);
+                    self.cur.tiles[tile as usize].recv_wait_cycles += cycle - from;
+                }
+            }
+            TraceEvent::CacheMiss {
+                tile,
+                icache,
+                penalty,
+                ..
+            } => {
+                let t = &mut self.cur.tiles[tile as usize];
+                if icache {
+                    t.icache_misses += 1;
+                } else {
+                    t.dcache_misses += 1;
+                }
+                t.miss_penalty_cycles += u64::from(penalty);
+            }
+            TraceEvent::FlitHop { tile, dir, .. } => {
+                if let Some(d) = self.cur.link_flits[tile as usize].get_mut(dir as usize) {
+                    *d += 1;
+                }
+            }
+            TraceEvent::PatchActivate { tile, partner, .. } => {
+                self.cur.tiles[tile as usize].activations += 1;
+                if partner != NO_PARTNER {
+                    self.cur.tiles[partner as usize].activations += 1;
+                }
+            }
+            TraceEvent::Demote { tile, .. } => {
+                self.cur.tiles[tile as usize].demotions += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// A finished view of the windows with the open window closed at
+    /// `end_cycle`. Non-destructive: the collector keeps streaming.
+    #[must_use]
+    pub fn snapshot(&self, end_cycle: u64) -> TraceWindows {
+        let mut windows = self.done.clone();
+        let mut last = self.cur.clone();
+        let end = end_cycle.max(last.start);
+        for (tile, since) in self.wait_since.iter().enumerate() {
+            if let Some(w) = since {
+                let from = (*w).max(last.start);
+                if end > from {
+                    last.tiles[tile].recv_wait_cycles += end - from;
+                }
+            }
+        }
+        windows.push(last);
+        TraceWindows {
+            window: self.window,
+            windows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_and_retired_attribution() {
+        let mut m = MetricsCollector::new(100, 2);
+        m.record(&TraceEvent::Retire {
+            cycle: 10,
+            tile: 0,
+            cost: 5,
+        });
+        m.record(&TraceEvent::Retire {
+            cycle: 150,
+            tile: 1,
+            cost: 2,
+        });
+        let w = m.snapshot(200);
+        assert_eq!(w.windows.len(), 2);
+        assert_eq!(w.windows[0].start, 0);
+        assert_eq!(w.windows[0].tiles[0].retired, 1);
+        assert_eq!(w.windows[0].tiles[0].busy_cycles, 5);
+        assert_eq!(w.windows[1].start, 100);
+        assert_eq!(w.windows[1].tiles[1].busy_cycles, 2);
+        let tot = w.tile_totals();
+        assert_eq!(tot[0].retired + tot[1].retired, 2);
+    }
+
+    #[test]
+    fn recv_wait_splits_at_boundaries() {
+        let mut m = MetricsCollector::new(100, 1);
+        m.record(&TraceEvent::RecvWait {
+            cycle: 80,
+            tile: 0,
+            from: 0,
+        });
+        m.record(&TraceEvent::RecvDone {
+            cycle: 250,
+            tile: 0,
+            from: 0,
+            words: 1,
+        });
+        let w = m.snapshot(300);
+        // 80..100 in window 0, 100..200 in window 1, 200..250 in window 2.
+        assert_eq!(w.windows[0].tiles[0].recv_wait_cycles, 20);
+        assert_eq!(w.windows[1].tiles[0].recv_wait_cycles, 100);
+        assert_eq!(w.windows[2].tiles[0].recv_wait_cycles, 50);
+        assert_eq!(w.tile_totals()[0].recv_wait_cycles, 250 - 80);
+    }
+
+    #[test]
+    fn open_wait_counted_in_snapshot() {
+        let mut m = MetricsCollector::new(1_000, 1);
+        m.record(&TraceEvent::RecvWait {
+            cycle: 10,
+            tile: 0,
+            from: 0,
+        });
+        let w = m.snapshot(60);
+        assert_eq!(w.windows[0].tiles[0].recv_wait_cycles, 50);
+        // The collector itself is unchanged: a later snapshot re-derives.
+        let w = m.snapshot(110);
+        assert_eq!(w.windows[0].tiles[0].recv_wait_cycles, 100);
+    }
+
+    #[test]
+    fn heatmap_and_fused_activations() {
+        let mut m = MetricsCollector::new(50, 4);
+        m.record(&TraceEvent::FlitHop {
+            cycle: 1,
+            tile: 2,
+            dir: 1,
+        });
+        m.record(&TraceEvent::FlitHop {
+            cycle: 2,
+            tile: 2,
+            dir: 1,
+        });
+        m.record(&TraceEvent::PatchActivate {
+            cycle: 3,
+            tile: 0,
+            partner: 3,
+            fused: true,
+        });
+        m.record(&TraceEvent::PatchActivate {
+            cycle: 4,
+            tile: 1,
+            partner: NO_PARTNER,
+            fused: false,
+        });
+        let w = m.snapshot(50);
+        assert_eq!(w.link_totals()[2][1], 2);
+        let tot = w.tile_totals();
+        assert_eq!(tot[0].activations, 1);
+        assert_eq!(tot[3].activations, 1);
+        assert_eq!(tot[1].activations, 1);
+    }
+
+    #[test]
+    fn rollback_reopens_windows() {
+        let mut m = MetricsCollector::new(100, 1);
+        m.record(&TraceEvent::Retire {
+            cycle: 250,
+            tile: 0,
+            cost: 1,
+        });
+        m.record(&TraceEvent::Rollback {
+            cycle: 260,
+            to_cycle: 100,
+        });
+        m.record(&TraceEvent::Retire {
+            cycle: 120,
+            tile: 0,
+            cost: 1,
+        });
+        let w = m.snapshot(200);
+        assert_eq!(w.windows.last().unwrap().start, 100);
+        assert_eq!(w.windows.last().unwrap().tiles[0].retired, 1);
+    }
+}

@@ -1,0 +1,457 @@
+//! Chrome-trace-event JSON export, loadable in `ui.perfetto.dev` (or
+//! `chrome://tracing`).
+//!
+//! Layout:
+//! * **pid 1 — "cores"**: one thread per tile. Receive-wait spans are
+//!   complete (`ph:"X"`) events; halts, activations, demotions,
+//!   watchdog trips, scrubs, fault injections, sends/deliveries and
+//!   cache misses are instants; per-tile windowed counters (`ph:"C"`)
+//!   carry the busy/wait/miss-penalty breakdown and retire/activation/
+//!   demotion counts.
+//! * **pid 2 — "mesh links"**: one thread per router output port
+//!   (`tile*4 + dir`), with flit-hop instants and per-link windowed
+//!   flit counters — the link heatmap over time.
+//! * **pid 3 — "inter-patch circuits"**: one thread per distinct
+//!   `(from, to)` circuit with a reservation instant per stitch.
+//!
+//! Timestamps are microseconds of simulated time at the chip clock
+//! (`ns_per_cycle`, 5 ns at the nominal 200 MHz), rendered with
+//! nanosecond precision so distinct cycles never alias.
+
+use std::fmt::Write as _;
+
+use crate::event::{TraceEvent, NO_PARTNER};
+use crate::metrics::TraceWindows;
+use crate::sink::TraceCapture;
+
+const PID_CORES: u32 = 1;
+const PID_LINKS: u32 = 2;
+const PID_CIRCUITS: u32 = 3;
+
+const DIR_NAMES: [&str; 5] = ["N", "E", "S", "W", "local"];
+
+/// Render `cycle` as a microsecond timestamp string.
+fn ts(cycle: u64, ns_per_cycle: u64) -> String {
+    let ns = cycle * ns_per_cycle;
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+struct TraceJson {
+    out: String,
+    first: bool,
+}
+
+impl TraceJson {
+    fn new() -> TraceJson {
+        TraceJson {
+            out: String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"),
+            first: true,
+        }
+    }
+
+    /// Append one event object; `body` is the inner `"k":v` list.
+    fn push(&mut self, body: &str) {
+        if !self.first {
+            self.out.push_str(",\n");
+        }
+        self.first = false;
+        self.out.push('{');
+        self.out.push_str(body);
+        self.out.push('}');
+    }
+
+    fn meta_process(&mut self, pid: u32, name: &str) {
+        self.push(&format!(
+            "\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\"args\":{{\"name\":\"{name}\"}}"
+        ));
+    }
+
+    fn meta_thread(&mut self, pid: u32, tid: u32, name: &str) {
+        self.push(&format!(
+            "\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{name}\"}}"
+        ));
+    }
+
+    fn instant(&mut self, pid: u32, tid: u32, ts: &str, name: &str, args: &str) {
+        let mut body = format!(
+            "\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"s\":\"t\",\"name\":\"{name}\""
+        );
+        if !args.is_empty() {
+            let _ = write!(body, ",\"args\":{{{args}}}");
+        }
+        self.push(&body);
+    }
+
+    fn span(&mut self, pid: u32, tid: u32, ts: &str, dur: &str, name: &str, args: &str) {
+        let mut body = format!(
+            "\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"dur\":{dur},\"name\":\"{name}\""
+        );
+        if !args.is_empty() {
+            let _ = write!(body, ",\"args\":{{{args}}}");
+        }
+        self.push(&body);
+    }
+
+    fn counter(&mut self, pid: u32, ts: &str, name: &str, args: &str) {
+        self.push(&format!(
+            "\"ph\":\"C\",\"pid\":{pid},\"tid\":0,\"ts\":{ts},\"name\":\"{name}\",\
+             \"args\":{{{args}}}"
+        ));
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push_str("\n]}\n");
+        self.out
+    }
+}
+
+/// Serialize a captured event stream (and, when windowed metrics were
+/// collected, their counter tracks) into Chrome trace-event JSON.
+#[must_use]
+pub fn to_chrome_trace(
+    capture: &TraceCapture,
+    windows: Option<&TraceWindows>,
+    tiles: usize,
+    ns_per_cycle: u64,
+) -> String {
+    let mut j = TraceJson::new();
+    let end_cycle = capture
+        .events
+        .iter()
+        .map(TraceEvent::cycle)
+        .max()
+        .unwrap_or(0);
+
+    j.meta_process(PID_CORES, "cores");
+    for t in 0..tiles {
+        j.meta_thread(PID_CORES, t as u32, &format!("tile {t}"));
+    }
+    j.meta_process(PID_LINKS, "mesh links");
+    j.meta_process(PID_CIRCUITS, "inter-patch circuits");
+
+    // Lazily named tracks, so quiet links/circuits stay out of the UI.
+    let mut link_named = vec![false; tiles * 4];
+    let mut circuit_tids: Vec<(u8, u8)> = Vec::new();
+
+    let mut wait_start: Vec<Option<u64>> = vec![None; tiles];
+    for ev in &capture.events {
+        match *ev {
+            TraceEvent::Retire { cycle, tile, cost } => {
+                j.span(
+                    PID_CORES,
+                    u32::from(tile),
+                    &ts(cycle, ns_per_cycle),
+                    &ts(u64::from(cost), ns_per_cycle),
+                    "exec",
+                    &format!("\"cost_cycles\":{cost}"),
+                );
+            }
+            TraceEvent::Halt { cycle, tile } => {
+                j.instant(
+                    PID_CORES,
+                    u32::from(tile),
+                    &ts(cycle, ns_per_cycle),
+                    "halt",
+                    "",
+                );
+            }
+            TraceEvent::RecvWait { cycle, tile, .. } => {
+                wait_start[tile as usize] = Some(cycle);
+            }
+            TraceEvent::RecvDone {
+                cycle,
+                tile,
+                from,
+                words,
+            } => {
+                let start = wait_start[tile as usize].take().unwrap_or(cycle);
+                j.span(
+                    PID_CORES,
+                    u32::from(tile),
+                    &ts(start, ns_per_cycle),
+                    &ts(cycle - start, ns_per_cycle),
+                    "recv wait",
+                    &format!("\"from\":{from},\"words\":{words}"),
+                );
+            }
+            TraceEvent::CacheMiss {
+                cycle,
+                tile,
+                icache,
+                penalty,
+            } => {
+                let name = if icache { "icache miss" } else { "dcache miss" };
+                j.instant(
+                    PID_CORES,
+                    u32::from(tile),
+                    &ts(cycle, ns_per_cycle),
+                    name,
+                    &format!("\"penalty_cycles\":{penalty}"),
+                );
+            }
+            TraceEvent::MessageSend {
+                cycle,
+                src,
+                dst,
+                words,
+                packets,
+            } => {
+                j.instant(
+                    PID_CORES,
+                    u32::from(src),
+                    &ts(cycle, ns_per_cycle),
+                    "send",
+                    &format!("\"dst\":{dst},\"words\":{words},\"packets\":{packets}"),
+                );
+            }
+            TraceEvent::PacketDeliver {
+                cycle,
+                src,
+                dst,
+                latency,
+            } => {
+                j.instant(
+                    PID_CORES,
+                    u32::from(dst),
+                    &ts(cycle, ns_per_cycle),
+                    "deliver",
+                    &format!("\"src\":{src},\"latency_cycles\":{latency}"),
+                );
+            }
+            TraceEvent::FlitHop { cycle, tile, dir } => {
+                let tid = u32::from(tile) * 4 + u32::from(dir.min(3));
+                if let Some(named) = link_named.get_mut(tid as usize) {
+                    if !*named {
+                        *named = true;
+                        let d = DIR_NAMES[usize::from(dir.min(4))];
+                        j.meta_thread(PID_LINKS, tid, &format!("link {tile}\u{2192}{d}"));
+                    }
+                }
+                j.instant(PID_LINKS, tid, &ts(cycle, ns_per_cycle), "flit", "");
+            }
+            TraceEvent::PatchActivate {
+                cycle,
+                tile,
+                partner,
+                fused,
+            } => {
+                let name = if fused { "fused activate" } else { "activate" };
+                let args = if partner == NO_PARTNER {
+                    String::new()
+                } else {
+                    format!("\"partner\":{partner}")
+                };
+                j.instant(
+                    PID_CORES,
+                    u32::from(tile),
+                    &ts(cycle, ns_per_cycle),
+                    name,
+                    &args,
+                );
+            }
+            TraceEvent::CircuitReserve {
+                cycle,
+                from,
+                to,
+                hops,
+            } => {
+                let key = (from.min(to), from.max(to));
+                let tid = match circuit_tids.iter().position(|k| *k == key) {
+                    Some(i) => i as u32,
+                    None => {
+                        circuit_tids.push(key);
+                        let tid = (circuit_tids.len() - 1) as u32;
+                        j.meta_thread(
+                            PID_CIRCUITS,
+                            tid,
+                            &format!("circuit {}\u{2194}{}", key.0, key.1),
+                        );
+                        tid
+                    }
+                };
+                j.instant(
+                    PID_CIRCUITS,
+                    tid,
+                    &ts(cycle, ns_per_cycle),
+                    "reserve",
+                    &format!("\"hops\":{hops}"),
+                );
+            }
+            TraceEvent::FaultInject { cycle, tile, kind } => {
+                j.instant(
+                    PID_CORES,
+                    u32::from(tile),
+                    &ts(cycle, ns_per_cycle),
+                    "fault",
+                    &format!("\"kind\":{kind}"),
+                );
+            }
+            TraceEvent::Demote {
+                cycle,
+                tile,
+                to_software,
+            } => {
+                j.instant(
+                    PID_CORES,
+                    u32::from(tile),
+                    &ts(cycle, ns_per_cycle),
+                    "demote",
+                    &format!("\"to_software\":{to_software}"),
+                );
+            }
+            TraceEvent::WatchdogTrip { cycle, tile } => {
+                j.instant(
+                    PID_CORES,
+                    u32::from(tile),
+                    &ts(cycle, ns_per_cycle),
+                    "watchdog trip",
+                    "",
+                );
+            }
+            TraceEvent::Scrub { cycle, tile } => {
+                j.instant(
+                    PID_CORES,
+                    u32::from(tile),
+                    &ts(cycle, ns_per_cycle),
+                    "scrub",
+                    "",
+                );
+            }
+            TraceEvent::Rollback { cycle, to_cycle } => {
+                j.instant(
+                    PID_CORES,
+                    0,
+                    &ts(cycle, ns_per_cycle),
+                    "rollback",
+                    &format!("\"to_cycle\":{to_cycle}"),
+                );
+            }
+            TraceEvent::Checkpoint { cycle } => {
+                j.instant(PID_CORES, 0, &ts(cycle, ns_per_cycle), "checkpoint", "");
+            }
+        }
+    }
+    // A wait still open at end-of-capture renders to the last cycle.
+    for (tile, start) in wait_start.iter().enumerate() {
+        if let Some(start) = start {
+            j.span(
+                PID_CORES,
+                tile as u32,
+                &ts(*start, ns_per_cycle),
+                &ts(end_cycle.saturating_sub(*start), ns_per_cycle),
+                "recv wait",
+                "",
+            );
+        }
+    }
+
+    if let Some(w) = windows {
+        for win in &w.windows {
+            let t0 = ts(win.start, ns_per_cycle);
+            for (tile, tw) in win.tiles.iter().enumerate() {
+                j.counter(
+                    PID_CORES,
+                    &t0,
+                    &format!("tile {tile} cycles"),
+                    &format!(
+                        "\"busy\":{},\"recv_wait\":{},\"miss_penalty\":{}",
+                        tw.busy_cycles, tw.recv_wait_cycles, tw.miss_penalty_cycles
+                    ),
+                );
+                j.counter(
+                    PID_CORES,
+                    &t0,
+                    &format!("tile {tile} events"),
+                    &format!(
+                        "\"retired\":{},\"activations\":{},\"demotions\":{}",
+                        tw.retired, tw.activations, tw.demotions
+                    ),
+                );
+            }
+            for (tile, flits) in win.link_flits.iter().enumerate() {
+                for (dir, n) in flits.iter().enumerate() {
+                    if *n > 0 {
+                        j.counter(
+                            PID_LINKS,
+                            &t0,
+                            &format!("link {tile}\u{2192}{} flits", DIR_NAMES[dir]),
+                            &format!("\"flits\":{n}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    j.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    #[test]
+    fn export_parses_and_pairs_waits() {
+        let capture = TraceCapture {
+            events: vec![
+                TraceEvent::RecvWait {
+                    cycle: 10,
+                    tile: 1,
+                    from: 0,
+                },
+                TraceEvent::RecvDone {
+                    cycle: 30,
+                    tile: 1,
+                    from: 0,
+                    words: 4,
+                },
+                TraceEvent::FlitHop {
+                    cycle: 12,
+                    tile: 0,
+                    dir: 1,
+                },
+                TraceEvent::Demote {
+                    cycle: 40,
+                    tile: 2,
+                    to_software: true,
+                },
+            ],
+            dropped: 0,
+        };
+        let out = to_chrome_trace(&capture, None, 4, 5);
+        let v = JsonValue::parse(&out).expect("exporter emits valid JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("traceEvents array");
+        let spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+            .collect();
+        assert_eq!(spans.len(), 1);
+        // 20 cycles at 5 ns/cycle = 100 ns = 0.100 µs.
+        assert_eq!(spans[0].get("dur").and_then(JsonValue::as_f64), Some(0.1));
+        assert!(out.contains("link 0\u{2192}E"));
+        assert!(out.contains("demote"));
+    }
+
+    #[test]
+    fn counters_render_windows() {
+        let mut m = crate::metrics::MetricsCollector::new(100, 2);
+        m.record(&TraceEvent::Retire {
+            cycle: 5,
+            tile: 0,
+            cost: 3,
+        });
+        let w = m.snapshot(100);
+        let out = to_chrome_trace(&TraceCapture::default(), Some(&w), 2, 5);
+        let v = JsonValue::parse(&out).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(JsonValue::as_array).unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(JsonValue::as_str) == Some("C")
+                && e.get("name").and_then(JsonValue::as_str) == Some("tile 0 cycles")));
+    }
+}

@@ -1,0 +1,120 @@
+//! Event sinks: where recorded events go.
+//!
+//! The tracer always drives exactly one [`RingSink`] (a fixed-capacity
+//! ring buffer whose contents become the exported trace) and optionally
+//! one extra boxed [`TraceSink`] for callers that want to stream events
+//! elsewhere (a test harness, a live aggregator).
+
+use std::collections::VecDeque;
+
+use crate::event::TraceEvent;
+
+/// Anything that can consume the event stream.
+pub trait TraceSink {
+    /// Record one event. Events arrive in nondecreasing cycle order
+    /// except across a rollback, where the stream rewinds together with
+    /// the chip (a [`TraceEvent::Rollback`] marks the discontinuity).
+    fn record(&mut self, ev: &TraceEvent);
+}
+
+/// A fixed-capacity ring buffer of events. When full, the oldest events
+/// are evicted and counted in `dropped` — a bounded trace of a long run
+/// keeps its most recent history.
+#[derive(Debug)]
+pub struct RingSink {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> RingSink {
+        let capacity = capacity.max(1);
+        RingSink {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Events currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drain the ring into an owned capture.
+    #[must_use]
+    pub fn into_capture(self) -> TraceCapture {
+        TraceCapture {
+            events: self.buf.into_iter().collect(),
+            dropped: self.dropped,
+        }
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(*ev);
+    }
+}
+
+/// An owned copy of the retained event stream, taken from a chip after a
+/// run. `dropped > 0` means the ring overflowed and `events` holds only
+/// the most recent history.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceCapture {
+    /// Retained events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events evicted by ring overflow.
+    pub dropped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent::Checkpoint { cycle }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut ring = RingSink::new(3);
+        for c in 0..5 {
+            ring.record(&ev(c));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let cap = ring.into_capture();
+        assert_eq!(cap.events, vec![ev(2), ev(3), ev(4)]);
+        assert_eq!(cap.dropped, 2);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut ring = RingSink::new(0);
+        ring.record(&ev(1));
+        ring.record(&ev(2));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.into_capture().events, vec![ev(2)]);
+    }
+}
