@@ -1,0 +1,163 @@
+//! `stitch-verify` report: diagnostics and wall time of the static
+//! verification suite over every real artifact the workbench produces.
+//!
+//! Two legs:
+//!
+//! 1. **Kernel leg** — every paper kernel is compiled for every patch
+//!    configuration, then the full artifact set (baseline + variants +
+//!    per-CI equivalence obligations) is re-verified from scratch with
+//!    `stitch_compiler::verify_kernel`. This times pure verification:
+//!    the compile is done before the clock starts.
+//! 2. **Application leg** — the pre-simulation gate
+//!    ([`Workbench::verify_app`]) runs for every app × architecture
+//!    point of the Fig 12 grid: plan legality, circuit replay + walk,
+//!    communication graph, XY routes, and W32 lints. The timing here
+//!    includes the compile→stitch pipeline that *produces* the verified
+//!    artifacts (the gate cannot run without them); the kernel-compile
+//!    part is served from a prewarmed cache.
+//!
+//! Every point must verify **clean** (zero errors) — a non-zero error
+//! count fails the binary, making this a regression harness for false
+//! positives as well as a benchmark. Writes `BENCH_verify.json`; see
+//! EXPERIMENTS.md for the recipe.
+
+use std::time::Instant;
+
+use bench::JsonObject;
+use stitch::{Arch, Workbench, DEFAULT_FRAMES};
+use stitch_apps::App;
+use stitch_compiler::verify_kernel;
+use stitch_kernels::all_kernels;
+
+fn main() {
+    println!("{}", bench::header("stitch-verify static analysis"));
+
+    let mut ws = Workbench::new();
+    let mut json = JsonObject::new();
+
+    // Leg 1: pure re-verification of every compiled kernel artifact.
+    let kernels = all_kernels();
+    let mut kernel_rows = Vec::new();
+    let mut kernel_ms_total = 0.0;
+    let mut kernel_warnings = 0u64;
+    let mut obligations = 0u64;
+    println!(
+        "{:>12} {:>9} {:>7} {:>7} {:>9}",
+        "kernel", "variants", "CIs", "warn", "verify ms"
+    );
+    for k in &kernels {
+        let kv = ws.variants(k.as_ref()).expect("kernel compiles");
+        let cis: u64 = kv.variants.iter().map(|v| v.ise_checks.len() as u64).sum();
+        let t = Instant::now();
+        let report = verify_kernel(&kv);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            report.is_clean(),
+            "{}: verifier rejected a shipped artifact:\n{report}",
+            kv.name
+        );
+        println!(
+            "{:>12} {:>9} {:>7} {:>7} {:>9.2}",
+            kv.name,
+            kv.variants.len(),
+            cis,
+            report.warning_count(),
+            ms
+        );
+        kernel_ms_total += ms;
+        kernel_warnings += report.warning_count() as u64;
+        obligations += cis;
+        let mut row = JsonObject::new();
+        row.str("kernel", &kv.name)
+            .int("variants", kv.variants.len() as u64)
+            .int("ise_obligations", cis)
+            .int("warnings", report.warning_count() as u64)
+            .float("verify_ms", ms);
+        kernel_rows.push(row);
+    }
+
+    // Leg 2: the pre-simulation gate on the full app × arch grid.
+    let apps = App::all();
+    ws.prewarm(&apps);
+    let mut app_rows = Vec::new();
+    let mut gate_ms_total = 0.0;
+    let mut gate_warnings = 0u64;
+    println!(
+        "\n{:>6} {:>10} {:>7} {:>7} {:>9}",
+        "app", "arch", "errors", "warn", "gate ms"
+    );
+    for app in &apps {
+        for &arch in Arch::ALL.iter() {
+            let t = Instant::now();
+            let report = ws
+                .verify_app(app, arch, DEFAULT_FRAMES)
+                .expect("pipeline produces verifiable artifacts");
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            assert!(
+                report.is_clean(),
+                "{}/{arch:?}: the gate rejected a legitimate run:\n{report}",
+                app.name
+            );
+            println!(
+                "{:>6} {:>10} {:>7} {:>7} {:>9.2}",
+                app.name,
+                format!("{arch:?}"),
+                report.error_count(),
+                report.warning_count(),
+                ms
+            );
+            gate_ms_total += ms;
+            gate_warnings += report.warning_count() as u64;
+            let mut row = JsonObject::new();
+            row.str("app", app.name)
+                .str("arch", &format!("{arch:?}"))
+                .int("errors", report.error_count() as u64)
+                .int("warnings", report.warning_count() as u64)
+                .float("gate_ms", ms);
+            app_rows.push(row);
+        }
+    }
+
+    println!("{}", "-".repeat(72));
+    println!(
+        "{}",
+        bench::row("kernel artifacts verified", "-", &kernels.len().to_string())
+    );
+    println!(
+        "{}",
+        bench::row("ISE equivalence obligations", "-", &obligations.to_string())
+    );
+    println!(
+        "{}",
+        bench::row(
+            "kernel re-verify wall",
+            "-",
+            &format!("{kernel_ms_total:.1} ms")
+        )
+    );
+    println!(
+        "{}",
+        bench::row(
+            "app gate points (all clean)",
+            "-",
+            &app_rows.len().to_string()
+        )
+    );
+    println!(
+        "{}",
+        bench::row("app gate wall", "-", &format!("{gate_ms_total:.1} ms"))
+    );
+
+    json.int("kernels", kernels.len() as u64)
+        .int("ise_obligations", obligations)
+        .int("kernel_warnings", kernel_warnings)
+        .float("kernel_verify_ms", kernel_ms_total)
+        .int("app_points", app_rows.len() as u64)
+        .int("app_errors", 0)
+        .int("app_warnings", gate_warnings)
+        .float("app_gate_ms", gate_ms_total)
+        .array("kernel_leg", &kernel_rows)
+        .array("app_leg", &app_rows);
+    std::fs::write("BENCH_verify.json", json.render_pretty()).expect("write BENCH_verify.json");
+    println!("\nWrote BENCH_verify.json");
+}

@@ -38,13 +38,23 @@ pub struct AcceleratedKernel {
     pub custom_count: usize,
     /// Measured standalone cycles.
     pub cycles: u64,
+    /// Per-custom-instruction equivalence obligations, re-checkable at
+    /// any time via `stitch_verify::check_ise`.
+    pub ise_checks: Vec<stitch_verify::IseCheck>,
 }
 
 impl AcceleratedKernel {
     /// Builds the simulator bindings for this variant when the kernel
     /// runs on `tile` with optional fused `partner`.
-    #[must_use]
-    pub fn bindings(&self, partner: Option<TileId>) -> HashMap<u16, CiBinding> {
+    ///
+    /// # Errors
+    ///
+    /// [`CompilerError::Invariant`] when a fused variant is bound without
+    /// a partner tile or a control-word list has an impossible length.
+    pub fn bindings(
+        &self,
+        partner: Option<TileId>,
+    ) -> Result<HashMap<u16, CiBinding>, CompilerError> {
         self.ci_controls
             .iter()
             .map(|(id, controls)| {
@@ -52,12 +62,21 @@ impl AcceleratedKernel {
                     [c] => CiBinding::Single { control: c.clone() },
                     [c1, c2] => CiBinding::Fused {
                         first: c1.clone(),
-                        partner: partner.expect("fused variant needs a partner tile"),
+                        partner: partner.ok_or_else(|| {
+                            CompilerError::invariant(format!(
+                                "ci{id}: fused variant bound without a partner tile"
+                            ))
+                        })?,
                         second: c2.clone(),
                     },
-                    _ => unreachable!("1 or 2 control words"),
+                    other => {
+                        return Err(CompilerError::invariant(format!(
+                            "ci{id}: {} control words (1 or 2 expected)",
+                            other.len()
+                        )))
+                    }
                 };
-                (*id, b)
+                Ok((*id, b))
             })
             .collect()
     }
@@ -123,6 +142,12 @@ pub fn compile_kernel(
     configs: &[PatchConfig],
     output: Option<(u32, usize)>,
 ) -> Result<KernelVariants, CompilerError> {
+    // The input program must itself pass the dataflow lints before the
+    // flow spends any time on it.
+    let baseline_report = stitch_verify::check_program(program);
+    if !baseline_report.is_clean() {
+        return Err(CompilerError::Verify(baseline_report));
+    }
     let accel = accelerate_all(name, program, configs)?;
     let (baseline_cycles, expected) = measure_baseline(program, output)?;
     let mut variants = Vec::new();
@@ -200,12 +225,23 @@ pub fn accelerate_all(
         if rewritten.custom_count == 0 {
             continue;
         }
+        // Static verification gate: the rewritten program must pass the
+        // W32 dataflow lints and every custom instruction must be
+        // independently proven equivalent to the subgraph it replaced.
+        let mut report = stitch_verify::check_program(&rewritten.program);
+        for check in &rewritten.ise_checks {
+            report.merge(stitch_verify::check_ise(check));
+        }
+        if !report.is_clean() {
+            return Err(CompilerError::Verify(report));
+        }
         out.push(AcceleratedKernel {
             config,
             program: rewritten.program,
             ci_controls: rewritten.ci_controls,
             custom_count: rewritten.custom_count,
             cycles: 0,
+            ise_checks: rewritten.ise_checks,
         });
     }
     Ok(out)
@@ -266,7 +302,7 @@ fn measure_variant(
             .map_err(|e| CompilerError::Rewrite(format!("measurement circuit: {e}")))?;
     }
     let partner = matches!(variant.config, PatchConfig::Pair(..)).then_some(TileId(1));
-    chip.load_kernel(TileId(0), &variant.program, variant.bindings(partner))
+    chip.load_kernel(TileId(0), &variant.program, variant.bindings(partner)?)
         .map_err(|e| CompilerError::Rewrite(format!("load variant: {e}")))?;
     let summary = chip
         .run(MEASURE_BUDGET)

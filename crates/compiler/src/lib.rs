@@ -23,7 +23,11 @@
 //!    patch mix (§III-A);
 //! 9. [`stitcher`] — Algorithm 1: greedy bottleneck-driven allocation of
 //!    patches (and inter-patch circuits, via Dijkstra) to the kernels of a
-//!    multi-kernel application.
+//!    multi-kernel application;
+//! 10. [`verify`] — the bridge into the `stitch-verify` static-analysis
+//!     suite: every compiled artifact is linted and every custom
+//!     instruction independently re-proven equivalent to the subgraph it
+//!     replaced, before any simulation.
 
 pub mod cfg;
 pub mod dfg;
@@ -34,6 +38,7 @@ pub mod mapper;
 pub mod profile;
 pub mod rewrite;
 pub mod stitcher;
+pub mod verify;
 
 pub use cfg::{BasicBlock, Cfg};
 pub use dfg::{BlockDfg, NodeOp, Src};
@@ -46,6 +51,7 @@ pub use rewrite::{accelerate_block, rewrite_program, select_candidates, Chosen, 
 pub use stitcher::{
     stitch_application, stitch_application_masked, AppKernel, GrantedAccel, StitchPlan,
 };
+pub use verify::{ise_check, verify_kernel};
 
 use std::fmt;
 
@@ -63,6 +69,24 @@ pub enum CompilerError {
     Rewrite(String),
     /// Stitching could not produce a valid plan.
     Stitch(String),
+    /// The static verifier rejected a compiled artifact; the report
+    /// carries the individual diagnostics.
+    Verify(stitch_verify::Report),
+    /// An internal compiler invariant was violated (a bug, reported as a
+    /// diagnostic instead of a panic).
+    Invariant(stitch_verify::Diagnostic),
+}
+
+impl CompilerError {
+    /// Builds an [`CompilerError::Invariant`] from a bare message.
+    #[must_use]
+    pub fn invariant(message: impl Into<String>) -> Self {
+        CompilerError::Invariant(stitch_verify::Diagnostic::error(
+            "COMPILE-INVARIANT",
+            stitch_verify::Span::None,
+            message,
+        ))
+    }
 }
 
 impl fmt::Display for CompilerError {
@@ -71,6 +95,14 @@ impl fmt::Display for CompilerError {
             CompilerError::Profile(m) => write!(f, "profiling failed: {m}"),
             CompilerError::Rewrite(m) => write!(f, "rewrite failed: {m}"),
             CompilerError::Stitch(m) => write!(f, "stitching failed: {m}"),
+            CompilerError::Verify(r) => {
+                write!(
+                    f,
+                    "verification failed ({} error(s)):\n{r}",
+                    r.error_count()
+                )
+            }
+            CompilerError::Invariant(d) => write!(f, "compiler invariant violated: {d}"),
         }
     }
 }

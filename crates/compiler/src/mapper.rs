@@ -339,7 +339,7 @@ fn synth_patch(
     // What the A1 wire carries.
     let a1_wire = match (a1_node, a1_pass) {
         (Some(n), _) => Wire::Node(n),
-        (None, Some(CSrc::External(_))) => Wire::Slot(slots.slot_of(a1_pass.expect("set above"))?),
+        (None, Some(pass @ CSrc::External(_))) => Wire::Slot(slots.slot_of(pass)?),
         (None, Some(CSrc::Internal(_))) => return None,
         _ => slot_wire(slots, 0), // idle: passes in0 (zero if unused)
     };
@@ -811,7 +811,11 @@ pub fn map_candidate(dfg: &BlockDfg, cand: &Candidate, config: PatchConfig) -> O
     let view = build_view(dfg, cand);
     let key = ViewKey::new(&view, config);
     let cache = MAP_CACHE.get_or_init(|| std::sync::Mutex::new(HashMap::new()));
-    if let Some(hit) = cache.lock().expect("map cache lock").get(&key) {
+    if let Some(hit) = cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get(&key)
+    {
         return hit.clone();
     }
     let m = match config {
@@ -820,7 +824,10 @@ pub fn map_candidate(dfg: &BlockDfg, cand: &Candidate, config: PatchConfig) -> O
         PatchConfig::Locus => map_locus_view(&view),
     }
     .filter(|m| verify(&view, m));
-    cache.lock().expect("map cache lock").insert(key, m.clone());
+    cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .insert(key, m.clone());
     m
 }
 
@@ -1023,19 +1030,17 @@ fn try_pair_split(
         }
     };
 
-    let v1 = sub_view(
-        &s1_ids,
-        carried
-            .iter()
-            .map(|&c| s1_ids.iter().position(|&x| x == c).expect("carried in S1"))
-            .collect(),
-    );
+    let carried_positions: Vec<usize> = carried
+        .iter()
+        .map(|&c| s1_ids.iter().position(|&x| x == c))
+        .collect::<Option<_>>()?;
+    let v1 = sub_view(&s1_ids, carried_positions);
     let s2_outputs: Vec<usize> = view
         .outputs
         .iter()
         .filter(|&&o| in_s2(o))
-        .map(|&o| s2_ids.iter().position(|&x| x == o).expect("output in S2"))
-        .collect();
+        .map(|&o| s2_ids.iter().position(|&x| x == o))
+        .collect::<Option<_>>()?;
     let v2 = sub_view(&s2_ids, s2_outputs);
 
     // Ride-along externals: v2 externals that are not carried S1 values.
@@ -1078,8 +1083,8 @@ fn try_pair_split(
                 };
 
                 // Which carried value sits on which first-patch port?
-                let wire_for = |c: usize| -> Wire {
-                    Wire::Node(s1_ids.iter().position(|&x| x == c).expect("in S1"))
+                let wire_for = |c: usize| -> Option<Wire> {
+                    s1_ids.iter().position(|&x| x == c).map(Wire::Node)
                 };
                 let arrangements: Vec<Vec<(usize, u8)>> = match carried {
                     [] => vec![vec![]],
@@ -1090,7 +1095,7 @@ fn try_pair_split(
                 for arr in arrangements {
                     if arr.iter().any(|&(c, port)| {
                         let w = if port == 0 { synth1.out0 } else { synth1.out1 };
-                        w != wire_for(c)
+                        wire_for(c).is_none_or(|wf| w != wf)
                     }) {
                         continue;
                     }
@@ -1099,8 +1104,14 @@ fn try_pair_split(
                     for &(c, port) in &arr {
                         pinned2.insert(CSrc::External(Src::Node(view.nodes[c].id)), vec![port]);
                     }
-                    for r in &ride {
-                        let s = slots1.slot_of(*r).expect("ride placed in slots1");
+                    let Some(ride_slots) = ride
+                        .iter()
+                        .map(|r| slots1.slot_of(*r))
+                        .collect::<Option<Vec<_>>>()
+                    else {
+                        continue; // a ride-along the slot map never placed
+                    };
+                    for (r, s) in ride.iter().zip(ride_slots) {
                         pinned2.insert(*r, vec![s]);
                     }
                     let ext2: Vec<CSrc> = v2.ext.iter().map(|e| CSrc::External(*e)).collect();

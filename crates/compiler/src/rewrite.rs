@@ -38,6 +38,9 @@ pub struct RewriteResult {
     pub custom_count: usize,
     /// Estimated dynamic cycles saved (saved-per-execution x block count).
     pub estimated_saving: u64,
+    /// Per-custom-instruction equivalence obligations for the static
+    /// verifier (one per inserted instruction).
+    pub ise_checks: Vec<stitch_verify::IseCheck>,
 }
 
 /// Greedily selects non-overlapping candidates by saved cycles, skipping
@@ -65,8 +68,9 @@ pub fn select_candidates(dfg: &BlockDfg, mut mapped: Vec<Chosen>) -> Vec<Chosen>
 /// Checks that replacing the candidate by one instruction at the last
 /// member's position preserves semantics.
 fn placement_legal(dfg: &BlockDfg, cand: &Candidate) -> bool {
-    let first = *cand.nodes.first().expect("nonempty");
-    let last = *cand.nodes.last().expect("nonempty");
+    let (Some(&first), Some(&last)) = (cand.nodes.first(), cand.nodes.last()) else {
+        return false; // empty candidates are never legal
+    };
     let member = |n: usize| cand.nodes.contains(&n);
 
     // External input registers read by the candidate.
@@ -176,7 +180,12 @@ pub fn accelerate_block(
         for &n in &c.candidate.nodes {
             dropped[n] = true;
         }
-        replacement.insert(*c.candidate.nodes.last().expect("nonempty"), ci_idx);
+        let last = c
+            .candidate
+            .nodes
+            .last()
+            .ok_or_else(|| CompilerError::invariant("chosen candidate has no member nodes"))?;
+        replacement.insert(*last, ci_idx);
     }
 
     let mut out = Vec::new();
@@ -238,12 +247,21 @@ pub fn accelerate_block(
                 }
                 (None, None) => {}
             }
-            let stages: Vec<CiStage> = c
-                .mapping
-                .controls
-                .iter()
-                .map(|cw| CiStage::new(cw.class(), cw.pack().expect("mapper emits packable words")))
-                .collect();
+            let mut stages: Vec<CiStage> = Vec::with_capacity(c.mapping.controls.len());
+            for cw in &c.mapping.controls {
+                let bits = cw.pack().map_err(|e| {
+                    CompilerError::Verify({
+                        let mut r = stitch_verify::Report::new();
+                        r.push(stitch_verify::Diagnostic::error(
+                            "ISE-PACK",
+                            stitch_verify::Span::Ci(id.0),
+                            format!("control word does not pack: {e}"),
+                        ));
+                        r
+                    })
+                })?;
+                stages.push(CiStage::new(cw.class(), bits));
+            }
             let mut desc = match stages.as_slice() {
                 [s] => CiDescriptor::single(id, format!("{name_prefix}_ci{}", id.0), *s),
                 [s1, s2] => CiDescriptor::fused(id, format!("{name_prefix}_ci{}", id.0), *s1, *s2),
@@ -282,6 +300,7 @@ pub fn rewrite_program(
     let mut ci_table = program.ci_table.clone();
     let mut all_controls: HashMap<u16, Vec<stitch_patch::ControlWord>> = HashMap::new();
     let mut custom_count = 0usize;
+    let mut ise_checks: Vec<stitch_verify::IseCheck> = Vec::new();
 
     for block in &cfg.blocks {
         new_index_of.insert(block.start as u32, new_instrs.len() as u32);
@@ -293,6 +312,17 @@ pub fn rewrite_program(
                 let ci_base = ci_table.len() as u16;
                 let (instrs, descs, controls) =
                     accelerate_block(program, dfg, chosen, ci_base, name_prefix)?;
+                // CI ids are assigned positionally (ci_base + index into
+                // `chosen`); record each instruction's equivalence
+                // obligation for the static verifier.
+                for (idx, c) in chosen.iter().enumerate() {
+                    ise_checks.push(crate::verify::ise_check(
+                        name_prefix,
+                        ci_base + idx as u16,
+                        dfg,
+                        c,
+                    )?);
+                }
                 custom_count += descs.len();
                 for d in descs {
                     ci_table.push(d);
@@ -343,6 +373,7 @@ pub fn rewrite_program(
         ci_controls: all_controls,
         custom_count,
         estimated_saving,
+        ise_checks,
     })
 }
 

@@ -354,7 +354,13 @@ pub fn stitch_application_masked(
                     ));
                     granted = true;
                 }
-                PatchConfig::Locus => unreachable!("filtered by allow()"),
+                // `allow()` filters LOCUS out of the option list; if one
+                // slips through (a future `allow` change), skip it rather
+                // than abort the whole stitch.
+                PatchConfig::Locus => {
+                    checked[k].push(v.config);
+                    continue;
+                }
             }
             if granted {
                 if accel[k].is_none() {
@@ -416,6 +422,7 @@ mod tests {
             ci_controls: HashMap::new(),
             custom_count: 1,
             cycles,
+            ise_checks: Vec::new(),
         }
     }
 

@@ -1,0 +1,165 @@
+//! Bridge between the compiler's internal types and the `stitch-verify`
+//! static-analysis suite.
+//!
+//! The verifier deliberately knows nothing about the compiler (no
+//! dependency cycle): this module converts a chosen candidate and its
+//! mapping into the neutral [`IseCheck`] obligation, and
+//! [`verify_kernel`] aggregates the full pre-simulation report for one
+//! kernel — W32 dataflow lints over the baseline and every rewritten
+//! variant, plus an independent equivalence check of every custom
+//! instruction.
+
+use crate::dfg::{BlockDfg, NodeOp, Src};
+use crate::driver::KernelVariants;
+use crate::mapper::OutPort;
+use crate::rewrite::Chosen;
+use crate::CompilerError;
+use stitch_verify::{
+    check_ise, check_program, IseCheck, IseMapping, IseNode, IseOp, IseOperand, IseOut,
+    IseSubgraph, Report,
+};
+
+/// Converts a chosen candidate + mapping into the verifier's neutral
+/// equivalence obligation.
+///
+/// # Errors
+///
+/// [`CompilerError::Invariant`] when the candidate references state the
+/// DFG does not have (a compiler bug, not a user error).
+pub fn ise_check(
+    name: &str,
+    ci: u16,
+    dfg: &BlockDfg,
+    chosen: &Chosen,
+) -> Result<IseCheck, CompilerError> {
+    let cand = &chosen.candidate;
+    let local_of = |block_nid: usize| cand.nodes.iter().position(|&n| n == block_nid);
+    let ext_of = |s: &Src| cand.ext_inputs.iter().position(|e| e == s);
+
+    let operand = |s: &Src| -> Result<IseOperand, CompilerError> {
+        if let Src::Node(m) = s {
+            if let Some(local) = local_of(*m) {
+                return Ok(IseOperand::Node(local));
+            }
+        }
+        ext_of(s).map(IseOperand::Ext).ok_or_else(|| {
+            CompilerError::invariant(format!(
+                "{name}: operand {s:?} is neither a member nor an external input"
+            ))
+        })
+    };
+
+    let mut nodes = Vec::with_capacity(cand.nodes.len());
+    for &nid in &cand.nodes {
+        let node = dfg.nodes.get(nid).ok_or_else(|| {
+            CompilerError::invariant(format!("{name}: candidate node {nid} outside the DFG"))
+        })?;
+        let op = match node.op {
+            NodeOp::Alu(op) => IseOp::Alu(op),
+            NodeOp::Load => IseOp::Load,
+            NodeOp::Store => IseOp::Store,
+            NodeOp::Other => {
+                return Err(CompilerError::invariant(format!(
+                    "{name}: ineligible node {nid} inside a candidate"
+                )))
+            }
+        };
+        let srcs = node.srcs.iter().map(&operand).collect::<Result<_, _>>()?;
+        nodes.push(IseNode { op, srcs });
+    }
+
+    let mut input_slots = [None; 4];
+    for (slot, src) in chosen.mapping.input_slots.iter().enumerate() {
+        if let Some(s) = src {
+            input_slots[slot] = Some(ext_of(s).ok_or_else(|| {
+                CompilerError::invariant(format!(
+                    "{name}: input slot {slot} wires {s:?}, which is not an external input"
+                ))
+            })?);
+        }
+    }
+
+    let mut outputs = Vec::with_capacity(chosen.mapping.outputs.len());
+    for &(block_nid, port) in &chosen.mapping.outputs {
+        let local = local_of(block_nid).ok_or_else(|| {
+            CompilerError::invariant(format!("{name}: output node {block_nid} is not a member"))
+        })?;
+        let port = match port {
+            OutPort::Out0 => IseOut::Out0,
+            OutPort::Out1 => IseOut::Out1,
+        };
+        outputs.push((local, port));
+    }
+
+    Ok(IseCheck {
+        name: name.to_string(),
+        ci,
+        subgraph: IseSubgraph {
+            nodes,
+            n_ext: cand.ext_inputs.len(),
+        },
+        mapping: IseMapping {
+            controls: chosen.mapping.controls.clone(),
+            input_slots,
+            outputs,
+        },
+    })
+}
+
+/// Full static verification of one compiled kernel: dataflow lints over
+/// the baseline and every variant program, plus semantic-equivalence
+/// checks of every custom instruction the variants carry.
+///
+/// The returned report is *clean* ([`Report::is_clean`]) for every
+/// artifact the compiler emits; the driver gates on this before any
+/// measurement, and the fuzz harness re-checks it as an oracle.
+#[must_use]
+pub fn verify_kernel(kv: &KernelVariants) -> Report {
+    let mut report = check_program(&kv.baseline);
+    for v in &kv.variants {
+        report.merge(check_program(&v.program));
+        for c in &v.ise_checks {
+            report.merge(check_ise(c));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::enumerate::{enumerate_candidates, EnumerateLimits};
+    use crate::mapper::{map_candidate, PatchConfig};
+    use stitch_isa::{ProgramBuilder, Reg};
+    use stitch_patch::PatchClass;
+
+    #[test]
+    fn adapter_round_trips_a_real_mapping() {
+        let mut b = ProgramBuilder::new();
+        b.mul(Reg::R4, Reg::R1, Reg::R2);
+        b.add(Reg::R5, Reg::R4, Reg::R3);
+        b.sw(Reg::R5, Reg::R10, 0);
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        let dfg = BlockDfg::build(&p, &cfg, &cfg.blocks[0]);
+        let cands = enumerate_candidates(&dfg, EnumerateLimits::default());
+        let chosen = cands
+            .iter()
+            .find_map(|c| {
+                (c.len() == 2)
+                    .then(|| map_candidate(&dfg, c, PatchConfig::Single(PatchClass::AtMa)))
+                    .flatten()
+                    .map(|m| Chosen {
+                        candidate: c.clone(),
+                        mapping: m,
+                    })
+            })
+            .expect("a 2-node mul+add candidate maps onto {AT-MA}");
+        let check = ise_check("t", 0, &dfg, &chosen).expect("adapter");
+        assert_eq!(check.subgraph.nodes.len(), 2);
+        let r = check_ise(&check);
+        assert!(r.is_clean(), "{r}");
+    }
+}

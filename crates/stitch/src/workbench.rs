@@ -9,13 +9,20 @@ use std::sync::mpsc;
 use std::thread;
 use stitch_apps::{build_node_program, App};
 use stitch_compiler::{
-    accelerate_all, compile_kernel, stitch_application_masked, AppKernel, CompilerError,
-    KernelVariants, PatchConfig, StitchPlan,
+    accelerate_all, compile_kernel, stitch_application_masked, AcceleratedKernel, AppKernel,
+    CompilerError, KernelVariants, PatchConfig, StitchPlan,
 };
+use stitch_isa::Program;
 use stitch_kernels::Kernel;
+use stitch_noc::{PatchNet, PortDir, TileId};
 use stitch_power::{average_power_mw, PowerBreakdown};
 use stitch_sim::{
-    Arch, Chip, ChipConfig, FaultPlan, FaultStats, RunSummary, SimError, TraceCapture, TraceConfig,
+    Arch, Chip, ChipConfig, FaultKind, FaultPlan, FaultStats, RunSummary, SimError, TraceCapture,
+    TraceConfig,
+};
+use stitch_verify::{
+    check_circuits, check_comm, check_plan, check_program, check_routes, AccelView, CommEdge,
+    CommNode, ConfigView, PlanView, Report,
 };
 
 /// Simulation budget for application runs.
@@ -30,6 +37,11 @@ pub enum Error {
     Sim(SimError),
     /// Program assembly failure (kernel/node program construction).
     Program(stitch_isa::IsaError),
+    /// The pre-simulation static verifier rejected the run: the stitch
+    /// plan, a reserved circuit, the communication graph, or a node
+    /// program failed a `stitch-verify` check. The report carries the
+    /// individual diagnostics.
+    Verify(Report),
     /// Sweep resume-manifest failure (I/O or a corrupt manifest file).
     Resume(String),
 }
@@ -40,6 +52,11 @@ impl fmt::Display for Error {
             Error::Compiler(e) => write!(f, "{e}"),
             Error::Sim(e) => write!(f, "{e}"),
             Error::Program(e) => write!(f, "program assembly: {e}"),
+            Error::Verify(r) => write!(
+                f,
+                "static verification rejected the run ({} error(s)):\n{r}",
+                r.error_count()
+            ),
             Error::Resume(e) => write!(f, "sweep resume: {e}"),
         }
     }
@@ -336,13 +353,17 @@ impl Workbench {
         self.run_app_inner(app, arch, frames, Some(fault_plan))
     }
 
-    fn run_app_inner(
+    /// Steps 1–3 of the run pipeline: compile kernel variants, run
+    /// Algorithm 1 (with permanently dead patches masked out), and
+    /// build every per-node program the chip would execute,
+    /// accelerating where the plan grants it.
+    fn prepare(
         &mut self,
         app: &App,
         arch: Arch,
         frames: u32,
         fault_plan: Option<&FaultPlan>,
-    ) -> Result<AppRun, Error> {
+    ) -> Result<(ChipConfig, StitchPlan, Vec<NodeLoad>), Error> {
         // 1. Variants for each node's kernel (cached across nodes/archs).
         let mut app_kernels = Vec::new();
         for n in &app.nodes {
@@ -360,7 +381,60 @@ impl Workbench {
         let chip_cfg = ChipConfig::for_arch(arch);
         let plan = stitch_application_masked(&app_kernels, &chip_cfg, arch, &masked);
 
-        // 3. Build and load per-node programs.
+        // 3. Build every per-node program the chip will execute.
+        let mut loads: Vec<NodeLoad> = Vec::new();
+        for i in 0..app.nodes.len() {
+            let program = build_node_program(app, i, frames, &plan.tiles)?;
+            let accel = match &plan.accel[i] {
+                None => None,
+                Some(granted) => {
+                    let accel = accelerate_all(&app.nodes[i].name, &program, &[granted.config])?;
+                    // An empty vec means the wired program exposed no
+                    // candidate for the granted configuration: run it
+                    // unaccelerated.
+                    accel.into_iter().next().map(|a| (a, granted.partner))
+                }
+            };
+            loads.push(NodeLoad { program, accel });
+        }
+        Ok((chip_cfg, plan, loads))
+    }
+
+    /// Runs the full compile→stitch pipeline for one (app, arch) point
+    /// and returns the static verifier's report *without* simulating.
+    ///
+    /// This is the report the pre-simulation gate inside
+    /// [`Workbench::run_app`] acts on: a clean report here is exactly
+    /// the condition under which the run would be admitted to the
+    /// simulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler and program-assembly failures (the stages
+    /// that produce the artifacts under verification).
+    pub fn verify_app(&mut self, app: &App, arch: Arch, frames: u32) -> Result<Report, Error> {
+        let (chip_cfg, plan, loads) = self.prepare(app, arch, frames, None)?;
+        Ok(verify_run(app, &chip_cfg, &plan, None, &loads))
+    }
+
+    fn run_app_inner(
+        &mut self,
+        app: &App,
+        arch: Arch,
+        frames: u32,
+        fault_plan: Option<&FaultPlan>,
+    ) -> Result<AppRun, Error> {
+        let (chip_cfg, plan, loads) = self.prepare(app, arch, frames, fault_plan)?;
+
+        // Static verification gate: plan legality, circuit integrity,
+        // the communication graph, route reachability under the fault
+        // mask, and W32 lints — all proven before the chip exists.
+        let report = verify_run(app, &chip_cfg, &plan, fault_plan, &loads);
+        if !report.is_clean() {
+            return Err(Error::Verify(report));
+        }
+
+        // 4. Load the verified artifacts onto the chip.
         let mut chip = Chip::new(chip_cfg);
         // Tracing starts before circuit reservation so stitch-time
         // `CircuitReserve` events are part of the stream.
@@ -373,29 +447,16 @@ impl Workbench {
         for &(from, to) in &plan.circuits {
             chip.reserve_circuit(from, to)?;
         }
-        for i in 0..app.nodes.len() {
-            let program = build_node_program(app, i, frames, &plan.tiles)?;
-            match &plan.accel[i] {
-                None => chip.load_program(plan.tiles[i], &program),
-                Some(granted) => {
-                    let accel = accelerate_all(&app.nodes[i].name, &program, &[granted.config])?;
-                    match accel.into_iter().next() {
-                        Some(a) => {
-                            chip.load_kernel(
-                                plan.tiles[i],
-                                &a.program,
-                                a.bindings(granted.partner),
-                            )?;
-                        }
-                        // The wired program exposed no candidate for the
-                        // granted configuration: run it unaccelerated.
-                        None => chip.load_program(plan.tiles[i], &program),
-                    }
+        for (i, load) in loads.iter().enumerate() {
+            match &load.accel {
+                Some((a, partner)) => {
+                    chip.load_kernel(plan.tiles[i], &a.program, a.bindings(*partner)?)?;
                 }
+                None => chip.load_program(plan.tiles[i], &load.program),
             }
         }
 
-        // 4. Simulate.
+        // 5. Simulate.
         let summary = match self.engine {
             SimEngine::EventDriven => chip.run(APP_BUDGET)?,
             SimEngine::Reference => chip.run_reference(APP_BUDGET)?,
@@ -601,4 +662,121 @@ impl Workbench {
             .map(|slot| slot.expect("every point produced a result"))
             .collect()
     }
+}
+
+/// One node's executable artifact: the wired program, plus the
+/// accelerated kernel (and its fused partner) when the plan granted
+/// acceleration and the compiler found a mapping.
+struct NodeLoad {
+    program: Program,
+    accel: Option<(AcceleratedKernel, Option<TileId>)>,
+}
+
+/// The pre-simulation static gate: verifies everything a run is about
+/// to hand the chip.
+///
+/// * **Plan legality** — tile assignments, patch classes, pair
+///   adjacency/timing, and one-owner-per-patch resourcing
+///   (`check_plan`);
+/// * **Circuit integrity** — the plan's circuits are replayed on a
+///   fresh [`PatchNet`] (the same deterministic Dijkstra the chip
+///   uses) and each is walked switch-by-switch (`check_circuits`);
+/// * **Communication** — send/recv matching and comm-graph acyclicity
+///   (`check_comm`), plus XY-route reachability under the fault mask
+///   (`check_routes`); only link faults present from cycle 0 and
+///   permanent belong to the *static* mask — later or healing faults
+///   are the runtime fault-aware router's problem;
+/// * **W32 lints** — `check_program` over each plain wired program.
+///   Accelerated programs were already gated inside
+///   `stitch_compiler::accelerate_all` (including the per-CI
+///   equivalence proof), so they are not re-linted here.
+fn verify_run(
+    app: &App,
+    cfg: &ChipConfig,
+    plan: &StitchPlan,
+    fault_plan: Option<&FaultPlan>,
+    loads: &[NodeLoad],
+) -> Report {
+    let mut report = Report::new();
+
+    // Plan legality.
+    let view = PlanView {
+        tiles: plan.tiles.clone(),
+        accel: plan
+            .accel
+            .iter()
+            .map(|a| {
+                a.as_ref().map(|g| AccelView {
+                    config: match g.config {
+                        PatchConfig::Single(c) => ConfigView::Single(c),
+                        PatchConfig::Pair(c1, c2) => ConfigView::Pair(c1, c2),
+                        PatchConfig::Locus => ConfigView::Locus,
+                    },
+                    partner: g.partner,
+                    hops: g.hops,
+                })
+            })
+            .collect(),
+        circuits: plan.circuits.clone(),
+    };
+    report.merge(check_plan(cfg.topo, &cfg.patches, &view));
+
+    // Circuit integrity: replay the reservations, then walk each leg.
+    let mut net = PatchNet::new(cfg.topo);
+    for &(from, to) in &plan.circuits {
+        // A failed reservation leaves the circuit unconfigured; the
+        // walk below then reports it as PLAN-BROKEN.
+        let _ = net.reserve(from, to);
+    }
+    report.merge(check_circuits(&net, &plan.circuits));
+
+    // Communication graph and routes.
+    let nodes: Vec<CommNode> = app
+        .nodes
+        .iter()
+        .map(|n| CommNode {
+            sends: n
+                .sends
+                .iter()
+                .map(|e| CommEdge {
+                    peer: e.peer,
+                    words: e.words,
+                })
+                .collect(),
+            recvs: n
+                .recvs
+                .iter()
+                .map(|e| CommEdge {
+                    peer: e.peer,
+                    words: e.words,
+                })
+                .collect(),
+        })
+        .collect();
+    report.merge(check_comm(&nodes));
+    let dead: Vec<(TileId, PortDir)> = fault_plan
+        .map(|fp| {
+            fp.events()
+                .iter()
+                .filter(|e| e.cycle == 0)
+                .filter_map(|e| match e.kind {
+                    FaultKind::MeshLinkFail {
+                        tile,
+                        dir,
+                        until: None,
+                    } => Some((tile, dir)),
+                    _ => None,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    report.merge(check_routes(cfg.topo, &plan.tiles, &nodes, &dead));
+
+    // W32 lints on the plain wired programs.
+    for load in loads {
+        if load.accel.is_none() {
+            report.merge(check_program(&load.program));
+        }
+    }
+    report
 }

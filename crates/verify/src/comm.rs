@@ -1,0 +1,389 @@
+//! Analysis 4 — static communication checks.
+//!
+//! Stitch applications exchange data over the inter-core mesh with
+//! blocking `send`/`recv` pairs emitted by the compiler. Because every
+//! transfer is known statically, two whole-program properties can be
+//! proven before simulation:
+//!
+//! 1. **Matching** — every receive has a matching send of the same
+//!    word count and vice versa (an unmatched blocking primitive stalls
+//!    its core forever).
+//! 2. **Deadlock-freedom** — the communication graph is acyclic. The
+//!    per-frame node programs issue all sends before their receives
+//!    complete a frame, so a cycle in the send graph is a genuine
+//!    circular wait.
+//!
+//! Additionally, [`check_routes`] validates XY dimension-order routes
+//! against a mask of failed mesh links (from a fault plan): a route
+//! crossing a dead link either has a healthy detour (warning — the
+//! adaptive mesh will misroute) or no path at all (error).
+
+use crate::diag::{Diagnostic, Report, Span};
+use std::collections::{HashSet, VecDeque};
+use stitch_noc::{PortDir, TileId, Topology};
+
+/// One static transfer to/from a peer node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommEdge {
+    /// Index of the peer node in the application graph.
+    pub peer: usize,
+    /// Words transferred per frame.
+    pub words: u32,
+}
+
+/// Communication profile of one application node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommNode {
+    /// Transfers this node sends.
+    pub sends: Vec<CommEdge>,
+    /// Transfers this node receives.
+    pub recvs: Vec<CommEdge>,
+}
+
+/// Checks send/recv matching and deadlock-freedom of an application's
+/// communication graph.
+#[must_use]
+pub fn check_comm(nodes: &[CommNode]) -> Report {
+    let mut report = Report::new();
+    let n = nodes.len();
+
+    // Peer-range and self-loop validity first; matching assumes indices
+    // are in range.
+    let mut shape_ok = true;
+    for (i, node) in nodes.iter().enumerate() {
+        for (kind, edges) in [("send", &node.sends), ("recv", &node.recvs)] {
+            for e in edges {
+                if e.peer >= n {
+                    report.push(Diagnostic::error(
+                        "COMM-PEER",
+                        Span::Kernel(i),
+                        format!("{kind} names node {} of a {n}-node app", e.peer),
+                    ));
+                    shape_ok = false;
+                } else if e.peer == i {
+                    report.push(Diagnostic::error(
+                        "COMM-SELF",
+                        Span::Kernel(i),
+                        format!("node {kind}s {} words to itself", e.words),
+                    ));
+                    shape_ok = false;
+                }
+            }
+        }
+    }
+    if !shape_ok {
+        return report;
+    }
+
+    // Matching: the multiset of sends i -> j must equal the multiset of
+    // recvs at j from i, word count included.
+    for (i, node) in nodes.iter().enumerate() {
+        for s in &node.sends {
+            let outgoing = node
+                .sends
+                .iter()
+                .filter(|e| e.peer == s.peer && e.words == s.words)
+                .count();
+            let incoming = nodes[s.peer]
+                .recvs
+                .iter()
+                .filter(|e| e.peer == i && e.words == s.words)
+                .count();
+            if outgoing != incoming {
+                report.push(Diagnostic::error(
+                    "COMM-ASYM",
+                    Span::Kernel(i),
+                    format!(
+                        "{outgoing} send(s) of {} words to node {} but {incoming} matching recv(s)",
+                        s.words, s.peer
+                    ),
+                ));
+            }
+        }
+        for r in &node.recvs {
+            let incoming = node
+                .recvs
+                .iter()
+                .filter(|e| e.peer == r.peer && e.words == r.words)
+                .count();
+            let outgoing = nodes[r.peer]
+                .sends
+                .iter()
+                .filter(|e| e.peer == i && e.words == r.words)
+                .count();
+            if incoming != outgoing {
+                report.push(Diagnostic::error(
+                    "COMM-ASYM",
+                    Span::Kernel(i),
+                    format!(
+                        "{incoming} recv(s) of {} words from node {} but {outgoing} matching send(s)",
+                        r.words, r.peer
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Deadlock-freedom: cycle detection over the send graph.
+    if let Some(cycle_entry) = find_cycle(nodes) {
+        report.push(Diagnostic::error(
+            "COMM-CYCLE",
+            Span::Kernel(cycle_entry),
+            "communication graph has a cycle (circular wait between blocking transfers)",
+        ));
+    }
+    report
+}
+
+/// Iterative DFS cycle detection; returns a node on a cycle, if any.
+fn find_cycle(nodes: &[CommNode]) -> Option<usize> {
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color = vec![WHITE; nodes.len()];
+    for root in 0..nodes.len() {
+        if color[root] != WHITE {
+            continue;
+        }
+        // Stack of (node, next-successor-index).
+        let mut stack = vec![(root, 0usize)];
+        color[root] = GRAY;
+        while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+            if let Some(e) = nodes[v].sends.get(*next) {
+                *next += 1;
+                match color[e.peer] {
+                    GRAY => return Some(e.peer),
+                    WHITE => {
+                        color[e.peer] = GRAY;
+                        stack.push((e.peer, 0));
+                    }
+                    _ => {}
+                }
+            } else {
+                color[v] = BLACK;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// The XY dimension-order route between two tiles: X hops first, then Y
+/// hops, as `(tile, direction)` link traversals.
+fn xy_route(topo: Topology, src: TileId, dst: TileId) -> Vec<(TileId, PortDir)> {
+    let (a, b) = (topo.coord(src), topo.coord(dst));
+    let mut at = src;
+    let mut route = Vec::new();
+    let mut step = |at: &mut TileId, dir: PortDir| {
+        route.push((*at, dir));
+        *at = topo.neighbor(*at, dir).expect("XY route stays on-mesh");
+    };
+    for _ in 0..a.x.abs_diff(b.x) {
+        step(
+            &mut at,
+            if b.x > a.x {
+                PortDir::East
+            } else {
+                PortDir::West
+            },
+        );
+    }
+    for _ in 0..a.y.abs_diff(b.y) {
+        step(
+            &mut at,
+            if b.y > a.y {
+                PortDir::South
+            } else {
+                PortDir::North
+            },
+        );
+    }
+    route
+}
+
+/// Whether any path over healthy links connects `src` to `dst` (BFS).
+fn reachable(topo: Topology, dead: &HashSet<(TileId, PortDir)>, src: TileId, dst: TileId) -> bool {
+    let mut seen = vec![false; topo.tiles()];
+    let mut queue = VecDeque::from([src]);
+    seen[src.index()] = true;
+    while let Some(t) = queue.pop_front() {
+        if t == dst {
+            return true;
+        }
+        for dir in [PortDir::North, PortDir::East, PortDir::South, PortDir::West] {
+            if dead.contains(&(t, dir)) {
+                continue;
+            }
+            if let Some(n) = topo.neighbor(t, dir) {
+                if !seen[n.index()] {
+                    seen[n.index()] = true;
+                    queue.push_back(n);
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Checks every transfer's XY dimension-order route against a set of
+/// failed directed mesh links `(tile, outgoing direction)`.
+///
+/// A transfer whose XY route crosses a dead link gets:
+/// - `COMM-XY` (warning) when a healthy detour exists — the mesh's
+///   fault-adaptive routing will misroute the packet;
+/// - `COMM-UNREACH` (error) when the fault mask disconnects the pair.
+///
+/// `tiles[i]` is the home tile of node `i`.
+#[must_use]
+pub fn check_routes(
+    topo: Topology,
+    tiles: &[TileId],
+    nodes: &[CommNode],
+    dead_links: &[(TileId, PortDir)],
+) -> Report {
+    let mut report = Report::new();
+    let dead: HashSet<(TileId, PortDir)> = dead_links.iter().copied().collect();
+    for (i, node) in nodes.iter().enumerate() {
+        let Some(&src) = tiles.get(i) else {
+            report.push(Diagnostic::error(
+                "COMM-PEER",
+                Span::Kernel(i),
+                "node has no home tile",
+            ));
+            continue;
+        };
+        for e in &node.sends {
+            let Some(&dst) = tiles.get(e.peer) else {
+                report.push(Diagnostic::error(
+                    "COMM-PEER",
+                    Span::Kernel(i),
+                    format!("send peer {} has no home tile", e.peer),
+                ));
+                continue;
+            };
+            let broken = xy_route(topo, src, dst)
+                .into_iter()
+                .find(|hop| dead.contains(hop));
+            if let Some((tile, dir)) = broken {
+                if reachable(topo, &dead, src, dst) {
+                    report.push(Diagnostic::warning(
+                        "COMM-XY",
+                        Span::Kernel(i),
+                        format!(
+                            "XY route {src} -> {dst} crosses failed link {tile} {dir}; \
+                             mesh will detour"
+                        ),
+                    ));
+                } else {
+                    report.push(Diagnostic::error(
+                        "COMM-UNREACH",
+                        Span::Kernel(i),
+                        format!("{src} -> {dst} unreachable under the fault mask"),
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline3() -> Vec<CommNode> {
+        // 0 -> 1 -> 2, 8 words each.
+        vec![
+            CommNode {
+                sends: vec![CommEdge { peer: 1, words: 8 }],
+                recvs: vec![],
+            },
+            CommNode {
+                sends: vec![CommEdge { peer: 2, words: 8 }],
+                recvs: vec![CommEdge { peer: 0, words: 8 }],
+            },
+            CommNode {
+                sends: vec![],
+                recvs: vec![CommEdge { peer: 1, words: 8 }],
+            },
+        ]
+    }
+
+    #[test]
+    fn clean_pipeline() {
+        let r = check_comm(&pipeline3());
+        assert!(r.is_clean(), "{r}");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn unmatched_send_rejected() {
+        let mut nodes = pipeline3();
+        nodes[1].recvs.clear(); // 0's send now dangles
+        let r = check_comm(&nodes);
+        assert!(r.has_error("COMM-ASYM"), "{r}");
+    }
+
+    #[test]
+    fn word_count_mismatch_rejected() {
+        let mut nodes = pipeline3();
+        nodes[2].recvs[0].words = 4;
+        let r = check_comm(&nodes);
+        assert!(r.has_error("COMM-ASYM"), "{r}");
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut nodes = pipeline3();
+        // Close the loop 2 -> 0.
+        nodes[2].sends.push(CommEdge { peer: 0, words: 8 });
+        nodes[0].recvs.push(CommEdge { peer: 2, words: 8 });
+        let r = check_comm(&nodes);
+        assert!(r.has_error("COMM-CYCLE"), "{r}");
+    }
+
+    #[test]
+    fn self_send_and_bad_peer_rejected() {
+        let nodes = vec![CommNode {
+            sends: vec![
+                CommEdge { peer: 0, words: 4 },
+                CommEdge { peer: 9, words: 4 },
+            ],
+            recvs: vec![],
+        }];
+        let r = check_comm(&nodes);
+        assert!(r.has_error("COMM-SELF"), "{r}");
+        assert!(r.has_error("COMM-PEER"), "{r}");
+    }
+
+    #[test]
+    fn routes_under_faults() {
+        let topo = Topology::stitch_4x4();
+        let tiles = [TileId(0), TileId(3)];
+        let nodes = vec![
+            CommNode {
+                sends: vec![CommEdge { peer: 1, words: 8 }],
+                recvs: vec![],
+            },
+            CommNode {
+                sends: vec![],
+                recvs: vec![CommEdge { peer: 0, words: 8 }],
+            },
+        ];
+        // Healthy mesh: clean.
+        let r = check_routes(topo, &tiles, &nodes, &[]);
+        assert!(r.is_empty(), "{r}");
+
+        // Break one link on the XY route (tile0 -> tile1 eastward):
+        // detour exists, so this is a warning, not an error.
+        let r = check_routes(topo, &tiles, &nodes, &[(TileId(0), PortDir::East)]);
+        assert!(r.is_clean(), "{r}");
+        assert_eq!(r.warning_count(), 1, "{r}");
+
+        // Sever tile3 completely (both incoming directions' forward
+        // links): unreachable.
+        let dead = [(TileId(2), PortDir::East), (TileId(7), PortDir::North)];
+        let r = check_routes(topo, &tiles, &nodes, &dead);
+        assert!(r.has_error("COMM-UNREACH"), "{r}");
+    }
+}

@@ -1,0 +1,244 @@
+//! Shared diagnostics framework of the static-analysis pass suite.
+//!
+//! Every analysis produces [`Diagnostic`]s collected into a [`Report`].
+//! A diagnostic carries a machine-readable `code` (stable, documented in
+//! DESIGN.md §12), a [`Span`] locating the finding (program counter,
+//! tile, dataflow node, or custom-instruction id), and a human-readable
+//! message. Only `Error`-severity findings gate compilation and
+//! simulation; `Warning`s are advisory lints.
+
+use std::fmt;
+use stitch_isa::Program;
+use stitch_noc::TileId;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory lint; never gates compilation or simulation.
+    Warning,
+    /// Definite violation; the artifact is rejected.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Where in the verified artifact a diagnostic points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Span {
+    /// No specific location (whole-artifact finding).
+    None,
+    /// Instruction index into the program text.
+    Pc(u32),
+    /// A tile of the chip.
+    Tile(TileId),
+    /// A node of an ISE dataflow subgraph (subgraph-local index).
+    Node(usize),
+    /// A custom-instruction id.
+    Ci(u16),
+    /// An application kernel/node index.
+    Kernel(usize),
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Span::None => Ok(()),
+            Span::Pc(pc) => write!(f, "@{pc}"),
+            Span::Tile(t) => write!(f, "{t}"),
+            Span::Node(n) => write!(f, "node{n}"),
+            Span::Ci(id) => write!(f, "ci{id}"),
+            Span::Kernel(k) => write!(f, "kernel{k}"),
+        }
+    }
+}
+
+/// One finding of a static analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity; only errors gate.
+    pub severity: Severity,
+    /// Stable machine-readable code (e.g. `"W32-TARGET"`).
+    pub code: &'static str,
+    /// Location within the artifact.
+    pub span: Span,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(code: &'static str, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            code,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(code: &'static str, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            code,
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.severity, self.code)?;
+        if self.span != Span::None {
+            write!(f, " {}", self.span)?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// A collection of diagnostics from one or more analyses.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Appends all diagnostics of another report.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// All diagnostics in insertion order.
+    #[must_use]
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of error-severity diagnostics.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    #[must_use]
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.len() - self.error_count()
+    }
+
+    /// `true` when no *error* is present (warnings do not gate).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// `true` when the report carries no diagnostics at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Total number of diagnostics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// Whether any error diagnostic carries the given code.
+    #[must_use]
+    pub fn has_error(&self, code: &str) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error && d.code == code)
+    }
+
+    /// Renders the report; with a program, `Pc` spans quote the
+    /// offending line of [`Program::listing`].
+    #[must_use]
+    pub fn render(&self, program: Option<&Program>) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(s, "{d}");
+            if let (Span::Pc(pc), Some(p)) = (d.span, program) {
+                if let Some(instr) = p.instrs.get(pc as usize) {
+                    let _ = writeln!(s, "    | {pc:5}: {instr}");
+                }
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render(None))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_gating() {
+        let mut r = Report::new();
+        assert!(r.is_clean());
+        assert!(r.is_empty());
+        r.push(Diagnostic::warning("X-LINT", Span::Pc(3), "advisory"));
+        assert!(r.is_clean(), "warnings do not gate");
+        r.push(Diagnostic::error("X-BAD", Span::None, "fatal"));
+        assert!(!r.is_clean());
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert!(r.has_error("X-BAD"));
+        assert!(!r.has_error("X-LINT"));
+    }
+
+    #[test]
+    fn render_quotes_listing_line() {
+        use stitch_isa::{ProgramBuilder, Reg};
+        let mut b = ProgramBuilder::new();
+        b.addi(Reg::R1, Reg::R0, 5);
+        b.halt();
+        let p = b.build().expect("build");
+        let mut r = Report::new();
+        r.push(Diagnostic::error("X-BAD", Span::Pc(0), "bad instruction"));
+        let text = r.render(Some(&p));
+        assert!(text.contains("error [X-BAD] @0"));
+        assert!(text.contains("addi r1, r0, 5"));
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = Report::new();
+        a.push(Diagnostic::warning("A", Span::None, "a"));
+        let mut b = Report::new();
+        b.push(Diagnostic::error("B", Span::Tile(TileId(2)), "b"));
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert!(a.has_error("B"));
+    }
+}

@@ -1,0 +1,544 @@
+//! Analysis 3 — stitch-plan legality.
+//!
+//! Validates the output of the stitching algorithm against the chip it
+//! will run on: every granted patch class must exist at the assigned
+//! tile, no patch may be consumed twice, fused pairs must have a
+//! reserved circuit whose round-trip meets the single-cycle
+//! combinational-depth bound of `stitch_patch::timing`, and the
+//! inter-patch network configuration itself must be coherent — every
+//! circuit walkable end to end through the switch drivers, no port
+//! driven into two outputs (multicast), no port shared between
+//! circuits, and no routing cycles anywhere in the switch fabric.
+
+use crate::diag::{Diagnostic, Report, Span};
+use std::collections::HashSet;
+use stitch_noc::{PatchNet, PortDir, TileId, Topology};
+use stitch_patch::{fused_path_legal, PatchClass, MAX_FUSED_HOPS};
+
+/// Patch configuration of one grant, mirroring the compiler's
+/// `PatchConfig` without depending on the compiler crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigView {
+    /// One local patch.
+    Single(PatchClass),
+    /// A fused pair: local class, partner class.
+    Pair(PatchClass, PatchClass),
+    /// The LOCUS per-core SFU (no patch resources consumed).
+    Locus,
+}
+
+/// One kernel's granted acceleration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccelView {
+    /// Configuration granted.
+    pub config: ConfigView,
+    /// Partner tile for pairs.
+    pub partner: Option<TileId>,
+    /// Circuit hops per direction (0 for singles).
+    pub hops: u32,
+}
+
+/// Neutral view of a stitch plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanView {
+    /// Per kernel: assigned tile.
+    pub tiles: Vec<TileId>,
+    /// Per kernel: granted acceleration, if any.
+    pub accel: Vec<Option<AccelView>>,
+    /// Reserved inter-patch circuits `(from, to)`.
+    pub circuits: Vec<(TileId, TileId)>,
+}
+
+/// Checks resource bounds, placement, and timing of a plan against the
+/// chip's patch layout (`patches[tile_index]`).
+#[must_use]
+pub fn check_plan(topo: Topology, patches: &[Option<PatchClass>], plan: &PlanView) -> Report {
+    let mut report = Report::new();
+    let n_tiles = topo.tiles();
+    if plan.tiles.len() != plan.accel.len() {
+        report.push(Diagnostic::error(
+            "PLAN-SHAPE",
+            Span::None,
+            format!(
+                "{} tiles vs {} accel entries",
+                plan.tiles.len(),
+                plan.accel.len()
+            ),
+        ));
+        return report;
+    }
+    if plan.tiles.len() > n_tiles {
+        report.push(Diagnostic::error(
+            "PLAN-SHAPE",
+            Span::None,
+            format!(
+                "{} kernels exceed the {n_tiles}-tile chip",
+                plan.tiles.len()
+            ),
+        ));
+    }
+    let mut seen_tiles = HashSet::new();
+    for (k, &t) in plan.tiles.iter().enumerate() {
+        if t.index() >= n_tiles {
+            report.push(Diagnostic::error(
+                "PLAN-TILE",
+                Span::Kernel(k),
+                format!("assigned {t} is outside the {n_tiles}-tile chip"),
+            ));
+        } else if !seen_tiles.insert(t) {
+            report.push(Diagnostic::error(
+                "PLAN-TILE",
+                Span::Kernel(k),
+                format!("{t} hosts two kernels"),
+            ));
+        }
+    }
+
+    let class_at = |t: TileId| patches.get(t.index()).copied().flatten();
+    let mut consumed: HashSet<TileId> = HashSet::new();
+    let mut consume = |t: TileId, k: usize, report: &mut Report| {
+        if !consumed.insert(t) {
+            report.push(Diagnostic::error(
+                "PLAN-SHARED",
+                Span::Kernel(k),
+                format!("the patch on {t} is granted twice"),
+            ));
+        }
+    };
+    for (k, grant) in plan.accel.iter().enumerate() {
+        let Some(a) = grant else { continue };
+        let Some(&tile) = plan.tiles.get(k) else {
+            continue;
+        };
+        match a.config {
+            ConfigView::Single(class) => {
+                if class_at(tile) != Some(class) {
+                    report.push(Diagnostic::error(
+                        "PLAN-CLASS",
+                        Span::Kernel(k),
+                        format!(
+                            "granted {} but {tile} holds {}",
+                            class.name(),
+                            class_at(tile).map_or("no patch", PatchClass::name)
+                        ),
+                    ));
+                }
+                if a.partner.is_some() {
+                    report.push(Diagnostic::error(
+                        "PLAN-PARTNER",
+                        Span::Kernel(k),
+                        "single-patch grant carries a partner tile",
+                    ));
+                }
+                consume(tile, k, &mut report);
+            }
+            ConfigView::Pair(c1, c2) => {
+                if class_at(tile) != Some(c1) {
+                    report.push(Diagnostic::error(
+                        "PLAN-CLASS",
+                        Span::Kernel(k),
+                        format!(
+                            "fused first stage needs {} but {tile} holds {}",
+                            c1.name(),
+                            class_at(tile).map_or("no patch", PatchClass::name)
+                        ),
+                    ));
+                }
+                consume(tile, k, &mut report);
+                let Some(partner) = a.partner else {
+                    report.push(Diagnostic::error(
+                        "PLAN-PARTNER",
+                        Span::Kernel(k),
+                        "fused grant has no partner tile",
+                    ));
+                    continue;
+                };
+                if partner == tile {
+                    report.push(Diagnostic::error(
+                        "PLAN-PARTNER",
+                        Span::Kernel(k),
+                        format!("fused grant pairs {tile} with itself"),
+                    ));
+                    continue;
+                }
+                if class_at(partner) != Some(c2) {
+                    report.push(Diagnostic::error(
+                        "PLAN-CLASS",
+                        Span::Kernel(k),
+                        format!(
+                            "fused second stage needs {} but {partner} holds {}",
+                            c2.name(),
+                            class_at(partner).map_or("no patch", PatchClass::name)
+                        ),
+                    ));
+                }
+                consume(partner, k, &mut report);
+                if a.hops < topo.distance(tile, partner) {
+                    report.push(Diagnostic::error(
+                        "PLAN-HOPS",
+                        Span::Kernel(k),
+                        format!(
+                            "{} hops claimed but {tile} and {partner} are {} apart",
+                            a.hops,
+                            topo.distance(tile, partner)
+                        ),
+                    ));
+                }
+                if !fused_path_legal(c1, c2, a.hops) {
+                    report.push(Diagnostic::error(
+                        "PLAN-TIMING",
+                        Span::Kernel(k),
+                        format!(
+                            "{}+{} at {} hops/direction misses the single-cycle bound \
+                             (max {} total hops)",
+                            c1.name(),
+                            c2.name(),
+                            a.hops,
+                            MAX_FUSED_HOPS
+                        ),
+                    ));
+                }
+                if !plan.circuits.contains(&(tile, partner)) {
+                    report.push(Diagnostic::error(
+                        "PLAN-CIRCUIT",
+                        Span::Kernel(k),
+                        format!("no reserved circuit {tile} -> {partner}"),
+                    ));
+                }
+            }
+            ConfigView::Locus => {
+                if a.partner.is_some() || a.hops != 0 {
+                    report.push(Diagnostic::error(
+                        "PLAN-PARTNER",
+                        Span::Kernel(k),
+                        "LOCUS grant cannot be fused",
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Walks one leg of a circuit through the switch drivers.
+///
+/// Returns the hop count, recording every traversed `(tile, output)`
+/// port in `used` and reporting conflicts/breaks as it goes.
+#[allow(clippy::too_many_arguments)]
+fn walk_leg(
+    net: &PatchNet,
+    topo: Topology,
+    start: TileId,
+    start_input: PortDir,
+    end: TileId,
+    end_output: PortDir,
+    used: &mut HashSet<(TileId, PortDir)>,
+    report: &mut Report,
+) -> Option<u32> {
+    let mut tile = start;
+    let mut input = start_input;
+    let max_steps = topo.tiles() as u32 * 4;
+    for hops in 0..=max_steps {
+        let sw = net.switch(tile);
+        let driven: Vec<PortDir> = PortDir::ALL
+            .into_iter()
+            .filter(|&o| sw.driver(o) == Some(input))
+            .collect();
+        let out = match driven.as_slice() {
+            [] => {
+                report.push(Diagnostic::error(
+                    "PLAN-BROKEN",
+                    Span::Tile(tile),
+                    format!(
+                        "circuit leg {start} -> {end}: {input:?} input drives nothing at {tile}"
+                    ),
+                ));
+                return None;
+            }
+            [o] => *o,
+            many => {
+                report.push(Diagnostic::error(
+                    "PLAN-MULTI",
+                    Span::Tile(tile),
+                    format!(
+                        "{input:?} input drives {} outputs at {tile} (multicast is illegal)",
+                        many.len()
+                    ),
+                ));
+                return None;
+            }
+        };
+        if !used.insert((tile, out)) {
+            report.push(Diagnostic::error(
+                "PLAN-CONFLICT",
+                Span::Tile(tile),
+                format!("output port {out:?} of {tile} is claimed by two circuit legs"),
+            ));
+            return None;
+        }
+        if out == end_output {
+            if tile == end {
+                return Some(hops);
+            }
+            report.push(Diagnostic::error(
+                "PLAN-BROKEN",
+                Span::Tile(tile),
+                format!("circuit leg {start} -> {end} terminates early at {tile}"),
+            ));
+            return None;
+        }
+        if matches!(out, PortDir::Reg | PortDir::Patch) {
+            report.push(Diagnostic::error(
+                "PLAN-BROKEN",
+                Span::Tile(tile),
+                format!("circuit leg {start} -> {end} exits into {out:?} at {tile}"),
+            ));
+            return None;
+        }
+        let Some(next) = topo.neighbor(tile, out) else {
+            report.push(Diagnostic::error(
+                "PLAN-BROKEN",
+                Span::Tile(tile),
+                format!("circuit leg {start} -> {end} routes off the mesh edge at {tile}"),
+            ));
+            return None;
+        };
+        input = out.opposite();
+        tile = next;
+    }
+    report.push(Diagnostic::error(
+        "PLAN-CYCLE",
+        Span::Tile(start),
+        format!("circuit leg {start} -> {end} never terminates (routing cycle)"),
+    ));
+    None
+}
+
+/// Scans the whole switch fabric for routing cycles, including loops
+/// not attached to any `Reg`/`Patch` endpoint.
+fn check_routing_cycles(net: &PatchNet, topo: Topology, report: &mut Report) {
+    for tile in topo.iter() {
+        for out in PortDir::ALL {
+            if net.switch(tile).driver(out).is_none() {
+                continue;
+            }
+            // Follow the chain downstream from this configured output.
+            let (mut t, mut o) = (tile, out);
+            let mut steps = 0usize;
+            loop {
+                if matches!(o, PortDir::Reg | PortDir::Patch) {
+                    break; // terminates at an endpoint
+                }
+                let Some(next) = topo.neighbor(t, o) else {
+                    break; // falls off the mesh; walk_leg reports this
+                };
+                let input = o.opposite();
+                let Some(next_out) = PortDir::ALL
+                    .into_iter()
+                    .find(|&cand| net.switch(next).driver(cand) == Some(input))
+                else {
+                    break;
+                };
+                t = next;
+                o = next_out;
+                if (t, o) == (tile, out) {
+                    report.push(Diagnostic::error(
+                        "PLAN-CYCLE",
+                        Span::Tile(tile),
+                        format!("switch fabric contains a routing cycle through {tile} {out:?}"),
+                    ));
+                    return;
+                }
+                steps += 1;
+                if steps > topo.tiles() * 6 {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Validates the reserved circuits of an inter-patch network: both legs
+/// of every circuit must be walkable, ports must be exclusively owned,
+/// hop counts must respect the fused timing bound, and the fabric must
+/// be free of routing cycles.
+#[must_use]
+pub fn check_circuits(net: &PatchNet, circuits: &[(TileId, TileId)]) -> Report {
+    let topo = net.topology();
+    let mut report = Report::new();
+    let mut used = HashSet::new();
+    for &(from, to) in circuits {
+        if from == to {
+            report.push(Diagnostic::error(
+                "PLAN-CIRCUIT",
+                Span::Tile(from),
+                "circuit connects a tile to itself",
+            ));
+            continue;
+        }
+        let fwd = walk_leg(
+            net,
+            topo,
+            from,
+            PortDir::Reg,
+            to,
+            PortDir::Patch,
+            &mut used,
+            &mut report,
+        );
+        let ret = walk_leg(
+            net,
+            topo,
+            to,
+            PortDir::Patch,
+            from,
+            PortDir::Reg,
+            &mut used,
+            &mut report,
+        );
+        if let (Some(f), Some(r)) = (fwd, ret) {
+            if f + r > MAX_FUSED_HOPS {
+                report.push(Diagnostic::error(
+                    "PLAN-TIMING",
+                    Span::Tile(from),
+                    format!(
+                        "circuit {from} -> {to} uses {f}+{r} hops, over the {MAX_FUSED_HOPS}-hop bound"
+                    ),
+                ));
+            }
+        }
+    }
+    check_routing_cycles(net, topo, &mut report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4x4 chip layout matching `ChipConfig::stitch_16`'s interleaved
+    /// classes closely enough for the tests here.
+    fn patches_4x4() -> Vec<Option<PatchClass>> {
+        (0..16u8)
+            .map(|i| {
+                Some(match i % 3 {
+                    0 => PatchClass::AtMa,
+                    1 => PatchClass::AtAs,
+                    _ => PatchClass::AtSa,
+                })
+            })
+            .collect()
+    }
+
+    fn topo() -> Topology {
+        Topology::stitch_4x4()
+    }
+
+    #[test]
+    fn clean_single_grant() {
+        let plan = PlanView {
+            tiles: vec![TileId(0)],
+            accel: vec![Some(AccelView {
+                config: ConfigView::Single(PatchClass::AtMa),
+                partner: None,
+                hops: 0,
+            })],
+            circuits: vec![],
+        };
+        let r = check_plan(topo(), &patches_4x4(), &plan);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn wrong_class_rejected() {
+        let plan = PlanView {
+            tiles: vec![TileId(0)], // holds {AT-MA}
+            accel: vec![Some(AccelView {
+                config: ConfigView::Single(PatchClass::AtSa),
+                partner: None,
+                hops: 0,
+            })],
+            circuits: vec![],
+        };
+        let r = check_plan(topo(), &patches_4x4(), &plan);
+        assert!(r.has_error("PLAN-CLASS"), "{r}");
+    }
+
+    #[test]
+    fn pair_requires_circuit_and_timing() {
+        let plan = PlanView {
+            tiles: vec![TileId(0)],
+            accel: vec![Some(AccelView {
+                config: ConfigView::Pair(PatchClass::AtMa, PatchClass::AtAs),
+                partner: Some(TileId(1)),
+                hops: 1,
+            })],
+            circuits: vec![], // missing reservation
+        };
+        let r = check_plan(topo(), &patches_4x4(), &plan);
+        assert!(r.has_error("PLAN-CIRCUIT"), "{r}");
+
+        let plan = PlanView {
+            tiles: vec![TileId(0)],
+            accel: vec![Some(AccelView {
+                config: ConfigView::Pair(PatchClass::AtMa, PatchClass::AtAs),
+                partner: Some(TileId(1)),
+                hops: 4, // 8 total hops > 6
+            })],
+            circuits: vec![(TileId(0), TileId(1))],
+        };
+        let r = check_plan(topo(), &patches_4x4(), &plan);
+        assert!(r.has_error("PLAN-TIMING"), "{r}");
+    }
+
+    #[test]
+    fn double_consumption_rejected() {
+        let plan = PlanView {
+            tiles: vec![TileId(0), TileId(3)],
+            accel: vec![
+                Some(AccelView {
+                    config: ConfigView::Pair(PatchClass::AtMa, PatchClass::AtMa),
+                    partner: Some(TileId(3)),
+                    hops: 3,
+                }),
+                Some(AccelView {
+                    config: ConfigView::Single(PatchClass::AtMa),
+                    partner: None,
+                    hops: 0,
+                }),
+            ],
+            circuits: vec![(TileId(0), TileId(3))],
+        };
+        let r = check_plan(topo(), &patches_4x4(), &plan);
+        assert!(r.has_error("PLAN-SHARED"), "{r}");
+    }
+
+    #[test]
+    fn reserved_circuit_walks_clean() {
+        let mut net = PatchNet::new(topo());
+        net.reserve(TileId(0), TileId(2)).expect("reserve");
+        let r = check_circuits(&net, &[(TileId(0), TileId(2))]);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn severed_circuit_rejected() {
+        let mut net = PatchNet::new(topo());
+        net.reserve(TileId(0), TileId(2)).expect("reserve");
+        // Clear the middle switch (six 3-bit "unconnected" fields): the
+        // forward leg breaks one hop short of tile 3.
+        net.write_config_register(TileId(1), 0o777_777)
+            .expect("write empty config");
+        let r = check_circuits(&net, &[(TileId(0), TileId(2))]);
+        assert!(r.has_error("PLAN-BROKEN"), "{r}");
+    }
+
+    #[test]
+    fn port_conflict_rejected() {
+        let mut net = PatchNet::new(topo());
+        net.reserve(TileId(0), TileId(1)).expect("reserve");
+        // Claim the same circuit twice: second walk hits used ports.
+        let r = check_circuits(&net, &[(TileId(0), TileId(1)), (TileId(0), TileId(1))]);
+        assert!(r.has_error("PLAN-CONFLICT"), "{r}");
+    }
+}

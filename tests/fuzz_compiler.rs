@@ -2,8 +2,20 @@
 //! whole enumerate → map → rewrite → simulate flow with bit-identical
 //! outputs (compile_kernel fails loudly on any divergence, so `Ok` here
 //! *is* the soundness assertion).
+//!
+//! Two independent oracles check every compiled artifact:
+//!
+//! 1. the `stitch-verify` static suite must come back **clean** (no
+//!    errors) on the baseline and every variant — also the
+//!    zero-false-positive property of the verifier itself, since these
+//!    are all legitimate compiler outputs;
+//! 2. the differential simulation inside `compile_kernel` must find the
+//!    output regions bit-identical.
+//!
+//! `STITCH_FUZZ_SEEDS` overrides the seed count (default 24; CI runs
+//! 128).
 
-use stitch_compiler::{compile_kernel, PatchConfig};
+use stitch_compiler::{compile_kernel, verify_kernel, PatchConfig};
 use stitch_isa::op::AluOp;
 use stitch_isa::{Cond, Program, ProgramBuilder, Reg};
 use stitch_patch::PatchClass;
@@ -55,9 +67,22 @@ fn random_kernel(body: &[(u8, u8, u8, u8)], iters: i64) -> Program {
     b.build().expect("valid random kernel")
 }
 
+/// Env knob with a default, matching the fault/snapshot suites.
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 #[test]
 fn random_kernels_accelerate_soundly() {
-    for seed in 0..24u64 {
+    // `STITCH_FUZZ_SEEDS` widens the sweep (default 24; CI runs 128);
+    // `STITCH_FUZZ_SEED_BASE` shifts it onto fresh kernels for
+    // randomized CI batches. A failure prints the offending seed —
+    // replay with STITCH_FUZZ_SEED_BASE=<seed> STITCH_FUZZ_SEEDS=1.
+    let base = env_u64("STITCH_FUZZ_SEED_BASE", 0);
+    for seed in base..base + env_u64("STITCH_FUZZ_SEEDS", 24) {
         let mut rng = stitch_sim::SimRng::new(0xF022 + seed);
         let body: Vec<(u8, u8, u8, u8)> = (0..rng.range(2, 10))
             .map(|_| {
@@ -81,6 +106,14 @@ fn random_kernels_accelerate_soundly() {
         // rewrite or mapping surfaces as Err here.
         let kv = compile_kernel("fuzz", &program, &configs, Some((0x4000, 8)))
             .expect("sound acceleration");
+        // Second oracle: the static verifier must accept every artifact
+        // the compiler just produced. An error here is either a real
+        // compiler bug or a verifier false positive — both are bugs.
+        let report = verify_kernel(&kv);
+        assert!(
+            report.is_clean(),
+            "seed {seed}: verifier rejected a legitimate compiler output:\n{report}"
+        );
         for v in &kv.variants {
             assert!(v.cycles <= kv.baseline_cycles, "seed {seed}");
         }

@@ -1,0 +1,145 @@
+//! Mutation-kill suite for the `stitch-verify` static analyses.
+//!
+//! Zero false positives is only half of a verifier's contract; the other
+//! half is that it actually *catches* broken artifacts. Each test here
+//! takes a **real** compiled/reserved artifact, applies one class of
+//! seeded defect, and asserts the corresponding analysis rejects it:
+//!
+//! * swap the operand wiring of a real `IseCheck` mapping → `ISE-DIFF`;
+//! * sever one switch of a reserved inter-patch circuit → `PLAN-BROKEN`;
+//! * retarget a branch of a compiled program out of the text →
+//!   `W32-TARGET`.
+//!
+//! Every test first asserts the *unmutated* artifact verifies clean, so
+//! a kill can only come from the seeded defect.
+
+use stitch_compiler::{compile_kernel, KernelVariants, PatchConfig};
+use stitch_isa::op::AluOp;
+use stitch_isa::{Cond, Instr, Program, ProgramBuilder, Reg};
+use stitch_noc::{PatchNet, TileId, Topology};
+use stitch_patch::PatchClass;
+use stitch_verify::{check_circuits, check_ise, check_program};
+
+/// A kernel whose hot loop is a chain of *asymmetric* ops (`sub`), so
+/// that swapping two external-input slots of any mapped candidate
+/// changes the computed function.
+fn sub_chain_kernel() -> Program {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::R2, 9000);
+    b.li(Reg::R3, 37);
+    b.li(Reg::R4, 5);
+    b.li(Reg::R1, 40);
+    let top = b.bound_label();
+    b.alu(AluOp::Sub, Reg::R2, Reg::R2, Reg::R3);
+    b.alu(AluOp::Sub, Reg::R2, Reg::R2, Reg::R4);
+    b.alu(AluOp::Xor, Reg::R5, Reg::R2, Reg::R3);
+    b.addi(Reg::R1, Reg::R1, -1);
+    b.branch(Cond::Ne, Reg::R1, Reg::R0, top);
+    b.li(Reg::R14, 0x4000);
+    b.sw(Reg::R2, Reg::R14, 0);
+    b.sw(Reg::R5, Reg::R14, 4);
+    b.halt();
+    b.build().expect("valid kernel")
+}
+
+fn compiled() -> KernelVariants {
+    let configs = [
+        PatchConfig::Single(PatchClass::AtMa),
+        PatchConfig::Single(PatchClass::AtAs),
+        PatchConfig::Single(PatchClass::AtSa),
+        PatchConfig::Pair(PatchClass::AtMa, PatchClass::AtAs),
+    ];
+    compile_kernel("mut", &sub_chain_kernel(), &configs, Some((0x4000, 8)))
+        .expect("kernel compiles and self-verifies")
+}
+
+#[test]
+fn swapped_mapping_operand_is_killed_by_ise_diff() {
+    let kv = compiled();
+    // Every compiled variant already passed the gate; re-check one
+    // obligation, then corrupt its operand wiring.
+    let mut killed = 0;
+    let mut candidates = 0;
+    for v in &kv.variants {
+        for check in &v.ise_checks {
+            assert!(
+                check_ise(check).is_clean(),
+                "pristine obligation must verify clean"
+            );
+            // Swap the first two bound external-input slots.
+            let slots: Vec<usize> = (0..4)
+                .filter(|&s| check.mapping.input_slots[s].is_some())
+                .collect();
+            let [a, b] = slots[..2.min(slots.len())] else {
+                continue;
+            };
+            candidates += 1;
+            let mut mutant = check.clone();
+            mutant.mapping.input_slots.swap(a, b);
+            if mutant.mapping.input_slots == check.mapping.input_slots {
+                continue;
+            }
+            let report = check_ise(&mutant);
+            assert!(
+                report.has_error("ISE-DIFF"),
+                "swapping slots {a}<->{b} of `{}` must change the function \
+                 (sub is not commutative), got:\n{report}",
+                check.name
+            );
+            killed += 1;
+        }
+    }
+    assert!(
+        candidates > 0 && killed > 0,
+        "the sub-chain kernel must yield at least one mutable obligation \
+         ({candidates} candidates, {killed} killed)"
+    );
+}
+
+#[test]
+fn severed_circuit_switch_is_killed_by_plan_broken() {
+    let topo = Topology::stitch_4x4();
+    let mut net = PatchNet::new(topo);
+    let circuits = [(TileId(0), TileId(1)), (TileId(5), TileId(7))];
+    for &(from, to) in &circuits {
+        net.reserve(from, to).expect("circuit reserves");
+    }
+    assert!(
+        check_circuits(&net, &circuits).is_clean(),
+        "pristine reserved circuits must verify clean"
+    );
+    // Kill one switch along the second circuit: overwrite tile6's
+    // config register with the all-unconnected word, severing the
+    // 5→7 route through it.
+    net.write_config_register(TileId(6), 0o777_777)
+        .expect("config register write succeeds");
+    let report = check_circuits(&net, &circuits);
+    assert!(
+        report.has_error("PLAN-BROKEN"),
+        "a severed switch must break the circuit walk, got:\n{report}"
+    );
+}
+
+#[test]
+fn retargeted_branch_is_killed_by_w32_target() {
+    let kv = compiled();
+    assert!(
+        check_program(&kv.baseline).is_clean(),
+        "pristine baseline must verify clean"
+    );
+    let mut mutant = kv.baseline.clone();
+    let pc = mutant
+        .instrs
+        .iter()
+        .position(|i| matches!(i, Instr::Branch { .. }))
+        .expect("the kernel has a loop branch");
+    let bogus = mutant.instrs.len() as u32 + 17;
+    if let Instr::Branch { target, .. } = &mut mutant.instrs[pc] {
+        *target = bogus;
+    }
+    let report = check_program(&mutant);
+    assert!(
+        report.has_error("W32-TARGET"),
+        "a branch to instruction {bogus} (past the text) must be rejected, got:\n{report}"
+    );
+}
