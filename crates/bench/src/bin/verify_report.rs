@@ -26,7 +26,7 @@ use std::time::Instant;
 use bench::JsonObject;
 use stitch::{Arch, Workbench, DEFAULT_FRAMES};
 use stitch_apps::App;
-use stitch_compiler::verify_kernel;
+use stitch_compiler::{verify_kernel, verify_kernel_uncached, verify_memo_hits};
 use stitch_kernels::all_kernels;
 
 fn main() {
@@ -49,7 +49,7 @@ fn main() {
         let kv = ws.variants(k.as_ref()).expect("kernel compiles");
         let cis: u64 = kv.variants.iter().map(|v| v.ise_checks.len() as u64).sum();
         let t = Instant::now();
-        let report = verify_kernel(&kv);
+        let report = verify_kernel_uncached(&kv);
         let ms = t.elapsed().as_secs_f64() * 1e3;
         assert!(
             report.is_clean(),
@@ -75,6 +75,32 @@ fn main() {
             .float("verify_ms", ms);
         kernel_rows.push(row);
     }
+
+    // Memoized leg: the same artifacts through the content-hash memo.
+    // The first pass populates it; the second must be all hits, at a
+    // small fraction of the from-scratch cost — this is the path sweep
+    // workers take when they re-gate identical prewarmed kernels.
+    for k in &kernels {
+        let kv = ws.variants(k.as_ref()).expect("kernel compiles");
+        let _ = verify_kernel(&kv);
+    }
+    let hits_before = verify_memo_hits();
+    let t = Instant::now();
+    for k in &kernels {
+        let kv = ws.variants(k.as_ref()).expect("kernel compiles");
+        assert!(verify_kernel(&kv).is_clean());
+    }
+    let kernel_memo_ms = t.elapsed().as_secs_f64() * 1e3;
+    let memo_hits = verify_memo_hits() - hits_before;
+    assert_eq!(
+        memo_hits,
+        kernels.len() as u64,
+        "every repeated verify must be a memo hit"
+    );
+    println!(
+        "\nmemoized re-verify: {kernel_memo_ms:.2} ms for {memo_hits} hits \
+         (from-scratch: {kernel_ms_total:.1} ms)"
+    );
 
     // Leg 2: the pre-simulation gate on the full app × arch grid.
     let apps = App::all();
@@ -152,6 +178,8 @@ fn main() {
         .int("ise_obligations", obligations)
         .int("kernel_warnings", kernel_warnings)
         .float("kernel_verify_ms", kernel_ms_total)
+        .float("kernel_memo_verify_ms", kernel_memo_ms)
+        .int("kernel_memo_hits", memo_hits)
         .int("app_points", app_rows.len() as u64)
         .int("app_errors", 0)
         .int("app_warnings", gate_warnings)

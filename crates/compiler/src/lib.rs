@@ -51,7 +51,7 @@ pub use rewrite::{accelerate_block, rewrite_program, select_candidates, Chosen, 
 pub use stitcher::{
     stitch_application, stitch_application_masked, AppKernel, GrantedAccel, StitchPlan,
 };
-pub use verify::{ise_check, verify_kernel};
+pub use verify::{ise_check, verify_kernel, verify_kernel_uncached, verify_memo_hits};
 
 use std::fmt;
 

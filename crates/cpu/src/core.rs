@@ -111,18 +111,18 @@ pub enum StepOutcome {
 /// the current instruction from the text while updating registers and
 /// statistics — the hot loop never clones an [`Instr`].
 #[derive(Debug, Clone)]
-struct TextImage {
-    instrs: Vec<Instr>,
-    word_offsets: Vec<u32>,
+pub(crate) struct TextImage {
+    pub(crate) instrs: Vec<Instr>,
+    pub(crate) word_offsets: Vec<u32>,
 }
 
 /// Mutable architectural state: registers, PC, run state, counters.
 #[derive(Debug, Clone)]
-struct ArchState {
-    regs: [u32; 32],
-    pc: u32,
-    state: CoreState,
-    stats: CoreStats,
+pub(crate) struct ArchState {
+    pub(crate) regs: [u32; 32],
+    pub(crate) pc: u32,
+    pub(crate) state: CoreState,
+    pub(crate) stats: CoreStats,
 }
 
 impl ArchState {
@@ -158,8 +158,8 @@ impl ArchState {
 /// and the NIC live behind the [`Platform`] trait.
 #[derive(Debug, Clone)]
 pub struct Core {
-    text: TextImage,
-    arch: ArchState,
+    pub(crate) text: TextImage,
+    pub(crate) arch: ArchState,
 }
 
 /// Architectural snapshot of one core: everything `step` mutates.

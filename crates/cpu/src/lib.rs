@@ -24,9 +24,11 @@
 
 pub mod core;
 pub mod stats;
+pub mod translate;
 
 pub use crate::core::{Core, CoreSnapshot, CoreState, CustomOutcome, Platform, StepOutcome};
 pub use stats::CoreStats;
+pub use translate::{LaneBank, LaneHost, LaneRun, TransCache, WindowParams};
 
 /// Multiply latency on the base pipeline, in cycles. The open-source
 /// Amber core the paper synthesizes uses an iterative multiplier (tens of

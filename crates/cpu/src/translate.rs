@@ -1,0 +1,770 @@
+//! Translated execution: the threaded-code micro-op engine.
+//!
+//! [`Core::step`] interprets one [`stitch_isa::Instr`] per call — exact,
+//! but it re-matches the instruction tree and pays platform-dispatch
+//! overhead on every retired instruction. This module executes whole
+//! *compute windows* instead: straight-line stretches where the chip has
+//! proven no chip-level event (message delivery, fault injection,
+//! checkpoint, deadline) can land. Within a window the core runs from a
+//! per-core [`TransCache`] of lowered [`MicroBlock`]s, with the register
+//! files of all participating tiles batched struct-of-arrays in a shared
+//! [`LaneBank`].
+//!
+//! ## Bit-exactness contract
+//!
+//! The executor reproduces `Core::step`'s cycle accounting *exactly* —
+//! same I-cache fetch stalls, same per-class latencies, same statistics
+//! fields — so a run interleaving windows with interpreted ticks is
+//! indistinguishable from a pure reference run. Anything the window
+//! cannot retire exactly is a **side exit**: the lane stops *before*
+//! executing the instruction (in particular before its I-fetch, which
+//! mutates cache state) and reports the cycle at which the interpreter
+//! must execute it instead. Side exits are:
+//!
+//! - `send` / `recv` / `halt` (NIC traffic and liveness are chip events),
+//! - a pc at or past the end of the text (architectural fault),
+//! - statically out-of-range `jal`/branch targets (lowering decides),
+//! - `jalr` whose runtime target is out of range (fault with partial
+//!   effects only the interpreter replays exactly),
+//! - stores into the crossbar-config window (chip reconfiguration),
+//! - custom instructions while a fault plan is active or the CI is
+//!   unbound on this tile.
+//!
+//! The cycle a lane reports back (`next_start`) is always the start
+//! cycle of the *next unexecuted* instruction, which is exactly the
+//! `busy_until` value the chip's tick loop would have converged to.
+
+use crate::core::{Core, CustomOutcome, TEXT_BASE};
+use crate::stats::CoreStats;
+use crate::{BRANCH_PENALTY, MUL_LATENCY};
+use stitch_isa::custom::CiId;
+use stitch_isa::instr::{Instr, Width};
+use stitch_isa::op::OpClass;
+use stitch_isa::reg::Reg;
+use stitch_isa::uop::{translate_block, BlockExit, MicroBlock, UOp};
+
+/// Services a compute window needs from the chip. A deliberately smaller
+/// surface than [`crate::Platform`]: no NIC, and custom execution is the
+/// *healthy* path only — the window pre-checks the side conditions that
+/// make customs fallible and bails to the interpreter instead.
+pub trait LaneHost {
+    /// Latency (cycles) of fetching the instruction word at `byte_addr`.
+    fn fetch(&mut self, byte_addr: u32) -> u32;
+
+    /// Data load; returns `(value, latency)`.
+    fn load(&mut self, addr: u32, w: Width) -> (u32, u32);
+
+    /// Data store; returns latency. Never called for addresses where
+    /// [`LaneHost::store_side_exits`] returns true.
+    fn store(&mut self, addr: u32, value: u32, w: Width) -> u32;
+
+    /// True when a store to `addr` must be executed by the interpreter
+    /// (crossbar-config writes reconfigure the chip).
+    fn store_side_exits(&self, addr: u32) -> bool;
+
+    /// True when custom instruction `ci` has a live binding on this tile
+    /// (checked before the instruction's fetch, so an unbound CI can
+    /// side-exit without perturbing cache state).
+    fn custom_bound(&self, ci: CiId) -> bool;
+
+    /// Executes a bound custom instruction on the healthy path.
+    ///
+    /// Returns `None` only if the binding vanished after
+    /// [`LaneHost::custom_bound`] said it was live — impossible within a
+    /// window, and treated as a defensive side exit.
+    fn exec_custom(&mut self, ci: CiId, inputs: [u32; 4]) -> Option<CustomOutcome>;
+}
+
+/// Per-core cache of lowered basic blocks, keyed by entry pc.
+///
+/// The index is a direct-mapped table over instruction indices (program
+/// texts are small), so block dispatch on the hot path is one bounds
+/// check and one array read. The cache belongs to the *loaded program*:
+/// the chip clears it whenever a tile's program is swapped.
+#[derive(Debug, Clone, Default)]
+pub struct TransCache {
+    /// `index[pc]` = slot in `blocks`, or `NO_BLOCK`.
+    index: Vec<u32>,
+    blocks: Vec<MicroBlock>,
+    /// Blocks lowered (cache misses) over the cache's lifetime.
+    pub translated: u64,
+    /// Block dispatches served from the cache.
+    pub hits: u64,
+}
+
+const NO_BLOCK: u32 = u32::MAX;
+
+impl TransCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all translations (program swap). Counters survive — they
+    /// describe the cache's lifetime, not one program.
+    pub fn invalidate(&mut self) {
+        self.index.clear();
+        self.blocks.clear();
+    }
+
+    /// Returns the slot of the block entered at `entry`, lowering it on
+    /// first use. `entry` must be inside the text.
+    fn block_slot(&mut self, instrs: &[Instr], word_offsets: &[u32], entry: u32) -> usize {
+        if self.index.len() < instrs.len() {
+            self.index.resize(instrs.len(), NO_BLOCK);
+        }
+        let slot = self.index[entry as usize];
+        if slot != NO_BLOCK {
+            self.hits += 1;
+            return slot as usize;
+        }
+        let block = translate_block(instrs, word_offsets, entry);
+        let slot = self.blocks.len();
+        self.blocks.push(block);
+        self.index[entry as usize] = slot as u32;
+        self.translated += 1;
+        slot
+    }
+}
+
+/// Struct-of-arrays register bank for the tiles participating in a
+/// window: register `r` of lane `l` lives at `regs[r * lanes + l]`, so a
+/// window sweeping the same micro-op pattern across tiles walks the bank
+/// with unit stride per register index instead of hopping between
+/// per-core `[u32; 32]` files.
+#[derive(Debug, Clone)]
+pub struct LaneBank {
+    lanes: usize,
+    regs: Vec<u32>,
+}
+
+impl LaneBank {
+    /// Creates a bank for `lanes` tiles.
+    #[must_use]
+    pub fn new(lanes: usize) -> Self {
+        LaneBank {
+            lanes,
+            regs: vec![0; lanes * 32],
+        }
+    }
+
+    /// Number of lanes the bank was sized for.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Reads register `r` of `lane` (exercised by the disjointness test;
+    /// window execution goes through a lane-local copy instead — see
+    /// [`Core::run_translated`]).
+    #[cfg(test)]
+    fn get(&self, r: Reg, lane: usize) -> u32 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index() as usize * self.lanes + lane]
+        }
+    }
+
+    /// Writes register `r` of `lane` (test-only; see [`LaneBank::get`]).
+    #[cfg(test)]
+    fn set(&mut self, r: Reg, lane: usize, value: u32) {
+        if !r.is_zero() {
+            self.regs[r.index() as usize * self.lanes + lane] = value;
+        }
+    }
+
+    /// Gathers a core's register file into the lane.
+    fn load_lane(&mut self, lane: usize, regs: &[u32; 32]) {
+        for (r, &v) in regs.iter().enumerate() {
+            self.regs[r * self.lanes + lane] = v;
+        }
+    }
+
+    /// Scatters the lane back into a core's register file.
+    fn store_lane(&self, lane: usize, regs: &mut [u32; 32]) {
+        for (r, v) in regs.iter_mut().enumerate() {
+            *v = self.regs[r * self.lanes + lane];
+        }
+    }
+}
+
+/// Window bounds and capabilities for one lane run.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowParams {
+    /// Cycle at which the lane's first instruction starts (its current
+    /// `busy_until`, clamped below by the chip clock).
+    pub start: u64,
+    /// Last cycle an instruction may *start* on. Chosen by the chip so
+    /// no fault, checkpoint, or deadline lands at or before it.
+    pub horizon: u64,
+    /// True when custom instructions may execute inside the window
+    /// (no fault plan active). Otherwise every custom side-exits.
+    pub customs_inline: bool,
+}
+
+/// What one lane did inside a window.
+#[derive(Debug, Clone, Copy)]
+pub struct LaneRun {
+    /// Start cycle of the next unexecuted instruction — the lane's new
+    /// `busy_until`.
+    pub next_start: u64,
+    /// True when the lane stopped at an instruction the interpreter must
+    /// execute (at cycle `next_start`); false when it merely ran out of
+    /// horizon.
+    pub side_exit: bool,
+    /// Instructions retired inside the window.
+    pub executed: u64,
+}
+
+/// Reads `r` from the window's lane-local register copy (`R0` is zero).
+#[inline(always)]
+fn reg_get(regs: &[u32; 32], r: Reg) -> u32 {
+    if r.is_zero() {
+        0
+    } else {
+        regs[r.index() as usize]
+    }
+}
+
+/// Writes `r` in the window's lane-local register copy (`R0` ignored).
+#[inline(always)]
+fn reg_set(regs: &mut [u32; 32], r: Reg, value: u32) {
+    if !r.is_zero() {
+        regs[r.index() as usize] = value;
+    }
+}
+
+/// Charges the I-fetch for an instruction occupying `words` words at
+/// byte address `base`, exactly as `Core::step` does: per-word latency
+/// accumulates, stalls beyond one cycle per word count as fetch stalls,
+/// and the base cost of the words themselves is deducted (it is part of
+/// the instruction's execute charge).
+#[inline]
+fn fetch_charge<H: LaneHost>(host: &mut H, stats: &mut CoreStats, base: u32, words: u32) -> u32 {
+    let mut cycles = 0u32;
+    for w in 0..words {
+        let lat = host.fetch(base + w * 4);
+        cycles += lat;
+        stats.fetch_stall_cycles += u64::from(lat.saturating_sub(1));
+    }
+    cycles.saturating_sub(words)
+}
+
+impl Core {
+    /// Runs this core's lane through one compute window.
+    ///
+    /// Executes translated micro-ops from `cache` starting at the
+    /// current pc, first instruction starting at `p.start`, stopping
+    /// when the next instruction would start past `p.horizon` or at a
+    /// side exit (see the module docs for the exact rules). Registers
+    /// are staged through `bank` lane `lane`; pc, registers, and
+    /// statistics are committed back to the core on return.
+    ///
+    /// The caller must only invoke this on a running, non-waiting core.
+    pub fn run_translated<H: LaneHost>(
+        &mut self,
+        cache: &mut TransCache,
+        bank: &mut LaneBank,
+        lane: usize,
+        host: &mut H,
+        p: WindowParams,
+    ) -> LaneRun {
+        let text = &self.text;
+        let arch = &mut self.arch;
+        let len = text.instrs.len() as u32;
+        bank.load_lane(lane, &arch.regs);
+        // Work on a stack-local copy of the lane: 128 contiguous bytes
+        // with compile-time-bounded indices, instead of strided bank
+        // accesses on every operand. The bank lane is recommitted below,
+        // so its state at window end is identical.
+        let mut regs = arch.regs;
+        let mut stats = arch.stats;
+        let mut pc = arch.pc;
+        let mut t = p.start;
+        let mut executed = 0u64;
+        let mut side_exit = false;
+        'dispatch: loop {
+            if t > p.horizon {
+                break;
+            }
+            if pc >= len {
+                // The interpreter raises PcOutOfRange at cycle `t`.
+                side_exit = true;
+                break;
+            }
+            let slot = cache.block_slot(&text.instrs, &text.word_offsets, pc);
+            let block = &cache.blocks[slot];
+            for (idx, s) in block.uops.iter().enumerate() {
+                if t > p.horizon {
+                    pc = block.pc_at(idx);
+                    break 'dispatch;
+                }
+                let base = TEXT_BASE + s.off * 4;
+                let cycles = match s.op {
+                    UOp::Nop => fetch_charge(host, &mut stats, base, s.words) + 1,
+                    UOp::AluRR { op, rd, rs1, rs2 } => {
+                        let fetch = fetch_charge(host, &mut stats, base, s.words);
+                        let value = op.eval(reg_get(&regs, rs1), reg_get(&regs, rs2));
+                        reg_set(&mut regs, rd, value);
+                        fetch
+                            + if op.class() == OpClass::M {
+                                stats.mul_ops += 1;
+                                MUL_LATENCY
+                            } else {
+                                stats.alu_ops += 1;
+                                1
+                            }
+                    }
+                    UOp::AluRI { op, rd, rs1, imm } => {
+                        let fetch = fetch_charge(host, &mut stats, base, s.words);
+                        let value = op.eval(reg_get(&regs, rs1), imm as u32);
+                        reg_set(&mut regs, rd, value);
+                        fetch
+                            + if op.class() == OpClass::M {
+                                stats.mul_ops += 1;
+                                MUL_LATENCY
+                            } else {
+                                stats.alu_ops += 1;
+                                1
+                            }
+                    }
+                    UOp::Lui { rd, val } => {
+                        let fetch = fetch_charge(host, &mut stats, base, s.words);
+                        reg_set(&mut regs, rd, val);
+                        stats.alu_ops += 1;
+                        fetch + 1
+                    }
+                    UOp::Load {
+                        w,
+                        rd,
+                        base: rb,
+                        offset,
+                    } => {
+                        let fetch = fetch_charge(host, &mut stats, base, s.words);
+                        let addr = reg_get(&regs, rb).wrapping_add_signed(offset);
+                        let (value, lat) = host.load(addr, w);
+                        reg_set(&mut regs, rd, value);
+                        stats.mem_ops += 1;
+                        stats.mem_stall_cycles += u64::from(lat.saturating_sub(1));
+                        fetch + lat
+                    }
+                    UOp::Store {
+                        w,
+                        rs,
+                        base: rb,
+                        offset,
+                    } => {
+                        // Crossbar-config stores reconfigure the chip —
+                        // checked before the fetch so the interpreter
+                        // replays the instruction from scratch.
+                        let addr = reg_get(&regs, rb).wrapping_add_signed(offset);
+                        if host.store_side_exits(addr) {
+                            pc = block.pc_at(idx);
+                            side_exit = true;
+                            break 'dispatch;
+                        }
+                        let fetch = fetch_charge(host, &mut stats, base, s.words);
+                        let lat = host.store(addr, reg_get(&regs, rs), w);
+                        stats.mem_ops += 1;
+                        stats.mem_stall_cycles += u64::from(lat.saturating_sub(1));
+                        fetch + lat
+                    }
+                    UOp::Custom {
+                        id,
+                        ins,
+                        out0,
+                        out1,
+                    } => {
+                        if !p.customs_inline || !host.custom_bound(id) {
+                            pc = block.pc_at(idx);
+                            side_exit = true;
+                            break 'dispatch;
+                        }
+                        let inputs = [
+                            reg_get(&regs, ins[0]),
+                            reg_get(&regs, ins[1]),
+                            reg_get(&regs, ins[2]),
+                            reg_get(&regs, ins[3]),
+                        ];
+                        let fetch = fetch_charge(host, &mut stats, base, s.words);
+                        let Some(o) = host.exec_custom(id, inputs) else {
+                            debug_assert!(false, "custom binding vanished mid-window");
+                            pc = block.pc_at(idx);
+                            side_exit = true;
+                            break 'dispatch;
+                        };
+                        if let Some(r) = out0 {
+                            reg_set(&mut regs, r, o.out.out0);
+                        }
+                        if let Some(r) = out1 {
+                            reg_set(&mut regs, r, o.out.out1);
+                        }
+                        stats.custom_ops += 1;
+                        if o.fused {
+                            stats.fused_ops += 1;
+                        }
+                        if o.demoted {
+                            stats.demoted_ops += 1;
+                        }
+                        fetch + o.cycles.max(1)
+                    }
+                };
+                stats.instructions += 1;
+                stats.cycles += u64::from(cycles);
+                executed += 1;
+                // The tick loop spaces instructions by max(cycles - 1, 1)
+                // (busy_until lands on cycle + cycles - 1, and the next
+                // tick is at least one cycle later).
+                t += u64::from((cycles.max(1) - 1).max(1));
+            }
+            match block.exit {
+                BlockExit::SideExit { at } => {
+                    pc = at;
+                    side_exit = true;
+                    break;
+                }
+                BlockExit::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                    at,
+                    off,
+                } => {
+                    if t > p.horizon {
+                        pc = at;
+                        break;
+                    }
+                    let fetch = fetch_charge(host, &mut stats, TEXT_BASE + off * 4, 1);
+                    let mut cycles = fetch + 1;
+                    stats.branches += 1;
+                    if cond.eval(reg_get(&regs, rs1), reg_get(&regs, rs2)) {
+                        stats.branches_taken += 1;
+                        cycles += BRANCH_PENALTY;
+                        pc = target;
+                    } else {
+                        pc = at + 1;
+                    }
+                    stats.instructions += 1;
+                    stats.cycles += u64::from(cycles);
+                    executed += 1;
+                    t += u64::from((cycles.max(1) - 1).max(1));
+                }
+                BlockExit::Jal {
+                    rd,
+                    target,
+                    at,
+                    off,
+                } => {
+                    if t > p.horizon {
+                        pc = at;
+                        break;
+                    }
+                    let fetch = fetch_charge(host, &mut stats, TEXT_BASE + off * 4, 1);
+                    reg_set(&mut regs, rd, at + 1);
+                    let cycles = fetch + 1 + BRANCH_PENALTY;
+                    stats.branches += 1;
+                    stats.branches_taken += 1;
+                    stats.instructions += 1;
+                    stats.cycles += u64::from(cycles);
+                    executed += 1;
+                    pc = target;
+                    t += u64::from((cycles.max(1) - 1).max(1));
+                }
+                BlockExit::Jalr { rd, rs, at, off } => {
+                    if t > p.horizon {
+                        pc = at;
+                        break;
+                    }
+                    let target = reg_get(&regs, rs);
+                    if target > len {
+                        // BadTarget retires rd and the stats before
+                        // faulting; only the interpreter replays that
+                        // partial effect exactly.
+                        pc = at;
+                        side_exit = true;
+                        break;
+                    }
+                    let fetch = fetch_charge(host, &mut stats, TEXT_BASE + off * 4, 1);
+                    reg_set(&mut regs, rd, at + 1);
+                    let cycles = fetch + 1 + BRANCH_PENALTY;
+                    stats.branches += 1;
+                    stats.branches_taken += 1;
+                    stats.instructions += 1;
+                    stats.cycles += u64::from(cycles);
+                    executed += 1;
+                    pc = target;
+                    t += u64::from((cycles.max(1) - 1).max(1));
+                }
+            }
+        }
+        bank.load_lane(lane, &regs);
+        bank.store_lane(lane, &mut arch.regs);
+        arch.pc = pc;
+        arch.stats = stats;
+        LaneRun {
+            next_start: t,
+            side_exit,
+            executed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoreState, Platform, StepOutcome};
+    use stitch_isa::{Cond, Program, ProgramBuilder};
+    use stitch_patch::PatchOutput;
+
+    /// Flat memory + unit-latency fetch host, usable both as the
+    /// interpreter `Platform` and as a window `LaneHost`, so the test
+    /// can drive the same program through both engines.
+    #[derive(Clone)]
+    struct FlatHost {
+        mem: Vec<u8>,
+        fetches: u64,
+    }
+
+    impl FlatHost {
+        fn new() -> Self {
+            FlatHost {
+                mem: vec![0; 0x10000],
+                fetches: 0,
+            }
+        }
+
+        fn rd(&self, addr: u32, w: Width) -> u32 {
+            let a = addr as usize % self.mem.len();
+            match w {
+                Width::Byte => u32::from(self.mem[a]),
+                Width::Half => u32::from(u16::from_le_bytes([self.mem[a], self.mem[a + 1]])),
+                Width::Word => u32::from_le_bytes([
+                    self.mem[a],
+                    self.mem[a + 1],
+                    self.mem[a + 2],
+                    self.mem[a + 3],
+                ]),
+            }
+        }
+
+        fn wr(&mut self, addr: u32, value: u32, w: Width) {
+            let a = addr as usize % self.mem.len();
+            match w {
+                Width::Byte => self.mem[a] = value as u8,
+                Width::Half => self.mem[a..a + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+                Width::Word => self.mem[a..a + 4].copy_from_slice(&value.to_le_bytes()),
+            }
+        }
+    }
+
+    impl Platform for FlatHost {
+        fn fetch(&mut self, _byte_addr: u32) -> u32 {
+            self.fetches += 1;
+            1
+        }
+        fn load(&mut self, addr: u32, w: Width) -> (u32, u32) {
+            (self.rd(addr, w), 1)
+        }
+        fn store(&mut self, addr: u32, value: u32, w: Width) -> u32 {
+            self.wr(addr, value, w);
+            1
+        }
+        fn exec_custom(
+            &mut self,
+            _ci: CiId,
+            inputs: [u32; 4],
+        ) -> Result<CustomOutcome, crate::CpuError> {
+            Ok(CustomOutcome::healthy(
+                PatchOutput {
+                    out0: inputs[0].wrapping_add(inputs[1]),
+                    out1: inputs[0] ^ inputs[1],
+                },
+                false,
+            ))
+        }
+        fn send(&mut self, _dst: u32, _addr: u32, _len: u32) {}
+        fn try_recv(
+            &mut self,
+            _src: u32,
+            _addr: u32,
+            _len: u32,
+        ) -> Result<Option<u32>, crate::CpuError> {
+            Ok(None)
+        }
+    }
+
+    impl LaneHost for FlatHost {
+        fn fetch(&mut self, _byte_addr: u32) -> u32 {
+            self.fetches += 1;
+            1
+        }
+        fn load(&mut self, addr: u32, w: Width) -> (u32, u32) {
+            (self.rd(addr, w), 1)
+        }
+        fn store(&mut self, addr: u32, value: u32, w: Width) -> u32 {
+            self.wr(addr, value, w);
+            1
+        }
+        fn store_side_exits(&self, addr: u32) -> bool {
+            stitch_isa::memmap::is_xbar_cfg(addr)
+        }
+        fn custom_bound(&self, _ci: CiId) -> bool {
+            true
+        }
+        fn exec_custom(&mut self, ci: CiId, inputs: [u32; 4]) -> Option<CustomOutcome> {
+            Platform::exec_custom(self, ci, inputs).ok()
+        }
+    }
+
+    fn loop_program(iters: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, iters);
+        b.li(Reg::R2, 0);
+        b.li(Reg::R3, 0x4000);
+        let top = b.bound_label();
+        b.addi(Reg::R2, Reg::R2, 3);
+        b.mul(Reg::R4, Reg::R2, Reg::R2);
+        b.sw(Reg::R4, Reg::R3, 0);
+        b.lw(Reg::R5, Reg::R3, 0);
+        b.addi(Reg::R1, Reg::R1, -1);
+        b.branch(Cond::Ne, Reg::R1, Reg::R0, top);
+        b.halt();
+        b.build().expect("program")
+    }
+
+    /// Steps the interpreter through the whole program, reproducing the
+    /// chip tick's busy-until spacing, and returns the final clock.
+    fn interpret(core: &mut Core, host: &mut FlatHost, start: u64) -> u64 {
+        let mut t = start;
+        loop {
+            match core.step(host).expect("step") {
+                StepOutcome::Retired { cycles } => {
+                    if core.state() == CoreState::Halted {
+                        return t;
+                    }
+                    t += u64::from((cycles.max(1) - 1).max(1));
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn window_matches_interpreter_exactly() {
+        let program = loop_program(50);
+        let mut ref_core = Core::new(&program);
+        let mut ref_host = FlatHost::new();
+        let halt_start = interpret(&mut ref_core, &mut ref_host, 1);
+
+        let mut core = Core::new(&program);
+        let mut host = FlatHost::new();
+        let mut cache = TransCache::new();
+        let mut bank = LaneBank::new(1);
+        let run = core.run_translated(
+            &mut cache,
+            &mut bank,
+            0,
+            &mut host,
+            WindowParams {
+                start: 1,
+                horizon: u64::MAX,
+                customs_inline: true,
+            },
+        );
+        // The window stops at the halt, which the interpreter then
+        // retires at exactly the reference clock.
+        assert!(run.side_exit);
+        assert_eq!(run.next_start, halt_start);
+        // Everything except the halt retired inside the window.
+        assert_eq!(run.executed + 1, ref_core.stats().instructions);
+        // Architectural state matches the reference just before halt.
+        for r in 0..32u8 {
+            let r = Reg::from_index(r).expect("reg");
+            assert_eq!(core.reg(r), ref_core.reg(r), "register {r:?}");
+        }
+        assert_eq!(host.fetches + 1, ref_host.fetches);
+        assert_eq!(host.mem, ref_host.mem);
+        // Stats match except the halt's own retire (1 instruction, 1
+        // cycle on this unit-latency host).
+        let s = core.stats();
+        let q = ref_core.stats();
+        assert_eq!(s.instructions + 1, q.instructions);
+        assert_eq!(s.cycles + 1, q.cycles);
+        assert_eq!(s.alu_ops, q.alu_ops);
+        assert_eq!(s.mul_ops, q.mul_ops);
+        assert_eq!(s.mem_ops, q.mem_ops);
+        assert_eq!(s.branches, q.branches);
+        assert_eq!(s.branches_taken, q.branches_taken);
+        assert_eq!(s.fetch_stall_cycles, q.fetch_stall_cycles);
+    }
+
+    #[test]
+    fn window_respects_horizon_and_resumes() {
+        let program = loop_program(50);
+        let mut ref_core = Core::new(&program);
+        let mut ref_host = FlatHost::new();
+        let halt_start = interpret(&mut ref_core, &mut ref_host, 1);
+
+        let mut core = Core::new(&program);
+        let mut host = FlatHost::new();
+        let mut cache = TransCache::new();
+        let mut bank = LaneBank::new(1);
+        // Run in many small windows; the clock must be preserved across
+        // horizon stops.
+        let mut t = 1u64;
+        let mut windows = 0u64;
+        loop {
+            let run = core.run_translated(
+                &mut cache,
+                &mut bank,
+                0,
+                &mut host,
+                WindowParams {
+                    start: t,
+                    horizon: t + 7,
+                    customs_inline: true,
+                },
+            );
+            t = run.next_start;
+            windows += 1;
+            if run.side_exit {
+                break;
+            }
+        }
+        assert_eq!(t, halt_start, "clock diverged across {windows} windows");
+        assert_eq!(host.mem, ref_host.mem);
+        assert!(cache.hits > cache.translated, "loop re-enters cached block");
+    }
+
+    #[test]
+    fn bank_keeps_lanes_disjoint_and_r0_zero() {
+        let mut bank = LaneBank::new(4);
+        bank.set(Reg::R5, 1, 77);
+        bank.set(Reg::R5, 2, 88);
+        bank.set(Reg::R0, 3, 123);
+        assert_eq!(bank.get(Reg::R5, 1), 77);
+        assert_eq!(bank.get(Reg::R5, 2), 88);
+        assert_eq!(bank.get(Reg::R5, 0), 0);
+        assert_eq!(bank.get(Reg::R0, 3), 0);
+        assert_eq!(bank.lanes(), 4);
+    }
+
+    #[test]
+    fn cache_invalidation_drops_blocks_but_keeps_counters() {
+        let program = loop_program(3);
+        let core = Core::new(&program);
+        let mut cache = TransCache::new();
+        let slot = cache.block_slot(&core.text.instrs, &core.text.word_offsets, 0);
+        assert_eq!(slot, 0);
+        assert_eq!(cache.translated, 1);
+        cache.block_slot(&core.text.instrs, &core.text.word_offsets, 0);
+        assert_eq!(cache.hits, 1);
+        cache.invalidate();
+        assert!(cache.blocks.is_empty());
+        cache.block_slot(&core.text.instrs, &core.text.word_offsets, 0);
+        assert_eq!(cache.translated, 2, "re-lowered after invalidation");
+    }
+}

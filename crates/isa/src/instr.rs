@@ -72,6 +72,7 @@ impl Cond {
 
     /// Evaluates the condition.
     #[must_use]
+    #[inline]
     pub fn eval(self, a: u32, b: u32) -> bool {
         match self {
             Cond::Eq => a == b,

@@ -42,6 +42,7 @@ pub mod instr;
 pub mod op;
 pub mod program;
 pub mod reg;
+pub mod uop;
 
 pub use custom::{CiDescriptor, CiId, CiTable, CustomInstr};
 pub use encode::{decode, decode_program, encode, encode_program};
@@ -49,6 +50,7 @@ pub use instr::{Cond, Instr, Operand, Width};
 pub use op::{AluOp, OpClass};
 pub use program::{Program, ProgramBuilder};
 pub use reg::Reg;
+pub use uop::{translate_block, BlockExit, MicroBlock, UOp, UOpSlot};
 
 use std::fmt;
 

@@ -89,6 +89,7 @@ impl AluOp {
 
     /// The paper's operation class of this op.
     #[must_use]
+    #[inline]
     pub fn class(self) -> OpClass {
         match self {
             AluOp::Add
@@ -115,6 +116,7 @@ impl AluOp {
     /// assert_eq!(AluOp::Sltu.eval(u32::MAX, 0), 0);
     /// ```
     #[must_use]
+    #[inline]
     pub fn eval(self, a: u32, b: u32) -> u32 {
         match self {
             AluOp::Add => a.wrapping_add(b),

@@ -220,11 +220,17 @@ impl Cache {
             }
         }
 
-        // Miss: evict LRU way.
+        // Miss: evict LRU way. A degenerate zero-way geometry has no
+        // line to allocate into — every access is a straight DRAM miss.
         self.stats.misses += 1;
-        let victim_idx = (start..end)
-            .min_by_key(|&i| (self.sets[i].valid, self.sets[i].lru))
-            .expect("ways >= 1");
+        let Some(victim_idx) = (start..end).min_by_key(|&i| (self.sets[i].valid, self.sets[i].lru))
+        else {
+            return Lookup {
+                hit: false,
+                writeback: None,
+                latency: crate::HIT_LATENCY + crate::DRAM_LATENCY,
+            };
+        };
         let victim = self.sets[victim_idx];
         let writeback = if victim.valid && victim.dirty {
             self.stats.writebacks += 1;
@@ -252,11 +258,9 @@ impl Cache {
     ///
     /// Used by the simulator's event-driven fast path to batch a waiting
     /// core's identical instruction re-fetches without replaying them.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any address is not resident (the caller guarantees the
-    /// sequence was executed at least once immediately before).
+    /// The caller guarantees residency (the sequence was executed at
+    /// least once immediately before); a non-resident address is
+    /// defensively skipped — its LRU timestamp simply stays stale.
     pub fn record_repeat_hits(&mut self, addrs: &[u32], times: u64) {
         if times == 0 || addrs.is_empty() {
             return;
@@ -271,10 +275,12 @@ impl Cache {
         let last_round = base_tick + addrs.len() as u64 * (times - 1);
         for (j, &addr) in addrs.iter().enumerate() {
             let (start, end, tag) = self.set_range(addr);
-            let line = self.sets[start..end]
+            let Some(line) = self.sets[start..end]
                 .iter_mut()
                 .find(|l| l.valid && l.tag == tag)
-                .expect("batched hit requires a resident block");
+            else {
+                continue;
+            };
             line.lru = last_round + j as u64 + 1;
         }
     }

@@ -63,8 +63,12 @@ impl Spm {
     pub fn read_u32(&mut self, offset: u32) -> u32 {
         self.reads += 1;
         let i = self.wrap(offset);
-        if i + 4 <= self.data.len() {
-            u32::from_le_bytes(self.data[i..i + 4].try_into().expect("4 bytes"))
+        if let Some(bytes) = self
+            .data
+            .get(i..i + 4)
+            .and_then(|s| <[u8; 4]>::try_from(s).ok())
+        {
+            u32::from_le_bytes(bytes)
         } else {
             (0..4).fold(0, |acc, k| {
                 acc | (u32::from(self.data[self.wrap(offset + k)]) << (8 * k))

@@ -239,8 +239,12 @@ pub struct Mesh {
     next_msg_id: u64,
     /// Scratch buffer for switch-traversal moves (reused across ticks).
     scratch_moves: Vec<Move>,
-    /// Scratch buffer for per-input-buffer credits (reused across ticks).
-    scratch_credits: Vec<[usize; PORTS]>,
+    /// Scratch buffer for per-cycle credit claims (reused across ticks).
+    /// Each granted move records the destination buffer it consumed a
+    /// credit from, packed as `router * PORTS + port`; at most one move
+    /// per output port exists per cycle, so the list stays tiny and a
+    /// linear scan beats rebuilding a full credit table every tick.
+    scratch_claims: Vec<u32>,
     /// Per-tile, per-direction (N,E,S,W) cycle until which the outgoing
     /// link is down (`0` = healthy, `u64::MAX` = permanently down). The
     /// link is unusable while `cycle < link_down_until[t][d]`.
@@ -269,7 +273,7 @@ impl Mesh {
             cycle: 0,
             next_msg_id: 0,
             scratch_moves: Vec::new(),
-            scratch_credits: Vec::new(),
+            scratch_claims: Vec::new(),
             link_down_until: vec![[0; 4]; n],
             any_link_faults: false,
             stalled_ticks: 0,
@@ -513,6 +517,9 @@ impl Mesh {
 
         // 1. Injection: move waiting flits into the local input buffer.
         for t in 0..n {
+            if self.inject[t].is_empty() {
+                continue;
+            }
             let free = self.cfg.buffer_flits - self.routers[t].inputs[4].len();
             let mut moved = 0;
             while moved < free {
@@ -541,19 +548,42 @@ impl Mesh {
         // (and returned to) `self` so steady-state ticks allocate nothing.
         let mut moves = std::mem::take(&mut self.scratch_moves);
         moves.clear();
-        // Track per-destination-buffer credit consumption within this cycle.
-        let mut credits = std::mem::take(&mut self.scratch_credits);
-        credits.clear();
-        for r in 0..n {
-            let mut c = [0usize; PORTS];
-            for (p, q) in self.routers[r].inputs.iter().enumerate() {
-                c[p] = self.cfg.buffer_flits - q.len();
-            }
-            credits.push(c);
-        }
+        // Track per-destination-buffer credit consumption within this
+        // cycle. Buffer occupancy only changes when moves apply (after
+        // selection), so `len()` still reads the start-of-cycle value and
+        // the claims list supplies the within-cycle decrements.
+        let mut claims = std::mem::take(&mut self.scratch_claims);
+        claims.clear();
 
         for r in 0..n {
+            // A router with every input buffer empty can pick nothing on
+            // any output (wormhole ownership and round-robin state only
+            // act on resident flits), so the arbitration scan below is a
+            // no-op for it. Most ticks have traffic at only a couple of
+            // routers; skipping the rest keeps the tick near O(flits).
+            if self.routers[r].inputs.iter().all(VecDeque::is_empty) {
+                continue;
+            }
             let here = TileId(r as u8);
+            // Memoize each eligible head-of-line flit's state once per
+            // router instead of re-probing (and re-routing) it for every
+            // output port: `Some((is_head, route))` when the front flit is
+            // ready this cycle, with `route` computed only for head flits
+            // (body flits follow the wormhole owner's port and never
+            // consult the route).
+            let mut heads: [Option<(bool, usize)>; PORTS] = [None; PORTS];
+            for (p, q) in self.routers[r].inputs.iter().enumerate() {
+                if let Some(f) = q.front() {
+                    if f.ready_at <= self.cycle {
+                        let route = if f.is_head {
+                            self.route(here, f.dst)
+                        } else {
+                            PORTS
+                        };
+                        heads[p] = Some((f.is_head, route));
+                    }
+                }
+            }
             for out in 0..PORTS {
                 // Candidate inputs whose head-of-line flit wants `out`.
                 let owner = self.routers[r].out_owner[out];
@@ -563,18 +593,15 @@ impl Mesh {
                     // re-checking `route` per flit is redundant while
                     // routes are static and would strand mid-packet flits
                     // when a link fault changes the route's answer.
-                    let head_ok = self.routers[r].inputs[input].front().is_some_and(|f| {
-                        f.ready_at <= self.cycle && (!f.is_head || self.route(here, f.dst) == out)
-                    });
+                    let head_ok =
+                        heads[input].is_some_and(|(is_head, route)| !is_head || route == out);
                     head_ok.then_some(input)
                 } else {
                     // Round-robin among inputs with an eligible head flit.
                     let start = self.routers[r].rr[out];
-                    (0..PORTS).map(|k| (start + k) % PORTS).find(|&input| {
-                        self.routers[r].inputs[input].front().is_some_and(|f| {
-                            f.is_head && f.ready_at <= self.cycle && self.route(here, f.dst) == out
-                        })
-                    })
+                    (0..PORTS)
+                        .map(|k| (start + k) % PORTS)
+                        .find(|&input| heads[input] == Some((true, out)))
                 };
                 let Some(input) = pick else { continue };
 
@@ -596,10 +623,14 @@ impl Mesh {
                         continue; // link is down; the flit waits in place
                     }
                     let in_port = port_index(dir.opposite());
-                    if credits[next.index()][in_port] == 0 {
+                    let key = (next.index() * PORTS + in_port) as u32;
+                    let used = claims.iter().filter(|&&k| k == key).count();
+                    let free =
+                        self.cfg.buffer_flits - self.routers[next.index()].inputs[in_port].len();
+                    if used >= free {
                         continue; // no downstream buffer space
                     }
-                    credits[next.index()][in_port] -= 1;
+                    claims.push(key);
                     moves.push(Move {
                         from_router: r,
                         from_port: input,
@@ -614,13 +645,15 @@ impl Mesh {
         // 3. Apply moves.
         progressed |= !moves.is_empty();
         for m in moves.drain(..) {
-            // Invariant: selection picks at most one move per input port
-            // per cycle (an input's head-of-line flit targets exactly one
-            // output), and only when that flit exists — the pop cannot
-            // come up empty.
-            let flit = self.routers[m.from_router].inputs[m.from_port]
-                .pop_front()
-                .expect("picked flit present");
+            // Selection picks at most one move per input port per cycle
+            // (an input's head-of-line flit targets exactly one output),
+            // and only when that flit exists — an empty pop would mean
+            // the move was stale, and is defensively dropped. Credits
+            // are derived from buffer occupancy each tick, so dropping
+            // it leaves nothing to repair.
+            let Some(flit) = self.routers[m.from_router].inputs[m.from_port].pop_front() else {
+                continue;
+            };
             let here = TileId(m.from_router as u8);
             // Maintain wormhole ownership along the port actually used.
             let router = &mut self.routers[m.from_router];
@@ -647,7 +680,7 @@ impl Mesh {
             }
         }
         self.scratch_moves = moves;
-        self.scratch_credits = credits;
+        self.scratch_claims = claims;
         if progressed {
             self.stalled_ticks = 0;
         } else {

@@ -10,11 +10,13 @@ use crate::{ChipConfig, TileId};
 use std::collections::HashMap;
 use std::fmt;
 use stitch_cpu::{
-    Core, CoreState, CpuError, CustomOutcome, PatchFaultKind, Platform, StepOutcome, MUL_LATENCY,
+    Core, CoreState, CpuError, CustomOutcome, LaneBank, LaneHost, PatchFaultKind, Platform,
+    StepOutcome, TransCache, WindowParams, MUL_LATENCY,
 };
 use stitch_fault::{FaultKind, FaultPlan};
 use stitch_isa::custom::CiId;
 use stitch_isa::instr::Width;
+use stitch_isa::memmap;
 use stitch_isa::program::Program;
 use stitch_mem::{TileMemory, HIT_LATENCY};
 use stitch_noc::mesh::{Mesh, MeshConfig};
@@ -528,6 +530,129 @@ impl Platform for TilePlatform<'_> {
     }
 }
 
+/// Chip services for one lane of a translated compute window: the
+/// healthy-path subset of [`TilePlatform`].
+///
+/// Windows only run while tracing is off and — for custom instructions —
+/// no fault plan is installed, so the fault ladder, trace emission, and
+/// crossbar reconfiguration of the full platform can never be needed
+/// here: anything that would reach them side-exits to the interpreter
+/// first.
+struct WindowHost<'a> {
+    tile: TileId,
+    mem: &'a mut TileMemory,
+    /// Sorted `(ci, binding)` pairs, same table the interpreter scans.
+    bindings: &'a [(u16, CiBinding)],
+    activations: &'a mut [u64],
+    /// I-cache line of the most recent fetch (`u64::MAX` = no streak),
+    /// for the fetch-streak fast path below.
+    fetch_line: u64,
+    /// An address inside the streak line (any word works: residency and
+    /// LRU are per-line).
+    fetch_addr: u32,
+    /// Same-line fetches after the streak's first, not yet recorded.
+    fetch_hits: u64,
+    /// `log2(icache line bytes)`.
+    line_shift: u32,
+}
+
+impl WindowHost<'_> {
+    /// Replays the pending fetch streak onto the i-cache.
+    ///
+    /// Consecutive fetches to one resident line are guaranteed hits —
+    /// within a window only this lane's fetches touch its (dedicated)
+    /// i-cache, and a just-accessed line cannot be evicted without
+    /// another access to its set. Each streak member was therefore
+    /// charged `HIT_LATENCY` up front; this applies the deferred state
+    /// effects (LRU clock, timestamps, hit counters) in one batch,
+    /// before the next real access — exactly the order the per-word
+    /// path would have produced.
+    fn flush_fetch_streak(&mut self) {
+        if self.fetch_hits > 0 {
+            self.mem
+                .record_repeat_fetches(self.fetch_addr, 1, self.fetch_hits);
+            self.fetch_hits = 0;
+        }
+    }
+}
+
+impl LaneHost for WindowHost<'_> {
+    fn fetch(&mut self, byte_addr: u32) -> u32 {
+        let line = u64::from(byte_addr >> self.line_shift);
+        if line == self.fetch_line {
+            self.fetch_hits += 1;
+            return HIT_LATENCY;
+        }
+        self.flush_fetch_streak();
+        self.fetch_line = line;
+        self.fetch_addr = byte_addr;
+        self.mem.fetch(byte_addr)
+    }
+
+    fn load(&mut self, addr: u32, w: Width) -> (u32, u32) {
+        let r = self.mem.load(addr, w);
+        (r.value, r.latency)
+    }
+
+    fn store(&mut self, addr: u32, value: u32, w: Width) -> u32 {
+        // Crossbar-config addresses were bounced by `store_side_exits`,
+        // so this store can never carry an xbar write.
+        self.mem.store(addr, value, w).latency
+    }
+
+    fn store_side_exits(&self, addr: u32) -> bool {
+        memmap::is_xbar_cfg(addr)
+    }
+
+    fn custom_bound(&self, ci: CiId) -> bool {
+        self.bindings.iter().any(|(id, _)| *id == ci.0)
+    }
+
+    fn exec_custom(&mut self, ci: CiId, inputs: [u32; 4]) -> Option<CustomOutcome> {
+        let binding = self
+            .bindings
+            .iter()
+            .find_map(|(id, b)| (*id == ci.0).then_some(b))?;
+        Some(match binding {
+            CiBinding::Single { control } => {
+                let out = eval_single(control, inputs, &mut SpmAdapter(self.mem));
+                self.activations[self.tile.index()] += 1;
+                CustomOutcome::healthy(out, false)
+            }
+            CiBinding::Fused {
+                first,
+                partner,
+                second,
+            } => {
+                let out = eval_fused(first, second, inputs, &mut SpmAdapter(self.mem));
+                self.activations[self.tile.index()] += 1;
+                self.activations[partner.index()] += 1;
+                CustomOutcome::healthy(out, true)
+            }
+        })
+    }
+}
+
+/// Diagnostic counters for the translated window engine.
+///
+/// Like [`Chip::skipped_cycles`], these describe how the fast path got
+/// to the answer, not the answer itself — they are not part of
+/// snapshots or [`RunSummary`], which stay bit-identical to the
+/// reference loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TranslationStats {
+    /// Compute windows committed (clock jumps through translated code).
+    pub windows: u64,
+    /// Cycles the clock jumped over at window commits.
+    pub batched_cycles: u64,
+    /// Instructions retired by the translated engine.
+    pub uops_executed: u64,
+    /// Basic blocks lowered to micro-ops across all tiles.
+    pub blocks_translated: u64,
+    /// Block dispatches served from the per-tile translation caches.
+    pub cache_hits: u64,
+}
+
 /// The simulated chip.
 pub struct Chip {
     cfg: ChipConfig,
@@ -553,6 +678,15 @@ pub struct Chip {
     /// Cycles elided by the fast path (diagnostic; not part of the
     /// summary, which must stay bit-identical to the reference loop).
     skipped: u64,
+    /// Translated (basic-block micro-op) execution enabled for `run`.
+    translate: bool,
+    /// Per-tile translation caches (cleared on program swap; not part of
+    /// snapshots — lowering is a pure function of the loaded program).
+    trans: Vec<TransCache>,
+    /// Struct-of-arrays register bank shared by window lanes.
+    lane_bank: LaneBank,
+    /// Translated-engine diagnostics (windows, batched cycles, uops).
+    tstats: TranslationStats,
     /// Installed fault plan and its runtime state, if any. `None` keeps
     /// every fault check off the hot paths of fault-free runs.
     faults: Option<FaultRuntime>,
@@ -604,6 +738,10 @@ impl Chip {
             waiting: 0,
             next_wake: 0,
             skipped: 0,
+            translate: true,
+            trans: (0..n).map(|_| TransCache::new()).collect(),
+            lane_bank: LaneBank::new(n),
+            tstats: TranslationStats::default(),
             faults: None,
             paranoid: false,
             xbar_reconfigured: false,
@@ -856,14 +994,13 @@ impl Chip {
     /// rollback request queued by this tick's fault detections, or else
     /// refreshes the periodic checkpoint when due. Ordered this way so a
     /// detection can never be checkpointed over before it is served.
-    fn rollback_service(&mut self) {
+    fn rollback_service(&mut self) -> Result<(), SimError> {
         let pending = match self.faults.as_mut() {
             Some(f) if !f.pending_masks.is_empty() => std::mem::take(&mut f.pending_masks),
             _ => Vec::new(),
         };
         if !pending.is_empty() {
-            self.serve_rollback(pending);
-            return;
+            return self.serve_rollback(pending);
         }
         let due = self
             .rollback
@@ -877,24 +1014,29 @@ impl Chip {
             }
             let cycle = self.cycle;
             self.tracer.emit(|| TraceEvent::Checkpoint { cycle });
-            let rb = self.rollback.as_mut().expect("due implies rollback state");
-            rb.last = last;
-            rb.next_checkpoint = self.cycle + rb.interval;
+            if let Some(rb) = self.rollback.as_mut() {
+                rb.last = last;
+                rb.next_checkpoint = self.cycle + rb.interval;
+            }
             self.sync_rollback_armed();
         }
+        Ok(())
     }
 
     /// Performs one rollback: rewinds the chip to the last checkpoint and
     /// installs the requested masks so the replay reads the faulted
     /// components as healthy until their recovery cycles.
-    fn serve_rollback(&mut self, pending: Vec<PendingMask>) {
+    fn serve_rollback(&mut self, pending: Vec<PendingMask>) -> Result<(), SimError> {
         // Mask state must survive the rewind (the checkpoint predates the
         // detection): merge-max the pre-restore masks plus the new
-        // requests back in afterwards.
-        let f = self
-            .faults
-            .as_ref()
-            .expect("pending masks imply a fault runtime");
+        // requests back in afterwards. A request is only ever queued by a
+        // detection inside an active fault runtime while a checkpoint is
+        // armed; should either be gone regardless, the requests are
+        // dropped and the ordinary degradation ladder picks the fault up
+        // at its next detection.
+        let Some(f) = self.faults.as_ref() else {
+            return Ok(());
+        };
         let mut patch_mask = f.patch_mask_until.clone();
         let mut switch_mask = f.switch_mask_until.clone();
         for m in &pending {
@@ -906,31 +1048,37 @@ impl Chip {
             *slot = (*slot).max(m.until);
         }
         let rollbacks = f.stats.rollbacks + 1;
-        let snap = self
-            .rollback
-            .as_mut()
-            .and_then(|r| r.last.take())
-            .expect("armed rollback implies a checkpoint");
+        let Some(snap) = self.rollback.as_mut().and_then(|r| r.last.take()) else {
+            return Ok(());
+        };
         let (cycle, to_cycle) = (self.cycle, snap.cycle);
         self.tracer
             .emit(|| TraceEvent::Rollback { cycle, to_cycle });
-        // Infallible: the checkpoint was captured from this very chip.
-        // The tracer is not chip state and survives the restore.
-        self.restore(&snap).expect("own checkpoint restores");
+        // The checkpoint was captured from this very chip, so a failed
+        // restore is a simulator bug, reported as a typed invariant
+        // violation rather than a panic. The tracer is not chip state and
+        // survives the restore.
+        if let Err(e) = self.restore(&snap) {
+            return Err(SimError::InvariantViolation {
+                component: "rollback",
+                cycle,
+                detail: format!("restore of the chip's own checkpoint failed: {e}"),
+            });
+        }
         if let Some(rb) = self.rollback.as_mut() {
             rb.last = Some(snap);
             rb.budget_left -= 1;
         }
-        let f = self
-            .faults
-            .as_mut()
-            .expect("restore preserves the fault runtime");
-        for i in 0..patch_mask.len() {
-            f.patch_mask_until[i] = f.patch_mask_until[i].max(patch_mask[i]);
-            f.switch_mask_until[i] = f.switch_mask_until[i].max(switch_mask[i]);
+        // `restore` preserves the fault runtime it was captured with.
+        if let Some(f) = self.faults.as_mut() {
+            for i in 0..patch_mask.len() {
+                f.patch_mask_until[i] = f.patch_mask_until[i].max(patch_mask[i]);
+                f.switch_mask_until[i] = f.switch_mask_until[i].max(switch_mask[i]);
+            }
+            f.stats.rollbacks = rollbacks;
         }
-        f.stats.rollbacks = rollbacks;
         self.sync_rollback_armed();
+        Ok(())
     }
 
     /// Configuration.
@@ -952,10 +1100,8 @@ impl Chip {
 
     /// Loads a program without custom-instruction bindings.
     pub fn load_program(&mut self, tile: TileId, program: &Program) {
-        // Invariant: `load_kernel` only errors while validating bindings,
-        // and the binding table here is empty.
-        self.load_kernel(tile, program, HashMap::new())
-            .expect("no bindings to validate");
+        // No bindings, nothing to validate: install directly.
+        self.install_kernel(tile, program, HashMap::new());
     }
 
     /// Loads a program plus the stitcher's custom-instruction bindings.
@@ -974,8 +1120,20 @@ impl Chip {
         program: &Program,
         bindings: HashMap<u16, CiBinding>,
     ) -> Result<(), SimError> {
+        self.validate_bindings(tile, &bindings)?;
+        self.install_kernel(tile, program, bindings);
+        Ok(())
+    }
+
+    /// Checks every binding against the chip layout; all of
+    /// [`Chip::load_kernel`]'s error paths live here.
+    fn validate_bindings(
+        &self,
+        tile: TileId,
+        bindings: &HashMap<u16, CiBinding>,
+    ) -> Result<(), SimError> {
         let bad = |reason: String| SimError::BadBinding { tile, reason };
-        for (ci, b) in &bindings {
+        for (ci, b) in bindings {
             match b {
                 CiBinding::Single { control } => {
                     let have = self.cfg.patches[tile.index()];
@@ -1024,6 +1182,17 @@ impl Chip {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Infallible tail of a kernel load: installs the program, resets the
+    /// core, and replaces the binding table (pre-validated or empty).
+    fn install_kernel(
+        &mut self,
+        tile: TileId,
+        program: &Program,
+        bindings: HashMap<u16, CiBinding>,
+    ) {
         // Load text data segments and reset the core.
         for seg in &program.data {
             self.mems[tile.index()].poke_words(seg.base, &seg.words);
@@ -1040,13 +1209,13 @@ impl Chip {
             self.waiting -= 1;
         }
         self.cores[i] = Some(Core::new(program));
+        self.trans[i].invalidate();
         self.live += 1;
         let mut table: Vec<(u16, CiBinding)> = bindings.into_iter().collect();
         table.sort_by_key(|(id, _)| *id);
         self.bindings[i] = table;
         self.busy_until[i] = self.cycle;
         self.next_wake = 0; // stale until the next tick
-        Ok(())
     }
 
     /// Reserves an inter-patch circuit (stitcher API).
@@ -1349,10 +1518,11 @@ impl Chip {
             if self.cycle >= deadline {
                 return Err(SimError::Timeout { max_cycles });
             }
+            self.try_window(deadline);
             self.try_skip(deadline);
             self.tick()?;
             if self.rollback.is_some() {
-                self.rollback_service();
+                self.rollback_service()?;
             }
             self.check_mesh_stall()?;
             // Deadlock is only possible when every live core is parked in
@@ -1383,12 +1553,175 @@ impl Chip {
             }
             self.tick()?;
             if self.rollback.is_some() {
-                self.rollback_service();
+                self.rollback_service()?;
             }
             self.check_mesh_stall()?;
             self.check_deadlock()?;
         }
         Ok(self.summary(self.cycle - start))
+    }
+
+    /// Translated compute window: runs every ready core through the
+    /// basic-block micro-op engine up to the next event boundary.
+    ///
+    /// Fires under the same quiescence conditions as [`Chip::try_skip`]
+    /// — idle mesh, no deliverable message — plus tracing off (windows
+    /// emit no per-instruction events). The horizon is clamped below
+    /// the deadline and the next scheduled fault / periodic checkpoint,
+    /// so nothing the interpreter would have interleaved can land
+    /// inside a window. Each lane executes translated micro-ops with
+    /// `Core::step`'s exact cycle accounting and stops at the horizon
+    /// or at a side exit (send/recv/halt, crossbar-config store,
+    /// custom under an active fault plan, architectural fault); the
+    /// clock then jumps to the earliest stop, with waiting cores' poll
+    /// side effects batch-replayed exactly as in `try_skip`. A lane's
+    /// new `busy_until` is the start cycle of its next unexecuted
+    /// instruction, which is precisely where the tick loop would have
+    /// put it — so the interpreter resumes seamlessly and every
+    /// summary, snapshot, and error stays bit-identical to
+    /// [`Chip::run_reference`].
+    fn try_window(&mut self, deadline: u64) {
+        if !self.translate || self.live == 0 || self.tracer.is_enabled() || !self.mesh.idle() {
+            return;
+        }
+        // A deliverable message completes that core's recv on the very
+        // next tick — the window would jump over the delivery.
+        for (i, src) in self.waiting_on.iter().enumerate() {
+            if let Some(src) = src {
+                if self.mesh.has_delivered(TileId(i as u8), TileId(*src as u8)) {
+                    return;
+                }
+            }
+        }
+        let mut horizon = deadline.saturating_sub(1);
+        if let Some(next_fault) = self
+            .faults
+            .as_ref()
+            .and_then(FaultRuntime::next_event_cycle)
+        {
+            horizon = horizon.min(next_fault.saturating_sub(1));
+        }
+        if let Some(rb) = self.rollback.as_ref() {
+            horizon = horizon.min(rb.next_checkpoint.saturating_sub(1));
+        }
+        if horizon <= self.cycle {
+            return;
+        }
+        // Customs run inline only while no fault plan is installed: the
+        // fault ladder (scrubs, demotions, rollback requests) belongs to
+        // the interpreter.
+        let customs_inline = self.faults.is_none();
+        let mut fence = horizon;
+        let mut progressed = false;
+        for i in 0..self.cores.len() {
+            if self.waiting_on[i].is_some() {
+                continue;
+            }
+            let Some(core) = self.cores[i].as_mut() else {
+                continue;
+            };
+            if core.state() == CoreState::Halted {
+                continue;
+            }
+            let start = (self.cycle + 1).max(self.busy_until[i]);
+            if start > horizon {
+                continue;
+            }
+            let line_shift = self.mems[i].config().icache.block_bytes.trailing_zeros();
+            let mut host = WindowHost {
+                tile: TileId(i as u8),
+                mem: &mut self.mems[i],
+                bindings: &self.bindings[i],
+                activations: &mut self.activations,
+                fetch_line: u64::MAX,
+                fetch_addr: 0,
+                fetch_hits: 0,
+                line_shift,
+            };
+            let run = core.run_translated(
+                &mut self.trans[i],
+                &mut self.lane_bank,
+                i,
+                &mut host,
+                WindowParams {
+                    start,
+                    horizon,
+                    customs_inline,
+                },
+            );
+            // The streak's deferred i-cache effects must land before the
+            // interpreter (or the next window) touches this tile.
+            host.flush_fetch_streak();
+            // The lane's next instruction starts at `next_start` whether
+            // it stopped for the horizon or a side exit; parking
+            // busy_until there reproduces the tick loop's spacing.
+            self.busy_until[i] = run.next_start;
+            if run.executed > 0 {
+                progressed = true;
+                self.tstats.uops_executed += run.executed;
+            }
+            if run.side_exit {
+                // The interpreter must execute this lane's instruction
+                // at `next_start`; the clock may advance at most to the
+                // cycle before it.
+                fence = fence.min(run.next_start.saturating_sub(1));
+            }
+        }
+        if !progressed || fence <= self.cycle {
+            // Nothing retired (or a side exit is due on the very next
+            // tick): leave the clock alone. The busy_until updates above
+            // are still exact.
+            return;
+        }
+        // Jump the clock, replaying waiting cores' per-cycle poll side
+        // effects in one batch (same bookkeeping as `try_skip`).
+        let polls = fence - self.cycle;
+        if self.waiting > 0 {
+            for i in 0..self.waiting_on.len() {
+                if self.waiting_on[i].is_none() {
+                    continue;
+                }
+                let Some(core) = self.cores[i].as_mut() else {
+                    continue;
+                };
+                let (addr, words) = core.poll_footprint();
+                core.record_skipped_polls(polls);
+                self.mems[i].record_repeat_fetches(addr, words, polls);
+            }
+        }
+        self.mesh.fast_forward(fence);
+        self.tstats.windows += 1;
+        self.tstats.batched_cycles += polls;
+        self.cycle = fence;
+        // Busy-until values changed wholesale; let the next tick
+        // recompute the wake heuristic from scratch.
+        self.next_wake = 0;
+    }
+
+    /// Enables or disables the translated (basic-block micro-op) engine
+    /// used by [`Chip::run`]. On by default; disabling forces every
+    /// instruction through the interpreter (the fast path then consists
+    /// of `try_skip` alone). Results are bit-identical either way.
+    pub fn set_translation(&mut self, enabled: bool) {
+        self.translate = enabled;
+    }
+
+    /// True when the translated engine is enabled for [`Chip::run`].
+    #[must_use]
+    pub fn translation_enabled(&self) -> bool {
+        self.translate
+    }
+
+    /// Diagnostic counters for the translated engine, including the
+    /// per-tile translation caches' lifetime totals.
+    #[must_use]
+    pub fn translation_stats(&self) -> TranslationStats {
+        let mut s = self.tstats;
+        for c in &self.trans {
+            s.blocks_translated += c.translated;
+            s.cache_hits += c.hits;
+        }
+        s
     }
 
     /// Event-driven cycle skip.
@@ -1441,9 +1774,12 @@ impl Chip {
                 if self.waiting_on[i].is_none() {
                     continue;
                 }
-                // Invariant: `waiting_on[i]` is only populated by `tick`
-                // for a loaded, non-halted core.
-                let core = self.cores[i].as_mut().expect("waiting core exists");
+                // `waiting_on[i]` is only populated by `tick` for a
+                // loaded, non-halted core; anything else has no poll
+                // footprint to batch.
+                let Some(core) = self.cores[i].as_mut() else {
+                    continue;
+                };
                 let (addr, words) = core.poll_footprint();
                 core.record_skipped_polls(polls);
                 self.mems[i].record_repeat_fetches(addr, words, polls);

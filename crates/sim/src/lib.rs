@@ -37,7 +37,7 @@ pub mod rng;
 pub mod snapshot;
 pub mod summary;
 
-pub use chip::{Blocked, BlockedOp, Chip, CiBinding, FaultedKind, SimError};
+pub use chip::{Blocked, BlockedOp, Chip, CiBinding, FaultedKind, SimError, TranslationStats};
 pub use faults::FaultStats;
 pub use rng::SimRng;
 pub use snapshot::{ChipSnapshot, FaultRuntimeSnapshot, SnapshotError};

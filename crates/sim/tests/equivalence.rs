@@ -50,6 +50,50 @@ fn fast_path_matches_reference_on_fused_ci_workloads() {
     }
 }
 
+/// The translated (basic-block micro-op) engine is on by default in
+/// `Chip::run`; with it forced off, `run` degrades to the pure
+/// interpreter + `try_skip` fast path. Both must agree bit-for-bit —
+/// and the translated side must actually have fired, otherwise this
+/// test is vacuous.
+#[test]
+fn translated_engine_fires_and_matches_interpreter() {
+    for seed in 0..8u64 {
+        let mut translated = pipeline_chip(0xE0_0100 + seed);
+        let mut interp = pipeline_chip(0xE0_0100 + seed);
+        interp.set_translation(false);
+        assert!(translated.translation_enabled());
+        assert!(!interp.translation_enabled());
+        let a = translated.run(BUDGET).expect("translated run terminates");
+        let b = interp.run(BUDGET).expect("interpreted run terminates");
+        assert_eq!(a, b, "summary diverges for seed {seed}");
+        assert_eq!(
+            translated.cycle(),
+            interp.cycle(),
+            "clock diverges for seed {seed}"
+        );
+        let ts = translated.translation_stats();
+        assert!(ts.windows > 0, "no window fired (seed {seed})");
+        assert!(ts.uops_executed > 0, "no translated uops (seed {seed})");
+        assert!(ts.blocks_translated > 0, "nothing lowered (seed {seed})");
+        assert_eq!(interp.translation_stats().uops_executed, 0);
+    }
+    // Fused CI workloads exercise the custom-instruction inline path
+    // and the translation cache (tight CI loops re-enter their block).
+    for seed in 0..8u64 {
+        let mut translated = fused_chip(0xF5_ED00 + seed);
+        let mut interp = fused_chip(0xF5_ED00 + seed);
+        interp.set_translation(false);
+        let a = translated.run(BUDGET).expect("translated run terminates");
+        let b = interp.run(BUDGET).expect("interpreted run terminates");
+        assert_eq!(a, b, "fused summary diverges for seed {seed}");
+        let ts = translated.translation_stats();
+        assert!(
+            ts.cache_hits > ts.blocks_translated,
+            "loops must mostly hit the translation cache (seed {seed}: {ts:?})"
+        );
+    }
+}
+
 #[test]
 fn fast_path_is_deterministic() {
     for seed in [3u64, 11, 19] {

@@ -6,6 +6,7 @@ use std::fmt;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use stitch_apps::{build_node_program, App};
 use stitch_compiler::{
@@ -18,7 +19,7 @@ use stitch_noc::{PatchNet, PortDir, TileId};
 use stitch_power::{average_power_mw, PowerBreakdown};
 use stitch_sim::{
     Arch, Chip, ChipConfig, FaultKind, FaultPlan, FaultStats, RunSummary, SimError, TraceCapture,
-    TraceConfig,
+    TraceConfig, TranslationStats,
 };
 use stitch_verify::{
     check_circuits, check_comm, check_plan, check_program, check_routes, AccelView, CommEdge,
@@ -106,6 +107,9 @@ pub struct AppRun {
     /// Cycles the event-driven fast path elided (0 on the reference
     /// engine) — a diagnostic, deliberately outside `summary`.
     pub skipped_cycles: u64,
+    /// Translated-engine counters (all zero on the reference engine) —
+    /// like `skipped_cycles`, a diagnostic outside `summary`.
+    pub translation: TranslationStats,
     /// Fault-handling counters (all zero on a fault-free run).
     pub fault_stats: FaultStats,
     /// Captured event stream, when the workbench had tracing enabled
@@ -172,8 +176,30 @@ pub enum SimEngine {
 #[derive(Default, Clone)]
 pub struct Workbench {
     variants: HashMap<String, KernelVariants>,
+    prepared: Arc<Mutex<HashMap<PrepKey, Arc<Prepared>>>>,
     engine: SimEngine,
     trace: Option<TraceConfig>,
+    translate: Option<bool>,
+}
+
+/// Identity of one compile→stitch pipeline output: everything
+/// [`Workbench::prepare`] reads besides the (immutable) app definition
+/// and the kernel-variant cache. Fault plans enter only through the
+/// permanently-failed-patch mask, which is exactly what the stitcher
+/// consumes.
+type PrepKey = (&'static str, Arch, u32, Vec<TileId>);
+
+/// Memoized output of [`Workbench::prepare`] plus the fault-free static
+/// verification report over those artifacts. Stored behind an `Arc` that
+/// all workbench clones share, so sweep workers and repeated runs of the
+/// same (app, arch, frames, mask) point skip the whole pipeline.
+struct Prepared {
+    cfg: ChipConfig,
+    plan: StitchPlan,
+    loads: Vec<NodeLoad>,
+    /// `verify_run` with no fault plan. Runs carrying a fault plan
+    /// re-verify against its dead-link set instead of using this.
+    clean_report: Report,
 }
 
 impl Workbench {
@@ -187,6 +213,14 @@ impl Workbench {
     /// the sweep harness inherit it).
     pub fn set_engine(&mut self, engine: SimEngine) {
         self.engine = engine;
+    }
+
+    /// Overrides basic-block translation on the chips subsequent runs
+    /// build (`None` keeps the chip default, which is on). Only
+    /// meaningful for [`SimEngine::EventDriven`]; the reference loop
+    /// never translates. Sweep-worker clones inherit the setting.
+    pub fn set_translation(&mut self, enabled: Option<bool>) {
+        self.translate = enabled;
     }
 
     /// Enables event tracing for subsequent runs (`None` disables it).
@@ -357,13 +391,29 @@ impl Workbench {
     /// Algorithm 1 (with permanently dead patches masked out), and
     /// build every per-node program the chip would execute,
     /// accelerating where the plan grants it.
+    ///
+    /// The result is memoized in a cache shared by every clone of this
+    /// workbench: the pipeline is a pure function of the key (app, arch,
+    /// frames, failed-patch mask), so repeated sweep points — and all
+    /// sixteen workers of a grid sweep — compile and stitch each point
+    /// once. The fault-free verification report is memoized alongside
+    /// (it depends only on the same key).
     fn prepare(
         &mut self,
         app: &App,
         arch: Arch,
         frames: u32,
         fault_plan: Option<&FaultPlan>,
-    ) -> Result<(ChipConfig, StitchPlan, Vec<NodeLoad>), Error> {
+    ) -> Result<Arc<Prepared>, Error> {
+        // Already sorted and deduped, so it is a canonical cache key.
+        let masked = fault_plan
+            .map(FaultPlan::failed_patches)
+            .unwrap_or_default();
+        let key: PrepKey = (app.name, arch, frames, masked);
+        if let Some(p) = self.prepared.lock().ok().and_then(|c| c.get(&key).cloned()) {
+            return Ok(p);
+        }
+
         // 1. Variants for each node's kernel (cached across nodes/archs).
         let mut app_kernels = Vec::new();
         for n in &app.nodes {
@@ -375,11 +425,8 @@ impl Workbench {
         }
 
         // 2. Algorithm 1, with permanently dead patches masked out.
-        let masked = fault_plan
-            .map(FaultPlan::failed_patches)
-            .unwrap_or_default();
         let chip_cfg = ChipConfig::for_arch(arch);
-        let plan = stitch_application_masked(&app_kernels, &chip_cfg, arch, &masked);
+        let plan = stitch_application_masked(&app_kernels, &chip_cfg, arch, &key.3);
 
         // 3. Build every per-node program the chip will execute.
         let mut loads: Vec<NodeLoad> = Vec::new();
@@ -397,7 +444,17 @@ impl Workbench {
             };
             loads.push(NodeLoad { program, accel });
         }
-        Ok((chip_cfg, plan, loads))
+        let clean_report = verify_run(app, &chip_cfg, &plan, None, &loads);
+        let prepared = Arc::new(Prepared {
+            cfg: chip_cfg,
+            plan,
+            loads,
+            clean_report,
+        });
+        if let Ok(mut cache) = self.prepared.lock() {
+            cache.insert(key, Arc::clone(&prepared));
+        }
+        Ok(prepared)
     }
 
     /// Runs the full compile→stitch pipeline for one (app, arch) point
@@ -413,8 +470,7 @@ impl Workbench {
     /// Propagates compiler and program-assembly failures (the stages
     /// that produce the artifacts under verification).
     pub fn verify_app(&mut self, app: &App, arch: Arch, frames: u32) -> Result<Report, Error> {
-        let (chip_cfg, plan, loads) = self.prepare(app, arch, frames, None)?;
-        Ok(verify_run(app, &chip_cfg, &plan, None, &loads))
+        Ok(self.prepare(app, arch, frames, None)?.clean_report.clone())
     }
 
     fn run_app_inner(
@@ -424,22 +480,37 @@ impl Workbench {
         frames: u32,
         fault_plan: Option<&FaultPlan>,
     ) -> Result<AppRun, Error> {
-        let (chip_cfg, plan, loads) = self.prepare(app, arch, frames, fault_plan)?;
+        let prep = self.prepare(app, arch, frames, fault_plan)?;
+        let Prepared {
+            cfg: ref chip_cfg,
+            ref plan,
+            ref loads,
+            ref clean_report,
+        } = *prep;
 
         // Static verification gate: plan legality, circuit integrity,
         // the communication graph, route reachability under the fault
         // mask, and W32 lints — all proven before the chip exists.
-        let report = verify_run(app, &chip_cfg, &plan, fault_plan, &loads);
+        // Fault-free runs reuse the memoized report; a fault plan
+        // contributes a dead-link set to `check_routes`, so those runs
+        // re-verify against it.
+        let report = match fault_plan {
+            None => clean_report.clone(),
+            Some(_) => verify_run(app, chip_cfg, plan, fault_plan, loads),
+        };
         if !report.is_clean() {
             return Err(Error::Verify(report));
         }
 
         // 4. Load the verified artifacts onto the chip.
-        let mut chip = Chip::new(chip_cfg);
+        let mut chip = Chip::new(chip_cfg.clone());
         // Tracing starts before circuit reservation so stitch-time
         // `CircuitReserve` events are part of the stream.
         if let Some(tc) = &self.trace {
             chip.set_trace(tc);
+        }
+        if let Some(t) = self.translate {
+            chip.set_translation(t);
         }
         if let Some(fp) = fault_plan {
             chip.set_fault_plan(fp.clone());
@@ -478,10 +549,11 @@ impl Workbench {
             arch,
             frames,
             summary,
-            plan,
+            plan: plan.clone(),
             throughput_fps,
             power_mw,
             skipped_cycles: chip.skipped_cycles(),
+            translation: chip.translation_stats(),
             fault_stats: chip.fault_stats(),
             node_outputs,
             trace: chip.take_trace(),
@@ -505,6 +577,21 @@ impl Workbench {
     #[must_use]
     pub fn default_threads() -> usize {
         thread::available_parallelism().map_or(1, NonZeroUsize::get)
+    }
+
+    /// The worker-pool width [`Workbench::sweep`] actually uses for
+    /// `threads` requested workers over `points` sweep points (`0` =
+    /// one per hardware thread; never wider than the point count).
+    /// Exposed so reports can record the real pool width rather than
+    /// the requested one.
+    #[must_use]
+    pub fn sweep_workers(threads: usize, points: usize) -> usize {
+        let t = if threads == 0 {
+            Self::default_threads()
+        } else {
+            threads
+        };
+        t.min(points).max(1)
     }
 
     /// Compiles the variants of every kernel appearing in `apps` so that
@@ -565,12 +652,23 @@ impl Workbench {
             return Vec::new();
         }
         self.prewarm(apps);
-        let workers = if threads == 0 {
-            Self::default_threads()
-        } else {
-            threads
+        let workers = Self::sweep_workers(threads, points.len());
+        if workers == 1 {
+            // A single worker gains nothing from the pool machinery —
+            // spawning a thread just to feed it points through a channel
+            // costs a deep workbench clone plus messaging. Run inline on
+            // the caller's workbench; each point is the same independent
+            // pipeline either way, so the results are identical.
+            return points
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| {
+                    let run = self.run_app(&apps[p.app], p.arch, frames)?;
+                    on_done(i, &run)?;
+                    Ok(run)
+                })
+                .collect();
         }
-        .min(points.len());
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, Result<AppRun, Error>)>();
         let mut out: Vec<Option<Result<AppRun, Error>>> = (0..points.len()).map(|_| None).collect();
