@@ -557,7 +557,8 @@ mod tests {
             let tiles: Vec<TileId> = app.nodes.iter().map(|n| n.home).collect();
             let mut chip = Chip::new(ChipConfig::baseline_16());
             for i in 0..app.nodes.len() {
-                chip.load_program(tiles[i], &build_node_program(&app, i, 2, &tiles).unwrap());
+                chip.load_program(tiles[i], &build_node_program(&app, i, 2, &tiles).unwrap())
+                    .unwrap();
             }
             let summary = chip
                 .run(2_000_000_000)

@@ -49,7 +49,7 @@ fn bench_simulator() {
     let program = countdown_kernel(10_000);
     bench::time_fn("sim/30k-cycle kernel run", 2, 20, || {
         let mut chip = Chip::new(ChipConfig::baseline_16());
-        chip.load_program(TileId(0), &program);
+        chip.load_program(TileId(0), &program).unwrap();
         black_box(chip.run(10_000_000).expect("run").cycles)
     });
 }

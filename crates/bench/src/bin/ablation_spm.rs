@@ -19,7 +19,7 @@ fn main() {
         let program = k.standalone().expect("kernel program builds");
         let run = |cfg: ChipConfig| -> u64 {
             let mut chip = Chip::new(cfg);
-            chip.load_program(TileId(0), &program);
+            chip.load_program(TileId(0), &program).unwrap();
             chip.run(2_000_000_000).expect("run").cycles
         };
         let big = run(ChipConfig::baseline_16());

@@ -1,0 +1,154 @@
+//! Budget-sandboxing regression guard (ISSUE 7).
+//!
+//! The resource sandbox must be free twice over:
+//!
+//! 1. **Wall clock, budgets disabled** — the `RunBudget` checks woven
+//!    into the hot loops of both engines must cost nothing when no cap
+//!    is set. The untraced Fig 12 grid sweep is timed (best of three)
+//!    against the committed `BENCH_sim.json
+//!    fig12_grid.fast_threaded_wall_s` baseline and must stay within
+//!    the tolerance (default 2%, `--tolerance` to relax on noisy CI
+//!    hosts).
+//! 2. **Simulated behavior, budgets enabled** — an enabled-but-roomy
+//!    budget (every axis capped far above what the apps need) must not
+//!    perturb simulation by a single bit. Each app's clean Stitch
+//!    throughput is recomputed with and without the roomy budget,
+//!    asserted bit-identical, and checked against the committed
+//!    `clean_fps` in `BENCH_faults.json`.
+//!
+//! Run from the repo root: `cargo run --release -p stitch-bench --bin
+//! budget_guard [-- --tolerance 0.5]`.
+
+use std::time::Instant;
+
+use stitch::{Arch, JsonValue, RunBudget, Workbench, DEFAULT_FRAMES};
+use stitch_apps::App;
+
+/// Default wall-clock regression budget: 2%.
+const DEFAULT_TOLERANCE: f64 = 0.02;
+
+/// A budget that is enabled (so every check runs) but generous enough
+/// that no axis can fire on the benchmark apps.
+fn roomy_budget() -> RunBudget {
+    RunBudget {
+        cycles: Some(u64::MAX / 2),
+        memory_pages: Some(u64::MAX / 2),
+        messages: Some(u64::MAX / 2),
+        in_flight_messages: Some(u64::MAX / 2),
+        trace_events: Some(u64::MAX / 2),
+        snapshot_bytes: Some(u64::MAX / 2),
+    }
+}
+
+fn behavior_guard() {
+    println!("{}", bench::header("Budgets-enabled bit-stability"));
+    let committed = std::fs::read_to_string("BENCH_faults.json").expect("read BENCH_faults.json");
+    let committed = JsonValue::parse(&committed).expect("parse BENCH_faults.json");
+    let apps = committed
+        .get("apps")
+        .and_then(JsonValue::as_array)
+        .expect("BENCH_faults.json apps");
+
+    for app in App::all() {
+        let mut plain = Workbench::new();
+        let baseline = plain
+            .run_app(&app, Arch::Stitch, DEFAULT_FRAMES)
+            .expect("clean run");
+
+        let mut budgeted = Workbench::new();
+        budgeted.set_budget(roomy_budget());
+        let guarded = budgeted
+            .run_app(&app, Arch::Stitch, DEFAULT_FRAMES)
+            .expect("clean run under roomy budget");
+
+        assert_eq!(
+            baseline.summary, guarded.summary,
+            "{}: a roomy budget perturbed the run summary",
+            app.name
+        );
+        assert!(
+            baseline.throughput_fps == guarded.throughput_fps,
+            "{}: a roomy budget perturbed throughput ({} vs {})",
+            app.name,
+            baseline.throughput_fps,
+            guarded.throughput_fps
+        );
+
+        let committed_fps = apps
+            .iter()
+            .find(|a| a.get("app").and_then(JsonValue::as_str) == Some(app.name))
+            .and_then(|a| a.get("clean_fps"))
+            .and_then(JsonValue::as_f64)
+            .unwrap_or_else(|| panic!("{}: no clean_fps in BENCH_faults.json", app.name));
+        // The report rounds to three decimals; compare at that grain.
+        let recomputed = format!("{:.3}", guarded.throughput_fps);
+        let committed = format!("{committed_fps:.3}");
+        assert_eq!(
+            recomputed, committed,
+            "{}: clean throughput drifted from BENCH_faults.json",
+            app.name
+        );
+        println!(
+            "{:>6}: clean {recomputed} fps — identical with budgets enabled, matches baseline",
+            app.name
+        );
+    }
+    println!("budgets-enabled runs are bit-identical on every app");
+}
+
+fn wall_clock_guard(tolerance: f64) {
+    println!("{}", bench::header("Budgets-disabled overhead check"));
+    let committed = std::fs::read_to_string("BENCH_sim.json").expect("read BENCH_sim.json");
+    let committed = JsonValue::parse(&committed).expect("parse BENCH_sim.json");
+    let baseline = committed
+        .get("fig12_grid")
+        .and_then(|g| g.get("fast_threaded_wall_s"))
+        .and_then(JsonValue::as_f64)
+        .expect("BENCH_sim.json fig12_grid.fast_threaded_wall_s");
+
+    let apps = App::all();
+    let grid = Workbench::full_grid(&apps);
+    let threads = Workbench::default_threads();
+    let mut ws = Workbench::new();
+    ws.set_trace(None);
+    ws.prewarm(&apps);
+    let mut best = f64::INFINITY;
+    for i in 0..3 {
+        let t = Instant::now();
+        for r in ws.sweep(&apps, &grid, DEFAULT_FRAMES, threads) {
+            r.expect("untraced run");
+        }
+        let wall = t.elapsed().as_secs_f64();
+        println!("fig12 grid, budgets disabled, pass {i}: {wall:>6.2}s");
+        best = best.min(wall);
+    }
+    let overhead = best / baseline - 1.0;
+    println!(
+        "best {best:.2}s vs committed {baseline:.2}s: {:+.1}% (budget {:+.1}%)",
+        overhead * 100.0,
+        tolerance * 100.0
+    );
+    assert!(
+        overhead <= tolerance,
+        "budgets-disabled sweep regressed {:.1}% (> {:.1}% budget) vs BENCH_sim.json",
+        overhead * 100.0,
+        tolerance * 100.0
+    );
+    println!("budgets-disabled hot path is within budget");
+}
+
+fn main() {
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let v = args.next().expect("--tolerance needs a value");
+                tolerance = v.parse().expect("--tolerance takes a float");
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    behavior_guard();
+    wall_clock_guard(tolerance);
+}

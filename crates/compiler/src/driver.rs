@@ -284,7 +284,7 @@ fn measure_baseline(
     output: Option<(u32, usize)>,
 ) -> Result<(u64, Vec<u32>), CompilerError> {
     let mut chip = Chip::new(measurement_chip(None));
-    chip.load_program(TileId(0), program);
+    chip.load_program(TileId(0), program).unwrap();
     let summary = chip
         .run(MEASURE_BUDGET)
         .map_err(|e| CompilerError::Profile(format!("baseline measurement: {e}")))?;

@@ -8,7 +8,7 @@
 
 use crate::cfg::Cfg;
 use crate::CompilerError;
-use stitch_cpu::{Core, CoreState, CustomOutcome, Platform, StepOutcome};
+use stitch_cpu::{Core, CoreState, CpuError, CustomOutcome, Platform, StepOutcome};
 use stitch_isa::custom::CiId;
 use stitch_isa::instr::Width;
 use stitch_isa::program::Program;
@@ -82,7 +82,9 @@ impl Platform for ProfilePlatform {
         ))
     }
 
-    fn send(&mut self, _dst: u32, _addr: u32, _len: u32) {}
+    fn send(&mut self, _dst: u32, _addr: u32, _len: u32) -> Result<(), CpuError> {
+        Ok(())
+    }
 
     fn try_recv(
         &mut self,

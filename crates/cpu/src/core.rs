@@ -66,7 +66,12 @@ pub trait Platform {
 
     /// Sends `len` words starting at local address `addr` to tile `dst`
     /// (NIC DMA; the platform reads the words functionally).
-    fn send(&mut self, dst: u32, addr: u32, len: u32);
+    ///
+    /// # Errors
+    ///
+    /// [`CpuError::BadSendTarget`] when `dst` names a tile that does not
+    /// exist on the platform (an unchecked flit would wedge the mesh).
+    fn send(&mut self, dst: u32, addr: u32, len: u32) -> Result<(), CpuError>;
 
     /// Attempts to receive a message from tile `src`; on success the
     /// platform writes it to `addr` and returns its word count.
@@ -441,7 +446,7 @@ impl Core {
             }
             Instr::Send { dst, addr, len } => {
                 let n = cpu.reg(*len);
-                platform.send(cpu.reg(*dst), cpu.reg(*addr), n);
+                platform.send(cpu.reg(*dst), cpu.reg(*addr), n)?;
                 cycles += 1 + n;
                 cpu.stats.words_sent += u64::from(n);
             }
@@ -503,8 +508,9 @@ mod tests {
                 false,
             ))
         }
-        fn send(&mut self, dst: u32, addr: u32, len: u32) {
+        fn send(&mut self, dst: u32, addr: u32, len: u32) -> Result<(), CpuError> {
             self.sent.push((dst, addr, len));
+            Ok(())
         }
         fn try_recv(&mut self, src: u32, _addr: u32, len: u32) -> Result<Option<u32>, CpuError> {
             if let Some(pos) = self.inbox.iter().position(|(s, _)| *s == src) {

@@ -67,6 +67,14 @@ pub enum CpuError {
         /// The target instruction index.
         target: u32,
     },
+    /// A `send` named a destination tile that does not exist on this
+    /// chip. Left unchecked, such a flit would route toward
+    /// out-of-mesh coordinates and wedge the network forever; the
+    /// platform rejects it before injection instead.
+    BadSendTarget {
+        /// The destination tile id the program supplied.
+        target: u32,
+    },
     /// A custom instruction hit a faulted patch or severed fused circuit
     /// while the active fault plan forbids graceful degradation (strict
     /// mode). The chip simulator translates this into its typed
@@ -112,6 +120,9 @@ impl fmt::Display for CpuError {
                 write!(f, "recv expected {expected} words, message has {got}")
             }
             CpuError::BadTarget { target } => write!(f, "control transfer to {target}"),
+            CpuError::BadSendTarget { target } => {
+                write!(f, "send addressed to nonexistent tile {target}")
+            }
             CpuError::PatchFaulted { ci, kind } => {
                 write!(f, "custom instruction {ci} hit a hardware fault: {kind}")
             }

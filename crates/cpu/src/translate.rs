@@ -126,6 +126,18 @@ impl TransCache {
         self.translated += 1;
         slot
     }
+
+    /// Entry pcs with a lowered block — the live block-coverage map of
+    /// the loaded program. The fuzzer uses this as its coverage signal:
+    /// a mutated program that lights up a new entry pc found a basic
+    /// block the corpus had not reached.
+    pub fn covered_entries(&self) -> impl Iterator<Item = u32> + '_ {
+        self.index
+            .iter()
+            .enumerate()
+            .filter(|(_, &slot)| slot != NO_BLOCK)
+            .map(|(pc, _)| pc as u32)
+    }
 }
 
 /// Struct-of-arrays register bank for the tiles participating in a
@@ -515,7 +527,7 @@ impl Core {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CoreState, Platform, StepOutcome};
+    use crate::{CoreState, CpuError, Platform, StepOutcome};
     use stitch_isa::{Cond, Program, ProgramBuilder};
     use stitch_patch::PatchOutput;
 
@@ -585,7 +597,9 @@ mod tests {
                 false,
             ))
         }
-        fn send(&mut self, _dst: u32, _addr: u32, _len: u32) {}
+        fn send(&mut self, _dst: u32, _addr: u32, _len: u32) -> Result<(), CpuError> {
+            Ok(())
+        }
         fn try_recv(
             &mut self,
             _src: u32,

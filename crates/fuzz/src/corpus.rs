@@ -1,0 +1,70 @@
+//! Checked-in minimized corpus.
+//!
+//! Layout: `crates/fuzz/corpus/<target>/<class>-<n>.bin` — the file
+//! name's leading `<class>` (up to the last `-`) is the classification
+//! the input must still produce when replayed, which turns the corpus
+//! into a set of pinned regression cases. The driver binary
+//! (`stitch-fuzz <target> --write-corpus`) regenerates each directory:
+//! it keeps one minimal representative per classification (plus, for
+//! the differential target, per new-coverage input) and greedily
+//! shrinks word images while the classification is preserved.
+
+use std::fs;
+use std::path::PathBuf;
+
+use crate::targets::Target;
+
+/// Root of the checked-in corpus (inside the crate, so replay tests
+/// find it from `CARGO_MANIFEST_DIR` without configuration).
+#[must_use]
+pub fn corpus_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// Directory holding one target's corpus.
+#[must_use]
+pub fn corpus_dir(target: Target) -> PathBuf {
+    corpus_root().join(target.name())
+}
+
+/// Loads a target's corpus as `(expected classification, bytes)`
+/// pairs, sorted by file name for determinism. Missing directories
+/// yield an empty corpus (the harness still runs seeded sweeps).
+#[must_use]
+pub fn load(target: Target) -> Vec<(String, Vec<u8>)> {
+    let dir = corpus_dir(target);
+    let Ok(entries) = fs::read_dir(&dir) else {
+        return Vec::new();
+    };
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_file())
+        .collect();
+    files.sort();
+    files
+        .into_iter()
+        .filter_map(|path| {
+            let stem = path.file_stem()?.to_str()?.to_owned();
+            let class = match stem.rsplit_once('-') {
+                Some((class, _)) => class.to_owned(),
+                None => stem,
+            };
+            let bytes = fs::read(&path).ok()?;
+            Some((class, bytes))
+        })
+        .collect()
+}
+
+/// Writes a freshly minimized corpus for one target, replacing the
+/// directory's previous contents.
+pub fn store(target: Target, inputs: &[(String, Vec<u8>)]) -> std::io::Result<()> {
+    let dir = corpus_dir(target);
+    if dir.exists() {
+        fs::remove_dir_all(&dir)?;
+    }
+    fs::create_dir_all(&dir)?;
+    for (n, (class, bytes)) in inputs.iter().enumerate() {
+        fs::write(dir.join(format!("{class}-{n}.bin")), bytes)?;
+    }
+    Ok(())
+}

@@ -200,7 +200,7 @@ fn parse_instr(
             want(2)?;
             let mut b = crate::ProgramBuilder::new();
             b.li(parse_reg(args[0], line)?, parse_imm(args[1], line)?);
-            instrs.extend(b.build().expect("li never fails").instrs);
+            instrs.extend(b.build()?.instrs);
         }
         "mv" => {
             want(2)?;
@@ -236,7 +236,7 @@ fn parse_instr(
             let cond = Cond::ALL
                 .into_iter()
                 .find(|c| c.mnemonic() == mnemonic)
-                .expect("mnemonic matched above");
+                .ok_or_else(|| err(line, format!("unknown branch mnemonic '{mnemonic}'")))?;
             fixups.push((instrs.len(), args[2].to_string(), line));
             instrs.push(Instr::Branch {
                 cond,

@@ -87,10 +87,13 @@ impl Cond {
     /// Encoding code.
     #[must_use]
     pub fn code(self) -> u8 {
+        // Every variant appears in `ALL` in declaration order (pinned
+        // by the encode/decode roundtrip tests); the discriminant is
+        // the panic-free fallback should they ever diverge.
         Self::ALL
             .iter()
             .position(|&c| c == self)
-            .expect("cond in ALL") as u8
+            .unwrap_or(self as usize) as u8
     }
 
     /// Inverse of [`Cond::code`].

@@ -138,10 +138,13 @@ impl AluOp {
     /// Encoding index (stable across the crate's binary format).
     #[must_use]
     pub fn code(self) -> u8 {
+        // Every variant appears in `ALL` in declaration order (pinned
+        // by the encode/decode roundtrip tests); the discriminant is
+        // the panic-free fallback should they ever diverge.
         Self::ALL
             .iter()
             .position(|&op| op == self)
-            .expect("op present in ALL") as u8
+            .unwrap_or(self as usize) as u8
     }
 
     /// Inverse of [`AluOp::code`].

@@ -135,9 +135,15 @@ impl ProgramBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`IsaError::DuplicateLabel`] if already bound.
+    /// Returns [`IsaError::DuplicateLabel`] if already bound (or if the
+    /// label belongs to a different builder and is out of range here).
     pub fn bind(&mut self, label: Label) -> Result<(), IsaError> {
-        let slot = &mut self.labels[label.0];
+        let Some(slot) = self.labels.get_mut(label.0) else {
+            return Err(IsaError::DuplicateLabel(format!(
+                "L{} from another builder",
+                label.0
+            )));
+        };
         if slot.is_some() {
             return Err(IsaError::DuplicateLabel(format!("L{}", label.0)));
         }
@@ -145,10 +151,24 @@ impl ProgramBuilder {
         Ok(())
     }
 
+    /// Binds `label` at the current position if it is still unbound; a
+    /// repeated bind is a no-op (the first position wins). Infallible
+    /// companion of [`ProgramBuilder::bind`] for straight-line emitters
+    /// that create a label immediately before its single bind site.
+    pub fn bind_once(&mut self, label: Label) {
+        if let Some(slot) = self.labels.get_mut(label.0) {
+            if slot.is_none() {
+                *slot = Some(self.instrs.len() as u32);
+            }
+        }
+    }
+
     /// Creates a label already bound to the current position.
     pub fn bound_label(&mut self) -> Label {
         let l = self.label();
-        self.bind(l).expect("fresh label cannot be bound");
+        // `l` was created one line up, so its slot exists and is
+        // unbound; bind inline rather than through the fallible path.
+        self.labels[l.0] = Some(self.instrs.len() as u32);
         l
     }
 

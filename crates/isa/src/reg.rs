@@ -67,7 +67,9 @@ impl Reg {
     pub fn all() -> [Reg; 32] {
         let mut out = [Reg::R0; 32];
         for (i, slot) in out.iter_mut().enumerate() {
-            *slot = Reg::from_index(i as u8).expect("index < 32");
+            // `i < 32` by the array bound, so `from_index` is always
+            // `Some`; `R0` is the panic-free fallback.
+            *slot = Reg::from_index(i as u8).unwrap_or(Reg::R0);
         }
         out
     }

@@ -216,7 +216,7 @@ impl Kernel for Pool2x2 {
                     input[(y + 1) * w + x] as i32,
                     input[(y + 1) * w + x + 1] as i32,
                 ];
-                out.push(*quad.iter().max().expect("nonempty") as u32);
+                out.push(quad.into_iter().fold(i32::MIN, i32::max) as u32);
             }
         }
         out

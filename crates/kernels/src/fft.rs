@@ -114,7 +114,7 @@ fn emit_fft_body(b: &mut ProgramBuilder, n: u32, inverse: bool) {
         b.sw(Reg::R8, Reg::R5, 0);
         b.sw(Reg::R7, Reg::R6, 0);
     }
-    b.bind(skip).expect("fresh");
+    b.bind_once(skip);
     b.add(Reg::R2, Reg::R2, Reg::R13);
     b.add(Reg::R1, Reg::R1, Reg::R13);
     b.branch(Cond::Ne, Reg::R1, Reg::R11, brev);

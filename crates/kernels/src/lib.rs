@@ -235,7 +235,7 @@ mod tests {
             spec.name
         );
         let mut chip = Chip::new(ChipConfig::baseline_16());
-        chip.load_program(TileId(0), &program);
+        chip.load_program(TileId(0), &program).unwrap();
         chip.run(500_000_000)
             .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         let got = chip.peek_words(TileId(0), spec.output_addr, expected.len());
@@ -257,7 +257,8 @@ mod tests {
             let spec = k.spec();
             let expected = k.reference(&k.input());
             let mut chip = Chip::new(ChipConfig::stitch_16());
-            chip.load_program(TileId(0), &k.standalone().unwrap());
+            chip.load_program(TileId(0), &k.standalone().unwrap())
+                .unwrap();
             chip.run(500_000_000).unwrap();
             let got = chip.peek_words(TileId(0), spec.output_addr, expected.len());
             assert_eq!(got, expected, "{}: stitch-geometry mismatch", spec.name);
@@ -291,7 +292,7 @@ mod tests {
                 frames: 2,
             })
             .unwrap();
-        chip.load_program(TileId(0), &src_prog);
+        chip.load_program(TileId(0), &src_prog).unwrap();
 
         // Sink: a fir instance whose input frame matches the source's
         // output length (64 - 4 + 1 = 61 words).
@@ -303,7 +304,7 @@ mod tests {
                 frames: 2,
             })
             .unwrap();
-        chip.load_program(TileId(1), &sink_prog);
+        chip.load_program(TileId(1), &sink_prog).unwrap();
 
         chip.run(500_000_000).unwrap();
         // The sink received the source's output as input; verify it

@@ -178,7 +178,7 @@ impl Kernel for Svm {
         b.branch(Cond::Ge, Reg::R14, Reg::R3, not_better);
         b.mv(Reg::R14, Reg::R3);
         b.mv(Reg::R15, Reg::R16);
-        b.bind(not_better).expect("fresh");
+        b.bind_once(not_better);
         b.addi(Reg::R16, Reg::R16, 1);
         b.addi(Reg::R9, Reg::R9, -1);
         b.branch(Cond::Ne, Reg::R9, Reg::R0, class_loop);
@@ -422,9 +422,9 @@ impl Kernel for AStar {
             b.addi(Reg::R7, Reg::R3, 1);
             b.branch(Cond::Ge, Reg::R7, Reg::R6, skip);
             b.sw(Reg::R7, Reg::R5, 0);
-            b.bind(skip).expect("fresh");
+            b.bind_once(skip);
         }
-        b.bind(next_cell).expect("fresh");
+        b.bind_once(next_cell);
         b.add(Reg::R1, Reg::R1, Reg::R14);
         b.branch(Cond::Ne, Reg::R1, Reg::R13, cell);
         b.addi(Reg::R9, Reg::R9, -1);

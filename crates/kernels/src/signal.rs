@@ -242,7 +242,7 @@ impl Kernel for Classify {
         b.branch(Cond::Ge, Reg::R3, Reg::R14, not_better);
         b.mv(Reg::R14, Reg::R3);
         b.mv(Reg::R15, Reg::R13);
-        b.bind(not_better).expect("fresh label");
+        b.bind_once(not_better);
         b.addi(Reg::R13, Reg::R13, 1);
         b.addi(Reg::R9, Reg::R9, -1);
         b.branch(Cond::Ne, Reg::R9, Reg::R0, class_loop);

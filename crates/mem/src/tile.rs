@@ -253,6 +253,14 @@ impl TileMemory {
         self.spm.access_counts()
     }
 
+    /// Number of DRAM pages this tile has materialized (the SPM is a
+    /// fixed-size array and never grows). This is the per-tile input to
+    /// the chip-level memory-page budget.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.dram.resident_pages()
+    }
+
     /// Captures a full snapshot of the tile's memory system. DRAM pages
     /// are captured sparsely and the dirty set is reset, so a later
     /// [`TileMemory::refresh_snapshot`] only re-copies written pages.

@@ -292,6 +292,12 @@ impl Mesh {
         self.stats
     }
 
+    /// Number of tiles (routers) on the mesh.
+    #[must_use]
+    pub fn tiles(&self) -> usize {
+        self.cfg.topo.tiles()
+    }
+
     /// [`Mesh::send`] with the injection reported to `tracer`.
     pub fn send_traced(&mut self, src: TileId, dst: TileId, words: &[u32], tracer: &mut Tracer) {
         let before = self.stats.packets_sent;

@@ -99,6 +99,122 @@ pub enum SimError {
         /// Human-readable description of the violated invariant.
         detail: String,
     },
+    /// A hard cap installed via [`Chip::set_budget`] was exceeded. This
+    /// is the sandbox verdict for untrusted guest programs: the run is
+    /// cut off with a typed error instead of a wall-clock kill, and
+    /// both engines report the identical `at_cycle`.
+    BudgetExhausted {
+        /// The resource axis whose cap was hit.
+        resource: BudgetResource,
+        /// The installed cap (a count of the resource's unit).
+        limit: u64,
+        /// Simulation cycle at which the excess was detected.
+        at_cycle: u64,
+    },
+    /// A host/loader operation named a tile that does not exist on this
+    /// chip's topology.
+    UnknownTile {
+        /// The out-of-range tile.
+        tile: TileId,
+        /// Number of tiles the chip actually has.
+        tiles: usize,
+    },
+}
+
+/// Resource axis of a [`RunBudget`] cap (see
+/// [`SimError::BudgetExhausted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetResource {
+    /// Simulated cycles elapsed in the current `run`.
+    Cycles,
+    /// DRAM pages materialized across all tiles (the fixed-size SPMs
+    /// never grow, so resident DRAM pages are the chip's only elastic
+    /// memory).
+    MemoryPages,
+    /// Total NoC packets injected over the chip's lifetime.
+    Messages,
+    /// NoC packets in flight (injected but not yet delivered).
+    InFlightMessages,
+    /// Trace events emitted by the chip's tracer.
+    TraceEvents,
+    /// Encoded size of the periodic rollback checkpoint, in bytes
+    /// (checked at every checkpoint refresh).
+    SnapshotBytes,
+}
+
+impl fmt::Display for BudgetResource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetResource::Cycles => write!(f, "sim cycles"),
+            BudgetResource::MemoryPages => write!(f, "resident memory pages"),
+            BudgetResource::Messages => write!(f, "NoC messages"),
+            BudgetResource::InFlightMessages => write!(f, "in-flight NoC messages"),
+            BudgetResource::TraceEvents => write!(f, "trace events"),
+            BudgetResource::SnapshotBytes => write!(f, "snapshot bytes"),
+        }
+    }
+}
+
+/// Hard resource caps for a simulation run (see [`Chip::set_budget`]).
+///
+/// `None` on an axis means unlimited; the default budget is unlimited
+/// on every axis and adds a single predicted-taken branch per tick.
+/// Every cap is inclusive: a run may consume exactly `limit` units, and
+/// fails with [`SimError::BudgetExhausted`] on the first tick that ends
+/// with the count above it.
+///
+/// Enforcement is engine-identical by construction: every counted
+/// resource mutates only inside [`Chip::tick`] (the fast path's cycle
+/// skips execute no instructions and move no flits, and the translated
+/// engine is switched off while a memory-page cap is installed because
+/// windows execute stores inline), so the post-tick check fires at the
+/// same cycle in [`Chip::run`] and [`Chip::run_reference`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Cap on simulated cycles per `run` call.
+    pub cycles: Option<u64>,
+    /// Cap on DRAM pages resident across all tiles.
+    pub memory_pages: Option<u64>,
+    /// Cap on total NoC packets injected (lifetime counter).
+    pub messages: Option<u64>,
+    /// Cap on NoC packets simultaneously in flight.
+    pub in_flight_messages: Option<u64>,
+    /// Cap on trace events emitted.
+    pub trace_events: Option<u64>,
+    /// Cap on the encoded size of the periodic rollback checkpoint.
+    pub snapshot_bytes: Option<u64>,
+}
+
+impl RunBudget {
+    /// No caps on any axis (the default).
+    #[must_use]
+    pub const fn unlimited() -> Self {
+        RunBudget {
+            cycles: None,
+            memory_pages: None,
+            messages: None,
+            in_flight_messages: None,
+            trace_events: None,
+            snapshot_bytes: None,
+        }
+    }
+
+    /// Whether every axis is uncapped.
+    #[must_use]
+    pub const fn is_unlimited(&self) -> bool {
+        self.cycles.is_none() && self.no_post_tick_caps() && self.snapshot_bytes.is_none()
+    }
+
+    /// Whether none of the axes checked after each tick is capped
+    /// (everything but `cycles`, which the run loop checks at its top,
+    /// and `snapshot_bytes`, checked at checkpoint refreshes).
+    #[must_use]
+    const fn no_post_tick_caps(&self) -> bool {
+        self.memory_pages.is_none()
+            && self.messages.is_none()
+            && self.in_flight_messages.is_none()
+            && self.trace_events.is_none()
+    }
 }
 
 /// One blocked tile in a [`SimError::Deadlock`] report.
@@ -195,6 +311,19 @@ impl fmt::Display for SimError {
                     f,
                     "{component} invariant violated at cycle {cycle}: {detail}"
                 )
+            }
+            SimError::BudgetExhausted {
+                resource,
+                limit,
+                at_cycle,
+            } => {
+                write!(
+                    f,
+                    "budget exhausted at cycle {at_cycle}: {resource} cap {limit}"
+                )
+            }
+            SimError::UnknownTile { tile, tiles } => {
+                write!(f, "{tile} outside the {tiles}-tile topology")
             }
         }
     }
@@ -497,10 +626,18 @@ impl Platform for TilePlatform<'_> {
         }
     }
 
-    fn send(&mut self, dst: u32, addr: u32, len: u32) {
+    fn send(&mut self, dst: u32, addr: u32, len: u32) -> Result<(), CpuError> {
+        // Reject out-of-mesh destinations before the u8 truncation: an
+        // injected flit addressed past the mesh edge would never route
+        // (no neighbor toward its coords) and would wedge the network
+        // with no typed error.
+        if dst as usize >= self.mesh.tiles() {
+            return Err(CpuError::BadSendTarget { target: dst });
+        }
         let words = self.mem.peek_words(addr, len as usize);
         self.mesh
             .send_traced(self.tile, TileId(dst as u8), &words, self.tracer);
+        Ok(())
     }
 
     fn try_recv(&mut self, src: u32, addr: u32, len: u32) -> Result<Option<u32>, CpuError> {
@@ -694,6 +831,8 @@ pub struct Chip {
     paranoid: bool,
     /// A store reconfigured a crossbar during the current tick.
     xbar_reconfigured: bool,
+    /// Hard resource caps for untrusted runs (unlimited by default).
+    budget: RunBudget,
     /// Periodic-checkpoint + transient-fault-replay state, when enabled.
     rollback: Option<RollbackState>,
     /// Observability event recorder. Disabled by default (one branch per
@@ -745,6 +884,7 @@ impl Chip {
             faults: None,
             paranoid: false,
             xbar_reconfigured: false,
+            budget: RunBudget::unlimited(),
             rollback: None,
             tracer: Tracer::disabled(),
             cfg,
@@ -795,6 +935,28 @@ impl Chip {
     /// builds skip them entirely unless enabled here.
     pub fn set_paranoid(&mut self, on: bool) {
         self.paranoid = on;
+    }
+
+    /// Installs hard resource caps for subsequent runs (see
+    /// [`RunBudget`]). Exceeding a cap fails the run with the typed
+    /// [`SimError::BudgetExhausted`] instead of a wall-clock kill, at
+    /// the identical cycle on both engines.
+    ///
+    /// A `memory_pages` cap disables the translated engine for the
+    /// capped runs: translated windows execute stores (and thus DRAM
+    /// page allocation) inline across a multi-cycle jump, which would
+    /// blur the exact cycle the cap is crossed. Translation on/off is
+    /// already bit-identical, so only throughput is affected while the
+    /// cap is in place.
+    pub fn set_budget(&mut self, budget: RunBudget) {
+        self.budget = budget;
+    }
+
+    /// The installed resource caps (unlimited unless
+    /// [`Chip::set_budget`] was called).
+    #[must_use]
+    pub fn budget(&self) -> RunBudget {
+        self.budget
     }
 
     /// Captures the complete dynamic state of the chip.
@@ -977,6 +1139,17 @@ impl Chip {
         self.sync_rollback_armed();
     }
 
+    /// Encoded size in bytes of the current rollback checkpoint, or
+    /// `None` when rollback is disabled (or its snapshot was consumed).
+    /// This is the quantity the `snapshot_bytes` budget axis caps.
+    #[must_use]
+    pub fn checkpoint_bytes(&self) -> Option<u64> {
+        self.rollback
+            .as_ref()
+            .and_then(|r| r.last.as_deref())
+            .map(|s| s.encode().len() as u64)
+    }
+
     /// Re-derives the fault runtime's `rollback_armed` flag from the
     /// chip-side rollback state. Detections only queue rollback requests
     /// while armed, so a queued request is always serviceable.
@@ -1019,6 +1192,24 @@ impl Chip {
                 rb.next_checkpoint = self.cycle + rb.interval;
             }
             self.sync_rollback_armed();
+            // Snapshot-size budget: checked right where the checkpoint
+            // grows. Both engines refresh at identical cycles (the fast
+            // path never jumps a periodic checkpoint), so the failing
+            // cycle is engine-identical.
+            if let Some(cap) = self.budget.snapshot_bytes {
+                let size = self
+                    .rollback
+                    .as_ref()
+                    .and_then(|r| r.last.as_deref())
+                    .map_or(0, |s| s.encode().len() as u64);
+                if size > cap {
+                    return Err(SimError::BudgetExhausted {
+                        resource: BudgetResource::SnapshotBytes,
+                        limit: cap,
+                        at_cycle: self.cycle,
+                    });
+                }
+            }
         }
         Ok(())
     }
@@ -1098,10 +1289,26 @@ impl Chip {
         &self.patchnet
     }
 
+    /// Checks a host-supplied tile id against the topology, so loader
+    /// paths never index per-tile vectors with untrusted ids.
+    fn check_tile(&self, tile: TileId) -> Result<(), SimError> {
+        let tiles = self.cfg.topo.tiles();
+        if tile.index() >= tiles {
+            return Err(SimError::UnknownTile { tile, tiles });
+        }
+        Ok(())
+    }
+
     /// Loads a program without custom-instruction bindings.
-    pub fn load_program(&mut self, tile: TileId, program: &Program) {
-        // No bindings, nothing to validate: install directly.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownTile`] when `tile` is outside the topology.
+    pub fn load_program(&mut self, tile: TileId, program: &Program) -> Result<(), SimError> {
+        self.check_tile(tile)?;
+        // No bindings, nothing else to validate: install directly.
         self.install_kernel(tile, program, HashMap::new());
+        Ok(())
     }
 
     /// Loads a program plus the stitcher's custom-instruction bindings.
@@ -1132,6 +1339,7 @@ impl Chip {
         tile: TileId,
         bindings: &HashMap<u16, CiBinding>,
     ) -> Result<(), SimError> {
+        self.check_tile(tile)?;
         let bad = |reason: String| SimError::BadBinding { tile, reason };
         for (ci, b) in bindings {
             match b {
@@ -1149,6 +1357,7 @@ impl Chip {
                     partner,
                     second,
                 } => {
+                    self.check_tile(*partner)?;
                     let local = self.cfg.patches[tile.index()];
                     let remote = self.cfg.patches[partner.index()];
                     if local != Some(first.class()) {
@@ -1240,20 +1449,31 @@ impl Chip {
     }
 
     /// Host write into a tile's memory (inputs, parameters).
-    pub fn poke_words(&mut self, tile: TileId, base: u32, words: &[u32]) {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownTile`] when `tile` is outside the topology.
+    pub fn poke_words(&mut self, tile: TileId, base: u32, words: &[u32]) -> Result<(), SimError> {
+        self.check_tile(tile)?;
         self.mems[tile.index()].poke_words(base, words);
+        Ok(())
     }
 
-    /// Host read from a tile's memory (results).
+    /// Host read from a tile's memory (results). An out-of-topology
+    /// tile reads as empty — observation never panics.
     #[must_use]
     pub fn peek_words(&mut self, tile: TileId, base: u32, count: usize) -> Vec<u32> {
-        self.mems[tile.index()].peek_words(base, count)
+        self.mems
+            .get_mut(tile.index())
+            .map_or_else(Vec::new, |m| m.peek_words(base, count))
     }
 
-    /// Host read of a single word.
+    /// Host read of a single word. An out-of-topology tile reads as 0.
     #[must_use]
     pub fn peek_u32(&mut self, tile: TileId, addr: u32) -> u32 {
-        self.mems[tile.index()].peek_u32(addr)
+        self.mems
+            .get_mut(tile.index())
+            .map_or(0, |m| m.peek_u32(addr))
     }
 
     /// Current cycle.
@@ -1514,15 +1734,33 @@ impl Chip {
     pub fn run(&mut self, max_cycles: u64) -> Result<RunSummary, SimError> {
         let start = self.cycle;
         let deadline = start.saturating_add(max_cycles);
+        // The cycle budget acts like a second deadline with a typed
+        // error; the skip/window horizon is clamped below the earlier of
+        // the two so either fires on its exact cycle.
+        let budget_deadline = self
+            .budget
+            .cycles
+            .map_or(u64::MAX, |cap| start.saturating_add(cap));
+        let horizon = deadline.min(budget_deadline);
         while !self.all_halted() {
+            if self.cycle >= budget_deadline {
+                return Err(SimError::BudgetExhausted {
+                    resource: BudgetResource::Cycles,
+                    limit: self.budget.cycles.unwrap_or(0),
+                    at_cycle: self.cycle,
+                });
+            }
             if self.cycle >= deadline {
                 return Err(SimError::Timeout { max_cycles });
             }
-            self.try_window(deadline);
-            self.try_skip(deadline);
+            self.try_window(horizon);
+            self.try_skip(horizon);
             self.tick()?;
             if self.rollback.is_some() {
                 self.rollback_service()?;
+            }
+            if !self.budget.no_post_tick_caps() {
+                self.check_budget()?;
             }
             self.check_mesh_stall()?;
             // Deadlock is only possible when every live core is parked in
@@ -1548,6 +1786,15 @@ impl Chip {
     pub fn run_reference(&mut self, max_cycles: u64) -> Result<RunSummary, SimError> {
         let start = self.cycle;
         while !self.all_halted() {
+            if let Some(cap) = self.budget.cycles {
+                if self.cycle - start >= cap {
+                    return Err(SimError::BudgetExhausted {
+                        resource: BudgetResource::Cycles,
+                        limit: cap,
+                        at_cycle: self.cycle,
+                    });
+                }
+            }
             if self.cycle - start >= max_cycles {
                 return Err(SimError::Timeout { max_cycles });
             }
@@ -1555,10 +1802,51 @@ impl Chip {
             if self.rollback.is_some() {
                 self.rollback_service()?;
             }
+            if !self.budget.no_post_tick_caps() {
+                self.check_budget()?;
+            }
             self.check_mesh_stall()?;
             self.check_deadlock()?;
         }
         Ok(self.summary(self.cycle - start))
+    }
+
+    /// Post-tick budget enforcement (all axes but `cycles`, which the
+    /// run loops check at their top, and `snapshot_bytes`, checked at
+    /// checkpoint refresh). Runs only when some axis is capped; every
+    /// counted resource mutates exclusively inside [`Chip::tick`], so
+    /// the first failing cycle is identical on both engines.
+    #[cold]
+    fn check_budget(&mut self) -> Result<(), SimError> {
+        let at_cycle = self.cycle;
+        let over = |resource, limit| SimError::BudgetExhausted {
+            resource,
+            limit,
+            at_cycle,
+        };
+        let mesh = self.mesh.stats();
+        if let Some(cap) = self.budget.messages {
+            if mesh.packets_sent > cap {
+                return Err(over(BudgetResource::Messages, cap));
+            }
+        }
+        if let Some(cap) = self.budget.in_flight_messages {
+            if mesh.packets_sent - mesh.packets_delivered > cap {
+                return Err(over(BudgetResource::InFlightMessages, cap));
+            }
+        }
+        if let Some(cap) = self.budget.memory_pages {
+            let pages: u64 = self.mems.iter().map(|m| m.resident_pages() as u64).sum();
+            if pages > cap {
+                return Err(over(BudgetResource::MemoryPages, cap));
+            }
+        }
+        if let Some(cap) = self.budget.trace_events {
+            if self.tracer.events_emitted() > cap {
+                return Err(over(BudgetResource::TraceEvents, cap));
+            }
+        }
+        Ok(())
     }
 
     /// Translated compute window: runs every ready core through the
@@ -1582,6 +1870,13 @@ impl Chip {
     /// [`Chip::run_reference`].
     fn try_window(&mut self, deadline: u64) {
         if !self.translate || self.live == 0 || self.tracer.is_enabled() || !self.mesh.idle() {
+            return;
+        }
+        // A memory-page cap needs the exact tick each store lands on
+        // (windows allocate pages inline across a multi-cycle jump), so
+        // capped runs fall back to the interpreter — see
+        // [`Chip::set_budget`].
+        if self.budget.memory_pages.is_some() {
             return;
         }
         // A deliverable message completes that core's recv on the very
@@ -1722,6 +2017,33 @@ impl Chip {
             s.cache_hits += c.hits;
         }
         s
+    }
+
+    /// Total resident DRAM pages across every tile — the quantity the
+    /// `memory_pages` budget axis caps.
+    #[must_use]
+    pub fn resident_pages(&self) -> u64 {
+        self.mems.iter().map(|m| m.resident_pages() as u64).sum()
+    }
+
+    /// Lifetime trace events emitted so far — the quantity the
+    /// `trace_events` budget axis caps. Zero when tracing is disabled.
+    #[must_use]
+    pub fn trace_events_emitted(&self) -> u64 {
+        self.tracer.events_emitted()
+    }
+
+    /// Basic blocks lowered by the translated engine, as `(tile index,
+    /// entry pc)` pairs. This is the coverage signal the fuzzer feeds
+    /// back on: a mutated program that lights up a new entry exercised
+    /// a control-flow path no earlier input reached.
+    #[must_use]
+    pub fn translation_coverage(&self) -> Vec<(usize, u32)> {
+        self.trans
+            .iter()
+            .enumerate()
+            .flat_map(|(tile, c)| c.covered_entries().map(move |pc| (tile, pc)))
+            .collect()
     }
 
     /// Event-driven cycle skip.
@@ -1869,10 +2191,14 @@ impl Chip {
         }
     }
 
-    /// Register value of a tile's core (post-run inspection).
+    /// Register value of a tile's core (post-run inspection). `None`
+    /// for unloaded or out-of-topology tiles.
     #[must_use]
     pub fn core_reg(&self, tile: TileId, r: stitch_isa::Reg) -> Option<u32> {
-        self.cores[tile.index()].as_ref().map(|c| c.reg(r))
+        self.cores
+            .get(tile.index())
+            .and_then(Option::as_ref)
+            .map(|c| c.reg(r))
     }
 }
 
@@ -1898,7 +2224,7 @@ mod tests {
         b.li(Reg::R4, 0x2000);
         b.sw(Reg::R3, Reg::R4, 0);
         b.halt();
-        chip.load_program(TileId(0), &b.build().unwrap());
+        chip.load_program(TileId(0), &b.build().unwrap()).unwrap();
         let s = chip.run(1_000_000).unwrap();
         assert_eq!(chip.peek_u32(TileId(0), 0x2000), 42);
         assert!(s.cycles > 0);
@@ -1921,7 +2247,7 @@ mod tests {
         b.li(Reg::R4, 3); // words
         b.send(Reg::R3, Reg::R1, Reg::R4);
         b.halt();
-        chip.load_program(TileId(0), &b.build().unwrap());
+        chip.load_program(TileId(0), &b.build().unwrap()).unwrap();
 
         // Tile 5: receives and sums into 0x3000.
         let mut b = ProgramBuilder::new();
@@ -1937,7 +2263,7 @@ mod tests {
         b.li(Reg::R8, 0x3000);
         b.sw(Reg::R5, Reg::R8, 0);
         b.halt();
-        chip.load_program(TileId(5), &b.build().unwrap());
+        chip.load_program(TileId(5), &b.build().unwrap()).unwrap();
 
         chip.run(1_000_000).unwrap();
         assert_eq!(chip.peek_u32(TileId(5), 0x3000), 60);
@@ -1952,7 +2278,7 @@ mod tests {
         b.li(Reg::R3, 1);
         b.recv(Reg::R1, Reg::R2, Reg::R3);
         b.halt();
-        chip.load_program(TileId(0), &b.build().unwrap());
+        chip.load_program(TileId(0), &b.build().unwrap()).unwrap();
         match chip.run(100_000) {
             Err(SimError::Deadlock { cycle, waiting }) => {
                 assert!(cycle > 0, "deadlock reports its detection cycle");
@@ -2180,7 +2506,7 @@ mod tests {
         ));
         b.custom(ci, &[Reg::R1], &[Reg::R2]).unwrap();
         b.halt();
-        chip.load_program(TileId(0), &b.build().unwrap());
+        chip.load_program(TileId(0), &b.build().unwrap()).unwrap();
         match chip.run(10_000) {
             Err(SimError::Cpu {
                 tile,
@@ -2212,7 +2538,7 @@ mod tests {
         b.addi(Reg::R10, Reg::R10, -1);
         b.branch(Cond::Ne, Reg::R10, Reg::R0, top);
         b.halt();
-        chip.load_program(TileId(0), &b.build().unwrap());
+        chip.load_program(TileId(0), &b.build().unwrap()).unwrap();
 
         // Middle tiles 1, 2: recv from prev, add 1, send to next.
         for t in 1..=2u8 {
@@ -2231,7 +2557,7 @@ mod tests {
             b.addi(Reg::R10, Reg::R10, -1);
             b.branch(Cond::Ne, Reg::R10, Reg::R0, top);
             b.halt();
-            chip.load_program(TileId(t), &b.build().unwrap());
+            chip.load_program(TileId(t), &b.build().unwrap()).unwrap();
         }
 
         // Sink (tile 3): accumulates into 0x4000.
@@ -2250,7 +2576,7 @@ mod tests {
         b.li(Reg::R8, 0x4000);
         b.sw(Reg::R7, Reg::R8, 0);
         b.halt();
-        chip.load_program(TileId(3), &b.build().unwrap());
+        chip.load_program(TileId(3), &b.build().unwrap()).unwrap();
 
         chip.run(10_000_000).unwrap();
         // (100+2) + (200+2) + (300+2) = 606
@@ -2273,7 +2599,7 @@ mod tests {
         b.li(Reg::R2, word);
         b.sw(Reg::R2, Reg::R1, 5 * 4);
         b.halt();
-        chip.load_program(TileId(0), &b.build().unwrap());
+        chip.load_program(TileId(0), &b.build().unwrap()).unwrap();
         chip.run(10_000).unwrap();
         use stitch_noc::PortDir;
         assert_eq!(

@@ -23,7 +23,7 @@
 //! b.li(Reg::R2, 0x1000);
 //! b.sw(Reg::R1, Reg::R2, 0);
 //! b.halt();
-//! chip.load_program(stitch_noc::TileId(0), &b.build()?);
+//! chip.load_program(stitch_noc::TileId(0), &b.build()?)?;
 //! let summary = chip.run(1_000_000)?;
 //! assert!(summary.cycles > 0);
 //! assert_eq!(chip.peek_u32(stitch_noc::TileId(0), 0x1000), 7);
@@ -37,7 +37,10 @@ pub mod rng;
 pub mod snapshot;
 pub mod summary;
 
-pub use chip::{Blocked, BlockedOp, Chip, CiBinding, FaultedKind, SimError, TranslationStats};
+pub use chip::{
+    Blocked, BlockedOp, BudgetResource, Chip, CiBinding, FaultedKind, RunBudget, SimError,
+    TranslationStats,
+};
 pub use faults::FaultStats;
 pub use rng::SimRng;
 pub use snapshot::{ChipSnapshot, FaultRuntimeSnapshot, SnapshotError};

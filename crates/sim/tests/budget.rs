@@ -1,0 +1,330 @@
+//! Boundary tests for [`RunBudget`] — one per resource axis.
+//!
+//! Each test pins the inclusive-cap contract on *both* engines: a run
+//! may consume exactly `limit` units of a resource and still succeed;
+//! the first cycle that ends with the counter above the cap (or, for
+//! the `cycles` axis, the first cycle past the allowance) fails with
+//! `SimError::BudgetExhausted`, bit-identically between [`Chip::run`]
+//! and [`Chip::run_reference`].
+
+use stitch_isa::{Cond, Program, ProgramBuilder, Reg};
+use stitch_sim::{BudgetResource, Chip, ChipConfig, RunBudget, SimError, TileId};
+use stitch_trace::TraceConfig;
+
+const MAX: u64 = 10_000_000;
+
+/// A single-tile compute loop with a deterministic cycle count.
+fn busy_program(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::R1, iters);
+    let top = b.bound_label();
+    b.mul(Reg::R2, Reg::R1, Reg::R1);
+    b.addi(Reg::R1, Reg::R1, -1);
+    b.branch(Cond::Ne, Reg::R1, Reg::R0, top);
+    b.halt();
+    b.build().expect("busy program")
+}
+
+/// Touches `pages` distinct DRAM pages with one word store each.
+fn page_toucher(pages: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::R1, 0x10_0000); // well clear of program data, far from SPM
+    b.li(Reg::R2, pages);
+    b.li(Reg::R3, 4096); // DRAM page stride
+    let top = b.bound_label();
+    b.sw(Reg::R2, Reg::R1, 0);
+    b.add(Reg::R1, Reg::R1, Reg::R3);
+    b.addi(Reg::R2, Reg::R2, -1);
+    b.branch(Cond::Ne, Reg::R2, Reg::R0, top);
+    b.halt();
+    b.build().expect("page toucher")
+}
+
+/// Tile 0 sends `frames` one-packet messages to tile 1, which receives
+/// them all; every packet is drained, so in-flight stays low.
+fn ping_programs(frames: i64) -> Vec<(TileId, Program)> {
+    let mut tx = ProgramBuilder::new();
+    tx.li(Reg::R1, frames);
+    tx.li(Reg::R2, 0x1000);
+    tx.li(Reg::R3, 1); // dest tile
+    tx.li(Reg::R4, 1); // words per message
+    let top = tx.bound_label();
+    tx.sw(Reg::R1, Reg::R2, 0);
+    tx.send(Reg::R3, Reg::R2, Reg::R4);
+    tx.addi(Reg::R1, Reg::R1, -1);
+    tx.branch(Cond::Ne, Reg::R1, Reg::R0, top);
+    tx.halt();
+
+    let mut rx = ProgramBuilder::new();
+    rx.li(Reg::R1, frames);
+    rx.li(Reg::R2, 0x2000);
+    rx.li(Reg::R5, 0); // source tile
+    rx.li(Reg::R4, 1);
+    let top = rx.bound_label();
+    rx.recv(Reg::R5, Reg::R2, Reg::R4);
+    rx.addi(Reg::R1, Reg::R1, -1);
+    rx.branch(Cond::Ne, Reg::R1, Reg::R0, top);
+    rx.halt();
+
+    vec![
+        (TileId(0), tx.build().expect("tx")),
+        (TileId(1), rx.build().expect("rx")),
+    ]
+}
+
+/// Tile 0 fires `frames` packets at tile 1, which never receives: the
+/// whole burst piles up in flight.
+fn flood_programs(frames: i64) -> Vec<(TileId, Program)> {
+    let mut tx = ProgramBuilder::new();
+    tx.li(Reg::R1, frames);
+    tx.li(Reg::R2, 0x1000);
+    tx.li(Reg::R3, 1);
+    tx.li(Reg::R4, 1);
+    let top = tx.bound_label();
+    tx.send(Reg::R3, Reg::R2, Reg::R4);
+    tx.addi(Reg::R1, Reg::R1, -1);
+    tx.branch(Cond::Ne, Reg::R1, Reg::R0, top);
+    tx.halt();
+    vec![(TileId(0), tx.build().expect("flood tx"))]
+}
+
+fn chip_with(programs: &[(TileId, Program)], budget: RunBudget) -> Chip {
+    let mut chip = Chip::new(ChipConfig::stitch_16());
+    for (tile, program) in programs {
+        chip.load_program(*tile, program).expect("in-range tile");
+    }
+    chip.set_budget(budget);
+    chip
+}
+
+/// Runs `programs` under `budget` on both engines and asserts the two
+/// outcomes are bit-identical, returning the shared outcome.
+fn both_engines(
+    programs: &[(TileId, Program)],
+    budget: RunBudget,
+    trace: bool,
+) -> Result<stitch_sim::RunSummary, SimError> {
+    let mut fast = chip_with(programs, budget);
+    let mut reference = chip_with(programs, budget);
+    if trace {
+        fast.set_trace(&TraceConfig::full(16));
+        reference.set_trace(&TraceConfig::full(16));
+    }
+    let a = fast.run(MAX);
+    let b = reference.run_reference(MAX);
+    assert_eq!(a, b, "engines disagree under budget {budget:?}");
+    a
+}
+
+fn expect_exhausted(
+    outcome: Result<stitch_sim::RunSummary, SimError>,
+    resource: BudgetResource,
+    limit: u64,
+) -> u64 {
+    match outcome {
+        Err(SimError::BudgetExhausted {
+            resource: r,
+            limit: l,
+            at_cycle,
+        }) => {
+            assert_eq!(r, resource);
+            assert_eq!(l, limit);
+            at_cycle
+        }
+        other => panic!("expected {resource} budget exhaustion at cap {limit}, got {other:?}"),
+    }
+}
+
+#[test]
+fn cycle_budget_boundary() {
+    let programs = [(TileId(0), busy_program(64))];
+    // Establish the exact fault-free cycle count first.
+    let n = both_engines(&programs, RunBudget::unlimited(), false)
+        .expect("uncapped run halts")
+        .cycles;
+    assert!(n > 2, "workload too small to probe the boundary");
+
+    // Exactly enough cycles: the run completes.
+    let exact = RunBudget {
+        cycles: Some(n),
+        ..RunBudget::unlimited()
+    };
+    let s = both_engines(&programs, exact, false).expect("cap == need succeeds");
+    assert_eq!(s.cycles, n);
+
+    // One short: fails after consuming precisely the allowance.
+    let short = RunBudget {
+        cycles: Some(n - 1),
+        ..RunBudget::unlimited()
+    };
+    let at = expect_exhausted(
+        both_engines(&programs, short, false),
+        BudgetResource::Cycles,
+        n - 1,
+    );
+    assert_eq!(at, n - 1, "cycle budget must fail exactly at the cap");
+
+    // A tight cap trips long before the workload finishes.
+    let tiny = RunBudget {
+        cycles: Some(2),
+        ..RunBudget::unlimited()
+    };
+    let at = expect_exhausted(
+        both_engines(&programs, tiny, false),
+        BudgetResource::Cycles,
+        2,
+    );
+    assert_eq!(at, 2);
+}
+
+#[test]
+fn memory_page_budget_boundary() {
+    let programs = [(TileId(0), page_toucher(24))];
+    // Count the pages the fault-free run leaves resident (program data
+    // pages included — the cap covers everything the guest allocates).
+    let mut probe = chip_with(&programs, RunBudget::unlimited());
+    probe.run(MAX).expect("uncapped run halts");
+    let pages = probe.resident_pages();
+    assert!(pages >= 24, "expected at least the 24 touched pages");
+
+    let exact = RunBudget {
+        memory_pages: Some(pages),
+        ..RunBudget::unlimited()
+    };
+    both_engines(&programs, exact, false).expect("cap == resident pages succeeds");
+
+    let short = RunBudget {
+        memory_pages: Some(pages - 1),
+        ..RunBudget::unlimited()
+    };
+    expect_exhausted(
+        both_engines(&programs, short, false),
+        BudgetResource::MemoryPages,
+        pages - 1,
+    );
+}
+
+#[test]
+fn message_budget_boundary() {
+    let programs = ping_programs(16);
+    let sent = both_engines(&programs, RunBudget::unlimited(), false)
+        .expect("uncapped run halts")
+        .mesh
+        .packets_sent;
+    assert_eq!(sent, 16);
+
+    let exact = RunBudget {
+        messages: Some(sent),
+        ..RunBudget::unlimited()
+    };
+    both_engines(&programs, exact, false).expect("cap == packets sent succeeds");
+
+    let short = RunBudget {
+        messages: Some(sent - 1),
+        ..RunBudget::unlimited()
+    };
+    expect_exhausted(
+        both_engines(&programs, short, false),
+        BudgetResource::Messages,
+        sent - 1,
+    );
+}
+
+#[test]
+fn in_flight_message_budget_boundary() {
+    // Drained traffic never exceeds a generous in-flight cap...
+    let drained = RunBudget {
+        in_flight_messages: Some(8),
+        ..RunBudget::unlimited()
+    };
+    both_engines(&ping_programs(16), drained, false).expect("drained traffic stays under cap");
+
+    // ...but an unreceived burst trips it.
+    let tight = RunBudget {
+        in_flight_messages: Some(3),
+        ..RunBudget::unlimited()
+    };
+    expect_exhausted(
+        both_engines(&flood_programs(16), tight, false),
+        BudgetResource::InFlightMessages,
+        3,
+    );
+}
+
+#[test]
+fn trace_event_budget_boundary() {
+    let programs = [(TileId(0), busy_program(48))];
+    // Count the events of a fault-free traced run.
+    let mut probe = chip_with(&programs, RunBudget::unlimited());
+    probe.set_trace(&TraceConfig::full(16));
+    probe.run(MAX).expect("uncapped traced run halts");
+    let events = probe.trace_events_emitted();
+    assert!(events > 8, "traced run should emit a healthy event stream");
+
+    let exact = RunBudget {
+        trace_events: Some(events),
+        ..RunBudget::unlimited()
+    };
+    both_engines(&programs, exact, true).expect("cap == events emitted succeeds");
+
+    let short = RunBudget {
+        trace_events: Some(events - 1),
+        ..RunBudget::unlimited()
+    };
+    expect_exhausted(
+        both_engines(&programs, short, true),
+        BudgetResource::TraceEvents,
+        events - 1,
+    );
+
+    // The axis is inert while tracing is off: no events, no trips.
+    let untraced = both_engines(&programs, short, false);
+    untraced.expect("trace event cap must not fire on an untraced run");
+}
+
+#[test]
+fn snapshot_byte_budget_boundary() {
+    let programs = [(TileId(0), page_toucher(24))];
+    // Measure a periodic checkpoint of the fault-free run.
+    let mut probe = chip_with(&programs, RunBudget::unlimited());
+    probe.enable_rollback(64, 4);
+    probe.run(MAX).expect("uncapped rollback run halts");
+    let bytes = probe
+        .checkpoint_bytes()
+        .expect("periodic checkpointing left a snapshot");
+    assert!(bytes > 0);
+
+    // A cap below the working-set snapshot size trips on both engines.
+    let tight = RunBudget {
+        snapshot_bytes: Some(bytes / 2),
+        ..RunBudget::unlimited()
+    };
+    let mut fast = chip_with(&programs, tight);
+    fast.enable_rollback(64, 4);
+    let mut reference = chip_with(&programs, tight);
+    reference.enable_rollback(64, 4);
+    let a = fast.run(MAX);
+    let b = reference.run_reference(MAX);
+    assert_eq!(a, b, "engines disagree on snapshot byte budget");
+    expect_exhausted(a, BudgetResource::SnapshotBytes, bytes / 2);
+
+    // A cap at or above the largest checkpoint never fires.
+    let roomy = RunBudget {
+        snapshot_bytes: Some(bytes * 2),
+        ..RunBudget::unlimited()
+    };
+    let mut ok = chip_with(&programs, roomy);
+    ok.enable_rollback(64, 4);
+    ok.run(MAX).expect("roomy snapshot cap succeeds");
+}
+
+#[test]
+fn unlimited_budget_is_inert() {
+    assert!(RunBudget::unlimited().is_unlimited());
+    let programs = ping_programs(4);
+    let plain = both_engines(&programs, RunBudget::unlimited(), false).expect("plain run");
+    let mut chip = chip_with(&programs, RunBudget::unlimited());
+    assert_eq!(chip.budget(), RunBudget::unlimited());
+    let s = chip.run(MAX).expect("unlimited budget run");
+    assert_eq!(s, plain, "an unlimited budget must not perturb the run");
+}

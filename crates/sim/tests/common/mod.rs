@@ -111,7 +111,7 @@ pub fn random_pipeline(seed: u64) -> Vec<(TileId, Program)> {
 pub fn pipeline_chip(seed: u64) -> Chip {
     let mut chip = Chip::new(ChipConfig::stitch_16());
     for (tile, program) in random_pipeline(seed) {
-        chip.load_program(tile, &program);
+        chip.load_program(tile, &program).unwrap();
     }
     chip
 }
@@ -186,6 +186,7 @@ pub fn fused_chip(seed: u64) -> Chip {
     b.addi(Reg::R1, Reg::R1, -1);
     b.branch(Cond::Ne, Reg::R1, Reg::R0, top);
     b.halt();
-    chip.load_program(TileId(0), &b.build().expect("compute program"));
+    chip.load_program(TileId(0), &b.build().expect("compute program"))
+        .unwrap();
     chip
 }

@@ -121,7 +121,8 @@ fn fast_path_matches_reference_on_deadlock() {
         b.li(Reg::R3, 1);
         b.recv(Reg::R1, Reg::R2, Reg::R3);
         b.halt();
-        chip.load_program(TileId(2), &b.build().expect("program"));
+        chip.load_program(TileId(2), &b.build().expect("program"))
+            .unwrap();
         chip
     };
     let mut fast = deadlocked();
@@ -142,7 +143,8 @@ fn fast_path_matches_reference_on_timeout() {
         b.mul(Reg::R1, Reg::R2, Reg::R3);
         b.branch(Cond::Eq, Reg::R0, Reg::R0, top);
         b.halt();
-        chip.load_program(TileId(4), &b.build().expect("program"));
+        chip.load_program(TileId(4), &b.build().expect("program"))
+            .unwrap();
         chip
     };
     let mut fast = endless();

@@ -185,7 +185,7 @@ fn random_compute_chip(seed: u64) -> Chip {
         chip.load_kernel(TileId(0), &program, bindings)
             .expect("load random kernel");
     } else {
-        chip.load_program(TileId(0), &program);
+        chip.load_program(TileId(0), &program).unwrap();
     }
     chip
 }

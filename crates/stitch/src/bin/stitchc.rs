@@ -48,7 +48,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let program = stitch_isa::asm::assemble(&src).map_err(|e| e.to_string())?;
     let mut chip = Chip::new(ChipConfig::baseline_16());
-    chip.load_program(TileId(0), &program);
+    chip.load_program(TileId(0), &program).unwrap();
     let summary = chip.run(max).map_err(|e| e.to_string())?;
     println!(
         "halted after {} cycles ({:.3} ms at 200 MHz)",

@@ -44,9 +44,9 @@ pub use manifest::{Rec, RecView, SweepManifest};
 pub use stitch_compiler::{PatchConfig, StitchPlan};
 pub use stitch_patch::PatchClass;
 pub use stitch_sim::{
-    to_chrome_trace, Arch, Chip, ChipConfig, EventKind, FaultKind, FaultPlan, FaultSpace,
-    FaultStats, JsonValue, RunSummary, SimError, TileId, TraceCapture, TraceConfig, TraceEvent,
-    TraceWindows,
+    to_chrome_trace, Arch, BudgetResource, Chip, ChipConfig, EventKind, FaultKind, FaultPlan,
+    FaultSpace, FaultStats, JsonValue, RunBudget, RunSummary, SimError, TileId, TraceCapture,
+    TraceConfig, TraceEvent, TraceWindows,
 };
 pub use workbench::{AppRun, Error, KernelRow, SimEngine, SweepPoint, Workbench};
 

@@ -18,8 +18,8 @@ use stitch_kernels::Kernel;
 use stitch_noc::{PatchNet, PortDir, TileId};
 use stitch_power::{average_power_mw, PowerBreakdown};
 use stitch_sim::{
-    Arch, Chip, ChipConfig, FaultKind, FaultPlan, FaultStats, RunSummary, SimError, TraceCapture,
-    TraceConfig, TranslationStats,
+    Arch, Chip, ChipConfig, FaultKind, FaultPlan, FaultStats, RunBudget, RunSummary, SimError,
+    TraceCapture, TraceConfig, TranslationStats,
 };
 use stitch_verify::{
     check_circuits, check_comm, check_plan, check_program, check_routes, AccelView, CommEdge,
@@ -180,6 +180,7 @@ pub struct Workbench {
     engine: SimEngine,
     trace: Option<TraceConfig>,
     translate: Option<bool>,
+    budget: RunBudget,
 }
 
 /// Identity of one compile→stitch pipeline output: everything
@@ -221,6 +222,16 @@ impl Workbench {
     /// never translates. Sweep-worker clones inherit the setting.
     pub fn set_translation(&mut self, enabled: Option<bool>) {
         self.translate = enabled;
+    }
+
+    /// Installs hard resource caps for subsequent runs (see
+    /// [`RunBudget`]): the sandbox for untrusted guest programs.
+    /// Exceeding a cap fails the run with the typed
+    /// `SimError::BudgetExhausted` instead of a wall-clock kill, on
+    /// either engine at the identical cycle. The default is unlimited.
+    /// Sweep-worker clones inherit the setting.
+    pub fn set_budget(&mut self, budget: RunBudget) {
+        self.budget = budget;
     }
 
     /// Enables event tracing for subsequent runs (`None` disables it).
@@ -512,6 +523,9 @@ impl Workbench {
         if let Some(t) = self.translate {
             chip.set_translation(t);
         }
+        if self.budget != RunBudget::unlimited() {
+            chip.set_budget(self.budget);
+        }
         if let Some(fp) = fault_plan {
             chip.set_fault_plan(fp.clone());
         }
@@ -523,7 +537,7 @@ impl Workbench {
                 Some((a, partner)) => {
                     chip.load_kernel(plan.tiles[i], &a.program, a.bindings(*partner)?)?;
                 }
-                None => chip.load_program(plan.tiles[i], &load.program),
+                None => chip.load_program(plan.tiles[i], &load.program)?,
             }
         }
 

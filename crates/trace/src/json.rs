@@ -24,13 +24,37 @@ pub enum JsonValue {
     Object(Vec<(String, JsonValue)>),
 }
 
+/// Maximum container nesting the parser accepts. The parser is
+/// recursive-descent, so unbounded nesting lets a hostile document
+/// (`[[[[…`) overflow the host stack; 128 levels is far beyond any
+/// document the exporter emits while costing well under the default
+/// stack size.
+pub const MAX_DEPTH: usize = 128;
+
+/// Maximum input size the parser accepts (64 MiB). Exported traces
+/// stay well under this; the cap bounds peak memory when a hostile
+/// upload is handed straight to `parse`.
+pub const MAX_INPUT_BYTES: usize = 64 << 20;
+
 impl JsonValue {
     /// Parse a complete JSON document. Errors carry a byte offset and a
     /// short description.
+    ///
+    /// Hardened for hostile input: documents larger than
+    /// [`MAX_INPUT_BYTES`] or nested deeper than [`MAX_DEPTH`] are
+    /// rejected with an error instead of exhausting memory or
+    /// overflowing the stack.
     pub fn parse(src: &str) -> Result<JsonValue, String> {
+        if src.len() > MAX_INPUT_BYTES {
+            return Err(format!(
+                "input of {} bytes exceeds the {MAX_INPUT_BYTES}-byte cap",
+                src.len()
+            ));
+        }
         let mut p = Parser {
             bytes: src.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -110,9 +134,26 @@ impl JsonValue {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting, capped at [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
+    /// Bumps the nesting depth on container entry; errors past the cap.
+    /// The matching decrement happens on the container's successful
+    /// exit (error paths abort the whole parse, so their counts are
+    /// never read again).
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn skip_ws(&mut self) {
         while let Some(b) = self.bytes.get(self.pos) {
             if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
@@ -160,10 +201,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<JsonValue, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Object(members));
         }
         loop {
@@ -179,6 +222,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Object(members));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
@@ -188,10 +232,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<JsonValue, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Array(items));
         }
         loop {
@@ -202,6 +248,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Array(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
@@ -334,6 +381,29 @@ mod tests {
         assert!(JsonValue::parse("{} extra").is_err());
         assert!(JsonValue::parse("{\"open\": ").is_err());
         assert!(JsonValue::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn rejects_hostile_nesting_and_oversized_input() {
+        // A document nested just past the cap is rejected with an error
+        // (before this guard it would overflow the parser's stack).
+        let deep = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        let err = JsonValue::parse(&deep).unwrap_err();
+        assert!(err.contains("nesting deeper"), "{err}");
+        // Same for objects.
+        let deep_obj: String = "{\"k\":".repeat(MAX_DEPTH + 1) + "0" + &"}".repeat(MAX_DEPTH + 1);
+        assert!(JsonValue::parse(&deep_obj).is_err());
+        // Exactly at the cap still parses.
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(JsonValue::parse(&ok).is_ok());
+        // Depth is container nesting, not element count: a wide array
+        // at depth 1 is fine.
+        let wide = format!("[{}1]", "1,".repeat(1000));
+        assert!(JsonValue::parse(&wide).is_ok());
+        // Oversized input is rejected up front, before any scanning.
+        let huge = "x".repeat(MAX_INPUT_BYTES + 1);
+        let err = JsonValue::parse(&huge).unwrap_err();
+        assert!(err.contains("byte cap"), "{err}");
     }
 
     #[test]

@@ -32,7 +32,7 @@ mod perfetto;
 mod sink;
 
 pub use event::{EventKind, EventMask, TraceEvent, NO_PARTNER};
-pub use json::JsonValue;
+pub use json::{JsonValue, MAX_DEPTH as JSON_MAX_DEPTH, MAX_INPUT_BYTES as JSON_MAX_INPUT_BYTES};
 pub use metrics::{MetricsCollector, TileWindow, TraceWindows, WindowMetrics};
 pub use perfetto::to_chrome_trace;
 pub use sink::{RingSink, TraceCapture, TraceSink};
@@ -96,6 +96,10 @@ struct TraceCore {
     mask: EventMask,
     metrics: Option<MetricsCollector>,
     extra: Option<Box<dyn TraceSink + Send>>,
+    /// Events emitted over the tracer's lifetime (counted before any
+    /// ring eviction, so it is the true production count, not the
+    /// retained count). The simulator's trace-event budget reads this.
+    emitted: u64,
 }
 
 /// The per-chip event recorder. Disabled by default; the simulator
@@ -137,6 +141,7 @@ impl Tracer {
                 mask: cfg.ring_mask,
                 metrics: cfg.window.map(|w| MetricsCollector::new(w, cfg.tiles)),
                 extra: None,
+                emitted: 0,
             })),
         }
     }
@@ -161,6 +166,7 @@ impl Tracer {
     pub fn emit(&mut self, f: impl FnOnce() -> TraceEvent) {
         if let Some(core) = &mut self.core {
             let ev = f();
+            core.emitted += 1;
             if let Some(m) = &mut core.metrics {
                 m.record(&ev);
             }
@@ -171,6 +177,13 @@ impl Tracer {
                 x.record(&ev);
             }
         }
+    }
+
+    /// Total events emitted since the tracer was enabled (0 when
+    /// disabled). Monotonic; unaffected by ring eviction.
+    #[must_use]
+    pub fn events_emitted(&self) -> u64 {
+        self.core.as_ref().map_or(0, |c| c.emitted)
     }
 
     /// The windowed metrics closed at `end_cycle`, if collected.

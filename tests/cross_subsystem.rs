@@ -153,7 +153,8 @@ fn kernel_is_placement_independent() {
     let expected = k.reference(&k.input());
     for tile in [0u8, 5, 15] {
         let mut chip = Chip::new(ChipConfig::stitch_16());
-        chip.load_program(TileId(tile), &k.standalone().unwrap());
+        chip.load_program(TileId(tile), &k.standalone().unwrap())
+            .unwrap();
         chip.run(2_000_000_000).expect("run");
         let got = chip.peek_words(TileId(tile), spec.output_addr, expected.len());
         assert_eq!(got, expected, "tile {tile}");

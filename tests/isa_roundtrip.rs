@@ -125,7 +125,7 @@ fn kernels_survive_binary_round_trip() {
             symbols: program.symbols.clone(),
         };
         let mut chip = Chip::new(ChipConfig::baseline_16());
-        chip.load_program(TileId(0), &rebuilt);
+        chip.load_program(TileId(0), &rebuilt).unwrap();
         chip.run(2_000_000_000).expect("run");
         let expected = k.reference(&k.input());
         let got = chip.peek_words(TileId(0), spec.output_addr, expected.len());
