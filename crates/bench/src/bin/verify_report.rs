@@ -15,16 +15,27 @@
 //!    includes the compile→stitch pipeline that *produces* the verified
 //!    artifacts (the gate cannot run without them); the kernel-compile
 //!    part is served from a prewarmed cache.
+//! 3. **Artifact-store leg** — the persistent verified-artifact cache,
+//!    cold then warm. The cold pass attaches an empty
+//!    [`stitch::ArtifactStore`] to a fresh workbench and runs the full
+//!    compile→verify pipeline for every kernel and every app × arch
+//!    point, populating the store. The warm pass hands the same store
+//!    to a *brand-new* workbench (empty in-memory caches, as a new
+//!    process would start) and repeats the sequence: everything must
+//!    reload from disk. The binary asserts the warm leg costs < 5% of
+//!    the cold leg's compile+verify wall.
 //!
 //! Every point must verify **clean** (zero errors) — a non-zero error
 //! count fails the binary, making this a regression harness for false
 //! positives as well as a benchmark. Writes `BENCH_verify.json`; see
-//! EXPERIMENTS.md for the recipe.
+//! EXPERIMENTS.md for the recipe. Set `STITCH_ARTIFACT_DIR` to place
+//! the leg-3 store somewhere persistent (default: a per-run temp dir).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use bench::JsonObject;
-use stitch::{Arch, Workbench, DEFAULT_FRAMES};
+use stitch::{Arch, ArtifactStore, Workbench, DEFAULT_FRAMES};
 use stitch_apps::App;
 use stitch_compiler::{verify_kernel, verify_kernel_uncached, verify_memo_hits};
 use stitch_kernels::all_kernels;
@@ -144,6 +155,58 @@ fn main() {
         }
     }
 
+    // Leg 3: the persistent artifact store, cold then warm. Each pass
+    // uses a fresh workbench (cold in-memory caches, as a new process
+    // would start); only the on-disk store carries over.
+    let store_dir = std::env::var("STITCH_ARTIFACT_DIR").map_or_else(
+        |_| std::env::temp_dir().join(format!("stitch-artifacts-bench-{}", std::process::id())),
+        std::path::PathBuf::from,
+    );
+    let store = Arc::new(ArtifactStore::open(&store_dir).expect("open artifact store"));
+    store.clear().expect("start from an empty store");
+
+    let run_leg = |store: &Arc<ArtifactStore>| -> f64 {
+        let mut ws = Workbench::new();
+        ws.set_artifact_store(Arc::clone(store));
+        let t = Instant::now();
+        for k in &kernels {
+            let kv = ws.variants(k.as_ref()).expect("kernel compiles");
+            assert!(verify_kernel(&kv).is_clean());
+        }
+        for app in &apps {
+            for &arch in Arch::ALL.iter() {
+                let report = ws
+                    .verify_app(app, arch, DEFAULT_FRAMES)
+                    .expect("pipeline produces verifiable artifacts");
+                assert!(report.is_clean());
+            }
+        }
+        t.elapsed().as_secs_f64() * 1e3
+    };
+
+    let artifact_cold_ms = run_leg(&store);
+    let (cold_hits, cold_misses) = (store.hits(), store.misses());
+    let artifact_warm_ms = run_leg(&store);
+    let (warm_hits, warm_misses) = (store.hits() - cold_hits, store.misses() - cold_misses);
+    let warm_share = artifact_warm_ms / artifact_cold_ms;
+    println!(
+        "\nartifact store ({} files): cold {artifact_cold_ms:.1} ms, \
+         warm {artifact_warm_ms:.1} ms ({:.2}% of cold), warm hits {warm_hits}, \
+         warm misses {warm_misses}",
+        store.completed(),
+        warm_share * 100.0
+    );
+    assert_eq!(warm_misses, 0, "a warm pass must never miss the store");
+    assert!(
+        warm_share < 0.05,
+        "warm compile+verify must cost < 5% of cold wall \
+         (cold {artifact_cold_ms:.1} ms, warm {artifact_warm_ms:.1} ms)"
+    );
+    let artifact_files = store.completed() as u64;
+    if std::env::var("STITCH_ARTIFACT_DIR").is_err() {
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
+
     println!("{}", "-".repeat(72));
     println!(
         "{}",
@@ -173,6 +236,17 @@ fn main() {
         "{}",
         bench::row("app gate wall", "-", &format!("{gate_ms_total:.1} ms"))
     );
+    println!(
+        "{}",
+        bench::row(
+            "artifact store cold/warm",
+            "-",
+            &format!(
+                "{artifact_cold_ms:.1} / {artifact_warm_ms:.1} ms ({:.2}%)",
+                warm_share * 100.0
+            )
+        )
+    );
 
     json.int("kernels", kernels.len() as u64)
         .int("ise_obligations", obligations)
@@ -184,6 +258,12 @@ fn main() {
         .int("app_errors", 0)
         .int("app_warnings", gate_warnings)
         .float("app_gate_ms", gate_ms_total)
+        .float("artifact_cold_ms", artifact_cold_ms)
+        .float("artifact_warm_ms", artifact_warm_ms)
+        .float("artifact_warm_share", warm_share)
+        .int("artifact_files", artifact_files)
+        .int("artifact_warm_hits", warm_hits)
+        .int("artifact_warm_misses", warm_misses)
         .array("kernel_leg", &kernel_rows)
         .array("app_leg", &app_rows);
     std::fs::write("BENCH_verify.json", json.render_pretty()).expect("write BENCH_verify.json");

@@ -1,0 +1,514 @@
+//! Persistent verified-kernel artifacts.
+//!
+//! Composes the shared codecs from `stitch-cache` into the compiler's
+//! own artifact shapes — a full [`KernelVariants`] bundle together with
+//! the clean verify [`Report`] that admitted it, and a [`StitchPlan`] —
+//! and derives the SHA-256 content keys that address them in an
+//! [`ArtifactStore`]:
+//!
+//! * [`kernel_input_key`] hashes the compiler's *inputs* (kernel name,
+//!   standalone program bytes, configuration list, output check, and
+//!   [`VERIFIER_VERSION`]), so a warm sweep can skip compilation and
+//!   verification entirely: same inputs, same artifact.
+//! * [`verify_kernel_stored`] addresses by the compiled *output* (the
+//!   encoded [`KernelVariants`]) and persists only the report — a
+//!   smaller win used when the caller already holds the artifact.
+//!
+//! Both keys fold in [`VERIFIER_VERSION`], so upgrading the static
+//! analyses retires every stored verdict at once. Decoding never
+//! trusts: any malformed byte reads as absent and the caller falls back
+//! to the live compile + verify path.
+
+use crate::driver::{AcceleratedKernel, KernelVariants};
+use crate::mapper::PatchConfig;
+use crate::stitcher::{GrantedAccel, StitchPlan};
+use crate::verify::{seed_verify_memo, verify_kernel};
+use stitch_cache::codec::{
+    get_class, get_control, get_ise_check, get_program, get_report, put_class, put_control,
+    put_ise_check, put_program, put_report,
+};
+use stitch_cache::{ArtifactStore, Rec, RecView, Sha256};
+use stitch_noc::TileId;
+use stitch_verify::{Report, VERIFIER_VERSION};
+
+/// Encodes a patch configuration.
+pub fn put_patch_config(rec: &mut Rec, c: PatchConfig) {
+    match c {
+        PatchConfig::Single(class) => {
+            rec.u8(0);
+            put_class(rec, class);
+        }
+        PatchConfig::Pair(local, remote) => {
+            rec.u8(1);
+            put_class(rec, local);
+            put_class(rec, remote);
+        }
+        PatchConfig::Locus => rec.u8(2),
+    }
+}
+
+/// Decodes a patch configuration.
+pub fn get_patch_config(v: &mut RecView<'_>) -> Option<PatchConfig> {
+    Some(match v.u8()? {
+        0 => PatchConfig::Single(get_class(v)?),
+        1 => PatchConfig::Pair(get_class(v)?, get_class(v)?),
+        2 => PatchConfig::Locus,
+        _ => return None,
+    })
+}
+
+/// Encodes one accelerated variant. Per-CI control maps are serialized
+/// in sorted id order, so the bytes are deterministic.
+pub fn put_accelerated(rec: &mut Rec, a: &AcceleratedKernel) -> Option<()> {
+    put_patch_config(rec, a.config);
+    put_program(rec, &a.program)?;
+    let mut cis: Vec<(&u16, &Vec<stitch_patch::ControlWord>)> = a.ci_controls.iter().collect();
+    cis.sort_by_key(|(id, _)| **id);
+    rec.u32(cis.len() as u32);
+    for (id, controls) in cis {
+        rec.u32(u32::from(*id));
+        rec.u8(controls.len() as u8);
+        for c in controls {
+            put_control(rec, c)?;
+        }
+    }
+    rec.u64(a.custom_count as u64);
+    rec.u64(a.cycles);
+    rec.u32(a.ise_checks.len() as u32);
+    for check in &a.ise_checks {
+        put_ise_check(rec, check)?;
+    }
+    Some(())
+}
+
+/// Decodes one accelerated variant.
+pub fn get_accelerated(v: &mut RecView<'_>) -> Option<AcceleratedKernel> {
+    let config = get_patch_config(v)?;
+    let program = get_program(v)?;
+    let n_cis = v.u32()? as usize;
+    if n_cis > v.remaining() {
+        return None;
+    }
+    let mut ci_controls = std::collections::HashMap::with_capacity(n_cis);
+    for _ in 0..n_cis {
+        let id = u16::try_from(v.u32()?).ok()?;
+        let n = v.u8()? as usize;
+        if n > 2 {
+            return None;
+        }
+        let mut controls = Vec::with_capacity(n);
+        for _ in 0..n {
+            controls.push(get_control(v)?);
+        }
+        ci_controls.insert(id, controls);
+    }
+    let custom_count = usize::try_from(v.u64()?).ok()?;
+    let cycles = v.u64()?;
+    let n_checks = v.u32()? as usize;
+    if n_checks > v.remaining() {
+        return None;
+    }
+    let mut ise_checks = Vec::with_capacity(n_checks);
+    for _ in 0..n_checks {
+        ise_checks.push(get_ise_check(v)?);
+    }
+    Some(AcceleratedKernel {
+        config,
+        program,
+        ci_controls,
+        custom_count,
+        cycles,
+        ise_checks,
+    })
+}
+
+/// Encodes a full kernel-variants bundle.
+pub fn put_kernel_variants(rec: &mut Rec, kv: &KernelVariants) -> Option<()> {
+    rec.str(&kv.name);
+    put_program(rec, &kv.baseline)?;
+    rec.u64(kv.baseline_cycles);
+    rec.u32(kv.variants.len() as u32);
+    for variant in &kv.variants {
+        put_accelerated(rec, variant)?;
+    }
+    Some(())
+}
+
+/// Decodes a full kernel-variants bundle.
+pub fn get_kernel_variants(v: &mut RecView<'_>) -> Option<KernelVariants> {
+    let name = v.str()?.to_string();
+    let baseline = get_program(v)?;
+    let baseline_cycles = v.u64()?;
+    let n = v.u32()? as usize;
+    if n > v.remaining() {
+        return None;
+    }
+    let mut variants = Vec::with_capacity(n);
+    for _ in 0..n {
+        variants.push(get_accelerated(v)?);
+    }
+    Some(KernelVariants {
+        name,
+        baseline,
+        baseline_cycles,
+        variants,
+    })
+}
+
+/// Encodes a stitch plan.
+pub fn put_stitch_plan(rec: &mut Rec, plan: &StitchPlan) {
+    rec.u32(plan.tiles.len() as u32);
+    for t in &plan.tiles {
+        rec.u8(t.0);
+    }
+    rec.u32(plan.accel.len() as u32);
+    for grant in &plan.accel {
+        match grant {
+            None => rec.u8(0),
+            Some(g) => {
+                rec.u8(1);
+                put_patch_config(rec, g.config);
+                match g.partner {
+                    None => rec.u8(0),
+                    Some(p) => {
+                        rec.u8(1);
+                        rec.u8(p.0);
+                    }
+                }
+                rec.u32(g.hops);
+            }
+        }
+    }
+    rec.u32(plan.circuits.len() as u32);
+    for (from, to) in &plan.circuits {
+        rec.u8(from.0);
+        rec.u8(to.0);
+    }
+    rec.u32(plan.log.len() as u32);
+    for line in &plan.log {
+        rec.str(line);
+    }
+}
+
+/// Decodes a stitch plan.
+pub fn get_stitch_plan(v: &mut RecView<'_>) -> Option<StitchPlan> {
+    let n_tiles = v.u32()? as usize;
+    if n_tiles > v.remaining() {
+        return None;
+    }
+    let mut tiles = Vec::with_capacity(n_tiles);
+    for _ in 0..n_tiles {
+        tiles.push(TileId(v.u8()?));
+    }
+    let n_accel = v.u32()? as usize;
+    if n_accel > v.remaining() {
+        return None;
+    }
+    let mut accel = Vec::with_capacity(n_accel);
+    for _ in 0..n_accel {
+        accel.push(match v.u8()? {
+            0 => None,
+            1 => {
+                let config = get_patch_config(v)?;
+                let partner = match v.u8()? {
+                    0 => None,
+                    1 => Some(TileId(v.u8()?)),
+                    _ => return None,
+                };
+                let hops = v.u32()?;
+                Some(GrantedAccel {
+                    config,
+                    partner,
+                    hops,
+                })
+            }
+            _ => return None,
+        });
+    }
+    let n_circuits = v.u32()? as usize;
+    if n_circuits > v.remaining() {
+        return None;
+    }
+    let mut circuits = Vec::with_capacity(n_circuits);
+    for _ in 0..n_circuits {
+        circuits.push((TileId(v.u8()?), TileId(v.u8()?)));
+    }
+    let n_log = v.u32()? as usize;
+    if n_log > v.remaining() {
+        return None;
+    }
+    let mut log = Vec::with_capacity(n_log);
+    for _ in 0..n_log {
+        log.push(v.str()?.to_string());
+    }
+    Some(StitchPlan {
+        tiles,
+        accel,
+        circuits,
+        log,
+    })
+}
+
+/// Encodes a kernel artifact: the compiled variants bundle *together
+/// with* the verify report that admitted it. Returns `None` for an
+/// artifact the wire format cannot express (such an artifact can never
+/// have passed verification).
+#[must_use]
+pub fn encode_kernel_artifact(kv: &KernelVariants, report: &Report) -> Option<Vec<u8>> {
+    let mut rec = Rec::new();
+    put_kernel_variants(&mut rec, kv)?;
+    put_report(&mut rec, report);
+    Some(rec.into_bytes())
+}
+
+/// Decodes a kernel artifact. Every failure mode returns `None`: the
+/// artifact reads as absent and the caller compiles + verifies live.
+#[must_use]
+pub fn decode_kernel_artifact(bytes: &[u8]) -> Option<(KernelVariants, Report)> {
+    let mut v = RecView::new(bytes);
+    let kv = get_kernel_variants(&mut v)?;
+    let report = get_report(&mut v)?;
+    if !v.at_end() {
+        return None;
+    }
+    Some((kv, report))
+}
+
+/// Order-stable rendering of an [`AcceleratedKernel`] for equality
+/// checks. `ci_controls` is a `HashMap`, so two structurally equal
+/// instances can `Debug`-print their entries in different orders;
+/// this prints them through a `BTreeMap`. Round-trip tests (here and
+/// in dependents) compare artifacts through this, since the types
+/// deliberately do not implement `PartialEq`.
+#[must_use]
+pub fn accel_fingerprint(a: &AcceleratedKernel) -> String {
+    let controls: std::collections::BTreeMap<_, _> = a.ci_controls.iter().collect();
+    format!(
+        "{:?} {:?} {controls:?} {} {} {:?}",
+        a.config, a.program, a.custom_count, a.cycles, a.ise_checks
+    )
+}
+
+/// Order-stable rendering of a whole [`KernelVariants`]; see
+/// [`accel_fingerprint`].
+#[must_use]
+pub fn variants_fingerprint(kv: &KernelVariants) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!("{} {:?} {} [", kv.name, kv.baseline, kv.baseline_cycles);
+    for v in &kv.variants {
+        let _ = write!(s, "{};", accel_fingerprint(v));
+    }
+    s.push(']');
+    s
+}
+
+/// Content key of a kernel compile: a SHA-256 over everything
+/// [`crate::compile_kernel`] consumes — the kernel name, the standalone
+/// program's encoded bytes, the configuration list, the optional output
+/// check — plus [`VERIFIER_VERSION`]. Two compiles with equal keys
+/// produce byte-identical artifacts, so a stored artifact under this
+/// key substitutes for the whole compile + verify pipeline.
+///
+/// Returns `None` when the program cannot be encoded (it could then
+/// never have compiled either).
+#[must_use]
+pub fn kernel_input_key(
+    name: &str,
+    program: &stitch_isa::Program,
+    configs: &[PatchConfig],
+    output_check: Option<(u32, usize)>,
+) -> Option<String> {
+    let mut h = Sha256::new();
+    h.field(b"stitch-kernel-artifact");
+    h.field(&VERIFIER_VERSION.to_le_bytes());
+    h.field(name.as_bytes());
+    let mut rec = Rec::new();
+    put_program(&mut rec, program)?;
+    h.field(rec.as_bytes());
+    let mut cfgs = Rec::new();
+    cfgs.u32(configs.len() as u32);
+    for &c in configs {
+        put_patch_config(&mut cfgs, c);
+    }
+    match output_check {
+        None => cfgs.u8(0),
+        Some((addr, words)) => {
+            cfgs.u8(1);
+            cfgs.u32(addr);
+            cfgs.u64(words as u64);
+        }
+    }
+    h.field(cfgs.as_bytes());
+    Some(format!("k-{name}-{}", h.finalize_hex()))
+}
+
+/// Content key of a verify report, addressed by the compiled *output*:
+/// a SHA-256 over the encoded [`KernelVariants`] plus
+/// [`VERIFIER_VERSION`].
+#[must_use]
+pub fn verify_report_key(kv: &KernelVariants) -> Option<String> {
+    let mut rec = Rec::new();
+    put_kernel_variants(&mut rec, kv)?;
+    let mut h = Sha256::new();
+    h.field(b"stitch-verify-report");
+    h.field(&VERIFIER_VERSION.to_le_bytes());
+    h.field(rec.as_bytes());
+    Some(format!("v-{}-{}", kv.name, h.finalize_hex()))
+}
+
+/// [`verify_kernel`] backed by a persistent store: a valid stored
+/// report for this exact artifact content (and verifier version) is
+/// returned directly — and seeded into the in-process memo — otherwise
+/// the kernel is verified live and the report persisted for the next
+/// process.
+#[must_use]
+pub fn verify_kernel_stored(store: &ArtifactStore, kv: &KernelVariants) -> Report {
+    let Some(key) = verify_report_key(kv) else {
+        // Unencodable artifact: fall back to the live path entirely.
+        return verify_kernel(kv);
+    };
+    if let Some(payload) = store.load(&key) {
+        let mut v = RecView::new(&payload);
+        if let Some(report) = get_report(&mut v) {
+            if v.at_end() {
+                seed_verify_memo(kv, report.clone());
+                return report;
+            }
+        }
+    }
+    let report = verify_kernel(kv);
+    let mut rec = Rec::new();
+    put_report(&mut rec, &report);
+    // Persisting is best-effort: a full disk costs the next process a
+    // re-verify, never correctness.
+    let _ = store.store(&key, rec.as_bytes());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile_kernel, stitch_application, AppKernel};
+    use stitch_isa::{ProgramBuilder, Reg};
+
+    fn sample_kernel() -> stitch_isa::Program {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 9);
+        let top = b.bound_label();
+        b.mul(Reg::R4, Reg::R1, Reg::R1);
+        b.add(Reg::R5, Reg::R4, Reg::R1);
+        b.addi(Reg::R1, Reg::R1, -1);
+        b.branch(stitch_isa::Cond::Ne, Reg::R1, Reg::R0, top);
+        b.sw(Reg::R5, Reg::R10, 0);
+        b.halt();
+        b.build().expect("program")
+    }
+
+    fn sample_variants() -> KernelVariants {
+        compile_kernel("artifact-test", &sample_kernel(), &PatchConfig::all(), None)
+            .expect("compiles")
+    }
+
+    #[test]
+    fn kernel_artifact_round_trips() {
+        let kv = sample_variants();
+        let report = verify_kernel(&kv);
+        let bytes = encode_kernel_artifact(&kv, &report).expect("encode");
+        let (kv2, report2) = decode_kernel_artifact(&bytes).expect("decode");
+        assert_eq!(variants_fingerprint(&kv), variants_fingerprint(&kv2));
+        assert_eq!(report, report2);
+    }
+
+    #[test]
+    fn kernel_artifact_decode_survives_truncation() {
+        let kv = sample_variants();
+        let report = verify_kernel(&kv);
+        let bytes = encode_kernel_artifact(&kv, &report).expect("encode");
+        for cut in 0..bytes.len() {
+            let _ = decode_kernel_artifact(&bytes[..cut]);
+        }
+    }
+
+    #[test]
+    fn stitch_plan_round_trips() {
+        let kv = sample_variants();
+        let kernels = [
+            AppKernel {
+                name: "a".into(),
+                home: TileId(0),
+                variants: kv.clone(),
+            },
+            AppKernel {
+                name: "b".into(),
+                home: TileId(1),
+                variants: kv,
+            },
+        ];
+        let arch = stitch_sim::Arch::Stitch;
+        let plan = stitch_application(&kernels, &stitch_sim::ChipConfig::for_arch(arch), arch);
+        let mut rec = Rec::new();
+        put_stitch_plan(&mut rec, &plan);
+        let bytes = rec.into_bytes();
+        let mut v = RecView::new(&bytes);
+        let plan2 = get_stitch_plan(&mut v).expect("decode");
+        assert!(v.at_end());
+        assert_eq!(format!("{plan:?}"), format!("{plan2:?}"));
+    }
+
+    /// Mutation-kill: any change to a compile input — program bytes,
+    /// configuration list, output check, name — must change the content
+    /// key, so a stale artifact can never satisfy a mutated input.
+    #[test]
+    fn mutated_inputs_miss_the_kernel_key() {
+        let p = sample_kernel();
+        let configs = PatchConfig::all();
+        let base = kernel_input_key("k", &p, &configs, None).expect("key");
+
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::R1, 10); // one immediate changed
+        let top = b.bound_label();
+        b.mul(Reg::R4, Reg::R1, Reg::R1);
+        b.add(Reg::R5, Reg::R4, Reg::R1);
+        b.addi(Reg::R1, Reg::R1, -1);
+        b.branch(stitch_isa::Cond::Ne, Reg::R1, Reg::R0, top);
+        b.sw(Reg::R5, Reg::R10, 0);
+        b.halt();
+        let mutated = b.build().expect("program");
+
+        assert_ne!(
+            base,
+            kernel_input_key("k", &mutated, &configs, None).expect("key"),
+            "mutated program must miss"
+        );
+        assert_ne!(
+            base,
+            kernel_input_key("k2", &p, &configs, None).expect("key"),
+            "renamed kernel must miss"
+        );
+        assert_ne!(
+            base,
+            kernel_input_key("k", &p, &configs[..1], None).expect("key"),
+            "different config list must miss"
+        );
+        assert_ne!(
+            base,
+            kernel_input_key("k", &p, &configs, Some((0x400, 4))).expect("key"),
+            "different output check must miss"
+        );
+    }
+
+    #[test]
+    fn stored_verify_report_round_trips_and_seeds() {
+        let dir =
+            std::env::temp_dir().join(format!("stitch-verify-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ArtifactStore::open(&dir).expect("open");
+        let kv = sample_variants();
+        let cold = verify_kernel_stored(&store, &kv);
+        assert_eq!(cold, verify_kernel(&kv));
+        let warm = verify_kernel_stored(&store, &kv);
+        assert_eq!(cold, warm);
+        assert!(store.hits() >= 1, "second call must hit the store");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -27,8 +27,12 @@
 //! 10. [`verify`] — the bridge into the `stitch-verify` static-analysis
 //!     suite: every compiled artifact is linted and every custom
 //!     instruction independently re-proven equivalent to the subgraph it
-//!     replaced, before any simulation.
+//!     replaced, before any simulation;
+//! 11. [`artifact`] — persistent, content-addressed artifacts: codecs
+//!     for the compiler's output types plus the SHA-256 input keys that
+//!     let a warm run reload a verified kernel instead of recompiling.
 
+pub mod artifact;
 pub mod cfg;
 pub mod dfg;
 pub mod driver;
@@ -40,6 +44,10 @@ pub mod rewrite;
 pub mod stitcher;
 pub mod verify;
 
+pub use artifact::{
+    accel_fingerprint, decode_kernel_artifact, encode_kernel_artifact, kernel_input_key,
+    variants_fingerprint, verify_kernel_stored,
+};
 pub use cfg::{BasicBlock, Cfg};
 pub use dfg::{BlockDfg, NodeOp, Src};
 pub use driver::{accelerate_all, compile_kernel, AcceleratedKernel, KernelVariants};
@@ -51,7 +59,9 @@ pub use rewrite::{accelerate_block, rewrite_program, select_candidates, Chosen, 
 pub use stitcher::{
     stitch_application, stitch_application_masked, AppKernel, GrantedAccel, StitchPlan,
 };
-pub use verify::{ise_check, verify_kernel, verify_kernel_uncached, verify_memo_hits};
+pub use verify::{
+    ise_check, seed_verify_memo, verify_kernel, verify_kernel_uncached, verify_memo_hits,
+};
 
 use std::fmt;
 

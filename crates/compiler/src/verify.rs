@@ -206,6 +206,16 @@ pub fn verify_kernel(kv: &KernelVariants) -> Report {
     report
 }
 
+/// Seeds the in-process memo with an already-known report for `kv`,
+/// e.g. one reloaded from the persistent artifact store — so later
+/// [`verify_kernel`] gates on the same content stay in-process hits.
+pub fn seed_verify_memo(kv: &KernelVariants, report: Report) {
+    memo()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .insert(content_key(kv), report);
+}
+
 /// [`verify_kernel`] without the in-process memo: always re-runs every
 /// check. The benchmark harness uses this to time pure verification.
 #[must_use]

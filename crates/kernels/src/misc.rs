@@ -242,15 +242,13 @@ impl Kernel for Crc32 {
 
     fn emit_compute(&self, b: &mut ProgramBuilder) {
         // r2 = crc, r1 = data ptr, r3 = word count, r4 = bit count,
-        // r5 = data word, r6/r7 = temps, r12 = poly, r13 = 1, r14 = 4,
-        // r15 = 31.
+        // r5 = data word, r6/r7 = temps, r12 = poly, r13 = 1, r14 = 4.
         b.li(Reg::R2, -1); // 0xFFFFFFFF
         b.li(Reg::R1, i64::from(SPM as i32));
         b.li(Reg::R3, i64::from(self.n));
         b.li(Reg::R12, i64::from(0xEDB8_8320u32 as i32));
         b.li(Reg::R13, 1);
         b.li(Reg::R14, 4);
-        b.li(Reg::R15, 31);
         let word_loop = b.bound_label();
         b.lw(Reg::R5, Reg::R1, 0);
         b.li(Reg::R4, 32);

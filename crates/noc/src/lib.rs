@@ -21,7 +21,7 @@ pub mod mesh;
 pub mod patchnet;
 
 pub use mesh::{
-    FlitSnapshot, Mesh, MeshConfig, MeshSnapshot, MeshStats, Message, PacketKind,
+    FlitSnapshot, Mesh, MeshConfig, MeshError, MeshSnapshot, MeshStats, Message, PacketKind,
     ReassemblySnapshot, RouterSnapshot,
 };
 pub use patchnet::{Circuit, PatchNet, PatchNetError, PatchNetSnapshot, PortDir};

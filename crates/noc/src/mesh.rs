@@ -92,6 +92,100 @@ struct Flit {
 
 const PORTS: usize = 5; // N,E,S,W + Local
 
+/// Why a [`MeshSnapshot`] was rejected by [`Mesh::validate_snapshot`].
+///
+/// Snapshots cross a trust boundary — they may come from a file a user
+/// edited or a fuzzer generated — so every malformed shape or value is
+/// reported as a typed error before any mesh state is touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeshError {
+    /// A per-tile vector's length does not match the topology.
+    Shape {
+        /// Which vector was mis-sized.
+        what: &'static str,
+        /// Length found in the snapshot.
+        got: usize,
+        /// Tile count of the restoring mesh.
+        want: usize,
+    },
+    /// A port index (wormhole owner or round-robin pointer) is outside
+    /// the 5-port router.
+    BadPort {
+        /// Router holding the bad value.
+        router: usize,
+        /// The out-of-range port index.
+        port: usize,
+    },
+    /// A flit, reassembly, or message names a tile outside the mesh.
+    BadTileRef {
+        /// The out-of-range tile index.
+        tile: u8,
+        /// Tile count of the restoring mesh.
+        tiles: usize,
+    },
+    /// An input buffer holds more flits than its credit-managed capacity.
+    OverfullBuffer {
+        /// Router holding the over-capacity buffer.
+        router: usize,
+        /// Input port of the buffer.
+        port: usize,
+        /// Flits recorded in the snapshot.
+        flits: usize,
+        /// Configured capacity in flits.
+        capacity: usize,
+    },
+    /// A reassembly holds more payload words than its message declares.
+    OversizedReassembly {
+        /// Destination tile of the reassembly.
+        tile: usize,
+        /// Words recorded.
+        words: usize,
+        /// Words the message header promised.
+        expected: u32,
+    },
+}
+
+impl std::fmt::Display for MeshError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeshError::Shape { what, got, want } => {
+                write!(
+                    f,
+                    "snapshot {what} has {got} entries, mesh has {want} tiles"
+                )
+            }
+            MeshError::BadPort { router, port } => {
+                write!(
+                    f,
+                    "router {router} names port {port} (routers have {PORTS} ports)"
+                )
+            }
+            MeshError::BadTileRef { tile, tiles } => {
+                write!(f, "tile index {tile} outside the {tiles}-tile mesh")
+            }
+            MeshError::OverfullBuffer {
+                router,
+                port,
+                flits,
+                capacity,
+            } => write!(
+                f,
+                "router {router} port {port} holds {flits} flits, capacity {capacity}"
+            ),
+            MeshError::OversizedReassembly {
+                tile,
+                words,
+                expected,
+            } => write!(
+                f,
+                "reassembly at tile {tile} holds {words} words of a {expected}-word message"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
+
 fn port_index(p: PortDir) -> usize {
     match p {
         PortDir::North => 0,
@@ -792,10 +886,109 @@ impl Mesh {
         }
     }
 
-    /// Restores a snapshot captured from a mesh with the same topology
-    /// (validated by the chip before restoring).
-    pub fn restore(&mut self, snap: &MeshSnapshot) {
-        debug_assert_eq!(snap.routers.len(), self.routers.len(), "topology mismatch");
+    /// Checks that a snapshot fits this mesh without touching any state:
+    /// per-tile vectors match the topology, every wormhole owner and
+    /// round-robin pointer names a real port, every flit/reassembly/
+    /// message names a real tile, no buffer exceeds its credit-managed
+    /// capacity, and no reassembly holds more words than its message
+    /// declares. Snapshots are untrusted input (they may come from an
+    /// edited or fuzzed file), so a clean pass here is the precondition
+    /// for [`Mesh::restore`].
+    ///
+    /// # Errors
+    ///
+    /// The first [`MeshError`] found.
+    pub fn validate_snapshot(&self, snap: &MeshSnapshot) -> Result<(), MeshError> {
+        let n = self.cfg.topo.tiles();
+        for (what, got) in [
+            ("router vector", snap.routers.len()),
+            ("inject vector", snap.inject.len()),
+            ("assembling vector", snap.assembling.len()),
+            ("delivered vector", snap.delivered.len()),
+            ("link-fault vector", snap.link_down_until.len()),
+        ] {
+            if got != n {
+                return Err(MeshError::Shape { what, got, want: n });
+            }
+        }
+        let tile_ok = |t: TileId| {
+            if t.index() < n {
+                Ok(())
+            } else {
+                Err(MeshError::BadTileRef {
+                    tile: t.0,
+                    tiles: n,
+                })
+            }
+        };
+        let flit_ok = |f: &FlitSnapshot| {
+            tile_ok(f.dst)?;
+            tile_ok(f.src)
+        };
+        for (r, s) in snap.routers.iter().enumerate() {
+            for p in 0..PORTS {
+                if s.inputs[p].len() > self.cfg.buffer_flits {
+                    return Err(MeshError::OverfullBuffer {
+                        router: r,
+                        port: p,
+                        flits: s.inputs[p].len(),
+                        capacity: self.cfg.buffer_flits,
+                    });
+                }
+                for f in &s.inputs[p] {
+                    flit_ok(f)?;
+                }
+                if let Some(o) = s.out_owner[p] {
+                    if usize::from(o) >= PORTS {
+                        return Err(MeshError::BadPort {
+                            router: r,
+                            port: usize::from(o),
+                        });
+                    }
+                }
+                if usize::from(s.rr[p]) >= PORTS {
+                    return Err(MeshError::BadPort {
+                        router: r,
+                        port: usize::from(s.rr[p]),
+                    });
+                }
+            }
+        }
+        for q in &snap.inject {
+            for pkt in q {
+                for f in pkt {
+                    flit_ok(f)?;
+                }
+            }
+        }
+        for (t, v) in snap.assembling.iter().enumerate() {
+            for a in v {
+                tile_ok(a.src)?;
+                if a.words.len() > a.expected as usize {
+                    return Err(MeshError::OversizedReassembly {
+                        tile: t,
+                        words: a.words.len(),
+                        expected: a.expected,
+                    });
+                }
+            }
+        }
+        for q in &snap.delivered {
+            for m in q {
+                tile_ok(m.src)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores a snapshot. Validation runs first
+    /// ([`Mesh::validate_snapshot`]); on error the mesh is unmodified.
+    ///
+    /// # Errors
+    ///
+    /// Any [`MeshError`] the snapshot fails validation with.
+    pub fn restore(&mut self, snap: &MeshSnapshot) -> Result<(), MeshError> {
+        self.validate_snapshot(snap)?;
         let flit = |f: &FlitSnapshot| Flit {
             dst: f.dst,
             src: f.src,
@@ -841,6 +1034,7 @@ impl Mesh {
         self.link_down_until.clone_from(&snap.link_down_until);
         self.any_link_faults = snap.any_link_faults;
         self.stalled_ticks = snap.stalled_ticks;
+        Ok(())
     }
 
     /// Structural invariant check: buffer occupancy never exceeds the
@@ -1089,7 +1283,7 @@ mod tests {
         let snap = m.snapshot();
 
         let mut replica = mesh();
-        replica.restore(&snap);
+        replica.restore(&snap).expect("own snapshot restores");
         m.drain(100_000);
         replica.drain(100_000);
         assert_eq!(m.stats(), replica.stats());

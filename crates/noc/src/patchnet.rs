@@ -116,6 +116,18 @@ pub enum PatchNetError {
         /// Number of switches in the network.
         tiles: u32,
     },
+    /// A restored circuit record is structurally impossible: its path is
+    /// too short, its endpoints disagree with the path, consecutive hops
+    /// are not mesh neighbors, or its hop count is wrong. Snapshots are
+    /// untrusted input, so these are reported, never assumed away.
+    MalformedCircuit {
+        /// Circuit source tile as recorded.
+        from: TileId,
+        /// Circuit destination tile as recorded.
+        to: TileId,
+        /// What was impossible about it.
+        detail: &'static str,
+    },
     /// A reserved circuit's path is no longer driven by the switch state
     /// (a reconfigure broke it) — reported by the paranoid validator.
     BrokenCircuit {
@@ -141,6 +153,9 @@ impl fmt::Display for PatchNetError {
             PatchNetError::SameTile(t) => write!(f, "circuit endpoints are both {t}"),
             PatchNetError::BadTile { index, tiles } => {
                 write!(f, "switch index {index} outside the {tiles}-tile network")
+            }
+            PatchNetError::MalformedCircuit { from, to, detail } => {
+                write!(f, "circuit record {from}->{to} is malformed: {detail}")
             }
             PatchNetError::BrokenCircuit { from, to, tile } => {
                 write!(
@@ -270,6 +285,7 @@ impl PatchNet {
     ///
     /// # Errors
     ///
+    /// [`PatchNetError::BadTile`] when `tile` names no switch;
     /// [`PatchNetError::OutputConflict`] if `out` is already driven by a
     /// *different* input (reconfiguring the same connection is idempotent).
     pub fn connect(
@@ -278,7 +294,13 @@ impl PatchNet {
         input: PortDir,
         out: PortDir,
     ) -> Result<(), PatchNetError> {
-        let sw = &mut self.switches[tile.index()];
+        let tiles = self.topo.tiles() as u32;
+        let Some(sw) = self.switches.get_mut(tile.index()) else {
+            return Err(PatchNetError::BadTile {
+                index: u32::from(tile.0),
+                tiles,
+            });
+        };
         match sw.driver(out) {
             Some(existing) if existing != input => {
                 Err(PatchNetError::OutputConflict { tile, port: out })
@@ -317,11 +339,21 @@ impl PatchNet {
     ///
     /// # Errors
     ///
+    /// - [`PatchNetError::BadTile`] when either endpoint names no switch;
     /// - [`PatchNetError::SameTile`] when `from == to` (the local patch
     ///   needs no circuit);
     /// - [`PatchNetError::NoPath`] when every route contends with existing
     ///   circuits.
     pub fn reserve(&mut self, from: TileId, to: TileId) -> Result<Circuit, PatchNetError> {
+        let tiles = self.topo.tiles();
+        for t in [from, to] {
+            if t.index() >= tiles {
+                return Err(PatchNetError::BadTile {
+                    index: u32::from(t.0),
+                    tiles: tiles as u32,
+                });
+            }
+        }
         if from == to {
             return Err(PatchNetError::SameTile(from));
         }
@@ -395,14 +427,21 @@ impl PatchNet {
         }
     }
 
-    /// Restores a snapshot captured from a network with the same topology
-    /// (validated by the chip before restoring).
+    /// Restores a snapshot. Snapshots are untrusted (an edited or fuzzed
+    /// file reaches this through the chip's snapshot decoder), so every
+    /// recorded circuit is structurally validated before any state is
+    /// mutated; on error the network is unmodified. Whether the switch
+    /// state still *carries* each circuit is deliberately not checked
+    /// here — a raw `cfgxbar` write can legitimately sever a circuit on a
+    /// live chip, and such states must round-trip; the paranoid
+    /// [`PatchNet::validate_circuits`] pass owns that legality question.
     ///
     /// # Errors
     ///
     /// [`PatchNetError::BadConfigWord`] if a packed switch word does not
-    /// decode (a corrupted snapshot), [`PatchNetError::BadTile`] on a
-    /// switch-count mismatch.
+    /// decode, [`PatchNetError::BadTile`] on a switch-count mismatch or an
+    /// out-of-range circuit tile, and [`PatchNetError::MalformedCircuit`]
+    /// on a structurally impossible circuit record.
     pub fn restore(&mut self, snap: &PatchNetSnapshot) -> Result<(), PatchNetError> {
         if snap.switches.len() != self.switches.len() {
             return Err(PatchNetError::BadTile {
@@ -414,14 +453,20 @@ impl PatchNet {
         for &w in &snap.switches {
             switches.push(SwitchConfig::unpack(w)?);
         }
+        let mut lookup = HashMap::with_capacity(snap.circuits.len());
+        for (i, c) in snap.circuits.iter().enumerate() {
+            circuit_shape(self.topo, c)?;
+            if lookup.insert((c.from, c.to), i).is_some() {
+                return Err(PatchNetError::MalformedCircuit {
+                    from: c.from,
+                    to: c.to,
+                    detail: "duplicate circuit for the same endpoint pair",
+                });
+            }
+        }
         self.switches = switches;
         self.circuits = snap.circuits.clone();
-        self.lookup = self
-            .circuits
-            .iter()
-            .enumerate()
-            .map(|(i, c)| ((c.from, c.to), i))
-            .collect();
+        self.lookup = lookup;
         Ok(())
     }
 
@@ -436,22 +481,7 @@ impl PatchNet {
     /// [`PatchNetError::BrokenCircuit`] naming the first bad switch.
     pub fn validate_circuits(&self) -> Result<(), PatchNetError> {
         for c in &self.circuits {
-            for i in 0..c.tiles.len() {
-                let tile = c.tiles[i];
-                let toward_prev = (i > 0).then(|| dir_between(self.topo, tile, c.tiles[i - 1]));
-                let toward_next =
-                    (i + 1 < c.tiles.len()).then(|| dir_between(self.topo, tile, c.tiles[i + 1]));
-                let fwd_in = toward_prev.unwrap_or(PortDir::Reg);
-                let fwd_out = toward_next.unwrap_or(PortDir::Patch);
-                let sw = &self.switches[tile.index()];
-                if sw.driver(fwd_out) != Some(fwd_in) || sw.driver(fwd_in) != Some(fwd_out) {
-                    return Err(PatchNetError::BrokenCircuit {
-                        from: c.from,
-                        to: c.to,
-                        tile,
-                    });
-                }
-            }
+            circuit_carried(&self.switches, self.topo, c)?;
         }
         Ok(())
     }
@@ -522,6 +552,73 @@ pub struct PatchNetSnapshot {
     pub switches: Vec<u32>,
     /// Reserved circuits, in reservation order.
     pub circuits: Vec<Circuit>,
+}
+
+/// Structural validation of an untrusted circuit record: every tile is
+/// inside the topology, the path has at least two tiles, its ends match
+/// the recorded endpoints, consecutive tiles are mesh neighbors, and the
+/// hop count matches the path length.
+fn circuit_shape(topo: Topology, c: &Circuit) -> Result<(), PatchNetError> {
+    let tiles = topo.tiles();
+    for &t in c.tiles.iter().chain([&c.from, &c.to]) {
+        if t.index() >= tiles {
+            return Err(PatchNetError::BadTile {
+                index: u32::from(t.0),
+                tiles: tiles as u32,
+            });
+        }
+    }
+    let malformed = |detail| PatchNetError::MalformedCircuit {
+        from: c.from,
+        to: c.to,
+        detail,
+    };
+    if c.tiles.len() < 2 {
+        return Err(malformed("path shorter than two tiles"));
+    }
+    if c.tiles.first() != Some(&c.from) || c.tiles.last() != Some(&c.to) {
+        return Err(malformed("endpoints disagree with path"));
+    }
+    for pair in c.tiles.windows(2) {
+        if topo.distance(pair[0], pair[1]) != 1 {
+            return Err(malformed("consecutive path tiles are not neighbors"));
+        }
+    }
+    if c.hops != (c.tiles.len() - 1) as u32 {
+        return Err(malformed("hop count disagrees with path length"));
+    }
+    Ok(())
+}
+
+/// Checks that `switches` drives both legs of `c` at every hop. Shared by
+/// the paranoid validator and the snapshot restore path; indexes through
+/// `get` so an out-of-range tile is a typed error, never a panic.
+fn circuit_carried(
+    switches: &[SwitchConfig],
+    topo: Topology,
+    c: &Circuit,
+) -> Result<(), PatchNetError> {
+    for i in 0..c.tiles.len() {
+        let tile = c.tiles[i];
+        let Some(sw) = switches.get(tile.index()) else {
+            return Err(PatchNetError::BadTile {
+                index: u32::from(tile.0),
+                tiles: switches.len() as u32,
+            });
+        };
+        let toward_prev = (i > 0).then(|| dir_between(topo, tile, c.tiles[i - 1]));
+        let toward_next = (i + 1 < c.tiles.len()).then(|| dir_between(topo, tile, c.tiles[i + 1]));
+        let fwd_in = toward_prev.unwrap_or(PortDir::Reg);
+        let fwd_out = toward_next.unwrap_or(PortDir::Patch);
+        if sw.driver(fwd_out) != Some(fwd_in) || sw.driver(fwd_in) != Some(fwd_out) {
+            return Err(PatchNetError::BrokenCircuit {
+                from: c.from,
+                to: c.to,
+                tile,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Mesh direction from `a` to an adjacent tile `b`.

@@ -1020,9 +1020,11 @@ impl Chip {
     /// # Errors
     ///
     /// [`SnapshotError::TopologyMismatch`] / [`SnapshotError::Mismatch`]
-    /// when the snapshot does not fit this chip, or a propagated
-    /// [`SnapshotError::PatchNet`] if the recorded switch state is
-    /// invalid. The chip is unmodified on error.
+    /// when the snapshot does not fit this chip, a propagated
+    /// [`SnapshotError::Mesh`] when the recorded network state is
+    /// malformed (bad port/tile indices, over-capacity buffers), or a
+    /// propagated [`SnapshotError::PatchNet`] if the recorded switch
+    /// state is invalid. The chip is unmodified on error.
     pub fn restore(&mut self, snap: &ChipSnapshot) -> Result<(), SnapshotError> {
         let n = self.cfg.topo.tiles();
         if snap.topo != self.cfg.topo {
@@ -1041,16 +1043,7 @@ impl Chip {
                 what: "per-tile vector length",
             });
         }
-        if snap.mesh.routers.len() != n
-            || snap.mesh.inject.len() != n
-            || snap.mesh.assembling.len() != n
-            || snap.mesh.delivered.len() != n
-            || snap.mesh.link_down_until.len() != n
-        {
-            return Err(SnapshotError::Mismatch {
-                what: "mesh vector length",
-            });
-        }
+        self.mesh.validate_snapshot(&snap.mesh)?;
         if let Some(fr) = &snap.faults {
             if fr.patch_down_until.len() != n
                 || fr.switch_down_until.len() != n
@@ -1095,7 +1088,8 @@ impl Chip {
         for (m, s) in self.mems.iter_mut().zip(&snap.mems) {
             m.restore(s);
         }
-        self.mesh.restore(&snap.mesh);
+        // Already validated above, so this cannot fail mid-mutation.
+        self.mesh.restore(&snap.mesh)?;
         self.busy_until.clone_from(&snap.busy_until);
         self.waiting_on.clone_from(&snap.waiting_on);
         self.activations.clone_from(&snap.activations);

@@ -28,8 +28,8 @@ use stitch_mem::{
     PAGE_SIZE,
 };
 use stitch_noc::{
-    Circuit, FlitSnapshot, MeshSnapshot, MeshStats, Message, PatchNetError, PatchNetSnapshot,
-    PortDir, ReassemblySnapshot, RouterSnapshot,
+    Circuit, FlitSnapshot, MeshError, MeshSnapshot, MeshStats, Message, PatchNetError,
+    PatchNetSnapshot, PortDir, ReassemblySnapshot, RouterSnapshot,
 };
 
 /// Magic prefix of the on-disk snapshot format.
@@ -76,6 +76,8 @@ pub enum SnapshotError {
     },
     /// The inter-patch network rejected the recorded configuration.
     PatchNet(PatchNetError),
+    /// The mesh rejected the recorded network state.
+    Mesh(MeshError),
 }
 
 impl fmt::Display for SnapshotError {
@@ -102,6 +104,7 @@ impl fmt::Display for SnapshotError {
                 write!(f, "snapshot does not fit this chip: {what}")
             }
             SnapshotError::PatchNet(e) => write!(f, "snapshot patch-net state rejected: {e}"),
+            SnapshotError::Mesh(e) => write!(f, "snapshot mesh state rejected: {e}"),
         }
     }
 }
@@ -111,6 +114,12 @@ impl std::error::Error for SnapshotError {}
 impl From<PatchNetError> for SnapshotError {
     fn from(e: PatchNetError) -> Self {
         SnapshotError::PatchNet(e)
+    }
+}
+
+impl From<MeshError> for SnapshotError {
+    fn from(e: MeshError) -> Self {
+        SnapshotError::Mesh(e)
     }
 }
 

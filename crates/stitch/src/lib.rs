@@ -37,10 +37,12 @@
 //! | `stitch-apps` | APP1–APP4 pipelines |
 //! | `stitch-power` | 40 nm area/power models |
 
+mod artifact;
 pub mod manifest;
 pub mod workbench;
 
 pub use manifest::{Rec, RecView, SweepManifest};
+pub use stitch_cache::ArtifactStore;
 pub use stitch_compiler::{PatchConfig, StitchPlan};
 pub use stitch_patch::PatchClass;
 pub use stitch_sim::{

@@ -15,13 +15,17 @@
 //! always safe: the point is simply recomputed.
 //!
 //! Payloads are opaque bytes to the manifest; sweep drivers encode their
-//! per-point records with the little [`Rec`]/[`RecView`] codec below
+//! per-point records with the little [`Rec`]/[`RecView`] codec
 //! (floats travel as IEEE-754 bit patterns, so a resumed sweep
-//! reassembles *bit-identical* reports).
+//! reassembles *bit-identical* reports). The codec — shared with the
+//! verified-artifact store — lives in `stitch-cache` and is re-exported
+//! here for compatibility.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+pub use stitch_cache::{fnv1a64, Rec, RecView};
 
 /// Magic + format version of a point file (bumping the version retires
 /// every existing manifest at once).
@@ -29,17 +33,6 @@ const MAGIC: &[u8; 8] = b"STCHPT01";
 
 /// Extension of completed point files.
 const POINT_EXT: &str = "point";
-
-/// 64-bit FNV-1a, used as the point-file checksum.
-#[must_use]
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
 
 /// A directory of atomically written per-point sweep results.
 #[derive(Debug, Clone)]
@@ -125,10 +118,10 @@ impl SweepManifest {
         rec.raw(MAGIC);
         rec.str(key);
         rec.blob(payload);
-        let sum = fnv1a64(&rec.buf);
+        let sum = fnv1a64(rec.as_bytes());
         rec.u64(sum);
         let tmp = path.with_extension("tmp");
-        fs::write(&tmp, &rec.buf)?;
+        fs::write(&tmp, rec.into_bytes())?;
         fs::rename(&tmp, &path)
     }
 
@@ -159,150 +152,6 @@ impl SweepManifest {
             }
         }
         Ok(())
-    }
-}
-
-/// Little-endian record writer for manifest payloads.
-///
-/// Deliberately tiny: fixed-width integers, IEEE-754 bit-pattern floats
-/// (so a decoded value is *bit-identical* to the encoded one), and
-/// length-prefixed strings/blobs/word-vectors. The matching reader is
-/// [`RecView`].
-#[derive(Debug, Default, Clone)]
-pub struct Rec {
-    buf: Vec<u8>,
-}
-
-impl Rec {
-    /// Empty record.
-    #[must_use]
-    pub fn new() -> Self {
-        Rec::default()
-    }
-
-    /// Finished bytes.
-    #[must_use]
-    pub fn into_bytes(self) -> Vec<u8> {
-        self.buf
-    }
-
-    /// Appends raw bytes with no length prefix (header use only).
-    pub fn raw(&mut self, bytes: &[u8]) {
-        self.buf.extend_from_slice(bytes);
-    }
-
-    /// Appends a `u8`.
-    pub fn u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-
-    /// Appends a `u32`.
-    pub fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Appends a `u64`.
-    pub fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Appends an `f64` as its exact bit pattern.
-    pub fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
-    }
-
-    /// Appends a length-prefixed UTF-8 string.
-    pub fn str(&mut self, s: &str) {
-        self.u32(s.len() as u32);
-        self.buf.extend_from_slice(s.as_bytes());
-    }
-
-    /// Appends a length-prefixed byte blob.
-    pub fn blob(&mut self, b: &[u8]) {
-        self.u32(b.len() as u32);
-        self.buf.extend_from_slice(b);
-    }
-
-    /// Appends a length-prefixed vector of words.
-    pub fn words(&mut self, w: &[u32]) {
-        self.u32(w.len() as u32);
-        for &x in w {
-            self.u32(x);
-        }
-    }
-}
-
-/// Bounds-checked reader over [`Rec`]-encoded bytes. Every accessor
-/// returns `None` past the end — truncation can never panic.
-#[derive(Debug, Clone, Copy)]
-pub struct RecView<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> RecView<'a> {
-    /// Reader over `buf`.
-    #[must_use]
-    pub fn new(buf: &'a [u8]) -> Self {
-        RecView { buf, pos: 0 }
-    }
-
-    /// Whether every byte has been consumed.
-    #[must_use]
-    pub fn at_end(&self) -> bool {
-        self.pos == self.buf.len()
-    }
-
-    /// Next `n` raw bytes.
-    pub fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
-        let end = self.pos.checked_add(n)?;
-        let s = self.buf.get(self.pos..end)?;
-        self.pos = end;
-        Some(s)
-    }
-
-    /// Next `u8`.
-    pub fn u8(&mut self) -> Option<u8> {
-        self.bytes(1).map(|b| b[0])
-    }
-
-    /// Next `u32`.
-    pub fn u32(&mut self) -> Option<u32> {
-        self.bytes(4)
-            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
-    }
-
-    /// Next `u64`.
-    pub fn u64(&mut self) -> Option<u64> {
-        self.bytes(8)
-            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
-    }
-
-    /// Next `f64` (bit pattern).
-    pub fn f64(&mut self) -> Option<f64> {
-        self.u64().map(f64::from_bits)
-    }
-
-    /// Next length-prefixed string.
-    pub fn str(&mut self) -> Option<&'a str> {
-        let len = self.u32()? as usize;
-        std::str::from_utf8(self.bytes(len)?).ok()
-    }
-
-    /// Next length-prefixed blob.
-    pub fn blob(&mut self) -> Option<&'a [u8]> {
-        let len = self.u32()? as usize;
-        self.bytes(len)
-    }
-
-    /// Next length-prefixed word vector. The length is validated against
-    /// the remaining bytes before allocating.
-    pub fn words(&mut self) -> Option<Vec<u32>> {
-        let len = self.u32()? as usize;
-        if len.checked_mul(4)? > self.buf.len() - self.pos {
-            return None;
-        }
-        (0..len).map(|_| self.u32()).collect()
     }
 }
 

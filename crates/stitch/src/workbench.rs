@@ -1,5 +1,6 @@
 //! The experiment workbench: compile → stitch → simulate → measure.
 
+use crate::artifact::{app_input_key, decode_prepared, encode_prepared};
 use crate::manifest::SweepManifest;
 use std::collections::HashMap;
 use std::fmt;
@@ -9,9 +10,11 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
 use stitch_apps::{build_node_program, App};
+use stitch_cache::ArtifactStore;
 use stitch_compiler::{
-    accelerate_all, compile_kernel, stitch_application_masked, AcceleratedKernel, AppKernel,
-    CompilerError, KernelVariants, PatchConfig, StitchPlan,
+    accelerate_all, compile_kernel, decode_kernel_artifact, encode_kernel_artifact,
+    kernel_input_key, seed_verify_memo, stitch_application_masked, verify_kernel,
+    AcceleratedKernel, AppKernel, CompilerError, KernelVariants, PatchConfig, StitchPlan,
 };
 use stitch_isa::Program;
 use stitch_kernels::Kernel;
@@ -177,6 +180,10 @@ pub enum SimEngine {
 pub struct Workbench {
     variants: HashMap<String, KernelVariants>,
     prepared: Arc<Mutex<HashMap<PrepKey, Arc<Prepared>>>>,
+    /// Persistent verified-artifact store; when set, compiled kernels
+    /// and prepared apps are reloaded across processes (see
+    /// [`Workbench::set_artifact_store`]).
+    artifacts: Option<Arc<ArtifactStore>>,
     engine: SimEngine,
     trace: Option<TraceConfig>,
     translate: Option<bool>,
@@ -234,6 +241,27 @@ impl Workbench {
         self.budget = budget;
     }
 
+    /// Attaches a persistent [`ArtifactStore`]: compiled kernel
+    /// variants and fully prepared apps are written to it (keyed by a
+    /// SHA-256 content hash over their *inputs* plus the verifier
+    /// version) and reloaded on later runs — including by other
+    /// processes — so warm sweeps skip the compile + verify pipeline
+    /// entirely. Reloaded verify reports also seed the in-process
+    /// verify memo. Sweep-worker clones share the store (and its
+    /// hit/miss counters) through the `Arc`.
+    ///
+    /// The store is a cache, never an oracle: any invalid file reads
+    /// as absent and the live pipeline runs instead.
+    pub fn set_artifact_store(&mut self, store: Arc<ArtifactStore>) {
+        self.artifacts = Some(store);
+    }
+
+    /// The attached artifact store, if any.
+    #[must_use]
+    pub fn artifact_store(&self) -> Option<&Arc<ArtifactStore>> {
+        self.artifacts.as_ref()
+    }
+
     /// Enables event tracing for subsequent runs (`None` disables it).
     /// Each run gets a fresh tracer per the config; the captured stream
     /// comes back in [`AppRun::trace`] and the windowed metrics in
@@ -266,12 +294,40 @@ impl Workbench {
             return Ok(v.clone());
         }
         let spec = kernel.spec();
-        let kv = compile_kernel(
-            spec.name,
-            &kernel.standalone()?,
-            &Self::all_configs(),
-            Some((spec.output_addr, spec.output_words as usize)),
-        )?;
+        let standalone = kernel.standalone()?;
+        let output_check = Some((spec.output_addr, spec.output_words as usize));
+
+        // Persistent layer: a stored artifact under the input key *is*
+        // the output of this exact compile (same program bytes, config
+        // list, output check, verifier version) together with the clean
+        // report that admitted it, so a valid hit skips compilation,
+        // cycle measurement, and verification in one step.
+        let store_key = self.artifacts.as_ref().and_then(|_| {
+            kernel_input_key(spec.name, &standalone, &Self::all_configs(), output_check)
+        });
+        if let (Some(store), Some(sk)) = (&self.artifacts, &store_key) {
+            if let Some(payload) = store.load(sk) {
+                if let Some((kv, report)) = decode_kernel_artifact(&payload) {
+                    if report.is_clean() && kv.name == spec.name {
+                        seed_verify_memo(&kv, report);
+                        self.variants.insert(key, kv.clone());
+                        return Ok(kv);
+                    }
+                }
+            }
+        }
+
+        let kv = compile_kernel(spec.name, &standalone, &Self::all_configs(), output_check)?;
+        if let (Some(store), Some(sk)) = (&self.artifacts, &store_key) {
+            let report = verify_kernel(&kv);
+            if report.is_clean() {
+                if let Some(payload) = encode_kernel_artifact(&kv, &report) {
+                    // Best-effort: a failed write costs the next
+                    // process a recompile, never correctness.
+                    let _ = store.store(sk, &payload);
+                }
+            }
+        }
         self.variants.insert(key.clone(), kv);
         Ok(self.variants[&key].clone())
     }
@@ -425,6 +481,32 @@ impl Workbench {
             return Ok(p);
         }
 
+        // Persistent layer: a stored prepared-app bundle under the
+        // input key replaces the whole compile→stitch→wire→verify
+        // pipeline, so the in-memory memo persists across processes.
+        let store_key = self
+            .artifacts
+            .as_ref()
+            .and_then(|_| app_input_key(app, arch, frames, &key.3));
+        if let (Some(store), Some(sk)) = (&self.artifacts, &store_key) {
+            if let Some(payload) = store.load(sk) {
+                if let Some((plan, loads, clean_report)) = decode_prepared(&payload) {
+                    if plan.tiles.len() == app.nodes.len() && loads.len() == app.nodes.len() {
+                        let prepared = Arc::new(Prepared {
+                            cfg: ChipConfig::for_arch(arch),
+                            plan,
+                            loads,
+                            clean_report,
+                        });
+                        if let Ok(mut cache) = self.prepared.lock() {
+                            cache.insert(key, Arc::clone(&prepared));
+                        }
+                        return Ok(prepared);
+                    }
+                }
+            }
+        }
+
         // 1. Variants for each node's kernel (cached across nodes/archs).
         let mut app_kernels = Vec::new();
         for n in &app.nodes {
@@ -456,6 +538,15 @@ impl Workbench {
             loads.push(NodeLoad { program, accel });
         }
         let clean_report = verify_run(app, &chip_cfg, &plan, None, &loads);
+        if let (Some(store), Some(sk)) = (&self.artifacts, &store_key) {
+            // Only verified-clean bundles become artifacts: a reloaded
+            // bundle substitutes for the live verify gate.
+            if clean_report.is_clean() {
+                if let Some(payload) = encode_prepared(&plan, &loads, &clean_report) {
+                    let _ = store.store(sk, &payload);
+                }
+            }
+        }
         let prepared = Arc::new(Prepared {
             cfg: chip_cfg,
             plan,
@@ -779,9 +870,9 @@ impl Workbench {
 /// One node's executable artifact: the wired program, plus the
 /// accelerated kernel (and its fused partner) when the plan granted
 /// acceleration and the compiler found a mapping.
-struct NodeLoad {
-    program: Program,
-    accel: Option<(AcceleratedKernel, Option<TileId>)>,
+pub(crate) struct NodeLoad {
+    pub(crate) program: Program,
+    pub(crate) accel: Option<(AcceleratedKernel, Option<TileId>)>,
 }
 
 /// The pre-simulation static gate: verifies everything a run is about

@@ -45,3 +45,9 @@ pub use dataflow::check_program;
 pub use diag::{Diagnostic, Report, Severity, Span};
 pub use ise::{check_ise, IseCheck, IseMapping, IseNode, IseOp, IseOperand, IseOut, IseSubgraph};
 pub use plan::{check_circuits, check_plan, AccelView, ConfigView, PlanView};
+
+/// Version of the static-analysis suite. Participates in every
+/// persistent verified-artifact cache key: bumping it (do so whenever a
+/// check's semantics change) retires every stored report at once, so a
+/// stale verdict can never satisfy a newer verifier.
+pub const VERIFIER_VERSION: u32 = 1;

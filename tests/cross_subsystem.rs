@@ -160,3 +160,44 @@ fn kernel_is_placement_independent() {
         assert_eq!(got, expected, "tile {tile}");
     }
 }
+
+/// Regression pin: the crc kernel verifies with **zero** warnings. An
+/// earlier compiler emission left a dead `li` in its compute loop that
+/// produced 14 `W32-DEAD` advisories across the variant set; the pin
+/// keeps the warning path clean so a future regression is loud.
+#[test]
+fn crc_kernel_verifies_with_zero_warnings() {
+    let crc = all_kernels()
+        .into_iter()
+        .find(|k| k.spec().name == "crc")
+        .expect("crc kernel exists");
+    let program = crc.standalone().expect("assembles");
+    let kv = compile_kernel("crc", &program, &PatchConfig::all(), None).expect("compiles");
+    let report = stitch_compiler::verify_kernel_uncached(&kv);
+    assert!(report.is_clean(), "crc must verify clean:\n{report}");
+    assert_eq!(
+        report.warning_count(),
+        0,
+        "crc must verify without advisories:\n{report}"
+    );
+}
+
+/// Regression pin: the APP3 x Baseline pre-simulation gate reports
+/// **zero** warnings. Before the dead-code fix it reported 4 `W32-DEAD`
+/// advisories (all traced to the crc kernel's emission); the full grid
+/// is swept by the `verify_report` bench, this pins the one point that
+/// regressed.
+#[test]
+fn app3_baseline_gate_reports_zero_warnings() {
+    let mut ws = stitch::Workbench::new();
+    let app = stitch_apps::svm_app();
+    let report = ws
+        .verify_app(&app, stitch::Arch::Baseline, stitch::DEFAULT_FRAMES)
+        .expect("gate runs");
+    assert!(report.is_clean(), "APP3/Baseline:\n{report}");
+    assert_eq!(
+        report.warning_count(),
+        0,
+        "APP3/Baseline must gate without advisories:\n{report}"
+    );
+}

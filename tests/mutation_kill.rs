@@ -143,3 +143,135 @@ fn retargeted_branch_is_killed_by_w32_target() {
         "a branch to instruction {bogus} (past the text) must be rejected, got:\n{report}"
     );
 }
+
+/// End-to-end mutation-kill and poisoning tests for the persistent
+/// verified-artifact cache: a mutated input must never be served a stale
+/// artifact, and a corrupted artifact must read as absent and be
+/// re-verified live — with the live result byte-identical to the
+/// original clean report.
+mod artifact_cache {
+    use std::fs;
+    use std::path::PathBuf;
+    use std::sync::Arc;
+    use stitch::{Arch, ArtifactStore, Workbench, DEFAULT_FRAMES};
+
+    fn fresh_store(tag: &str) -> (Arc<ArtifactStore>, PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("stitch-mutation-kill-{tag}-{}", std::process::id()));
+        let store = Arc::new(ArtifactStore::open(&dir).expect("open store"));
+        store.clear().expect("start empty");
+        (store, dir)
+    }
+
+    #[test]
+    fn warm_workbench_reloads_artifacts_and_mutated_inputs_miss() {
+        let (store, dir) = fresh_store("warm");
+        let app = stitch_apps::gesture();
+        let kernels = stitch_kernels::all_kernels();
+        let kernel = kernels.first().expect("kernels exist");
+
+        let mut cold = Workbench::new();
+        cold.set_artifact_store(Arc::clone(&store));
+        let kv_cold = cold.variants(kernel.as_ref()).expect("compiles");
+        let report_cold = cold
+            .verify_app(&app, Arch::Stitch, DEFAULT_FRAMES)
+            .expect("gate runs");
+        assert!(report_cold.is_clean());
+        assert!(store.completed() > 0, "cold pass must populate the store");
+        let hits_cold = store.hits();
+
+        // A brand-new workbench (fresh in-memory caches, as a new process
+        // would start) must serve kernel and prepared app from the store
+        // and reproduce identical artifacts.
+        let mut warm = Workbench::new();
+        warm.set_artifact_store(Arc::clone(&store));
+        let kv_warm = warm.variants(kernel.as_ref()).expect("compiles");
+        let report_warm = warm
+            .verify_app(&app, Arch::Stitch, DEFAULT_FRAMES)
+            .expect("gate runs");
+        assert_eq!(
+            stitch_compiler::variants_fingerprint(&kv_cold),
+            stitch_compiler::variants_fingerprint(&kv_warm)
+        );
+        assert_eq!(report_cold, report_warm);
+        assert!(store.hits() > hits_cold, "warm pass must hit the store");
+
+        // Mutation kill: a changed input (the frame count participates in
+        // the app key) must miss and re-run the pipeline, never reuse.
+        let misses_before = store.misses();
+        let mut mutated = Workbench::new();
+        mutated.set_artifact_store(Arc::clone(&store));
+        let r = mutated
+            .verify_app(&app, Arch::Stitch, DEFAULT_FRAMES + 1)
+            .expect("gate runs");
+        assert!(r.is_clean());
+        assert!(
+            store.misses() > misses_before,
+            "a mutated frame count must miss the store"
+        );
+        // So must a different architecture.
+        let misses_before = store.misses();
+        let r = mutated
+            .verify_app(&app, Arch::Baseline, DEFAULT_FRAMES)
+            .expect("gate runs");
+        assert!(r.is_clean());
+        assert!(
+            store.misses() > misses_before,
+            "a mutated architecture must miss the store"
+        );
+
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn poisoned_artifacts_read_as_absent_and_reverify_live() {
+        let (store, dir) = fresh_store("poison");
+        let app = stitch_apps::gesture();
+
+        let mut cold = Workbench::new();
+        cold.set_artifact_store(Arc::clone(&store));
+        let clean = cold
+            .verify_app(&app, Arch::Stitch, DEFAULT_FRAMES)
+            .expect("gate runs");
+        assert!(clean.is_clean());
+
+        // Poison every stored artifact, cycling through the corpus:
+        // truncation, a flipped payload bit, and a clobbered magic.
+        let files: Vec<PathBuf> = fs::read_dir(store.dir())
+            .expect("store dir")
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "art"))
+            .collect();
+        assert!(!files.is_empty(), "the cold pass stored artifacts");
+        for (i, f) in files.iter().enumerate() {
+            let mut bytes = fs::read(f).expect("read artifact");
+            match i % 3 {
+                0 => bytes.truncate(bytes.len() / 2),
+                1 => {
+                    let mid = bytes.len() / 2;
+                    bytes[mid] ^= 0x40;
+                }
+                _ => bytes[0] ^= 0xFF,
+            }
+            fs::write(f, &bytes).expect("write poisoned artifact");
+        }
+
+        // Every poisoned file must read as absent (no hit), and the live
+        // re-verify must reproduce the original clean report exactly.
+        let hits_before = store.hits();
+        let mut warm = Workbench::new();
+        warm.set_artifact_store(Arc::clone(&store));
+        let live = warm
+            .verify_app(&app, Arch::Stitch, DEFAULT_FRAMES)
+            .expect("gate runs");
+        assert_eq!(clean, live, "live re-verify must match the clean report");
+        assert_eq!(
+            store.hits(),
+            hits_before,
+            "a poisoned artifact must never be served"
+        );
+
+        let _ = fs::remove_dir_all(dir);
+    }
+}

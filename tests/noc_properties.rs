@@ -2,7 +2,7 @@
 //! in-tree deterministic PRNG (the sandbox has no `proptest`).
 
 use stitch_noc::mesh::{Mesh, MeshConfig};
-use stitch_noc::{PatchNet, PortDir, TileId};
+use stitch_noc::{Circuit, MeshError, PatchNet, PatchNetError, PortDir, TileId};
 use stitch_sim::SimRng;
 
 /// Every accepted circuit is walkable through the switch state: from
@@ -93,6 +93,193 @@ fn mesh_delivers_all_random_traffic() {
             assert_eq!(got.words, words, "seed {seed}");
         }
     }
+}
+
+/// Hostile mesh snapshots — out-of-range ports and tiles, over-capacity
+/// buffers, oversized reassemblies, mis-sized vectors — are rejected
+/// with typed errors and leave the mesh byte-identical; they never
+/// panic and never install partial state.
+#[test]
+fn hostile_mesh_snapshots_are_rejected_without_mutation() {
+    let mut mesh = Mesh::new(MeshConfig::default());
+    // Give the mesh some real state so "unmodified" is observable.
+    mesh.send(TileId(0), TileId(15), &[1, 2, 3]);
+    mesh.tick();
+    let good = mesh.snapshot();
+    let before = mesh.snapshot();
+
+    // Each mutator corrupts one aspect of an otherwise-valid snapshot.
+    type Mutator = fn(&mut stitch_noc::MeshSnapshot);
+    let mutators: [(Mutator, &str); 7] = [
+        (
+            |s| {
+                s.routers.pop();
+            },
+            "router count",
+        ),
+        (|s| s.link_down_until.clear(), "link-fault vector"),
+        (
+            |s| s.routers[0].out_owner[0] = Some(200),
+            "wormhole owner port",
+        ),
+        (|s| s.routers[3].rr[2] = 9, "round-robin pointer"),
+        (
+            |s| {
+                s.inject[1].push(vec![stitch_noc::FlitSnapshot {
+                    dst: TileId(250),
+                    src: TileId(1),
+                    is_head: true,
+                    is_tail: true,
+                    word: 0,
+                    msg_id: 7,
+                    msg_len: 1,
+                    injected_at: 0,
+                    ready_at: 0,
+                }]);
+            },
+            "flit destination tile",
+        ),
+        (
+            |s| {
+                s.assembling[2].push(stitch_noc::ReassemblySnapshot {
+                    src: TileId(0),
+                    msg_id: 9,
+                    expected: 1,
+                    words: vec![1, 2, 3, 4],
+                });
+            },
+            "oversized reassembly",
+        ),
+        (
+            |s| {
+                s.delivered[0].push(stitch_noc::Message {
+                    src: TileId(99),
+                    words: vec![],
+                });
+            },
+            "delivered-message source tile",
+        ),
+    ];
+    for (mutate, what) in mutators {
+        let mut bad = good.clone();
+        mutate(&mut bad);
+        assert!(
+            mesh.restore(&bad).is_err(),
+            "{what}: corrupt snapshot must be rejected"
+        );
+        assert_eq!(mesh.snapshot(), before, "{what}: mesh must be unmodified");
+    }
+
+    // Over-capacity input buffer: duplicate a buffered flit past the
+    // configured credit limit.
+    let mut bad = good.clone();
+    let donor = bad
+        .routers
+        .iter()
+        .flat_map(|r| r.inputs.iter().flatten())
+        .next()
+        .copied();
+    if let Some(f) = donor {
+        let cap = MeshConfig::default().buffer_flits;
+        bad.routers[0].inputs[0] = vec![f; cap + 1];
+        assert!(matches!(
+            mesh.restore(&bad),
+            Err(MeshError::OverfullBuffer { .. })
+        ));
+        assert_eq!(mesh.snapshot(), before);
+    }
+
+    // The untouched snapshot still restores.
+    mesh.restore(&good).expect("valid snapshot restores");
+}
+
+/// Hostile patch-net snapshots and out-of-range tile arguments are typed
+/// errors, never panics, and a rejected restore leaves the network
+/// unmodified.
+#[test]
+fn hostile_patchnet_inputs_are_rejected_without_mutation() {
+    let mut net = PatchNet::new_4x4();
+    net.reserve(TileId(1), TileId(9)).expect("circuit");
+    let good = net.snapshot();
+
+    // Out-of-range tiles through the public mutators.
+    assert!(matches!(
+        net.reserve(TileId(200), TileId(3)),
+        Err(PatchNetError::BadTile { index: 200, .. })
+    ));
+    assert!(matches!(
+        net.reserve(TileId(3), TileId(16)),
+        Err(PatchNetError::BadTile { index: 16, .. })
+    ));
+    assert!(matches!(
+        net.connect(TileId(99), PortDir::Reg, PortDir::Patch),
+        Err(PatchNetError::BadTile { index: 99, .. })
+    ));
+    assert!(matches!(
+        net.write_config_register(TileId(42), 0),
+        Err(PatchNetError::BadTile { index: 42, .. })
+    ));
+
+    // Structurally impossible circuit records in a snapshot.
+    let hostile_circuits = [
+        // Tile outside the 4x4 mesh.
+        Circuit {
+            from: TileId(1),
+            to: TileId(77),
+            tiles: vec![TileId(1), TileId(77)],
+            hops: 1,
+        },
+        // Path endpoints disagree with the recorded endpoints.
+        Circuit {
+            from: TileId(0),
+            to: TileId(2),
+            tiles: vec![TileId(4), TileId(5)],
+            hops: 1,
+        },
+        // Non-adjacent hop.
+        Circuit {
+            from: TileId(0),
+            to: TileId(5),
+            tiles: vec![TileId(0), TileId(5)],
+            hops: 1,
+        },
+        // Single-tile path.
+        Circuit {
+            from: TileId(3),
+            to: TileId(3),
+            tiles: vec![TileId(3)],
+            hops: 0,
+        },
+        // Hop count disagrees with the path.
+        Circuit {
+            from: TileId(0),
+            to: TileId(1),
+            tiles: vec![TileId(0), TileId(1)],
+            hops: 5,
+        },
+    ];
+    for c in hostile_circuits {
+        let mut bad = good.clone();
+        bad.circuits.push(c.clone());
+        assert!(
+            net.restore(&bad).is_err(),
+            "hostile circuit {c:?} must be rejected"
+        );
+        assert_eq!(net.snapshot(), good, "rejected restore must not mutate");
+    }
+
+    // Duplicate endpoint pair.
+    let mut bad = good.clone();
+    let dup = bad.circuits[0].clone();
+    bad.circuits.push(dup);
+    assert!(matches!(
+        net.restore(&bad),
+        Err(PatchNetError::MalformedCircuit { .. })
+    ));
+    assert_eq!(net.snapshot(), good);
+
+    // The untouched snapshot still restores.
+    net.restore(&good).expect("valid snapshot restores");
 }
 
 /// Switch configuration registers round-trip through their packed
